@@ -1,0 +1,90 @@
+// Command dlptlive demonstrates the concurrent DLPT runtime: it
+// starts a goroutine-per-peer overlay, registers a grid-computing
+// service catalogue, runs concurrent discoveries, and prints the
+// resulting prefix tree and routing statistics.
+//
+// Usage:
+//
+//	dlptlive [-peers N] [-services N] [-queries N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"dlpt/internal/keys"
+	"dlpt/internal/live"
+	"dlpt/internal/workload"
+)
+
+func main() {
+	peers := flag.Int("peers", 16, "number of peers")
+	services := flag.Int("services", 200, "number of services to register")
+	queries := flag.Int("queries", 1000, "number of concurrent discovery requests")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+	if err := run(*peers, *services, *queries, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "dlptlive: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(peers, services, queries int, seed int64) error {
+	caps := make([]int, peers)
+	for i := range caps {
+		caps[i] = 1 << 20
+	}
+	cluster, err := live.Start(keys.LowerAlnum, caps, seed)
+	if err != nil {
+		return err
+	}
+	defer cluster.Stop()
+
+	corpus := workload.GridCorpus(services)
+	for _, k := range corpus {
+		if err := cluster.Register(k, "endpoint://"+string(k)); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("overlay: %d peers, %d services, %d tree nodes\n",
+		cluster.NumPeers(), services, cluster.NumNodes())
+
+	var wg sync.WaitGroup
+	var found, logical, physical int64
+	workers := 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < queries; i += workers {
+				res, err := cluster.Discover(corpus[i%len(corpus)])
+				if err != nil {
+					return
+				}
+				if res.Found {
+					atomic.AddInt64(&found, 1)
+					atomic.AddInt64(&logical, int64(res.LogicalHops))
+					atomic.AddInt64(&physical, int64(res.PhysicalHops))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	fmt.Printf("discoveries: %d/%d found, avg %.2f logical hops, %.2f physical hops\n",
+		found, queries,
+		float64(logical)/float64(found), float64(physical)/float64(found))
+
+	if err := cluster.Validate(); err != nil {
+		return fmt.Errorf("overlay invariants violated: %w", err)
+	}
+	fmt.Println("overlay invariants: OK")
+
+	snap := cluster.Snapshot()
+	fmt.Printf("\ncompletion of \"sge\": %v\n", snap.Complete("sge", 5))
+	fmt.Printf("range [saxpy, sgemv]: %v\n", snap.Range("saxpy", "sgemv", 5))
+	fmt.Printf("\ntree depth: %d, keys: %d\n", snap.Depth(), snap.NumKeys())
+	return nil
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunSmall(t *testing.T) {
+	if err := run(6, 60, 120, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSinglePeer(t *testing.T) {
+	if err := run(1, 10, 20, 2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package dlpt
+
+import (
+	"math/rand"
+	"sync"
+
+	"dlpt/internal/attrs"
+	"dlpt/internal/core"
+	"dlpt/internal/keys"
+)
+
+// Resource describes a service registered in a Directory: an
+// identifier plus attribute pairs ("cpu" -> "x86_64").
+type Resource struct {
+	ID         string
+	Attributes map[string]string
+}
+
+// Where is one conjunct of a multi-attribute query. Set exactly one
+// of Equals / HasPrefix / the Min+Max pair; an empty predicate tests
+// attribute presence.
+type Where struct {
+	Attr      string
+	Equals    string
+	HasPrefix string
+	Min, Max  string
+}
+
+// QueryStats reports the routing cost of a directory query.
+type QueryStats struct {
+	TreeHops     int
+	CrossPeerOps int
+}
+
+// Directory is a multi-attribute resource-discovery overlay: each
+// attribute pair is declared as an "attr=value" key in a DLPT prefix
+// tree, and conjunctive queries intersect per-predicate matches, each
+// resolved by routed tree traversal (exact, prefix or range). Safe
+// for concurrent use.
+type Directory struct {
+	mu    sync.Mutex
+	inner *attrs.Directory
+}
+
+// NewDirectory starts a directory over a fresh overlay of numPeers
+// peers.
+func NewDirectory(numPeers int, opts ...Option) (*Directory, error) {
+	o := options{alphabet: keys.PrintableASCII, seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	n := numPeers
+	if o.capacities != nil {
+		n = len(o.capacities)
+	}
+	rng := rand.New(rand.NewSource(o.seed))
+	net := core.NewNetwork(o.alphabet, core.PlacementLexicographic)
+	for i := 0; i < n; i++ {
+		id := o.alphabet.RandomKey(rng, 12, 12)
+		capacity := 1 << 20
+		if o.capacities != nil {
+			capacity = o.capacities[i]
+		}
+		if err := net.JoinPeer(id, capacity, rng); err != nil {
+			return nil, err
+		}
+	}
+	return &Directory{inner: attrs.NewDirectory(net, rng)}, nil
+}
+
+// RegisterResource declares a resource with its attributes.
+func (d *Directory) RegisterResource(res Resource) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inner.Register(attrs.Service{ID: res.ID, Attributes: res.Attributes})
+}
+
+// UnregisterResource withdraws a resource, reporting whether it was
+// registered.
+func (d *Directory) UnregisterResource(id string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inner.Unregister(id)
+}
+
+// Find returns the ids of resources matching every predicate, in
+// order, with the aggregate routing cost.
+func (d *Directory) Find(preds ...Where) ([]string, QueryStats, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ps := make([]attrs.Predicate, len(preds))
+	for i, p := range preds {
+		ps[i] = attrs.Predicate{
+			Attr: p.Attr, Exact: p.Equals, Prefix: p.HasPrefix,
+			Lo: p.Min, Hi: p.Max,
+		}
+	}
+	ids, cost, err := d.inner.Query(ps...)
+	return ids, QueryStats{TreeHops: cost.LogicalHops, CrossPeerOps: cost.PhysicalHops}, err
+}
+
+// Describe returns the registered attributes of a resource.
+func (d *Directory) Describe(id string) (map[string]string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inner.Describe(id)
+}
+
+// NumResources returns the number of registered resources.
+func (d *Directory) NumResources() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inner.NumServices()
+}
+
+// Validate cross-checks the directory and overlay invariants.
+func (d *Directory) Validate() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inner.Validate()
+}

@@ -1,0 +1,136 @@
+package dlpt
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func newTestDirectory(t *testing.T) *Directory {
+	t.Helper()
+	d, err := NewDirectory(8, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		res := Resource{
+			ID: fmt.Sprintf("node-%02d", i),
+			Attributes: map[string]string{
+				"cpu":   []string{"x86_64", "arm64", "sparc"}[i%3],
+				"mem":   fmt.Sprintf("%03d", 64*(1+i%4)),
+				"state": "free",
+			},
+		}
+		if err := d.RegisterResource(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestDirectoryFindEquals(t *testing.T) {
+	d := newTestDirectory(t)
+	ids, stats, err := d.Find(Where{Attr: "cpu", Equals: "x86_64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"node-00", "node-03", "node-06", "node-09"}
+	if !reflect.DeepEqual(ids, want) {
+		t.Fatalf("Find = %v", ids)
+	}
+	if stats.TreeHops == 0 {
+		t.Fatalf("query must report routing cost")
+	}
+}
+
+func TestDirectoryFindConjunction(t *testing.T) {
+	d := newTestDirectory(t)
+	ids, _, err := d.Find(
+		Where{Attr: "cpu", Equals: "x86_64"},
+		Where{Attr: "mem", Min: "128", Max: "256"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		a, ok := d.Describe(id)
+		if !ok || a["cpu"] != "x86_64" || a["mem"] < "128" || a["mem"] > "256" {
+			t.Fatalf("non-matching %q: %v", id, a)
+		}
+	}
+	if len(ids) == 0 {
+		t.Fatalf("conjunction found nothing")
+	}
+}
+
+func TestDirectoryPrefixAndPresence(t *testing.T) {
+	d := newTestDirectory(t)
+	ids, _, err := d.Find(Where{Attr: "cpu", HasPrefix: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		a, _ := d.Describe(id)
+		if a["cpu"] != "sparc" {
+			t.Fatalf("prefix query returned %v", a)
+		}
+	}
+	all, _, err := d.Find(Where{Attr: "state"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != d.NumResources() {
+		t.Fatalf("presence query = %d of %d", len(all), d.NumResources())
+	}
+}
+
+func TestDirectoryUnregister(t *testing.T) {
+	d := newTestDirectory(t)
+	if !d.UnregisterResource("node-00") {
+		t.Fatalf("unregister failed")
+	}
+	if d.UnregisterResource("node-00") {
+		t.Fatalf("double unregister must fail")
+	}
+	ids, _, _ := d.Find(Where{Attr: "cpu", Equals: "x86_64"})
+	for _, id := range ids {
+		if id == "node-00" {
+			t.Fatalf("unregistered resource still returned")
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectoryConcurrent(t *testing.T) {
+	d := newTestDirectory(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				if _, _, err := d.Find(Where{Attr: "cpu", Equals: "arm64"}); err != nil {
+					t.Errorf("find: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestDirectoryWithCapacities(t *testing.T) {
+	d, err := NewDirectory(0, WithCapacities([]int{5, 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RegisterResource(Resource{ID: "x", Attributes: map[string]string{"a": "1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumResources() != 1 {
+		t.Fatalf("NumResources = %d", d.NumResources())
+	}
+}

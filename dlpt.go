@@ -1,0 +1,220 @@
+// Package dlpt is a tree-structured peer-to-peer service discovery
+// library: a production-shaped implementation of the Distributed
+// Lexicographic Placement Table of Caron, Desprez and Tedeschi
+// ("Efficiency of Tree-Structured Peer-to-Peer Service Discovery
+// Systems", INRIA RR-6557, 2008).
+//
+// Services are identified by keys (e.g. names of computational
+// routines); the overlay maintains a Proper Greatest Common Prefix
+// tree of the declared keys directly over a ring of peers — no
+// underlying DHT — supporting exact discovery, automatic completion
+// of partial search strings, and lexicographic range queries, with
+// the paper's MLT load balancing available in the simulation engine
+// (internal/sim, internal/lb).
+//
+// The Registry type below is the deployment-facing API, backed by the
+// concurrent goroutine-per-peer runtime. The reproduction harness for
+// the paper's figures and tables lives in cmd/dlptsim and the
+// repository-level benchmarks.
+package dlpt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dlpt/internal/keys"
+	"dlpt/internal/live"
+)
+
+// Service is a discovered service: the key and the endpoint values
+// registered under it.
+type Service struct {
+	Name      string
+	Endpoints []string
+	// LogicalHops and PhysicalHops describe the routing cost of the
+	// discovery that produced this result (tree edges traversed, and
+	// those crossing peers).
+	LogicalHops  int
+	PhysicalHops int
+}
+
+// options collects constructor settings.
+type options struct {
+	alphabet   *keys.Alphabet
+	seed       int64
+	capacities []int
+}
+
+// Option configures New.
+type Option func(*options)
+
+// WithSeed fixes the seed of the overlay's internal randomness (peer
+// identifiers, entry points). The default is 1.
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// WithAlphabet sets the key alphabet. The default accepts printable
+// ASCII. Registering a key outside the alphabet fails.
+func WithAlphabet(a *keys.Alphabet) Option {
+	return func(o *options) { o.alphabet = a }
+}
+
+// WithCapacities sets per-peer capacities explicitly; the number of
+// peers becomes len(capacities), overriding New's numPeers argument.
+// Capacity only matters to the simulation-grade load statistics; the
+// live runtime does not throttle.
+func WithCapacities(caps []int) Option {
+	return func(o *options) { o.capacities = append([]int(nil), caps...) }
+}
+
+// Registry is a running service-discovery overlay. All methods are
+// safe for concurrent use. Close releases the peer goroutines.
+type Registry struct {
+	cluster *live.Cluster
+	alpha   *keys.Alphabet
+}
+
+// ErrClosed is returned by operations on a closed Registry.
+var ErrClosed = live.ErrStopped
+
+// New starts an overlay of numPeers peers.
+func New(numPeers int, opts ...Option) (*Registry, error) {
+	o := options{alphabet: keys.PrintableASCII, seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	caps := o.capacities
+	if caps == nil {
+		if numPeers < 1 {
+			return nil, fmt.Errorf("dlpt: numPeers = %d", numPeers)
+		}
+		caps = make([]int, numPeers)
+		for i := range caps {
+			caps[i] = 1 << 20
+		}
+	}
+	c, err := live.Start(o.alphabet, caps, o.seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Registry{cluster: c, alpha: o.alphabet}, nil
+}
+
+// Close shuts the overlay down. It is idempotent.
+func (r *Registry) Close() { r.cluster.Stop() }
+
+// Register declares that endpoint provides the service named name.
+func (r *Registry) Register(name, endpoint string) error {
+	if name == "" {
+		return errors.New("dlpt: empty service name")
+	}
+	if !r.alpha.Valid(keys.Key(name)) {
+		return fmt.Errorf("dlpt: service name %q outside alphabet", name)
+	}
+	return r.cluster.Register(keys.Key(name), endpoint)
+}
+
+// Unregister withdraws endpoint from the service named name,
+// reporting whether it was registered.
+func (r *Registry) Unregister(name, endpoint string) bool {
+	return r.cluster.Unregister(keys.Key(name), endpoint)
+}
+
+// Discover routes a discovery request through the overlay and returns
+// the service, if declared.
+func (r *Registry) Discover(name string) (Service, bool, error) {
+	res, err := r.cluster.Discover(keys.Key(name))
+	if err != nil {
+		return Service{}, false, err
+	}
+	if !res.Found {
+		return Service{}, false, nil
+	}
+	eps := append([]string(nil), res.Values...)
+	sort.Strings(eps)
+	return Service{
+		Name:         name,
+		Endpoints:    eps,
+		LogicalHops:  res.LogicalHops,
+		PhysicalHops: res.PhysicalHops,
+	}, true, nil
+}
+
+// Complete returns up to limit declared service names extending the
+// given prefix, in lexicographic order (the paper's automatic
+// completion of partial search strings), resolved by a routed subtree
+// traversal. limit <= 0 means no limit.
+func (r *Registry) Complete(prefix string, limit int) []string {
+	res, err := r.cluster.Complete(keys.Key(prefix))
+	if err != nil {
+		return nil
+	}
+	ks := res.Keys
+	if limit > 0 && len(ks) > limit {
+		ks = ks[:limit]
+	}
+	return keysToStrings(ks)
+}
+
+// Range returns up to limit declared service names in [lo, hi], in
+// lexicographic order, resolved by a routed subtree traversal.
+// limit <= 0 means no limit.
+func (r *Registry) Range(lo, hi string, limit int) []string {
+	res, err := r.cluster.RangeQuery(keys.Key(lo), keys.Key(hi))
+	if err != nil {
+		return nil
+	}
+	ks := res.Keys
+	if limit > 0 && len(ks) > limit {
+		ks = ks[:limit]
+	}
+	return keysToStrings(ks)
+}
+
+// Endpoints returns the endpoints registered under name via a
+// consistent snapshot (no routing cost).
+func (r *Registry) Endpoints(name string) []string {
+	n, ok := r.cluster.Snapshot().Lookup(keys.Key(name))
+	if !ok || !n.HasData() {
+		return nil
+	}
+	var out []string
+	for v := range n.Data {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Services returns every declared service name in order.
+func (r *Registry) Services() []string {
+	return keysToStrings(r.cluster.Snapshot().Keys())
+}
+
+// AddPeer grows the overlay by one peer.
+func (r *Registry) AddPeer() error {
+	_, err := r.cluster.AddPeer(1 << 20)
+	return err
+}
+
+// NumPeers returns the current number of peers.
+func (r *Registry) NumPeers() int { return r.cluster.NumPeers() }
+
+// NumNodes returns the number of tree nodes (declared keys plus
+// structural prefix nodes).
+func (r *Registry) NumNodes() int { return r.cluster.NumNodes() }
+
+// Validate cross-checks every overlay invariant (ring order, mapping
+// rule, PGCP tree structure); it is exposed for operational
+// diagnostics and tests.
+func (r *Registry) Validate() error { return r.cluster.Validate() }
+
+func keysToStrings(ks []keys.Key) []string {
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = string(k)
+	}
+	return out
+}

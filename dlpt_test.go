@@ -1,0 +1,185 @@
+package dlpt
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"dlpt/internal/keys"
+)
+
+func newRegistry(t *testing.T, peers int, opts ...Option) *Registry {
+	t.Helper()
+	r, err := New(peers, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatalf("numPeers=0 must fail")
+	}
+	r := newRegistry(t, 1, WithCapacities([]int{5, 5, 5}))
+	if r.NumPeers() != 3 {
+		t.Fatalf("WithCapacities must override peer count: %d", r.NumPeers())
+	}
+}
+
+func TestRegisterDiscover(t *testing.T) {
+	r := newRegistry(t, 5, WithSeed(7))
+	if err := r.Register("DGEMM", "node-a:9000"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("DGEMM", "node-b:9000"); err != nil {
+		t.Fatal(err)
+	}
+	svc, ok, err := r.Discover("DGEMM")
+	if err != nil || !ok {
+		t.Fatalf("Discover: %v %v", ok, err)
+	}
+	want := []string{"node-a:9000", "node-b:9000"}
+	if !reflect.DeepEqual(svc.Endpoints, want) {
+		t.Fatalf("Endpoints = %v", svc.Endpoints)
+	}
+	if svc.Name != "DGEMM" {
+		t.Fatalf("Name = %q", svc.Name)
+	}
+	if _, ok, _ := r.Discover("SGEMM"); ok {
+		t.Fatalf("undeclared service found")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	r := newRegistry(t, 2)
+	if err := r.Register("", "x"); err == nil {
+		t.Fatalf("empty name must fail")
+	}
+	if err := r.Register("tab\tname", "x"); err == nil {
+		t.Fatalf("name outside alphabet must fail")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	r := newRegistry(t, 3)
+	_ = r.Register("saxpy", "e1")
+	if !r.Unregister("saxpy", "e1") {
+		t.Fatalf("unregister failed")
+	}
+	if r.Unregister("saxpy", "e1") {
+		t.Fatalf("double unregister must report false")
+	}
+	if _, ok, _ := r.Discover("saxpy"); ok {
+		t.Fatalf("service still discoverable")
+	}
+}
+
+func TestCompleteAndRange(t *testing.T) {
+	r := newRegistry(t, 4)
+	for _, s := range []string{"sgemm", "sgemv", "strsm", "dgemm", "dgemv"} {
+		if err := r.Register(s, "ep"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.Complete("sge", 0); !reflect.DeepEqual(got, []string{"sgemm", "sgemv"}) {
+		t.Fatalf("Complete = %v", got)
+	}
+	if got := r.Complete("sge", 1); len(got) != 1 {
+		t.Fatalf("limit ignored: %v", got)
+	}
+	if got := r.Range("d", "e", 0); !reflect.DeepEqual(got, []string{"dgemm", "dgemv"}) {
+		t.Fatalf("Range = %v", got)
+	}
+	if got := r.Services(); len(got) != 5 {
+		t.Fatalf("Services = %v", got)
+	}
+}
+
+func TestEndpoints(t *testing.T) {
+	r := newRegistry(t, 3)
+	_ = r.Register("fft", "h2")
+	_ = r.Register("fft", "h1")
+	if got := r.Endpoints("fft"); !reflect.DeepEqual(got, []string{"h1", "h2"}) {
+		t.Fatalf("Endpoints = %v", got)
+	}
+	if got := r.Endpoints("missing"); got != nil {
+		t.Fatalf("missing service endpoints = %v", got)
+	}
+}
+
+func TestAddPeerAndValidate(t *testing.T) {
+	r := newRegistry(t, 3)
+	for _, s := range []string{"a1", "a2", "b1", "b2"} {
+		if err := r.Register(s, "ep"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.AddPeer(); err != nil {
+		t.Fatal(err)
+	}
+	if r.NumPeers() != 4 {
+		t.Fatalf("NumPeers = %d", r.NumPeers())
+	}
+	if r.NumNodes() == 0 {
+		t.Fatalf("NumNodes = 0")
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithAlphabet(t *testing.T) {
+	r := newRegistry(t, 2, WithAlphabet(keys.LowerAlnum))
+	if err := r.Register("ok_name", "e"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("Bad", "e"); err == nil {
+		t.Fatalf("uppercase outside LowerAlnum must fail")
+	}
+}
+
+func TestCloseRejectsOperations(t *testing.T) {
+	r, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r.Register("x1", "e")
+	r.Close()
+	r.Close() // idempotent
+	if err := r.Register("x2", "e"); err != ErrClosed {
+		t.Fatalf("Register after close = %v", err)
+	}
+	if _, _, err := r.Discover("x1"); err != ErrClosed {
+		t.Fatalf("Discover after close = %v", err)
+	}
+}
+
+func TestConcurrentAPI(t *testing.T) {
+	r := newRegistry(t, 6)
+	names := []string{"dgemm", "dgemv", "sgemm", "sgemv", "saxpy", "daxpy"}
+	for _, n := range names {
+		if err := r.Register(n, "seed"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				n := names[(w+i)%len(names)]
+				if _, ok, err := r.Discover(n); err != nil || !ok {
+					t.Errorf("discover %q: %v %v", n, ok, err)
+					return
+				}
+				if i%10 == 0 {
+					_ = r.Complete("s", 0)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,66 @@
+package dlpt_test
+
+import (
+	"fmt"
+	"log"
+
+	"dlpt"
+)
+
+// ExampleRegistry shows the basic register/discover cycle.
+func ExampleRegistry() {
+	reg, err := dlpt.New(4, dlpt.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reg.Close()
+
+	_ = reg.Register("DGEMM", "cluster-a:9000")
+	_ = reg.Register("DGEMM", "cluster-b:9000")
+
+	svc, ok, _ := reg.Discover("DGEMM")
+	fmt.Println(ok, svc.Endpoints)
+	// Output: true [cluster-a:9000 cluster-b:9000]
+}
+
+// ExampleRegistry_Complete demonstrates automatic completion of
+// partial search strings.
+func ExampleRegistry_Complete() {
+	reg, _ := dlpt.New(4, dlpt.WithSeed(1))
+	defer reg.Close()
+	for _, s := range []string{"sgemm", "sgemv", "strsm", "dgemm"} {
+		_ = reg.Register(s, "ep")
+	}
+	fmt.Println(reg.Complete("sge", 0))
+	// Output: [sgemm sgemv]
+}
+
+// ExampleRegistry_Range demonstrates lexicographic range queries.
+func ExampleRegistry_Range() {
+	reg, _ := dlpt.New(4, dlpt.WithSeed(1))
+	defer reg.Close()
+	for _, s := range []string{"dgemm", "dgemv", "saxpy", "sgemm"} {
+		_ = reg.Register(s, "ep")
+	}
+	fmt.Println(reg.Range("d", "e", 0))
+	// Output: [dgemm dgemv]
+}
+
+// ExampleDirectory shows conjunctive multi-attribute discovery.
+func ExampleDirectory() {
+	dir, _ := dlpt.NewDirectory(4, dlpt.WithSeed(1))
+	_ = dir.RegisterResource(dlpt.Resource{
+		ID:         "lyon-01",
+		Attributes: map[string]string{"cpu": "x86_64", "mem": "256"},
+	})
+	_ = dir.RegisterResource(dlpt.Resource{
+		ID:         "nice-01",
+		Attributes: map[string]string{"cpu": "sparc", "mem": "064"},
+	})
+	ids, _, _ := dir.Find(
+		dlpt.Where{Attr: "cpu", Equals: "x86_64"},
+		dlpt.Where{Attr: "mem", Min: "128", Max: "512"},
+	)
+	fmt.Println(ids)
+	// Output: [lyon-01]
+}

@@ -1,0 +1,58 @@
+// Gridservices: the workload the paper's introduction motivates — a
+// grid middleware publishing the BLAS / LAPACK / ScaLAPACK / S3L
+// routine catalogues and resolving flexible queries: exact discovery,
+// completion of partial names, and range queries across libraries.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dlpt"
+	"dlpt/internal/keys"
+	"dlpt/internal/workload"
+)
+
+func main() {
+	reg, err := dlpt.New(24, dlpt.WithSeed(7), dlpt.WithAlphabet(keys.LowerAlnum))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reg.Close()
+
+	// Publish the full grid catalogue (the paper's ~1000-key trees).
+	catalogue := workload.GridCorpus(1000)
+	for i, name := range catalogue {
+		endpoint := fmt.Sprintf("site-%02d.grid5000.example:%d", i%16, 7000+i%16)
+		if err := reg.Register(string(name), endpoint); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("published %d services on %d peers (%d tree nodes)\n",
+		len(catalogue), reg.NumPeers(), reg.NumNodes())
+
+	// A user knows the routine name exactly.
+	svc, ok, err := reg.Discover("pdgesv")
+	if err != nil || !ok {
+		log.Fatalf("pdgesv: ok=%v err=%v", ok, err)
+	}
+	fmt.Printf("pdgesv served by %s (%d hops)\n", svc.Endpoints[0], svc.LogicalHops)
+
+	// A user remembers only the beginning of the name: automatic
+	// completion of partial search strings.
+	fmt.Printf("completions of \"s3l_lu\": %v\n", reg.Complete("s3l_lu", 0))
+	fmt.Printf("completions of \"dge\":    %v\n", reg.Complete("dge", 6))
+
+	// Range query: every double-precision ScaLAPACK solver between
+	// pdgesv and pdpotrs.
+	fmt.Printf("range [pdgesv, pdpotrs]: %v\n", reg.Range("pdgesv", "pdpotrs", 0))
+
+	// Multi-attribute-style search by structured prefixes: the trie
+	// makes "all S3L FFT variants" a prefix query.
+	fmt.Printf("S3L FFT family: %v\n", reg.Complete("s3l_fft", 0))
+
+	if err := reg.Validate(); err != nil {
+		log.Fatalf("overlay invariants: %v", err)
+	}
+	fmt.Println("overlay invariants: OK")
+}

@@ -1,0 +1,60 @@
+// Quickstart: start a DLPT overlay, register services, discover them,
+// and use prefix completion — the minimal tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dlpt"
+)
+
+func main() {
+	// Start a 8-peer overlay. Peers are simulated in-process, one
+	// goroutine each, speaking the paper's self-contained protocol.
+	reg, err := dlpt.New(8, dlpt.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reg.Close()
+
+	// Declare some computational services, as a grid middleware
+	// would: the key is the routine name, the value its provider.
+	services := map[string][]string{
+		"DGEMM": {"cluster-a:9000", "cluster-b:9000"},
+		"DGEMV": {"cluster-a:9000"},
+		"DTRSM": {"cluster-c:9000"},
+		"SGEMM": {"cluster-b:9000"},
+	}
+	for name, endpoints := range services {
+		for _, ep := range endpoints {
+			if err := reg.Register(name, ep); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Exact discovery routes a request through the prefix tree.
+	svc, ok, err := reg.Discover("DGEMM")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ok {
+		log.Fatal("DGEMM not found")
+	}
+	fmt.Printf("DGEMM providers: %v (%d tree hops, %d peer-to-peer)\n",
+		svc.Endpoints, svc.LogicalHops, svc.PhysicalHops)
+
+	// Automatic completion of partial search strings.
+	fmt.Printf("services starting with DGE: %v\n", reg.Complete("DGE", 0))
+
+	// Lexicographic range query.
+	fmt.Printf("services in [DGEMM, DTRSM]: %v\n", reg.Range("DGEMM", "DTRSM", 0))
+
+	// The overlay grows with the platform.
+	if err := reg.AddPeer(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("overlay: %d peers, %d tree nodes, invariants: %v\n",
+		reg.NumPeers(), reg.NumNodes(), reg.Validate() == nil)
+}

@@ -1,0 +1,262 @@
+// Package attrs extends the DLPT with multi-attribute service
+// queries, the extension the paper names explicitly ("these
+// architectures ... are easy to extend to multi-attribute queries",
+// Section 1) and that the related work it cites (MAAN, SWORD)
+// provides over DHTs.
+//
+// The encoding is the standard one for trie overlays: each attribute
+// pair (attr, value) of a service is declared in the PGCP tree under
+// the key "attr=value", with the service identifier as data. Exact
+// predicates route as discoveries, per-attribute range and prefix
+// predicates route as subtree queries on the "attr=" region of the
+// tree, and conjunctive multi-attribute queries intersect the
+// per-predicate identifier sets at the querying client — every
+// predicate resolves in parallel branches of the same tree.
+package attrs
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"dlpt/internal/core"
+	"dlpt/internal/keys"
+)
+
+// Sep separates attribute names from values in tree keys.
+const Sep = "="
+
+// Service is a described service to register.
+type Service struct {
+	// ID uniquely identifies the service (e.g. an endpoint).
+	ID string
+	// Attributes maps attribute names to values ("cpu" -> "x86_64").
+	Attributes map[string]string
+}
+
+// Predicate is one conjunct of a multi-attribute query.
+type Predicate struct {
+	// Attr is the attribute name.
+	Attr string
+	// Exact, when set, requires Attr == Exact.
+	Exact string
+	// Prefix, when set, requires the value to extend Prefix.
+	Prefix string
+	// Lo/Hi, when set (non-empty Hi), require Lo <= value <= Hi.
+	Lo, Hi string
+}
+
+// Cost aggregates the routing cost of a query.
+type Cost struct {
+	LogicalHops  int
+	PhysicalHops int
+}
+
+// Directory is a multi-attribute view over a DLPT overlay.
+type Directory struct {
+	net *core.Network
+	rng *rand.Rand
+	// services mirrors registrations for validation and unregistering.
+	services map[string]map[string]string
+}
+
+// NewDirectory wraps an existing overlay. The alphabet must contain
+// the separator and the attribute/value characters used.
+func NewDirectory(net *core.Network, rng *rand.Rand) *Directory {
+	return &Directory{net: net, rng: rng, services: make(map[string]map[string]string)}
+}
+
+func attrKey(attr, value string) keys.Key {
+	return keys.Key(attr + Sep + value)
+}
+
+func validName(s string) bool {
+	return s != "" && !strings.Contains(s, Sep)
+}
+
+// Register declares every attribute pair of the service in the tree.
+func (d *Directory) Register(svc Service) error {
+	if svc.ID == "" {
+		return fmt.Errorf("attrs: empty service id")
+	}
+	if len(svc.Attributes) == 0 {
+		return fmt.Errorf("attrs: service %q has no attributes", svc.ID)
+	}
+	if _, dup := d.services[svc.ID]; dup {
+		return fmt.Errorf("attrs: service %q already registered", svc.ID)
+	}
+	// Deterministic insertion order.
+	names := make([]string, 0, len(svc.Attributes))
+	for a := range svc.Attributes {
+		if !validName(a) {
+			return fmt.Errorf("attrs: invalid attribute name %q", a)
+		}
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	for _, a := range names {
+		k := attrKey(a, svc.Attributes[a])
+		if !d.net.Alphabet.Valid(k) {
+			return fmt.Errorf("attrs: key %q outside overlay alphabet", k)
+		}
+	}
+	for _, a := range names {
+		if err := d.net.InsertData(attrKey(a, svc.Attributes[a]), svc.ID, d.rng); err != nil {
+			return err
+		}
+	}
+	attrs := make(map[string]string, len(svc.Attributes))
+	for a, v := range svc.Attributes {
+		attrs[a] = v
+	}
+	d.services[svc.ID] = attrs
+	return nil
+}
+
+// Unregister withdraws the service from every attribute key it was
+// declared under. It reports whether the service was registered.
+func (d *Directory) Unregister(id string) bool {
+	attrs, ok := d.services[id]
+	if !ok {
+		return false
+	}
+	for a, v := range attrs {
+		d.net.RemoveData(attrKey(a, v), id)
+	}
+	delete(d.services, id)
+	return true
+}
+
+// NumServices returns the number of registered services.
+func (d *Directory) NumServices() int { return len(d.services) }
+
+// evalPredicate returns the service-id set matching one predicate.
+func (d *Directory) evalPredicate(p Predicate, cost *Cost) (map[string]bool, error) {
+	if !validName(p.Attr) {
+		return nil, fmt.Errorf("attrs: invalid attribute %q", p.Attr)
+	}
+	ids := make(map[string]bool)
+	switch {
+	case p.Exact != "":
+		res := d.net.DiscoverRandom(attrKey(p.Attr, p.Exact), false, d.rng)
+		cost.LogicalHops += res.LogicalHops
+		cost.PhysicalHops += res.PhysicalHops
+		if res.Satisfied {
+			vals, ok := d.net.Lookup(attrKey(p.Attr, p.Exact), d.rng)
+			if ok {
+				for _, v := range vals {
+					ids[v] = true
+				}
+			}
+		}
+	case p.Prefix != "":
+		q := d.net.Complete(attrKey(p.Attr, p.Prefix), d.rng)
+		cost.LogicalHops += q.LogicalHops
+		cost.PhysicalHops += q.PhysicalHops
+		d.collect(q.Keys, ids)
+	case p.Hi != "":
+		if p.Hi < p.Lo {
+			return ids, nil
+		}
+		q := d.net.RangeQuery(attrKey(p.Attr, p.Lo), attrKey(p.Attr, p.Hi), d.rng)
+		cost.LogicalHops += q.LogicalHops
+		cost.PhysicalHops += q.PhysicalHops
+		d.collect(q.Keys, ids)
+	default:
+		// Attribute presence: every value under "attr=".
+		q := d.net.Complete(keys.Key(p.Attr+Sep), d.rng)
+		cost.LogicalHops += q.LogicalHops
+		cost.PhysicalHops += q.PhysicalHops
+		d.collect(q.Keys, ids)
+	}
+	return ids, nil
+}
+
+// collect fetches the service ids stored under each key.
+func (d *Directory) collect(ks []keys.Key, into map[string]bool) {
+	for _, k := range ks {
+		vals, ok := d.net.Lookup(k, d.rng)
+		if !ok {
+			continue
+		}
+		for _, v := range vals {
+			into[v] = true
+		}
+	}
+}
+
+// Query resolves the conjunction of the given predicates and returns
+// the matching service ids in order, with the aggregate routing cost.
+func (d *Directory) Query(preds ...Predicate) ([]string, Cost, error) {
+	var cost Cost
+	if len(preds) == 0 {
+		return nil, cost, fmt.Errorf("attrs: empty query")
+	}
+	var acc map[string]bool
+	for _, p := range preds {
+		ids, err := d.evalPredicate(p, &cost)
+		if err != nil {
+			return nil, cost, err
+		}
+		if acc == nil {
+			acc = ids
+			continue
+		}
+		for id := range acc {
+			if !ids[id] {
+				delete(acc, id)
+			}
+		}
+		if len(acc) == 0 {
+			break
+		}
+	}
+	out := make([]string, 0, len(acc))
+	for id := range acc {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out, cost, nil
+}
+
+// Describe returns the registered attributes of a service.
+func (d *Directory) Describe(id string) (map[string]string, bool) {
+	attrs, ok := d.services[id]
+	if !ok {
+		return nil, false
+	}
+	out := make(map[string]string, len(attrs))
+	for a, v := range attrs {
+		out[a] = v
+	}
+	return out, true
+}
+
+// Validate cross-checks the directory against the overlay: every
+// registered attribute pair must be discoverable and carry the
+// service id.
+func (d *Directory) Validate() error {
+	if err := d.net.Validate(); err != nil {
+		return err
+	}
+	for id, attrs := range d.services {
+		for a, v := range attrs {
+			vals, ok := d.net.Lookup(attrKey(a, v), d.rng)
+			if !ok {
+				return fmt.Errorf("attrs: key %q of service %q missing", attrKey(a, v), id)
+			}
+			found := false
+			for _, got := range vals {
+				if got == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("attrs: service %q missing under %q", id, attrKey(a, v))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+package attrs
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dlpt/internal/core"
+	"dlpt/internal/keys"
+)
+
+func newDirectory(t *testing.T, peers int, seed int64) *Directory {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	net := core.NewNetwork(keys.PrintableASCII, core.PlacementLexicographic)
+	for i := 0; i < peers; i++ {
+		if err := net.JoinPeer(keys.LowerAlnum.RandomKey(r, 12, 12), 1<<30, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewDirectory(net, r)
+}
+
+func sampleServices() []Service {
+	return []Service{
+		{ID: "node-a", Attributes: map[string]string{"cpu": "x86_64", "mem": "032", "os": "linux"}},
+		{ID: "node-b", Attributes: map[string]string{"cpu": "x86_64", "mem": "064", "os": "linux"}},
+		{ID: "node-c", Attributes: map[string]string{"cpu": "arm64", "mem": "016", "os": "linux"}},
+		{ID: "node-d", Attributes: map[string]string{"cpu": "x86_64", "mem": "128", "os": "solaris"}},
+		{ID: "node-e", Attributes: map[string]string{"cpu": "sparc", "mem": "064", "os": "solaris"}},
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	d := newDirectory(t, 4, 1)
+	if err := d.Register(Service{ID: "", Attributes: map[string]string{"a": "b"}}); err == nil {
+		t.Fatalf("empty id must fail")
+	}
+	if err := d.Register(Service{ID: "x", Attributes: nil}); err == nil {
+		t.Fatalf("no attributes must fail")
+	}
+	if err := d.Register(Service{ID: "x", Attributes: map[string]string{"a=b": "c"}}); err == nil {
+		t.Fatalf("separator in attribute name must fail")
+	}
+	if err := d.Register(Service{ID: "x", Attributes: map[string]string{"a": "ok"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register(Service{ID: "x", Attributes: map[string]string{"a": "ok"}}); err == nil {
+		t.Fatalf("duplicate id must fail")
+	}
+	if err := d.Register(Service{ID: "y", Attributes: map[string]string{"a": "bad\tval"}}); err == nil {
+		t.Fatalf("value outside alphabet must fail")
+	}
+}
+
+func TestExactQuery(t *testing.T) {
+	d := newDirectory(t, 6, 2)
+	for _, s := range sampleServices() {
+		if err := d.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ids, cost, err := d.Query(Predicate{Attr: "cpu", Exact: "x86_64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []string{"node-a", "node-b", "node-d"}) {
+		t.Fatalf("ids = %v", ids)
+	}
+	if cost.LogicalHops == 0 {
+		t.Fatalf("query must cost hops")
+	}
+	ids, _, _ = d.Query(Predicate{Attr: "cpu", Exact: "riscv"})
+	if len(ids) != 0 {
+		t.Fatalf("absent value ids = %v", ids)
+	}
+}
+
+func TestConjunctiveQuery(t *testing.T) {
+	d := newDirectory(t, 6, 3)
+	for _, s := range sampleServices() {
+		if err := d.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, _, err := d.Query(
+		Predicate{Attr: "cpu", Exact: "x86_64"},
+		Predicate{Attr: "os", Exact: "linux"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []string{"node-a", "node-b"}) {
+		t.Fatalf("conjunction = %v", ids)
+	}
+	// Adding a range predicate narrows further: mem in [048, 999].
+	ids, _, err = d.Query(
+		Predicate{Attr: "cpu", Exact: "x86_64"},
+		Predicate{Attr: "os", Exact: "linux"},
+		Predicate{Attr: "mem", Lo: "048", Hi: "999"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []string{"node-b"}) {
+		t.Fatalf("3-way conjunction = %v", ids)
+	}
+}
+
+func TestRangeAndPrefixPredicates(t *testing.T) {
+	d := newDirectory(t, 6, 4)
+	for _, s := range sampleServices() {
+		if err := d.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// mem in [032, 064]: node-a (032), node-b (064), node-e (064).
+	ids, _, err := d.Query(Predicate{Attr: "mem", Lo: "032", Hi: "064"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []string{"node-a", "node-b", "node-e"}) {
+		t.Fatalf("range = %v", ids)
+	}
+	// Inverted range is empty.
+	ids, _, _ = d.Query(Predicate{Attr: "mem", Lo: "900", Hi: "100"})
+	if len(ids) != 0 {
+		t.Fatalf("inverted range = %v", ids)
+	}
+	// cpu prefix "x" -> x86_64 machines.
+	ids, _, err = d.Query(Predicate{Attr: "cpu", Prefix: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []string{"node-a", "node-b", "node-d"}) {
+		t.Fatalf("prefix = %v", ids)
+	}
+	// Attribute presence.
+	ids, _, err = d.Query(Predicate{Attr: "os"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 5 {
+		t.Fatalf("presence = %v", ids)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	d := newDirectory(t, 3, 5)
+	if _, _, err := d.Query(); err == nil {
+		t.Fatalf("empty query must fail")
+	}
+	if _, _, err := d.Query(Predicate{Attr: "bad=name", Exact: "x"}); err == nil {
+		t.Fatalf("invalid attribute must fail")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	d := newDirectory(t, 5, 6)
+	for _, s := range sampleServices() {
+		if err := d.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !d.Unregister("node-b") {
+		t.Fatalf("unregister failed")
+	}
+	if d.Unregister("node-b") {
+		t.Fatalf("double unregister must fail")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ids, _, _ := d.Query(Predicate{Attr: "cpu", Exact: "x86_64"})
+	if !reflect.DeepEqual(ids, []string{"node-a", "node-d"}) {
+		t.Fatalf("after unregister = %v", ids)
+	}
+	if d.NumServices() != 4 {
+		t.Fatalf("NumServices = %d", d.NumServices())
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	d := newDirectory(t, 3, 7)
+	_ = d.Register(Service{ID: "s1", Attributes: map[string]string{"a": "1"}})
+	attrs, ok := d.Describe("s1")
+	if !ok || attrs["a"] != "1" {
+		t.Fatalf("Describe = %v %v", attrs, ok)
+	}
+	attrs["a"] = "mutated"
+	if a, _ := d.Describe("s1"); a["a"] != "1" {
+		t.Fatalf("Describe must return a copy")
+	}
+	if _, ok := d.Describe("nope"); ok {
+		t.Fatalf("absent service described")
+	}
+}
+
+// TestPropConjunctionMatchesBruteForce registers random services and
+// checks conjunctive queries against a brute-force filter.
+func TestPropConjunctionMatchesBruteForce(t *testing.T) {
+	d := newDirectory(t, 8, 8)
+	r := rand.New(rand.NewSource(9))
+	cpus := []string{"x86_64", "arm64", "sparc", "power9"}
+	oss := []string{"linux", "solaris", "aix"}
+	var all []Service
+	for i := 0; i < 60; i++ {
+		s := Service{
+			ID: fmt.Sprintf("svc-%03d", i),
+			Attributes: map[string]string{
+				"cpu": cpus[r.Intn(len(cpus))],
+				"os":  oss[r.Intn(len(oss))],
+				"mem": fmt.Sprintf("%03d", 8*(1+r.Intn(32))),
+			},
+		}
+		all = append(all, s)
+		if err := d.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 25; trial++ {
+		cpu := cpus[r.Intn(len(cpus))]
+		lo := fmt.Sprintf("%03d", 8*(1+r.Intn(16)))
+		hi := fmt.Sprintf("%03d", 8*(17+r.Intn(16)))
+		got, _, err := d.Query(
+			Predicate{Attr: "cpu", Exact: cpu},
+			Predicate{Attr: "mem", Lo: lo, Hi: hi},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []string
+		for _, s := range all {
+			if s.Attributes["cpu"] == cpu && s.Attributes["mem"] >= lo && s.Attributes["mem"] <= hi {
+				want = append(want, s.ID)
+			}
+		}
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		sortStrings(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

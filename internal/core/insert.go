@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dlpt/internal/keys"
+)
+
+// InsertData declares a service identified by key k with the given
+// value (Section 3.2). The DataInsertion request enters the tree on a
+// random node and Algorithm 3 routes it, creating at most two tree
+// nodes (the key's node and a PGCP parent). The first key of an empty
+// tree becomes the root directly.
+func (net *Network) InsertData(k keys.Key, value string, r *rand.Rand) error {
+	if net.NumPeers() == 0 {
+		return fmt.Errorf("core: insert %q into network without peers", k)
+	}
+	if !net.Alphabet.Valid(k) {
+		return fmt.Errorf("core: key %q not in alphabet", k)
+	}
+	if !net.hasRoot {
+		info := NodeInfo{Key: k, Data: []string{value}}
+		net.installNode(info, keys.Epsilon)
+		return nil
+	}
+	entry, _ := net.RandomNodeKey(r)
+	host, _ := net.HostOf(entry)
+	net.sendToNode(host, entry, message{typ: msgDataInsertion, key: k, value: value})
+	return net.drain()
+}
+
+// InsertKey inserts k with itself as value (the paper's convention).
+func (net *Network) InsertKey(k keys.Key, r *rand.Rand) error {
+	return net.InsertData(k, string(k), r)
+}
+
+// handleDataInsertion is Algorithm 3, run on node p.
+func (net *Network) handleDataInsertion(peer *Peer, p *Node, m message) error {
+	k := m.key
+	switch {
+	case p.Key == k:
+		// Line 3.03: the proper node.
+		p.Data[m.value] = struct{}{}
+		return nil
+
+	case keys.IsProperPrefix(p.Key, k):
+		// Lines 3.04-3.09: the sought node is in p's subtree.
+		if q, ok := p.BestChildFor(k); ok {
+			net.sendToNode(peer.ID, q, m)
+			return nil
+		}
+		// Create k as a new child of p; the host search starts at p
+		// itself (line 3.08).
+		info := NodeInfo{Key: k, Father: p.Key, HasFather: true, Data: []string{m.value}}
+		p.Children[k] = struct{}{}
+		return net.routeSearchingHost(peer.ID, p.Key, info)
+
+	case keys.IsProperPrefix(k, p.Key):
+		// Lines 3.10-3.20: the sought node is upward.
+		if !p.HasFather {
+			// k becomes the new root, adopting p (lines 3.11-3.13).
+			info := NodeInfo{Key: k, Children: []keys.Key{p.Key}, Data: []string{m.value}}
+			p.Father, p.HasFather = k, true
+			return net.routeSearchingHost(peer.ID, p.Key, info)
+		}
+		if keys.IsPrefix(k, p.Father) {
+			// k is also a prefix of f_p: forward upward (line 3.16).
+			net.sendToNode(peer.ID, p.Father, m)
+			return nil
+		}
+		// k sits strictly between f_p and p (lines 3.18-3.20).
+		info := NodeInfo{Key: k, Father: p.Father, HasFather: true,
+			Children: []keys.Key{p.Key}, Data: []string{m.value}}
+		father := p.Father
+		p.Father, p.HasFather = k, true
+		if err := net.routeSearchingHost(peer.ID, father, info); err != nil {
+			return err
+		}
+		return net.applyUpdateChild(peer.ID, father, p.Key, k)
+
+	default:
+		// Lines 3.21-3.31: k and p diverge.
+		if p.HasFather && len(keys.GCP(k, p.Key)) == len(keys.GCP(k, p.Father)) {
+			// The father shares the same prefix with k: forward up
+			// (lines 3.22-3.23).
+			net.sendToNode(peer.ID, p.Father, m)
+			return nil
+		}
+		// p and k become siblings under a created PGCP parent
+		// g = GCP(p,k) (lines 3.24-3.31). The paper's line 3.30 sends
+		// the k node with father p; structurally the father is g, so
+		// we use g (documented deviation).
+		g := keys.GCP(p.Key, k)
+		ginfo := NodeInfo{Key: g, Father: p.Father, HasFather: p.HasFather,
+			Children: []keys.Key{p.Key, k}}
+		kinfo := NodeInfo{Key: k, Father: g, HasFather: true, Data: []string{m.value}}
+		father, hadFather := p.Father, p.HasFather
+		p.Father, p.HasFather = g, true
+		start := p.Key
+		if hadFather {
+			start = father
+		}
+		if err := net.routeSearchingHost(peer.ID, start, ginfo); err != nil {
+			return err
+		}
+		if hadFather {
+			if err := net.applyUpdateChild(peer.ID, father, p.Key, g); err != nil {
+				return err
+			}
+		}
+		return net.routeSearchingHost(peer.ID, start, kinfo)
+	}
+}
+
+// installNode places a freshly created tree node on its owner peer.
+// from is the peer at which the host search bottomed out (ε means
+// "unknown, route from scratch"). Under the lexicographic placement
+// the walk follows successor links; under the hashed placement the
+// owner is one DHT lookup away (modelled as ceil(log2 N) messages).
+func (net *Network) installNode(info NodeInfo, from keys.Key) {
+	var owner *Peer
+	switch net.Placement {
+	case PlacementHashed:
+		id, _ := net.HostOf(info.Key)
+		owner = net.peers[id]
+		cost := int(math.Ceil(math.Log2(float64(net.NumPeers() + 1))))
+		net.Counters.MaintenanceMsgs += cost
+		net.Counters.MaintenancePhysical += cost
+	default:
+		cur, ok := net.peers[from]
+		if !ok {
+			id, _ := net.HostOf(info.Key)
+			cur = net.peers[id]
+		}
+		for !keys.BetweenRightIncl(info.Key, cur.Pred, cur.ID) {
+			next := net.peers[cur.Succ]
+			net.Counters.MaintenanceMsgs++
+			net.Counters.MaintenancePhysical++
+			cur = next
+		}
+		owner = cur
+	}
+	// The Host message itself.
+	net.Counters.MaintenanceMsgs++
+	if owner.ID != from {
+		net.Counters.MaintenancePhysical++
+	}
+	owner.absorb(info)
+	net.indexNode(info.Key)
+	if !info.HasFather {
+		net.root = info.Key
+		net.hasRoot = true
+	}
+}
+
+// RemoveData unregisters value from key k. This operation is not part
+// of the paper's protocol (services only appear in the evaluation);
+// it is provided for the public API and implemented as a direct state
+// update on the owner peer followed by structural compaction mirrored
+// from the reference trie semantics: a dataless leaf is deleted and a
+// dataless single-child interior node is spliced out.
+func (net *Network) RemoveData(k keys.Key, value string) bool {
+	n, p, ok := net.nodeState(k)
+	if !ok {
+		return false
+	}
+	if _, ok := n.Data[value]; !ok {
+		return false
+	}
+	delete(n.Data, value)
+	net.Counters.MaintenanceMsgs++
+	net.compactNode(n, p)
+	return true
+}
+
+// compactNode prunes structurally redundant dataless nodes upward.
+func (net *Network) compactNode(n *Node, p *Peer) {
+	for n != nil && !n.HasData() {
+		switch len(n.Children) {
+		case 0:
+			p.release(n.Key)
+			net.unindexNode(n.Key)
+			if !n.HasFather {
+				net.hasRoot = false
+				net.root = keys.Epsilon
+				return
+			}
+			fn, fp, ok := net.nodeState(n.Father)
+			if !ok {
+				return
+			}
+			delete(fn.Children, n.Key)
+			net.Counters.MaintenanceMsgs++
+			n, p = fn, fp
+		case 1:
+			if !n.HasFather {
+				// Root with a single child: the child becomes root.
+				var only keys.Key
+				for c := range n.Children {
+					only = c
+				}
+				cn, _, _ := net.nodeState(only)
+				cn.HasFather = false
+				cn.Father = keys.Epsilon
+				net.root = only
+				p.release(n.Key)
+				net.unindexNode(n.Key)
+				net.Counters.MaintenanceMsgs++
+				return
+			}
+			var only keys.Key
+			for c := range n.Children {
+				only = c
+			}
+			cn, _, _ := net.nodeState(only)
+			fn, _, _ := net.nodeState(n.Father)
+			cn.Father = n.Father
+			delete(fn.Children, n.Key)
+			fn.Children[only] = struct{}{}
+			p.release(n.Key)
+			net.unindexNode(n.Key)
+			net.Counters.MaintenanceMsgs += 2
+			return
+		default:
+			return
+		}
+	}
+}

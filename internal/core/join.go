@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dlpt/internal/keys"
+)
+
+// JoinPeer inserts a new peer with the given identifier and capacity.
+// Under the lexicographic placement the join request enters the tree
+// on a random node and is routed by Algorithms 1 and 2; under the
+// hashed placement the peer takes a position on the hashed ring as in
+// the original DHT-backed DLPT. The supplied generator selects the
+// entry node only.
+func (net *Network) JoinPeer(id keys.Key, capacity int, r *rand.Rand) error {
+	if capacity <= 0 {
+		return fmt.Errorf("core: peer %q with non-positive capacity %d", id, capacity)
+	}
+	if !net.Alphabet.Valid(id) {
+		return fmt.Errorf("core: peer id %q not in alphabet", id)
+	}
+	if _, exists := net.peers[id]; exists {
+		return fmt.Errorf("core: peer %q already present", id)
+	}
+	if net.NumPeers() == 0 {
+		p := NewPeer(id, capacity)
+		net.peers[id] = p
+		net.ring.Insert(id)
+		if net.Placement == PlacementHashed {
+			net.hashInsertPeer(id)
+		}
+		return nil
+	}
+	if net.Placement == PlacementHashed {
+		return net.joinHashed(id, capacity)
+	}
+	entry, ok := net.RandomNodeKey(r)
+	if !ok {
+		// No tree yet: hand the request straight to the peer layer,
+		// entering the ring at an arbitrary peer.
+		start, _ := net.RandomPeerID(r)
+		net.sendToPeer(start, start, message{
+			typ:          msgNewPredecessor,
+			joinID:       id,
+			joinCapacity: capacity,
+		})
+		return net.drain()
+	}
+	host, _ := net.HostOf(entry)
+	net.sendToNode(host, entry, message{
+		typ:          msgPeerJoin,
+		joinID:       id,
+		joinState:    0,
+		joinCapacity: capacity,
+	})
+	return net.drain()
+}
+
+// handlePeerJoin is Algorithm 1, run on node p. State 0 climbs until
+// the current node's label prefixes the joining id (or the root);
+// state 1 descends towards the highest node not above the joining id,
+// then delegates to the peer layer.
+func (net *Network) handlePeerJoin(p *Peer, n *Node, m message) error {
+	P := m.joinID
+	if m.joinState == 0 {
+		if !keys.IsPrefix(n.Key, P) {
+			if n.HasFather {
+				m2 := m
+				net.sendToNode(p.ID, n.Father, m2)
+				return nil
+			}
+			// Root reached: switch to the downward phase here.
+		}
+		m.joinState = 1
+	}
+	if q, ok := n.MaxChildAtMost(P, true); ok {
+		m2 := m
+		net.sendToNode(p.ID, q, m2)
+		return nil
+	}
+	// n is the highest node <= P known here; delegate to the peer
+	// layer on n's host ("send to host", line 1.16).
+	net.sendToPeer(p.ID, p.ID, message{
+		typ:          msgNewPredecessor,
+		joinID:       P,
+		joinCapacity: m.joinCapacity,
+	})
+	return nil
+}
+
+// handleNewPredecessor is Algorithm 2, run on peer Q, extended with
+// the wrap-around termination the paper leaves implicit: the request
+// walks successors until P falls within (pred(Q), Q], then P is
+// installed as Q's new predecessor and takes over the tree nodes now
+// in its range. YourInformation and UpdateSuccessor are applied
+// inline and accounted as messages.
+func (net *Network) handleNewPredecessor(q *Peer, m message) error {
+	P := m.joinID
+	if P == q.ID {
+		return fmt.Errorf("core: joining peer id %q collides with existing peer", P)
+	}
+	if !keys.BetweenRightIncl(P, q.Pred, q.ID) {
+		net.sendToPeer(q.ID, q.Succ, m)
+		return nil
+	}
+	newp := NewPeer(P, m.joinCapacity)
+	newp.Pred = q.Pred
+	newp.Succ = q.ID
+
+	// Dispatch ν_Q between P and Q by identifier (lines 2.06-2.07,
+	// circular form): nodes in (pred(Q), P] move to P.
+	moved := 0
+	for k := range q.Nodes {
+		if keys.BetweenRightIncl(k, q.Pred, P) {
+			n, _ := q.release(k)
+			newp.Nodes[k] = n
+			moved++
+		}
+	}
+	net.Counters.NodesTransferred += moved
+	// YourInformation to P (1 message carrying pred/succ/nodes).
+	net.Counters.MaintenanceMsgs++
+	net.Counters.MaintenancePhysical++
+	// UpdateSuccessor to pred(Q).
+	net.Counters.MaintenanceMsgs++
+	if q.Pred != q.ID {
+		net.Counters.MaintenancePhysical++
+	}
+	if pred, ok := net.peers[q.Pred]; ok {
+		pred.Succ = P
+	}
+	q.Pred = P
+	net.peers[P] = newp
+	net.ring.Insert(P)
+	return nil
+}
+
+// joinHashed places a peer on the hashed ring (the DHT-style mapping
+// of the original DLPT). The DHT traffic is modelled with the
+// standard Chord bounds: ceil(log2 N) routing messages for the join
+// lookup plus ceil(log2 N)^2 messages to repair the finger tables
+// that reference the new region (Stoica et al., Section 4); node
+// states whose hash now maps to the new peer move over.
+func (net *Network) joinHashed(id keys.Key, capacity int) error {
+	logN := int(math.Ceil(math.Log2(float64(net.NumPeers() + 1))))
+	lookupCost := logN + logN*logN
+	net.Counters.MaintenanceMsgs += lookupCost
+	net.Counters.MaintenancePhysical += lookupCost
+
+	// The peer that currently owns the new peer's hash position will
+	// cede part of its range.
+	ownerID, _ := net.hashHostOf(hash64(id))
+	owner := net.peers[ownerID]
+	net.hashInsertPeer(id)
+	newp := NewPeer(id, capacity)
+	net.peers[id] = newp
+	net.ring.Insert(id)
+	net.relink(id)
+
+	moved := 0
+	for k := range owner.Nodes {
+		if h, _ := net.HostOf(k); h == id {
+			n, _ := owner.release(k)
+			newp.Nodes[k] = n
+			moved++
+		}
+	}
+	net.Counters.NodesTransferred += moved
+	net.Counters.MaintenanceMsgs += moved
+	net.Counters.MaintenancePhysical += moved
+	return nil
+}
+
+// relink repairs the pred/succ links of id and its ring neighbours
+// from the ring bookkeeping (used by the hashed join/leave paths,
+// where the lexicographic links are bookkeeping only).
+func (net *Network) relink(id keys.Key) {
+	p := net.peers[id]
+	succ, _ := net.ring.Successor(id)
+	pred, _ := net.ring.Predecessor(id)
+	p.Succ = succ
+	p.Pred = pred
+	net.peers[succ].Pred = id
+	net.peers[pred].Succ = id
+}
+
+// LeavePeer removes a peer gracefully: its tree nodes transfer to the
+// peers that become responsible for them, and ring links are mended.
+// Removing the last peer while tree nodes remain is an error.
+func (net *Network) LeavePeer(id keys.Key) error {
+	p, ok := net.peers[id]
+	if !ok {
+		return fmt.Errorf("core: leave of unknown peer %q", id)
+	}
+	if net.NumPeers() == 1 && len(p.Nodes) > 0 {
+		return fmt.Errorf("core: last peer %q cannot leave while hosting %d nodes",
+			id, len(p.Nodes))
+	}
+	if net.NumPeers() == 1 {
+		delete(net.peers, id)
+		net.ring.Remove(id)
+		if net.Placement == PlacementHashed {
+			net.hashRemovePeer(id)
+		}
+		return nil
+	}
+	// Mend the ring first so HostOf resolves without the leaver.
+	pred := net.peers[p.Pred]
+	succ := net.peers[p.Succ]
+	pred.Succ = p.Succ
+	succ.Pred = p.Pred
+	net.Counters.MaintenanceMsgs += 2 // link-repair notifications
+	net.Counters.MaintenancePhysical += 2
+	if net.Placement == PlacementHashed {
+		// Finger tables referencing the leaver must be repaired
+		// (Chord bound, as in joinHashed).
+		logN := int(math.Ceil(math.Log2(float64(net.NumPeers()))))
+		net.Counters.MaintenanceMsgs += logN * logN
+		net.Counters.MaintenancePhysical += logN * logN
+	}
+	delete(net.peers, id)
+	net.ring.Remove(id)
+	if net.Placement == PlacementHashed {
+		net.hashRemovePeer(id)
+	}
+	moved := 0
+	for k, n := range p.Nodes {
+		host, _ := net.HostOf(k)
+		net.peers[host].Nodes[k] = n
+		moved++
+	}
+	net.Counters.NodesTransferred += moved
+	net.Counters.MaintenanceMsgs += moved
+	net.Counters.MaintenancePhysical += moved
+	return nil
+}

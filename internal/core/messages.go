@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"dlpt/internal/keys"
+)
+
+// msgType enumerates the queued protocol messages of Section 3.
+// SearchingHost, Host and UpdateChild execute synchronously (see
+// routeSearchingHost / applyUpdateChild): a queued SearchingHost
+// could otherwise be overtaken by a message addressed to the node it
+// is still placing, which a real implementation avoids by delaying
+// delivery until the node exists. They are accounted as messages all
+// the same. YourInformation and UpdateSuccessor of Algorithm 2 are
+// applied inline by the NewPredecessor handler.
+type msgType int
+
+const (
+	msgPeerJoin       msgType = iota // <PeerJoin, P, s> — node-addressed
+	msgNewPredecessor                // <NewPredecessor, P> — peer-addressed
+	msgDataInsertion                 // <DataInsertion, k> — node-addressed
+)
+
+func (t msgType) String() string {
+	switch t {
+	case msgPeerJoin:
+		return "PeerJoin"
+	case msgNewPredecessor:
+		return "NewPredecessor"
+	case msgDataInsertion:
+		return "DataInsertion"
+	}
+	return fmt.Sprintf("msgType(%d)", int(t))
+}
+
+// message is one in-flight protocol message.
+type message struct {
+	typ           msgType
+	toNode        keys.Key // recipient tree node (nodeAddressed)
+	toPeer        keys.Key // recipient peer (!nodeAddressed)
+	nodeAddressed bool
+	fromPeer      keys.Key // sending peer, for physical-hop accounting
+
+	// PeerJoin / NewPredecessor payload.
+	joinID       keys.Key
+	joinState    int
+	joinCapacity int
+
+	// DataInsertion payload.
+	key   keys.Key
+	value string
+}
+
+// sendToNode enqueues a node-addressed message.
+func (net *Network) sendToNode(from keys.Key, to keys.Key, m message) {
+	m.fromPeer = from
+	m.toNode = to
+	m.nodeAddressed = true
+	net.queue = append(net.queue, m)
+}
+
+// sendToPeer enqueues a peer-addressed message.
+func (net *Network) sendToPeer(from keys.Key, to keys.Key, m message) {
+	m.fromPeer = from
+	m.toPeer = to
+	m.nodeAddressed = false
+	net.queue = append(net.queue, m)
+}
+
+// drain processes queued messages to quiescence. Every delivery is a
+// maintenance message; a delivery whose sending peer differs from the
+// receiving peer is additionally a physical communication.
+func (net *Network) drain() error {
+	for len(net.queue) > 0 {
+		m := net.queue[0]
+		net.queue = net.queue[1:]
+		if err := net.deliver(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (net *Network) deliver(m message) error {
+	var host keys.Key
+	if m.nodeAddressed {
+		h, ok := net.HostOf(m.toNode)
+		if !ok {
+			return fmt.Errorf("core: %v to node %q with no peers", m.typ, m.toNode)
+		}
+		host = h
+	} else {
+		host = m.toPeer
+	}
+	p, ok := net.peers[host]
+	if !ok {
+		return fmt.Errorf("core: %v addressed to unknown peer %q", m.typ, host)
+	}
+	net.Counters.MaintenanceMsgs++
+	if m.fromPeer != host {
+		net.Counters.MaintenancePhysical++
+	}
+	if m.nodeAddressed {
+		n, ok := p.Nodes[m.toNode]
+		if !ok {
+			return fmt.Errorf("core: %v addressed to absent node %q on peer %q",
+				m.typ, m.toNode, host)
+		}
+		switch m.typ {
+		case msgPeerJoin:
+			return net.handlePeerJoin(p, n, m)
+		case msgDataInsertion:
+			return net.handleDataInsertion(p, n, m)
+		}
+		return fmt.Errorf("core: node-addressed %v unexpected", m.typ)
+	}
+	switch m.typ {
+	case msgNewPredecessor:
+		return net.handleNewPredecessor(p, m)
+	}
+	return fmt.Errorf("core: peer-addressed %v unexpected", m.typ)
+}
+
+// applyUpdateChild performs Algorithm 3's UpdateChild message on the
+// node with key father, replacing old with new in its child set. It
+// is executed synchronously and accounted as one message.
+func (net *Network) applyUpdateChild(fromPeer keys.Key, father, old, new keys.Key) error {
+	n, p, ok := net.nodeState(father)
+	if !ok {
+		return fmt.Errorf("core: UpdateChild to absent node %q", father)
+	}
+	net.Counters.MaintenanceMsgs++
+	if p.ID != fromPeer {
+		net.Counters.MaintenancePhysical++
+	}
+	delete(n.Children, old)
+	n.Children[new] = struct{}{}
+	return nil
+}
+
+// routeSearchingHost performs the host search of Algorithm 3 lines
+// 3.32-3.37 synchronously: starting at node `at`, descend to the
+// greatest child strictly below the key being placed until no such
+// child exists, then hand the node to the local peer (installNode
+// finishes with the peer-level walk to the true owner). Each hop is
+// accounted as one message.
+func (net *Network) routeSearchingHost(fromPeer keys.Key, at keys.Key, info NodeInfo) error {
+	cur := at
+	from := fromPeer
+	for {
+		n, p, ok := net.nodeState(cur)
+		if !ok {
+			return fmt.Errorf("core: SearchingHost routed to absent node %q", cur)
+		}
+		net.Counters.MaintenanceMsgs++
+		if p.ID != from {
+			net.Counters.MaintenancePhysical++
+		}
+		q, ok := n.MaxChildAtMost(info.Key, false)
+		if !ok {
+			net.installNode(info, p.ID)
+			return nil
+		}
+		cur = q
+		from = p.ID
+	}
+}

@@ -1,0 +1,480 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"dlpt/internal/keys"
+	"dlpt/internal/ring"
+	"dlpt/internal/trie"
+)
+
+// Placement selects how tree nodes are mapped onto peers.
+type Placement int
+
+const (
+	// PlacementLexicographic is the paper's contribution: node n runs
+	// on the peer with the lowest identifier >= n (wrapping), so
+	// lexicographically close nodes share peers.
+	PlacementLexicographic Placement = iota
+	// PlacementHashed is the original DLPT-over-DHT mapping of [5]:
+	// node n runs on the peer owning hash(n) on a hashed Chord ring.
+	// Tree structure is identical; only locality differs (the
+	// "random mapping" baseline of Figure 9).
+	PlacementHashed
+)
+
+// String returns the placement name.
+func (p Placement) String() string {
+	if p == PlacementHashed {
+		return "hashed"
+	}
+	return "lexicographic"
+}
+
+// Counters aggregates protocol traffic. Discovery traffic and
+// maintenance traffic are accounted separately: only discovery
+// consumes peer capacity.
+type Counters struct {
+	// MaintenanceMsgs counts protocol messages exchanged for peer
+	// joins, leaves and data insertions (tree hops, ring walks, node
+	// transfers).
+	MaintenanceMsgs int
+	// MaintenancePhysical counts the subset of maintenance messages
+	// that crossed a peer boundary.
+	MaintenancePhysical int
+	// DiscoveryVisits counts node visits by discovery requests.
+	DiscoveryVisits int
+	// DroppedVisits counts discovery visits ignored by saturated
+	// peers.
+	DroppedVisits int
+	// NodesTransferred counts tree nodes moved between peers (joins,
+	// leaves, load balancing).
+	NodesTransferred int
+}
+
+// RequestResult reports the fate of one discovery request.
+type RequestResult struct {
+	Key keys.Key
+	// Satisfied is true when the request reached the node storing Key
+	// with every peer on the path under capacity.
+	Satisfied bool
+	// Dropped is true when a saturated peer ignored the request.
+	Dropped bool
+	// NotFound is true when routing proved the key absent.
+	NotFound bool
+	// LogicalHops counts tree edges traversed (node-to-node steps).
+	LogicalHops int
+	// PhysicalHops counts the traversed edges whose endpoints were
+	// hosted on different peers (actual network communications).
+	PhysicalHops int
+}
+
+// Network is the complete DLPT overlay: the peer ring, the
+// distributed PGCP tree, and the message machinery of Section 3.
+// All methods are deterministic; randomness comes only from the
+// *rand.Rand handed to the entry points that need one.
+type Network struct {
+	Alphabet    *keys.Alphabet
+	Placement   Placement
+	Counters    Counters
+	Replication ReplicationCounters
+
+	// replicaStore holds off-host node snapshots, and pendingLost the
+	// node keys dropped by crashes since the last Recover (see
+	// replication.go).
+	replicaStore map[keys.Key]NodeInfo
+	pendingLost  map[keys.Key]bool
+
+	peers map[keys.Key]*Peer
+	ring  *ring.Ring
+
+	// hashRing holds the hashed positions of peers for
+	// PlacementHashed.
+	hashPos  []uint64
+	hashPeer map[uint64]keys.Key
+	peerHash map[keys.Key]uint64
+
+	// node index: every existing tree node key, for random entry
+	// points and O(1) membership tests.
+	nodeList []keys.Key
+	nodePos  map[keys.Key]int
+
+	root    keys.Key
+	hasRoot bool
+
+	queue []message
+}
+
+// NewNetwork returns an empty overlay using the given alphabet and
+// placement.
+func NewNetwork(alpha *keys.Alphabet, placement Placement) *Network {
+	return &Network{
+		Alphabet:  alpha,
+		Placement: placement,
+		peers:     make(map[keys.Key]*Peer),
+		ring:      ring.New(),
+		hashPeer:  make(map[uint64]keys.Key),
+		peerHash:  make(map[keys.Key]uint64),
+		nodePos:   make(map[keys.Key]int),
+	}
+}
+
+// NumPeers returns the number of peers.
+func (net *Network) NumPeers() int { return len(net.peers) }
+
+// NumNodes returns the number of tree nodes.
+func (net *Network) NumNodes() int { return len(net.nodeList) }
+
+// Peer returns the peer with the given id.
+func (net *Network) Peer(id keys.Key) (*Peer, bool) {
+	p, ok := net.peers[id]
+	return p, ok
+}
+
+// PeerIDs returns all peer ids in ascending order.
+func (net *Network) PeerIDs() []keys.Key { return net.ring.IDs() }
+
+// Ring exposes the ring bookkeeping (read-mostly; used by load
+// balancers and tests).
+func (net *Network) Ring() *ring.Ring { return net.ring }
+
+// Root returns the current tree root key.
+func (net *Network) Root() (keys.Key, bool) { return net.root, net.hasRoot }
+
+// AggregateCapacity returns the sum of peer capacities (the
+// denominator of the paper's load percentages).
+func (net *Network) AggregateCapacity() int {
+	sum := 0
+	for _, p := range net.peers {
+		sum += p.Capacity
+	}
+	return sum
+}
+
+// RandomNodeKey returns a uniformly random tree node key.
+func (net *Network) RandomNodeKey(r *rand.Rand) (keys.Key, bool) {
+	if len(net.nodeList) == 0 {
+		return keys.Epsilon, false
+	}
+	return net.nodeList[r.Intn(len(net.nodeList))], true
+}
+
+// RandomPeerID returns a uniformly random peer id.
+func (net *Network) RandomPeerID(r *rand.Rand) (keys.Key, bool) {
+	if len(net.ring.IDs()) == 0 {
+		return keys.Epsilon, false
+	}
+	ids := net.ring.IDs()
+	return ids[r.Intn(len(ids))], true
+}
+
+// ResetUnit starts a new time unit: peers' processed counters reset
+// and every node's current load becomes its previous load (the
+// history MLT consumes).
+func (net *Network) ResetUnit() {
+	for _, p := range net.peers {
+		p.Processed = 0
+		for _, n := range p.Nodes {
+			n.LoadPrev = n.LoadCur
+			n.LoadCur = 0
+		}
+	}
+}
+
+// --- placement -------------------------------------------------------------
+
+func hash64(k keys.Key) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(k))
+	return h.Sum64()
+}
+
+// HostOf returns the peer responsible for node key k under the
+// network's placement.
+func (net *Network) HostOf(k keys.Key) (keys.Key, bool) {
+	switch net.Placement {
+	case PlacementHashed:
+		return net.hashHostOf(hash64(k))
+	default:
+		return net.ring.HostOf(k)
+	}
+}
+
+func (net *Network) hashHostOf(h uint64) (keys.Key, bool) {
+	if len(net.hashPos) == 0 {
+		return keys.Epsilon, false
+	}
+	i := sort.Search(len(net.hashPos), func(i int) bool { return net.hashPos[i] >= h })
+	if i == len(net.hashPos) {
+		i = 0
+	}
+	return net.hashPeer[net.hashPos[i]], true
+}
+
+func (net *Network) hashInsertPeer(id keys.Key) {
+	h := hash64(id)
+	for {
+		if _, taken := net.hashPeer[h]; !taken {
+			break
+		}
+		h++ // astronomically unlikely; linear probe keeps determinism
+	}
+	net.hashPeer[h] = id
+	net.peerHash[id] = h
+	i := sort.Search(len(net.hashPos), func(i int) bool { return net.hashPos[i] >= h })
+	net.hashPos = append(net.hashPos, 0)
+	copy(net.hashPos[i+1:], net.hashPos[i:])
+	net.hashPos[i] = h
+}
+
+func (net *Network) hashRemovePeer(id keys.Key) {
+	h, ok := net.peerHash[id]
+	if !ok {
+		return
+	}
+	delete(net.peerHash, id)
+	delete(net.hashPeer, h)
+	i := sort.Search(len(net.hashPos), func(i int) bool { return net.hashPos[i] >= h })
+	if i < len(net.hashPos) && net.hashPos[i] == h {
+		copy(net.hashPos[i:], net.hashPos[i+1:])
+		net.hashPos = net.hashPos[:len(net.hashPos)-1]
+	}
+}
+
+// --- node index ------------------------------------------------------------
+
+func (net *Network) indexNode(k keys.Key) {
+	if _, ok := net.nodePos[k]; ok {
+		return
+	}
+	net.nodePos[k] = len(net.nodeList)
+	net.nodeList = append(net.nodeList, k)
+}
+
+func (net *Network) unindexNode(k keys.Key) {
+	i, ok := net.nodePos[k]
+	if !ok {
+		return
+	}
+	last := len(net.nodeList) - 1
+	net.nodeList[i] = net.nodeList[last]
+	net.nodePos[net.nodeList[i]] = i
+	net.nodeList = net.nodeList[:last]
+	delete(net.nodePos, k)
+}
+
+// HasNode reports whether a tree node with key k exists.
+func (net *Network) HasNode(k keys.Key) bool {
+	_, ok := net.nodePos[k]
+	return ok
+}
+
+// nodeState fetches the live state of node k from its host.
+func (net *Network) nodeState(k keys.Key) (*Node, *Peer, bool) {
+	host, ok := net.HostOf(k)
+	if !ok {
+		return nil, nil, false
+	}
+	p := net.peers[host]
+	if p == nil {
+		return nil, nil, false
+	}
+	n, ok := p.Nodes[k]
+	return n, p, ok
+}
+
+// --- peer rename (MLT primitive) --------------------------------------------
+
+// RenamePeer moves peer oldID to newID on the ring, preserving its
+// circular position. Node states stay on the peer; the caller (the
+// load balancer) is responsible for having moved node responsibility
+// consistently beforehand.
+func (net *Network) RenamePeer(oldID, newID keys.Key) error {
+	if oldID == newID {
+		return nil
+	}
+	p, ok := net.peers[oldID]
+	if !ok {
+		return fmt.Errorf("core: rename of unknown peer %q", oldID)
+	}
+	if _, exists := net.peers[newID]; exists {
+		return fmt.Errorf("core: rename target %q already exists", newID)
+	}
+	if err := net.ring.Replace(oldID, newID); err != nil {
+		return err
+	}
+	delete(net.peers, oldID)
+	p.ID = newID
+	net.peers[newID] = p
+	// Fix neighbour links.
+	if pred, ok := net.peers[p.Pred]; ok && pred != p {
+		pred.Succ = newID
+	}
+	if succ, ok := net.peers[p.Succ]; ok && succ != p {
+		succ.Pred = newID
+	}
+	if p.Pred == oldID {
+		p.Pred = newID
+	}
+	if p.Succ == oldID {
+		p.Succ = newID
+	}
+	if net.Placement == PlacementHashed {
+		net.hashRemovePeer(oldID)
+		net.hashInsertPeer(newID)
+	}
+	return nil
+}
+
+// MoveNode transfers the node with key k from peer fromID to peer
+// toID (a load-balancing transfer; counted as maintenance traffic).
+func (net *Network) MoveNode(k, fromID, toID keys.Key) error {
+	from, ok := net.peers[fromID]
+	if !ok {
+		return fmt.Errorf("core: move from unknown peer %q", fromID)
+	}
+	to, ok := net.peers[toID]
+	if !ok {
+		return fmt.Errorf("core: move to unknown peer %q", toID)
+	}
+	n, ok := from.release(k)
+	if !ok {
+		return fmt.Errorf("core: peer %q does not host node %q", fromID, k)
+	}
+	to.Nodes[k] = n
+	net.Counters.MaintenanceMsgs++
+	net.Counters.MaintenancePhysical++
+	net.Counters.NodesTransferred++
+	return nil
+}
+
+// --- validation -------------------------------------------------------------
+
+// Validate cross-checks every invariant of the overlay: ring order
+// and neighbour links, the mapping rule, tree pointer consistency,
+// and the PGCP property (via a rebuilt reference trie).
+func (net *Network) Validate() error {
+	if err := net.ring.Validate(); err != nil {
+		return err
+	}
+	if len(net.peers) != net.ring.Len() {
+		return fmt.Errorf("core: %d peers vs %d ring members", len(net.peers), net.ring.Len())
+	}
+	ids := net.ring.IDs()
+	for i, id := range ids {
+		p, ok := net.peers[id]
+		if !ok {
+			return fmt.Errorf("core: ring member %q missing from peer map", id)
+		}
+		if p.ID != id {
+			return fmt.Errorf("core: peer map key %q vs peer id %q", id, p.ID)
+		}
+		wantSucc := ids[(i+1)%len(ids)]
+		wantPred := ids[(i-1+len(ids))%len(ids)]
+		if p.Succ != wantSucc {
+			return fmt.Errorf("core: peer %q succ=%q want %q", id, p.Succ, wantSucc)
+		}
+		if p.Pred != wantPred {
+			return fmt.Errorf("core: peer %q pred=%q want %q", id, p.Pred, wantPred)
+		}
+	}
+	// Mapping rule and node accounting.
+	seen := 0
+	roots := 0
+	ref := trie.New()
+	for id, p := range net.peers {
+		for k, n := range p.Nodes {
+			seen++
+			if n.Key != k {
+				return fmt.Errorf("core: node map key %q vs node key %q", k, n.Key)
+			}
+			host, _ := net.HostOf(k)
+			if host != id {
+				return fmt.Errorf("core: node %q hosted on %q, mapping says %q", k, id, host)
+			}
+			if _, ok := net.nodePos[k]; !ok {
+				return fmt.Errorf("core: node %q missing from index", k)
+			}
+			if !n.HasFather {
+				roots++
+				if !net.hasRoot || net.root != k {
+					return fmt.Errorf("core: root pointer %q does not match fatherless node %q", net.root, k)
+				}
+			} else if !keys.IsProperPrefix(n.Father, k) {
+				return fmt.Errorf("core: father %q of %q is not a proper prefix", n.Father, k)
+			}
+			for c := range n.Children {
+				cn, _, ok := net.nodeState(c)
+				if !ok {
+					return fmt.Errorf("core: child %q of %q does not exist", c, k)
+				}
+				if !cn.HasFather || cn.Father != k {
+					return fmt.Errorf("core: child %q of %q has father %q", c, k, cn.Father)
+				}
+			}
+			if n.HasFather {
+				fn, _, ok := net.nodeState(n.Father)
+				if !ok {
+					return fmt.Errorf("core: father %q of %q does not exist", n.Father, k)
+				}
+				if _, ok := fn.Children[k]; !ok {
+					return fmt.Errorf("core: father %q does not list child %q", n.Father, k)
+				}
+			}
+		}
+	}
+	if seen != len(net.nodeList) {
+		return fmt.Errorf("core: %d hosted nodes vs %d indexed", seen, len(net.nodeList))
+	}
+	if net.hasRoot && roots != 1 {
+		return fmt.Errorf("core: %d fatherless nodes, want 1", roots)
+	}
+	if !net.hasRoot && seen != 0 {
+		return fmt.Errorf("core: %d nodes but no root", seen)
+	}
+	// PGCP property: rebuild the key set into a reference trie and
+	// require identical node label sets.
+	if net.hasRoot {
+		for id := range net.peers {
+			for k, n := range net.peers[id].Nodes {
+				if n.HasData() {
+					ref.InsertKey(k)
+				}
+			}
+		}
+		if err := ref.Validate(); err != nil {
+			return fmt.Errorf("core: reference trie invalid: %v", err)
+		}
+		want := make(map[keys.Key]bool)
+		for _, l := range ref.Labels() {
+			want[l] = true
+		}
+		for _, k := range net.nodeList {
+			if !want[k] {
+				return fmt.Errorf("core: node %q not in reference PGCP tree", k)
+			}
+		}
+		if len(want) != len(net.nodeList) {
+			return fmt.Errorf("core: %d nodes vs %d reference labels", len(net.nodeList), len(want))
+		}
+	}
+	return nil
+}
+
+// TreeSnapshot rebuilds a centralized trie.Tree equal to the
+// distributed tree (used by differential tests and by read-side
+// queries of the public API).
+func (net *Network) TreeSnapshot() *trie.Tree {
+	t := trie.New()
+	for _, p := range net.peers {
+		for k, n := range p.Nodes {
+			for v := range n.Data {
+				t.Insert(k, v)
+			}
+		}
+	}
+	return t
+}

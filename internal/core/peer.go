@@ -1,0 +1,87 @@
+package core
+
+import (
+	"dlpt/internal/keys"
+)
+
+// Peer is one physical node of the P2P network. It knows its ring
+// neighbours, hosts a set ν_P of tree nodes, and can process at most
+// Capacity discovery visits per time unit (requests received beyond
+// that are ignored, Section 4).
+type Peer struct {
+	ID       keys.Key
+	Pred     keys.Key
+	Succ     keys.Key
+	Capacity int
+
+	// Nodes is ν_P, the set of tree nodes this peer runs.
+	Nodes map[keys.Key]*Node
+
+	// Processed counts discovery visits processed during the current
+	// time unit; reset by ResetUnit.
+	Processed int
+}
+
+// NewPeer returns a peer with the given identifier and capacity,
+// initially linked to itself.
+func NewPeer(id keys.Key, capacity int) *Peer {
+	return &Peer{
+		ID:       id,
+		Pred:     id,
+		Succ:     id,
+		Capacity: capacity,
+		Nodes:    make(map[keys.Key]*Node),
+	}
+}
+
+// NumNodes returns |ν_P|.
+func (p *Peer) NumNodes() int { return len(p.Nodes) }
+
+// NodeKeys returns the hosted node keys in ascending order.
+func (p *Peer) NodeKeys() []keys.Key {
+	out := make([]keys.Key, 0, len(p.Nodes))
+	for k := range p.Nodes {
+		out = append(out, k)
+	}
+	keys.SortKeys(out)
+	return out
+}
+
+// LoadPrev returns L_P of the previous time unit: the sum of the
+// previous-unit loads of the nodes the peer currently runs.
+func (p *Peer) LoadPrev() int {
+	sum := 0
+	for _, n := range p.Nodes {
+		sum += n.LoadPrev
+	}
+	return sum
+}
+
+// LoadCur returns the running request count of the current unit.
+func (p *Peer) LoadCur() int {
+	sum := 0
+	for _, n := range p.Nodes {
+		sum += n.LoadCur
+	}
+	return sum
+}
+
+// Saturated reports whether the peer has exhausted its capacity for
+// the current time unit.
+func (p *Peer) Saturated() bool { return p.Processed >= p.Capacity }
+
+// absorb installs a transferred node on the peer.
+func (p *Peer) absorb(info NodeInfo) *Node {
+	n := info.materialize()
+	p.Nodes[n.Key] = n
+	return n
+}
+
+// release removes and returns the node with key k.
+func (p *Peer) release(k keys.Key) (*Node, bool) {
+	n, ok := p.Nodes[k]
+	if ok {
+		delete(p.Nodes, k)
+	}
+	return n, ok
+}

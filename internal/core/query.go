@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math/rand"
+
+	"dlpt/internal/keys"
+)
+
+// QueryResult reports the outcome of a multi-key query (range or
+// completion) routed through the overlay.
+type QueryResult struct {
+	// Keys are the matching data-holding keys in lexicographic order.
+	Keys []keys.Key
+	// LogicalHops counts tree edges traversed, including the subtree
+	// traversal (the paper resolves it by parallelizing over
+	// branches; the counter totals all branch messages).
+	LogicalHops int
+	// PhysicalHops counts traversed edges crossing peers.
+	PhysicalHops int
+	// NodesVisited counts tree nodes touched.
+	NodesVisited int
+}
+
+// RangeQuery resolves the range query [lo, hi]: the request enters at
+// a random node, climbs to the deepest node whose subtree spans the
+// whole interval, and the subtree is traversed with pruning — the
+// multi-branch resolution the DLPT supports (Section 2). Ungated:
+// like the paper, only unit discovery requests consume capacity.
+func (net *Network) RangeQuery(lo, hi keys.Key, r *rand.Rand) QueryResult {
+	if hi < lo {
+		return QueryResult{}
+	}
+	anchor := keys.GCP(lo, hi)
+	return net.subtreeQuery(r, anchor, func(k keys.Key) bool {
+		return lo <= k && k <= hi
+	}, func(label keys.Key) bool {
+		// Prune subtrees entirely outside [lo,hi] (see trie.Range).
+		if label > hi {
+			return false
+		}
+		if label < lo && !keys.IsProperPrefix(label, lo) {
+			return false
+		}
+		return true
+	})
+}
+
+// Complete resolves automatic completion of the partial search string
+// prefix: all declared keys extending it, collected from the subtree
+// of the deepest node prefixing it.
+func (net *Network) Complete(prefix keys.Key, r *rand.Rand) QueryResult {
+	return net.subtreeQuery(r, prefix, func(k keys.Key) bool {
+		return keys.IsPrefix(prefix, k)
+	}, func(label keys.Key) bool {
+		return keys.IsPrefix(prefix, label) || keys.IsPrefix(label, prefix)
+	})
+}
+
+// subtreeQuery climbs from a random entry node to the highest node
+// relevant for the query anchor, then walks the relevant subtree.
+// match selects result keys; explore prunes subtrees by their root
+// label.
+func (net *Network) subtreeQuery(r *rand.Rand, anchor keys.Key,
+	match func(keys.Key) bool, explore func(keys.Key) bool) QueryResult {
+
+	var res QueryResult
+	entry, ok := net.RandomNodeKey(r)
+	if !ok {
+		return res
+	}
+	cur, host, ok := net.nodeState(entry)
+	if !ok {
+		return res
+	}
+	res.NodesVisited++
+	// Phase 1: climb until the current node's subtree covers the
+	// anchor (its label is a prefix of the anchor), or the root.
+	for !keys.IsPrefix(cur.Key, anchor) && cur.HasFather {
+		next, nextHost, ok := net.nodeState(cur.Father)
+		if !ok {
+			return res
+		}
+		res.LogicalHops++
+		res.NodesVisited++
+		if nextHost.ID != host.ID {
+			res.PhysicalHops++
+		}
+		cur, host = next, nextHost
+	}
+	// Phase 2: descend towards the anchor while a single child still
+	// covers the whole query (narrowing the traversal root).
+	for {
+		q, ok := cur.BestChildFor(anchor)
+		if !ok || !keys.IsPrefix(q, anchor) {
+			break
+		}
+		next, nextHost, okn := net.nodeState(q)
+		if !okn {
+			break
+		}
+		res.LogicalHops++
+		res.NodesVisited++
+		if nextHost.ID != host.ID {
+			res.PhysicalHops++
+		}
+		cur, host = next, nextHost
+	}
+	// Phase 3: traverse the subtree with pruning, counting one
+	// message per tree edge (the paper parallelizes the branches; the
+	// totals are the aggregate traffic).
+	var walk func(n *Node, p *Peer)
+	walk = func(n *Node, p *Peer) {
+		if n.HasData() && match(n.Key) {
+			res.Keys = append(res.Keys, n.Key)
+		}
+		for _, c := range n.ChildrenSorted() {
+			if !explore(c) {
+				continue
+			}
+			cn, cp, ok := net.nodeState(c)
+			if !ok {
+				continue
+			}
+			res.LogicalHops++
+			res.NodesVisited++
+			if cp.ID != p.ID {
+				res.PhysicalHops++
+			}
+			walk(cn, cp)
+		}
+	}
+	if explore(cur.Key) || match(cur.Key) {
+		walk(cur, host)
+	}
+	keys.SortKeys(res.Keys)
+	return res
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dlpt/internal/keys"
+)
+
+func populate(t *testing.T, seed int64, ks ...keys.Key) (*Network, *rand.Rand) {
+	t.Helper()
+	net, r := buildNetwork(t, 8, 1<<30, seed)
+	for _, k := range ks {
+		if err := net.InsertKey(k, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net, r
+}
+
+func TestRangeQueryDistributed(t *testing.T) {
+	corpus := []keys.Key{"dgemm", "dgemv", "saxpy", "sgemm", "sgemv", "strsm"}
+	net, r := populate(t, 31, corpus...)
+	res := net.RangeQuery("saxpy", "sgemv", r)
+	want := []keys.Key{"saxpy", "sgemm", "sgemv"}
+	if !reflect.DeepEqual(res.Keys, want) {
+		t.Fatalf("RangeQuery = %v, want %v", res.Keys, want)
+	}
+	if res.NodesVisited == 0 {
+		t.Fatalf("no nodes visited")
+	}
+	if res.PhysicalHops > res.LogicalHops {
+		t.Fatalf("physical %d > logical %d", res.PhysicalHops, res.LogicalHops)
+	}
+	if out := net.RangeQuery("z", "a", r); out.Keys != nil {
+		t.Fatalf("inverted range = %v", out.Keys)
+	}
+	if out := net.RangeQuery("e", "r", r); len(out.Keys) != 0 {
+		t.Fatalf("empty interval = %v", out.Keys)
+	}
+	full := net.RangeQuery("a", "zz", r)
+	if len(full.Keys) != len(corpus) {
+		t.Fatalf("full range = %v", full.Keys)
+	}
+}
+
+func TestCompleteDistributed(t *testing.T) {
+	corpus := []keys.Key{"sgemm", "sgemv", "strsm", "saxpy", "dgemm"}
+	net, r := populate(t, 32, corpus...)
+	res := net.Complete("sge", r)
+	want := []keys.Key{"sgemm", "sgemv"}
+	if !reflect.DeepEqual(res.Keys, want) {
+		t.Fatalf("Complete(sge) = %v, want %v", res.Keys, want)
+	}
+	all := net.Complete("", r)
+	if len(all.Keys) != len(corpus) {
+		t.Fatalf("Complete(ε) = %v", all.Keys)
+	}
+	if res := net.Complete("zzz", r); len(res.Keys) != 0 {
+		t.Fatalf("Complete(zzz) = %v", res.Keys)
+	}
+	// Exact key is its own completion.
+	if res := net.Complete("saxpy", r); !reflect.DeepEqual(res.Keys, []keys.Key{"saxpy"}) {
+		t.Fatalf("Complete(saxpy) = %v", res.Keys)
+	}
+}
+
+func TestQueryEmptyTree(t *testing.T) {
+	net, r := buildNetwork(t, 3, 10, 33)
+	if res := net.RangeQuery("a", "z", r); len(res.Keys) != 0 || res.NodesVisited != 0 {
+		t.Fatalf("empty tree range = %+v", res)
+	}
+	if res := net.Complete("a", r); len(res.Keys) != 0 {
+		t.Fatalf("empty tree complete = %+v", res)
+	}
+}
+
+// TestQueryMatchesSnapshot differentially checks the distributed
+// traversal against the reference trie on random populations.
+func TestQueryMatchesSnapshot(t *testing.T) {
+	r := rand.New(rand.NewSource(34))
+	net, _ := buildNetwork(t, 10, 1<<30, 35)
+	for i := 0; i < 250; i++ {
+		if err := net.InsertKey(keys.LowerAlnum.RandomKey(r, 2, 8), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := net.TreeSnapshot()
+	for trial := 0; trial < 40; trial++ {
+		lo := keys.LowerAlnum.RandomKey(r, 1, 6)
+		hi := keys.LowerAlnum.RandomKey(r, 1, 6)
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		got := net.RangeQuery(lo, hi, r).Keys
+		want := snap.Range(lo, hi, 0)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: range [%q,%q] = %v, want %v", trial, lo, hi, got, want)
+		}
+	}
+	for trial := 0; trial < 40; trial++ {
+		prefix := keys.LowerAlnum.RandomKey(r, 0, 4)
+		got := net.Complete(prefix, r).Keys
+		want := snap.Complete(prefix, 0)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: complete %q = %v, want %v", trial, prefix, got, want)
+		}
+	}
+}
+
+// TestQueryLocality checks that the lexicographic mapping keeps most
+// of a subtree traversal on few peers: the physical hops of a narrow
+// completion stay below its logical hops.
+func TestQueryLocality(t *testing.T) {
+	r := rand.New(rand.NewSource(36))
+	net, _ := buildNetwork(t, 20, 1<<30, 37)
+	for i := 0; i < 300; i++ {
+		if err := net.InsertKey(keys.LowerAlnum.RandomKey(r, 3, 8), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	totLog, totPhys := 0, 0
+	for i := 0; i < 50; i++ {
+		prefix := keys.LowerAlnum.RandomKey(r, 1, 2)
+		res := net.Complete(prefix, r)
+		totLog += res.LogicalHops
+		totPhys += res.PhysicalHops
+	}
+	if totLog == 0 {
+		t.Skip("no traversal happened")
+	}
+	if totPhys >= totLog {
+		t.Fatalf("subtree traversal crossed peers on every edge: %d/%d", totPhys, totLog)
+	}
+}

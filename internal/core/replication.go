@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+
+	"dlpt/internal/keys"
+	"dlpt/internal/trie"
+)
+
+// Replication and crash recovery. The paper's protocol handles
+// graceful departures only; its companion work ([5], [6] and the
+// PGCP-tree self-stabilization line of the same authors) motivates
+// replicating node state so the tree survives crashes. We implement
+// successor-style replication: a snapshot of every tree node is kept
+// off-host (conceptually on the host's ring successor), refreshed by
+// Replicate — e.g. once per time unit — and used by Recover after a
+// crash.
+//
+// Recover restores every replicated node and then runs an
+// anti-entropy sweep that rebuilds the tree links canonically: the
+// PGCP tree over a given key set is unique, so the structural
+// (dataless) nodes and all father/child pointers are derivable from
+// the surviving data keys. Snapshots taken before later insertions
+// can therefore never resurrect stale structure; only *data* declared
+// after the last snapshot on a crashed peer can be lost. After
+// Recover the full Validate invariant set holds again (asserted by
+// the failure-injection tests). Until Recover runs, tree-routed
+// operations may fail: a crash leaves dangling references, exactly as
+// in a real deployment before repair.
+
+// ReplicationCounters tracks replication traffic.
+type ReplicationCounters struct {
+	// SnapshotMsgs counts node snapshots shipped by Replicate.
+	SnapshotMsgs int
+	// RestoredNodes counts nodes reinstalled from snapshots.
+	RestoredNodes int
+	// LostNodes counts crashed nodes that could not be recovered.
+	LostNodes int
+	// Failures counts crash events.
+	Failures int
+	// RepairMsgs counts anti-entropy link-repair messages.
+	RepairMsgs int
+}
+
+// Replicate snapshots the state of every tree node to the replica
+// store (one message per node, counted as maintenance). It returns
+// the number of nodes replicated.
+func (net *Network) Replicate() int {
+	if net.replicaStore == nil {
+		net.replicaStore = make(map[keys.Key]NodeInfo)
+	}
+	count := 0
+	for _, p := range net.peers {
+		for _, n := range p.Nodes {
+			net.replicaStore[n.Key] = infoOf(n)
+			count++
+		}
+	}
+	// Drop snapshots of nodes that no longer exist (compaction).
+	for k := range net.replicaStore {
+		if !net.HasNode(k) {
+			delete(net.replicaStore, k)
+		}
+	}
+	net.Replication.SnapshotMsgs += count
+	net.Counters.MaintenanceMsgs += count
+	net.Counters.MaintenancePhysical += count
+	return count
+}
+
+// FailPeer crashes the peer with the given id: its node states vanish
+// without transfer, and the ring links are mended around it. The tree
+// is left with dangling references; call Recover before further
+// tree-routed operations.
+func (net *Network) FailPeer(id keys.Key) error {
+	p, ok := net.peers[id]
+	if !ok {
+		return fmt.Errorf("core: failure of unknown peer %q", id)
+	}
+	if net.NumPeers() == 1 {
+		return fmt.Errorf("core: cannot crash the last peer")
+	}
+	pred := net.peers[p.Pred]
+	succ := net.peers[p.Succ]
+	pred.Succ = p.Succ
+	succ.Pred = p.Pred
+	delete(net.peers, id)
+	net.ring.Remove(id)
+	if net.Placement == PlacementHashed {
+		net.hashRemovePeer(id)
+	}
+	if net.pendingLost == nil {
+		net.pendingLost = make(map[keys.Key]bool)
+	}
+	for k := range p.Nodes {
+		net.unindexNode(k)
+		net.pendingLost[k] = true
+		if net.hasRoot && net.root == k {
+			net.hasRoot = false
+			net.root = keys.Epsilon
+		}
+	}
+	net.Replication.Failures++
+	// Failure detection + ring repair messages.
+	net.Counters.MaintenanceMsgs += 2
+	net.Counters.MaintenancePhysical += 2
+	return nil
+}
+
+// Recover restores crashed node state from the replica store, then
+// rebuilds the tree links canonically from the surviving data keys.
+// It returns the number of nodes restored from snapshots and the
+// number of crashed nodes that could not be brought back.
+func (net *Network) Recover() (restored, lost int) {
+	// Phase 1: reinstall every replicated node that is missing.
+	replicated := make([]keys.Key, 0, len(net.replicaStore))
+	for k := range net.replicaStore {
+		replicated = append(replicated, k)
+	}
+	keys.SortKeys(replicated)
+	for _, k := range replicated {
+		if net.HasNode(k) {
+			continue
+		}
+		net.installNode(net.replicaStore[k], keys.Epsilon)
+		restored++
+	}
+	// Phase 2: anti-entropy link rebuild.
+	net.rebuildLinks()
+	// Phase 3: account for what stayed lost.
+	for k := range net.pendingLost {
+		if !net.HasNode(k) {
+			lost++
+		}
+	}
+	net.pendingLost = nil
+	net.Replication.RestoredNodes += restored
+	net.Replication.LostNodes += lost
+	return restored, lost
+}
+
+// rebuildLinks recomputes the canonical PGCP structure over the
+// current data keys: stale structural nodes are dropped, missing
+// structural nodes recreated, and every father/child pointer and the
+// root reset. One repair message per touched node is accounted.
+func (net *Network) rebuildLinks() {
+	ref := trie.New()
+	type hosted struct {
+		n *Node
+		p *Peer
+	}
+	existing := make(map[keys.Key]hosted)
+	for _, p := range net.peers {
+		for k, n := range p.Nodes {
+			existing[k] = hosted{n, p}
+			if n.HasData() {
+				ref.InsertKey(k)
+			}
+		}
+	}
+	want := make(map[keys.Key]*trie.Node)
+	ref.Walk(func(tn *trie.Node) { want[tn.Label] = tn })
+
+	// Drop nodes that are not canonical labels (stale structural
+	// leftovers; data nodes are always canonical).
+	for k, h := range existing {
+		if _, ok := want[k]; !ok {
+			h.p.release(k)
+			net.unindexNode(k)
+			delete(existing, k)
+			net.Replication.RepairMsgs++
+			net.Counters.MaintenanceMsgs++
+		}
+	}
+	// Create canonical labels that are missing (structural nodes are
+	// derivable; lost data nodes stay lost unless they were
+	// replicated, which phase 1 already handled).
+	for label := range want {
+		if _, ok := existing[label]; ok {
+			continue
+		}
+		net.installNode(NodeInfo{Key: label}, keys.Epsilon)
+		n, p, _ := net.nodeState(label)
+		existing[label] = hosted{n, p}
+	}
+	// Reset every pointer from the canonical structure.
+	for label, tn := range want {
+		h := existing[label]
+		h.n.Children = make(map[keys.Key]struct{}, tn.NumChildren())
+		for _, c := range tn.Children() {
+			h.n.Children[c.Label] = struct{}{}
+		}
+		if tn.Parent == nil {
+			h.n.HasFather = false
+			h.n.Father = keys.Epsilon
+		} else {
+			h.n.HasFather = true
+			h.n.Father = tn.Parent.Label
+		}
+		net.Replication.RepairMsgs++
+		net.Counters.MaintenanceMsgs++
+	}
+	if root := ref.Root(); root != nil {
+		net.root = root.Label
+		net.hasRoot = true
+	} else {
+		net.root = keys.Epsilon
+		net.hasRoot = false
+	}
+}

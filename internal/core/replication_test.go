@@ -1,0 +1,275 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dlpt/internal/keys"
+	"dlpt/internal/workload"
+)
+
+func TestReplicateCounts(t *testing.T) {
+	net, r := buildNetwork(t, 5, 1<<30, 41)
+	for _, k := range workload.GridCorpus(50) {
+		if err := net.InsertKey(k, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := net.Replicate()
+	if n != net.NumNodes() {
+		t.Fatalf("replicated %d of %d nodes", n, net.NumNodes())
+	}
+	if net.Replication.SnapshotMsgs != n {
+		t.Fatalf("snapshot counter = %d", net.Replication.SnapshotMsgs)
+	}
+}
+
+func TestFailPeerErrors(t *testing.T) {
+	net, _ := buildNetwork(t, 1, 10, 42)
+	if err := net.FailPeer("ghost"); err == nil {
+		t.Fatalf("failing unknown peer must error")
+	}
+	if err := net.FailPeer(net.PeerIDs()[0]); err == nil {
+		t.Fatalf("failing the last peer must error")
+	}
+}
+
+func TestCrashRecoveryFullReplica(t *testing.T) {
+	net, r := buildNetwork(t, 10, 1<<30, 43)
+	corpus := workload.GridCorpus(200)
+	for _, k := range corpus {
+		if err := net.InsertKey(k, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Replicate()
+	// Crash three peers.
+	for i := 0; i < 3; i++ {
+		ids := net.PeerIDs()
+		if err := net.FailPeer(ids[r.Intn(len(ids))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	restored, lost := net.Recover()
+	if lost != 0 {
+		t.Fatalf("fully replicated crash lost %d nodes", lost)
+	}
+	if restored == 0 {
+		t.Fatalf("nothing restored")
+	}
+	mustValidate(t, net)
+	for _, k := range corpus {
+		if res := net.DiscoverRandom(k, false, r); !res.Satisfied {
+			t.Fatalf("key %q lost after recovery", k)
+		}
+	}
+}
+
+func TestCrashRecoveryPartialReplica(t *testing.T) {
+	net, r := buildNetwork(t, 10, 1<<30, 44)
+	corpus := workload.GridCorpus(300)
+	replicated := corpus[:200]
+	late := corpus[200:]
+	for _, k := range replicated {
+		if err := net.InsertKey(k, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Replicate()
+	// Insertions after the snapshot are at risk.
+	for _, k := range late {
+		if err := net.InsertKey(k, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		ids := net.PeerIDs()
+		if err := net.FailPeer(ids[r.Intn(len(ids))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, lost := net.Recover()
+	mustValidate(t, net)
+	// Every replicated key survives.
+	for _, k := range replicated {
+		if res := net.DiscoverRandom(k, false, r); !res.Satisfied {
+			t.Fatalf("replicated key %q lost", k)
+		}
+	}
+	// Late keys either survive (their host did not crash) or are
+	// cleanly absent — discovery must terminate without error.
+	missing := 0
+	for _, k := range late {
+		res := net.DiscoverRandom(k, false, r)
+		if !res.Satisfied {
+			missing++
+			// A lost key can be re-declared.
+			if err := net.InsertKey(k, r); err != nil {
+				t.Fatalf("re-insert of %q: %v", k, err)
+			}
+		}
+	}
+	t.Logf("late keys missing after crash: %d/%d (store lost %d nodes)",
+		missing, len(late), lost)
+	mustValidate(t, net)
+	for _, k := range late {
+		if res := net.DiscoverRandom(k, false, r); !res.Satisfied {
+			t.Fatalf("re-declared key %q still missing", k)
+		}
+	}
+}
+
+func TestCrashWithoutAnyReplication(t *testing.T) {
+	net, r := buildNetwork(t, 8, 1<<30, 45)
+	corpus := workload.GridCorpus(150)
+	for _, k := range corpus {
+		if err := net.InsertKey(k, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := net.PeerIDs()
+	if err := net.FailPeer(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	restored, _ := net.Recover()
+	if restored != 0 {
+		t.Fatalf("nothing was replicated, yet %d restored", restored)
+	}
+	mustValidate(t, net)
+	// Survivors remain discoverable.
+	found := 0
+	for _, k := range corpus {
+		if res := net.DiscoverRandom(k, false, r); res.Satisfied {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatalf("all keys lost from one crash")
+	}
+}
+
+func TestRepeatedCrashRecoverCycles(t *testing.T) {
+	net, r := buildNetwork(t, 12, 1<<30, 46)
+	corpus := workload.GridCorpus(250)
+	for _, k := range corpus {
+		if err := net.InsertKey(k, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for cycle := 0; cycle < 6; cycle++ {
+		net.Replicate()
+		ids := net.PeerIDs()
+		if err := net.FailPeer(ids[r.Intn(len(ids))]); err != nil {
+			t.Fatal(err)
+		}
+		if _, lost := net.Recover(); lost != 0 {
+			t.Fatalf("cycle %d lost %d replicated nodes", cycle, lost)
+		}
+		// Replace the capacity by joining a fresh peer (repair must
+		// precede tree-routed operations).
+		if err := net.JoinPeer(keys.LowerAlnum.RandomKey(r, 12, 12), 1<<30, r); err != nil {
+			t.Fatal(err)
+		}
+		mustValidate(t, net)
+	}
+	for _, k := range corpus {
+		if res := net.DiscoverRandom(k, false, r); !res.Satisfied {
+			t.Fatalf("key %q lost across cycles", k)
+		}
+	}
+	if net.Replication.Failures != 6 {
+		t.Fatalf("failure counter = %d", net.Replication.Failures)
+	}
+}
+
+func TestRecoveryAfterRootHostCrash(t *testing.T) {
+	net, r := buildNetwork(t, 6, 1<<30, 47)
+	for _, k := range []keys.Key{"dgemm", "dgemv", "sgemm", "saxpy"} {
+		if err := net.InsertKey(k, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Replicate()
+	rootKey, ok := net.Root()
+	if !ok {
+		t.Fatal("no root")
+	}
+	host, _ := net.HostOf(rootKey)
+	if err := net.FailPeer(host); err != nil {
+		t.Fatal(err)
+	}
+	if _, lost := net.Recover(); lost != 0 {
+		t.Fatalf("lost %d", lost)
+	}
+	mustValidate(t, net)
+	if _, ok := net.Root(); !ok {
+		t.Fatalf("root not restored")
+	}
+	for _, k := range []keys.Key{"dgemm", "dgemv", "sgemm", "saxpy"} {
+		if res := net.DiscoverRandom(k, false, r); !res.Satisfied {
+			t.Fatalf("key %q lost", k)
+		}
+	}
+}
+
+func TestRecoverNoFailureIsNoop(t *testing.T) {
+	net, r := buildNetwork(t, 4, 1<<30, 48)
+	for _, k := range workload.GridCorpus(40) {
+		if err := net.InsertKey(k, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Replicate()
+	restored, lost := net.Recover()
+	if restored != 0 || lost != 0 {
+		t.Fatalf("no-failure recover restored=%d lost=%d", restored, lost)
+	}
+	mustValidate(t, net)
+}
+
+// TestPropCrashRecoveryRandomized drives random crash/recover cycles
+// mixed with inserts and churn, validating after every event.
+func TestPropCrashRecoveryRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(49))
+	net, _ := buildNetwork(t, 10, 1<<30, 50)
+	replicatedKeys := make(map[keys.Key]bool)
+	var sinceSnapshot []keys.Key
+	for step := 0; step < 120; step++ {
+		switch r.Intn(6) {
+		case 0, 1, 2:
+			k := keys.LowerAlnum.RandomKey(r, 2, 8)
+			if err := net.InsertKey(k, r); err != nil {
+				t.Fatalf("step %d insert: %v", step, err)
+			}
+			sinceSnapshot = append(sinceSnapshot, k)
+		case 3:
+			net.Replicate()
+			for _, k := range sinceSnapshot {
+				replicatedKeys[k] = true
+			}
+			sinceSnapshot = nil
+		case 4:
+			if net.NumPeers() > 3 {
+				ids := net.PeerIDs()
+				if err := net.FailPeer(ids[r.Intn(len(ids))]); err != nil {
+					t.Fatalf("step %d fail: %v", step, err)
+				}
+				net.Recover()
+				// Keys inserted after the last snapshot may be gone.
+				sinceSnapshot = nil
+			}
+		case 5:
+			if err := net.JoinPeer(keys.LowerAlnum.RandomKey(r, 12, 12), 1<<30, r); err != nil {
+				t.Fatalf("step %d join: %v", step, err)
+			}
+		}
+		if err := net.Validate(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	for k := range replicatedKeys {
+		if res := net.DiscoverRandom(k, false, r); !res.Satisfied {
+			t.Fatalf("replicated key %q lost", k)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+// Package dht implements a simulated Chord distributed hash table
+// (Stoica et al., SIGCOMM 2001) — the substrate the original DLPT [5]
+// mapped its tree onto, the "random mapping" reference of Figure 9,
+// and the storage layer of the PHT comparator (Table 2).
+//
+// The simulation keeps every node's finger table globally consistent
+// after each join/leave, so lookup hop counts are those of a
+// converged Chord ring: O(log N) per lookup. Maintenance cost is
+// accounted per event: the join lookup's measured hops plus one
+// update message per finger-table entry repaired.
+package dht
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+)
+
+// M is the identifier-space width in bits.
+const M = 64
+
+// Hash maps a string key onto the identifier circle.
+func Hash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Node is one DHT node.
+type Node struct {
+	Name string
+	ID   uint64
+	// fingers[i] is the id of successor(ID + 2^i).
+	fingers [M]uint64
+	// Data holds the key/value pairs this node is responsible for.
+	Data map[string]string
+}
+
+// Counters tracks DHT traffic.
+type Counters struct {
+	// LookupHops counts routing hops of all lookups.
+	LookupHops int
+	// Lookups counts lookup operations.
+	Lookups int
+	// MaintenanceMsgs counts join/leave repair traffic.
+	MaintenanceMsgs int
+	// KeysMoved counts key transfers due to churn.
+	KeysMoved int
+}
+
+// Ring is the complete simulated DHT.
+type Ring struct {
+	Counters Counters
+
+	ids   []uint64 // sorted node ids
+	byID  map[uint64]*Node
+	names map[string]uint64
+}
+
+// New returns an empty ring.
+func New() *Ring {
+	return &Ring{
+		byID:  make(map[uint64]*Node),
+		names: make(map[string]uint64),
+	}
+}
+
+// Len returns the number of nodes.
+func (r *Ring) Len() int { return len(r.ids) }
+
+// NodeByName returns the node with the given name.
+func (r *Ring) NodeByName(name string) (*Node, bool) {
+	id, ok := r.names[name]
+	if !ok {
+		return nil, false
+	}
+	return r.byID[id], true
+}
+
+// Nodes returns all nodes in id order.
+func (r *Ring) Nodes() []*Node {
+	out := make([]*Node, 0, len(r.ids))
+	for _, id := range r.ids {
+		out = append(out, r.byID[id])
+	}
+	return out
+}
+
+// inInterval reports x in the circular interval (a, b].
+func inInterval(x, a, b uint64) bool {
+	if a < b {
+		return x > a && x <= b
+	}
+	if a > b {
+		return x > a || x <= b
+	}
+	return true // a == b: whole circle
+}
+
+// successorID returns the first node id at or after x (wrapping).
+func (r *Ring) successorID(x uint64) (uint64, bool) {
+	if len(r.ids) == 0 {
+		return 0, false
+	}
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= x })
+	if i == len(r.ids) {
+		i = 0
+	}
+	return r.ids[i], true
+}
+
+// predecessorID returns the last node id strictly before x (wrapping).
+func (r *Ring) predecessorID(x uint64) (uint64, bool) {
+	if len(r.ids) == 0 {
+		return 0, false
+	}
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= x })
+	if i == 0 {
+		return r.ids[len(r.ids)-1], true
+	}
+	return r.ids[i-1], true
+}
+
+// refreshFingers rebuilds the finger table of n from the converged
+// global view.
+func (r *Ring) refreshFingers(n *Node) {
+	for i := 0; i < M; i++ {
+		start := n.ID + 1<<uint(i)
+		id, _ := r.successorID(start)
+		n.fingers[i] = id
+	}
+}
+
+// refreshAll rebuilds every finger table (after churn), counting one
+// repair message per entry that actually changed.
+func (r *Ring) refreshAll() {
+	for _, n := range r.byID {
+		old := n.fingers
+		r.refreshFingers(n)
+		for i := 0; i < M; i++ {
+			if old[i] != n.fingers[i] {
+				r.Counters.MaintenanceMsgs++
+			}
+		}
+	}
+}
+
+// Join adds a node named name. Duplicate names or (astronomically
+// unlikely) id collisions are rejected.
+func (r *Ring) Join(name string) (*Node, error) {
+	if _, dup := r.names[name]; dup {
+		return nil, fmt.Errorf("dht: node %q already present", name)
+	}
+	id := Hash(name)
+	for {
+		if _, taken := r.byID[id]; !taken {
+			break
+		}
+		id++
+	}
+	n := &Node{Name: name, ID: id, Data: make(map[string]string)}
+	if len(r.ids) > 0 {
+		// The join lookup locates the successor; count its hops.
+		start := r.byID[r.ids[0]]
+		_, hops := r.lookupFrom(start, id)
+		r.Counters.MaintenanceMsgs += hops
+	}
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= id })
+	r.ids = append(r.ids, 0)
+	copy(r.ids[i+1:], r.ids[i:])
+	r.ids[i] = id
+	r.byID[id] = n
+	r.names[name] = id
+
+	// Take over keys from the successor.
+	if len(r.ids) > 1 {
+		succID, _ := r.successorID(id + 1)
+		succ := r.byID[succID]
+		predID, _ := r.predecessorID(id)
+		for k, v := range succ.Data {
+			if inInterval(Hash(k), predID, id) {
+				n.Data[k] = v
+				delete(succ.Data, k)
+				r.Counters.KeysMoved++
+			}
+		}
+	}
+	r.refreshAll()
+	return n, nil
+}
+
+// Leave removes the named node, handing its keys to its successor.
+func (r *Ring) Leave(name string) error {
+	id, ok := r.names[name]
+	if !ok {
+		return fmt.Errorf("dht: leave of unknown node %q", name)
+	}
+	n := r.byID[id]
+	delete(r.names, name)
+	delete(r.byID, id)
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= id })
+	copy(r.ids[i:], r.ids[i+1:])
+	r.ids = r.ids[:len(r.ids)-1]
+	if len(r.ids) > 0 {
+		succID, _ := r.successorID(id)
+		succ := r.byID[succID]
+		for k, v := range n.Data {
+			succ.Data[k] = v
+			r.Counters.KeysMoved++
+		}
+	}
+	r.refreshAll()
+	return nil
+}
+
+// lookupFrom routes from start towards the owner of target id using
+// finger tables, returning the owner and the hop count.
+func (r *Ring) lookupFrom(start *Node, target uint64) (*Node, int) {
+	cur := start
+	hops := 0
+	for {
+		succID, _ := r.successorID(cur.ID + 1)
+		if inInterval(target, cur.ID, succID) {
+			if succID == cur.ID {
+				return cur, hops
+			}
+			return r.byID[succID], hops + 1
+		}
+		// Closest preceding finger.
+		next := cur
+		for i := M - 1; i >= 0; i-- {
+			fid := cur.fingers[i]
+			if fid != cur.ID && inInterval(fid, cur.ID, target) && fid != target {
+				if candidate := r.byID[fid]; candidate != nil {
+					next = candidate
+					break
+				}
+			}
+		}
+		if next == cur {
+			// Degenerate: step to immediate successor.
+			next = r.byID[succID]
+		}
+		cur = next
+		hops++
+		if hops > 4*len(r.ids)+8 {
+			// Routing must converge on a consistent ring; this guards
+			// test failures from looping forever.
+			return cur, hops
+		}
+	}
+}
+
+// Lookup routes to the owner of key from a random start node.
+func (r *Ring) Lookup(key string, rng *rand.Rand) (*Node, int, error) {
+	if len(r.ids) == 0 {
+		return nil, 0, fmt.Errorf("dht: lookup on empty ring")
+	}
+	start := r.byID[r.ids[rng.Intn(len(r.ids))]]
+	owner, hops := r.lookupFrom(start, Hash(key))
+	r.Counters.Lookups++
+	r.Counters.LookupHops += hops
+	return owner, hops, nil
+}
+
+// Put stores key=value at the owner, returning the routing hops.
+func (r *Ring) Put(key, value string, rng *rand.Rand) (int, error) {
+	owner, hops, err := r.Lookup(key, rng)
+	if err != nil {
+		return 0, err
+	}
+	owner.Data[key] = value
+	return hops, nil
+}
+
+// Get fetches the value of key, returning the routing hops.
+func (r *Ring) Get(key string, rng *rand.Rand) (string, int, bool, error) {
+	owner, hops, err := r.Lookup(key, rng)
+	if err != nil {
+		return "", 0, false, err
+	}
+	v, ok := owner.Data[key]
+	return v, hops, ok, nil
+}
+
+// Delete removes key from its owner, returning the routing hops.
+func (r *Ring) Delete(key string, rng *rand.Rand) (int, error) {
+	owner, hops, err := r.Lookup(key, rng)
+	if err != nil {
+		return 0, err
+	}
+	delete(owner.Data, key)
+	return hops, nil
+}
+
+// Validate checks ring consistency and ownership of every key.
+func (r *Ring) Validate() error {
+	for i := 1; i < len(r.ids); i++ {
+		if r.ids[i-1] >= r.ids[i] {
+			return fmt.Errorf("dht: ids out of order")
+		}
+	}
+	if len(r.ids) != len(r.byID) || len(r.ids) != len(r.names) {
+		return fmt.Errorf("dht: index sizes disagree: %d %d %d",
+			len(r.ids), len(r.byID), len(r.names))
+	}
+	for _, n := range r.byID {
+		for i := 0; i < M; i++ {
+			want, _ := r.successorID(n.ID + 1<<uint(i))
+			if n.fingers[i] != want {
+				return fmt.Errorf("dht: node %q finger %d stale", n.Name, i)
+			}
+		}
+		predID, _ := r.predecessorID(n.ID)
+		for k := range n.Data {
+			if len(r.ids) > 1 && !inInterval(Hash(k), predID, n.ID) {
+				return fmt.Errorf("dht: key %q misplaced on %q", k, n.Name)
+			}
+		}
+	}
+	return nil
+}

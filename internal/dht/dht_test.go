@@ -1,0 +1,232 @@
+package dht
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func buildRing(t *testing.T, n int) *Ring {
+	t.Helper()
+	r := New()
+	for i := 0; i < n; i++ {
+		if _, err := r.Join(fmt.Sprintf("node-%04d", i)); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("invalid ring: %v", err)
+	}
+	return r
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := New()
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, _, err := r.Lookup("k", rng); err == nil {
+		t.Fatalf("lookup on empty ring must fail")
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("empty ring must validate: %v", err)
+	}
+}
+
+func TestJoinDuplicate(t *testing.T) {
+	r := buildRing(t, 3)
+	if _, err := r.Join("node-0001"); err == nil {
+		t.Fatalf("duplicate join must fail")
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	if Hash("abc") != Hash("abc") {
+		t.Fatalf("hash must be deterministic")
+	}
+	if Hash("abc") == Hash("abd") {
+		t.Fatalf("distinct keys should hash apart")
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	r := buildRing(t, 20)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		k, v := fmt.Sprintf("key-%d", i), fmt.Sprintf("val-%d", i)
+		if _, err := r.Put(k, v, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		v, _, ok, err := r.Get(k, rng)
+		if err != nil || !ok || v != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("Get(%q) = %q, %v, %v", k, v, ok, err)
+		}
+	}
+	if _, _, ok, _ := r.Get("absent", rng); ok {
+		t.Fatalf("absent key must miss")
+	}
+	if _, err := r.Delete("key-5", rng); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, _ := r.Get("key-5", rng); ok {
+		t.Fatalf("deleted key must miss")
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	r := buildRing(t, 5)
+	rng := rand.New(rand.NewSource(3))
+	_, _ = r.Put("k", "v1", rng)
+	_, _ = r.Put("k", "v2", rng)
+	v, _, ok, _ := r.Get("k", rng)
+	if !ok || v != "v2" {
+		t.Fatalf("overwrite failed: %q %v", v, ok)
+	}
+}
+
+func TestKeysSurviveChurn(t *testing.T) {
+	r := buildRing(t, 20)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 60; i++ {
+		_, _ = r.Put(fmt.Sprintf("key-%d", i), "v", rng)
+	}
+	// Churn: joins and leaves.
+	for i := 0; i < 15; i++ {
+		if _, err := r.Join(fmt.Sprintf("late-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Leave(fmt.Sprintf("node-%04d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("churn step %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 60; i++ {
+		if _, _, ok, _ := r.Get(fmt.Sprintf("key-%d", i), rng); !ok {
+			t.Fatalf("key-%d lost in churn", i)
+		}
+	}
+	if r.Counters.KeysMoved == 0 {
+		t.Fatalf("churn must move keys")
+	}
+}
+
+func TestLeaveUnknown(t *testing.T) {
+	r := buildRing(t, 2)
+	if err := r.Leave("ghost"); err == nil {
+		t.Fatalf("leaving unknown node must fail")
+	}
+}
+
+func TestLeaveAll(t *testing.T) {
+	r := buildRing(t, 5)
+	for i := 0; i < 5; i++ {
+		if err := r.Leave(fmt.Sprintf("node-%04d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after removing all", r.Len())
+	}
+}
+
+// TestLookupHopsLogarithmic checks Chord's O(log N) routing: the mean
+// hop count at N=256 must be well below N/4 and within a small factor
+// of log2(N).
+func TestLookupHopsLogarithmic(t *testing.T) {
+	r := buildRing(t, 256)
+	rng := rand.New(rand.NewSource(5))
+	total := 0
+	const lookups = 400
+	for i := 0; i < lookups; i++ {
+		_, hops, err := r.Lookup(fmt.Sprintf("key-%d", i), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += hops
+	}
+	mean := float64(total) / lookups
+	logN := math.Log2(256)
+	t.Logf("mean hops at N=256: %.2f (log2 N = %.1f)", mean, logN)
+	if mean > 2*logN {
+		t.Fatalf("mean hops %.2f exceed 2*log2(N) = %.2f", mean, 2*logN)
+	}
+	if mean < 0.5 {
+		t.Fatalf("mean hops %.2f suspiciously low", mean)
+	}
+}
+
+func TestLookupHopsGrowSlowly(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	meanHops := func(n int) float64 {
+		r := buildRing(t, n)
+		total := 0
+		for i := 0; i < 200; i++ {
+			_, hops, _ := r.Lookup(fmt.Sprintf("key-%d", i), rng)
+			total += hops
+		}
+		return float64(total) / 200
+	}
+	h64, h512 := meanHops(64), meanHops(512)
+	t.Logf("mean hops: N=64 %.2f, N=512 %.2f", h64, h512)
+	// 8x more nodes must cost far less than 8x more hops.
+	if h512 > 4*h64 {
+		t.Fatalf("hops scale badly: %.2f -> %.2f", h64, h512)
+	}
+}
+
+func TestCountersAdvance(t *testing.T) {
+	r := buildRing(t, 10)
+	rng := rand.New(rand.NewSource(7))
+	if r.Counters.MaintenanceMsgs == 0 {
+		t.Fatalf("joins must cost maintenance")
+	}
+	before := r.Counters.Lookups
+	_, _, _ = r.Lookup("x", rng)
+	if r.Counters.Lookups != before+1 {
+		t.Fatalf("lookup counter stuck")
+	}
+}
+
+func TestNodeByNameAndNodes(t *testing.T) {
+	r := buildRing(t, 4)
+	if _, ok := r.NodeByName("node-0002"); !ok {
+		t.Fatalf("NodeByName failed")
+	}
+	if _, ok := r.NodeByName("nope"); ok {
+		t.Fatalf("absent name must fail")
+	}
+	ns := r.Nodes()
+	if len(ns) != 4 {
+		t.Fatalf("Nodes len = %d", len(ns))
+	}
+	for i := 1; i < len(ns); i++ {
+		if ns[i-1].ID >= ns[i].ID {
+			t.Fatalf("Nodes not sorted")
+		}
+	}
+}
+
+func TestSingleNodeRingOwnsEverything(t *testing.T) {
+	r := buildRing(t, 1)
+	rng := rand.New(rand.NewSource(8))
+	if _, err := r.Put("any", "v", rng); err != nil {
+		t.Fatal(err)
+	}
+	v, hops, ok, _ := r.Get("any", rng)
+	if !ok || v != "v" {
+		t.Fatalf("single node must own all keys")
+	}
+	if hops != 0 {
+		t.Fatalf("single-node lookup hops = %d", hops)
+	}
+}

@@ -1,0 +1,402 @@
+// Package live runs the DLPT overlay as a concurrent message-passing
+// system: one goroutine per peer, channel mailboxes, and hop-by-hop
+// discovery routing between goroutines — the shape a deployment of
+// the paper's protocol would take (the authors' future-work
+// prototype; see DESIGN.md substitutions).
+//
+// Topology mutations (peer join/leave, service registration) are
+// serialized writers over the embedded protocol state; discovery
+// requests travel concurrently through the peer goroutines and only
+// take read locks. Correctness against the sequential engine is
+// checked by differential tests, and the package is exercised under
+// the race detector.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"dlpt/internal/core"
+	"dlpt/internal/keys"
+	"dlpt/internal/trie"
+)
+
+// Result is the outcome of a live discovery.
+type Result struct {
+	Key          keys.Key
+	Found        bool
+	Values       []string
+	LogicalHops  int
+	PhysicalHops int
+	// Path records the peer ids traversed (for tracing/demos).
+	Path []keys.Key
+}
+
+// discoverMsg is one in-flight discovery request.
+type discoverMsg struct {
+	key     keys.Key
+	at      keys.Key // node the request is addressed to
+	goingUp bool
+	res     Result
+	reply   chan Result
+}
+
+// peerProc is the goroutine-owned handle of one peer.
+type peerProc struct {
+	id      keys.Key
+	mailbox chan discoverMsg
+}
+
+// Cluster is a running overlay.
+type Cluster struct {
+	mu  sync.RWMutex // guards net topology and tree state
+	net *core.Network
+	rng *rand.Rand // guarded by mu (writers only)
+
+	entryMu  sync.Mutex // guards entryRng (used by Discover readers)
+	entryRng *rand.Rand
+
+	procMu sync.RWMutex // guards procs
+	procs  map[keys.Key]*peerProc
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	stopOnce sync.Once
+}
+
+// ErrStopped is returned by operations on a stopped cluster.
+var ErrStopped = errors.New("live: cluster stopped")
+
+const mailboxDepth = 128
+
+// Start launches a cluster with one peer per capacity entry.
+func Start(alpha *keys.Alphabet, capacities []int, seed int64) (*Cluster, error) {
+	if len(capacities) == 0 {
+		return nil, fmt.Errorf("live: no peers")
+	}
+	c := &Cluster{
+		net:      core.NewNetwork(alpha, core.PlacementLexicographic),
+		rng:      rand.New(rand.NewSource(seed)),
+		entryRng: rand.New(rand.NewSource(seed + 1)),
+		procs:    make(map[keys.Key]*peerProc),
+		quit:     make(chan struct{}),
+	}
+	for _, capacity := range capacities {
+		if _, err := c.addPeerLocked(capacity); err != nil {
+			c.Stop()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// addPeerLocked joins a new peer and spawns its goroutine. Callers
+// must not hold mu.
+func (c *Cluster) addPeerLocked(capacity int) (keys.Key, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var id keys.Key
+	for {
+		id = c.net.Alphabet.RandomKey(c.rng, 12, 12)
+		if _, exists := c.net.Peer(id); !exists {
+			break
+		}
+	}
+	if err := c.net.JoinPeer(id, capacity, c.rng); err != nil {
+		return "", err
+	}
+	p := &peerProc{id: id, mailbox: make(chan discoverMsg, mailboxDepth)}
+	c.procMu.Lock()
+	c.procs[id] = p
+	c.procMu.Unlock()
+	c.wg.Add(1)
+	go c.run(p)
+	return id, nil
+}
+
+// AddPeer joins one peer with the given capacity and returns its id.
+func (c *Cluster) AddPeer(capacity int) (keys.Key, error) {
+	select {
+	case <-c.quit:
+		return "", ErrStopped
+	default:
+	}
+	return c.addPeerLocked(capacity)
+}
+
+// RemovePeer gracefully removes the peer with the given id.
+func (c *Cluster) RemovePeer(id keys.Key) error {
+	select {
+	case <-c.quit:
+		return ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	err := c.net.LeavePeer(id)
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	c.procMu.Lock()
+	delete(c.procs, id)
+	c.procMu.Unlock()
+	// The peer goroutine exits when the cluster stops; messages are
+	// no longer routed to it because the proc table dropped it.
+	return nil
+}
+
+// NumPeers returns the current peer count.
+func (c *Cluster) NumPeers() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.NumPeers()
+}
+
+// NumNodes returns the current tree size.
+func (c *Cluster) NumNodes() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.NumNodes()
+}
+
+// Register declares a service key with a value.
+func (c *Cluster) Register(key keys.Key, value string) error {
+	select {
+	case <-c.quit:
+		return ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.net.InsertData(key, value, c.rng)
+}
+
+// Unregister removes a value from a key.
+func (c *Cluster) Unregister(key keys.Key, value string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.net.RemoveData(key, value)
+}
+
+// Snapshot returns a consistent copy of the whole tree (used by
+// whole-catalogue reads).
+func (c *Cluster) Snapshot() *trie.Tree {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.TreeSnapshot()
+}
+
+// RangeQuery resolves a lexicographic range query through the overlay
+// (entry at a random node, climb, pruned subtree traversal), with hop
+// accounting.
+func (c *Cluster) RangeQuery(lo, hi keys.Key) (core.QueryResult, error) {
+	select {
+	case <-c.quit:
+		return core.QueryResult{}, ErrStopped
+	default:
+	}
+	c.entryMu.Lock()
+	defer c.entryMu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.RangeQuery(lo, hi, c.entryRng), nil
+}
+
+// Complete resolves automatic completion of a partial search string
+// through the overlay.
+func (c *Cluster) Complete(prefix keys.Key) (core.QueryResult, error) {
+	select {
+	case <-c.quit:
+		return core.QueryResult{}, ErrStopped
+	default:
+	}
+	c.entryMu.Lock()
+	defer c.entryMu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.Complete(prefix, c.entryRng), nil
+}
+
+// Validate cross-checks all overlay invariants.
+func (c *Cluster) Validate() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.Validate()
+}
+
+// Discover routes a discovery request for key through the peer
+// goroutines, entering the tree at a random node.
+func (c *Cluster) Discover(key keys.Key) (Result, error) {
+	select {
+	case <-c.quit:
+		return Result{}, ErrStopped
+	default:
+	}
+	c.entryMu.Lock()
+	c.mu.RLock()
+	entry, ok := c.net.RandomNodeKey(c.entryRng)
+	c.mu.RUnlock()
+	c.entryMu.Unlock()
+	if !ok {
+		return Result{Key: key}, nil
+	}
+	return c.discoverFrom(key, entry)
+}
+
+// DiscoverFrom routes a discovery entering at a chosen node key.
+func (c *Cluster) DiscoverFrom(key, entry keys.Key) (Result, error) {
+	select {
+	case <-c.quit:
+		return Result{}, ErrStopped
+	default:
+	}
+	return c.discoverFrom(key, entry)
+}
+
+func (c *Cluster) discoverFrom(key, entry keys.Key) (Result, error) {
+	reply := make(chan Result, 1)
+	msg := discoverMsg{
+		key:     key,
+		at:      entry,
+		goingUp: true,
+		res:     Result{Key: key},
+		reply:   reply,
+	}
+	if !c.forward(msg, keys.Epsilon) {
+		return Result{Key: key}, ErrStopped
+	}
+	select {
+	case res := <-reply:
+		return res, nil
+	case <-c.quit:
+		return Result{}, ErrStopped
+	}
+}
+
+// forward delivers msg to the peer hosting msg.at. from is the
+// sending peer (ε for client injection). It returns false when the
+// cluster is stopping.
+func (c *Cluster) forward(msg discoverMsg, from keys.Key) bool {
+	c.mu.RLock()
+	host, ok := c.net.HostOf(msg.at)
+	c.mu.RUnlock()
+	if !ok {
+		msg.reply <- msg.res
+		return true
+	}
+	if from != keys.Epsilon {
+		msg.res.LogicalHops++
+		if host != from {
+			msg.res.PhysicalHops++
+		}
+	}
+	c.procMu.RLock()
+	p, ok := c.procs[host]
+	c.procMu.RUnlock()
+	if !ok {
+		// Host raced with a leave; re-resolve once more via the
+		// updated topology.
+		c.mu.RLock()
+		host2, ok2 := c.net.HostOf(msg.at)
+		c.mu.RUnlock()
+		if !ok2 {
+			msg.reply <- msg.res
+			return true
+		}
+		c.procMu.RLock()
+		p, ok = c.procs[host2]
+		c.procMu.RUnlock()
+		if !ok {
+			msg.reply <- msg.res
+			return true
+		}
+	}
+	select {
+	case p.mailbox <- msg:
+		return true
+	case <-c.quit:
+		return false
+	}
+}
+
+// run is the peer goroutine: process discovery messages hop by hop.
+func (c *Cluster) run(p *peerProc) {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.quit:
+			return
+		case msg := <-p.mailbox:
+			c.process(p, msg)
+		}
+	}
+}
+
+// process performs one routing step of the Section 2 discovery walk.
+func (c *Cluster) process(p *peerProc, msg discoverMsg) {
+	c.mu.RLock()
+	peer, ok := c.net.Peer(p.id)
+	var node *core.Node
+	if ok {
+		node = peer.Nodes[msg.at]
+	}
+	var next keys.Key
+	done := false
+	if node == nil {
+		// The node moved (churn/balancing); re-deliver to the new
+		// host without counting a tree hop.
+		c.mu.RUnlock()
+		msg.res.Path = append(msg.res.Path, p.id)
+		if !c.forward(msg, p.id) {
+			return
+		}
+		return
+	}
+	msg.res.Path = append(msg.res.Path, p.id)
+	switch {
+	case node.Key == msg.key:
+		if node.HasData() {
+			msg.res.Found = true
+			for v := range node.Data {
+				msg.res.Values = append(msg.res.Values, v)
+			}
+		}
+		done = true
+	default:
+		if msg.goingUp && keys.IsPrefix(node.Key, msg.key) {
+			msg.goingUp = false
+		}
+		if msg.goingUp {
+			if !node.HasFather {
+				done = true // root does not prefix the key: absent
+			} else {
+				next = node.Father
+			}
+		} else {
+			q, okc := node.BestChildFor(msg.key)
+			if !okc || !keys.IsPrefix(q, msg.key) {
+				done = true
+			} else {
+				next = q
+			}
+		}
+	}
+	c.mu.RUnlock()
+	if done {
+		msg.reply <- msg.res
+		return
+	}
+	msg.at = next
+	c.forward(msg, p.id)
+}
+
+// Stop terminates all peer goroutines. It is idempotent.
+func (c *Cluster) Stop() {
+	c.stopOnce.Do(func() {
+		close(c.quit)
+	})
+	c.wg.Wait()
+}

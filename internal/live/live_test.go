@@ -1,0 +1,329 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dlpt/internal/keys"
+	"dlpt/internal/workload"
+)
+
+func startCluster(t *testing.T, n int) *Cluster {
+	t.Helper()
+	caps := make([]int, n)
+	for i := range caps {
+		caps[i] = 100
+	}
+	c, err := Start(keys.LowerAlnum, caps, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestStartRejectsEmpty(t *testing.T) {
+	if _, err := Start(keys.LowerAlnum, nil, 1); err == nil {
+		t.Fatalf("empty cluster must fail")
+	}
+}
+
+func TestRegisterAndDiscover(t *testing.T) {
+	c := startCluster(t, 8)
+	corpus := workload.GridCorpus(100)
+	for _, k := range corpus {
+		if err := c.Register(k, "provider:"+string(k)); err != nil {
+			t.Fatalf("register %q: %v", k, err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range corpus {
+		res, err := c.Discover(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found {
+			t.Fatalf("key %q not found", k)
+		}
+		if len(res.Values) != 1 || res.Values[0] != "provider:"+string(k) {
+			t.Fatalf("values = %v", res.Values)
+		}
+		if res.PhysicalHops > res.LogicalHops {
+			t.Fatalf("physical %d > logical %d", res.PhysicalHops, res.LogicalHops)
+		}
+		if len(res.Path) == 0 {
+			t.Fatalf("empty path")
+		}
+	}
+	res, err := c.Discover("zz_missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatalf("absent key found")
+	}
+}
+
+func TestDiscoverEmptyTree(t *testing.T) {
+	c := startCluster(t, 3)
+	res, err := c.Discover("anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatalf("empty tree cannot satisfy")
+	}
+}
+
+func TestConcurrentDiscovery(t *testing.T) {
+	c := startCluster(t, 10)
+	corpus := workload.GridCorpus(150)
+	for _, k := range corpus {
+		if err := c.Register(k, string(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				k := corpus[(w*37+i)%len(corpus)]
+				res, err := c.Discover(k)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !res.Found {
+					errs <- fmt.Errorf("worker %d: %q not found", w, k)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentDiscoveryWithWrites(t *testing.T) {
+	c := startCluster(t, 8)
+	corpus := workload.GridCorpus(300)
+	initial := corpus[:150]
+	extra := corpus[150:]
+	for _, k := range initial {
+		if err := c.Register(k, string(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	// Readers on the stable half.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				k := initial[(w*13+i)%len(initial)]
+				res, err := c.Discover(k)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !res.Found {
+					errs <- fmt.Errorf("stable key %q lost during writes", k)
+					return
+				}
+			}
+		}(w)
+	}
+	// A writer registering the other half plus churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, k := range extra {
+			if err := c.Register(k, string(k)); err != nil {
+				errs <- err
+				return
+			}
+			if i%30 == 0 {
+				if _, err := c.AddPeer(50); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range extra {
+		res, err := c.Discover(k)
+		if err != nil || !res.Found {
+			t.Fatalf("late key %q missing: %v", k, err)
+		}
+	}
+}
+
+func TestAddRemovePeers(t *testing.T) {
+	c := startCluster(t, 4)
+	corpus := workload.GridCorpus(60)
+	for _, k := range corpus {
+		if err := c.Register(k, string(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, err := c.AddPeer(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumPeers() != 5 {
+		t.Fatalf("NumPeers = %d", c.NumPeers())
+	}
+	if err := c.RemovePeer(id); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumPeers() != 4 {
+		t.Fatalf("NumPeers = %d after removal", c.NumPeers())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range corpus {
+		res, err := c.Discover(k)
+		if err != nil || !res.Found {
+			t.Fatalf("key %q lost after churn", k)
+		}
+	}
+	if err := c.RemovePeer("ghost_peer_id"); err == nil {
+		t.Fatalf("removing unknown peer must fail")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	c := startCluster(t, 4)
+	if err := c.Register("dgemm", "h1"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Unregister("dgemm", "h1") {
+		t.Fatalf("unregister failed")
+	}
+	if c.Unregister("dgemm", "h1") {
+		t.Fatalf("double unregister must fail")
+	}
+	res, err := c.Discover("dgemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatalf("unregistered key still discoverable")
+	}
+}
+
+func TestRoutedRangeAndComplete(t *testing.T) {
+	c := startCluster(t, 6)
+	for _, k := range []keys.Key{"sgemm", "sgemv", "strsm", "dgemm", "saxpy"} {
+		if err := c.Register(k, string(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := c.Complete("sge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Keys) != 2 {
+		t.Fatalf("Complete = %v", res.Keys)
+	}
+	if res.NodesVisited == 0 {
+		t.Fatalf("routed completion must visit nodes")
+	}
+	rr, err := c.RangeQuery("saxpy", "sgemv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Keys) != 3 {
+		t.Fatalf("RangeQuery = %v", rr.Keys)
+	}
+	c.Stop()
+	if _, err := c.Complete("s"); err != ErrStopped {
+		t.Fatalf("Complete after stop = %v", err)
+	}
+	if _, err := c.RangeQuery("a", "z"); err != ErrStopped {
+		t.Fatalf("RangeQuery after stop = %v", err)
+	}
+}
+
+func TestSnapshotQueries(t *testing.T) {
+	c := startCluster(t, 6)
+	for _, k := range []keys.Key{"sgemm", "sgemv", "strsm", "dgemm"} {
+		if err := c.Register(k, string(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := c.Snapshot()
+	if got := snap.Complete("sge", 0); len(got) != 2 {
+		t.Fatalf("Complete = %v", got)
+	}
+	if got := snap.Range("d", "e", 0); len(got) != 1 || got[0] != keys.Key("dgemm") {
+		t.Fatalf("Range = %v", got)
+	}
+	if c.NumNodes() == 0 {
+		t.Fatalf("NumNodes = 0")
+	}
+}
+
+func TestStopIsIdempotentAndRejectsOps(t *testing.T) {
+	c := startCluster(t, 3)
+	if err := c.Register("k1", "v"); err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	c.Stop()
+	if err := c.Register("k2", "v"); err != ErrStopped {
+		t.Fatalf("Register after stop = %v", err)
+	}
+	if _, err := c.Discover("k1"); err != ErrStopped {
+		t.Fatalf("Discover after stop = %v", err)
+	}
+	if _, err := c.AddPeer(10); err != ErrStopped {
+		t.Fatalf("AddPeer after stop = %v", err)
+	}
+	if err := c.RemovePeer("x"); err != ErrStopped {
+		t.Fatalf("RemovePeer after stop = %v", err)
+	}
+}
+
+// TestDifferentialAgainstSnapshot routes every key through the live
+// cluster and cross-checks against the sequential reference.
+func TestDifferentialAgainstSnapshot(t *testing.T) {
+	c := startCluster(t, 12)
+	corpus := workload.GridCorpus(200)
+	for _, k := range corpus {
+		if err := c.Register(k, string(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := c.Snapshot()
+	for _, k := range corpus {
+		n, ok := snap.Lookup(k)
+		if !ok || !n.HasData() {
+			t.Fatalf("reference lost %q", k)
+		}
+		res, err := c.Discover(k)
+		if err != nil || !res.Found {
+			t.Fatalf("live lost %q", k)
+		}
+	}
+}

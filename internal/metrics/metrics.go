@@ -1,0 +1,178 @@
+// Package metrics renders simulation results the way the paper
+// reports them: time-series suitable for gnuplot-style plotting (the
+// figures) and aligned ASCII tables (the tables), plus CSV output.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Column is one named series of a plot/table.
+type Column struct {
+	Name   string
+	Values []float64
+}
+
+// Dataset is a set of columns sharing an index column (e.g. time).
+type Dataset struct {
+	Title   string
+	Index   Column
+	Columns []Column
+}
+
+// NewDataset creates a dataset with the given title and index.
+func NewDataset(title, indexName string, index []float64) *Dataset {
+	return &Dataset{Title: title, Index: Column{Name: indexName, Values: index}}
+}
+
+// AddColumn appends a series; its length must match the index.
+func (d *Dataset) AddColumn(name string, values []float64) error {
+	if len(values) != len(d.Index.Values) {
+		return fmt.Errorf("metrics: column %q has %d values, index has %d",
+			name, len(values), len(d.Index.Values))
+	}
+	d.Columns = append(d.Columns, Column{Name: name, Values: values})
+	return nil
+}
+
+// WriteCSV emits the dataset as CSV with a header row.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	headers := []string{d.Index.Name}
+	for _, c := range d.Columns {
+		headers = append(headers, c.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	for i := range d.Index.Values {
+		row := []string{formatFloat(d.Index.Values[i])}
+		for _, c := range d.Columns {
+			row = append(row, formatFloat(c.Values[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteGnuplot emits whitespace-separated columns with a commented
+// header, the format the paper's figures were plotted from.
+func (d *Dataset) WriteGnuplot(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", d.Title); err != nil {
+		return err
+	}
+	headers := []string{"# " + d.Index.Name}
+	for _, c := range d.Columns {
+		headers = append(headers, c.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(headers, "\t")); err != nil {
+		return err
+	}
+	for i := range d.Index.Values {
+		row := []string{formatFloat(d.Index.Values[i])}
+		for _, c := range d.Columns {
+			row = append(row, formatFloat(c.Values[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// Table is an aligned ASCII table with string cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row, padding or truncating to the header width.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+		return err
+	}
+	rule := make([]string, len(widths))
+	for i, wd := range widths {
+		rule[i] = strings.Repeat("-", wd)
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "|-%s-|\n", strings.Join(rule, "-+-")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Pct formats a ratio as "12.34%".
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }

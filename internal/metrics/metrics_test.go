@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDatasetCSV(t *testing.T) {
+	d := NewDataset("fig", "time", []float64{0, 1, 2})
+	if err := d.AddColumn("mlt", []float64{10, 20.5, 30}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddColumn("kc", []float64{5, 6, 7}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := d.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "time,mlt,kc" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "0,10,5" {
+		t.Fatalf("row 0 = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "20.500") {
+		t.Fatalf("float formatting wrong: %q", lines[2])
+	}
+}
+
+func TestDatasetColumnLengthMismatch(t *testing.T) {
+	d := NewDataset("fig", "t", []float64{0, 1})
+	if err := d.AddColumn("x", []float64{1}); err == nil {
+		t.Fatalf("length mismatch must error")
+	}
+}
+
+func TestDatasetGnuplot(t *testing.T) {
+	d := NewDataset("Figure 4", "time", []float64{0, 1})
+	_ = d.AddColumn("MLT", []float64{98, 97})
+	var b strings.Builder
+	if err := d.WriteGnuplot(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "# Figure 4\n") {
+		t.Fatalf("missing title comment:\n%s", out)
+	}
+	if !strings.Contains(out, "# time\tMLT") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "0\t98") {
+		t.Fatalf("missing data row:\n%s", out)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table 1", "Load", "MLT", "KC")
+	tb.AddRow("5%", "39.62%", "38.58%")
+	tb.AddRow("10%", "103.41%")
+	s := tb.String()
+	if !strings.Contains(s, "Table 1") {
+		t.Fatalf("missing title:\n%s", s)
+	}
+	if !strings.Contains(s, "| Load") {
+		t.Fatalf("missing header:\n%s", s)
+	}
+	if !strings.Contains(s, "39.62%") {
+		t.Fatalf("missing cell:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// Title + header + rule + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	// All table lines equally wide (alignment).
+	w := len(lines[1])
+	for _, l := range lines[1:] {
+		if len(l) != w {
+			t.Fatalf("unaligned line %q:\n%s", l, s)
+		}
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")
+	if len(tb.Rows[0]) != 3 {
+		t.Fatalf("row must be padded to header width")
+	}
+	if tb.Rows[0][1] != "" || tb.Rows[0][2] != "" {
+		t.Fatalf("padding cells must be empty")
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if Pct(12.345) != "12.35%" {
+		t.Fatalf("Pct = %q", Pct(12.345))
+	}
+	if F2(1.005) == "" {
+		t.Fatalf("F2 empty")
+	}
+	if formatFloat(3) != "3" {
+		t.Fatalf("integers must render bare: %q", formatFloat(3))
+	}
+	if formatFloat(3.14159) != "3.142" {
+		t.Fatalf("floats must render 3 decimals: %q", formatFloat(3.14159))
+	}
+}

@@ -1,0 +1,244 @@
+package pgrid
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dlpt/internal/keys"
+	"dlpt/internal/workload"
+)
+
+func buildGrid(t *testing.T, nPeers, nKeys int, seed int64) (*Grid, []keys.Key) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var names []string
+	for i := 0; i < nPeers; i++ {
+		names = append(names, fmt.Sprintf("peer-%03d", i))
+	}
+	ks := workload.GridCorpus(nKeys)
+	g, err := Build(Config{D: 64, MaxKeysPerLeaf: 8, RefsPerLevel: 2}, names, ks, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid grid: %v", err)
+	}
+	return g, ks
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Build(Config{D: 0}, []string{"a"}, nil, rng); err == nil {
+		t.Fatalf("D=0 must fail")
+	}
+	if _, err := Build(Config{D: 8}, nil, nil, rng); err == nil {
+		t.Fatalf("no peers must fail")
+	}
+	if _, err := Build(Config{D: 8}, []string{"a", "a"}, nil, rng); err == nil {
+		t.Fatalf("duplicate peers must fail")
+	}
+}
+
+func TestBuildPartitionsAndAssignsAll(t *testing.T) {
+	g, _ := buildGrid(t, 32, 200, 2)
+	if g.NumPeers() != 32 {
+		t.Fatalf("NumPeers = %d", g.NumPeers())
+	}
+	if g.NumPartitions() < 2 {
+		t.Fatalf("expected multiple partitions, got %d", g.NumPartitions())
+	}
+	if g.NumPartitions() > 32 {
+		t.Fatalf("more partitions than peers: %d", g.NumPartitions())
+	}
+	for _, p := range g.Peers() {
+		if p.Path == "" && g.NumPartitions() > 1 {
+			t.Fatalf("peer %q has empty path", p.Name)
+		}
+	}
+}
+
+func TestLookupFindsAllKeys(t *testing.T) {
+	g, ks := buildGrid(t, 24, 150, 3)
+	for _, k := range ks {
+		found, hops, err := g.Lookup(k)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", k, err)
+		}
+		if !found {
+			t.Fatalf("key %q not found", k)
+		}
+		if hops > g.MaxPathLen()+1 {
+			t.Fatalf("lookup took %d hops, max path %d", hops, g.MaxPathLen())
+		}
+	}
+	found, _, err := g.Lookup("zz_missing_key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatalf("absent key must miss")
+	}
+}
+
+func TestInsertThenLookup(t *testing.T) {
+	g, _ := buildGrid(t, 16, 60, 4)
+	newKey := keys.Key("zznew_routine")
+	if _, err := g.Insert(newKey); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	found, _, err := g.Lookup(newKey)
+	if err != nil || !found {
+		t.Fatalf("inserted key not found: %v %v", found, err)
+	}
+}
+
+func TestReplicasShareKeys(t *testing.T) {
+	// More peers than partitions forces replication.
+	g, ks := buildGrid(t, 40, 30, 5)
+	byPath := map[string][]*Peer{}
+	for _, p := range g.Peers() {
+		byPath[p.Path] = append(byPath[p.Path], p)
+	}
+	replicated := false
+	for _, ps := range byPath {
+		if len(ps) > 1 {
+			replicated = true
+			for i := 1; i < len(ps); i++ {
+				if len(ps[i].Keys) != len(ps[0].Keys) {
+					t.Fatalf("replicas of %q disagree: %d vs %d keys",
+						ps[0].Path, len(ps[i].Keys), len(ps[0].Keys))
+				}
+			}
+		}
+	}
+	if !replicated {
+		t.Fatalf("expected replication with 40 peers over %d partitions (keys=%d)",
+			g.NumPartitions(), len(ks))
+	}
+}
+
+func TestRangeMatchesFilter(t *testing.T) {
+	g, ks := buildGrid(t, 24, 150, 6)
+	lo, hi := keys.Key("pd"), keys.Key("pz")
+	got, hops, err := g.Range(lo, hi, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hops <= 0 {
+		t.Fatalf("range must walk partitions")
+	}
+	want := map[keys.Key]bool{}
+	loB, hiB := keys.Bits(lo, 64), keys.Bits(hi, 64)
+	for _, k := range ks {
+		kb := keys.Bits(k, 64)
+		if loB <= kb && kb <= hiB {
+			want[k] = true
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Range returned %d keys, want %d", len(got), len(want))
+	}
+	for _, k := range got {
+		if !want[k] {
+			t.Fatalf("unexpected key %q", k)
+		}
+	}
+	if out, _, _ := g.Range("z", "a", 0); out != nil {
+		t.Fatalf("inverted range must be empty")
+	}
+	if out, _, _ := g.Range("a", "z", 5); len(out) != 5 {
+		t.Fatalf("limit ignored: %d", len(out))
+	}
+}
+
+// TestRoutingLogarithmic checks the O(log |Π|) claim of Table 2.
+func TestRoutingLogarithmic(t *testing.T) {
+	g, ks := buildGrid(t, 128, 1000, 7)
+	total := 0
+	n := 300
+	for i := 0; i < n; i++ {
+		_, hops, err := g.Lookup(ks[i%len(ks)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += hops
+	}
+	mean := float64(total) / float64(n)
+	bound := 2 * math.Log2(float64(g.NumPartitions())+1)
+	t.Logf("mean hops %.2f over %d partitions (2log2 = %.2f)", mean, g.NumPartitions(), bound)
+	if mean > bound+2 {
+		t.Fatalf("mean hops %.2f exceed logarithmic bound %.2f", mean, bound)
+	}
+}
+
+func TestAvgRoutingState(t *testing.T) {
+	g, _ := buildGrid(t, 64, 500, 8)
+	s := g.AvgRoutingState()
+	if s <= 0 {
+		t.Fatalf("AvgRoutingState = %v", s)
+	}
+	// O(log |Π|) with 2 refs per level.
+	bound := 2.0 * (math.Log2(float64(g.NumPartitions())) + 3)
+	if s > bound {
+		t.Fatalf("routing state %v exceeds %v", s, bound)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	g, ks := buildGrid(t, 16, 80, 9)
+	before := g.Counters.Queries
+	_, _, _ = g.Lookup(ks[0])
+	if g.Counters.Queries != before+1 {
+		t.Fatalf("query counter stuck")
+	}
+}
+
+func TestSinglePeerGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ks := workload.GridCorpus(20)
+	g, err := Build(Config{D: 16, MaxKeysPerLeaf: 4, RefsPerLevel: 2}, []string{"only"}, ks, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumPartitions() != 1 {
+		t.Fatalf("single peer must keep one partition, got %d", g.NumPartitions())
+	}
+	found, hops, err := g.Lookup(ks[0])
+	if err != nil || !found || hops != 0 {
+		t.Fatalf("single-peer lookup: %v %d %v", found, hops, err)
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	build := func() []string {
+		rng := rand.New(rand.NewSource(42))
+		var names []string
+		for i := 0; i < 16; i++ {
+			names = append(names, fmt.Sprintf("p%d", i))
+		}
+		g, err := Build(Config{D: 32, MaxKeysPerLeaf: 6, RefsPerLevel: 2},
+			names, workload.GridCorpus(100), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var paths []string
+		for _, p := range g.Peers() {
+			paths = append(paths, p.Path)
+		}
+		return paths
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic build at %d", i)
+		}
+	}
+}

@@ -1,0 +1,393 @@
+// Package pht implements the Prefix Hash Tree of Ramabhadran,
+// Ratnasamy, Hellerstein and Shenker (PODC 2004): a binary trie built
+// over a DHT, the closest related work the paper compares against in
+// Table 2. Each trie vertex lives in the DHT under the hash of its
+// bit-prefix label; leaves hold up to B keys and split on overflow.
+//
+// A PHT lookup costs one DHT get per descended prefix (linear
+// descent, O(D log P) total routing hops) or O(log D) gets with
+// binary search on the prefix length — both are implemented and
+// measured by the Table 2 experiment.
+package pht
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"dlpt/internal/dht"
+	"dlpt/internal/keys"
+)
+
+// Counters tracks PHT traffic in DHT operations and underlying
+// routing hops.
+type Counters struct {
+	DHTGets     int
+	DHTPuts     int
+	RoutingHops int
+}
+
+// PHT is a prefix hash tree client bound to a DHT ring.
+type PHT struct {
+	Counters Counters
+
+	ring *dht.Ring
+	d    int // key bit length D
+	b    int // leaf bucket capacity B
+	rng  *rand.Rand
+}
+
+// vertex is the DHT-stored record of one trie node.
+type vertex struct {
+	Leaf bool     `json:"leaf"`
+	Keys []string `json:"keys,omitempty"`
+}
+
+// New creates a PHT over the given ring with key bit-length d and
+// leaf capacity b, initializing the root leaf.
+func New(ring *dht.Ring, d, b int, rng *rand.Rand) (*PHT, error) {
+	if d < 1 || b < 1 {
+		return nil, fmt.Errorf("pht: bad parameters d=%d b=%d", d, b)
+	}
+	p := &PHT{ring: ring, d: d, b: b, rng: rng}
+	if err := p.putVertex("", vertex{Leaf: true}); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// D returns the key bit length.
+func (p *PHT) D() int { return p.d }
+
+// B returns the leaf capacity.
+func (p *PHT) B() int { return p.b }
+
+func label(prefix string) string { return "pht:" + prefix }
+
+func (p *PHT) getVertex(prefix string) (vertex, bool, error) {
+	raw, hops, ok, err := p.ring.Get(label(prefix), p.rng)
+	p.Counters.DHTGets++
+	p.Counters.RoutingHops += hops
+	if err != nil || !ok {
+		return vertex{}, false, err
+	}
+	var v vertex
+	if err := json.Unmarshal([]byte(raw), &v); err != nil {
+		return vertex{}, false, fmt.Errorf("pht: corrupt vertex %q: %w", prefix, err)
+	}
+	return v, true, nil
+}
+
+func (p *PHT) putVertex(prefix string, v vertex) error {
+	sort.Strings(v.Keys)
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	hops, err := p.ring.Put(label(prefix), string(raw), p.rng)
+	p.Counters.DHTPuts++
+	p.Counters.RoutingHops += hops
+	return err
+}
+
+func (p *PHT) deleteVertex(prefix string) error {
+	hops, err := p.ring.Delete(label(prefix), p.rng)
+	p.Counters.DHTPuts++
+	p.Counters.RoutingHops += hops
+	return err
+}
+
+// findLeafLinear walks prefixes of increasing length until the leaf
+// owning bits is found (the PHT linear descent).
+func (p *PHT) findLeafLinear(bits string) (string, vertex, error) {
+	for l := 0; l <= p.d; l++ {
+		prefix := bits[:l]
+		v, ok, err := p.getVertex(prefix)
+		if err != nil {
+			return "", vertex{}, err
+		}
+		if !ok {
+			return "", vertex{}, fmt.Errorf("pht: missing vertex %q", prefix)
+		}
+		if v.Leaf {
+			return prefix, v, nil
+		}
+	}
+	return "", vertex{}, fmt.Errorf("pht: descended past depth %d", p.d)
+}
+
+// findLeafBinary locates the owning leaf with binary search on the
+// prefix length: a present leaf ends the search, a present internal
+// vertex moves the window deeper, a missing vertex moves it shallower.
+func (p *PHT) findLeafBinary(bits string) (string, vertex, error) {
+	lo, hi := 0, p.d
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		v, ok, err := p.getVertex(bits[:mid])
+		if err != nil {
+			return "", vertex{}, err
+		}
+		switch {
+		case ok && v.Leaf:
+			return bits[:mid], v, nil
+		case ok: // internal: leaf is deeper
+			lo = mid + 1
+		default: // no vertex: leaf is shallower
+			hi = mid - 1
+		}
+	}
+	return "", vertex{}, fmt.Errorf("pht: binary search failed for %q", bits)
+}
+
+// Insert adds key to the structure, splitting overflowing leaves.
+func (p *PHT) Insert(key keys.Key) error {
+	bits := keys.Bits(key, p.d)
+	prefix, v, err := p.findLeafLinear(bits)
+	if err != nil {
+		return err
+	}
+	for _, k := range v.Keys {
+		if k == string(key) {
+			return nil // already present
+		}
+	}
+	v.Keys = append(v.Keys, string(key))
+	if len(v.Keys) <= p.b || len(prefix) == p.d {
+		// Fits (or the leaf is at maximum depth and may overflow:
+		// keys indistinguishable within D bits cannot be split).
+		return p.putVertex(prefix, v)
+	}
+	return p.split(prefix, v)
+}
+
+// split turns an overflowing leaf into an internal vertex with two
+// leaf children, recursing while a child still overflows.
+func (p *PHT) split(prefix string, v vertex) error {
+	var zero, one vertex
+	zero.Leaf, one.Leaf = true, true
+	for _, k := range v.Keys {
+		kb := keys.Bits(keys.Key(k), p.d)
+		if kb[len(prefix)] == '0' {
+			zero.Keys = append(zero.Keys, k)
+		} else {
+			one.Keys = append(one.Keys, k)
+		}
+	}
+	if err := p.putVertex(prefix, vertex{Leaf: false}); err != nil {
+		return err
+	}
+	children := []struct {
+		suffix string
+		child  vertex
+	}{{"0", zero}, {"1", one}}
+	for _, c := range children {
+		suffix, child := c.suffix, c.child
+		cp := prefix + suffix
+		if len(child.Keys) > p.b && len(cp) < p.d {
+			if err := p.split(cp, child); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := p.putVertex(cp, child); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lookup reports whether key is present, using linear descent.
+func (p *PHT) Lookup(key keys.Key) (bool, error) {
+	bits := keys.Bits(key, p.d)
+	_, v, err := p.findLeafLinear(bits)
+	if err != nil {
+		return false, err
+	}
+	for _, k := range v.Keys {
+		if k == string(key) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// LookupBinary is Lookup via binary search on the prefix length.
+func (p *PHT) LookupBinary(key keys.Key) (bool, error) {
+	bits := keys.Bits(key, p.d)
+	_, v, err := p.findLeafBinary(bits)
+	if err != nil {
+		return false, err
+	}
+	for _, k := range v.Keys {
+		if k == string(key) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Delete removes key, merging a pair of leaf siblings back into their
+// parent when their united content fits a bucket.
+func (p *PHT) Delete(key keys.Key) (bool, error) {
+	bits := keys.Bits(key, p.d)
+	prefix, v, err := p.findLeafLinear(bits)
+	if err != nil {
+		return false, err
+	}
+	found := false
+	out := v.Keys[:0]
+	for _, k := range v.Keys {
+		if k == string(key) {
+			found = true
+			continue
+		}
+		out = append(out, k)
+	}
+	if !found {
+		return false, nil
+	}
+	v.Keys = out
+	if err := p.putVertex(prefix, v); err != nil {
+		return false, err
+	}
+	return true, p.maybeMerge(prefix)
+}
+
+// maybeMerge collapses leaf siblings into their parent while the
+// union fits in one bucket.
+func (p *PHT) maybeMerge(prefix string) error {
+	for len(prefix) > 0 {
+		parent := prefix[:len(prefix)-1]
+		sibSuffix := "1"
+		if prefix[len(prefix)-1] == '1' {
+			sibSuffix = "0"
+		}
+		self, okSelf, err := p.getVertex(prefix)
+		if err != nil || !okSelf || !self.Leaf {
+			return err
+		}
+		sib, okSib, err := p.getVertex(parent + sibSuffix)
+		if err != nil || !okSib || !sib.Leaf {
+			return err
+		}
+		if len(self.Keys)+len(sib.Keys) > p.b {
+			return nil
+		}
+		merged := vertex{Leaf: true, Keys: append(append([]string{}, self.Keys...), sib.Keys...)}
+		if err := p.putVertex(parent, merged); err != nil {
+			return err
+		}
+		if err := p.deleteVertex(prefix); err != nil {
+			return err
+		}
+		if err := p.deleteVertex(parent + sibSuffix); err != nil {
+			return err
+		}
+		prefix = parent
+	}
+	return nil
+}
+
+// Range returns the present keys whose bit encodings fall within
+// [lo, hi] in encoded order, traversing only the intersecting
+// subtrees. limit <= 0 means unlimited.
+func (p *PHT) Range(lo, hi keys.Key, limit int) ([]keys.Key, error) {
+	loBits, hiBits := keys.Bits(lo, p.d), keys.Bits(hi, p.d)
+	if hiBits < loBits {
+		return nil, nil
+	}
+	var out []keys.Key
+	var walk func(prefix string) (bool, error)
+	walk = func(prefix string) (bool, error) {
+		// Prune subtrees outside [loBits, hiBits]: the subtree at
+		// prefix covers bit strings in [prefix0..0, prefix1..1].
+		minB := prefix + strings.Repeat("0", p.d-len(prefix))
+		maxB := prefix + strings.Repeat("1", p.d-len(prefix))
+		if maxB < loBits || minB > hiBits {
+			return true, nil
+		}
+		v, ok, err := p.getVertex(prefix)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return true, nil
+		}
+		if v.Leaf {
+			for _, k := range v.Keys {
+				kb := keys.Bits(keys.Key(k), p.d)
+				if loBits <= kb && kb <= hiBits {
+					out = append(out, keys.Key(k))
+					if limit > 0 && len(out) >= limit {
+						return false, nil
+					}
+				}
+			}
+			return true, nil
+		}
+		for _, suffix := range []string{"0", "1"} {
+			cont, err := walk(prefix + suffix)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+	if _, err := walk(""); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return keys.Bits(out[i], p.d) < keys.Bits(out[j], p.d)
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+// Validate checks trie structural invariants by walking from the
+// root: internal vertices have both children present, leaves respect
+// the capacity (except at maximum depth), and every stored key's bit
+// encoding extends its leaf prefix.
+func (p *PHT) Validate() error {
+	var walk func(prefix string) error
+	walk = func(prefix string) error {
+		v, ok, err := p.getVertex(prefix)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("pht: missing vertex %q", prefix)
+		}
+		if v.Leaf {
+			if len(v.Keys) > p.b && len(prefix) < p.d {
+				return fmt.Errorf("pht: leaf %q overflows: %d > %d", prefix, len(v.Keys), p.b)
+			}
+			for _, k := range v.Keys {
+				if !strings.HasPrefix(keys.Bits(keys.Key(k), p.d), prefix) {
+					return fmt.Errorf("pht: key %q misfiled under %q", k, prefix)
+				}
+			}
+			return nil
+		}
+		if len(v.Keys) != 0 {
+			return fmt.Errorf("pht: internal vertex %q holds keys", prefix)
+		}
+		if len(prefix) >= p.d {
+			return fmt.Errorf("pht: internal vertex at max depth %q", prefix)
+		}
+		if err := walk(prefix + "0"); err != nil {
+			return err
+		}
+		return walk(prefix + "1")
+	}
+	return walk("")
+}
+
+// Keys returns every stored key in encoded order (full traversal).
+func (p *PHT) Keys() ([]keys.Key, error) {
+	maxKey := keys.Key(strings.Repeat("\xff", p.d/8+1))
+	return p.Range("", maxKey, 0)
+}

@@ -1,0 +1,273 @@
+package pht
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dlpt/internal/dht"
+	"dlpt/internal/keys"
+	"dlpt/internal/workload"
+)
+
+func buildPHT(t *testing.T, peers, d, b int, seed int64) (*PHT, *rand.Rand) {
+	t.Helper()
+	ring := dht.New()
+	for i := 0; i < peers; i++ {
+		if _, err := ring.Join(fmt.Sprintf("peer-%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p, err := New(ring, d, b, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, rng
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	ring := dht.New()
+	_, _ = ring.Join("p0")
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(ring, 0, 4, rng); err == nil {
+		t.Fatalf("d=0 must fail")
+	}
+	if _, err := New(ring, 8, 0, rng); err == nil {
+		t.Fatalf("b=0 must fail")
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	p, _ := buildPHT(t, 16, 32, 4, 2)
+	corpus := workload.GridCorpus(60)
+	for _, k := range corpus {
+		if err := p.Insert(k); err != nil {
+			t.Fatalf("insert %q: %v", k, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("invalid PHT: %v", err)
+	}
+	for _, k := range corpus {
+		found, err := p.Lookup(k)
+		if err != nil || !found {
+			t.Fatalf("Lookup(%q) = %v, %v", k, found, err)
+		}
+		found, err = p.LookupBinary(k)
+		if err != nil || !found {
+			t.Fatalf("LookupBinary(%q) = %v, %v", k, found, err)
+		}
+	}
+	if found, _ := p.Lookup("zz_not_there"); found {
+		t.Fatalf("absent key must miss")
+	}
+	if found, _ := p.LookupBinary("zz_not_there"); found {
+		t.Fatalf("absent key must miss (binary)")
+	}
+}
+
+func TestInsertDuplicateIdempotent(t *testing.T) {
+	p, _ := buildPHT(t, 4, 32, 4, 3)
+	for i := 0; i < 3; i++ {
+		if err := p.Insert("dgemm"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ks, err := p.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 1 {
+		t.Fatalf("Keys = %v", ks)
+	}
+}
+
+func TestSplitOnOverflow(t *testing.T) {
+	p, _ := buildPHT(t, 8, 32, 2, 4)
+	// Insert > b keys: forces splits.
+	for _, k := range []keys.Key{"aaa", "aab", "aba", "abb", "baa", "bab"} {
+		if err := p.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("after %q: %v", k, err)
+		}
+	}
+	for _, k := range []keys.Key{"aaa", "aab", "aba", "abb", "baa", "bab"} {
+		if found, _ := p.Lookup(k); !found {
+			t.Fatalf("%q lost after splits", k)
+		}
+	}
+}
+
+func TestMaxDepthOverflowAllowed(t *testing.T) {
+	// Keys identical in the first d bits cannot be separated; the
+	// deepest leaf is allowed to overflow.
+	p, _ := buildPHT(t, 4, 8, 1, 5) // d = 8 bits = 1 byte
+	for _, k := range []keys.Key{"same_a", "same_b", "same_c"} {
+		if err := p.Insert(k); err != nil {
+			t.Fatalf("insert %q: %v", k, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []keys.Key{"same_a", "same_b", "same_c"} {
+		if found, _ := p.Lookup(k); !found {
+			t.Fatalf("%q lost", k)
+		}
+	}
+}
+
+func TestDeleteAndMerge(t *testing.T) {
+	p, _ := buildPHT(t, 8, 32, 2, 6)
+	ks := []keys.Key{"aaa", "aab", "aba", "abb"}
+	for _, k := range ks {
+		if err := p.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range ks {
+		ok, err := p.Delete(k)
+		if err != nil || !ok {
+			t.Fatalf("Delete(%q) = %v, %v", k, ok, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("after delete %q: %v", k, err)
+		}
+		if found, _ := p.Lookup(k); found {
+			t.Fatalf("%q still present", k)
+		}
+	}
+	if ok, _ := p.Delete("aaa"); ok {
+		t.Fatalf("double delete must report false")
+	}
+	left, err := p.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("keys remain: %v", left)
+	}
+}
+
+func TestRange(t *testing.T) {
+	p, _ := buildPHT(t, 8, 64, 4, 7)
+	corpus := []keys.Key{"dgemm", "dgemv", "saxpy", "sgemm", "sgemv", "strsm"}
+	for _, k := range corpus {
+		if err := p.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := p.Range("saxpy", "sgemv", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[keys.Key]bool{"saxpy": true, "sgemm": true, "sgemv": true}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v", got)
+	}
+	for _, k := range got {
+		if !want[k] {
+			t.Fatalf("unexpected key %q in range", k)
+		}
+	}
+	if got, _ := p.Range("z", "a", 0); got != nil {
+		t.Fatalf("inverted range must be empty")
+	}
+	if got, _ := p.Range("a", "z", 2); len(got) != 2 {
+		t.Fatalf("limit ignored: %v", got)
+	}
+}
+
+func TestCountersGrow(t *testing.T) {
+	p, _ := buildPHT(t, 16, 32, 4, 8)
+	before := p.Counters
+	if err := p.Insert("dgemm"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Counters.DHTGets <= before.DHTGets {
+		t.Fatalf("inserts must perform DHT gets")
+	}
+	if p.Counters.DHTPuts <= before.DHTPuts {
+		t.Fatalf("inserts must perform DHT puts")
+	}
+	g := p.Counters.DHTGets
+	if _, err := p.Lookup("dgemm"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Counters.DHTGets <= g {
+		t.Fatalf("lookups must perform DHT gets")
+	}
+}
+
+// TestBinaryCheaperThanLinear verifies the PHT optimization: binary
+// search on the prefix length uses fewer DHT gets than linear descent
+// once the trie is deep.
+func TestBinaryCheaperThanLinear(t *testing.T) {
+	p, _ := buildPHT(t, 16, 64, 2, 9)
+	corpus := workload.GridCorpus(120)
+	for _, k := range corpus {
+		if err := p.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g0 := p.Counters.DHTGets
+	for _, k := range corpus[:40] {
+		if _, err := p.Lookup(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	linear := p.Counters.DHTGets - g0
+	g1 := p.Counters.DHTGets
+	for _, k := range corpus[:40] {
+		if _, err := p.LookupBinary(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	binary := p.Counters.DHTGets - g1
+	t.Logf("DHT gets for 40 lookups: linear=%d binary=%d", linear, binary)
+	if binary >= linear {
+		t.Fatalf("binary search (%d gets) must beat linear descent (%d gets)", binary, linear)
+	}
+}
+
+func TestKeysSortedInEncodedOrder(t *testing.T) {
+	p, _ := buildPHT(t, 8, 64, 3, 10)
+	corpus := workload.GridCorpus(50)
+	for _, k := range corpus {
+		if err := p.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ks, err := p.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 50 {
+		t.Fatalf("Keys len = %d", len(ks))
+	}
+	for i := 1; i < len(ks); i++ {
+		if keys.Bits(ks[i-1], 64) > keys.Bits(ks[i], 64) {
+			t.Fatalf("keys out of encoded order at %d", i)
+		}
+	}
+}
+
+func TestAccessorsAndBits(t *testing.T) {
+	p, _ := buildPHT(t, 2, 16, 5, 11)
+	if p.D() != 16 || p.B() != 5 {
+		t.Fatalf("accessors wrong")
+	}
+	// keys.Bits sanity: 'a' = 0x61 = 01100001.
+	if got := keys.Bits("a", 8); got != "01100001" {
+		t.Fatalf("Bits(a,8) = %q", got)
+	}
+	if got := keys.Bits("a", 12); got != "011000010000" {
+		t.Fatalf("Bits must zero-pad: %q", got)
+	}
+	if got := keys.Bits("", 4); got != "0000" {
+		t.Fatalf("Bits(ε) = %q", got)
+	}
+}

@@ -1,0 +1,323 @@
+package ring
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dlpt/internal/keys"
+)
+
+func build(ids ...keys.Key) *Ring {
+	r := New()
+	for _, id := range ids {
+		r.Insert(id)
+	}
+	return r
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := New()
+	if r.Len() != 0 {
+		t.Fatalf("empty ring Len = %d", r.Len())
+	}
+	if _, ok := r.Min(); ok {
+		t.Fatalf("Min on empty must fail")
+	}
+	if _, ok := r.Max(); ok {
+		t.Fatalf("Max on empty must fail")
+	}
+	if _, ok := r.HostOf("x"); ok {
+		t.Fatalf("HostOf on empty must fail")
+	}
+	if _, ok := r.Successor("x"); ok {
+		t.Fatalf("Successor on empty must fail")
+	}
+	if _, ok := r.Predecessor("x"); ok {
+		t.Fatalf("Predecessor on empty must fail")
+	}
+}
+
+func TestInsertRemoveContains(t *testing.T) {
+	r := New()
+	if !r.Insert("b") || !r.Insert("a") || !r.Insert("c") {
+		t.Fatalf("inserts of new ids must succeed")
+	}
+	if r.Insert("b") {
+		t.Fatalf("duplicate insert must fail")
+	}
+	if !reflect.DeepEqual(r.IDs(), []keys.Key{"a", "b", "c"}) {
+		t.Fatalf("IDs = %v", r.IDs())
+	}
+	if !r.Contains("b") || r.Contains("x") {
+		t.Fatalf("Contains wrong")
+	}
+	if !r.Remove("b") || r.Remove("b") {
+		t.Fatalf("Remove semantics wrong")
+	}
+	if !reflect.DeepEqual(r.IDs(), []keys.Key{"a", "c"}) {
+		t.Fatalf("IDs after remove = %v", r.IDs())
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIDsReturnsCopy(t *testing.T) {
+	r := build("a", "b")
+	ids := r.IDs()
+	ids[0] = "z"
+	if r.IDs()[0] != keys.Key("a") {
+		t.Fatalf("IDs must return a copy")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	r := build("m", "a", "z")
+	if mn, _ := r.Min(); mn != keys.Key("a") {
+		t.Fatalf("Min = %q", mn)
+	}
+	if mx, _ := r.Max(); mx != keys.Key("z") {
+		t.Fatalf("Max = %q", mx)
+	}
+}
+
+// TestHostOfPaperRule checks the Section 3 mapping: the peer chosen to
+// run node n is the lowest peer id >= n; when n > Pmax the host is
+// Pmin.
+func TestHostOfPaperRule(t *testing.T) {
+	r := build("d", "m", "t")
+	cases := []struct {
+		n, want keys.Key
+	}{
+		{"a", "d"},
+		{"d", "d"}, // inclusive
+		{"da", "m"},
+		{"m", "m"},
+		{"p", "t"},
+		{"t", "t"},
+		{"z", "d"}, // wrap: n > Pmax -> Pmin
+		{"", "d"},
+	}
+	for _, c := range cases {
+		got, ok := r.HostOf(c.n)
+		if !ok || got != c.want {
+			t.Errorf("HostOf(%q) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSuccessorPredecessor(t *testing.T) {
+	r := build("d", "m", "t")
+	cases := []struct {
+		id, succ, pred keys.Key
+	}{
+		{"d", "m", "t"}, // wrap pred of min
+		{"m", "t", "d"},
+		{"t", "d", "m"}, // wrap succ of max
+		{"e", "m", "d"}, // non-members fall between
+		{"z", "d", "t"},
+		{"", "d", "t"},
+	}
+	for _, c := range cases {
+		if got, _ := r.Successor(c.id); got != c.succ {
+			t.Errorf("Successor(%q) = %q, want %q", c.id, got, c.succ)
+		}
+		if got, _ := r.Predecessor(c.id); got != c.pred {
+			t.Errorf("Predecessor(%q) = %q, want %q", c.id, got, c.pred)
+		}
+	}
+}
+
+func TestSingletonRing(t *testing.T) {
+	r := build("p")
+	if s, _ := r.Successor("p"); s != keys.Key("p") {
+		t.Fatalf("successor of sole peer must be itself, got %q", s)
+	}
+	if p, _ := r.Predecessor("p"); p != keys.Key("p") {
+		t.Fatalf("predecessor of sole peer must be itself, got %q", p)
+	}
+	if h, _ := r.HostOf("zzz"); h != keys.Key("p") {
+		t.Fatalf("sole peer hosts everything, got %q", h)
+	}
+}
+
+func TestReplaceBasic(t *testing.T) {
+	r := build("d", "m", "t")
+	if err := r.Replace("m", "k"); err != nil {
+		t.Fatalf("Replace: %v", err)
+	}
+	if !reflect.DeepEqual(r.IDs(), []keys.Key{"d", "k", "t"}) {
+		t.Fatalf("IDs = %v", r.IDs())
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplaceNoop(t *testing.T) {
+	r := build("a", "b")
+	if err := r.Replace("a", "a"); err != nil {
+		t.Fatalf("identity replace must succeed: %v", err)
+	}
+}
+
+func TestReplaceErrors(t *testing.T) {
+	r := build("d", "m", "t")
+	if err := r.Replace("x", "y"); err == nil {
+		t.Fatalf("replacing absent id must fail")
+	}
+	if err := r.Replace("m", "t"); err == nil {
+		t.Fatalf("replacing with existing id must fail")
+	}
+	if err := r.Replace("m", "a"); err == nil {
+		t.Fatalf("reordering replace must fail (a < d)")
+	}
+	if err := r.Replace("m", "z"); err == nil {
+		t.Fatalf("reordering replace must fail (z > t)")
+	}
+}
+
+func TestReplaceWrapInterval(t *testing.T) {
+	// Moving the max peer within the wrapped interval (pred, min).
+	r := build("d", "m", "t")
+	if err := r.Replace("t", "x"); err != nil {
+		t.Fatalf("t -> x stays between m and d (wrapped): %v", err)
+	}
+	if err := r.Replace("x", "a"); err != nil {
+		t.Fatalf("x -> a also lies in wrapped interval (m, d): %v", err)
+	}
+	if !reflect.DeepEqual(r.IDs(), []keys.Key{"a", "d", "m"}) {
+		t.Fatalf("IDs = %v", r.IDs())
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplaceTwoPeers(t *testing.T) {
+	r := build("d", "m")
+	if err := r.Replace("d", "z"); err != nil {
+		t.Fatalf("with two peers any reposition is order-equivalent: %v", err)
+	}
+	if !reflect.DeepEqual(r.IDs(), []keys.Key{"m", "z"}) {
+		t.Fatalf("IDs = %v", r.IDs())
+	}
+}
+
+func TestReplaceSingleton(t *testing.T) {
+	r := build("d")
+	if err := r.Replace("d", "q"); err != nil {
+		t.Fatalf("singleton replace: %v", err)
+	}
+	if !r.Contains("q") {
+		t.Fatalf("q missing after replace")
+	}
+}
+
+// --- property tests ---------------------------------------------------------
+
+func randIDs(r *rand.Rand, n int) []keys.Key {
+	seen := map[keys.Key]bool{}
+	var out []keys.Key
+	for len(out) < n {
+		l := 1 + r.Intn(8)
+		b := make([]byte, l)
+		for i := range b {
+			b[i] = byte('a' + r.Intn(4))
+		}
+		k := keys.Key(b)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func TestPropSuccessorPredecessorInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ring := build(randIDs(r, 3+r.Intn(12))...)
+		for _, id := range ring.IDs() {
+			s, _ := ring.Successor(id)
+			p, _ := ring.Predecessor(s)
+			if p != id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSuccessorCyclesThroughAll(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ring := build(randIDs(r, 2+r.Intn(10))...)
+		start, _ := ring.Min()
+		cur := start
+		seen := map[keys.Key]bool{cur: true}
+		for i := 0; i < ring.Len()-1; i++ {
+			cur, _ = ring.Successor(cur)
+			if seen[cur] {
+				return false
+			}
+			seen[cur] = true
+		}
+		next, _ := ring.Successor(cur)
+		return next == start && len(seen) == ring.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropHostOfIsLowestNotBelow(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ring := build(randIDs(r, 1+r.Intn(10))...)
+		n := randIDs(r, 1)[0]
+		h, _ := ring.HostOf(n)
+		ids := ring.IDs()
+		// brute force
+		var want keys.Key
+		found := false
+		for _, id := range ids {
+			if id >= n && (!found || id < want) {
+				want, found = id, true
+			}
+		}
+		if !found {
+			want = ids[0]
+		}
+		return h == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropInsertRemoveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ids := randIDs(r, 10)
+		ring := build(ids...)
+		r.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		for _, id := range ids {
+			if !ring.Remove(id) {
+				return false
+			}
+			if err := ring.Validate(); err != nil {
+				return false
+			}
+		}
+		return ring.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,376 @@
+// Package sim is the discrete-time simulation engine of the paper's
+// evaluation (RR-6557 Section 4). Each time unit performs the five
+// steps the paper describes: (1) a fraction of the peers executes the
+// periodic load balancing, (2) a fraction of peers joins (placed by
+// the strategy, e.g. k-choices), (3) a fraction of peers leaves,
+// (4) new services are declared in the tree, and (5) discovery
+// requests are sent and satisfaction statistics collected.
+//
+// Simulations are deterministic given Config.Seed; multi-run results
+// aggregate per-unit statistics across runs seeded Seed, Seed+1, ...
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dlpt/internal/core"
+	"dlpt/internal/keys"
+	"dlpt/internal/lb"
+	"dlpt/internal/stats"
+	"dlpt/internal/workload"
+)
+
+// Config parameterizes one experiment. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	Seed      int64
+	Runs      int
+	TimeUnits int
+
+	// NumPeers is the initial ring size (the paper uses ~100).
+	NumPeers int
+	// NumKeys is the number of services declared (the paper's trees
+	// hold ~1000 nodes); they are inserted during the first GrowUnits
+	// units ("the first 10 units correspond to the period where the
+	// prefix tree is growing").
+	NumKeys   int
+	GrowUnits int
+
+	// CapacityBase and CapacityRatio define peer heterogeneity:
+	// capacities are uniform in [base, base*ratio] (paper: ratio 4).
+	CapacityBase  int
+	CapacityRatio int
+
+	// LoadFraction is the ratio between the processing demand of the
+	// requests sent per unit and the aggregated capacity of all peers
+	// (the left column of Table 1: 5%..80%). A discovery request
+	// consumes one capacity unit per node visit, so the engine sends
+	// LoadFraction * capacity / visitsPerRequest requests, tracking
+	// the measured visit count of the previous unit. Values above 1
+	// stress the system beyond its total capacity (Figure 5).
+	LoadFraction float64
+
+	// Strategy names the load-balancing heuristic (lb.ByName).
+	Strategy string
+	// LBFraction is the fraction of peers running the periodic
+	// balancing each unit (step 1).
+	LBFraction float64
+
+	// JoinFraction / LeaveFraction are the per-unit churn rates
+	// (step 2 and 3); the paper's dynamic scenario replaces ~10% of
+	// the peers per unit.
+	JoinFraction  float64
+	LeaveFraction float64
+
+	// Picker selects requested services (nil = uniform).
+	Picker workload.Picker
+	// Corpus is the service key population (nil = GridCorpus(NumKeys)).
+	Corpus []keys.Key
+
+	// Placement selects the tree-to-peer mapping.
+	Placement core.Placement
+
+	// Validate runs the full overlay invariant check after every time
+	// unit (slow; used by tests).
+	Validate bool
+}
+
+// DefaultConfig returns the paper's baseline parameters: 100 peers,
+// 1000 keys grown over 10 units, 50 units, capacity ratio 4, uniform
+// requests, stable network, no load balancing.
+func DefaultConfig() Config {
+	return Config{
+		Seed:          1,
+		Runs:          1,
+		TimeUnits:     50,
+		NumPeers:      100,
+		NumKeys:       1000,
+		GrowUnits:     10,
+		CapacityBase:  10,
+		CapacityRatio: 4,
+		LoadFraction:  0.10,
+		Strategy:      "NoLB",
+		LBFraction:    1.0,
+		JoinFraction:  0,
+		LeaveFraction: 0,
+		Placement:     core.PlacementLexicographic,
+	}
+}
+
+// UnitStats are the per-time-unit observations of one run.
+type UnitStats struct {
+	Time      int
+	Sent      int
+	Satisfied int
+	Dropped   int
+	NotFound  int
+	// Hop sums over satisfied requests.
+	LogicalHops  int
+	PhysicalHops int
+	Peers        int
+	Nodes        int
+	// MaintenanceMsgs is the delta of protocol traffic during this
+	// unit (joins, leaves, inserts, balancing transfers).
+	MaintenanceMsgs int
+	LBMoves         int
+	// LoadGini is the Gini coefficient of per-peer utilization
+	// (requests received / capacity) at the end of the unit: 0 means
+	// perfectly proportional load, values near 1 mean the load
+	// concentrates on few peers.
+	LoadGini float64
+}
+
+// SatisfiedPct returns the unit's satisfaction percentage.
+func (u UnitStats) SatisfiedPct() float64 {
+	if u.Sent == 0 {
+		return 0
+	}
+	return 100 * float64(u.Satisfied) / float64(u.Sent)
+}
+
+// AvgLogicalHops returns mean tree hops per satisfied request.
+func (u UnitStats) AvgLogicalHops() float64 {
+	if u.Satisfied == 0 {
+		return 0
+	}
+	return float64(u.LogicalHops) / float64(u.Satisfied)
+}
+
+// AvgPhysicalHops returns mean cross-peer hops per satisfied request.
+func (u UnitStats) AvgPhysicalHops() float64 {
+	if u.Satisfied == 0 {
+		return 0
+	}
+	return float64(u.PhysicalHops) / float64(u.Satisfied)
+}
+
+// Result aggregates per-unit series over all runs.
+type Result struct {
+	Config Config
+	// Satisfaction is the per-unit satisfied-request percentage.
+	Satisfaction *stats.Series
+	// Logical / Physical are per-unit mean hops per satisfied request.
+	Logical  *stats.Series
+	Physical *stats.Series
+	// Maintenance is the per-unit maintenance message count.
+	Maintenance *stats.Series
+	// LBMoves is the per-unit number of applied balancing moves.
+	LBMoves *stats.Series
+	// LoadGini is the per-unit Gini coefficient of peer utilization.
+	LoadGini *stats.Series
+	// TotalSent / TotalSatisfied accumulate over all runs and units.
+	TotalSent      int
+	TotalSatisfied int
+}
+
+// SteadyStateSatisfaction averages satisfaction over the units after
+// the growth phase.
+func (res *Result) SteadyStateSatisfaction() float64 {
+	return res.Satisfaction.OverallMean(res.Config.GrowUnits, res.Satisfaction.Len())
+}
+
+// Run executes cfg.Runs independent runs and aggregates them.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Runs < 1 {
+		return nil, fmt.Errorf("sim: Runs = %d", cfg.Runs)
+	}
+	if cfg.TimeUnits < 1 {
+		return nil, fmt.Errorf("sim: TimeUnits = %d", cfg.TimeUnits)
+	}
+	if cfg.NumPeers < 2 {
+		return nil, fmt.Errorf("sim: NumPeers = %d (need >= 2)", cfg.NumPeers)
+	}
+	res := &Result{
+		Config:       cfg,
+		Satisfaction: stats.NewSeries(cfg.TimeUnits),
+		Logical:      stats.NewSeries(cfg.TimeUnits),
+		Physical:     stats.NewSeries(cfg.TimeUnits),
+		Maintenance:  stats.NewSeries(cfg.TimeUnits),
+		LBMoves:      stats.NewSeries(cfg.TimeUnits),
+		LoadGini:     stats.NewSeries(cfg.TimeUnits),
+	}
+	for i := 0; i < cfg.Runs; i++ {
+		units, err := runOnce(cfg, cfg.Seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("sim: run %d: %w", i, err)
+		}
+		sat := make([]float64, len(units))
+		logi := make([]float64, len(units))
+		phys := make([]float64, len(units))
+		maint := make([]float64, len(units))
+		moves := make([]float64, len(units))
+		gini := make([]float64, len(units))
+		for t, u := range units {
+			sat[t] = u.SatisfiedPct()
+			logi[t] = u.AvgLogicalHops()
+			phys[t] = u.AvgPhysicalHops()
+			maint[t] = float64(u.MaintenanceMsgs)
+			moves[t] = float64(u.LBMoves)
+			gini[t] = u.LoadGini
+			res.TotalSent += u.Sent
+			res.TotalSatisfied += u.Satisfied
+		}
+		for _, add := range []error{
+			res.Satisfaction.Add(sat), res.Logical.Add(logi),
+			res.Physical.Add(phys), res.Maintenance.Add(maint),
+			res.LBMoves.Add(moves), res.LoadGini.Add(gini),
+		} {
+			if add != nil {
+				return nil, add
+			}
+		}
+	}
+	return res, nil
+}
+
+// runOnce executes a single seeded run and returns per-unit stats.
+func runOnce(cfg Config, seed int64) ([]UnitStats, error) {
+	r := rand.New(rand.NewSource(seed))
+	strategy, err := lb.ByName(cfg.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	picker := cfg.Picker
+	if picker == nil {
+		picker = workload.Uniform{}
+	}
+	corpus := cfg.Corpus
+	if corpus == nil {
+		corpus = workload.GridCorpus(cfg.NumKeys)
+	}
+	// Shuffle a copy of the corpus for insertion order.
+	pending := append([]keys.Key(nil), corpus...)
+	r.Shuffle(len(pending), func(i, j int) { pending[i], pending[j] = pending[j], pending[i] })
+	if cfg.NumKeys > 0 && cfg.NumKeys < len(pending) {
+		pending = pending[:cfg.NumKeys]
+	}
+
+	net := core.NewNetwork(keys.LowerAlnum, cfg.Placement)
+	newCapacity := func() int {
+		base, ratio := cfg.CapacityBase, cfg.CapacityRatio
+		if base < 1 {
+			base = 1
+		}
+		if ratio < 1 {
+			ratio = 1
+		}
+		return base + r.Intn(base*(ratio-1)+1)
+	}
+	for i := 0; i < cfg.NumPeers; i++ {
+		id := strategy.PlaceJoin(net, r, 0)
+		if err := net.JoinPeer(id, newCapacity(), r); err != nil {
+			return nil, err
+		}
+	}
+
+	growUnits := cfg.GrowUnits
+	if growUnits < 1 {
+		growUnits = 1
+	}
+	var available []keys.Key
+	units := make([]UnitStats, cfg.TimeUnits)
+	// visitEst estimates node visits per request (logical hops + the
+	// destination visit) from the previous unit, so that LoadFraction
+	// expresses demand relative to aggregate capacity.
+	visitEst := 5.0
+	for t := 0; t < cfg.TimeUnits; t++ {
+		maintBefore := net.Counters.MaintenanceMsgs
+		net.ResetUnit() // LoadCur of unit t-1 becomes LoadPrev
+		u := &units[t]
+		u.Time = t
+
+		// Step 1: periodic load balancing on a fraction of the peers.
+		if cfg.LBFraction > 0 {
+			ids := net.PeerIDs()
+			n := int(cfg.LBFraction * float64(len(ids)))
+			perm := r.Perm(len(ids))
+			for _, idx := range perm[:n] {
+				moved, err := strategy.Periodic(net, ids[idx])
+				if err != nil {
+					return nil, err
+				}
+				if moved {
+					u.LBMoves++
+				}
+			}
+		}
+
+		// Step 2: peer joins.
+		nJoin := int(cfg.JoinFraction * float64(net.NumPeers()))
+		for i := 0; i < nJoin; i++ {
+			capacity := newCapacity()
+			id := strategy.PlaceJoin(net, r, capacity)
+			if err := net.JoinPeer(id, capacity, r); err != nil {
+				return nil, err
+			}
+		}
+
+		// Step 3: peer leaves (never below 2 peers).
+		nLeave := int(cfg.LeaveFraction * float64(net.NumPeers()))
+		for i := 0; i < nLeave && net.NumPeers() > 2; i++ {
+			ids := net.PeerIDs()
+			if err := net.LeavePeer(ids[r.Intn(len(ids))]); err != nil {
+				return nil, err
+			}
+		}
+
+		// Step 4: declare new services during the growth phase.
+		if t < growUnits && len(pending) > 0 {
+			per := (len(pending) + growUnits - t - 1) / (growUnits - t)
+			for i := 0; i < per && len(pending) > 0; i++ {
+				k := pending[0]
+				pending = pending[1:]
+				if err := net.InsertKey(k, r); err != nil {
+					return nil, err
+				}
+				available = append(available, k)
+			}
+		}
+
+		// Step 5: discovery requests.
+		if len(available) > 0 {
+			nReq := int(cfg.LoadFraction * float64(net.AggregateCapacity()) / visitEst)
+			if nReq < 1 {
+				nReq = 1
+			}
+			for i := 0; i < nReq; i++ {
+				k := picker.Pick(r, available, t)
+				rr := net.DiscoverRandom(k, true, r)
+				u.Sent++
+				switch {
+				case rr.Satisfied:
+					u.Satisfied++
+					u.LogicalHops += rr.LogicalHops
+					u.PhysicalHops += rr.PhysicalHops
+				case rr.Dropped:
+					u.Dropped++
+				default:
+					u.NotFound++
+				}
+			}
+		}
+
+		if u.Satisfied > 0 {
+			visitEst = float64(u.LogicalHops)/float64(u.Satisfied) + 1
+			if visitEst < 1 {
+				visitEst = 1
+			}
+		}
+		util := make([]float64, 0, net.NumPeers())
+		for _, id := range net.PeerIDs() {
+			p, _ := net.Peer(id)
+			util = append(util, float64(p.LoadCur())/float64(p.Capacity))
+		}
+		u.LoadGini = stats.Gini(util)
+		u.Peers = net.NumPeers()
+		u.Nodes = net.NumNodes()
+		u.MaintenanceMsgs = net.Counters.MaintenanceMsgs - maintBefore
+		if cfg.Validate {
+			if err := net.Validate(); err != nil {
+				return nil, fmt.Errorf("unit %d: %w", t, err)
+			}
+		}
+	}
+	return units, nil
+}

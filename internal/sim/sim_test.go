@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"testing"
+
+	"dlpt/internal/core"
+	"dlpt/internal/workload"
+)
+
+// smallConfig returns a fast, validated configuration for tests.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Runs = 2
+	cfg.TimeUnits = 12
+	cfg.NumPeers = 20
+	cfg.NumKeys = 120
+	cfg.GrowUnits = 4
+	cfg.LoadFraction = 0.2
+	cfg.Validate = true
+	return cfg
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Runs = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatalf("Runs=0 must fail")
+	}
+	cfg = smallConfig()
+	cfg.TimeUnits = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatalf("TimeUnits=0 must fail")
+	}
+	cfg = smallConfig()
+	cfg.NumPeers = 1
+	if _, err := Run(cfg); err == nil {
+		t.Fatalf("NumPeers=1 must fail")
+	}
+	cfg = smallConfig()
+	cfg.Strategy = "bogus"
+	if _, err := Run(cfg); err == nil {
+		t.Fatalf("unknown strategy must fail")
+	}
+}
+
+func TestStableRunBaseline(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfaction.Len() != 12 {
+		t.Fatalf("series length = %d", res.Satisfaction.Len())
+	}
+	if res.TotalSent == 0 || res.TotalSatisfied == 0 {
+		t.Fatalf("no traffic simulated: sent=%d sat=%d", res.TotalSent, res.TotalSatisfied)
+	}
+	if res.TotalSatisfied > res.TotalSent {
+		t.Fatalf("satisfied %d > sent %d", res.TotalSatisfied, res.TotalSent)
+	}
+	ss := res.SteadyStateSatisfaction()
+	if ss <= 0 || ss > 100 {
+		t.Fatalf("steady-state satisfaction = %v", ss)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Runs = 1
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, bm := a.Satisfaction.Means(), b.Satisfaction.Means()
+	for i := range am {
+		if am[i] != bm[i] {
+			t.Fatalf("non-deterministic at unit %d: %v vs %v", i, am[i], bm[i])
+		}
+	}
+	if a.TotalSent != b.TotalSent {
+		t.Fatalf("TotalSent differs: %d vs %d", a.TotalSent, b.TotalSent)
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Runs = 1
+	a, _ := Run(cfg)
+	cfg.Seed = 999
+	b, _ := Run(cfg)
+	if a.TotalSent == b.TotalSent && a.TotalSatisfied == b.TotalSatisfied {
+		t.Logf("note: different seeds produced identical totals (possible but unlikely)")
+	}
+}
+
+func TestAllStrategiesRunClean(t *testing.T) {
+	for _, s := range []string{"NoLB", "MLT", "KC", "EqualLoad"} {
+		cfg := smallConfig()
+		cfg.Strategy = s
+		cfg.JoinFraction = 0.05
+		cfg.LeaveFraction = 0.05
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("strategy %s: %v", s, err)
+		}
+		if res.TotalSent == 0 {
+			t.Fatalf("strategy %s sent nothing", s)
+		}
+	}
+}
+
+func TestMLTBeatsNoLBUnderOverload(t *testing.T) {
+	base := smallConfig()
+	base.Runs = 3
+	base.TimeUnits = 20
+	base.LoadFraction = 1.5 // demand beyond aggregate capacity
+	base.Validate = false
+
+	run := func(strategy string) float64 {
+		cfg := base
+		cfg.Strategy = strategy
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SteadyStateSatisfaction()
+	}
+	nolb := run("NoLB")
+	mlt := run("MLT")
+	t.Logf("steady-state satisfaction: NoLB=%.1f%% MLT=%.1f%%", nolb, mlt)
+	if mlt <= nolb {
+		t.Fatalf("MLT (%.2f%%) must beat NoLB (%.2f%%) under overload", mlt, nolb)
+	}
+}
+
+func TestChurnKeepsRunning(t *testing.T) {
+	cfg := smallConfig()
+	cfg.JoinFraction = 0.1
+	cfg.LeaveFraction = 0.1
+	cfg.Strategy = "KC"
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSent == 0 {
+		t.Fatalf("no traffic under churn")
+	}
+}
+
+func TestHotSpotPicker(t *testing.T) {
+	cfg := smallConfig()
+	cfg.TimeUnits = 20
+	cfg.Picker = &workload.HotSpot{Phases: []workload.Phase{
+		{From: 8, To: 16, Prefix: "s3l", Bias: 0.9},
+	}}
+	cfg.Strategy = "MLT"
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSent == 0 {
+		t.Fatalf("no traffic")
+	}
+}
+
+func TestHashedPlacementRuns(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Placement = core.PlacementHashed
+	cfg.JoinFraction = 0.05
+	cfg.LeaveFraction = 0.05
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hashed mapping destroys locality: physical hops should be close
+	// to logical hops on average.
+	lg := res.Logical.OverallMean(4, 12)
+	ph := res.Physical.OverallMean(4, 12)
+	if lg == 0 {
+		t.Fatalf("no hops recorded")
+	}
+	if ph < 0.5*lg {
+		t.Fatalf("hashed mapping physical hops %v suspiciously low vs logical %v", ph, lg)
+	}
+}
+
+func TestLexicographicLocalityInSim(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Strategy = "MLT"
+	lex, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Placement = core.PlacementHashed
+	cfg2.Strategy = "NoLB"
+	hsh, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lexPhys := lex.Physical.OverallMean(4, 12)
+	hshPhys := hsh.Physical.OverallMean(4, 12)
+	t.Logf("physical hops: lexico+MLT=%.2f hashed=%.2f", lexPhys, hshPhys)
+	if lexPhys >= hshPhys {
+		t.Fatalf("lexicographic mapping must reduce physical hops (%.2f vs %.2f)",
+			lexPhys, hshPhys)
+	}
+}
+
+func TestMaintenanceAccounting(t *testing.T) {
+	cfg := smallConfig()
+	cfg.JoinFraction = 0.1
+	cfg.LeaveFraction = 0.1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, m := range res.Maintenance.Means() {
+		total += m
+	}
+	if total == 0 {
+		t.Fatalf("churn must produce maintenance traffic")
+	}
+}
+
+func TestUnitStatsHelpers(t *testing.T) {
+	u := UnitStats{Sent: 200, Satisfied: 50, LogicalHops: 250, PhysicalHops: 100}
+	if u.SatisfiedPct() != 25 {
+		t.Fatalf("SatisfiedPct = %v", u.SatisfiedPct())
+	}
+	if u.AvgLogicalHops() != 5 {
+		t.Fatalf("AvgLogicalHops = %v", u.AvgLogicalHops())
+	}
+	if u.AvgPhysicalHops() != 2 {
+		t.Fatalf("AvgPhysicalHops = %v", u.AvgPhysicalHops())
+	}
+	var zero UnitStats
+	if zero.SatisfiedPct() != 0 || zero.AvgLogicalHops() != 0 || zero.AvgPhysicalHops() != 0 {
+		t.Fatalf("zero-value helpers must return 0")
+	}
+}
+
+func TestGrowthPhasePopulatesAllKeys(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Runs = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the growth phase the tree holds at least NumKeys nodes
+	// (plus structural nodes); satisfaction series is defined.
+	if res.Satisfaction.At(cfg.TimeUnits-1).N() != 1 {
+		t.Fatalf("per-unit accumulator should have 1 observation")
+	}
+}

@@ -1,0 +1,199 @@
+// Package stats provides the small statistical toolkit used to reduce
+// multi-run simulation results: streaming moments (Welford), normal
+// confidence intervals, quantiles, and per-index aggregation of
+// repeated series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator computes streaming count, mean and variance using
+// Welford's algorithm. The zero value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add feeds one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (0 for no observations).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Min returns the smallest observation (0 for none).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation (0 for none).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Variance returns the unbiased sample variance.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// CI95 returns the half-width of the normal-approximation 95%
+// confidence interval of the mean.
+func (a *Accumulator) CI95() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return 1.96 * a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// String renders "mean ± ci95".
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("%.3f ± %.3f", a.Mean(), a.CI95())
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation; it copies and sorts the input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Gini returns the Gini coefficient of the non-negative values xs, a
+// standard measure of load imbalance (0 = perfectly even, ->1 =
+// concentrated on one element).
+func Gini(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var cum, total float64
+	for i, x := range s {
+		cum += x * float64(i+1)
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	n := float64(len(s))
+	return (2*cum)/(n*total) - (n+1)/n
+}
+
+// Series aggregates repeated observations of a fixed-length series
+// (one Accumulator per index), e.g. "percentage of satisfied requests
+// at time unit t" across runs.
+type Series struct {
+	acc []Accumulator
+}
+
+// NewSeries returns a Series of the given length.
+func NewSeries(n int) *Series {
+	return &Series{acc: make([]Accumulator, n)}
+}
+
+// Len returns the series length.
+func (s *Series) Len() int { return len(s.acc) }
+
+// Add feeds one run's values (must match the series length).
+func (s *Series) Add(values []float64) error {
+	if len(values) != len(s.acc) {
+		return fmt.Errorf("stats: series length %d, got %d values", len(s.acc), len(values))
+	}
+	for i, v := range values {
+		s.acc[i].Add(v)
+	}
+	return nil
+}
+
+// At returns the accumulator for index i.
+func (s *Series) At(i int) *Accumulator { return &s.acc[i] }
+
+// Means returns the per-index means.
+func (s *Series) Means() []float64 {
+	out := make([]float64, len(s.acc))
+	for i := range s.acc {
+		out[i] = s.acc[i].Mean()
+	}
+	return out
+}
+
+// StdDevs returns the per-index standard deviations.
+func (s *Series) StdDevs() []float64 {
+	out := make([]float64, len(s.acc))
+	for i := range s.acc {
+		out[i] = s.acc[i].StdDev()
+	}
+	return out
+}
+
+// OverallMean returns the mean of the per-index means over [from,to)
+// (a steady-state window average).
+func (s *Series) OverallMean(from, to int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(s.acc) {
+		to = len(s.acc)
+	}
+	if from >= to {
+		return math.NaN()
+	}
+	sum := 0.0
+	for i := from; i < to; i++ {
+		sum += s.acc[i].Mean()
+	}
+	return sum / float64(to-from)
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.Variance() != 0 || a.CI95() != 0 {
+		t.Fatalf("zero value must report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if !almost(a.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v", a.Mean())
+	}
+	// Population variance is 4; sample variance = 32/7.
+	if !almost(a.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v", a.Variance())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+	if a.CI95() <= 0 {
+		t.Fatalf("CI95 must be positive with n>1")
+	}
+	if a.String() == "" {
+		t.Fatalf("empty String()")
+	}
+}
+
+func TestAccumulatorSingleObservation(t *testing.T) {
+	var a Accumulator
+	a.Add(3.5)
+	if a.Mean() != 3.5 || a.Variance() != 0 || a.StdDev() != 0 {
+		t.Fatalf("single observation stats wrong")
+	}
+	if a.Min() != 3.5 || a.Max() != 3.5 {
+		t.Fatalf("single observation min/max wrong")
+	}
+}
+
+func TestPropWelfordMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(50)
+		xs := make([]float64, n)
+		var a Accumulator
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 100
+			a.Add(xs[i])
+		}
+		mean := Mean(xs)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		naiveVar := ss / float64(n-1)
+		return almost(a.Mean(), mean, 1e-6) && almost(a.Variance(), naiveVar, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Fatalf("extreme quantiles wrong")
+	}
+	if !almost(Quantile(xs, 0.5), 3, 1e-12) {
+		t.Fatalf("median = %v", Quantile(xs, 0.5))
+	}
+	if !almost(Quantile(xs, 0.25), 2, 1e-12) {
+		t.Fatalf("q25 = %v", Quantile(xs, 0.25))
+	}
+	if !almost(Quantile([]float64{1, 2}, 0.5), 1.5, 1e-12) {
+		t.Fatalf("interpolated median wrong")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatalf("empty quantile must be NaN")
+	}
+	// Input must not be mutated.
+	ys := []float64{3, 1, 2}
+	Quantile(ys, 0.5)
+	if ys[0] != 3 {
+		t.Fatalf("Quantile mutated its input")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3}), 2, 1e-12) {
+		t.Fatalf("Mean wrong")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatalf("empty mean must be NaN")
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini([]float64{5, 5, 5, 5}); !almost(g, 0, 1e-12) {
+		t.Fatalf("uniform Gini = %v", g)
+	}
+	g := Gini([]float64{0, 0, 0, 100})
+	if g < 0.7 {
+		t.Fatalf("concentrated Gini = %v, want high", g)
+	}
+	if Gini(nil) != 0 || Gini([]float64{0, 0}) != 0 {
+		t.Fatalf("degenerate Gini must be 0")
+	}
+	// Scale invariance.
+	a := Gini([]float64{1, 2, 3, 4})
+	b := Gini([]float64{10, 20, 30, 40})
+	if !almost(a, b, 1e-12) {
+		t.Fatalf("Gini must be scale invariant: %v vs %v", a, b)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries(3)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if err := s.Add([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add([]float64{3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add([]float64{1, 2}); err == nil {
+		t.Fatalf("length mismatch must error")
+	}
+	means := s.Means()
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if !almost(means[i], want[i], 1e-12) {
+			t.Fatalf("means = %v", means)
+		}
+	}
+	if s.At(0).N() != 2 {
+		t.Fatalf("At(0).N = %d", s.At(0).N())
+	}
+	sds := s.StdDevs()
+	if !almost(sds[0], math.Sqrt2, 1e-9) {
+		t.Fatalf("stddev[0] = %v", sds[0])
+	}
+}
+
+func TestSeriesOverallMean(t *testing.T) {
+	s := NewSeries(4)
+	_ = s.Add([]float64{0, 10, 20, 30})
+	if m := s.OverallMean(1, 3); !almost(m, 15, 1e-12) {
+		t.Fatalf("OverallMean = %v", m)
+	}
+	if m := s.OverallMean(-5, 99); !almost(m, 15, 1e-12) {
+		t.Fatalf("clamped OverallMean = %v", m)
+	}
+	if !math.IsNaN(s.OverallMean(3, 3)) {
+		t.Fatalf("empty window must be NaN")
+	}
+}

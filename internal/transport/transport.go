@@ -1,0 +1,338 @@
+// Package transport runs the DLPT discovery path over real TCP
+// connections: every peer owns a loopback listener, and discovery
+// requests hop peer-to-peer as gob-encoded messages, each hop relayed
+// as a nested request/response along the tree route. It demonstrates
+// the overlay as a deployable network service (the Grid'5000
+// prototype the paper leaves as future work) and exercises the
+// protocol under real sockets in the tests.
+//
+// Topology and tree state are shared through the embedded protocol
+// core exactly as in internal/live; what travels on the wire is the
+// routing dialogue: request in, forwarded hop, response out.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+
+	"dlpt/internal/core"
+	"dlpt/internal/keys"
+)
+
+// request is one on-the-wire discovery step.
+type request struct {
+	Key     keys.Key
+	At      keys.Key
+	GoingUp bool
+	Logical int
+	// Physical counts TCP hops (every wire transfer is physical).
+	Physical int
+}
+
+// response is the on-the-wire result.
+type response struct {
+	Found    bool
+	Values   []string
+	Logical  int
+	Physical int
+	Err      string
+}
+
+// Result is the outcome of a TCP-routed discovery.
+type Result struct {
+	Key          keys.Key
+	Found        bool
+	Values       []string
+	LogicalHops  int
+	PhysicalHops int
+}
+
+// peerServer is one peer's TCP endpoint.
+type peerServer struct {
+	id   keys.Key
+	addr string
+	ln   net.Listener
+}
+
+// Cluster is an overlay whose peers communicate over TCP.
+type Cluster struct {
+	mu    sync.RWMutex // guards net + addrs
+	net   *core.Network
+	rng   *rand.Rand
+	addrs map[keys.Key]string
+
+	servers []*peerServer
+	wg      sync.WaitGroup
+	quit    chan struct{}
+	once    sync.Once
+}
+
+// ErrStopped is returned by operations on a stopped cluster.
+var ErrStopped = errors.New("transport: cluster stopped")
+
+// Start launches a TCP-backed overlay with one listener per capacity
+// entry, all bound to 127.0.0.1 ephemeral ports.
+func Start(alpha *keys.Alphabet, capacities []int, seed int64) (*Cluster, error) {
+	if len(capacities) == 0 {
+		return nil, fmt.Errorf("transport: no peers")
+	}
+	c := &Cluster{
+		net:   core.NewNetwork(alpha, core.PlacementLexicographic),
+		rng:   rand.New(rand.NewSource(seed)),
+		addrs: make(map[keys.Key]string),
+		quit:  make(chan struct{}),
+	}
+	for _, capacity := range capacities {
+		if _, err := c.AddPeer(capacity); err != nil {
+			c.Stop()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// AddPeer joins one peer: a protocol join plus a fresh TCP listener.
+func (c *Cluster) AddPeer(capacity int) (keys.Key, error) {
+	select {
+	case <-c.quit:
+		return "", ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	var id keys.Key
+	for {
+		id = c.net.Alphabet.RandomKey(c.rng, 12, 12)
+		if _, exists := c.net.Peer(id); !exists {
+			break
+		}
+	}
+	if err := c.net.JoinPeer(id, capacity, c.rng); err != nil {
+		c.mu.Unlock()
+		return "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		c.mu.Unlock()
+		return "", err
+	}
+	ps := &peerServer{id: id, addr: ln.Addr().String(), ln: ln}
+	c.addrs[id] = ps.addr
+	c.servers = append(c.servers, ps)
+	c.mu.Unlock()
+
+	c.wg.Add(1)
+	go c.serve(ps)
+	return id, nil
+}
+
+// serve accepts and handles connections for one peer.
+func (c *Cluster) serve(ps *peerServer) {
+	defer c.wg.Done()
+	for {
+		conn, err := ps.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			defer conn.Close()
+			c.handle(ps, conn)
+		}()
+	}
+}
+
+// handle processes one request on conn: perform routing steps local
+// to this peer, then either answer or relay through the next peer.
+func (c *Cluster) handle(ps *peerServer, conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var req request
+	if err := dec.Decode(&req); err != nil {
+		return
+	}
+	resp := c.step(ps.id, req)
+	_ = enc.Encode(resp)
+}
+
+// step executes routing at the peer owning the current node, relaying
+// over TCP when the walk leaves the peer.
+func (c *Cluster) step(self keys.Key, req request) response {
+	for {
+		c.mu.RLock()
+		peer, ok := c.net.Peer(self)
+		if !ok {
+			c.mu.RUnlock()
+			return response{Err: fmt.Sprintf("peer %q gone", self)}
+		}
+		node, ok := peer.Nodes[req.At]
+		if !ok {
+			// The node lives elsewhere (stale routing): relay to its
+			// current host.
+			host, okh := c.net.HostOf(req.At)
+			addr := c.addrs[host]
+			c.mu.RUnlock()
+			if !okh {
+				return response{Err: "no host"}
+			}
+			return c.relay(addr, req)
+		}
+		var next keys.Key
+		done, found := false, false
+		var values []string
+		if node.Key == req.Key {
+			done = true
+			if node.HasData() {
+				found = true
+				for v := range node.Data {
+					values = append(values, v)
+				}
+			}
+		} else {
+			if req.GoingUp && keys.IsPrefix(node.Key, req.Key) {
+				req.GoingUp = false
+			}
+			if req.GoingUp {
+				if !node.HasFather {
+					done = true
+				} else {
+					next = node.Father
+				}
+			} else {
+				q, okc := node.BestChildFor(req.Key)
+				if !okc || !keys.IsPrefix(q, req.Key) {
+					done = true
+				} else {
+					next = q
+				}
+			}
+		}
+		if done {
+			c.mu.RUnlock()
+			return response{Found: found, Values: values,
+				Logical: req.Logical, Physical: req.Physical}
+		}
+		host, _ := c.net.HostOf(next)
+		addr := c.addrs[host]
+		c.mu.RUnlock()
+		req.At = next
+		req.Logical++
+		if host == self {
+			continue // next node is local: no wire transfer
+		}
+		req.Physical++
+		return c.relay(addr, req)
+	}
+}
+
+// relay forwards the request to addr and returns the relayed
+// response.
+func (c *Cluster) relay(addr string, req request) response {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return response{Err: err.Error()}
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(req); err != nil {
+		return response{Err: err.Error()}
+	}
+	var resp response
+	if err := dec.Decode(&resp); err != nil {
+		return response{Err: err.Error()}
+	}
+	return resp
+}
+
+// Register declares a service (topology mutation, serialized).
+func (c *Cluster) Register(key keys.Key, value string) error {
+	select {
+	case <-c.quit:
+		return ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.net.InsertData(key, value, c.rng)
+}
+
+// Discover routes a discovery over TCP, entering at a random node.
+func (c *Cluster) Discover(key keys.Key) (Result, error) {
+	select {
+	case <-c.quit:
+		return Result{}, ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	entry, ok := c.net.RandomNodeKey(c.rng)
+	var addr string
+	if ok {
+		host, _ := c.net.HostOf(entry)
+		addr = c.addrs[host]
+	}
+	c.mu.Unlock()
+	if !ok {
+		return Result{Key: key}, nil
+	}
+	resp := c.relay(addr, request{Key: key, At: entry, GoingUp: true, Physical: 1})
+	if resp.Err != "" {
+		return Result{Key: key}, errors.New(resp.Err)
+	}
+	return Result{
+		Key:          key,
+		Found:        resp.Found,
+		Values:       resp.Values,
+		LogicalHops:  resp.Logical,
+		PhysicalHops: resp.Physical,
+	}, nil
+}
+
+// NumPeers returns the peer count.
+func (c *Cluster) NumPeers() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.NumPeers()
+}
+
+// NumNodes returns the tree size.
+func (c *Cluster) NumNodes() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.NumNodes()
+}
+
+// Addrs returns the listen addresses by peer id.
+func (c *Cluster) Addrs() map[keys.Key]string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[keys.Key]string, len(c.addrs))
+	for k, v := range c.addrs {
+		out[k] = v
+	}
+	return out
+}
+
+// Validate cross-checks overlay invariants.
+func (c *Cluster) Validate() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.Validate()
+}
+
+// Stop closes every listener and waits for handlers to finish.
+func (c *Cluster) Stop() {
+	c.once.Do(func() {
+		close(c.quit)
+		c.mu.Lock()
+		for _, ps := range c.servers {
+			_ = ps.ln.Close()
+		}
+		c.mu.Unlock()
+	})
+	c.wg.Wait()
+}

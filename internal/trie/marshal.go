@@ -1,0 +1,61 @@
+package trie
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"dlpt/internal/keys"
+)
+
+// Catalogue is the serialized form of a tree: the declared keys and
+// their registered values. Structural nodes are not serialized — they
+// are derivable (the PGCP tree over a key set is unique), so the
+// format survives implementation changes.
+type Catalogue map[string][]string
+
+// Export writes the tree's catalogue as deterministic JSON.
+func (t *Tree) Export(w io.Writer) error {
+	cat := make(Catalogue)
+	t.Walk(func(n *Node) {
+		if !n.HasData() {
+			return
+		}
+		vals := make([]string, 0, len(n.Data))
+		for v := range n.Data {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		cat[string(n.Label)] = vals
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cat)
+}
+
+// Import reads a catalogue and rebuilds the tree.
+func Import(r io.Reader) (*Tree, error) {
+	var cat Catalogue
+	if err := json.NewDecoder(r).Decode(&cat); err != nil {
+		return nil, fmt.Errorf("trie: import: %w", err)
+	}
+	ks := make([]string, 0, len(cat))
+	for k := range cat {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	t := New()
+	for _, k := range ks {
+		for _, v := range cat[k] {
+			t.Insert(keys.Key(k), v)
+		}
+		if len(cat[k]) == 0 {
+			t.InsertKey(keys.Key(k))
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("trie: imported catalogue invalid: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,121 @@
+package trie
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dlpt/internal/keys"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	tr := New()
+	tr.Insert("dgemm", "host-a")
+	tr.Insert("dgemm", "host-b")
+	tr.Insert("dgemv", "host-a")
+	tr.Insert("saxpy", "host-c")
+	var b strings.Builder
+	if err := tr.Export(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Import(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Labels(), got.Labels()) {
+		t.Fatalf("labels differ: %v vs %v", tr.Labels(), got.Labels())
+	}
+	n, ok := got.Lookup("dgemm")
+	if !ok || len(n.Data) != 2 {
+		t.Fatalf("dgemm data lost: %v", n)
+	}
+}
+
+func TestExportDeterministic(t *testing.T) {
+	tr := New()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 60; i++ {
+		tr.InsertKey(keys.Key(randomKeys(r, 1, 6, "abc")[0]))
+	}
+	var a, b strings.Builder
+	if err := tr.Export(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Export(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("export not deterministic")
+	}
+}
+
+func TestExportOmitsStructuralNodes(t *testing.T) {
+	tr := New()
+	tr.InsertKey("100")
+	tr.InsertKey("101") // structural "10" appears
+	var b strings.Builder
+	if err := tr.Export(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "\"10\"") {
+		t.Fatalf("structural node serialized:\n%s", b.String())
+	}
+	got, err := Import(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The structural node is rebuilt on import.
+	if _, ok := got.Lookup("10"); !ok {
+		t.Fatalf("structural node not rebuilt")
+	}
+}
+
+func TestImportBadJSON(t *testing.T) {
+	if _, err := Import(strings.NewReader("{nope")); err == nil {
+		t.Fatalf("invalid JSON must fail")
+	}
+}
+
+func TestImportEmptyCatalogue(t *testing.T) {
+	got, err := Import(strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("empty catalogue tree has %d nodes", got.Len())
+	}
+}
+
+func TestImportKeyWithoutValues(t *testing.T) {
+	got, err := Import(strings.NewReader(`{"dgemm": []}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := got.Lookup("dgemm")
+	if !ok || !n.HasData() {
+		t.Fatalf("valueless key must register itself: %v", n)
+	}
+}
+
+func TestRoundTripLargeRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	tr := New()
+	for _, k := range randomKeys(r, 300, 10, "01") {
+		tr.InsertKey(k)
+	}
+	var b strings.Builder
+	if err := tr.Export(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Import(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Keys(), got.Keys()) {
+		t.Fatalf("key sets differ after round trip")
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

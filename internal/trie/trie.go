@@ -1,0 +1,577 @@
+// Package trie implements the Proper Greatest Common Prefix (PGCP)
+// tree of the DLPT (Definition 1 of RR-6557): a labelled rooted tree
+// in which the label of each node is the proper greatest common
+// prefix of the labels of every pair of its children.
+//
+// This is the logical, centralized reference implementation. It is
+// used three ways: as the query engine behind the public service
+// registry, as the ground truth against which the distributed overlay
+// of internal/core is differentially tested, and as the container the
+// overlay embeds per peer.
+package trie
+
+import (
+	"fmt"
+	"sort"
+
+	"dlpt/internal/keys"
+)
+
+// Node is a vertex of the PGCP tree. A node whose Data set is
+// non-empty stores services registered under exactly its label;
+// a node with empty Data exists only to preserve the prefix
+// structure (the "non-filled" nodes of the paper's Figure 1).
+type Node struct {
+	Label    keys.Key
+	Parent   *Node
+	children map[keys.Key]*Node
+	Data     map[string]struct{}
+}
+
+// NewNode returns a detached node with the given label.
+func NewNode(label keys.Key) *Node {
+	return &Node{
+		Label:    label,
+		children: make(map[keys.Key]*Node),
+		Data:     make(map[string]struct{}),
+	}
+}
+
+// HasData reports whether any service is registered at this node.
+func (n *Node) HasData() bool { return len(n.Data) > 0 }
+
+// NumChildren returns the number of children.
+func (n *Node) NumChildren() int { return len(n.children) }
+
+// Children returns the children sorted by label.
+func (n *Node) Children() []*Node {
+	out := make([]*Node, 0, len(n.children))
+	for _, c := range n.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// Child returns the child with the given label, if any.
+func (n *Node) Child(label keys.Key) (*Node, bool) {
+	c, ok := n.children[label]
+	return c, ok
+}
+
+// BestChild returns the child sharing the longest common prefix with
+// k, provided that prefix is strictly longer than n's own label
+// (i.e. the routing rule of Algorithm 3 line 3.05). It returns nil
+// when no child improves on n.
+func (n *Node) BestChild(k keys.Key) *Node {
+	var best *Node
+	bestLen := len(keys.GCP(n.Label, k))
+	for _, c := range n.children {
+		if l := len(keys.GCP(c.Label, k)); l > bestLen {
+			best, bestLen = c, l
+		}
+	}
+	return best
+}
+
+func (n *Node) addChild(c *Node) {
+	c.Parent = n
+	n.children[c.Label] = c
+}
+
+func (n *Node) removeChild(label keys.Key) {
+	delete(n.children, label)
+}
+
+// Tree is a PGCP tree rooted, once non-empty, at the node labelled by
+// the greatest common prefix of all inserted keys (often ε).
+type Tree struct {
+	root  *Node
+	size  int // number of nodes
+	nkeys int // number of distinct keys with data
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Root returns the root node (nil when the tree is empty).
+func (t *Tree) Root() *Node { return t.root }
+
+// Len returns the number of nodes in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// NumKeys returns the number of distinct keys holding data.
+func (t *Tree) NumKeys() int { return t.nkeys }
+
+// Insert registers value under key k, creating at most two nodes (the
+// key's node and, when k diverges from an existing sibling, their
+// common PGCP parent) exactly as Algorithm 3 of the paper does. It
+// returns the node storing k.
+func (t *Tree) Insert(k keys.Key, value string) *Node {
+	n := t.insertNode(k)
+	if !n.HasData() {
+		t.nkeys++
+	}
+	n.Data[value] = struct{}{}
+	return n
+}
+
+// InsertKey registers k with the key itself as value (the paper's
+// convention "we use the key of a data to refer to both the key and
+// the value associated with").
+func (t *Tree) InsertKey(k keys.Key) *Node { return t.Insert(k, string(k)) }
+
+// insertNode creates (or finds) the node labelled k.
+func (t *Tree) insertNode(k keys.Key) *Node {
+	if t.root == nil {
+		t.root = NewNode(k)
+		t.size = 1
+		return t.root
+	}
+	p := t.root
+	for {
+		if p.Label == k {
+			return p
+		}
+		if keys.IsProperPrefix(p.Label, k) {
+			// Sought node is below p.
+			if q := p.BestChild(k); q != nil {
+				if keys.IsPrefix(q.Label, k) {
+					p = q
+					continue
+				}
+				// k diverges inside q's label: split with a common
+				// parent labelled GCP(q,k).
+				return t.splitChild(p, q, k)
+			}
+			// No child shares more than p's label: new leaf child.
+			c := NewNode(k)
+			p.addChild(c)
+			t.size++
+			return c
+		}
+		if keys.IsProperPrefix(k, p.Label) {
+			// Sought node is above p (p must be the root here since we
+			// only descend into prefixes of k).
+			return t.insertAboveRoot(k)
+		}
+		// p and k are siblings under a new common parent; only
+		// possible at the root.
+		return t.insertSiblingOfRoot(k)
+	}
+}
+
+// splitChild inserts k under p when k shares a longer prefix with
+// child q than with p but q's label is not a prefix of k. A common
+// parent g = GCP(q,k) is created; when g == k the key node itself is
+// the new parent.
+func (t *Tree) splitChild(p, q *Node, k keys.Key) *Node {
+	g := keys.GCP(q.Label, k)
+	p.removeChild(q.Label)
+	if g == k {
+		// k is a proper prefix of q: k becomes q's parent.
+		kn := NewNode(k)
+		p.addChild(kn)
+		kn.addChild(q)
+		t.size++
+		return kn
+	}
+	gn := NewNode(g)
+	p.addChild(gn)
+	gn.addChild(q)
+	kn := NewNode(k)
+	gn.addChild(kn)
+	t.size += 2
+	return kn
+}
+
+// insertAboveRoot handles k being a proper prefix of the current root
+// label: k becomes the new root.
+func (t *Tree) insertAboveRoot(k keys.Key) *Node {
+	kn := NewNode(k)
+	kn.addChild(t.root)
+	t.root = kn
+	t.size++
+	return kn
+}
+
+// insertSiblingOfRoot handles k and the root label diverging: they
+// become siblings under a new root labelled by their GCP (when that
+// GCP equals k, k itself is the new root).
+func (t *Tree) insertSiblingOfRoot(k keys.Key) *Node {
+	g := keys.GCP(t.root.Label, k)
+	if g == k {
+		return t.insertAboveRoot(k)
+	}
+	gn := NewNode(g)
+	gn.addChild(t.root)
+	kn := NewNode(k)
+	gn.addChild(kn)
+	t.root = gn
+	t.size += 2
+	return kn
+}
+
+// Lookup returns the node labelled exactly k, if present.
+func (t *Tree) Lookup(k keys.Key) (*Node, bool) {
+	n := t.root
+	for n != nil {
+		if n.Label == k {
+			return n, true
+		}
+		if !keys.IsProperPrefix(n.Label, k) {
+			return nil, false
+		}
+		q := n.BestChild(k)
+		if q == nil || !keys.IsPrefix(q.Label, k) {
+			return nil, false
+		}
+		n = q
+	}
+	return nil, false
+}
+
+// LongestPrefixNode returns the deepest node whose label is a prefix
+// of k (the entry point of downward routing). Nil when even the root
+// label does not prefix k.
+func (t *Tree) LongestPrefixNode(k keys.Key) *Node {
+	if t.root == nil || !keys.IsPrefix(t.root.Label, k) {
+		return nil
+	}
+	n := t.root
+	for {
+		q := n.BestChild(k)
+		if q == nil || !keys.IsPrefix(q.Label, k) {
+			return n
+		}
+		n = q
+	}
+}
+
+// Complete returns up to limit keys holding data that extend the
+// given prefix, in lexicographic order (the paper's "automatic
+// completion of partial search strings"). limit <= 0 means no limit.
+func (t *Tree) Complete(prefix keys.Key, limit int) []keys.Key {
+	if t.root == nil {
+		return nil
+	}
+	var out []keys.Key
+	var walk func(n *Node) bool
+	walk = func(n *Node) bool {
+		// A subtree can contain extensions of prefix only when its
+		// root label is comparable with prefix by the prefix order.
+		if !keys.IsPrefix(prefix, n.Label) && !keys.IsPrefix(n.Label, prefix) {
+			return true
+		}
+		if n.HasData() && keys.IsPrefix(prefix, n.Label) {
+			out = append(out, n.Label)
+			if limit > 0 && len(out) >= limit {
+				return false
+			}
+		}
+		for _, c := range n.Children() {
+			if !walk(c) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.root)
+	keys.SortKeys(out)
+	return out
+}
+
+// Range returns up to limit data-holding keys in the lexicographic
+// interval [lo, hi], in order (the paper's range queries). limit <= 0
+// means no limit.
+func (t *Tree) Range(lo, hi keys.Key, limit int) []keys.Key {
+	if t.root == nil || hi < lo {
+		return nil
+	}
+	var out []keys.Key
+	var walk func(n *Node) bool
+	walk = func(n *Node) bool {
+		// Prune subtrees entirely outside [lo,hi]: every label in the
+		// subtree of n extends n.Label, and a prefix sorts before all
+		// its extensions. When n.Label > hi the whole subtree is
+		// above hi. When n.Label < lo and n.Label is not a prefix of
+		// lo, all extensions keep the first digit differing from lo
+		// and stay below lo.
+		if n.Label > hi {
+			return true
+		}
+		if n.Label < lo && !keys.IsProperPrefix(n.Label, lo) {
+			return true
+		}
+		if n.HasData() && lo <= n.Label && n.Label <= hi {
+			out = append(out, n.Label)
+			if limit > 0 && len(out) >= limit {
+				return false
+			}
+		}
+		for _, c := range n.Children() {
+			if !walk(c) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.root)
+	keys.SortKeys(out)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Remove deletes value from key k. When the key's data set becomes
+// empty the node is removed and the PGCP structure re-compacted
+// (childless dataless nodes pruned; single-child dataless interior
+// nodes spliced out). It reports whether the value was present.
+func (t *Tree) Remove(k keys.Key, value string) bool {
+	n, ok := t.Lookup(k)
+	if !ok {
+		return false
+	}
+	if _, ok := n.Data[value]; !ok {
+		return false
+	}
+	delete(n.Data, value)
+	if !n.HasData() {
+		t.nkeys--
+		t.compact(n)
+	}
+	return true
+}
+
+// RemoveKey removes the key and all its data.
+func (t *Tree) RemoveKey(k keys.Key) bool {
+	n, ok := t.Lookup(k)
+	if !ok {
+		return false
+	}
+	if n.HasData() {
+		t.nkeys--
+	}
+	n.Data = make(map[string]struct{})
+	t.compact(n)
+	return true
+}
+
+// compact prunes n upward while it is structurally redundant.
+func (t *Tree) compact(n *Node) {
+	for n != nil && !n.HasData() {
+		switch n.NumChildren() {
+		case 0:
+			p := n.Parent
+			if p == nil {
+				t.root = nil
+				t.size = 0
+				return
+			}
+			p.removeChild(n.Label)
+			t.size--
+			n = p
+		case 1:
+			// Splice: the single child is adopted by the grandparent;
+			// a dataless single-child node violates minimality (its
+			// label is not the PGCP of a pair). The root may be
+			// spliced too: the child becomes the new root.
+			var only *Node
+			for _, c := range n.children {
+				only = c
+			}
+			p := n.Parent
+			if p == nil {
+				only.Parent = nil
+				t.root = only
+			} else {
+				p.removeChild(n.Label)
+				p.addChild(only)
+			}
+			t.size--
+			return
+		default:
+			return
+		}
+	}
+}
+
+// Keys returns all data-holding keys in lexicographic order.
+func (t *Tree) Keys() []keys.Key {
+	var out []keys.Key
+	t.Walk(func(n *Node) {
+		if n.HasData() {
+			out = append(out, n.Label)
+		}
+	})
+	keys.SortKeys(out)
+	return out
+}
+
+// Labels returns the labels of all nodes (data-holding or structural)
+// in lexicographic order.
+func (t *Tree) Labels() []keys.Key {
+	var out []keys.Key
+	t.Walk(func(n *Node) { out = append(out, n.Label) })
+	keys.SortKeys(out)
+	return out
+}
+
+// Walk visits every node in depth-first label order.
+func (t *Tree) Walk(fn func(*Node)) {
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		fn(n)
+		for _, c := range n.Children() {
+			rec(c)
+		}
+	}
+	if t.root != nil {
+		rec(t.root)
+	}
+}
+
+// Depth returns the number of edges on the longest root-to-leaf path
+// (0 for a single node, -1 for an empty tree).
+func (t *Tree) Depth() int {
+	if t.root == nil {
+		return -1
+	}
+	var rec func(n *Node) int
+	rec = func(n *Node) int {
+		d := 0
+		for _, c := range n.children {
+			if cd := rec(c) + 1; cd > d {
+				d = cd
+			}
+		}
+		return d
+	}
+	return rec(t.root)
+}
+
+// Validate checks the PGCP invariants of Definition 1 plus structural
+// sanity, returning the first violation found:
+//
+//  1. every child label has its parent's label as a proper prefix;
+//  2. for any two children of a node, their GCP equals the node's
+//     label (equivalently the children's next digits after the label
+//     are pairwise distinct);
+//  3. a dataless non-root node has at least two children (minimality:
+//     structural nodes exist only as PGCP of a pair);
+//  4. parent/child pointers are mutually consistent and labels are
+//     unique.
+func (t *Tree) Validate() error {
+	if t.root == nil {
+		if t.size != 0 || t.nkeys != 0 {
+			return fmt.Errorf("trie: empty tree with size=%d nkeys=%d", t.size, t.nkeys)
+		}
+		return nil
+	}
+	if t.root.Parent != nil {
+		return fmt.Errorf("trie: root %q has a parent", t.root.Label)
+	}
+	seen := make(map[keys.Key]bool)
+	count, dataCount := 0, 0
+	var rec func(n *Node) error
+	rec = func(n *Node) error {
+		count++
+		if n.HasData() {
+			dataCount++
+		}
+		if seen[n.Label] {
+			return fmt.Errorf("trie: duplicate label %q", n.Label)
+		}
+		seen[n.Label] = true
+		if !n.HasData() && n != t.root && n.NumChildren() < 2 {
+			return fmt.Errorf("trie: dataless node %q has %d children", n.Label, n.NumChildren())
+		}
+		cs := n.Children()
+		for i, c := range cs {
+			if c.Parent != n {
+				return fmt.Errorf("trie: child %q of %q has wrong parent", c.Label, n.Label)
+			}
+			if mapped, ok := n.Child(c.Label); !ok || mapped != c {
+				return fmt.Errorf("trie: child map of %q inconsistent for %q", n.Label, c.Label)
+			}
+			if !keys.IsProperPrefix(n.Label, c.Label) {
+				return fmt.Errorf("trie: %q is not a proper prefix of child %q", n.Label, c.Label)
+			}
+			for _, d := range cs[i+1:] {
+				if g := keys.GCP(c.Label, d.Label); g != n.Label {
+					return fmt.Errorf("trie: GCP(%q,%q)=%q differs from parent label %q",
+						c.Label, d.Label, g, n.Label)
+				}
+			}
+		}
+		for _, c := range cs {
+			if err := rec(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(t.root); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("trie: size=%d but %d nodes reachable", t.size, count)
+	}
+	if dataCount != t.nkeys {
+		return fmt.Errorf("trie: nkeys=%d but %d data nodes reachable", t.nkeys, dataCount)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	nt := New()
+	if t.root == nil {
+		return nt
+	}
+	var rec func(n *Node) *Node
+	rec = func(n *Node) *Node {
+		m := NewNode(n.Label)
+		for v := range n.Data {
+			m.Data[v] = struct{}{}
+		}
+		for _, c := range n.Children() {
+			m.addChild(rec(c))
+		}
+		return m
+	}
+	nt.root = rec(t.root)
+	nt.size = t.size
+	nt.nkeys = t.nkeys
+	return nt
+}
+
+// String renders the tree as an indented outline, for debugging and
+// examples.
+func (t *Tree) String() string {
+	if t.root == nil {
+		return "(empty)"
+	}
+	var b []byte
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		for i := 0; i < depth; i++ {
+			b = append(b, ' ', ' ')
+		}
+		label := string(n.Label)
+		if label == "" {
+			label = "ε"
+		}
+		b = append(b, label...)
+		if n.HasData() {
+			b = append(b, fmt.Sprintf(" [%d]", len(n.Data))...)
+		}
+		b = append(b, '\n')
+		for _, c := range n.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(t.root, 0)
+	return string(b)
+}

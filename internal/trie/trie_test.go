@@ -1,0 +1,656 @@
+package trie
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dlpt/internal/keys"
+)
+
+func mustValidate(t *testing.T, tr *Tree) {
+	t.Helper()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid tree: %v\n%s", err, tr)
+	}
+}
+
+func insertAll(tr *Tree, ks ...keys.Key) {
+	for _, k := range ks {
+		tr.InsertKey(k)
+	}
+}
+
+// TestPaperFigure1a reproduces Figure 1(a): inserting binary keys 01,
+// 10101, 10111, 101111 must create structural nodes 101 and ε.
+func TestPaperFigure1a(t *testing.T) {
+	tr := New()
+	insertAll(tr, "01", "10101", "10111", "101111")
+	mustValidate(t, tr)
+	labels := tr.Labels()
+	want := []keys.Key{"", "01", "101", "10101", "10111", "101111"}
+	if !reflect.DeepEqual(labels, want) {
+		t.Fatalf("labels = %v, want %v", labels, want)
+	}
+	// ε and 101 are structural (non-filled in the figure).
+	for _, l := range []keys.Key{"", "101"} {
+		n, ok := tr.Lookup(l)
+		if !ok {
+			t.Fatalf("missing node %q", l)
+		}
+		if n.HasData() {
+			t.Fatalf("node %q should be structural", l)
+		}
+	}
+	if tr.Len() != 6 || tr.NumKeys() != 4 {
+		t.Fatalf("Len=%d NumKeys=%d, want 6 and 4", tr.Len(), tr.NumKeys())
+	}
+	// 101111 hangs below 10111.
+	n, _ := tr.Lookup("101111")
+	if n.Parent.Label != keys.Key("10111") {
+		t.Fatalf("parent of 101111 = %q, want 10111", n.Parent.Label)
+	}
+}
+
+// TestPaperFigure1b builds the BLAS-routine variant of Figure 1(b):
+// no hashing required, names used directly.
+func TestPaperFigure1b(t *testing.T) {
+	tr := New()
+	insertAll(tr, "DTRSM", "DTRMM", "DGEMM", "SGEMM", "STRSM")
+	mustValidate(t, tr)
+	// A structural node DTR must exist as PGCP of DTRSM/DTRMM.
+	n, ok := tr.Lookup("DTR")
+	if !ok || n.HasData() {
+		t.Fatalf("expected structural node DTR")
+	}
+	if _, ok := tr.Lookup("D"); !ok {
+		t.Fatalf("expected structural node D (PGCP of DTR*, DGEMM)")
+	}
+	got := tr.Keys()
+	want := []keys.Key{"DGEMM", "DTRMM", "DTRSM", "SGEMM", "STRSM"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("keys = %v, want %v", got, want)
+	}
+}
+
+func TestInsertIntoEmpty(t *testing.T) {
+	tr := New()
+	n := tr.InsertKey("101")
+	mustValidate(t, tr)
+	if tr.Root() != n || tr.Len() != 1 || tr.NumKeys() != 1 {
+		t.Fatalf("single insert should make the key the root")
+	}
+}
+
+func TestInsertDuplicateKey(t *testing.T) {
+	tr := New()
+	tr.Insert("101", "a")
+	tr.Insert("101", "b")
+	tr.Insert("101", "a")
+	mustValidate(t, tr)
+	if tr.Len() != 1 || tr.NumKeys() != 1 {
+		t.Fatalf("duplicates must not create nodes")
+	}
+	n, _ := tr.Lookup("101")
+	if len(n.Data) != 2 {
+		t.Fatalf("data set size = %d, want 2", len(n.Data))
+	}
+}
+
+func TestInsertPrefixOfExisting(t *testing.T) {
+	tr := New()
+	insertAll(tr, "10111", "101")
+	mustValidate(t, tr)
+	if tr.Root().Label != keys.Key("101") {
+		t.Fatalf("root = %q, want 101", tr.Root().Label)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (no structural node needed)", tr.Len())
+	}
+}
+
+func TestInsertExtensionOfExisting(t *testing.T) {
+	tr := New()
+	insertAll(tr, "101", "10111")
+	mustValidate(t, tr)
+	n, _ := tr.Lookup("10111")
+	if n.Parent.Label != keys.Key("101") {
+		t.Fatalf("10111 must hang below 101")
+	}
+}
+
+func TestInsertSiblingCreatesPGCPParent(t *testing.T) {
+	tr := New()
+	insertAll(tr, "100", "101")
+	mustValidate(t, tr)
+	if tr.Root().Label != keys.Key("10") {
+		t.Fatalf("root = %q, want structural 10", tr.Root().Label)
+	}
+	if tr.Root().HasData() {
+		t.Fatalf("structural root must be dataless")
+	}
+}
+
+func TestInsertDisjointKeysRootEpsilon(t *testing.T) {
+	tr := New()
+	insertAll(tr, "0abc", "1xyz")
+	mustValidate(t, tr)
+	if tr.Root().Label != keys.Epsilon {
+		t.Fatalf("root = %q, want ε", tr.Root().Label)
+	}
+}
+
+func TestInsertSplitsChild(t *testing.T) {
+	tr := New()
+	insertAll(tr, "abcx", "abd")
+	// Now insert key diverging inside child "abcx" under root "ab".
+	insertAll(tr, "abcy")
+	mustValidate(t, tr)
+	n, ok := tr.Lookup("abc")
+	if !ok || n.HasData() {
+		t.Fatalf("expected structural abc node")
+	}
+	if n.NumChildren() != 2 {
+		t.Fatalf("abc should have 2 children, got %d", n.NumChildren())
+	}
+}
+
+func TestInsertKeyEqualsGCPBecomesParent(t *testing.T) {
+	tr := New()
+	insertAll(tr, "abcx", "abd", "abc")
+	mustValidate(t, tr)
+	n, ok := tr.Lookup("abc")
+	if !ok || !n.HasData() {
+		t.Fatalf("abc must exist with data")
+	}
+	c, ok := tr.Lookup("abcx")
+	if !ok || c.Parent != n {
+		t.Fatalf("abcx must be child of abc")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	tr := New()
+	insertAll(tr, "01", "10101", "10111", "101111")
+	for _, k := range []keys.Key{"01", "10101", "10111", "101111", "101", ""} {
+		if _, ok := tr.Lookup(k); !ok {
+			t.Errorf("Lookup(%q) failed", k)
+		}
+	}
+	for _, k := range []keys.Key{"1", "10", "0", "1010", "1011110", "2"} {
+		if _, ok := tr.Lookup(k); ok {
+			t.Errorf("Lookup(%q) should fail", k)
+		}
+	}
+}
+
+func TestLookupEmptyTree(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Lookup("x"); ok {
+		t.Fatalf("lookup in empty tree must fail")
+	}
+	if tr.LongestPrefixNode("x") != nil {
+		t.Fatalf("LongestPrefixNode in empty tree must be nil")
+	}
+}
+
+func TestLongestPrefixNode(t *testing.T) {
+	tr := New()
+	insertAll(tr, "01", "10101", "10111", "101111")
+	cases := []struct {
+		k    keys.Key
+		want keys.Key
+	}{
+		{"10101", "10101"},
+		{"101010", "10101"},
+		{"1011", "101"},
+		{"11", ""},
+		{"011", "01"},
+	}
+	for _, c := range cases {
+		n := tr.LongestPrefixNode(c.k)
+		if n == nil || n.Label != c.want {
+			t.Errorf("LongestPrefixNode(%q) = %v, want %q", c.k, n, c.want)
+		}
+	}
+	// Root label not a prefix of k: possible when root is not ε.
+	tr2 := New()
+	insertAll(tr2, "abc")
+	if tr2.LongestPrefixNode("xyz") != nil {
+		t.Fatalf("no prefix node should be found")
+	}
+}
+
+func TestBestChild(t *testing.T) {
+	tr := New()
+	insertAll(tr, "10101", "10111", "01")
+	root := tr.Root() // ε
+	q := root.BestChild("10")
+	if q == nil || q.Label != keys.Key("101") {
+		t.Fatalf("BestChild(10) = %v, want 101", q)
+	}
+	if root.BestChild("2") != nil {
+		t.Fatalf("no child shares a prefix with 2")
+	}
+}
+
+func TestComplete(t *testing.T) {
+	tr := New()
+	insertAll(tr, "sgemm", "sgemv", "strsm", "dgemm", "dgemv", "saxpy")
+	got := tr.Complete("sge", 0)
+	want := []keys.Key{"sgemm", "sgemv"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Complete(sge) = %v, want %v", got, want)
+	}
+	got = tr.Complete("s", 0)
+	want = []keys.Key{"saxpy", "sgemm", "sgemv", "strsm"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Complete(s) = %v, want %v", got, want)
+	}
+	if got := tr.Complete("s", 2); len(got) != 2 {
+		t.Fatalf("limit ignored: %v", got)
+	}
+	if got := tr.Complete("", 0); len(got) != 6 {
+		t.Fatalf("Complete(ε) should return all keys, got %v", got)
+	}
+	if got := tr.Complete("zzz", 0); got != nil {
+		t.Fatalf("Complete(zzz) = %v, want none", got)
+	}
+	// Exact key counts as its own completion.
+	if got := tr.Complete("saxpy", 0); !reflect.DeepEqual(got, []keys.Key{"saxpy"}) {
+		t.Fatalf("Complete(saxpy) = %v", got)
+	}
+}
+
+func TestCompleteEmptyTree(t *testing.T) {
+	if got := New().Complete("a", 0); got != nil {
+		t.Fatalf("Complete on empty = %v", got)
+	}
+}
+
+func TestRange(t *testing.T) {
+	tr := New()
+	insertAll(tr, "dgemm", "dgemv", "saxpy", "sgemm", "sgemv", "strsm")
+	got := tr.Range("saxpy", "sgemv", 0)
+	want := []keys.Key{"saxpy", "sgemm", "sgemv"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Range = %v, want %v", got, want)
+	}
+	if got := tr.Range("a", "z", 0); len(got) != 6 {
+		t.Fatalf("full range = %v", got)
+	}
+	if got := tr.Range("z", "a", 0); got != nil {
+		t.Fatalf("inverted range must be empty, got %v", got)
+	}
+	if got := tr.Range("e", "r", 0); got != nil {
+		t.Fatalf("empty interval = %v", got)
+	}
+	if got := tr.Range("dgemm", "dgemm", 0); !reflect.DeepEqual(got, []keys.Key{"dgemm"}) {
+		t.Fatalf("point range = %v", got)
+	}
+	if got := tr.Range("a", "z", 3); len(got) != 3 {
+		t.Fatalf("limited range = %v", got)
+	}
+}
+
+func TestRangeStructuralNodesExcluded(t *testing.T) {
+	tr := New()
+	insertAll(tr, "100", "101") // structural "10"
+	got := tr.Range("0", "2", 0)
+	want := []keys.Key{"100", "101"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Range = %v, want %v (structural 10 excluded)", got, want)
+	}
+}
+
+func TestRemoveValue(t *testing.T) {
+	tr := New()
+	tr.Insert("101", "a")
+	tr.Insert("101", "b")
+	if !tr.Remove("101", "a") {
+		t.Fatalf("remove existing value failed")
+	}
+	mustValidate(t, tr)
+	if tr.NumKeys() != 1 {
+		t.Fatalf("key must survive while data remains")
+	}
+	if tr.Remove("101", "a") {
+		t.Fatalf("removing twice must fail")
+	}
+	if tr.Remove("999", "a") {
+		t.Fatalf("removing from absent key must fail")
+	}
+	if !tr.Remove("101", "b") {
+		t.Fatalf("remove last value failed")
+	}
+	mustValidate(t, tr)
+	if tr.Len() != 0 || tr.Root() != nil {
+		t.Fatalf("tree must be empty after last removal")
+	}
+}
+
+func TestRemoveCompactsStructuralParent(t *testing.T) {
+	tr := New()
+	insertAll(tr, "100", "101") // structural root 10
+	if !tr.RemoveKey("101") {
+		t.Fatalf("RemoveKey failed")
+	}
+	mustValidate(t, tr)
+	if tr.Root().Label != keys.Key("100") || tr.Len() != 1 {
+		t.Fatalf("structural parent must be spliced, got root %q len %d",
+			tr.Root().Label, tr.Len())
+	}
+}
+
+func TestRemoveInteriorKeyKeepsStructure(t *testing.T) {
+	tr := New()
+	insertAll(tr, "abc", "abcx", "abcy")
+	if !tr.RemoveKey("abc") {
+		t.Fatalf("RemoveKey failed")
+	}
+	mustValidate(t, tr)
+	// abc still needed as PGCP of abcx/abcy, now structural.
+	n, ok := tr.Lookup("abc")
+	if !ok || n.HasData() {
+		t.Fatalf("abc must remain as structural node")
+	}
+}
+
+func TestRemoveKeyAbsent(t *testing.T) {
+	tr := New()
+	insertAll(tr, "abc")
+	if tr.RemoveKey("ab") {
+		t.Fatalf("removing absent key must fail")
+	}
+}
+
+func TestRemoveSplicesChainAboveRoot(t *testing.T) {
+	tr := New()
+	insertAll(tr, "a", "ab", "abc")
+	if !tr.RemoveKey("a") {
+		t.Fatalf("RemoveKey(a) failed")
+	}
+	mustValidate(t, tr)
+	if tr.Root().Label != keys.Key("ab") {
+		t.Fatalf("root should splice to ab, got %q", tr.Root().Label)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	tr := New()
+	if tr.Depth() != -1 {
+		t.Fatalf("empty depth = %d", tr.Depth())
+	}
+	insertAll(tr, "a")
+	if tr.Depth() != 0 {
+		t.Fatalf("single-node depth = %d", tr.Depth())
+	}
+	insertAll(tr, "ab", "abc", "b")
+	mustValidate(t, tr)
+	// ε -> a -> ab -> abc
+	if tr.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3\n%s", tr.Depth(), tr)
+	}
+}
+
+func TestClone(t *testing.T) {
+	tr := New()
+	insertAll(tr, "100", "101", "0")
+	cp := tr.Clone()
+	mustValidate(t, cp)
+	if !reflect.DeepEqual(tr.Labels(), cp.Labels()) {
+		t.Fatalf("clone labels differ")
+	}
+	cp.InsertKey("111")
+	if tr.Len() == cp.Len() {
+		t.Fatalf("mutating clone must not affect original")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tr := New()
+	if tr.String() != "(empty)" {
+		t.Fatalf("empty rendering = %q", tr.String())
+	}
+	insertAll(tr, "100", "101")
+	s := tr.String()
+	if s == "" || s[0] != '1' {
+		t.Fatalf("unexpected rendering:\n%s", s)
+	}
+	tr2 := New()
+	insertAll(tr2, "0", "1")
+	if tr2.String()[0:2] != "ε"[0:2] {
+		t.Fatalf("ε root must render as ε:\n%s", tr2.String())
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	tr := New()
+	insertAll(tr, "ba", "bb", "aa", "ab")
+	var seen []keys.Key
+	tr.Walk(func(n *Node) { seen = append(seen, n.Label) })
+	// Preorder with sorted children: ε, a, aa, ab, b, ba, bb
+	want := []keys.Key{"", "a", "aa", "ab", "b", "ba", "bb"}
+	if !reflect.DeepEqual(seen, want) {
+		t.Fatalf("walk order = %v, want %v", seen, want)
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	tr := New()
+	insertAll(tr, "100", "101")
+	// Corrupt: make a child claim the wrong parent.
+	n, _ := tr.Lookup("101")
+	n.Parent = n
+	if err := tr.Validate(); err == nil {
+		t.Fatalf("Validate must detect corrupted parent pointer")
+	}
+}
+
+func TestValidateDetectsBadSize(t *testing.T) {
+	tr := New()
+	insertAll(tr, "100", "101")
+	tr.size = 99
+	if err := tr.Validate(); err == nil {
+		t.Fatalf("Validate must detect size mismatch")
+	}
+}
+
+// --- property-based tests --------------------------------------------------
+
+func randomKeys(r *rand.Rand, n, maxLen int, alpha string) []keys.Key {
+	out := make([]keys.Key, n)
+	for i := range out {
+		l := 1 + r.Intn(maxLen)
+		b := make([]byte, l)
+		for j := range b {
+			b[j] = alpha[r.Intn(len(alpha))]
+		}
+		out[i] = keys.Key(b)
+	}
+	return out
+}
+
+func TestPropInsertMaintainsInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		tr := New()
+		ks := randomKeys(r, 40, 8, "01")
+		for _, k := range ks {
+			tr.InsertKey(k)
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("trial %d after insert %q: %v\n%s", trial, k, err, tr)
+			}
+		}
+		// All inserted keys must be retrievable.
+		for _, k := range ks {
+			n, ok := tr.Lookup(k)
+			if !ok || !n.HasData() {
+				t.Fatalf("trial %d: key %q lost", trial, k)
+			}
+		}
+	}
+}
+
+func TestPropInsertOrderIndependent(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		ks := randomKeys(r, 25, 6, "012")
+		t1, t2 := New(), New()
+		for _, k := range ks {
+			t1.InsertKey(k)
+		}
+		perm := r.Perm(len(ks))
+		for _, i := range perm {
+			t2.InsertKey(ks[i])
+		}
+		if !reflect.DeepEqual(t1.Labels(), t2.Labels()) {
+			t.Fatalf("trial %d: insertion order changed structure:\n%s\nvs\n%s",
+				trial, t1, t2)
+		}
+	}
+}
+
+func TestPropRemoveRestoresInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		tr := New()
+		ks := randomKeys(r, 30, 7, "01")
+		uniq := map[keys.Key]bool{}
+		for _, k := range ks {
+			tr.InsertKey(k)
+			uniq[k] = true
+		}
+		var list []keys.Key
+		for k := range uniq {
+			list = append(list, k)
+		}
+		keys.SortKeys(list)
+		r.Shuffle(len(list), func(i, j int) { list[i], list[j] = list[j], list[i] })
+		for _, k := range list {
+			if !tr.RemoveKey(k) {
+				t.Fatalf("trial %d: RemoveKey(%q) failed", trial, k)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("trial %d after remove %q: %v\n%s", trial, k, err, tr)
+			}
+			if n, ok := tr.Lookup(k); ok && n.HasData() {
+				t.Fatalf("trial %d: %q still holds data", trial, k)
+			}
+		}
+		if tr.Len() != 0 {
+			t.Fatalf("trial %d: %d nodes left after removing all", trial, tr.Len())
+		}
+	}
+}
+
+func TestPropRangeMatchesSort(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ks := randomKeys(r, 30, 6, "01")
+		tr := New()
+		set := map[keys.Key]bool{}
+		for _, k := range ks {
+			tr.InsertKey(k)
+			set[k] = true
+		}
+		lo := keys.Key("0")
+		hi := keys.Key("1" + string(randomKeys(r, 1, 4, "01")[0]))
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		got := tr.Range(lo, hi, 0)
+		var want []keys.Key
+		for k := range set {
+			if lo <= k && k <= hi {
+				want = append(want, k)
+			}
+		}
+		keys.SortKeys(want)
+		if len(want) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropCompleteMatchesFilter(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ks := randomKeys(r, 30, 6, "01")
+		tr := New()
+		set := map[keys.Key]bool{}
+		for _, k := range ks {
+			tr.InsertKey(k)
+			set[k] = true
+		}
+		prefix := randomKeys(r, 1, 3, "01")[0]
+		got := tr.Complete(prefix, 0)
+		var want []keys.Key
+		for k := range set {
+			if keys.IsPrefix(prefix, k) {
+				want = append(want, k)
+			}
+		}
+		keys.SortKeys(want)
+		if len(want) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropStructuralNodeCountBound(t *testing.T) {
+	// A PGCP tree over n keys has at most n-1 structural nodes
+	// (each split creates at most one), so at most 2n-1 nodes total.
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		tr := New()
+		ks := randomKeys(r, 50, 10, "01")
+		uniq := map[keys.Key]bool{}
+		for _, k := range ks {
+			tr.InsertKey(k)
+			uniq[k] = true
+		}
+		n := len(uniq)
+		if tr.Len() > 2*n-1 {
+			t.Fatalf("trial %d: %d nodes for %d keys exceeds 2n-1", trial, tr.Len(), n)
+		}
+	}
+}
+
+func TestPropDepthBoundedByMaxKeyLength(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 30; trial++ {
+		tr := New()
+		maxLen := 8
+		for _, k := range randomKeys(r, 60, maxLen, "01") {
+			tr.InsertKey(k)
+		}
+		// Every edge strictly extends the label, so depth <= max label
+		// length (+1 for a possible ε root).
+		if d := tr.Depth(); d > maxLen+1 {
+			t.Fatalf("trial %d: depth %d exceeds bound %d", trial, d, maxLen+1)
+		}
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	tr := New()
+	for _, k := range randomKeys(r, 100, 8, "abc") {
+		tr.InsertKey(k)
+	}
+	ks := tr.Keys()
+	if !sort.SliceIsSorted(ks, func(i, j int) bool { return ks[i] < ks[j] }) {
+		t.Fatalf("Keys() not sorted")
+	}
+}

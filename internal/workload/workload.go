@@ -1,0 +1,247 @@
+// Package workload generates the service-key corpora and request
+// distributions of the paper's evaluation (Section 4): identifiers
+// "commonly encountered in a grid computing context such as names of
+// linear algebra routines" — BLAS, LAPACK, ScaLAPACK and Sun S3L —
+// plus the request pickers (uniform and the hot-spot schedule of
+// Figure 8).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dlpt/internal/keys"
+)
+
+// blasBases are BLAS level 1-3 routine stems, instantiated with the
+// s/d/c/z type prefixes.
+var blasBases = []string{
+	"axpy", "scal", "copy", "swap", "dot", "nrm2", "asum", "rot", "rotg",
+	"gemv", "gbmv", "symv", "sbmv", "spmv", "trmv", "tbmv", "tpmv",
+	"trsv", "tbsv", "tpsv", "ger", "syr", "spr", "syr2", "spr2",
+	"gemm", "symm", "syrk", "syr2k", "trmm", "trsm",
+}
+
+// lapackBases are common LAPACK driver/computational stems.
+var lapackBases = []string{
+	"gesv", "gbsv", "gtsv", "posv", "ppsv", "pbsv", "ptsv", "sysv",
+	"spsv", "gels", "gelsd", "gglse", "ggglm", "syev", "syevd", "spev",
+	"sbev", "stev", "gees", "geev", "gesvd", "gesdd", "getrf", "getrs",
+	"getri", "potrf", "potrs", "potri", "geqrf", "orgqr", "ormqr",
+	"gerqf", "gelqf", "geqlf", "trtrs", "trtri", "gecon", "pocon",
+}
+
+// scalapackBases are ScaLAPACK stems; routine names take the "p"
+// prefix (the hot spot of Figure 8 at t in [80,120)).
+var scalapackBases = []string{
+	"gesv", "getrf", "getrs", "getri", "posv", "potrf", "potrs",
+	"geqrf", "orgqr", "ormqr", "gels", "syev", "syevd", "syevx",
+	"gesvd", "gebrd", "gehrd", "getf2", "trtrs", "lange", "lansy",
+	"gemr2d", "tran", "geadd", "laprnt", "lacpy", "laset", "dbsv", "dtsv",
+}
+
+// s3lBases are Sun S3L library operation names; routine names take
+// the "s3l_" prefix (the hot spot of Figure 8 at t in [40,80)).
+var s3lBases = []string{
+	"mat_mult", "matvec_mult", "vec_mult", "inner_prod", "outer_prod",
+	"fft", "ifft", "fft_detailed", "rc_fft", "lu_factor", "lu_solve",
+	"lu_invert", "lu_deallocate", "qr_factor", "qr_solve", "cholesky_factor",
+	"cholesky_solve", "eigen", "eigen_iter", "gen_lsq", "gen_svd",
+	"sort", "sort_up", "sort_down", "grade_up", "grade_down", "rank",
+	"gen_band_solve", "gen_trid_solve", "sym_eigen", "trans", "copy_array",
+	"zero_elements", "set_array_element", "get_array_element", "reduce",
+	"scan", "rand_lcg", "rand_fib", "declare_sparse", "sparse_matvec",
+	"convert_sparse", "walsh", "acorr", "conv", "deconv", "gbtrs",
+}
+
+var typePrefixes = []string{"s", "d", "c", "z"}
+
+// BLASNames returns the full BLAS corpus (type prefix x stem).
+func BLASNames() []keys.Key {
+	var out []keys.Key
+	for _, tp := range typePrefixes {
+		for _, b := range blasBases {
+			out = append(out, keys.Key(tp+b))
+		}
+	}
+	return out
+}
+
+// LAPACKNames returns the LAPACK corpus.
+func LAPACKNames() []keys.Key {
+	var out []keys.Key
+	for _, tp := range typePrefixes {
+		for _, b := range lapackBases {
+			out = append(out, keys.Key(tp+b))
+		}
+	}
+	return out
+}
+
+// ScaLAPACKNames returns the ScaLAPACK corpus ("p" + type + stem).
+func ScaLAPACKNames() []keys.Key {
+	var out []keys.Key
+	for _, tp := range typePrefixes {
+		for _, b := range scalapackBases {
+			out = append(out, keys.Key("p"+tp+b))
+		}
+	}
+	return out
+}
+
+// S3LNames returns the Sun S3L corpus ("s3l_" + operation).
+func S3LNames() []keys.Key {
+	var out []keys.Key
+	for _, b := range s3lBases {
+		out = append(out, keys.Key("s3l_"+b))
+	}
+	return out
+}
+
+// GridCorpus returns n distinct service keys drawn from the grid
+// libraries (BLAS, LAPACK, ScaLAPACK, S3L), extended with versioned
+// variants ("_v2", "_v3", ...) when n exceeds the base corpus — the
+// paper's trees hold about 1000 keys. The result is deterministic.
+func GridCorpus(n int) []keys.Key {
+	base := append(BLASNames(), LAPACKNames()...)
+	base = append(base, ScaLAPACKNames()...)
+	base = append(base, S3LNames()...)
+	if n <= len(base) {
+		return base[:n]
+	}
+	out := append([]keys.Key(nil), base...)
+	v := 2
+	for len(out) < n {
+		for _, b := range base {
+			if len(out) >= n {
+				break
+			}
+			out = append(out, keys.Key(fmt.Sprintf("%s_v%d", b, v)))
+		}
+		v++
+	}
+	return out
+}
+
+// Picker selects the key targeted by a discovery request at time t
+// among the currently available (declared) keys.
+type Picker interface {
+	// Name identifies the distribution in reports.
+	Name() string
+	// Pick returns one key from available (which must be non-empty).
+	Pick(r *rand.Rand, available []keys.Key, t int) keys.Key
+}
+
+// Uniform picks uniformly among available keys ("services requested
+// were randomly picked among the set of available services").
+type Uniform struct{}
+
+// Name implements Picker.
+func (Uniform) Name() string { return "uniform" }
+
+// Pick implements Picker.
+func (Uniform) Pick(r *rand.Rand, available []keys.Key, _ int) keys.Key {
+	return available[r.Intn(len(available))]
+}
+
+// Zipf picks rank-biased keys (rank 1 most popular), modelling
+// skewed service popularity. S controls the skew (S > 1).
+type Zipf struct {
+	S float64
+}
+
+// Name implements Picker.
+func (Zipf) Name() string { return "zipf" }
+
+// Pick implements Picker.
+func (z Zipf) Pick(r *rand.Rand, available []keys.Key, _ int) keys.Key {
+	s := z.S
+	if s <= 1 {
+		s = 1.2
+	}
+	zf := rand.NewZipf(r, s, 1, uint64(len(available)-1))
+	return available[int(zf.Uint64())]
+}
+
+// Phase is one segment of a hot-spot schedule: between From
+// (inclusive) and To (exclusive), requests target keys with the given
+// prefix with probability Bias, and are uniform otherwise. A phase
+// with an empty prefix is fully uniform.
+type Phase struct {
+	From, To int
+	Prefix   keys.Key
+	Bias     float64
+}
+
+// HotSpot reproduces the Figure 8 workload: bursts of requests on
+// lexicographically close keys (a subtree), moving over time.
+type HotSpot struct {
+	Phases []Phase
+
+	cachedLen    int
+	cachedPrefix keys.Key
+	cached       []keys.Key
+}
+
+// Figure8Schedule returns the paper's schedule: uniform for t<40, the
+// S3L subtree for t in [40,80), the ScaLAPACK ("p") subtree for t in
+// [80,120), uniform again afterwards.
+func Figure8Schedule() *HotSpot {
+	return &HotSpot{Phases: []Phase{
+		{From: 40, To: 80, Prefix: "s3l", Bias: 0.9},
+		{From: 80, To: 120, Prefix: "p", Bias: 0.9},
+	}}
+}
+
+// Name implements Picker.
+func (h *HotSpot) Name() string { return "hotspot" }
+
+// Pick implements Picker.
+func (h *HotSpot) Pick(r *rand.Rand, available []keys.Key, t int) keys.Key {
+	for _, ph := range h.Phases {
+		if t >= ph.From && t < ph.To && !ph.Prefix.IsEmpty() {
+			if r.Float64() < ph.Bias {
+				if sub := h.withPrefix(available, ph.Prefix); len(sub) > 0 {
+					return sub[r.Intn(len(sub))]
+				}
+			}
+			break
+		}
+	}
+	return available[r.Intn(len(available))]
+}
+
+// withPrefix filters available keys by prefix, caching per
+// (len(available), prefix) since the key population only grows.
+func (h *HotSpot) withPrefix(available []keys.Key, prefix keys.Key) []keys.Key {
+	if h.cachedLen == len(available) && h.cachedPrefix == prefix {
+		return h.cached
+	}
+	var sub []keys.Key
+	for _, k := range available {
+		if keys.IsPrefix(prefix, k) {
+			sub = append(sub, k)
+		}
+	}
+	h.cachedLen = len(available)
+	h.cachedPrefix = prefix
+	h.cached = sub
+	return sub
+}
+
+// Capacities draws nPeers capacities uniformly from [base,
+// base*ratio], the paper's heterogeneity model ("the ratio between
+// the most and the least powerful peers is 4").
+func Capacities(r *rand.Rand, nPeers, base, ratio int) []int {
+	if base < 1 {
+		base = 1
+	}
+	if ratio < 1 {
+		ratio = 1
+	}
+	out := make([]int, nPeers)
+	for i := range out {
+		out[i] = base + r.Intn(base*(ratio-1)+1)
+	}
+	return out
+}

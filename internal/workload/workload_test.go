@@ -1,0 +1,233 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dlpt/internal/keys"
+)
+
+func TestCorporaDistinctAndValid(t *testing.T) {
+	cases := map[string][]keys.Key{
+		"blas":      BLASNames(),
+		"lapack":    LAPACKNames(),
+		"scalapack": ScaLAPACKNames(),
+		"s3l":       S3LNames(),
+	}
+	for name, ks := range cases {
+		if len(ks) < 20 {
+			t.Errorf("%s corpus too small: %d", name, len(ks))
+		}
+		seen := map[keys.Key]bool{}
+		for _, k := range ks {
+			if seen[k] {
+				t.Errorf("%s: duplicate key %q", name, k)
+			}
+			seen[k] = true
+			if !keys.LowerAlnum.Valid(k) {
+				t.Errorf("%s: key %q outside LowerAlnum", name, k)
+			}
+		}
+	}
+}
+
+func TestCorpusPrefixStructure(t *testing.T) {
+	for _, k := range S3LNames() {
+		if !strings.HasPrefix(string(k), "s3l_") {
+			t.Fatalf("S3L key %q lacks s3l_ prefix", k)
+		}
+	}
+	for _, k := range ScaLAPACKNames() {
+		if !strings.HasPrefix(string(k), "p") {
+			t.Fatalf("ScaLAPACK key %q lacks p prefix", k)
+		}
+	}
+	// BLAS type prefixes all present.
+	found := map[byte]bool{}
+	for _, k := range BLASNames() {
+		found[k[0]] = true
+	}
+	for _, c := range []byte{'s', 'd', 'c', 'z'} {
+		if !found[c] {
+			t.Fatalf("missing BLAS type prefix %c", c)
+		}
+	}
+}
+
+func TestGridCorpusSizes(t *testing.T) {
+	for _, n := range []int{10, 100, 1000, 1500} {
+		ks := GridCorpus(n)
+		if len(ks) != n {
+			t.Fatalf("GridCorpus(%d) = %d keys", n, len(ks))
+		}
+		seen := map[keys.Key]bool{}
+		for _, k := range ks {
+			if seen[k] {
+				t.Fatalf("GridCorpus(%d): duplicate %q", n, k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestGridCorpusDeterministic(t *testing.T) {
+	a, b := GridCorpus(1200), GridCorpus(1200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("corpus not deterministic at %d", i)
+		}
+	}
+}
+
+func TestGridCorpusContainsHotspotSubtrees(t *testing.T) {
+	ks := GridCorpus(1000)
+	s3l, p := 0, 0
+	for _, k := range ks {
+		if keys.IsPrefix("s3l", k) {
+			s3l++
+		}
+		if keys.IsPrefix("p", k) {
+			p++
+		}
+	}
+	if s3l < 10 || p < 10 {
+		t.Fatalf("hot-spot subtrees too small: s3l=%d p=%d", s3l, p)
+	}
+}
+
+func TestUniformPicker(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	avail := []keys.Key{"a", "b", "c"}
+	counts := map[keys.Key]int{}
+	for i := 0; i < 3000; i++ {
+		counts[(Uniform{}).Pick(r, avail, 0)]++
+	}
+	for _, k := range avail {
+		if counts[k] < 800 || counts[k] > 1200 {
+			t.Fatalf("uniform pick skewed: %v", counts)
+		}
+	}
+	if (Uniform{}).Name() != "uniform" {
+		t.Fatalf("name wrong")
+	}
+}
+
+func TestZipfPickerSkews(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	avail := GridCorpus(100)
+	z := Zipf{S: 1.5}
+	counts := make([]int, len(avail))
+	idx := map[keys.Key]int{}
+	for i, k := range avail {
+		idx[k] = i
+	}
+	for i := 0; i < 5000; i++ {
+		counts[idx[z.Pick(r, avail, 0)]]++
+	}
+	if counts[0] <= counts[len(counts)-1] {
+		t.Fatalf("zipf must favour rank 0: first=%d last=%d", counts[0], counts[len(counts)-1])
+	}
+	// Default S kicks in for S <= 1.
+	zDefault := Zipf{}
+	_ = zDefault.Pick(r, avail, 0)
+	if zDefault.Name() != "zipf" {
+		t.Fatalf("name wrong")
+	}
+}
+
+func TestHotSpotSchedule(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	avail := GridCorpus(1000)
+	h := Figure8Schedule()
+	if h.Name() != "hotspot" {
+		t.Fatalf("name wrong")
+	}
+	countPrefix := func(t0 int, prefix keys.Key, n int) int {
+		c := 0
+		for i := 0; i < n; i++ {
+			if keys.IsPrefix(prefix, h.Pick(r, avail, t0)) {
+				c++
+			}
+		}
+		return c
+	}
+	// Before the hot spot: s3l keys are a small fraction.
+	if c := countPrefix(10, "s3l", 2000); c > 400 {
+		t.Fatalf("t=10 s3l fraction too high: %d/2000", c)
+	}
+	// During the S3L phase, the bias dominates.
+	if c := countPrefix(50, "s3l", 2000); c < 1500 {
+		t.Fatalf("t=50 s3l fraction too low: %d/2000", c)
+	}
+	// During the ScaLAPACK phase, "p" dominates.
+	if c := countPrefix(100, "p", 2000); c < 1500 {
+		t.Fatalf("t=100 p fraction too low: %d/2000", c)
+	}
+	// After both: uniform again.
+	if c := countPrefix(140, "s3l", 2000); c > 400 {
+		t.Fatalf("t=140 s3l fraction too high: %d/2000", c)
+	}
+}
+
+func TestHotSpotCacheInvalidation(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	h := Figure8Schedule()
+	avail := []keys.Key{"s3l_fft", "pgesv"}
+	k1 := h.Pick(r, avail, 50)
+	if k1 != "s3l_fft" && k1 != "pgesv" {
+		t.Fatalf("unexpected pick %q", k1)
+	}
+	// Growing availability must refresh the cached filter.
+	avail2 := []keys.Key{"s3l_fft", "s3l_sort", "pgesv"}
+	sawSort := false
+	for i := 0; i < 200; i++ {
+		if h.Pick(r, avail2, 50) == "s3l_sort" {
+			sawSort = true
+			break
+		}
+	}
+	if !sawSort {
+		t.Fatalf("cache not refreshed after corpus growth")
+	}
+}
+
+func TestHotSpotMissingPrefixFallsBack(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	h := &HotSpot{Phases: []Phase{{From: 0, To: 10, Prefix: "zzz", Bias: 1.0}}}
+	avail := []keys.Key{"a", "b"}
+	k := h.Pick(r, avail, 5)
+	if k != "a" && k != "b" {
+		t.Fatalf("must fall back to uniform: %q", k)
+	}
+}
+
+func TestCapacities(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	cs := Capacities(r, 1000, 10, 4)
+	if len(cs) != 1000 {
+		t.Fatalf("len = %d", len(cs))
+	}
+	mn, mx := cs[0], cs[0]
+	for _, c := range cs {
+		if c < mn {
+			mn = c
+		}
+		if c > mx {
+			mx = c
+		}
+	}
+	if mn < 10 || mx > 40 {
+		t.Fatalf("capacities out of [10,40]: min=%d max=%d", mn, mx)
+	}
+	if float64(mx)/float64(mn) < 2 {
+		t.Fatalf("expected wide capacity spread, got %d..%d", mn, mx)
+	}
+	// Degenerate arguments clamp.
+	cs = Capacities(r, 3, 0, 0)
+	for _, c := range cs {
+		if c != 1 {
+			t.Fatalf("clamped capacities = %v", cs)
+		}
+	}
+}
