@@ -7,10 +7,12 @@ package dlpt
 //
 //	go test -bench=. -benchmem
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
 
+	"dlpt/engine/local"
 	"dlpt/internal/attrs"
 	"dlpt/internal/core"
 	"dlpt/internal/dht"
@@ -374,8 +376,10 @@ func BenchmarkReplicateRecover(b *testing.B) {
 	}
 }
 
-// BenchmarkAttrsQuery measures a conjunctive multi-attribute query.
+// BenchmarkAttrsQuery measures a conjunctive multi-attribute query
+// through the engine facade.
 func BenchmarkAttrsQuery(b *testing.B) {
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(1))
 	net := core.NewNetwork(keys.PrintableASCII, core.PlacementLexicographic)
 	for i := 0; i < 32; i++ {
@@ -383,7 +387,7 @@ func BenchmarkAttrsQuery(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	dir := attrs.NewDirectory(net, rng)
+	dir := attrs.NewDirectory(local.Wrap(net, 1))
 	for i := 0; i < 200; i++ {
 		svc := attrs.Service{
 			ID: fmt.Sprintf("svc-%03d", i),
@@ -392,14 +396,14 @@ func BenchmarkAttrsQuery(b *testing.B) {
 				"mem": fmt.Sprintf("%03d", 32*(1+i%8)),
 			},
 		}
-		if err := dir.Register(svc); err != nil {
+		if err := dir.Register(ctx, svc); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ids, _, err := dir.Query(
+		ids, _, err := dir.Query(ctx,
 			attrs.Predicate{Attr: "cpu", Exact: "x86_64"},
 			attrs.Predicate{Attr: "mem", Lo: "064", Hi: "192"},
 		)
@@ -438,8 +442,9 @@ func BenchmarkTransportDiscover(b *testing.B) {
 }
 
 // BenchmarkRegistryDiscover measures the public API end to end over
-// the concurrent runtime.
+// the default concurrent runtime.
 func BenchmarkRegistryDiscover(b *testing.B) {
+	ctx := context.Background()
 	reg, err := New(16, WithSeed(1), WithAlphabet(keys.LowerAlnum))
 	if err != nil {
 		b.Fatal(err)
@@ -447,15 +452,107 @@ func BenchmarkRegistryDiscover(b *testing.B) {
 	defer reg.Close()
 	corpus := workload.GridCorpus(300)
 	for _, k := range corpus {
-		if err := reg.Register(string(k), "ep"); err != nil {
+		if err := reg.Register(ctx, string(k), "ep"); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, ok, err := reg.Discover(string(corpus[i%len(corpus)])); err != nil || !ok {
+		if _, ok, err := reg.Discover(ctx, string(corpus[i%len(corpus)])); err != nil || !ok {
 			b.Fatal("lost service")
 		}
+	}
+}
+
+// --- engine comparison benchmarks -------------------------------------------
+//
+// The same workload through every execution engine: the perf
+// trajectory baseline for the deployment shapes (sequential core,
+// goroutine runtime, TCP sockets).
+
+// benchEngineRegistry builds a populated Registry on one engine.
+func benchEngineRegistry(b *testing.B, kind EngineKind, peers, nkeys int) (*Registry, []keys.Key) {
+	b.Helper()
+	ctx := context.Background()
+	reg, err := New(peers, WithSeed(1), WithAlphabet(keys.LowerAlnum), WithEngine(kind))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { reg.Close() })
+	corpus := workload.GridCorpus(nkeys)
+	batch := make([]Registration, len(corpus))
+	for i, k := range corpus {
+		batch[i] = Registration{Name: string(k), Endpoint: "ep"}
+	}
+	if err := reg.RegisterBatch(ctx, batch); err != nil {
+		b.Fatal(err)
+	}
+	return reg, corpus
+}
+
+// BenchmarkEngineDiscover measures exact discovery latency on every
+// engine.
+func BenchmarkEngineDiscover(b *testing.B) {
+	ctx := context.Background()
+	for _, kind := range []EngineKind{EngineLocal, EngineLive, EngineTCP} {
+		b.Run(string(kind), func(b *testing.B) {
+			reg, corpus := benchEngineRegistry(b, kind, 16, 300)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok, err := reg.Discover(ctx, string(corpus[i%len(corpus)])); err != nil || !ok {
+					b.Fatalf("lost service on %s", kind)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineRange measures routed range-query latency on every
+// engine.
+func BenchmarkEngineRange(b *testing.B) {
+	ctx := context.Background()
+	for _, kind := range []EngineKind{EngineLocal, EngineLive, EngineTCP} {
+		b.Run(string(kind), func(b *testing.B) {
+			reg, _ := benchEngineRegistry(b, kind, 16, 300)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ks, err := reg.Range(ctx, "pd", "pz", 0)
+				if err != nil || len(ks) == 0 {
+					b.Fatalf("empty range on %s", kind)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineRegisterBatch measures bulk catalogue publication on
+// every engine.
+func BenchmarkEngineRegisterBatch(b *testing.B) {
+	ctx := context.Background()
+	corpus := workload.GridCorpus(200)
+	batch := make([]Registration, len(corpus))
+	for i, k := range corpus {
+		batch[i] = Registration{Name: string(k), Endpoint: "ep"}
+	}
+	for _, kind := range []EngineKind{EngineLocal, EngineLive, EngineTCP} {
+		b.Run(string(kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				reg, err := New(8, WithSeed(int64(i+1)), WithAlphabet(keys.LowerAlnum), WithEngine(kind))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := reg.RegisterBatch(ctx, batch); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				reg.Close()
+				b.StartTimer()
+			}
+		})
 	}
 }

@@ -1,56 +1,61 @@
-// Command dlptlive demonstrates the concurrent DLPT runtime: it
-// starts a goroutine-per-peer overlay, registers a grid-computing
-// service catalogue, runs concurrent discoveries, and prints the
-// resulting prefix tree and routing statistics.
+// Command dlptlive demonstrates the DLPT deployment runtimes behind
+// the pluggable engine API: it starts an overlay on the chosen
+// engine, registers a grid-computing service catalogue, runs
+// concurrent discoveries, and prints the resulting prefix tree and
+// routing statistics.
 //
 // Usage:
 //
-//	dlptlive [-peers N] [-services N] [-queries N] [-seed N]
+//	dlptlive [-engine local|live|tcp] [-peers N] [-services N] [-queries N] [-seed N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sync"
 	"sync/atomic"
 
+	"dlpt"
 	"dlpt/internal/keys"
-	"dlpt/internal/live"
 	"dlpt/internal/workload"
 )
 
 func main() {
+	engineKind := flag.String("engine", "live", "execution engine: local, live or tcp")
 	peers := flag.Int("peers", 16, "number of peers")
 	services := flag.Int("services", 200, "number of services to register")
 	queries := flag.Int("queries", 1000, "number of concurrent discovery requests")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
-	if err := run(*peers, *services, *queries, *seed); err != nil {
+	if err := run(*peers, *services, *queries, *seed, *engineKind); err != nil {
 		fmt.Fprintf(os.Stderr, "dlptlive: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(peers, services, queries int, seed int64) error {
-	caps := make([]int, peers)
-	for i := range caps {
-		caps[i] = 1 << 20
-	}
-	cluster, err := live.Start(keys.LowerAlnum, caps, seed)
+func run(peers, services, queries int, seed int64, engineKind string) error {
+	ctx := context.Background()
+	reg, err := dlpt.New(peers,
+		dlpt.WithSeed(seed),
+		dlpt.WithAlphabet(keys.LowerAlnum),
+		dlpt.WithEngine(dlpt.EngineKind(engineKind)))
 	if err != nil {
 		return err
 	}
-	defer cluster.Stop()
+	defer reg.Close()
 
 	corpus := workload.GridCorpus(services)
-	for _, k := range corpus {
-		if err := cluster.Register(k, "endpoint://"+string(k)); err != nil {
-			return err
-		}
+	batch := make([]dlpt.Registration, len(corpus))
+	for i, k := range corpus {
+		batch[i] = dlpt.Registration{Name: string(k), Endpoint: "endpoint://" + string(k)}
 	}
-	fmt.Printf("overlay: %d peers, %d services, %d tree nodes\n",
-		cluster.NumPeers(), services, cluster.NumNodes())
+	if err := reg.RegisterBatch(ctx, batch); err != nil {
+		return err
+	}
+	fmt.Printf("overlay: %s engine, %d peers, %d services, %d tree nodes\n",
+		reg.Engine().Name(), reg.NumPeers(), services, reg.NumNodes())
 
 	var wg sync.WaitGroup
 	var found, logical, physical int64
@@ -60,14 +65,14 @@ func run(peers, services, queries int, seed int64) error {
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < queries; i += workers {
-				res, err := cluster.Discover(corpus[i%len(corpus)])
+				svc, ok, err := reg.Discover(ctx, string(corpus[i%len(corpus)]))
 				if err != nil {
 					return
 				}
-				if res.Found {
+				if ok {
 					atomic.AddInt64(&found, 1)
-					atomic.AddInt64(&logical, int64(res.LogicalHops))
-					atomic.AddInt64(&physical, int64(res.PhysicalHops))
+					atomic.AddInt64(&logical, int64(svc.LogicalHops))
+					atomic.AddInt64(&physical, int64(svc.PhysicalHops))
 				}
 			}
 		}(w)
@@ -77,14 +82,26 @@ func run(peers, services, queries int, seed int64) error {
 		found, queries,
 		float64(logical)/float64(found), float64(physical)/float64(found))
 
-	if err := cluster.Validate(); err != nil {
+	if err := reg.Validate(ctx); err != nil {
 		return fmt.Errorf("overlay invariants violated: %w", err)
 	}
 	fmt.Println("overlay invariants: OK")
 
-	snap := cluster.Snapshot()
-	fmt.Printf("\ncompletion of \"sge\": %v\n", snap.Complete("sge", 5))
-	fmt.Printf("range [saxpy, sgemv]: %v\n", snap.Range("saxpy", "sgemv", 5))
+	completions, err := reg.Complete(ctx, "sge", 5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncompletion of \"sge\": %v\n", completions)
+	inRange, err := reg.Range(ctx, "saxpy", "sgemv", 5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("range [saxpy, sgemv]: %v\n", inRange)
+
+	snap, err := reg.Engine().Snapshot(ctx)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("\ntree depth: %d, keys: %d\n", snap.Depth(), snap.NumKeys())
 	return nil
 }

@@ -3,13 +3,31 @@ package main
 import "testing"
 
 func TestRunSmall(t *testing.T) {
-	if err := run(6, 60, 120, 1); err != nil {
+	if err := run(6, 60, 120, 1, "live"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSinglePeer(t *testing.T) {
-	if err := run(1, 10, 20, 2); err != nil {
+	if err := run(1, 10, 20, 2, "live"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunLocalEngine(t *testing.T) {
+	if err := run(4, 30, 60, 3, "local"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTCPEngine(t *testing.T) {
+	if err := run(4, 30, 60, 4, "tcp"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownEngine(t *testing.T) {
+	if err := run(4, 10, 10, 1, "quantum"); err == nil {
+		t.Fatal("unknown engine must error")
 	}
 }

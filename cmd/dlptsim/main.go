@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dlptsim [-quick] [-format gnuplot|csv] [-seed N] fig4..fig9|table1|table2|ablation|objective|all
+//	dlptsim [-quick] [-format gnuplot|csv] [-seed N] fig4..fig9|table1|table2|ablation|objective|engines|all
 //
 // The default scale matches the paper (100 peers, 1000 keys, 30-100
 // runs); -quick runs a reduced scale in a few seconds.
@@ -28,7 +28,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: dlptsim [flags] fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|ablation|objective|all\n")
+			"usage: dlptsim [flags] fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|ablation|objective|engines|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -105,6 +105,8 @@ func run(name string, quick bool, format string, seed int64, w io.Writer) error 
 			return err
 		}
 		return tb.Render(w)
+	case "engines":
+		return runEngines(quick, seed, w)
 	case "all":
 		for _, n := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 			"table1", "table2", "ablation", "objective", "zipf"} {

@@ -1,12 +1,9 @@
 package dlpt
 
 import (
-	"math/rand"
-	"sync"
+	"context"
 
 	"dlpt/internal/attrs"
-	"dlpt/internal/core"
-	"dlpt/internal/keys"
 )
 
 // Resource describes a service registered in a Directory: an
@@ -35,59 +32,52 @@ type QueryStats struct {
 // Directory is a multi-attribute resource-discovery overlay: each
 // attribute pair is declared as an "attr=value" key in a DLPT prefix
 // tree, and conjunctive queries intersect per-predicate matches, each
-// resolved by routed tree traversal (exact, prefix or range). Safe
-// for concurrent use.
+// resolved by routed tree traversal (exact, prefix or range) through
+// the configured execution engine. Safe for concurrent use: queries
+// run concurrently on the engine's read side instead of serializing
+// behind a directory-wide lock. Close releases the engine.
 type Directory struct {
-	mu    sync.Mutex
+	eng   Engine
 	inner *attrs.Directory
 }
 
 // NewDirectory starts a directory over a fresh overlay of numPeers
-// peers.
+// peers, backed by the selected engine (EngineLive unless WithEngine
+// says otherwise).
 func NewDirectory(numPeers int, opts ...Option) (*Directory, error) {
-	o := options{alphabet: keys.PrintableASCII, seed: 1}
-	for _, opt := range opts {
-		opt(&o)
+	eng, _, err := buildEngine(numPeers, opts)
+	if err != nil {
+		return nil, err
 	}
-	n := numPeers
-	if o.capacities != nil {
-		n = len(o.capacities)
-	}
-	rng := rand.New(rand.NewSource(o.seed))
-	net := core.NewNetwork(o.alphabet, core.PlacementLexicographic)
-	for i := 0; i < n; i++ {
-		id := o.alphabet.RandomKey(rng, 12, 12)
-		capacity := 1 << 20
-		if o.capacities != nil {
-			capacity = o.capacities[i]
-		}
-		if err := net.JoinPeer(id, capacity, rng); err != nil {
-			return nil, err
-		}
-	}
-	return &Directory{inner: attrs.NewDirectory(net, rng)}, nil
+	return &Directory{eng: eng, inner: attrs.NewDirectory(eng)}, nil
 }
 
+// NewDirectoryWithEngine wraps an already-running engine in a
+// Directory. The Directory takes ownership: Close closes the engine.
+func NewDirectoryWithEngine(eng Engine) *Directory {
+	return &Directory{eng: eng, inner: attrs.NewDirectory(eng)}
+}
+
+// Engine exposes the backing execution engine.
+func (d *Directory) Engine() Engine { return d.eng }
+
+// Close shuts the directory's overlay down. It is idempotent.
+func (d *Directory) Close() error { return d.eng.Close() }
+
 // RegisterResource declares a resource with its attributes.
-func (d *Directory) RegisterResource(res Resource) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.inner.Register(attrs.Service{ID: res.ID, Attributes: res.Attributes})
+func (d *Directory) RegisterResource(ctx context.Context, res Resource) error {
+	return d.inner.Register(ctx, attrs.Service{ID: res.ID, Attributes: res.Attributes})
 }
 
 // UnregisterResource withdraws a resource, reporting whether it was
 // registered.
-func (d *Directory) UnregisterResource(id string) bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.inner.Unregister(id)
+func (d *Directory) UnregisterResource(ctx context.Context, id string) (bool, error) {
+	return d.inner.Unregister(ctx, id)
 }
 
 // Find returns the ids of resources matching every predicate, in
 // order, with the aggregate routing cost.
-func (d *Directory) Find(preds ...Where) ([]string, QueryStats, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+func (d *Directory) Find(ctx context.Context, preds ...Where) ([]string, QueryStats, error) {
 	ps := make([]attrs.Predicate, len(preds))
 	for i, p := range preds {
 		ps[i] = attrs.Predicate{
@@ -95,27 +85,21 @@ func (d *Directory) Find(preds ...Where) ([]string, QueryStats, error) {
 			Lo: p.Min, Hi: p.Max,
 		}
 	}
-	ids, cost, err := d.inner.Query(ps...)
+	ids, cost, err := d.inner.Query(ctx, ps...)
 	return ids, QueryStats{TreeHops: cost.LogicalHops, CrossPeerOps: cost.PhysicalHops}, err
 }
 
 // Describe returns the registered attributes of a resource.
 func (d *Directory) Describe(id string) (map[string]string, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	return d.inner.Describe(id)
 }
 
 // NumResources returns the number of registered resources.
 func (d *Directory) NumResources() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	return d.inner.NumServices()
 }
 
 // Validate cross-checks the directory and overlay invariants.
-func (d *Directory) Validate() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.inner.Validate()
+func (d *Directory) Validate(ctx context.Context) error {
+	return d.inner.Validate(ctx)
 }

@@ -1,18 +1,21 @@
 package dlpt
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
 	"testing"
 )
 
-func newTestDirectory(t *testing.T) *Directory {
+func newTestDirectory(t *testing.T, opts ...Option) *Directory {
 	t.Helper()
-	d, err := NewDirectory(8, WithSeed(5))
+	d, err := NewDirectory(8, append([]Option{WithSeed(5)}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { d.Close() })
+	ctx := context.Background()
 	for i := 0; i < 12; i++ {
 		res := Resource{
 			ID: fmt.Sprintf("node-%02d", i),
@@ -22,7 +25,7 @@ func newTestDirectory(t *testing.T) *Directory {
 				"state": "free",
 			},
 		}
-		if err := d.RegisterResource(res); err != nil {
+		if err := d.RegisterResource(ctx, res); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -30,43 +33,55 @@ func newTestDirectory(t *testing.T) *Directory {
 }
 
 func TestDirectoryFindEquals(t *testing.T) {
-	d := newTestDirectory(t)
-	ids, stats, err := d.Find(Where{Attr: "cpu", Equals: "x86_64"})
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := []string{"node-00", "node-03", "node-06", "node-09"}
-	if !reflect.DeepEqual(ids, want) {
-		t.Fatalf("Find = %v", ids)
-	}
-	if stats.TreeHops == 0 {
-		t.Fatalf("query must report routing cost")
-	}
+	forEachEngine(t, func(t *testing.T, kind EngineKind) {
+		d := newTestDirectory(t, WithEngine(kind))
+		ids, stats, err := d.Find(context.Background(), Where{Attr: "cpu", Equals: "x86_64"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"node-00", "node-03", "node-06", "node-09"}
+		if !reflect.DeepEqual(ids, want) {
+			t.Fatalf("Find = %v", ids)
+		}
+		_ = stats // an exact hit entering at the target node can cost 0 hops
+		// A range predicate traverses a subtree and collects per-key,
+		// so it must report routing cost.
+		_, rangeStats, err := d.Find(context.Background(), Where{Attr: "mem", Min: "064", Max: "256"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rangeStats.TreeHops == 0 {
+			t.Fatalf("range query must report routing cost")
+		}
+	})
 }
 
 func TestDirectoryFindConjunction(t *testing.T) {
-	d := newTestDirectory(t)
-	ids, _, err := d.Find(
-		Where{Attr: "cpu", Equals: "x86_64"},
-		Where{Attr: "mem", Min: "128", Max: "256"},
-	)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, id := range ids {
-		a, ok := d.Describe(id)
-		if !ok || a["cpu"] != "x86_64" || a["mem"] < "128" || a["mem"] > "256" {
-			t.Fatalf("non-matching %q: %v", id, a)
+	forEachEngine(t, func(t *testing.T, kind EngineKind) {
+		d := newTestDirectory(t, WithEngine(kind))
+		ids, _, err := d.Find(context.Background(),
+			Where{Attr: "cpu", Equals: "x86_64"},
+			Where{Attr: "mem", Min: "128", Max: "256"},
+		)
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
-	if len(ids) == 0 {
-		t.Fatalf("conjunction found nothing")
-	}
+		for _, id := range ids {
+			a, ok := d.Describe(id)
+			if !ok || a["cpu"] != "x86_64" || a["mem"] < "128" || a["mem"] > "256" {
+				t.Fatalf("non-matching %q: %v", id, a)
+			}
+		}
+		if len(ids) == 0 {
+			t.Fatalf("conjunction found nothing")
+		}
+	})
 }
 
 func TestDirectoryPrefixAndPresence(t *testing.T) {
+	ctx := context.Background()
 	d := newTestDirectory(t)
-	ids, _, err := d.Find(Where{Attr: "cpu", HasPrefix: "s"})
+	ids, _, err := d.Find(ctx, Where{Attr: "cpu", HasPrefix: "s"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +91,7 @@ func TestDirectoryPrefixAndPresence(t *testing.T) {
 			t.Fatalf("prefix query returned %v", a)
 		}
 	}
-	all, _, err := d.Find(Where{Attr: "state"})
+	all, _, err := d.Find(ctx, Where{Attr: "state"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,25 +101,28 @@ func TestDirectoryPrefixAndPresence(t *testing.T) {
 }
 
 func TestDirectoryUnregister(t *testing.T) {
+	ctx := context.Background()
 	d := newTestDirectory(t)
-	if !d.UnregisterResource("node-00") {
-		t.Fatalf("unregister failed")
+	was, err := d.UnregisterResource(ctx, "node-00")
+	if err != nil || !was {
+		t.Fatalf("unregister = %v, %v", was, err)
 	}
-	if d.UnregisterResource("node-00") {
+	if was, _ := d.UnregisterResource(ctx, "node-00"); was {
 		t.Fatalf("double unregister must fail")
 	}
-	ids, _, _ := d.Find(Where{Attr: "cpu", Equals: "x86_64"})
+	ids, _, _ := d.Find(ctx, Where{Attr: "cpu", Equals: "x86_64"})
 	for _, id := range ids {
 		if id == "node-00" {
 			t.Fatalf("unregistered resource still returned")
 		}
 	}
-	if err := d.Validate(); err != nil {
+	if err := d.Validate(ctx); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestDirectoryConcurrent(t *testing.T) {
+	ctx := context.Background()
 	d := newTestDirectory(t)
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
@@ -112,7 +130,7 @@ func TestDirectoryConcurrent(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 30; i++ {
-				if _, _, err := d.Find(Where{Attr: "cpu", Equals: "arm64"}); err != nil {
+				if _, _, err := d.Find(ctx, Where{Attr: "cpu", Equals: "arm64"}); err != nil {
 					t.Errorf("find: %v", err)
 					return
 				}
@@ -123,14 +141,25 @@ func TestDirectoryConcurrent(t *testing.T) {
 }
 
 func TestDirectoryWithCapacities(t *testing.T) {
+	ctx := context.Background()
 	d, err := NewDirectory(0, WithCapacities([]int{5, 5}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := d.RegisterResource(Resource{ID: "x", Attributes: map[string]string{"a": "1"}}); err != nil {
+	defer d.Close()
+	if err := d.RegisterResource(ctx, Resource{ID: "x", Attributes: map[string]string{"a": "1"}}); err != nil {
 		t.Fatal(err)
 	}
 	if d.NumResources() != 1 {
 		t.Fatalf("NumResources = %d", d.NumResources())
+	}
+}
+
+func TestDirectoryDuplicateRegistration(t *testing.T) {
+	ctx := context.Background()
+	d := newTestDirectory(t)
+	err := d.RegisterResource(ctx, Resource{ID: "node-00", Attributes: map[string]string{"a": "1"}})
+	if err == nil {
+		t.Fatalf("duplicate id must fail")
 	}
 }

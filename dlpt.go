@@ -12,19 +12,64 @@
 // the paper's MLT load balancing available in the simulation engine
 // (internal/sim, internal/lb).
 //
-// The Registry type below is the deployment-facing API, backed by the
-// concurrent goroutine-per-peer runtime. The reproduction harness for
-// the paper's figures and tables lives in cmd/dlptsim and the
-// repository-level benchmarks.
+// # Execution engines
+//
+// Every public operation runs over a pluggable execution engine (the
+// engine.Engine interface), selected at construction time with
+// WithEngine:
+//
+//	reg, err := dlpt.New(16, dlpt.WithEngine(dlpt.EngineTCP))
+//
+// Three backends ship with the module: EngineLocal (the sequential
+// protocol core behind one mutex, deterministic), EngineLive (one
+// goroutine per peer with channel mailboxes — the default), and
+// EngineTCP (peers exchange gob-encoded discovery hops over loopback
+// TCP sockets). Custom backends plug in through WithEngineFactory.
+// The three are differentially tested to produce identical results on
+// identical workloads.
+//
+// All operations take a context.Context; cancelling it aborts
+// in-flight routed traversals on the concurrent backends and returns
+// the context error.
+//
+// The Registry type below is the service-discovery API and Directory
+// (directory.go) the multi-attribute resource-discovery API; both run
+// over any engine. The reproduction harness for the paper's figures
+// and tables lives in cmd/dlptsim and the repository-level
+// benchmarks.
 package dlpt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
+	"dlpt/engine"
+	enginelive "dlpt/engine/live"
+	enginelocal "dlpt/engine/local"
+	enginetcp "dlpt/engine/tcp"
 	"dlpt/internal/keys"
-	"dlpt/internal/live"
+)
+
+// Engine is the pluggable execution backend every public operation
+// routes through. See package dlpt/engine for the contract and the
+// shipped implementations.
+type Engine = engine.Engine
+
+// EngineKind names one of the shipped execution engines.
+type EngineKind string
+
+const (
+	// EngineLocal is the sequential protocol core behind one mutex:
+	// deterministic, no goroutines, cheapest for tests and tools.
+	EngineLocal EngineKind = "local"
+	// EngineLive runs one goroutine per peer with channel mailboxes
+	// and concurrent hop-by-hop discovery routing. The default.
+	EngineLive EngineKind = "live"
+	// EngineTCP runs every peer behind a loopback TCP listener;
+	// discovery hops travel as gob-encoded messages.
+	EngineTCP EngineKind = "tcp"
 )
 
 // Service is a discovered service: the key and the endpoint values
@@ -39,14 +84,22 @@ type Service struct {
 	PhysicalHops int
 }
 
+// Registration is one service declaration, the unit of RegisterBatch.
+type Registration struct {
+	Name     string
+	Endpoint string
+}
+
 // options collects constructor settings.
 type options struct {
 	alphabet   *keys.Alphabet
 	seed       int64
 	capacities []int
+	factory    engine.Factory
+	kind       EngineKind
 }
 
-// Option configures New.
+// Option configures New and NewDirectory.
 type Option func(*options)
 
 // WithSeed fixes the seed of the overlay's internal randomness (peer
@@ -64,79 +117,149 @@ func WithAlphabet(a *keys.Alphabet) Option {
 // WithCapacities sets per-peer capacities explicitly; the number of
 // peers becomes len(capacities), overriding New's numPeers argument.
 // Capacity only matters to the simulation-grade load statistics; the
-// live runtime does not throttle.
+// deployment engines do not throttle.
 func WithCapacities(caps []int) Option {
 	return func(o *options) { o.capacities = append([]int(nil), caps...) }
 }
 
-// Registry is a running service-discovery overlay. All methods are
-// safe for concurrent use. Close releases the peer goroutines.
-type Registry struct {
-	cluster *live.Cluster
-	alpha   *keys.Alphabet
+// WithEngine selects the execution engine backing the overlay:
+// EngineLocal, EngineLive (the default) or EngineTCP.
+func WithEngine(kind EngineKind) Option {
+	return func(o *options) { o.kind = kind }
 }
 
-// ErrClosed is returned by operations on a closed Registry.
-var ErrClosed = live.ErrStopped
+// WithEngineFactory plugs in a custom engine constructor, overriding
+// WithEngine. The factory receives the resolved Config (alphabet,
+// capacities, seed).
+func WithEngineFactory(f engine.Factory) Option {
+	return func(o *options) { o.factory = f }
+}
 
-// New starts an overlay of numPeers peers.
-func New(numPeers int, opts ...Option) (*Registry, error) {
-	o := options{alphabet: keys.PrintableASCII, seed: 1}
+// ErrClosed is returned by operations on a closed Registry or
+// Directory.
+var ErrClosed = engine.ErrClosed
+
+// buildEngine resolves options into a running engine.
+func buildEngine(numPeers int, opts []Option) (engine.Engine, *keys.Alphabet, error) {
+	o := options{alphabet: keys.PrintableASCII, seed: 1, kind: EngineLive}
 	for _, opt := range opts {
 		opt(&o)
 	}
 	caps := o.capacities
 	if caps == nil {
 		if numPeers < 1 {
-			return nil, fmt.Errorf("dlpt: numPeers = %d", numPeers)
+			return nil, nil, fmt.Errorf("dlpt: numPeers = %d", numPeers)
 		}
 		caps = make([]int, numPeers)
 		for i := range caps {
 			caps[i] = 1 << 20
 		}
 	}
-	c, err := live.Start(o.alphabet, caps, o.seed)
+	factory := o.factory
+	if factory == nil {
+		switch o.kind {
+		case EngineLocal:
+			factory = enginelocal.Factory
+		case EngineLive, "":
+			factory = enginelive.Factory
+		case EngineTCP:
+			factory = enginetcp.Factory
+		default:
+			return nil, nil, fmt.Errorf("dlpt: unknown engine %q", o.kind)
+		}
+	}
+	eng, err := factory(engine.Config{
+		Alphabet:   o.alphabet,
+		Capacities: caps,
+		Seed:       o.seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng, o.alphabet, nil
+}
+
+// Registry is a running service-discovery overlay. All methods are
+// safe for concurrent use. Close releases the engine's resources.
+type Registry struct {
+	eng   engine.Engine
+	alpha *keys.Alphabet
+}
+
+// New starts an overlay of numPeers peers over the selected engine
+// (EngineLive unless WithEngine says otherwise).
+func New(numPeers int, opts ...Option) (*Registry, error) {
+	eng, alpha, err := buildEngine(numPeers, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Registry{cluster: c, alpha: o.alphabet}, nil
+	return &Registry{eng: eng, alpha: alpha}, nil
 }
 
-// Close shuts the overlay down. It is idempotent.
-func (r *Registry) Close() { r.cluster.Stop() }
+// NewWithEngine wraps an already-running engine in a Registry. The
+// Registry takes ownership: Close closes the engine.
+func NewWithEngine(eng engine.Engine) *Registry {
+	return &Registry{eng: eng, alpha: eng.Alphabet()}
+}
 
-// Register declares that endpoint provides the service named name.
-func (r *Registry) Register(name, endpoint string) error {
+// Engine exposes the backing execution engine.
+func (r *Registry) Engine() engine.Engine { return r.eng }
+
+// Close shuts the overlay down. It is idempotent.
+func (r *Registry) Close() error { return r.eng.Close() }
+
+// checkName validates a service name against the overlay alphabet.
+func (r *Registry) checkName(name string) error {
 	if name == "" {
 		return errors.New("dlpt: empty service name")
 	}
 	if !r.alpha.Valid(keys.Key(name)) {
 		return fmt.Errorf("dlpt: service name %q outside alphabet", name)
 	}
-	return r.cluster.Register(keys.Key(name), endpoint)
+	return nil
+}
+
+// Register declares that endpoint provides the service named name.
+func (r *Registry) Register(ctx context.Context, name, endpoint string) error {
+	if err := r.checkName(name); err != nil {
+		return err
+	}
+	return r.eng.Register(ctx, name, endpoint)
+}
+
+// RegisterBatch declares every registration in one engine call,
+// holding the engine's write side once where the backend permits. It
+// stops at the first failing entry.
+func (r *Registry) RegisterBatch(ctx context.Context, regs []Registration) error {
+	entries := make([]engine.Entry, len(regs))
+	for i, reg := range regs {
+		if err := r.checkName(reg.Name); err != nil {
+			return err
+		}
+		entries[i] = engine.Entry{Key: reg.Name, Value: reg.Endpoint}
+	}
+	return r.eng.RegisterBatch(ctx, entries)
 }
 
 // Unregister withdraws endpoint from the service named name,
 // reporting whether it was registered.
-func (r *Registry) Unregister(name, endpoint string) bool {
-	return r.cluster.Unregister(keys.Key(name), endpoint)
+func (r *Registry) Unregister(ctx context.Context, name, endpoint string) (bool, error) {
+	return r.eng.Unregister(ctx, name, endpoint)
 }
 
 // Discover routes a discovery request through the overlay and returns
 // the service, if declared.
-func (r *Registry) Discover(name string) (Service, bool, error) {
-	res, err := r.cluster.Discover(keys.Key(name))
+func (r *Registry) Discover(ctx context.Context, name string) (Service, bool, error) {
+	res, err := r.eng.Discover(ctx, name)
 	if err != nil {
 		return Service{}, false, err
 	}
 	if !res.Found {
 		return Service{}, false, nil
 	}
-	eps := append([]string(nil), res.Values...)
-	sort.Strings(eps)
 	return Service{
 		Name:         name,
-		Endpoints:    eps,
+		Endpoints:    res.Values,
 		LogicalHops:  res.LogicalHops,
 		PhysicalHops: res.PhysicalHops,
 	}, true, nil
@@ -146,75 +269,79 @@ func (r *Registry) Discover(name string) (Service, bool, error) {
 // given prefix, in lexicographic order (the paper's automatic
 // completion of partial search strings), resolved by a routed subtree
 // traversal. limit <= 0 means no limit.
-func (r *Registry) Complete(prefix string, limit int) []string {
-	res, err := r.cluster.Complete(keys.Key(prefix))
+func (r *Registry) Complete(ctx context.Context, prefix string, limit int) ([]string, error) {
+	res, err := r.eng.Complete(ctx, prefix)
 	if err != nil {
-		return nil
+		return nil, err
 	}
-	ks := res.Keys
-	if limit > 0 && len(ks) > limit {
-		ks = ks[:limit]
-	}
-	return keysToStrings(ks)
+	return clip(res.Keys, limit), nil
 }
 
 // Range returns up to limit declared service names in [lo, hi], in
 // lexicographic order, resolved by a routed subtree traversal.
 // limit <= 0 means no limit.
-func (r *Registry) Range(lo, hi string, limit int) []string {
-	res, err := r.cluster.RangeQuery(keys.Key(lo), keys.Key(hi))
+func (r *Registry) Range(ctx context.Context, lo, hi string, limit int) ([]string, error) {
+	res, err := r.eng.Range(ctx, lo, hi)
 	if err != nil {
-		return nil
+		return nil, err
 	}
-	ks := res.Keys
-	if limit > 0 && len(ks) > limit {
-		ks = ks[:limit]
-	}
-	return keysToStrings(ks)
+	return clip(res.Keys, limit), nil
 }
 
 // Endpoints returns the endpoints registered under name via a
 // consistent snapshot (no routing cost).
-func (r *Registry) Endpoints(name string) []string {
-	n, ok := r.cluster.Snapshot().Lookup(keys.Key(name))
+func (r *Registry) Endpoints(ctx context.Context, name string) ([]string, error) {
+	snap, err := r.eng.Snapshot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	n, ok := snap.Lookup(keys.Key(name))
 	if !ok || !n.HasData() {
-		return nil
+		return nil, nil
 	}
 	var out []string
 	for v := range n.Data {
 		out = append(out, v)
 	}
 	sort.Strings(out)
-	return out
+	return out, nil
 }
 
 // Services returns every declared service name in order.
-func (r *Registry) Services() []string {
-	return keysToStrings(r.cluster.Snapshot().Keys())
-}
-
-// AddPeer grows the overlay by one peer.
-func (r *Registry) AddPeer() error {
-	_, err := r.cluster.AddPeer(1 << 20)
-	return err
-}
-
-// NumPeers returns the current number of peers.
-func (r *Registry) NumPeers() int { return r.cluster.NumPeers() }
-
-// NumNodes returns the number of tree nodes (declared keys plus
-// structural prefix nodes).
-func (r *Registry) NumNodes() int { return r.cluster.NumNodes() }
-
-// Validate cross-checks every overlay invariant (ring order, mapping
-// rule, PGCP tree structure); it is exposed for operational
-// diagnostics and tests.
-func (r *Registry) Validate() error { return r.cluster.Validate() }
-
-func keysToStrings(ks []keys.Key) []string {
+func (r *Registry) Services(ctx context.Context) ([]string, error) {
+	snap, err := r.eng.Snapshot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ks := snap.Keys()
 	out := make([]string, len(ks))
 	for i, k := range ks {
 		out[i] = string(k)
 	}
-	return out
+	return out, nil
+}
+
+// AddPeer grows the overlay by one peer.
+func (r *Registry) AddPeer(ctx context.Context) error {
+	_, err := r.eng.AddPeer(ctx, 1<<20)
+	return err
+}
+
+// NumPeers returns the current number of peers.
+func (r *Registry) NumPeers() int { return r.eng.NumPeers() }
+
+// NumNodes returns the number of tree nodes (declared keys plus
+// structural prefix nodes).
+func (r *Registry) NumNodes() int { return r.eng.NumNodes() }
+
+// Validate cross-checks every overlay invariant (ring order, mapping
+// rule, PGCP tree structure); it is exposed for operational
+// diagnostics and tests.
+func (r *Registry) Validate(ctx context.Context) error { return r.eng.Validate(ctx) }
+
+func clip(ks []string, limit int) []string {
+	if limit > 0 && len(ks) > limit {
+		ks = ks[:limit]
+	}
+	return ks
 }

@@ -1,0 +1,133 @@
+// Package engine defines the pluggable execution-engine contract of
+// the DLPT library: one interface every deployment shape of the
+// paper's protocol implements, so the public Registry and Directory
+// APIs, the examples and the benchmarks all run unchanged over any
+// backend.
+//
+// Three first-class implementations ship with the module:
+//
+//   - engine/local — the sequential protocol core behind one mutex;
+//     deterministic, no goroutines, the shape of the paper's simulator.
+//   - engine/live  — one goroutine per peer with channel mailboxes and
+//     hop-by-hop concurrent discovery routing (the default backend).
+//   - engine/tcp   — every peer owns a loopback TCP listener and
+//     discoveries hop peer-to-peer as gob-encoded messages.
+//
+// Every operation takes a context.Context; cancelling it aborts
+// in-flight routed traversals and returns the context error.
+package engine
+
+import (
+	"context"
+	"errors"
+
+	"dlpt/internal/keys"
+	"dlpt/internal/trie"
+)
+
+// ErrClosed is returned by every operation on a closed engine.
+var ErrClosed = errors.New("dlpt: engine closed")
+
+// Entry is one (key, value) registration, the unit of RegisterBatch.
+type Entry struct {
+	Key   string
+	Value string
+}
+
+// Result is the outcome of a routed discovery.
+type Result struct {
+	Key   string
+	Found bool
+	// Values holds the registered values in lexicographic order.
+	Values []string
+	// LogicalHops counts tree edges traversed; PhysicalHops the subset
+	// crossing peer boundaries (wire transfers on networked engines).
+	LogicalHops  int
+	PhysicalHops int
+}
+
+// QueryResult is the outcome of a routed multi-key query (automatic
+// completion or lexicographic range).
+type QueryResult struct {
+	// Keys are the matching declared keys in lexicographic order.
+	Keys         []string
+	LogicalHops  int
+	PhysicalHops int
+}
+
+// QueryResultFrom converts an internal key slice plus hop counters
+// into a QueryResult; shared by the engine implementations.
+func QueryResultFrom(ks []keys.Key, logical, physical int) QueryResult {
+	out := QueryResult{LogicalHops: logical, PhysicalHops: physical}
+	if len(ks) > 0 {
+		out.Keys = make([]string, len(ks))
+		for i, k := range ks {
+			out.Keys[i] = string(k)
+		}
+	}
+	return out
+}
+
+// Config collects the deployment parameters every engine constructor
+// accepts.
+type Config struct {
+	// Alphabet is the key alphabet of the overlay.
+	Alphabet *keys.Alphabet
+	// Capacities lists one entry per peer; the overlay starts with
+	// len(Capacities) peers.
+	Capacities []int
+	// Seed fixes the engine's internal randomness (peer identifiers,
+	// discovery entry points).
+	Seed int64
+}
+
+// Factory constructs an engine from a Config. The root dlpt package
+// maps engine kinds to factories; custom backends plug in through
+// dlpt.WithEngineFactory.
+type Factory func(Config) (Engine, error)
+
+// Engine is one running deployment of the DLPT overlay. All methods
+// are safe for concurrent use. Close releases the engine's resources
+// (goroutines, listeners) and is idempotent; operations on a closed
+// engine return ErrClosed.
+type Engine interface {
+	// Name identifies the backend ("local", "live", "tcp", ...).
+	Name() string
+	// Alphabet returns the overlay's key alphabet.
+	Alphabet() *keys.Alphabet
+
+	// Register declares key with a value.
+	Register(ctx context.Context, key, value string) error
+	// RegisterBatch declares every entry, holding the write side once
+	// where the backend permits. It stops at the first failing entry.
+	RegisterBatch(ctx context.Context, entries []Entry) error
+	// Unregister removes value from key, reporting whether it was
+	// registered.
+	Unregister(ctx context.Context, key, value string) (bool, error)
+
+	// Discover routes a discovery request for key through the overlay.
+	Discover(ctx context.Context, key string) (Result, error)
+	// Complete resolves automatic completion of a partial search
+	// string: every declared key extending prefix.
+	Complete(ctx context.Context, prefix string) (QueryResult, error)
+	// Range resolves the lexicographic range query [lo, hi].
+	Range(ctx context.Context, lo, hi string) (QueryResult, error)
+
+	// AddPeer grows the overlay by one peer of the given capacity and
+	// returns its identifier.
+	AddPeer(ctx context.Context, capacity int) (string, error)
+	// Snapshot returns a consistent copy of the whole prefix tree
+	// (whole-catalogue reads with no routing cost).
+	Snapshot(ctx context.Context) (*trie.Tree, error)
+	// Validate cross-checks every overlay invariant.
+	Validate(ctx context.Context) error
+
+	// NumPeers returns the current peer count.
+	NumPeers() int
+	// NumNodes returns the current tree size (declared keys plus
+	// structural prefix nodes).
+	NumNodes() int
+
+	// Close shuts the engine down.
+	Close() error
+}

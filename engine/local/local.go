@@ -1,0 +1,226 @@
+// Package local implements the engine.Engine contract over the
+// sequential protocol core (internal/core) behind a single mutex: no
+// goroutines, no sockets, fully deterministic given a seed. It is the
+// cheapest backend for tests, simulations and single-process
+// deployments, and the reference the differential tests compare the
+// concurrent backends against.
+package local
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"dlpt/engine"
+	"dlpt/internal/core"
+	"dlpt/internal/keys"
+	"dlpt/internal/trie"
+)
+
+// Engine is a mutex-serialized sequential overlay.
+type Engine struct {
+	mu     sync.Mutex
+	net    *core.Network
+	rng    *rand.Rand
+	closed bool
+}
+
+// New starts a local overlay with one peer per capacity entry.
+func New(cfg engine.Config) (*Engine, error) {
+	alpha := cfg.Alphabet
+	if alpha == nil {
+		alpha = keys.PrintableASCII
+	}
+	if len(cfg.Capacities) == 0 {
+		return nil, fmt.Errorf("local: no peers")
+	}
+	e := &Engine{
+		net: core.NewNetwork(alpha, core.PlacementLexicographic),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for _, capacity := range cfg.Capacities {
+		if _, err := e.addPeer(capacity); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// Wrap adapts an already-built network (e.g. one a test drives
+// directly) to the engine contract. The caller keeps ownership of the
+// network's peer lifecycle.
+func Wrap(net *core.Network, seed int64) *Engine {
+	return &Engine{net: net, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Factory adapts New to the engine.Factory signature.
+func Factory(cfg engine.Config) (engine.Engine, error) { return New(cfg) }
+
+// Name identifies the backend.
+func (e *Engine) Name() string { return "local" }
+
+// Alphabet returns the overlay's key alphabet.
+func (e *Engine) Alphabet() *keys.Alphabet { return e.net.Alphabet }
+
+// guard rejects operations on a closed engine or cancelled context.
+// Callers must hold e.mu.
+func (e *Engine) guard(ctx context.Context) error {
+	if e.closed {
+		return engine.ErrClosed
+	}
+	return ctx.Err()
+}
+
+func (e *Engine) addPeer(capacity int) (keys.Key, error) {
+	var id keys.Key
+	for {
+		id = e.net.Alphabet.RandomKey(e.rng, 12, 12)
+		if _, exists := e.net.Peer(id); !exists {
+			break
+		}
+	}
+	if err := e.net.JoinPeer(id, capacity, e.rng); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// Register declares key with a value.
+func (e *Engine) Register(ctx context.Context, key, value string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.guard(ctx); err != nil {
+		return err
+	}
+	return e.net.InsertData(keys.Key(key), value, e.rng)
+}
+
+// RegisterBatch declares every entry under one lock acquisition. The
+// context is checked once up front (as on every engine): an accepted
+// batch runs to completion, so cancellation cannot leave a partially
+// applied prefix.
+func (e *Engine) RegisterBatch(ctx context.Context, entries []engine.Entry) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.guard(ctx); err != nil {
+		return err
+	}
+	for _, ent := range entries {
+		if err := e.net.InsertData(keys.Key(ent.Key), ent.Value, e.rng); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Unregister removes value from key.
+func (e *Engine) Unregister(ctx context.Context, key, value string) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.guard(ctx); err != nil {
+		return false, err
+	}
+	return e.net.RemoveData(keys.Key(key), value), nil
+}
+
+// Discover routes a discovery request entering at a random node.
+func (e *Engine) Discover(ctx context.Context, key string) (engine.Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.guard(ctx); err != nil {
+		return engine.Result{}, err
+	}
+	res := e.net.DiscoverRandom(keys.Key(key), false, e.rng)
+	out := engine.Result{
+		Key:          key,
+		Found:        res.Satisfied,
+		LogicalHops:  res.LogicalHops,
+		PhysicalHops: res.PhysicalHops,
+	}
+	if res.Satisfied {
+		vals, _ := e.net.Values(keys.Key(key))
+		sort.Strings(vals)
+		out.Values = vals
+	}
+	return out, nil
+}
+
+// Complete resolves automatic completion of a partial search string.
+func (e *Engine) Complete(ctx context.Context, prefix string) (engine.QueryResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.guard(ctx); err != nil {
+		return engine.QueryResult{}, err
+	}
+	q := e.net.Complete(keys.Key(prefix), e.rng)
+	return engine.QueryResultFrom(q.Keys, q.LogicalHops, q.PhysicalHops), nil
+}
+
+// Range resolves the lexicographic range query [lo, hi].
+func (e *Engine) Range(ctx context.Context, lo, hi string) (engine.QueryResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.guard(ctx); err != nil {
+		return engine.QueryResult{}, err
+	}
+	q := e.net.RangeQuery(keys.Key(lo), keys.Key(hi), e.rng)
+	return engine.QueryResultFrom(q.Keys, q.LogicalHops, q.PhysicalHops), nil
+}
+
+// AddPeer grows the overlay by one peer.
+func (e *Engine) AddPeer(ctx context.Context, capacity int) (string, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.guard(ctx); err != nil {
+		return "", err
+	}
+	id, err := e.addPeer(capacity)
+	return string(id), err
+}
+
+// Snapshot returns a consistent copy of the whole tree.
+func (e *Engine) Snapshot(ctx context.Context) (*trie.Tree, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.guard(ctx); err != nil {
+		return nil, err
+	}
+	return e.net.TreeSnapshot(), nil
+}
+
+// Validate cross-checks every overlay invariant.
+func (e *Engine) Validate(ctx context.Context) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.guard(ctx); err != nil {
+		return err
+	}
+	return e.net.Validate()
+}
+
+// NumPeers returns the peer count.
+func (e *Engine) NumPeers() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.net.NumPeers()
+}
+
+// NumNodes returns the tree size.
+func (e *Engine) NumNodes() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.net.NumNodes()
+}
+
+// Close marks the engine closed. It is idempotent.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+	return nil
+}
+
+// Compile-time conformance check.
+var _ engine.Engine = (*Engine)(nil)

@@ -1,0 +1,180 @@
+// Package tcp adapts the socket transport (internal/transport) to the
+// engine.Engine contract: every peer owns a loopback TCP listener and
+// discoveries hop peer-to-peer as gob-encoded messages. Cancelling a
+// discovery context tears the in-flight relay chain down connection
+// by connection.
+package tcp
+
+import (
+	"context"
+	"errors"
+	"sort"
+
+	"dlpt/engine"
+	"dlpt/internal/core"
+	"dlpt/internal/keys"
+	itransport "dlpt/internal/transport"
+	"dlpt/internal/trie"
+)
+
+// Engine wraps a running TCP cluster.
+type Engine struct {
+	cluster *itransport.Cluster
+	alpha   *keys.Alphabet
+}
+
+// New starts a TCP-backed overlay with one listener per capacity
+// entry, bound to 127.0.0.1 ephemeral ports.
+func New(cfg engine.Config) (*Engine, error) {
+	alpha := cfg.Alphabet
+	if alpha == nil {
+		alpha = keys.PrintableASCII
+	}
+	c, err := itransport.Start(alpha, cfg.Capacities, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cluster: c, alpha: alpha}, nil
+}
+
+// Factory adapts New to the engine.Factory signature.
+func Factory(cfg engine.Config) (engine.Engine, error) { return New(cfg) }
+
+// Name identifies the backend.
+func (e *Engine) Name() string { return "tcp" }
+
+// Alphabet returns the overlay's key alphabet.
+func (e *Engine) Alphabet() *keys.Alphabet { return e.alpha }
+
+// mapErr normalizes the cluster's stopped error to engine.ErrClosed.
+func mapErr(err error) error {
+	if errors.Is(err, itransport.ErrStopped) {
+		return engine.ErrClosed
+	}
+	return err
+}
+
+// Register declares key with a value.
+func (e *Engine) Register(ctx context.Context, key, value string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return mapErr(e.cluster.Register(keys.Key(key), value))
+}
+
+// RegisterBatch declares every entry under one write-lock
+// acquisition.
+func (e *Engine) RegisterBatch(ctx context.Context, entries []engine.Entry) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	kvs := make([]core.KV, len(entries))
+	for i, ent := range entries {
+		kvs[i] = core.KV{Key: keys.Key(ent.Key), Value: ent.Value}
+	}
+	return mapErr(e.cluster.RegisterBatch(kvs))
+}
+
+// Unregister removes value from key.
+func (e *Engine) Unregister(ctx context.Context, key, value string) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	if e.cluster.Stopped() {
+		return false, engine.ErrClosed
+	}
+	return e.cluster.Unregister(keys.Key(key), value), nil
+}
+
+// Discover routes a discovery over TCP.
+func (e *Engine) Discover(ctx context.Context, key string) (engine.Result, error) {
+	res, err := e.cluster.DiscoverContext(ctx, keys.Key(key))
+	if err != nil {
+		return engine.Result{}, mapErr(err)
+	}
+	out := engine.Result{
+		Key:          key,
+		Found:        res.Found,
+		LogicalHops:  res.LogicalHops,
+		PhysicalHops: res.PhysicalHops,
+	}
+	if res.Found {
+		out.Values = append([]string(nil), res.Values...)
+		sort.Strings(out.Values)
+	}
+	return out, nil
+}
+
+// Complete resolves automatic completion of a partial search string.
+func (e *Engine) Complete(ctx context.Context, prefix string) (engine.QueryResult, error) {
+	if err := ctx.Err(); err != nil {
+		return engine.QueryResult{}, err
+	}
+	q, err := e.cluster.Complete(keys.Key(prefix))
+	if err != nil {
+		return engine.QueryResult{}, mapErr(err)
+	}
+	return engine.QueryResultFrom(q.Keys, q.LogicalHops, q.PhysicalHops), nil
+}
+
+// Range resolves the lexicographic range query [lo, hi].
+func (e *Engine) Range(ctx context.Context, lo, hi string) (engine.QueryResult, error) {
+	if err := ctx.Err(); err != nil {
+		return engine.QueryResult{}, err
+	}
+	q, err := e.cluster.RangeQuery(keys.Key(lo), keys.Key(hi))
+	if err != nil {
+		return engine.QueryResult{}, mapErr(err)
+	}
+	return engine.QueryResultFrom(q.Keys, q.LogicalHops, q.PhysicalHops), nil
+}
+
+// AddPeer grows the overlay by one peer and listener.
+func (e *Engine) AddPeer(ctx context.Context, capacity int) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	id, err := e.cluster.AddPeer(capacity)
+	return string(id), mapErr(err)
+}
+
+// Snapshot returns a consistent copy of the whole tree.
+func (e *Engine) Snapshot(ctx context.Context) (*trie.Tree, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if e.cluster.Stopped() {
+		return nil, engine.ErrClosed
+	}
+	return e.cluster.Snapshot(), nil
+}
+
+// Validate cross-checks every overlay invariant.
+func (e *Engine) Validate(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if e.cluster.Stopped() {
+		return engine.ErrClosed
+	}
+	return e.cluster.Validate()
+}
+
+// NumPeers returns the peer count.
+func (e *Engine) NumPeers() int { return e.cluster.NumPeers() }
+
+// NumNodes returns the tree size.
+func (e *Engine) NumNodes() int { return e.cluster.NumNodes() }
+
+// Close shuts every listener down. It is idempotent.
+func (e *Engine) Close() error {
+	e.cluster.Stop()
+	return nil
+}
+
+// Cluster exposes the underlying transport for callers needing
+// socket-level details (listener addresses).
+func (e *Engine) Cluster() *itransport.Cluster { return e.cluster }
+
+// Compile-time conformance check.
+var _ engine.Engine = (*Engine)(nil)

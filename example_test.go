@@ -1,6 +1,7 @@
 package dlpt_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -9,16 +10,17 @@ import (
 
 // ExampleRegistry shows the basic register/discover cycle.
 func ExampleRegistry() {
+	ctx := context.Background()
 	reg, err := dlpt.New(4, dlpt.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer reg.Close()
 
-	_ = reg.Register("DGEMM", "cluster-a:9000")
-	_ = reg.Register("DGEMM", "cluster-b:9000")
+	_ = reg.Register(ctx, "DGEMM", "cluster-a:9000")
+	_ = reg.Register(ctx, "DGEMM", "cluster-b:9000")
 
-	svc, ok, _ := reg.Discover("DGEMM")
+	svc, ok, _ := reg.Discover(ctx, "DGEMM")
 	fmt.Println(ok, svc.Endpoints)
 	// Output: true [cluster-a:9000 cluster-b:9000]
 }
@@ -26,38 +28,63 @@ func ExampleRegistry() {
 // ExampleRegistry_Complete demonstrates automatic completion of
 // partial search strings.
 func ExampleRegistry_Complete() {
+	ctx := context.Background()
 	reg, _ := dlpt.New(4, dlpt.WithSeed(1))
 	defer reg.Close()
 	for _, s := range []string{"sgemm", "sgemv", "strsm", "dgemm"} {
-		_ = reg.Register(s, "ep")
+		_ = reg.Register(ctx, s, "ep")
 	}
-	fmt.Println(reg.Complete("sge", 0))
+	names, _ := reg.Complete(ctx, "sge", 0)
+	fmt.Println(names)
 	// Output: [sgemm sgemv]
 }
 
 // ExampleRegistry_Range demonstrates lexicographic range queries.
 func ExampleRegistry_Range() {
+	ctx := context.Background()
 	reg, _ := dlpt.New(4, dlpt.WithSeed(1))
 	defer reg.Close()
 	for _, s := range []string{"dgemm", "dgemv", "saxpy", "sgemm"} {
-		_ = reg.Register(s, "ep")
+		_ = reg.Register(ctx, s, "ep")
 	}
-	fmt.Println(reg.Range("d", "e", 0))
+	names, _ := reg.Range(ctx, "d", "e", 0)
+	fmt.Println(names)
 	// Output: [dgemm dgemv]
+}
+
+// ExampleWithEngine runs the same workload over the TCP engine: every
+// discovery hop is a real loopback socket round-trip.
+func ExampleWithEngine() {
+	ctx := context.Background()
+	reg, err := dlpt.New(4, dlpt.WithSeed(1), dlpt.WithEngine(dlpt.EngineTCP))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reg.Close()
+
+	_ = reg.RegisterBatch(ctx, []dlpt.Registration{
+		{Name: "sgemm", Endpoint: "ep-1"},
+		{Name: "sgemv", Endpoint: "ep-2"},
+	})
+	svc, ok, _ := reg.Discover(ctx, "sgemm")
+	fmt.Println(reg.Engine().Name(), ok, svc.Endpoints)
+	// Output: tcp true [ep-1]
 }
 
 // ExampleDirectory shows conjunctive multi-attribute discovery.
 func ExampleDirectory() {
+	ctx := context.Background()
 	dir, _ := dlpt.NewDirectory(4, dlpt.WithSeed(1))
-	_ = dir.RegisterResource(dlpt.Resource{
+	defer dir.Close()
+	_ = dir.RegisterResource(ctx, dlpt.Resource{
 		ID:         "lyon-01",
 		Attributes: map[string]string{"cpu": "x86_64", "mem": "256"},
 	})
-	_ = dir.RegisterResource(dlpt.Resource{
+	_ = dir.RegisterResource(ctx, dlpt.Resource{
 		ID:         "nice-01",
 		Attributes: map[string]string{"cpu": "sparc", "mem": "064"},
 	})
-	ids, _, _ := dir.Find(
+	ids, _, _ := dir.Find(ctx,
 		dlpt.Where{Attr: "cpu", Equals: "x86_64"},
 		dlpt.Where{Attr: "mem", Min: "128", Max: "512"},
 	)

@@ -2,9 +2,13 @@
 // grid middleware publishing the BLAS / LAPACK / ScaLAPACK / S3L
 // routine catalogues and resolving flexible queries: exact discovery,
 // completion of partial names, and range queries across libraries.
+// The -engine flag switches the deployment shape (local, live, tcp)
+// without changing the workload.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -14,25 +18,35 @@ import (
 )
 
 func main() {
-	reg, err := dlpt.New(24, dlpt.WithSeed(7), dlpt.WithAlphabet(keys.LowerAlnum))
+	engineKind := flag.String("engine", "live", "execution engine: local, live or tcp")
+	flag.Parse()
+	ctx := context.Background()
+
+	reg, err := dlpt.New(24, dlpt.WithSeed(7), dlpt.WithAlphabet(keys.LowerAlnum),
+		dlpt.WithEngine(dlpt.EngineKind(*engineKind)))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer reg.Close()
 
-	// Publish the full grid catalogue (the paper's ~1000-key trees).
+	// Publish the full grid catalogue (the paper's ~1000-key trees)
+	// as one batch registration.
 	catalogue := workload.GridCorpus(1000)
+	batch := make([]dlpt.Registration, len(catalogue))
 	for i, name := range catalogue {
-		endpoint := fmt.Sprintf("site-%02d.grid5000.example:%d", i%16, 7000+i%16)
-		if err := reg.Register(string(name), endpoint); err != nil {
-			log.Fatal(err)
+		batch[i] = dlpt.Registration{
+			Name:     string(name),
+			Endpoint: fmt.Sprintf("site-%02d.grid5000.example:%d", i%16, 7000+i%16),
 		}
 	}
-	fmt.Printf("published %d services on %d peers (%d tree nodes)\n",
-		len(catalogue), reg.NumPeers(), reg.NumNodes())
+	if err := reg.RegisterBatch(ctx, batch); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("published %d services on %d peers (%d tree nodes, %s engine)\n",
+		len(catalogue), reg.NumPeers(), reg.NumNodes(), reg.Engine().Name())
 
 	// A user knows the routine name exactly.
-	svc, ok, err := reg.Discover("pdgesv")
+	svc, ok, err := reg.Discover(ctx, "pdgesv")
 	if err != nil || !ok {
 		log.Fatalf("pdgesv: ok=%v err=%v", ok, err)
 	}
@@ -40,18 +54,29 @@ func main() {
 
 	// A user remembers only the beginning of the name: automatic
 	// completion of partial search strings.
-	fmt.Printf("completions of \"s3l_lu\": %v\n", reg.Complete("s3l_lu", 0))
-	fmt.Printf("completions of \"dge\":    %v\n", reg.Complete("dge", 6))
+	mustComplete := func(prefix string, limit int) []string {
+		ks, err := reg.Complete(ctx, prefix, limit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return ks
+	}
+	fmt.Printf("completions of \"s3l_lu\": %v\n", mustComplete("s3l_lu", 0))
+	fmt.Printf("completions of \"dge\":    %v\n", mustComplete("dge", 6))
 
 	// Range query: every double-precision ScaLAPACK solver between
 	// pdgesv and pdpotrs.
-	fmt.Printf("range [pdgesv, pdpotrs]: %v\n", reg.Range("pdgesv", "pdpotrs", 0))
+	solvers, err := reg.Range(ctx, "pdgesv", "pdpotrs", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("range [pdgesv, pdpotrs]: %v\n", solvers)
 
 	// Multi-attribute-style search by structured prefixes: the trie
 	// makes "all S3L FFT variants" a prefix query.
-	fmt.Printf("S3L FFT family: %v\n", reg.Complete("s3l_fft", 0))
+	fmt.Printf("S3L FFT family: %v\n", mustComplete("s3l_fft", 0))
 
-	if err := reg.Validate(); err != nil {
+	if err := reg.Validate(ctx); err != nil {
 		log.Fatalf("overlay invariants: %v", err)
 	}
 	fmt.Println("overlay invariants: OK")

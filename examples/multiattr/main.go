@@ -3,30 +3,36 @@
 // of a resource is declared as an "attr=value" key in the same prefix
 // tree; conjunctive queries combine exact, prefix and range
 // predicates resolved in parallel branches of the tree.
+//
+// The directory runs over the pluggable engine API: the same queries
+// resolve over the in-process runtime and over real TCP sockets
+// (-engine tcp), where every per-predicate discovery is a wire
+// round-trip.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 
-	"dlpt/internal/attrs"
-	"dlpt/internal/core"
-	"dlpt/internal/keys"
+	"dlpt"
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(11))
-	net := core.NewNetwork(keys.PrintableASCII, core.PlacementLexicographic)
-	for i := 0; i < 16; i++ {
-		if err := net.JoinPeer(keys.LowerAlnum.RandomKey(rng, 12, 12), 1<<20, rng); err != nil {
-			log.Fatal(err)
-		}
+	engineKind := flag.String("engine", "live", "execution engine: local, live or tcp")
+	flag.Parse()
+	ctx := context.Background()
+
+	dir, err := dlpt.NewDirectory(16, dlpt.WithSeed(11),
+		dlpt.WithEngine(dlpt.EngineKind(*engineKind)))
+	if err != nil {
+		log.Fatal(err)
 	}
-	dir := attrs.NewDirectory(net, rng)
+	defer dir.Close()
 
 	// Describe a small computational grid.
-	sites := []attrs.Service{
+	sites := []dlpt.Resource{
 		{ID: "lyon-01", Attributes: map[string]string{"cpu": "x86_64", "cores": "064", "mem": "256", "os": "linux"}},
 		{ID: "lyon-02", Attributes: map[string]string{"cpu": "x86_64", "cores": "032", "mem": "128", "os": "linux"}},
 		{ID: "nancy-01", Attributes: map[string]string{"cpu": "arm64", "cores": "096", "mem": "512", "os": "linux"}},
@@ -34,34 +40,35 @@ func main() {
 		{ID: "nice-01", Attributes: map[string]string{"cpu": "sparc", "cores": "016", "mem": "064", "os": "solaris"}},
 	}
 	for _, s := range sites {
-		if err := dir.Register(s); err != nil {
+		if err := dir.RegisterResource(ctx, s); err != nil {
 			log.Fatal(err)
 		}
 	}
-	fmt.Printf("registered %d resources as %d tree nodes on %d peers\n\n",
-		dir.NumServices(), net.NumNodes(), net.NumPeers())
+	fmt.Printf("registered %d resources on the %s engine (%d tree nodes, %d peers)\n\n",
+		dir.NumResources(), dir.Engine().Name(),
+		dir.Engine().NumNodes(), dir.Engine().NumPeers())
 
-	show := func(label string, preds ...attrs.Predicate) {
-		ids, cost, err := dir.Query(preds...)
+	show := func(label string, preds ...dlpt.Where) {
+		ids, stats, err := dir.Find(ctx, preds...)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-52s -> %v  (%d tree hops, %d cross-peer)\n",
-			label, ids, cost.LogicalHops, cost.PhysicalHops)
+			label, ids, stats.TreeHops, stats.CrossPeerOps)
 	}
 
 	show("cpu = x86_64",
-		attrs.Predicate{Attr: "cpu", Exact: "x86_64"})
+		dlpt.Where{Attr: "cpu", Equals: "x86_64"})
 	show("cpu = x86_64 AND os = linux",
-		attrs.Predicate{Attr: "cpu", Exact: "x86_64"},
-		attrs.Predicate{Attr: "os", Exact: "linux"})
+		dlpt.Where{Attr: "cpu", Equals: "x86_64"},
+		dlpt.Where{Attr: "os", Equals: "linux"})
 	show("cores in [064, 128] AND mem in [256, 512]",
-		attrs.Predicate{Attr: "cores", Lo: "064", Hi: "128"},
-		attrs.Predicate{Attr: "mem", Lo: "256", Hi: "512"})
+		dlpt.Where{Attr: "cores", Min: "064", Max: "128"},
+		dlpt.Where{Attr: "mem", Min: "256", Max: "512"})
 	show("cpu prefix \"x\" (completion predicate)",
-		attrs.Predicate{Attr: "cpu", Prefix: "x"})
+		dlpt.Where{Attr: "cpu", HasPrefix: "x"})
 
-	if err := dir.Validate(); err != nil {
+	if err := dir.Validate(ctx); err != nil {
 		log.Fatalf("directory invariants: %v", err)
 	}
 	fmt.Println("\ndirectory + overlay invariants: OK")

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,32 +11,35 @@ import (
 )
 
 func main() {
-	// Start a 8-peer overlay. Peers are simulated in-process, one
-	// goroutine each, speaking the paper's self-contained protocol.
-	reg, err := dlpt.New(8, dlpt.WithSeed(42))
+	ctx := context.Background()
+
+	// Start a 8-peer overlay on the default engine: peers are
+	// simulated in-process, one goroutine each, speaking the paper's
+	// self-contained protocol. Swap dlpt.WithEngine(dlpt.EngineLocal)
+	// or dlpt.EngineTCP in to change the deployment shape without
+	// touching any other line.
+	reg, err := dlpt.New(8, dlpt.WithSeed(42), dlpt.WithEngine(dlpt.EngineLive))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer reg.Close()
 
-	// Declare some computational services, as a grid middleware
-	// would: the key is the routine name, the value its provider.
-	services := map[string][]string{
-		"DGEMM": {"cluster-a:9000", "cluster-b:9000"},
-		"DGEMV": {"cluster-a:9000"},
-		"DTRSM": {"cluster-c:9000"},
-		"SGEMM": {"cluster-b:9000"},
+	// Declare some computational services in one batch, as a grid
+	// middleware would: the key is the routine name, the value its
+	// provider.
+	batch := []dlpt.Registration{
+		{Name: "DGEMM", Endpoint: "cluster-a:9000"},
+		{Name: "DGEMM", Endpoint: "cluster-b:9000"},
+		{Name: "DGEMV", Endpoint: "cluster-a:9000"},
+		{Name: "DTRSM", Endpoint: "cluster-c:9000"},
+		{Name: "SGEMM", Endpoint: "cluster-b:9000"},
 	}
-	for name, endpoints := range services {
-		for _, ep := range endpoints {
-			if err := reg.Register(name, ep); err != nil {
-				log.Fatal(err)
-			}
-		}
+	if err := reg.RegisterBatch(ctx, batch); err != nil {
+		log.Fatal(err)
 	}
 
 	// Exact discovery routes a request through the prefix tree.
-	svc, ok, err := reg.Discover("DGEMM")
+	svc, ok, err := reg.Discover(ctx, "DGEMM")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,15 +50,23 @@ func main() {
 		svc.Endpoints, svc.LogicalHops, svc.PhysicalHops)
 
 	// Automatic completion of partial search strings.
-	fmt.Printf("services starting with DGE: %v\n", reg.Complete("DGE", 0))
+	completions, err := reg.Complete(ctx, "DGE", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("services starting with DGE: %v\n", completions)
 
 	// Lexicographic range query.
-	fmt.Printf("services in [DGEMM, DTRSM]: %v\n", reg.Range("DGEMM", "DTRSM", 0))
+	inRange, err := reg.Range(ctx, "DGEMM", "DTRSM", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("services in [DGEMM, DTRSM]: %v\n", inRange)
 
 	// The overlay grows with the platform.
-	if err := reg.AddPeer(); err != nil {
+	if err := reg.AddPeer(ctx); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("overlay: %d peers, %d tree nodes, invariants: %v\n",
-		reg.NumPeers(), reg.NumNodes(), reg.Validate() == nil)
+		reg.NumPeers(), reg.NumNodes(), reg.Validate(ctx) == nil)
 }

@@ -1,0 +1,3 @@
+module dlpt
+
+go 1.24

@@ -4,10 +4,12 @@ package dlpt
 // balancing + simulation + replication + comparators working
 // together, at small scale with full invariant validation.
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
 
+	"dlpt/engine/local"
 	"dlpt/internal/attrs"
 	"dlpt/internal/core"
 	"dlpt/internal/dht"
@@ -143,6 +145,7 @@ func TestIntegrationSimMatchesShape(t *testing.T) {
 // TestIntegrationAttrsOverChurningOverlay keeps the multi-attribute
 // directory consistent while the overlay churns underneath it.
 func TestIntegrationAttrsOverChurn(t *testing.T) {
+	ctx := context.Background()
 	r := rand.New(rand.NewSource(103))
 	net := core.NewNetwork(keys.PrintableASCII, core.PlacementLexicographic)
 	for i := 0; i < 12; i++ {
@@ -150,7 +153,9 @@ func TestIntegrationAttrsOverChurn(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	dir := attrs.NewDirectory(net, r)
+	// The directory queries through the engine facade while the test
+	// churns the shared overlay directly underneath it.
+	dir := attrs.NewDirectory(local.Wrap(net, 103))
 	for i := 0; i < 40; i++ {
 		svc := attrs.Service{
 			ID: fmt.Sprintf("svc-%02d", i),
@@ -159,7 +164,7 @@ func TestIntegrationAttrsOverChurn(t *testing.T) {
 				"mem": fmt.Sprintf("%03d", 32*(1+i%8)),
 			},
 		}
-		if err := dir.Register(svc); err != nil {
+		if err := dir.Register(ctx, svc); err != nil {
 			t.Fatal(err)
 		}
 		if i%5 == 0 {
@@ -174,10 +179,10 @@ func TestIntegrationAttrsOverChurn(t *testing.T) {
 			}
 		}
 	}
-	if err := dir.Validate(); err != nil {
+	if err := dir.Validate(ctx); err != nil {
 		t.Fatal(err)
 	}
-	ids, _, err := dir.Query(
+	ids, _, err := dir.Query(ctx,
 		attrs.Predicate{Attr: "cpu", Exact: "x86_64"},
 		attrs.Predicate{Attr: "mem", Lo: "064", Hi: "128"},
 	)

@@ -12,20 +12,40 @@
 // tree, and conjunctive multi-attribute queries intersect the
 // per-predicate identifier sets at the querying client — every
 // predicate resolves in parallel branches of the same tree.
+//
+// The directory issues every sub-query through the Backend interface
+// (satisfied by any engine.Engine), so conjunctive queries run
+// unchanged over the sequential core, the goroutine runtime, or the
+// TCP transport.
 package attrs
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
-	"dlpt/internal/core"
+	"dlpt/engine"
 	"dlpt/internal/keys"
 )
 
 // Sep separates attribute names from values in tree keys.
 const Sep = "="
+
+// Backend is the execution surface the directory queries through: the
+// subset of engine.Engine the multi-attribute layer needs. Every
+// engine satisfies it.
+type Backend interface {
+	Alphabet() *keys.Alphabet
+	Register(ctx context.Context, key, value string) error
+	RegisterBatch(ctx context.Context, entries []engine.Entry) error
+	Unregister(ctx context.Context, key, value string) (bool, error)
+	Discover(ctx context.Context, key string) (engine.Result, error)
+	Complete(ctx context.Context, prefix string) (engine.QueryResult, error)
+	Range(ctx context.Context, lo, hi string) (engine.QueryResult, error)
+	Validate(ctx context.Context) error
+}
 
 // Service is a described service to register.
 type Service struct {
@@ -53,22 +73,33 @@ type Cost struct {
 	PhysicalHops int
 }
 
-// Directory is a multi-attribute view over a DLPT overlay.
+// Directory is a multi-attribute view over a DLPT overlay. Queries
+// run concurrently; the registration mirror is guarded by its own
+// lock, so no global serialization sits above the backend.
 type Directory struct {
-	net *core.Network
-	rng *rand.Rand
-	// services mirrors registrations for validation and unregistering.
+	b Backend
+
+	// mu guards services (the registration mirror used for
+	// validation and unregistering) and pending (ids reserved by an
+	// in-flight Register, invisible to readers until the engine
+	// writes land).
+	mu       sync.RWMutex
 	services map[string]map[string]string
+	pending  map[string]bool
 }
 
-// NewDirectory wraps an existing overlay. The alphabet must contain
-// the separator and the attribute/value characters used.
-func NewDirectory(net *core.Network, rng *rand.Rand) *Directory {
-	return &Directory{net: net, rng: rng, services: make(map[string]map[string]string)}
+// NewDirectory wraps a running backend. The backend's alphabet must
+// contain the separator and the attribute/value characters used.
+func NewDirectory(b Backend) *Directory {
+	return &Directory{
+		b:        b,
+		services: make(map[string]map[string]string),
+		pending:  make(map[string]bool),
+	}
 }
 
-func attrKey(attr, value string) keys.Key {
-	return keys.Key(attr + Sep + value)
+func attrKey(attr, value string) string {
+	return attr + Sep + value
 }
 
 func validName(s string) bool {
@@ -76,15 +107,12 @@ func validName(s string) bool {
 }
 
 // Register declares every attribute pair of the service in the tree.
-func (d *Directory) Register(svc Service) error {
+func (d *Directory) Register(ctx context.Context, svc Service) error {
 	if svc.ID == "" {
 		return fmt.Errorf("attrs: empty service id")
 	}
 	if len(svc.Attributes) == 0 {
 		return fmt.Errorf("attrs: service %q has no attributes", svc.ID)
-	}
-	if _, dup := d.services[svc.ID]; dup {
-		return fmt.Errorf("attrs: service %q already registered", svc.ID)
 	}
 	// Deterministic insertion order.
 	names := make([]string, 0, len(svc.Attributes))
@@ -95,107 +123,189 @@ func (d *Directory) Register(svc Service) error {
 		names = append(names, a)
 	}
 	sort.Strings(names)
-	for _, a := range names {
+	alpha := d.b.Alphabet()
+	entries := make([]engine.Entry, len(names))
+	for i, a := range names {
 		k := attrKey(a, svc.Attributes[a])
-		if !d.net.Alphabet.Valid(k) {
+		if !alpha.Valid(keys.Key(k)) {
 			return fmt.Errorf("attrs: key %q outside overlay alphabet", k)
 		}
+		entries[i] = engine.Entry{Key: k, Value: svc.ID}
 	}
-	for _, a := range names {
-		if err := d.net.InsertData(attrKey(a, svc.Attributes[a]), svc.ID, d.rng); err != nil {
-			return err
+	// Reserve the id before the engine calls so concurrent duplicate
+	// registrations cannot interleave; the id stays invisible to
+	// readers (Describe/Validate) until the tree writes landed.
+	d.mu.Lock()
+	if d.pending[svc.ID] || d.services[svc.ID] != nil {
+		d.mu.Unlock()
+		return fmt.Errorf("attrs: service %q already registered", svc.ID)
+	}
+	d.pending[svc.ID] = true
+	d.mu.Unlock()
+
+	if err := d.b.RegisterBatch(ctx, entries); err != nil {
+		// A failed batch may have applied a prefix of the entries;
+		// withdraw them best-effort under a fresh context (the
+		// caller's may already be cancelled).
+		for _, ent := range entries {
+			_, _ = d.b.Unregister(context.Background(), ent.Key, svc.ID)
 		}
+		d.mu.Lock()
+		delete(d.pending, svc.ID)
+		d.mu.Unlock()
+		return err
 	}
-	attrs := make(map[string]string, len(svc.Attributes))
+	attrsCopy := make(map[string]string, len(svc.Attributes))
 	for a, v := range svc.Attributes {
-		attrs[a] = v
+		attrsCopy[a] = v
 	}
-	d.services[svc.ID] = attrs
+	d.mu.Lock()
+	delete(d.pending, svc.ID)
+	d.services[svc.ID] = attrsCopy
+	d.mu.Unlock()
 	return nil
 }
 
 // Unregister withdraws the service from every attribute key it was
 // declared under. It reports whether the service was registered.
-func (d *Directory) Unregister(id string) bool {
+func (d *Directory) Unregister(ctx context.Context, id string) (bool, error) {
+	d.mu.Lock()
 	attrs, ok := d.services[id]
+	if ok {
+		delete(d.services, id)
+	}
+	d.mu.Unlock()
 	if !ok {
-		return false
+		return false, nil
 	}
 	for a, v := range attrs {
-		d.net.RemoveData(attrKey(a, v), id)
+		if _, err := d.b.Unregister(ctx, attrKey(a, v), id); err != nil {
+			return true, err
+		}
 	}
-	delete(d.services, id)
-	return true
+	return true, nil
 }
 
 // NumServices returns the number of registered services.
-func (d *Directory) NumServices() int { return len(d.services) }
+func (d *Directory) NumServices() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.services)
+}
 
 // evalPredicate returns the service-id set matching one predicate.
-func (d *Directory) evalPredicate(p Predicate, cost *Cost) (map[string]bool, error) {
+func (d *Directory) evalPredicate(ctx context.Context, p Predicate, cost *Cost) (map[string]bool, error) {
 	if !validName(p.Attr) {
 		return nil, fmt.Errorf("attrs: invalid attribute %q", p.Attr)
 	}
 	ids := make(map[string]bool)
 	switch {
 	case p.Exact != "":
-		res := d.net.DiscoverRandom(attrKey(p.Attr, p.Exact), false, d.rng)
+		res, err := d.b.Discover(ctx, attrKey(p.Attr, p.Exact))
+		if err != nil {
+			return nil, err
+		}
 		cost.LogicalHops += res.LogicalHops
 		cost.PhysicalHops += res.PhysicalHops
-		if res.Satisfied {
-			vals, ok := d.net.Lookup(attrKey(p.Attr, p.Exact), d.rng)
-			if ok {
-				for _, v := range vals {
-					ids[v] = true
-				}
-			}
+		for _, v := range res.Values {
+			ids[v] = true
 		}
 	case p.Prefix != "":
-		q := d.net.Complete(attrKey(p.Attr, p.Prefix), d.rng)
+		q, err := d.b.Complete(ctx, attrKey(p.Attr, p.Prefix))
+		if err != nil {
+			return nil, err
+		}
 		cost.LogicalHops += q.LogicalHops
 		cost.PhysicalHops += q.PhysicalHops
-		d.collect(q.Keys, ids)
+		if err := d.collect(ctx, q.Keys, ids, cost); err != nil {
+			return nil, err
+		}
 	case p.Hi != "":
 		if p.Hi < p.Lo {
 			return ids, nil
 		}
-		q := d.net.RangeQuery(attrKey(p.Attr, p.Lo), attrKey(p.Attr, p.Hi), d.rng)
+		q, err := d.b.Range(ctx, attrKey(p.Attr, p.Lo), attrKey(p.Attr, p.Hi))
+		if err != nil {
+			return nil, err
+		}
 		cost.LogicalHops += q.LogicalHops
 		cost.PhysicalHops += q.PhysicalHops
-		d.collect(q.Keys, ids)
+		if err := d.collect(ctx, q.Keys, ids, cost); err != nil {
+			return nil, err
+		}
 	default:
 		// Attribute presence: every value under "attr=".
-		q := d.net.Complete(keys.Key(p.Attr+Sep), d.rng)
+		q, err := d.b.Complete(ctx, p.Attr+Sep)
+		if err != nil {
+			return nil, err
+		}
 		cost.LogicalHops += q.LogicalHops
 		cost.PhysicalHops += q.PhysicalHops
-		d.collect(q.Keys, ids)
+		if err := d.collect(ctx, q.Keys, ids, cost); err != nil {
+			return nil, err
+		}
 	}
 	return ids, nil
 }
 
-// collect fetches the service ids stored under each key.
-func (d *Directory) collect(ks []keys.Key, into map[string]bool) {
-	for _, k := range ks {
-		vals, ok := d.net.Lookup(k, d.rng)
-		if !ok {
-			continue
-		}
-		for _, v := range vals {
-			into[v] = true
-		}
+// collectConcurrency bounds the parallel per-key discoveries of a
+// subtree predicate (on the TCP engine each one is a chain of real
+// wire round-trips).
+const collectConcurrency = 8
+
+// collect fetches the service ids stored under each key by routed
+// discovery. The discoveries are independent reads, so they run with
+// bounded concurrency; cost sums are commutative, results are merged
+// under a lock.
+func (d *Directory) collect(ctx context.Context, ks []string, into map[string]bool, cost *Cost) error {
+	if len(ks) == 0 {
+		return nil
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, collectConcurrency)
+	for _, k := range ks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(k string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := d.b.Discover(ctx, k)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+					cancel() // abort the remaining in-flight lookups
+				}
+				return
+			}
+			cost.LogicalHops += res.LogicalHops
+			cost.PhysicalHops += res.PhysicalHops
+			for _, v := range res.Values {
+				into[v] = true
+			}
+		}(k)
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // Query resolves the conjunction of the given predicates and returns
 // the matching service ids in order, with the aggregate routing cost.
-func (d *Directory) Query(preds ...Predicate) ([]string, Cost, error) {
+func (d *Directory) Query(ctx context.Context, preds ...Predicate) ([]string, Cost, error) {
 	var cost Cost
 	if len(preds) == 0 {
 		return nil, cost, fmt.Errorf("attrs: empty query")
 	}
 	var acc map[string]bool
 	for _, p := range preds {
-		ids, err := d.evalPredicate(p, &cost)
+		ids, err := d.evalPredicate(ctx, p, &cost)
 		if err != nil {
 			return nil, cost, err
 		}
@@ -222,6 +332,8 @@ func (d *Directory) Query(preds ...Predicate) ([]string, Cost, error) {
 
 // Describe returns the registered attributes of a service.
 func (d *Directory) Describe(id string) (map[string]string, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	attrs, ok := d.services[id]
 	if !ok {
 		return nil, false
@@ -236,18 +348,23 @@ func (d *Directory) Describe(id string) (map[string]string, bool) {
 // Validate cross-checks the directory against the overlay: every
 // registered attribute pair must be discoverable and carry the
 // service id.
-func (d *Directory) Validate() error {
-	if err := d.net.Validate(); err != nil {
+func (d *Directory) Validate(ctx context.Context) error {
+	if err := d.b.Validate(ctx); err != nil {
 		return err
 	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	for id, attrs := range d.services {
 		for a, v := range attrs {
-			vals, ok := d.net.Lookup(attrKey(a, v), d.rng)
-			if !ok {
+			res, err := d.b.Discover(ctx, attrKey(a, v))
+			if err != nil {
+				return err
+			}
+			if !res.Found {
 				return fmt.Errorf("attrs: key %q of service %q missing", attrKey(a, v), id)
 			}
 			found := false
-			for _, got := range vals {
+			for _, got := range res.Values {
 				if got == id {
 					found = true
 					break

@@ -1,25 +1,34 @@
 package attrs
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
 
-	"dlpt/internal/core"
+	"dlpt/engine"
+	"dlpt/engine/local"
 	"dlpt/internal/keys"
 )
 
+var ctx = context.Background()
+
 func newDirectory(t *testing.T, peers int, seed int64) *Directory {
 	t.Helper()
-	r := rand.New(rand.NewSource(seed))
-	net := core.NewNetwork(keys.PrintableASCII, core.PlacementLexicographic)
-	for i := 0; i < peers; i++ {
-		if err := net.JoinPeer(keys.LowerAlnum.RandomKey(r, 12, 12), 1<<30, r); err != nil {
-			t.Fatal(err)
-		}
+	caps := make([]int, peers)
+	for i := range caps {
+		caps[i] = 1 << 30
 	}
-	return NewDirectory(net, r)
+	eng, err := local.New(engine.Config{
+		Alphabet:   keys.PrintableASCII,
+		Capacities: caps,
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewDirectory(eng)
 }
 
 func sampleServices() []Service {
@@ -34,22 +43,22 @@ func sampleServices() []Service {
 
 func TestRegisterValidation(t *testing.T) {
 	d := newDirectory(t, 4, 1)
-	if err := d.Register(Service{ID: "", Attributes: map[string]string{"a": "b"}}); err == nil {
+	if err := d.Register(ctx, Service{ID: "", Attributes: map[string]string{"a": "b"}}); err == nil {
 		t.Fatalf("empty id must fail")
 	}
-	if err := d.Register(Service{ID: "x", Attributes: nil}); err == nil {
+	if err := d.Register(ctx, Service{ID: "x", Attributes: nil}); err == nil {
 		t.Fatalf("no attributes must fail")
 	}
-	if err := d.Register(Service{ID: "x", Attributes: map[string]string{"a=b": "c"}}); err == nil {
+	if err := d.Register(ctx, Service{ID: "x", Attributes: map[string]string{"a=b": "c"}}); err == nil {
 		t.Fatalf("separator in attribute name must fail")
 	}
-	if err := d.Register(Service{ID: "x", Attributes: map[string]string{"a": "ok"}}); err != nil {
+	if err := d.Register(ctx, Service{ID: "x", Attributes: map[string]string{"a": "ok"}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Register(Service{ID: "x", Attributes: map[string]string{"a": "ok"}}); err == nil {
+	if err := d.Register(ctx, Service{ID: "x", Attributes: map[string]string{"a": "ok"}}); err == nil {
 		t.Fatalf("duplicate id must fail")
 	}
-	if err := d.Register(Service{ID: "y", Attributes: map[string]string{"a": "bad\tval"}}); err == nil {
+	if err := d.Register(ctx, Service{ID: "y", Attributes: map[string]string{"a": "bad\tval"}}); err == nil {
 		t.Fatalf("value outside alphabet must fail")
 	}
 }
@@ -57,14 +66,14 @@ func TestRegisterValidation(t *testing.T) {
 func TestExactQuery(t *testing.T) {
 	d := newDirectory(t, 6, 2)
 	for _, s := range sampleServices() {
-		if err := d.Register(s); err != nil {
+		if err := d.Register(ctx, s); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := d.Validate(); err != nil {
+	if err := d.Validate(ctx); err != nil {
 		t.Fatal(err)
 	}
-	ids, cost, err := d.Query(Predicate{Attr: "cpu", Exact: "x86_64"})
+	ids, cost, err := d.Query(ctx, Predicate{Attr: "cpu", Exact: "x86_64"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +83,7 @@ func TestExactQuery(t *testing.T) {
 	if cost.LogicalHops == 0 {
 		t.Fatalf("query must cost hops")
 	}
-	ids, _, _ = d.Query(Predicate{Attr: "cpu", Exact: "riscv"})
+	ids, _, _ = d.Query(ctx, Predicate{Attr: "cpu", Exact: "riscv"})
 	if len(ids) != 0 {
 		t.Fatalf("absent value ids = %v", ids)
 	}
@@ -83,11 +92,11 @@ func TestExactQuery(t *testing.T) {
 func TestConjunctiveQuery(t *testing.T) {
 	d := newDirectory(t, 6, 3)
 	for _, s := range sampleServices() {
-		if err := d.Register(s); err != nil {
+		if err := d.Register(ctx, s); err != nil {
 			t.Fatal(err)
 		}
 	}
-	ids, _, err := d.Query(
+	ids, _, err := d.Query(ctx,
 		Predicate{Attr: "cpu", Exact: "x86_64"},
 		Predicate{Attr: "os", Exact: "linux"},
 	)
@@ -98,7 +107,7 @@ func TestConjunctiveQuery(t *testing.T) {
 		t.Fatalf("conjunction = %v", ids)
 	}
 	// Adding a range predicate narrows further: mem in [048, 999].
-	ids, _, err = d.Query(
+	ids, _, err = d.Query(ctx,
 		Predicate{Attr: "cpu", Exact: "x86_64"},
 		Predicate{Attr: "os", Exact: "linux"},
 		Predicate{Attr: "mem", Lo: "048", Hi: "999"},
@@ -114,12 +123,12 @@ func TestConjunctiveQuery(t *testing.T) {
 func TestRangeAndPrefixPredicates(t *testing.T) {
 	d := newDirectory(t, 6, 4)
 	for _, s := range sampleServices() {
-		if err := d.Register(s); err != nil {
+		if err := d.Register(ctx, s); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// mem in [032, 064]: node-a (032), node-b (064), node-e (064).
-	ids, _, err := d.Query(Predicate{Attr: "mem", Lo: "032", Hi: "064"})
+	ids, _, err := d.Query(ctx, Predicate{Attr: "mem", Lo: "032", Hi: "064"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,12 +136,12 @@ func TestRangeAndPrefixPredicates(t *testing.T) {
 		t.Fatalf("range = %v", ids)
 	}
 	// Inverted range is empty.
-	ids, _, _ = d.Query(Predicate{Attr: "mem", Lo: "900", Hi: "100"})
+	ids, _, _ = d.Query(ctx, Predicate{Attr: "mem", Lo: "900", Hi: "100"})
 	if len(ids) != 0 {
 		t.Fatalf("inverted range = %v", ids)
 	}
 	// cpu prefix "x" -> x86_64 machines.
-	ids, _, err = d.Query(Predicate{Attr: "cpu", Prefix: "x"})
+	ids, _, err = d.Query(ctx, Predicate{Attr: "cpu", Prefix: "x"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +149,7 @@ func TestRangeAndPrefixPredicates(t *testing.T) {
 		t.Fatalf("prefix = %v", ids)
 	}
 	// Attribute presence.
-	ids, _, err = d.Query(Predicate{Attr: "os"})
+	ids, _, err = d.Query(ctx, Predicate{Attr: "os"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,10 +160,10 @@ func TestRangeAndPrefixPredicates(t *testing.T) {
 
 func TestQueryErrors(t *testing.T) {
 	d := newDirectory(t, 3, 5)
-	if _, _, err := d.Query(); err == nil {
+	if _, _, err := d.Query(ctx); err == nil {
 		t.Fatalf("empty query must fail")
 	}
-	if _, _, err := d.Query(Predicate{Attr: "bad=name", Exact: "x"}); err == nil {
+	if _, _, err := d.Query(ctx, Predicate{Attr: "bad=name", Exact: "x"}); err == nil {
 		t.Fatalf("invalid attribute must fail")
 	}
 }
@@ -162,20 +171,20 @@ func TestQueryErrors(t *testing.T) {
 func TestUnregister(t *testing.T) {
 	d := newDirectory(t, 5, 6)
 	for _, s := range sampleServices() {
-		if err := d.Register(s); err != nil {
+		if err := d.Register(ctx, s); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if !d.Unregister("node-b") {
-		t.Fatalf("unregister failed")
+	if was, err := d.Unregister(ctx, "node-b"); err != nil || !was {
+		t.Fatalf("unregister = %v, %v", was, err)
 	}
-	if d.Unregister("node-b") {
+	if was, _ := d.Unregister(ctx, "node-b"); was {
 		t.Fatalf("double unregister must fail")
 	}
-	if err := d.Validate(); err != nil {
+	if err := d.Validate(ctx); err != nil {
 		t.Fatal(err)
 	}
-	ids, _, _ := d.Query(Predicate{Attr: "cpu", Exact: "x86_64"})
+	ids, _, _ := d.Query(ctx, Predicate{Attr: "cpu", Exact: "x86_64"})
 	if !reflect.DeepEqual(ids, []string{"node-a", "node-d"}) {
 		t.Fatalf("after unregister = %v", ids)
 	}
@@ -186,7 +195,7 @@ func TestUnregister(t *testing.T) {
 
 func TestDescribe(t *testing.T) {
 	d := newDirectory(t, 3, 7)
-	_ = d.Register(Service{ID: "s1", Attributes: map[string]string{"a": "1"}})
+	_ = d.Register(ctx, Service{ID: "s1", Attributes: map[string]string{"a": "1"}})
 	attrs, ok := d.Describe("s1")
 	if !ok || attrs["a"] != "1" {
 		t.Fatalf("Describe = %v %v", attrs, ok)
@@ -218,18 +227,18 @@ func TestPropConjunctionMatchesBruteForce(t *testing.T) {
 			},
 		}
 		all = append(all, s)
-		if err := d.Register(s); err != nil {
+		if err := d.Register(ctx, s); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := d.Validate(); err != nil {
+	if err := d.Validate(ctx); err != nil {
 		t.Fatal(err)
 	}
 	for trial := 0; trial < 25; trial++ {
 		cpu := cpus[r.Intn(len(cpus))]
 		lo := fmt.Sprintf("%03d", 8*(1+r.Intn(16)))
 		hi := fmt.Sprintf("%03d", 8*(17+r.Intn(16)))
-		got, _, err := d.Query(
+		got, _, err := d.Query(ctx,
 			Predicate{Attr: "cpu", Exact: cpu},
 			Predicate{Attr: "mem", Lo: lo, Hi: hi},
 		)

@@ -107,6 +107,21 @@ func (net *Network) Lookup(k keys.Key, r *rand.Rand) ([]string, bool) {
 	return out, true
 }
 
+// Values returns the values stored under k by direct state access on
+// the owner peer (no routing, no cost accounting). Engines use it to
+// read a node's data after a discovery already routed to it.
+func (net *Network) Values(k keys.Key) ([]string, bool) {
+	n, _, ok := net.nodeState(k)
+	if !ok || !n.HasData() {
+		return nil, false
+	}
+	out := make([]string, 0, len(n.Data))
+	for v := range n.Data {
+		out = append(out, v)
+	}
+	return out, true
+}
+
 // String summarizes the network.
 func (net *Network) String() string {
 	return fmt.Sprintf("dlpt{%s, peers=%d, nodes=%d}",

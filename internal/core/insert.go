@@ -36,6 +36,24 @@ func (net *Network) InsertKey(k keys.Key, r *rand.Rand) error {
 	return net.InsertData(k, string(k), r)
 }
 
+// KV is one key/value registration, the unit of batch insertion
+// shared by the deployment runtimes.
+type KV struct {
+	Key   keys.Key
+	Value string
+}
+
+// InsertBatch declares every entry in order, stopping at the first
+// failure.
+func (net *Network) InsertBatch(entries []KV, r *rand.Rand) error {
+	for _, e := range entries {
+		if err := net.InsertData(e.Key, e.Value, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // handleDataInsertion is Algorithm 3, run on node p.
 func (net *Network) handleDataInsertion(peer *Peer, p *Node, m message) error {
 	k := m.key

@@ -13,6 +13,7 @@
 package live
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -34,8 +35,12 @@ type Result struct {
 	Path []keys.Key
 }
 
-// discoverMsg is one in-flight discovery request.
+// discoverMsg is one in-flight discovery request. ctx is the
+// originating caller's context: every hop checks it, so cancelling
+// the discovery aborts the routed traversal mid-flight instead of
+// letting it run to completion against a departed client.
 type discoverMsg struct {
+	ctx     context.Context
 	key     keys.Key
 	at      keys.Key // node the request is addressed to
 	goingUp bool
@@ -174,11 +179,34 @@ func (c *Cluster) Register(key keys.Key, value string) error {
 	return c.net.InsertData(key, value, c.rng)
 }
 
+// RegisterBatch declares every entry under a single acquisition of
+// the topology write lock, stopping at the first failure.
+func (c *Cluster) RegisterBatch(entries []core.KV) error {
+	select {
+	case <-c.quit:
+		return ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.net.InsertBatch(entries, c.rng)
+}
+
 // Unregister removes a value from a key.
 func (c *Cluster) Unregister(key keys.Key, value string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.net.RemoveData(key, value)
+}
+
+// Stopped reports whether the cluster has been stopped.
+func (c *Cluster) Stopped() bool {
+	select {
+	case <-c.quit:
+		return true
+	default:
+		return false
+	}
 }
 
 // Snapshot returns a consistent copy of the whole tree (used by
@@ -230,10 +258,20 @@ func (c *Cluster) Validate() error {
 // Discover routes a discovery request for key through the peer
 // goroutines, entering the tree at a random node.
 func (c *Cluster) Discover(key keys.Key) (Result, error) {
+	return c.DiscoverContext(context.Background(), key)
+}
+
+// DiscoverContext is Discover under a caller context: cancelling ctx
+// aborts the in-flight routed traversal and returns the context
+// error.
+func (c *Cluster) DiscoverContext(ctx context.Context, key keys.Key) (Result, error) {
 	select {
 	case <-c.quit:
 		return Result{}, ErrStopped
 	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
 	}
 	c.entryMu.Lock()
 	c.mu.RLock()
@@ -243,7 +281,7 @@ func (c *Cluster) Discover(key keys.Key) (Result, error) {
 	if !ok {
 		return Result{Key: key}, nil
 	}
-	return c.discoverFrom(key, entry)
+	return c.discoverFrom(ctx, key, entry)
 }
 
 // DiscoverFrom routes a discovery entering at a chosen node key.
@@ -253,12 +291,13 @@ func (c *Cluster) DiscoverFrom(key, entry keys.Key) (Result, error) {
 		return Result{}, ErrStopped
 	default:
 	}
-	return c.discoverFrom(key, entry)
+	return c.discoverFrom(context.Background(), key, entry)
 }
 
-func (c *Cluster) discoverFrom(key, entry keys.Key) (Result, error) {
+func (c *Cluster) discoverFrom(ctx context.Context, key, entry keys.Key) (Result, error) {
 	reply := make(chan Result, 1)
 	msg := discoverMsg{
+		ctx:     ctx,
 		key:     key,
 		at:      entry,
 		goingUp: true,
@@ -271,6 +310,8 @@ func (c *Cluster) discoverFrom(key, entry keys.Key) (Result, error) {
 	select {
 	case res := <-reply:
 		return res, nil
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
 	case <-c.quit:
 		return Result{}, ErrStopped
 	}
@@ -317,6 +358,10 @@ func (c *Cluster) forward(msg discoverMsg, from keys.Key) bool {
 	select {
 	case p.mailbox <- msg:
 		return true
+	case <-msg.ctx.Done():
+		// The caller gave up: drop the request. The originator's
+		// select on ctx.Done already returned the context error.
+		return true
 	case <-c.quit:
 		return false
 	}
@@ -337,6 +382,11 @@ func (c *Cluster) run(p *peerProc) {
 
 // process performs one routing step of the Section 2 discovery walk.
 func (c *Cluster) process(p *peerProc, msg discoverMsg) {
+	select {
+	case <-msg.ctx.Done():
+		return // cancelled mid-flight: abort the traversal
+	default:
+	}
 	c.mu.RLock()
 	peer, ok := c.net.Peer(p.id)
 	var node *core.Node

@@ -12,15 +12,18 @@
 package transport
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"dlpt/internal/core"
 	"dlpt/internal/keys"
+	"dlpt/internal/trie"
 )
 
 // request is one on-the-wire discovery step.
@@ -148,6 +151,12 @@ func (c *Cluster) serve(ps *peerServer) {
 
 // handle processes one request on conn: perform routing steps local
 // to this peer, then either answer or relay through the next peer.
+//
+// After the request is decoded, the requester sends nothing further
+// until the response; a pending Read therefore only returns when the
+// requester closed the connection (cancellation upstream) — that read
+// drives a per-request context, so cancellation cascades hop by hop
+// down the whole in-flight relay chain.
 func (c *Cluster) handle(ps *peerServer, conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
@@ -155,14 +164,24 @@ func (c *Cluster) handle(ps *peerServer, conn net.Conn) {
 	if err := dec.Decode(&req); err != nil {
 		return
 	}
-	resp := c.step(ps.id, req)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		var buf [1]byte
+		_, _ = conn.Read(buf[:]) // unblocks only on close/error
+		cancel()
+	}()
+	resp := c.step(ctx, ps.id, req)
 	_ = enc.Encode(resp)
 }
 
 // step executes routing at the peer owning the current node, relaying
 // over TCP when the walk leaves the peer.
-func (c *Cluster) step(self keys.Key, req request) response {
+func (c *Cluster) step(ctx context.Context, self keys.Key, req request) response {
 	for {
+		if err := ctx.Err(); err != nil {
+			return response{Err: err.Error()}
+		}
 		c.mu.RLock()
 		peer, ok := c.net.Peer(self)
 		if !ok {
@@ -179,7 +198,7 @@ func (c *Cluster) step(self keys.Key, req request) response {
 			if !okh {
 				return response{Err: "no host"}
 			}
-			return c.relay(addr, req)
+			return c.relay(ctx, addr, req)
 		}
 		var next keys.Key
 		done, found := false, false
@@ -225,18 +244,33 @@ func (c *Cluster) step(self keys.Key, req request) response {
 			continue // next node is local: no wire transfer
 		}
 		req.Physical++
-		return c.relay(addr, req)
+		return c.relay(ctx, addr, req)
 	}
 }
 
 // relay forwards the request to addr and returns the relayed
-// response.
-func (c *Cluster) relay(addr string, req request) response {
-	conn, err := net.Dial("tcp", addr)
+// response. Cancelling ctx (or stopping the cluster) closes the
+// connection, unblocking the pending decode and propagating the
+// cancellation to the remote peer's request monitor.
+func (c *Cluster) relay(ctx context.Context, addr string, req request) response {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return response{Err: err.Error()}
 	}
 	defer conn.Close()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-c.quit:
+		case <-done:
+			return
+		}
+		_ = conn.SetDeadline(time.Now())
+		_ = conn.Close()
+	}()
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
 	if err := enc.Encode(req); err != nil {
@@ -261,12 +295,53 @@ func (c *Cluster) Register(key keys.Key, value string) error {
 	return c.net.InsertData(key, value, c.rng)
 }
 
+// RegisterBatch declares every entry under a single acquisition of
+// the topology write lock, stopping at the first failure.
+func (c *Cluster) RegisterBatch(entries []core.KV) error {
+	select {
+	case <-c.quit:
+		return ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.net.InsertBatch(entries, c.rng)
+}
+
+// Unregister removes a value from a key, reporting whether it was
+// registered.
+func (c *Cluster) Unregister(key keys.Key, value string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.net.RemoveData(key, value)
+}
+
+// Stopped reports whether the cluster has been stopped.
+func (c *Cluster) Stopped() bool {
+	select {
+	case <-c.quit:
+		return true
+	default:
+		return false
+	}
+}
+
 // Discover routes a discovery over TCP, entering at a random node.
 func (c *Cluster) Discover(key keys.Key) (Result, error) {
+	return c.DiscoverContext(context.Background(), key)
+}
+
+// DiscoverContext is Discover under a caller context: cancelling ctx
+// closes the in-flight connections hop by hop and returns the context
+// error.
+func (c *Cluster) DiscoverContext(ctx context.Context, key keys.Key) (Result, error) {
 	select {
 	case <-c.quit:
 		return Result{}, ErrStopped
 	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
 	}
 	c.mu.Lock()
 	entry, ok := c.net.RandomNodeKey(c.rng)
@@ -279,8 +354,16 @@ func (c *Cluster) Discover(key keys.Key) (Result, error) {
 	if !ok {
 		return Result{Key: key}, nil
 	}
-	resp := c.relay(addr, request{Key: key, At: entry, GoingUp: true, Physical: 1})
+	resp := c.relay(ctx, addr, request{Key: key, At: entry, GoingUp: true, Physical: 1})
 	if resp.Err != "" {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		select {
+		case <-c.quit:
+			return Result{}, ErrStopped
+		default:
+		}
 		return Result{Key: key}, errors.New(resp.Err)
 	}
 	return Result{
@@ -290,6 +373,39 @@ func (c *Cluster) Discover(key keys.Key) (Result, error) {
 		LogicalHops:  resp.Logical,
 		PhysicalHops: resp.Physical,
 	}, nil
+}
+
+// Complete resolves automatic completion of a partial search string.
+// Subtree queries share the protocol state directly (as in
+// internal/live); only unit discoveries travel the wire.
+func (c *Cluster) Complete(prefix keys.Key) (core.QueryResult, error) {
+	select {
+	case <-c.quit:
+		return core.QueryResult{}, ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.net.Complete(prefix, c.rng), nil
+}
+
+// RangeQuery resolves the lexicographic range query [lo, hi].
+func (c *Cluster) RangeQuery(lo, hi keys.Key) (core.QueryResult, error) {
+	select {
+	case <-c.quit:
+		return core.QueryResult{}, ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.net.RangeQuery(lo, hi, c.rng), nil
+}
+
+// Snapshot returns a consistent copy of the whole tree.
+func (c *Cluster) Snapshot() *trie.Tree {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.TreeSnapshot()
 }
 
 // NumPeers returns the peer count.
