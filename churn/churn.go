@@ -1,0 +1,316 @@
+// Package churn drives a DLPT overlay through sustained membership
+// churn — peer joins, graceful leaves, crashes and replication-backed
+// recoveries — interleaved with a register/discover/unregister data
+// workload and a periodic load-balancing step, over any execution
+// engine. It is the operational counterpart of the paper's dynamic
+// experiments (RR-6557 Section 4): the tree must survive and stay
+// balanced on a changing ring of peers, not just on the frozen
+// memberships the deployment engines started with.
+//
+// The driver is deterministic given a seed: identical configurations
+// replay identical operation sequences, which the differential tests
+// exploit to require identical surviving catalogues across engines.
+package churn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"dlpt/engine"
+)
+
+// Balancer is the pluggable periodic balancing hook: called at the
+// end of each load-accounting time unit with the engine, it returns
+// the number of balancing moves applied. StrategyBalancer adapts the
+// internal strategy set; custom policies (e.g. an external placement
+// service) plug in the same way.
+type Balancer func(ctx context.Context, eng engine.Engine) (int, error)
+
+// StrategyBalancer returns a Balancer running one round of the named
+// internal strategy ("MLT", "KC", "EqualLoad", "Directory", "NoLB")
+// through the engine's Balance method.
+func StrategyBalancer(strategy string) Balancer {
+	return func(ctx context.Context, eng engine.Engine) (int, error) {
+		return eng.Balance(ctx, strategy)
+	}
+}
+
+// Config parameterizes one churn run.
+type Config struct {
+	// Seed fixes the driver's randomness (operation mix, victims,
+	// key choice).
+	Seed int64
+	// Ops is the number of workload steps to run.
+	Ops int
+
+	// JoinRate, LeaveRate, CrashRate and RecoverRate are per-step
+	// probabilities of the corresponding membership event; the
+	// remainder of the probability mass is data operations.
+	// Recoveries also happen implicitly: the driver repairs the tree
+	// before any mutation, since inserting into a degraded tree is
+	// undefined (see engine.Engine.CrashPeer).
+	JoinRate, LeaveRate, CrashRate, RecoverRate float64
+
+	// JoinCapacity is the capacity of joining peers (default 1<<20).
+	JoinCapacity int
+	// MinPeers floors the overlay size: leaves and crashes are
+	// skipped at or below it (default 2, the smallest crashable
+	// overlay).
+	MinPeers int
+
+	// ReplicateEvery triggers a replication tick every that many
+	// steps (default 64; <0 disables).
+	ReplicateEvery int
+	// BalanceEvery ends a time unit and runs the Balancer every that
+	// many steps (default 32; <0 disables).
+	BalanceEvery int
+	// Strategy names the balancing strategy used when Balancer is
+	// nil (default "MLT").
+	Strategy string
+	// Balancer overrides the strategy-based balancing hook.
+	Balancer Balancer
+
+	// Keys is the service-key corpus data operations draw from. It
+	// must be non-empty.
+	Keys []string
+}
+
+// Stats reports what one churn run did.
+type Stats struct {
+	Ops         int
+	Registers   int
+	Unregisters int
+	Discoveries int
+	// Found counts discoveries that returned the key. Degraded
+	// phases (crash before recovery) legitimately miss keys.
+	Found int
+
+	Joins      int
+	Leaves     int
+	Crashes    int
+	Recoveries int
+
+	Replications    int
+	ReplicatedNodes int
+	RestoredNodes   int
+	LostNodes       int
+
+	BalanceRounds int
+	BalanceMoves  int
+
+	// FinalPeers and FinalKeys describe the overlay after the run
+	// (post final recovery and validation).
+	FinalPeers int
+	FinalKeys  int
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if out.Ops <= 0 {
+		return out, errors.New("churn: Ops must be positive")
+	}
+	if len(out.Keys) == 0 {
+		return out, errors.New("churn: empty key corpus")
+	}
+	if out.JoinCapacity == 0 {
+		out.JoinCapacity = 1 << 20
+	}
+	if out.MinPeers < 2 {
+		out.MinPeers = 2
+	}
+	if out.ReplicateEvery == 0 {
+		out.ReplicateEvery = 64
+	}
+	if out.BalanceEvery == 0 {
+		out.BalanceEvery = 32
+	}
+	if out.Strategy == "" {
+		out.Strategy = "MLT"
+	}
+	if out.Balancer == nil {
+		out.Balancer = StrategyBalancer(out.Strategy)
+	}
+	if r := out.JoinRate + out.LeaveRate + out.CrashRate + out.RecoverRate; r > 1 {
+		return out, fmt.Errorf("churn: membership rates sum to %v > 1", r)
+	}
+	return out, nil
+}
+
+// Run drives the engine through cfg.Ops workload steps and returns
+// the run's statistics. The engine is left repaired and validated: a
+// final Recover (if a crash is outstanding) and Validate close the
+// run.
+func Run(ctx context.Context, eng engine.Engine, cfg Config) (Stats, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Stats{}, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	var st Stats
+
+	infos, err := eng.Peers(ctx)
+	if err != nil {
+		return st, err
+	}
+	ids := make([]string, len(infos))
+	for i, p := range infos {
+		ids[i] = p.ID
+	}
+
+	degraded := false
+	recoverNow := func() error {
+		rep, err := eng.Recover(ctx)
+		if err != nil {
+			return err
+		}
+		st.Recoveries++
+		st.RestoredNodes += rep.Restored
+		st.LostNodes += rep.Lost
+		degraded = false
+		return nil
+	}
+	// repair runs before operations that are undefined on a degraded
+	// tree (mutations, replication ticks, balancing).
+	repair := func() error {
+		if !degraded {
+			return nil
+		}
+		return recoverNow()
+	}
+	// refreshIDs re-reads the peer listing after balancing renames.
+	refreshIDs := func() error {
+		infos, err := eng.Peers(ctx)
+		if err != nil {
+			return err
+		}
+		ids = ids[:0]
+		for _, p := range infos {
+			ids = append(ids, p.ID)
+		}
+		return nil
+	}
+
+	for i := 0; i < cfg.Ops; i++ {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+		st.Ops++
+		if cfg.ReplicateEvery > 0 && i%cfg.ReplicateEvery == cfg.ReplicateEvery-1 {
+			if err := repair(); err != nil {
+				return st, err
+			}
+			n, err := eng.Replicate(ctx)
+			if err != nil {
+				return st, err
+			}
+			st.Replications++
+			st.ReplicatedNodes += n
+		}
+		if cfg.BalanceEvery > 0 && i%cfg.BalanceEvery == cfg.BalanceEvery-1 {
+			if err := repair(); err != nil {
+				return st, err
+			}
+			if err := eng.Tick(ctx); err != nil {
+				return st, err
+			}
+			moves, err := cfg.Balancer(ctx, eng)
+			if err != nil {
+				return st, err
+			}
+			st.BalanceRounds++
+			st.BalanceMoves += moves
+			if err := refreshIDs(); err != nil {
+				return st, err
+			}
+		}
+
+		roll := r.Float64()
+		switch {
+		case roll < cfg.JoinRate:
+			// A join routes through the tree (Algorithm 1), so it is
+			// a mutation too: repair first.
+			if err := repair(); err != nil {
+				return st, err
+			}
+			id, err := eng.AddPeer(ctx, cfg.JoinCapacity)
+			if err != nil {
+				return st, err
+			}
+			ids = append(ids, id)
+			st.Joins++
+		case roll < cfg.JoinRate+cfg.LeaveRate:
+			if len(ids) <= cfg.MinPeers {
+				continue
+			}
+			v := r.Intn(len(ids))
+			if err := eng.RemovePeer(ctx, ids[v]); err != nil {
+				return st, err
+			}
+			ids = append(ids[:v], ids[v+1:]...)
+			st.Leaves++
+		case roll < cfg.JoinRate+cfg.LeaveRate+cfg.CrashRate:
+			if len(ids) <= cfg.MinPeers {
+				continue
+			}
+			v := r.Intn(len(ids))
+			if err := eng.CrashPeer(ctx, ids[v]); err != nil {
+				return st, err
+			}
+			ids = append(ids[:v], ids[v+1:]...)
+			st.Crashes++
+			degraded = true
+		case roll < cfg.JoinRate+cfg.LeaveRate+cfg.CrashRate+cfg.RecoverRate:
+			if !degraded {
+				continue
+			}
+			if err := recoverNow(); err != nil {
+				return st, err
+			}
+		default:
+			key := cfg.Keys[r.Intn(len(cfg.Keys))]
+			switch i % 4 {
+			case 0: // mutate: (re-)register the key
+				if err := repair(); err != nil {
+					return st, err
+				}
+				if err := eng.Register(ctx, key, "ep://"+key); err != nil {
+					return st, err
+				}
+				st.Registers++
+			case 2: // mutate: withdraw one endpoint
+				if err := repair(); err != nil {
+					return st, err
+				}
+				if _, err := eng.Unregister(ctx, key, "ep://"+key); err != nil {
+					return st, err
+				}
+				st.Unregisters++
+			default: // read: routed discovery, allowed degraded
+				res, err := eng.Discover(ctx, key)
+				if err != nil {
+					return st, err
+				}
+				st.Discoveries++
+				if res.Found {
+					st.Found++
+				}
+			}
+		}
+	}
+
+	if err := repair(); err != nil {
+		return st, err
+	}
+	if err := eng.Validate(ctx); err != nil {
+		return st, fmt.Errorf("churn: post-run validation: %w", err)
+	}
+	snap, err := eng.Snapshot(ctx)
+	if err != nil {
+		return st, err
+	}
+	st.FinalKeys = len(snap.Keys())
+	st.FinalPeers = eng.NumPeers()
+	return st, nil
+}

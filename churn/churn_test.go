@@ -1,0 +1,158 @@
+package churn
+
+import (
+	"context"
+	"testing"
+
+	"dlpt/engine"
+	enginelive "dlpt/engine/live"
+	enginelocal "dlpt/engine/local"
+	enginetcp "dlpt/engine/tcp"
+	"dlpt/internal/keys"
+	"dlpt/internal/workload"
+)
+
+func corpus(n int) []string {
+	ks := workload.GridCorpus(n)
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = string(k)
+	}
+	return out
+}
+
+func startEngine(t *testing.T, f engine.Factory, peers int) engine.Engine {
+	t.Helper()
+	caps := make([]int, peers)
+	for i := range caps {
+		caps[i] = 200
+	}
+	eng, err := f(engine.Config{Alphabet: keys.LowerAlnum, Capacities: caps, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+var factories = map[string]engine.Factory{
+	"local": enginelocal.Factory,
+	"live":  enginelive.Factory,
+	"tcp":   enginetcp.Factory,
+}
+
+// TestRunAllEngines drives a churn mix with joins, leaves, crashes,
+// recoveries and balancing over every engine; Run validates the
+// overlay internally at the end. EqualLoad is capacity-blind and
+// reliably applies boundary moves, so the balancing renames exercise
+// the live engine's mailbox rewiring and the tcp engine's
+// address-table rewiring.
+func TestRunAllEngines(t *testing.T) {
+	for name, f := range factories {
+		t.Run(name, func(t *testing.T) {
+			eng := startEngine(t, f, 8)
+			ctx := context.Background()
+			st, err := Run(ctx, eng, Config{
+				Seed:      3,
+				Ops:       400,
+				JoinRate:  0.05,
+				LeaveRate: 0.03,
+				CrashRate: 0.02,
+				Strategy:  "EqualLoad",
+				Keys:      corpus(80),
+			})
+			if err != nil {
+				t.Fatalf("%s: %v (stats %+v)", name, err, st)
+			}
+			if st.Ops != 400 {
+				t.Fatalf("ran %d ops, want 400", st.Ops)
+			}
+			if st.Registers == 0 || st.Discoveries == 0 {
+				t.Fatalf("no data workload ran: %+v", st)
+			}
+			if st.BalanceMoves == 0 {
+				t.Fatalf("EqualLoad applied no moves — rename/rewire path untested: %+v", st)
+			}
+			if st.Crashes > 0 && st.Recoveries == 0 {
+				t.Fatalf("crashed without recovering: %+v", st)
+			}
+			if st.FinalPeers != eng.NumPeers() {
+				t.Fatalf("FinalPeers=%d, engine says %d", st.FinalPeers, eng.NumPeers())
+			}
+			ms, err := eng.MembershipStats(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ms.Joins != st.Joins || ms.Leaves != st.Leaves || ms.Crashes != st.Crashes {
+				t.Fatalf("engine stats %+v disagree with driver stats %+v", ms, st)
+			}
+		})
+	}
+}
+
+// TestRunDeterministic requires identical stats for identical seeds
+// on the sequential engine.
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed:      11,
+		Ops:       300,
+		JoinRate:  0.04,
+		LeaveRate: 0.03,
+		CrashRate: 0.02,
+		Keys:      corpus(60),
+	}
+	run := func() Stats {
+		eng := startEngine(t, enginelocal.Factory, 6)
+		st, err := Run(context.Background(), eng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed diverged:\n  %+v\n  %+v", a, b)
+	}
+}
+
+// TestBalancerHook verifies the pluggable hook is invoked once per
+// balancing round.
+func TestBalancerHook(t *testing.T) {
+	eng := startEngine(t, enginelocal.Factory, 6)
+	calls := 0
+	st, err := Run(context.Background(), eng, Config{
+		Seed:         5,
+		Ops:          128,
+		BalanceEvery: 16,
+		Keys:         corpus(40),
+		Balancer: func(ctx context.Context, e engine.Engine) (int, error) {
+			calls++
+			return e.Balance(ctx, "EqualLoad")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 128/16 {
+		t.Fatalf("hook called %d times, want %d", calls, 128/16)
+	}
+	if st.BalanceRounds != calls {
+		t.Fatalf("BalanceRounds=%d, hook calls=%d", st.BalanceRounds, calls)
+	}
+}
+
+// TestConfigValidation rejects nonsense configurations.
+func TestConfigValidation(t *testing.T) {
+	eng := startEngine(t, enginelocal.Factory, 3)
+	ctx := context.Background()
+	if _, err := Run(ctx, eng, Config{Ops: 10}); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+	if _, err := Run(ctx, eng, Config{Keys: corpus(4)}); err == nil {
+		t.Fatal("zero ops accepted")
+	}
+	if _, err := Run(ctx, eng, Config{Ops: 10, Keys: corpus(4),
+		JoinRate: 0.6, LeaveRate: 0.6}); err == nil {
+		t.Fatal("rates > 1 accepted")
+	}
+}

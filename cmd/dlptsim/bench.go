@@ -1,0 +1,156 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"dlpt"
+	"dlpt/internal/keys"
+	"dlpt/internal/workload"
+)
+
+// benchResult is one engine's measurements, the unit of the
+// machine-readable benchmark output.
+type benchResult struct {
+	Engine            string  `json:"engine"`
+	RegisterNsPerKey  int64   `json:"register_ns_per_key"`
+	DiscoverNsPerOp   int64   `json:"discover_ns_per_op"`
+	RangeNsPerOp      int64   `json:"range_ns_per_op"`
+	LogicalHopsPerOp  float64 `json:"logical_hops_per_op"`
+	PhysicalHopsPerOp float64 `json:"physical_hops_per_op"`
+}
+
+// benchReport is the whole run: workload scale, environment, one
+// result per engine. The schema is the perf trajectory consumed by
+// tooling comparing BENCH_engines.json across commits.
+type benchReport struct {
+	Peers       int           `json:"peers"`
+	Keys        int           `json:"keys"`
+	Discoveries int           `json:"discoveries"`
+	Ranges      int           `json:"ranges"`
+	Seed        int64         `json:"seed"`
+	GoVersion   string        `json:"go_version"`
+	Results     []benchResult `json:"results"`
+}
+
+// runBench measures the identical register/discover/range workload on
+// every engine and reports the results as JSON (default, written to
+// -out) or as the human-readable table of the engines experiment.
+func runBench(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(w)
+	jsonOut := fs.Bool("json", true, "write machine-readable JSON to -out")
+	out := fs.String("out", "BENCH_engines.json", "JSON output path (- for stdout)")
+	quick := fs.Bool("quick", false, "reduced scale")
+	seed := fs.Int64("seed", 1, "base random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("bench: unexpected argument %q", fs.Arg(0))
+	}
+	if !*jsonOut {
+		return runEngines(*quick, *seed, w)
+	}
+
+	rep, err := measureEngines(*quick, *seed)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		_, err = w.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# wrote %s (%d engines)\n", *out, len(rep.Results))
+	return nil
+}
+
+// measureEngines runs the comparison workload of the engines
+// experiment and returns structured timings.
+func measureEngines(quick bool, seed int64) (*benchReport, error) {
+	peers, nkeys, queries := 32, 400, 2000
+	if quick {
+		peers, nkeys, queries = 8, 120, 300
+	}
+	corpus := workload.GridCorpus(nkeys)
+	batch := make([]dlpt.Registration, len(corpus))
+	for i, k := range corpus {
+		batch[i] = dlpt.Registration{Name: string(k), Endpoint: "ep://" + string(k)}
+	}
+	rep := &benchReport{
+		Peers:       peers,
+		Keys:        nkeys,
+		Discoveries: queries,
+		Ranges:      queries / 10,
+		Seed:        seed,
+		GoVersion:   runtime.Version(),
+	}
+	ctx := context.Background()
+	for _, kind := range []dlpt.EngineKind{dlpt.EngineLocal, dlpt.EngineLive, dlpt.EngineTCP} {
+		reg, err := dlpt.New(peers,
+			dlpt.WithSeed(seed),
+			dlpt.WithAlphabet(keys.LowerAlnum),
+			dlpt.WithEngine(kind))
+		if err != nil {
+			return nil, err
+		}
+		res, err := measureOne(ctx, reg, kind, batch, corpus, queries)
+		reg.Close()
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+func measureOne(ctx context.Context, reg *dlpt.Registry, kind dlpt.EngineKind,
+	batch []dlpt.Registration, corpus []keys.Key, queries int) (benchResult, error) {
+	var out benchResult
+	out.Engine = string(kind)
+
+	start := time.Now()
+	if err := reg.RegisterBatch(ctx, batch); err != nil {
+		return out, err
+	}
+	out.RegisterNsPerKey = time.Since(start).Nanoseconds() / int64(len(batch))
+
+	var logical, physical int
+	start = time.Now()
+	for i := 0; i < queries; i++ {
+		svc, ok, err := reg.Discover(ctx, string(corpus[i%len(corpus)]))
+		if err != nil || !ok {
+			return out, fmt.Errorf("%s: discover %q: ok=%v err=%v",
+				kind, corpus[i%len(corpus)], ok, err)
+		}
+		logical += svc.LogicalHops
+		physical += svc.PhysicalHops
+	}
+	out.DiscoverNsPerOp = time.Since(start).Nanoseconds() / int64(queries)
+	out.LogicalHopsPerOp = float64(logical) / float64(queries)
+	out.PhysicalHopsPerOp = float64(physical) / float64(queries)
+
+	ranges := queries / 10
+	start = time.Now()
+	for i := 0; i < ranges; i++ {
+		if _, err := reg.Range(ctx, "pd", "pz", 0); err != nil {
+			return out, err
+		}
+	}
+	out.RangeNsPerOp = time.Since(start).Nanoseconds() / int64(ranges)
+	return out, nil
+}

@@ -103,3 +103,43 @@ func (d *Directory) NumResources() int {
 func (d *Directory) Validate(ctx context.Context) error {
 	return d.inner.Validate(ctx)
 }
+
+// AddPeerWithCapacity grows the directory's overlay by one peer of
+// the given capacity and returns its identifier.
+func (d *Directory) AddPeerWithCapacity(ctx context.Context, capacity int) (string, error) {
+	return d.eng.AddPeer(ctx, capacity)
+}
+
+// RemovePeer removes a peer gracefully; the resource catalogue is
+// unchanged.
+func (d *Directory) RemovePeer(ctx context.Context, id string) error {
+	return d.eng.RemovePeer(ctx, id)
+}
+
+// CrashPeer fails a peer abruptly. Until Recover runs, queries may
+// miss resources and registrations must not be issued.
+func (d *Directory) CrashPeer(ctx context.Context, id string) error {
+	return d.eng.CrashPeer(ctx, id)
+}
+
+// Recover restores crashed attribute-tree state from the replica
+// store.
+func (d *Directory) Recover(ctx context.Context) (RecoveryReport, error) {
+	return d.eng.Recover(ctx)
+}
+
+// Replicate snapshots the attribute tree to the replica store.
+func (d *Directory) Replicate(ctx context.Context) (int, error) {
+	return d.eng.Replicate(ctx)
+}
+
+// Peers lists the live peers in ring order.
+func (d *Directory) Peers(ctx context.Context) ([]PeerInfo, error) {
+	return d.eng.Peers(ctx)
+}
+
+// MembershipStats reports the overlay's peer-lifecycle and
+// replication counters.
+func (d *Directory) MembershipStats(ctx context.Context) (MembershipStats, error) {
+	return d.eng.MembershipStats(ctx)
+}

@@ -32,6 +32,15 @@
 // in-flight routed traversals on the concurrent backends and returns
 // the context error.
 //
+// # Membership and churn
+//
+// Peer lifecycle is engine-portable: AddPeerWithCapacity grows the
+// ring, RemovePeer departs gracefully (node handoff), CrashPeer and
+// Recover implement the paper's fault model over a Replicate snapshot
+// tick, and Tick/Balance run the periodic MLT balancing step. The
+// churn package drives all of this as a seeded workload over any
+// engine.
+//
 // The Registry type below is the service-discovery API and Directory
 // (directory.go) the multi-attribute resource-discovery API; both run
 // over any engine. The reproduction harness for the paper's figures
@@ -89,6 +98,16 @@ type Registration struct {
 	Name     string
 	Endpoint string
 }
+
+// PeerInfo is a read-only view of one live peer.
+type PeerInfo = engine.PeerInfo
+
+// MembershipStats aggregates the overlay's peer-lifecycle and
+// replication counters.
+type MembershipStats = engine.MembershipStats
+
+// RecoveryReport is the outcome of one Recover pass.
+type RecoveryReport = engine.RecoveryReport
 
 // options collects constructor settings.
 type options struct {
@@ -321,10 +340,70 @@ func (r *Registry) Services(ctx context.Context) ([]string, error) {
 	return out, nil
 }
 
-// AddPeer grows the overlay by one peer.
+// AddPeer grows the overlay by one peer of effectively unbounded
+// capacity. Use AddPeerWithCapacity for heterogeneous deployments.
 func (r *Registry) AddPeer(ctx context.Context) error {
 	_, err := r.eng.AddPeer(ctx, 1<<20)
 	return err
+}
+
+// AddPeerWithCapacity grows the overlay by one peer of the given
+// per-time-unit capacity and returns its identifier — the handle for
+// RemovePeer/CrashPeer and the id heterogeneous-capacity balancing
+// scenarios schedule against.
+func (r *Registry) AddPeerWithCapacity(ctx context.Context, capacity int) (string, error) {
+	return r.eng.AddPeer(ctx, capacity)
+}
+
+// RemovePeer removes the peer with the given id gracefully: its tree
+// nodes hand off and the catalogue is unchanged.
+func (r *Registry) RemovePeer(ctx context.Context, id string) error {
+	return r.eng.RemovePeer(ctx, id)
+}
+
+// CrashPeer fails the peer abruptly, per the paper's fault model: its
+// node states vanish without transfer. Until Recover runs the tree is
+// degraded — discoveries may miss keys and mutations must not be
+// issued.
+func (r *Registry) CrashPeer(ctx context.Context, id string) error {
+	return r.eng.CrashPeer(ctx, id)
+}
+
+// Recover restores crashed node state from the replica store and
+// rebuilds the canonical tree structure; afterwards Validate holds
+// again. Keys declared after the last Replicate on a crashed peer are
+// counted lost.
+func (r *Registry) Recover(ctx context.Context) (RecoveryReport, error) {
+	return r.eng.Recover(ctx)
+}
+
+// Replicate snapshots every tree node to the replica store — the
+// periodic replication tick that backs crash recovery. It returns the
+// number of nodes replicated.
+func (r *Registry) Replicate(ctx context.Context) (int, error) {
+	return r.eng.Replicate(ctx)
+}
+
+// Peers lists the live peers in ascending id (ring) order.
+func (r *Registry) Peers(ctx context.Context) ([]PeerInfo, error) {
+	return r.eng.Peers(ctx)
+}
+
+// MembershipStats reports the overlay's peer-lifecycle and
+// replication counters.
+func (r *Registry) MembershipStats(ctx context.Context) (MembershipStats, error) {
+	return r.eng.MembershipStats(ctx)
+}
+
+// Tick ends the current load-accounting time unit: node loads roll
+// into the history the balancing strategies consume.
+func (r *Registry) Tick(ctx context.Context) error { return r.eng.Tick(ctx) }
+
+// Balance runs one periodic balancing round of the named strategy
+// ("MLT", "KC", "EqualLoad", "Directory", "NoLB") and returns the
+// number of boundary moves applied. Peer identifiers may change.
+func (r *Registry) Balance(ctx context.Context, strategy string) (int, error) {
+	return r.eng.Balance(ctx, strategy)
 }
 
 // NumPeers returns the current number of peers.

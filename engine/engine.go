@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 
+	"dlpt/internal/core"
 	"dlpt/internal/keys"
 	"dlpt/internal/trie"
 )
@@ -63,6 +64,67 @@ func QueryResultFrom(ks []keys.Key, logical, physical int) QueryResult {
 		out.Keys = make([]string, len(ks))
 		for i, k := range ks {
 			out.Keys[i] = string(k)
+		}
+	}
+	return out
+}
+
+// PeerInfo is a read-only view of one live peer.
+type PeerInfo struct {
+	// ID is the peer's ring identifier.
+	ID string
+	// Capacity is the peer's per-time-unit processing capacity.
+	Capacity int
+	// Nodes is the number of tree nodes the peer currently runs.
+	Nodes int
+	// Load is the peer's aggregate load of the previous time unit
+	// (the input of the MLT balancing heuristic).
+	Load int
+}
+
+// MembershipStats aggregates the peer-lifecycle and replication
+// counters of one engine since construction.
+type MembershipStats struct {
+	// Peers is the current peer count.
+	Peers int
+	// Joins counts peers added through AddPeer after construction.
+	Joins int
+	// Leaves counts graceful departures (RemovePeer).
+	Leaves int
+	// Crashes counts abrupt failures (CrashPeer).
+	Crashes int
+	// Recoveries counts Recover calls.
+	Recoveries int
+	// ReplicatedNodes counts node snapshots shipped by Replicate,
+	// cumulatively.
+	ReplicatedNodes int
+	// RestoredNodes counts nodes reinstalled from snapshots.
+	RestoredNodes int
+	// LostNodes counts crashed nodes that could not be recovered
+	// (declared after the last Replicate on a peer that crashed).
+	LostNodes int
+	// BalanceMoves counts boundary moves applied by Balance.
+	BalanceMoves int
+}
+
+// RecoveryReport is the outcome of one Recover pass.
+type RecoveryReport struct {
+	// Restored counts nodes reinstalled from replica snapshots.
+	Restored int
+	// Lost counts crashed nodes that could not be brought back.
+	Lost int
+}
+
+// PeerInfosFrom converts protocol-core peer summaries into the public
+// view; shared by the engine implementations.
+func PeerInfosFrom(ps []core.PeerSummary) []PeerInfo {
+	out := make([]PeerInfo, len(ps))
+	for i, p := range ps {
+		out[i] = PeerInfo{
+			ID:       string(p.ID),
+			Capacity: p.Capacity,
+			Nodes:    p.Nodes,
+			Load:     p.LoadPrev,
 		}
 	}
 	return out
@@ -116,6 +178,41 @@ type Engine interface {
 	// AddPeer grows the overlay by one peer of the given capacity and
 	// returns its identifier.
 	AddPeer(ctx context.Context, capacity int) (string, error)
+	// RemovePeer removes the peer with the given id gracefully: its
+	// tree nodes hand off to the peers becoming responsible for them
+	// and the catalogue is unchanged. Removing the last peer while it
+	// hosts tree nodes is an error.
+	RemovePeer(ctx context.Context, id string) error
+	// CrashPeer fails the peer abruptly: its node states vanish
+	// without transfer, per the paper's fault model. Until Recover
+	// runs, the tree is degraded — discoveries may miss keys and
+	// mutations must not be issued. The last peer cannot crash.
+	CrashPeer(ctx context.Context, id string) error
+	// Recover restores crashed node state from the replica store and
+	// rebuilds the canonical tree structure; after it returns,
+	// Validate holds again. Keys declared after the last Replicate on
+	// a crashed peer are counted lost.
+	Recover(ctx context.Context) (RecoveryReport, error)
+	// Replicate snapshots every tree node to the replica store (the
+	// periodic replication tick backing CrashPeer/Recover) and
+	// returns the number of nodes replicated.
+	Replicate(ctx context.Context) (int, error)
+	// Peers lists the live peers in ascending id (ring) order.
+	Peers(ctx context.Context) ([]PeerInfo, error)
+	// MembershipStats reports the engine's peer-lifecycle and
+	// replication counters.
+	MembershipStats(ctx context.Context) (MembershipStats, error)
+
+	// Tick ends the current load-accounting time unit: every node's
+	// current load becomes the previous-unit load the balancing
+	// strategies consume, and peer processed counters reset.
+	Tick(ctx context.Context) error
+	// Balance runs one periodic balancing round of the named
+	// internal strategy ("MLT", "KC", "EqualLoad", "Directory",
+	// "NoLB") over every peer, returning the number of boundary
+	// moves applied. Peer identifiers may change: a move renames the
+	// predecessor peer to preserve the placement rule.
+	Balance(ctx context.Context, strategy string) (int, error)
 	// Snapshot returns a consistent copy of the whole prefix tree
 	// (whole-catalogue reads with no routing cost).
 	Snapshot(ctx context.Context) (*trie.Tree, error)

@@ -18,8 +18,13 @@ import (
 	"dlpt/internal/trie"
 )
 
-// Engine wraps a running live cluster.
+// Engine wraps a running live cluster. The membership half of the
+// contract (RemovePeer, CrashPeer, Recover, Replicate, Peers,
+// MembershipStats, Tick, Balance) comes from the embedded adapter:
+// the cluster drains departed goroutines and rewires mailboxes across
+// balancing renames.
 type Engine struct {
+	*engine.Membership
 	cluster *ilive.Cluster
 	alpha   *keys.Alphabet
 }
@@ -35,7 +40,11 @@ func New(cfg engine.Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{cluster: c, alpha: alpha}, nil
+	return &Engine{
+		Membership: engine.NewMembership(c, mapErr),
+		cluster:    c,
+		alpha:      alpha,
+	}, nil
 }
 
 // Factory adapts New to the engine.Factory signature.
@@ -136,6 +145,9 @@ func (e *Engine) AddPeer(ctx context.Context, capacity int) (string, error) {
 		return "", err
 	}
 	id, err := e.cluster.AddPeer(capacity)
+	if err == nil {
+		e.CountJoin()
+	}
 	return string(id), mapErr(err)
 }
 

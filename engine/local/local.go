@@ -16,6 +16,7 @@ import (
 	"dlpt/engine"
 	"dlpt/internal/core"
 	"dlpt/internal/keys"
+	"dlpt/internal/lb"
 	"dlpt/internal/trie"
 )
 
@@ -25,6 +26,9 @@ type Engine struct {
 	net    *core.Network
 	rng    *rand.Rand
 	closed bool
+
+	// membership lifecycle counters (guarded by mu).
+	joins, leaves, crashes, recoveries, balanceMoves int
 }
 
 // New starts a local overlay with one peer per capacity entry.
@@ -177,7 +181,117 @@ func (e *Engine) AddPeer(ctx context.Context, capacity int) (string, error) {
 		return "", err
 	}
 	id, err := e.addPeer(capacity)
+	if err == nil {
+		e.joins++
+	}
 	return string(id), err
+}
+
+// RemovePeer removes a peer gracefully, handing its nodes off.
+func (e *Engine) RemovePeer(ctx context.Context, id string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.guard(ctx); err != nil {
+		return err
+	}
+	if err := e.net.LeavePeer(keys.Key(id)); err != nil {
+		return err
+	}
+	e.leaves++
+	return nil
+}
+
+// CrashPeer fails a peer abruptly; its node states vanish.
+func (e *Engine) CrashPeer(ctx context.Context, id string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.guard(ctx); err != nil {
+		return err
+	}
+	if err := e.net.FailPeer(keys.Key(id)); err != nil {
+		return err
+	}
+	e.crashes++
+	return nil
+}
+
+// Recover restores crashed state from the replica store.
+func (e *Engine) Recover(ctx context.Context) (engine.RecoveryReport, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.guard(ctx); err != nil {
+		return engine.RecoveryReport{}, err
+	}
+	restored, lost := e.net.Recover()
+	e.recoveries++
+	return engine.RecoveryReport{Restored: restored, Lost: lost}, nil
+}
+
+// Replicate snapshots every tree node to the replica store.
+func (e *Engine) Replicate(ctx context.Context) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.guard(ctx); err != nil {
+		return 0, err
+	}
+	return e.net.Replicate(), nil
+}
+
+// Peers lists the live peers in ring order.
+func (e *Engine) Peers(ctx context.Context) ([]engine.PeerInfo, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.guard(ctx); err != nil {
+		return nil, err
+	}
+	return engine.PeerInfosFrom(e.net.PeerSummaries()), nil
+}
+
+// MembershipStats reports the lifecycle and replication counters.
+func (e *Engine) MembershipStats(ctx context.Context) (engine.MembershipStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.guard(ctx); err != nil {
+		return engine.MembershipStats{}, err
+	}
+	return engine.MembershipStats{
+		Peers:           e.net.NumPeers(),
+		Joins:           e.joins,
+		Leaves:          e.leaves,
+		Crashes:         e.crashes,
+		Recoveries:      e.recoveries,
+		ReplicatedNodes: e.net.Replication.SnapshotMsgs,
+		RestoredNodes:   e.net.Replication.RestoredNodes,
+		LostNodes:       e.net.Replication.LostNodes,
+		BalanceMoves:    e.balanceMoves,
+	}, nil
+}
+
+// Tick ends the current load-accounting time unit.
+func (e *Engine) Tick(ctx context.Context) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.guard(ctx); err != nil {
+		return err
+	}
+	e.net.ResetUnit()
+	return nil
+}
+
+// Balance runs one round of the named internal/lb strategy.
+func (e *Engine) Balance(ctx context.Context, strategy string) (int, error) {
+	strat, err := lb.ByName(strategy)
+	if err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.guard(ctx); err != nil {
+		return 0, err
+	}
+	moves, err := lb.RunRound(e.net, strat)
+	e.balanceMoves += moves
+	return moves, err
 }
 
 // Snapshot returns a consistent copy of the whole tree.

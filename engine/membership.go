@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"context"
+	"sync/atomic"
+
+	"dlpt/internal/core"
+	"dlpt/internal/keys"
+)
+
+// MembershipCluster is the membership surface the concurrent runtime
+// clusters (internal/live, internal/transport) share. Membership
+// adapts it to the membership half of the Engine contract so the
+// concurrent engine wrappers implement it once.
+type MembershipCluster interface {
+	RemovePeer(id keys.Key) error
+	FailPeer(id keys.Key) error
+	Recover() (restored, lost int, err error)
+	Replicate() (int, error)
+	ResetUnit() error
+	Balance(strategy string) (int, error)
+	PeerSummaries() []core.PeerSummary
+	ReplicationStats() core.ReplicationCounters
+	NumPeers() int
+	Stopped() bool
+}
+
+// Membership implements the membership methods of Engine over a
+// MembershipCluster; the concurrent engines embed a *Membership and
+// report successful AddPeers through CountJoin.
+type Membership struct {
+	cluster MembershipCluster
+	// mapErr normalizes the cluster's stopped error to ErrClosed.
+	mapErr func(error) error
+
+	joins, leaves, crashes, recoveries, balanceMoves atomic.Int64
+}
+
+// NewMembership adapts cluster, normalizing errors through mapErr.
+func NewMembership(cluster MembershipCluster, mapErr func(error) error) *Membership {
+	return &Membership{cluster: cluster, mapErr: mapErr}
+}
+
+// CountJoin records one successful AddPeer on the owning engine.
+func (m *Membership) CountJoin() { m.joins.Add(1) }
+
+// RemovePeer removes a peer gracefully; its tree nodes hand off to
+// the peers becoming responsible for them.
+func (m *Membership) RemovePeer(ctx context.Context, id string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := m.cluster.RemovePeer(keys.Key(id)); err != nil {
+		return m.mapErr(err)
+	}
+	m.leaves.Add(1)
+	return nil
+}
+
+// CrashPeer fails a peer abruptly: its node states vanish without
+// transfer.
+func (m *Membership) CrashPeer(ctx context.Context, id string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := m.cluster.FailPeer(keys.Key(id)); err != nil {
+		return m.mapErr(err)
+	}
+	m.crashes.Add(1)
+	return nil
+}
+
+// Recover restores crashed node state from the replica store.
+func (m *Membership) Recover(ctx context.Context) (RecoveryReport, error) {
+	if err := ctx.Err(); err != nil {
+		return RecoveryReport{}, err
+	}
+	restored, lost, err := m.cluster.Recover()
+	if err != nil {
+		return RecoveryReport{}, m.mapErr(err)
+	}
+	m.recoveries.Add(1)
+	return RecoveryReport{Restored: restored, Lost: lost}, nil
+}
+
+// Replicate snapshots every tree node to the replica store.
+func (m *Membership) Replicate(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	n, err := m.cluster.Replicate()
+	return n, m.mapErr(err)
+}
+
+// Peers lists the live peers in ring order.
+func (m *Membership) Peers(ctx context.Context) ([]PeerInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if m.cluster.Stopped() {
+		return nil, ErrClosed
+	}
+	return PeerInfosFrom(m.cluster.PeerSummaries()), nil
+}
+
+// MembershipStats reports the lifecycle and replication counters.
+func (m *Membership) MembershipStats(ctx context.Context) (MembershipStats, error) {
+	if err := ctx.Err(); err != nil {
+		return MembershipStats{}, err
+	}
+	if m.cluster.Stopped() {
+		return MembershipStats{}, ErrClosed
+	}
+	rep := m.cluster.ReplicationStats()
+	return MembershipStats{
+		Peers:           m.cluster.NumPeers(),
+		Joins:           int(m.joins.Load()),
+		Leaves:          int(m.leaves.Load()),
+		Crashes:         int(m.crashes.Load()),
+		Recoveries:      int(m.recoveries.Load()),
+		ReplicatedNodes: rep.SnapshotMsgs,
+		RestoredNodes:   rep.RestoredNodes,
+		LostNodes:       rep.LostNodes,
+		BalanceMoves:    int(m.balanceMoves.Load()),
+	}, nil
+}
+
+// Tick ends the current load-accounting time unit.
+func (m *Membership) Tick(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return m.mapErr(m.cluster.ResetUnit())
+}
+
+// Balance runs one round of the named strategy; the cluster rewires
+// its routing identities across the renames the round applies.
+func (m *Membership) Balance(ctx context.Context, strategy string) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	moves, err := m.cluster.Balance(strategy)
+	m.balanceMoves.Add(int64(moves))
+	return moves, m.mapErr(err)
+}

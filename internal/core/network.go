@@ -178,10 +178,38 @@ func (net *Network) ResetUnit() {
 	for _, p := range net.peers {
 		p.Processed = 0
 		for _, n := range p.Nodes {
-			n.LoadPrev = n.LoadCur
+			n.LoadPrev = n.LoadCur + int(n.visits.Swap(0))
 			n.LoadCur = 0
 		}
 	}
+}
+
+// PeerSummary is a read-only view of one peer's membership state,
+// shared by the execution engines' Peers listings.
+type PeerSummary struct {
+	ID       keys.Key
+	Capacity int
+	// Nodes is |ν_P|, the number of tree nodes the peer runs.
+	Nodes int
+	// LoadPrev is the peer's aggregate load of the previous time unit.
+	LoadPrev int
+}
+
+// PeerSummaries returns one summary per peer in ascending id (ring)
+// order.
+func (net *Network) PeerSummaries() []PeerSummary {
+	ids := net.ring.IDs()
+	out := make([]PeerSummary, 0, len(ids))
+	for _, id := range ids {
+		p := net.peers[id]
+		out = append(out, PeerSummary{
+			ID:       id,
+			Capacity: p.Capacity,
+			Nodes:    p.NumNodes(),
+			LoadPrev: p.LoadPrev(),
+		})
+	}
+	return out
 }
 
 // --- placement -------------------------------------------------------------

@@ -33,6 +33,7 @@ package core
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"dlpt/internal/keys"
 )
@@ -53,6 +54,11 @@ type Node struct {
 	// l_n of Section 3.3, the input of the MLT heuristic).
 	LoadCur  int
 	LoadPrev int
+
+	// visits counts discovery visits recorded by the concurrent
+	// engines, whose routing holds only a read lock and therefore
+	// cannot touch LoadCur. ResetUnit folds it into the load history.
+	visits atomic.Int64
 }
 
 // NewNodeState returns a node with the given key and no relations.
@@ -66,6 +72,14 @@ func NewNodeState(key keys.Key) *Node {
 
 // HasData reports whether any value is registered at the node.
 func (n *Node) HasData() bool { return len(n.Data) > 0 }
+
+// RecordVisit counts one discovery visit from a concurrent engine.
+// Safe to call under a read lock.
+func (n *Node) RecordVisit() { n.visits.Add(1) }
+
+// Load returns the current-unit load including concurrently recorded
+// visits.
+func (n *Node) Load() int { return n.LoadCur + int(n.visits.Load()) }
 
 // ChildrenSorted returns the child keys in ascending order.
 func (n *Node) ChildrenSorted() []keys.Key {
@@ -123,7 +137,10 @@ type NodeInfo struct {
 	LoadCur   int
 }
 
-// infoOf captures a node's state for transfer.
+// infoOf captures a node's state for transfer. Concurrently recorded
+// visits fold into the snapshot's current load; the original node
+// either travels with the transfer or stays behind as a dormant
+// replica, so the fold never double-counts a live node.
 func infoOf(n *Node) NodeInfo {
 	info := NodeInfo{
 		Key:       n.Key,
@@ -131,7 +148,7 @@ func infoOf(n *Node) NodeInfo {
 		HasFather: n.HasFather,
 		Children:  n.ChildrenSorted(),
 		LoadPrev:  n.LoadPrev,
-		LoadCur:   n.LoadCur,
+		LoadCur:   n.Load(),
 	}
 	info.Data = make([]string, 0, len(n.Data))
 	for v := range n.Data {

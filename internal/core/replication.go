@@ -56,9 +56,11 @@ func (net *Network) Replicate() int {
 			count++
 		}
 	}
-	// Drop snapshots of nodes that no longer exist (compaction).
+	// Drop snapshots of nodes that no longer exist (compaction) —
+	// except those lost to a crash that has not been recovered yet,
+	// which are exactly the snapshots Recover needs.
 	for k := range net.replicaStore {
-		if !net.HasNode(k) {
+		if !net.HasNode(k) && !net.pendingLost[k] {
 			delete(net.replicaStore, k)
 		}
 	}

@@ -398,6 +398,25 @@ func (d Directory) Periodic(net *core.Network, s keys.Key) (bool, error) {
 	return movedAny, nil
 }
 
+// RunRound runs one end-of-unit balancing round: Periodic for every
+// peer of a snapshot of the ring, in ring order, counting the applied
+// boundary moves. Peers renamed by earlier moves in the same round
+// are skipped (gatherPair tolerates vanished ids). It is the
+// engine-portable balancing step of the membership subsystem.
+func RunRound(net *core.Network, s Strategy) (int, error) {
+	moves := 0
+	for _, id := range net.PeerIDs() {
+		moved, err := s.Periodic(net, id)
+		if err != nil {
+			return moves, err
+		}
+		if moved {
+			moves++
+		}
+	}
+	return moves, nil
+}
+
 // ByName returns the strategy with the given name ("MLT", "KC",
 // "EqualLoad", "Directory", "NoLB"); the KC variant uses k=4 as in
 // the paper.

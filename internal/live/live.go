@@ -17,10 +17,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 
 	"dlpt/internal/core"
 	"dlpt/internal/keys"
+	"dlpt/internal/lb"
 	"dlpt/internal/trie"
 )
 
@@ -44,14 +46,32 @@ type discoverMsg struct {
 	key     keys.Key
 	at      keys.Key // node the request is addressed to
 	goingUp bool
-	res     Result
-	reply   chan Result
+	// redirects counts re-deliveries for a node the addressed peer
+	// does not host. Transient moves (churn, balancing) resolve in a
+	// hop or two; a crashed, unrecovered node would redirect forever,
+	// so the walk gives up past maxRedirects.
+	redirects int
+	res       Result
+	reply     chan Result
 }
+
+// maxRedirects bounds re-deliveries of a request addressed to a node
+// its mapped peer does not host.
+const maxRedirects = 4
 
 // peerProc is the goroutine-owned handle of one peer.
 type peerProc struct {
+	// id is the peer's current ring identifier: written only under
+	// Cluster.mu's write lock (balancing renames), read under either
+	// side of it.
 	id      keys.Key
 	mailbox chan discoverMsg
+	// quit is closed when the peer leaves or crashes; the goroutine
+	// then drains its mailbox and exits.
+	quit chan struct{}
+	// senders tracks in-flight forwards that hold a reference to this
+	// proc, so draining can wait for the last possible send.
+	senders sync.WaitGroup
 }
 
 // Cluster is a running overlay.
@@ -113,7 +133,11 @@ func (c *Cluster) addPeerLocked(capacity int) (keys.Key, error) {
 	if err := c.net.JoinPeer(id, capacity, c.rng); err != nil {
 		return "", err
 	}
-	p := &peerProc{id: id, mailbox: make(chan discoverMsg, mailboxDepth)}
+	p := &peerProc{
+		id:      id,
+		mailbox: make(chan discoverMsg, mailboxDepth),
+		quit:    make(chan struct{}),
+	}
 	c.procMu.Lock()
 	c.procs[id] = p
 	c.procMu.Unlock()
@@ -132,7 +156,9 @@ func (c *Cluster) AddPeer(capacity int) (keys.Key, error) {
 	return c.addPeerLocked(capacity)
 }
 
-// RemovePeer gracefully removes the peer with the given id.
+// RemovePeer gracefully removes the peer with the given id: its tree
+// nodes hand off to the peers becoming responsible for them and its
+// goroutine drains and exits.
 func (c *Cluster) RemovePeer(id keys.Key) error {
 	select {
 	case <-c.quit:
@@ -145,12 +171,157 @@ func (c *Cluster) RemovePeer(id keys.Key) error {
 	if err != nil {
 		return err
 	}
-	c.procMu.Lock()
-	delete(c.procs, id)
-	c.procMu.Unlock()
-	// The peer goroutine exits when the cluster stops; messages are
-	// no longer routed to it because the proc table dropped it.
+	c.retireProc(id)
 	return nil
+}
+
+// FailPeer crashes the peer with the given id: its node states vanish
+// without transfer and its goroutine drains and exits. The tree stays
+// degraded until Recover runs.
+func (c *Cluster) FailPeer(id keys.Key) error {
+	select {
+	case <-c.quit:
+		return ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	err := c.net.FailPeer(id)
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	c.retireProc(id)
+	return nil
+}
+
+// retireProc unroutes a departed peer's proc and signals its
+// goroutine to drain. Safe to call for ids without a proc.
+func (c *Cluster) retireProc(id keys.Key) {
+	c.procMu.Lock()
+	p, ok := c.procs[id]
+	if ok {
+		delete(c.procs, id)
+	}
+	c.procMu.Unlock()
+	if ok {
+		close(p.quit)
+	}
+}
+
+// Recover restores crashed node state from the replica store and
+// rebuilds the canonical tree structure.
+func (c *Cluster) Recover() (restored, lost int, err error) {
+	select {
+	case <-c.quit:
+		return 0, 0, ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	restored, lost = c.net.Recover()
+	return restored, lost, nil
+}
+
+// Replicate snapshots every tree node to the replica store.
+func (c *Cluster) Replicate() (int, error) {
+	select {
+	case <-c.quit:
+		return 0, ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.net.Replicate(), nil
+}
+
+// ResetUnit ends the current load-accounting time unit.
+func (c *Cluster) ResetUnit() error {
+	select {
+	case <-c.quit:
+		return ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.net.ResetUnit()
+	return nil
+}
+
+// Balance runs one round of the named load-balancing strategy over
+// every peer, then rewires the proc table to the renamed peer ids so
+// mailbox routing keeps resolving.
+func (c *Cluster) Balance(strategy string) (int, error) {
+	strat, err := lb.ByName(strategy)
+	if err != nil {
+		return 0, err
+	}
+	select {
+	case <-c.quit:
+		return 0, ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	moves, rerr := lb.RunRound(c.net, strat)
+	c.rewireProcs()
+	return moves, rerr
+}
+
+// rewireProcs re-keys the proc table to the current peer ids after
+// balancing renames. Which goroutine serves which id is immaterial —
+// all state lives in the shared network — so orphaned procs are
+// paired with unclaimed ids in sorted order. Callers hold c.mu's
+// write lock (which also licenses the p.id writes).
+func (c *Cluster) rewireProcs() {
+	current := make(map[keys.Key]bool, c.net.NumPeers())
+	for _, id := range c.net.PeerIDs() {
+		current[id] = true
+	}
+	c.procMu.Lock()
+	defer c.procMu.Unlock()
+	var orphans []*peerProc
+	for id, p := range c.procs {
+		if !current[id] {
+			delete(c.procs, id)
+			orphans = append(orphans, p)
+		}
+	}
+	if len(orphans) == 0 {
+		return
+	}
+	var free []keys.Key
+	for id := range current {
+		if _, ok := c.procs[id]; !ok {
+			free = append(free, id)
+		}
+	}
+	keys.SortKeys(free)
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].id < orphans[j].id })
+	n := len(free)
+	if len(orphans) < n {
+		n = len(orphans)
+	}
+	for i := 0; i < n; i++ {
+		orphans[i].id = free[i]
+		c.procs[free[i]] = orphans[i]
+	}
+	for _, p := range orphans[n:] { // more procs than peers: retire
+		close(p.quit)
+	}
+}
+
+// PeerSummaries returns one summary per peer in ring order.
+func (c *Cluster) PeerSummaries() []core.PeerSummary {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.PeerSummaries()
+}
+
+// ReplicationStats returns the replication traffic counters.
+func (c *Cluster) ReplicationStats() core.ReplicationCounters {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.Replication
 }
 
 // NumPeers returns the current peer count.
@@ -334,27 +505,24 @@ func (c *Cluster) forward(msg discoverMsg, from keys.Key) bool {
 			msg.res.PhysicalHops++
 		}
 	}
-	c.procMu.RLock()
-	p, ok := c.procs[host]
-	c.procMu.RUnlock()
+	p, ok := c.lookupProc(host)
 	if !ok {
 		// Host raced with a leave; re-resolve once more via the
 		// updated topology.
 		c.mu.RLock()
 		host2, ok2 := c.net.HostOf(msg.at)
 		c.mu.RUnlock()
-		if !ok2 {
-			msg.reply <- msg.res
-			return true
+		if ok2 {
+			p, ok = c.lookupProc(host2)
 		}
-		c.procMu.RLock()
-		p, ok = c.procs[host2]
-		c.procMu.RUnlock()
 		if !ok {
 			msg.reply <- msg.res
 			return true
 		}
 	}
+	// The sender registration taken by lookupProc lets a departed
+	// proc's drain wait out every send still holding its reference.
+	defer p.senders.Done()
 	select {
 	case p.mailbox <- msg:
 		return true
@@ -367,15 +535,62 @@ func (c *Cluster) forward(msg discoverMsg, from keys.Key) bool {
 	}
 }
 
+// lookupProc resolves a peer id to its proc, registering the caller
+// as an in-flight sender on success (release with senders.Done).
+func (c *Cluster) lookupProc(id keys.Key) (*peerProc, bool) {
+	c.procMu.RLock()
+	defer c.procMu.RUnlock()
+	p, ok := c.procs[id]
+	if ok {
+		p.senders.Add(1)
+	}
+	return p, ok
+}
+
 // run is the peer goroutine: process discovery messages hop by hop.
+// When the peer leaves or crashes it drains its mailbox before
+// exiting so no in-flight discovery is stranded.
 func (c *Cluster) run(p *peerProc) {
 	defer c.wg.Done()
 	for {
 		select {
 		case <-c.quit:
 			return
+		case <-p.quit:
+			c.drain(p)
+			return
 		case msg := <-p.mailbox:
 			c.process(p, msg)
+		}
+	}
+}
+
+// drain runs after a peer departed: the proc is already unrouted, so
+// every remaining message takes the re-delivery path to the node's
+// new host. Exit is safe only once all senders registered before the
+// unrouting have finished, since they may still append to the
+// mailbox.
+func (c *Cluster) drain(p *peerProc) {
+	sdone := make(chan struct{})
+	go func() {
+		p.senders.Wait()
+		close(sdone)
+	}()
+	for {
+		select {
+		case msg := <-p.mailbox:
+			c.process(p, msg)
+		case <-sdone:
+			for {
+				select {
+				case msg := <-p.mailbox:
+					c.process(p, msg)
+				default:
+					return
+				}
+			}
+		case <-c.quit:
+			return
 		}
 	}
 }
@@ -388,7 +603,8 @@ func (c *Cluster) process(p *peerProc, msg discoverMsg) {
 	default:
 	}
 	c.mu.RLock()
-	peer, ok := c.net.Peer(p.id)
+	self := p.id // balancing renames write p.id under the write lock
+	peer, ok := c.net.Peer(self)
 	var node *core.Node
 	if ok {
 		node = peer.Nodes[msg.at]
@@ -397,15 +613,23 @@ func (c *Cluster) process(p *peerProc, msg discoverMsg) {
 	done := false
 	if node == nil {
 		// The node moved (churn/balancing); re-deliver to the new
-		// host without counting a tree hop.
+		// host without counting a tree hop. A node lost to an
+		// unrecovered crash has no host at all: past the redirect
+		// bound the walk reports what it has (not found).
 		c.mu.RUnlock()
-		msg.res.Path = append(msg.res.Path, p.id)
-		if !c.forward(msg, p.id) {
+		msg.res.Path = append(msg.res.Path, self)
+		msg.redirects++
+		if msg.redirects > maxRedirects {
+			msg.reply <- msg.res
 			return
 		}
+		// Re-deliver as an injection (from ε) so the redirect counts
+		// no tree hop, matching the tcp engine's stale-routing relay.
+		c.forward(msg, keys.Epsilon)
 		return
 	}
-	msg.res.Path = append(msg.res.Path, p.id)
+	node.RecordVisit()
+	msg.res.Path = append(msg.res.Path, self)
 	switch {
 	case node.Key == msg.key:
 		if node.HasData() {
@@ -440,7 +664,7 @@ func (c *Cluster) process(p *peerProc, msg discoverMsg) {
 		return
 	}
 	msg.at = next
-	c.forward(msg, p.id)
+	c.forward(msg, self)
 }
 
 // Stop terminates all peer goroutines. It is idempotent.

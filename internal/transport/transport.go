@@ -18,11 +18,13 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
 	"dlpt/internal/core"
 	"dlpt/internal/keys"
+	"dlpt/internal/lb"
 	"dlpt/internal/trie"
 )
 
@@ -34,7 +36,15 @@ type request struct {
 	Logical int
 	// Physical counts TCP hops (every wire transfer is physical).
 	Physical int
+	// Redirects counts relays for a node the addressed peer does not
+	// host (stale routing after churn or balancing). A node lost to
+	// an unrecovered crash would relay in a cycle forever, so past
+	// maxRedirects the walk reports not found.
+	Redirects int
 }
+
+// maxRedirects bounds stale-routing relays per request.
+const maxRedirects = 8
 
 // response is the on-the-wire result.
 type response struct {
@@ -132,6 +142,175 @@ func (c *Cluster) AddPeer(capacity int) (keys.Key, error) {
 	return id, nil
 }
 
+// RemovePeer removes a peer gracefully: its tree nodes hand off, its
+// listener closes, and later traffic re-resolves to the new hosts
+// (the reconnect cascade is driven by the per-hop HostOf lookups).
+func (c *Cluster) RemovePeer(id keys.Key) error {
+	select {
+	case <-c.quit:
+		return ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	if err := c.net.LeavePeer(id); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	ln := c.dropServerLocked(id)
+	c.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	return nil
+}
+
+// FailPeer crashes a peer: node states vanish without transfer and
+// the listener closes. The tree stays degraded until Recover runs.
+func (c *Cluster) FailPeer(id keys.Key) error {
+	select {
+	case <-c.quit:
+		return ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	if err := c.net.FailPeer(id); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	ln := c.dropServerLocked(id)
+	c.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	return nil
+}
+
+// dropServerLocked removes the listener bookkeeping for id and
+// returns its listener for closing. Callers hold c.mu.
+func (c *Cluster) dropServerLocked(id keys.Key) net.Listener {
+	delete(c.addrs, id)
+	for i, ps := range c.servers {
+		if ps.id == id {
+			c.servers = append(c.servers[:i], c.servers[i+1:]...)
+			return ps.ln
+		}
+	}
+	return nil
+}
+
+// Recover restores crashed node state from the replica store and
+// rebuilds the canonical tree structure.
+func (c *Cluster) Recover() (restored, lost int, err error) {
+	select {
+	case <-c.quit:
+		return 0, 0, ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	restored, lost = c.net.Recover()
+	return restored, lost, nil
+}
+
+// Replicate snapshots every tree node to the replica store.
+func (c *Cluster) Replicate() (int, error) {
+	select {
+	case <-c.quit:
+		return 0, ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.net.Replicate(), nil
+}
+
+// ResetUnit ends the current load-accounting time unit.
+func (c *Cluster) ResetUnit() error {
+	select {
+	case <-c.quit:
+		return ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.net.ResetUnit()
+	return nil
+}
+
+// Balance runs one round of the named load-balancing strategy, then
+// rewires the listener bookkeeping to the renamed peer ids so relays
+// keep resolving.
+func (c *Cluster) Balance(strategy string) (int, error) {
+	strat, err := lb.ByName(strategy)
+	if err != nil {
+		return 0, err
+	}
+	select {
+	case <-c.quit:
+		return 0, ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	moves, rerr := lb.RunRound(c.net, strat)
+	c.rewireServersLocked()
+	return moves, rerr
+}
+
+// rewireServersLocked re-keys the address table and server ids to the
+// current peers after balancing renames. Which listener serves which
+// id is immaterial — all state lives in the shared network — so
+// orphaned servers pair with unclaimed ids in sorted order. Callers
+// hold c.mu.
+func (c *Cluster) rewireServersLocked() {
+	current := make(map[keys.Key]bool, c.net.NumPeers())
+	for _, id := range c.net.PeerIDs() {
+		current[id] = true
+	}
+	claimed := make(map[keys.Key]bool, len(c.servers))
+	var orphans []*peerServer
+	for _, ps := range c.servers {
+		if current[ps.id] {
+			claimed[ps.id] = true
+		} else {
+			orphans = append(orphans, ps)
+		}
+	}
+	if len(orphans) == 0 {
+		return
+	}
+	var free []keys.Key
+	for id := range current {
+		if !claimed[id] {
+			free = append(free, id)
+		}
+	}
+	keys.SortKeys(free)
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].id < orphans[j].id })
+	for i, ps := range orphans {
+		if i >= len(free) {
+			break
+		}
+		delete(c.addrs, ps.id)
+		ps.id = free[i]
+		c.addrs[ps.id] = ps.addr
+	}
+}
+
+// PeerSummaries returns one summary per peer in ring order.
+func (c *Cluster) PeerSummaries() []core.PeerSummary {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.PeerSummaries()
+}
+
+// ReplicationStats returns the replication traffic counters.
+func (c *Cluster) ReplicationStats() core.ReplicationCounters {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.Replication
+}
+
 // serve accepts and handles connections for one peer.
 func (c *Cluster) serve(ps *peerServer) {
 	defer c.wg.Done()
@@ -171,7 +350,10 @@ func (c *Cluster) handle(ps *peerServer, conn net.Conn) {
 		_, _ = conn.Read(buf[:]) // unblocks only on close/error
 		cancel()
 	}()
-	resp := c.step(ctx, ps.id, req)
+	c.mu.RLock()
+	self := ps.id // balancing renames write ps.id under the write lock
+	c.mu.RUnlock()
+	resp := c.step(ctx, self, req)
 	_ = enc.Encode(resp)
 }
 
@@ -191,15 +373,19 @@ func (c *Cluster) step(ctx context.Context, self keys.Key, req request) response
 		node, ok := peer.Nodes[req.At]
 		if !ok {
 			// The node lives elsewhere (stale routing): relay to its
-			// current host.
+			// current host. A node lost to an unrecovered crash has
+			// no host anywhere: bound the relays and report what the
+			// walk has (not found).
 			host, okh := c.net.HostOf(req.At)
 			addr := c.addrs[host]
 			c.mu.RUnlock()
-			if !okh {
-				return response{Err: "no host"}
+			req.Redirects++
+			if !okh || req.Redirects > maxRedirects {
+				return response{Logical: req.Logical, Physical: req.Physical}
 			}
 			return c.relay(ctx, addr, req)
 		}
+		node.RecordVisit()
 		var next keys.Key
 		done, found := false, false
 		var values []string

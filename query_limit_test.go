@@ -1,0 +1,71 @@
+package dlpt
+
+// Limit semantics of Complete and Range on the Registry: limit <= 0
+// means no limit, a limit beyond the match count returns every match,
+// and a positive limit clips in lexicographic order — identically on
+// every engine.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+func TestCompleteRangeLimits(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, kind EngineKind) {
+		ctx := context.Background()
+		reg := newRegistry(t, 4, WithSeed(9), WithEngine(kind))
+		for _, name := range []string{"app1", "app2", "app3", "base", "apricot"} {
+			if err := reg.Register(ctx, name, "ep://"+name); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		completes := []struct {
+			prefix string
+			limit  int
+			want   []string
+		}{
+			{"app", 0, []string{"app1", "app2", "app3"}},
+			{"app", -1, []string{"app1", "app2", "app3"}},
+			{"app", 99, []string{"app1", "app2", "app3"}},
+			{"app", 2, []string{"app1", "app2"}},
+			{"app", 3, []string{"app1", "app2", "app3"}},
+			{"ap", 1, []string{"app1"}},
+			{"zzz", 0, nil},
+			{"zzz", 5, nil},
+		}
+		for _, tc := range completes {
+			got, err := reg.Complete(ctx, tc.prefix, tc.limit)
+			if err != nil {
+				t.Fatalf("complete(%q, %d): %v", tc.prefix, tc.limit, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("complete(%q, %d) = %v, want %v", tc.prefix, tc.limit, got, tc.want)
+			}
+		}
+
+		ranges := []struct {
+			lo, hi string
+			limit  int
+			want   []string
+		}{
+			{"app1", "app3", 0, []string{"app1", "app2", "app3"}},
+			{"app1", "app3", -3, []string{"app1", "app2", "app3"}},
+			{"app1", "app3", 100, []string{"app1", "app2", "app3"}},
+			{"app1", "app3", 1, []string{"app1"}},
+			{"a", "b", 2, []string{"app1", "app2"}},
+			{"x", "z", 0, nil},
+			{"x", "a", 4, nil}, // inverted bounds: empty
+		}
+		for _, tc := range ranges {
+			got, err := reg.Range(ctx, tc.lo, tc.hi, tc.limit)
+			if err != nil {
+				t.Fatalf("range(%q, %q, %d): %v", tc.lo, tc.hi, tc.limit, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("range(%q, %q, %d) = %v, want %v", tc.lo, tc.hi, tc.limit, got, tc.want)
+			}
+		}
+	})
+}
