@@ -539,6 +539,7 @@ func BenchmarkEngineRegisterBatch(b *testing.B) {
 	}
 	for _, kind := range []EngineKind{EngineLocal, EngineLive, EngineTCP} {
 		b.Run(string(kind), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				reg, err := New(8, WithSeed(int64(i+1)), WithAlphabet(keys.LowerAlnum), WithEngine(kind))

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"dlpt"
@@ -16,14 +17,23 @@ import (
 )
 
 // benchResult is one engine's measurements, the unit of the
-// machine-readable benchmark output.
+// machine-readable benchmark output. Allocation counters are
+// process-wide runtime.MemStats deltas over the timed section: on the
+// concurrent engines they include background goroutine allocations,
+// so they track trends, not exact per-op attribution.
 type benchResult struct {
-	Engine            string  `json:"engine"`
-	RegisterNsPerKey  int64   `json:"register_ns_per_key"`
-	DiscoverNsPerOp   int64   `json:"discover_ns_per_op"`
-	RangeNsPerOp      int64   `json:"range_ns_per_op"`
-	LogicalHopsPerOp  float64 `json:"logical_hops_per_op"`
-	PhysicalHopsPerOp float64 `json:"physical_hops_per_op"`
+	Engine               string  `json:"engine"`
+	RegisterNsPerKey     int64   `json:"register_ns_per_key"`
+	RegisterAllocsPerKey int64   `json:"register_allocs_per_key"`
+	RegisterBytesPerKey  int64   `json:"register_bytes_per_key"`
+	DiscoverNsPerOp      int64   `json:"discover_ns_per_op"`
+	DiscoverAllocsPerOp  int64   `json:"discover_allocs_per_op"`
+	DiscoverBytesPerOp   int64   `json:"discover_bytes_per_op"`
+	RangeNsPerOp         int64   `json:"range_ns_per_op"`
+	RangeAllocsPerOp     int64   `json:"range_allocs_per_op"`
+	RangeBytesPerOp      int64   `json:"range_bytes_per_op"`
+	LogicalHopsPerOp     float64 `json:"logical_hops_per_op"`
+	PhysicalHopsPerOp    float64 `json:"physical_hops_per_op"`
 }
 
 // benchReport is the whole run: workload scale, environment, one
@@ -39,14 +49,27 @@ type benchReport struct {
 	Results     []benchResult `json:"results"`
 }
 
+// regressionFactor is the perf gate: a latency metric more than this
+// factor above the committed baseline fails the run.
+const regressionFactor = 2.0
+
+// regressionFloorNs absorbs scheduler jitter on microsecond-scale
+// metrics: a metric must also exceed the baseline by this much in
+// absolute terms to count as a regression.
+const regressionFloorNs = 2000
+
 // runBench measures the identical register/discover/range workload on
 // every engine and reports the results as JSON (default, written to
 // -out) or as the human-readable table of the engines experiment.
+// With -check it additionally diffs the run against a committed
+// baseline and fails on any >2x latency regression (the CI perf
+// gate).
 func runBench(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	fs.SetOutput(w)
 	jsonOut := fs.Bool("json", true, "write machine-readable JSON to -out")
 	out := fs.String("out", "BENCH_engines.json", "JSON output path (- for stdout)")
+	check := fs.String("check", "", "baseline JSON to diff against; fail on >2x ns/op regression")
 	quick := fs.Bool("quick", false, "reduced scale")
 	seed := fs.Int64("seed", 1, "base random seed")
 	if err := fs.Parse(args); err != nil {
@@ -55,27 +78,94 @@ func runBench(args []string, w io.Writer) error {
 	if fs.NArg() != 0 {
 		return fmt.Errorf("bench: unexpected argument %q", fs.Arg(0))
 	}
-	if !*jsonOut {
+	if !*jsonOut && *check == "" {
 		return runEngines(*quick, *seed, w)
+	}
+
+	// Load the baseline before anything is written: with the default
+	// -out, `bench -check BENCH_engines.json` would otherwise
+	// overwrite the baseline first and gate the run against itself.
+	var baseline *benchReport
+	if *check != "" {
+		buf, err := os.ReadFile(*check)
+		if err != nil {
+			return fmt.Errorf("bench: read baseline: %w", err)
+		}
+		baseline = &benchReport{}
+		if err := json.Unmarshal(buf, baseline); err != nil {
+			return fmt.Errorf("bench: parse baseline %s: %w", *check, err)
+		}
 	}
 
 	rep, err := measureEngines(*quick, *seed)
 	if err != nil {
 		return err
 	}
-	buf, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
+	if *jsonOut {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if *out == "-" {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+		} else {
+			if err := os.WriteFile(*out, buf, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "# wrote %s (%d engines)\n", *out, len(rep.Results))
+		}
 	}
-	buf = append(buf, '\n')
-	if *out == "-" {
-		_, err = w.Write(buf)
-		return err
+	if baseline != nil {
+		return checkBaseline(rep, baseline, *check, w)
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		return err
+	return nil
+}
+
+// checkBaseline diffs rep against the pre-loaded committed baseline
+// and returns an error naming every latency metric that regressed
+// more than regressionFactor (the CI perf gate).
+func checkBaseline(rep *benchReport, base *benchReport, path string, w io.Writer) error {
+	current := make(map[string]benchResult, len(rep.Results))
+	for _, r := range rep.Results {
+		current[r.Engine] = r
 	}
-	fmt.Fprintf(w, "# wrote %s (%d engines)\n", *out, len(rep.Results))
+	var regressions []string
+	for _, b := range base.Results {
+		cur, ok := current[b.Engine]
+		if !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: engine missing from this run", b.Engine))
+			continue
+		}
+		for _, m := range []struct {
+			name      string
+			base, cur int64
+		}{
+			{"register_ns_per_key", b.RegisterNsPerKey, cur.RegisterNsPerKey},
+			{"discover_ns_per_op", b.DiscoverNsPerOp, cur.DiscoverNsPerOp},
+			{"range_ns_per_op", b.RangeNsPerOp, cur.RangeNsPerOp},
+		} {
+			ratio := float64(m.cur) / float64(m.base)
+			verdict := "ok"
+			if float64(m.cur) > regressionFactor*float64(m.base) &&
+				m.cur-m.base > regressionFloorNs {
+				verdict = "REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("%s %s: %d -> %d ns (%.2fx > %.1fx limit)",
+						b.Engine, m.name, m.base, m.cur, ratio, regressionFactor))
+			}
+			fmt.Fprintf(w, "# perf-gate %-5s %-20s %8d -> %8d ns  %.2fx  %s\n",
+				b.Engine, m.name, m.base, m.cur, ratio, verdict)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("bench: perf gate failed against %s:\n  %s",
+			path, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(w, "# perf gate passed against %s\n", path)
 	return nil
 }
 
@@ -118,18 +208,36 @@ func measureEngines(quick bool, seed int64) (*benchReport, error) {
 	return rep, nil
 }
 
+// memCounters collects and reads the process-wide cumulative
+// allocation counters. The collection isolates the timed phases from
+// each other: without it a phase inherits the previous phase's GC
+// trigger state, and a low-allocation phase (pooled TCP discovery)
+// hands the next phase a near-trigger heap that taxes it with the
+// collections the earlier phase banked.
+func memCounters() (mallocs, bytes uint64) {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs, ms.TotalAlloc
+}
+
 func measureOne(ctx context.Context, reg *dlpt.Registry, kind dlpt.EngineKind,
 	batch []dlpt.Registration, corpus []keys.Key, queries int) (benchResult, error) {
 	var out benchResult
 	out.Engine = string(kind)
 
+	m0, b0 := memCounters()
 	start := time.Now()
 	if err := reg.RegisterBatch(ctx, batch); err != nil {
 		return out, err
 	}
 	out.RegisterNsPerKey = time.Since(start).Nanoseconds() / int64(len(batch))
+	m1, b1 := memCounters()
+	out.RegisterAllocsPerKey = int64(m1-m0) / int64(len(batch))
+	out.RegisterBytesPerKey = int64(b1-b0) / int64(len(batch))
 
 	var logical, physical int
+	m0, b0 = m1, b1 // the end-of-phase read already collected
 	start = time.Now()
 	for i := 0; i < queries; i++ {
 		svc, ok, err := reg.Discover(ctx, string(corpus[i%len(corpus)]))
@@ -141,10 +249,14 @@ func measureOne(ctx context.Context, reg *dlpt.Registry, kind dlpt.EngineKind,
 		physical += svc.PhysicalHops
 	}
 	out.DiscoverNsPerOp = time.Since(start).Nanoseconds() / int64(queries)
+	m1, b1 = memCounters()
+	out.DiscoverAllocsPerOp = int64(m1-m0) / int64(queries)
+	out.DiscoverBytesPerOp = int64(b1-b0) / int64(queries)
 	out.LogicalHopsPerOp = float64(logical) / float64(queries)
 	out.PhysicalHopsPerOp = float64(physical) / float64(queries)
 
 	ranges := queries / 10
+	m0, b0 = m1, b1
 	start = time.Now()
 	for i := 0; i < ranges; i++ {
 		if _, err := reg.Range(ctx, "pd", "pz", 0); err != nil {
@@ -152,5 +264,8 @@ func measureOne(ctx context.Context, reg *dlpt.Registry, kind dlpt.EngineKind,
 		}
 	}
 	out.RangeNsPerOp = time.Since(start).Nanoseconds() / int64(ranges)
+	m1, b1 = memCounters()
+	out.RangeAllocsPerOp = int64(m1-m0) / int64(ranges)
+	out.RangeBytesPerOp = int64(b1-b0) / int64(ranges)
 	return out, nil
 }

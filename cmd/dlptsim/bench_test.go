@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func parseBaseline(t *testing.T, raw string) *benchReport {
+	t.Helper()
+	base := &benchReport{}
+	if err := json.Unmarshal([]byte(raw), base); err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+const gateBaseline = `{"peers":32,"keys":400,"results":[` +
+	`{"engine":"local","register_ns_per_key":15000,"discover_ns_per_op":2700,"range_ns_per_op":20000},` +
+	`{"engine":"tcp","register_ns_per_key":2900,"discover_ns_per_op":28000,"range_ns_per_op":16000}]}`
+
+func gateReport(tcpDiscover int64) *benchReport {
+	return &benchReport{Results: []benchResult{
+		{Engine: "local", RegisterNsPerKey: 14000, DiscoverNsPerOp: 2800, RangeNsPerOp: 21000},
+		{Engine: "tcp", RegisterNsPerKey: 3000, DiscoverNsPerOp: tcpDiscover, RangeNsPerOp: 17000},
+	}}
+}
+
+func TestPerfGatePasses(t *testing.T) {
+	base := parseBaseline(t, gateBaseline)
+	var sb strings.Builder
+	if err := checkBaseline(gateReport(30000), base, "baseline.json", &sb); err != nil {
+		t.Fatalf("gate failed on healthy run: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "perf gate passed") {
+		t.Fatalf("missing pass marker:\n%s", sb.String())
+	}
+}
+
+func TestPerfGateFailsOnRegression(t *testing.T) {
+	base := parseBaseline(t, gateBaseline)
+	var sb strings.Builder
+	// 28000 -> 80000 ns is a 2.86x regression: must fail.
+	err := checkBaseline(gateReport(80000), base, "baseline.json", &sb)
+	if err == nil {
+		t.Fatalf("gate passed a 2.86x regression:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "tcp discover_ns_per_op") {
+		t.Fatalf("regression not attributed: %v", err)
+	}
+}
+
+func TestPerfGateJitterFloor(t *testing.T) {
+	// A microsecond-scale metric past the factor but inside the
+	// absolute jitter floor must not trip the gate: 900 -> 2500 ns is
+	// 2.8x but only +1600 ns.
+	base := parseBaseline(t, `{"results":[`+
+		`{"engine":"local","register_ns_per_key":15000,"discover_ns_per_op":900,"range_ns_per_op":20000}]}`)
+	rep := &benchReport{Results: []benchResult{
+		{Engine: "local", RegisterNsPerKey: 14000, DiscoverNsPerOp: 2500, RangeNsPerOp: 21000},
+	}}
+	if err := checkBaseline(rep, base, "baseline.json", &strings.Builder{}); err != nil {
+		t.Fatalf("gate tripped inside the jitter floor: %v", err)
+	}
+}
+
+func TestPerfGateMissingEngine(t *testing.T) {
+	base := parseBaseline(t, gateBaseline)
+	rep := &benchReport{Results: []benchResult{
+		{Engine: "local", RegisterNsPerKey: 14000, DiscoverNsPerOp: 2800, RangeNsPerOp: 21000},
+	}}
+	if err := checkBaseline(rep, base, "baseline.json", &strings.Builder{}); err == nil {
+		t.Fatal("gate ignored a missing engine")
+	}
+}

@@ -23,8 +23,9 @@
 // Three backends ship with the module: EngineLocal (the sequential
 // protocol core behind one mutex, deterministic), EngineLive (one
 // goroutine per peer with channel mailboxes — the default), and
-// EngineTCP (peers exchange gob-encoded discovery hops over loopback
-// TCP sockets). Custom backends plug in through WithEngineFactory.
+// EngineTCP (peers exchange binary-framed discovery hops multiplexed
+// over persistent loopback TCP connections). Custom backends plug in
+// through WithEngineFactory.
 // The three are differentially tested to produce identical results on
 // identical workloads.
 //
@@ -77,7 +78,8 @@ const (
 	// and concurrent hop-by-hop discovery routing. The default.
 	EngineLive EngineKind = "live"
 	// EngineTCP runs every peer behind a loopback TCP listener;
-	// discovery hops travel as gob-encoded messages.
+	// discovery hops travel as binary frames multiplexed over
+	// persistent pooled connections.
 	EngineTCP EngineKind = "tcp"
 )
 

@@ -11,7 +11,8 @@
 //   - engine/live  — one goroutine per peer with channel mailboxes and
 //     hop-by-hop concurrent discovery routing (the default backend).
 //   - engine/tcp   — every peer owns a loopback TCP listener and
-//     discoveries hop peer-to-peer as gob-encoded messages.
+//     discoveries hop peer-to-peer as binary frames multiplexed over
+//     persistent pooled connections.
 //
 // Every operation takes a context.Context; cancelling it aborts
 // in-flight routed traversals and returns the context error.

@@ -1,8 +1,9 @@
 // Package tcp adapts the socket transport (internal/transport) to the
 // engine.Engine contract: every peer owns a loopback TCP listener and
-// discoveries hop peer-to-peer as gob-encoded messages. Cancelling a
-// discovery context tears the in-flight relay chain down connection
-// by connection.
+// discoveries hop peer-to-peer as length-prefixed binary frames
+// multiplexed over persistent pooled connections. Cancelling a
+// discovery context sends CANCEL frames down the in-flight relay
+// chain, freeing each stream while the shared connections survive.
 package tcp
 
 import (

@@ -113,7 +113,11 @@ func (net *Network) subtreeQuery(r *rand.Rand, anchor keys.Key,
 		if n.HasData() && match(n.Key) {
 			res.Keys = append(res.Keys, n.Key)
 		}
-		for _, c := range n.ChildrenSorted() {
+		// Branch visit order is immaterial — the hop counters are
+		// order-independent sums and the keys are sorted below — so
+		// iterate the child set directly instead of allocating a
+		// sorted copy per visited node.
+		for c := range n.Children {
 			if !explore(c) {
 				continue
 			}

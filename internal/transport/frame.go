@@ -1,0 +1,280 @@
+// The wire protocol: length-prefixed binary frames multiplexed over
+// one long-lived TCP connection per peer pair. Every frame carries a
+// request id so many in-flight relays share a socket; cancellation is
+// an explicit CANCEL frame rather than a connection teardown.
+//
+// Frame layout (header is fixed 13 bytes, integers big-endian):
+//
+//	type(1) | id(8) | payloadLen(4) | payload
+//
+// Frame types:
+//
+//	REQUEST  (1) — one routing step; payload is a request
+//	RESPONSE (2) — the result for the same id; payload is a response
+//	CANCEL   (3) — abandon the request with that id; no payload
+//
+// Payloads are hand-rolled varint/length-prefixed encodings of the
+// two small wire structs — unlike a per-connection gob stream there
+// is no per-encoder type-descriptor preamble, and every frame is
+// independently decodable, which multiplexing requires. Encode
+// buffers are reused through a sync.Pool; each connection's single
+// reader goroutine owns a growable decode buffer.
+
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"dlpt/internal/keys"
+)
+
+const (
+	frameRequest  = 1
+	frameResponse = 2
+	frameCancel   = 3
+)
+
+// frameHeaderSize is type(1) + id(8) + payloadLen(4).
+const frameHeaderSize = 13
+
+// maxFramePayload bounds a decoded payload length so a corrupt or
+// hostile length prefix cannot force an arbitrary allocation.
+const maxFramePayload = 1 << 24
+
+var errFrameTooLarge = errors.New("transport: frame payload exceeds limit")
+
+// framePool recycles encode buffers: one frame is built contiguously
+// (header + payload) and written with a single conn.Write.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// frameConn frames a net.Conn. Writes are serialized by wmu (response
+// writers race from per-request goroutines); reads belong to exactly
+// one reader goroutine, which owns rbuf.
+type frameConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+	wmu  sync.Mutex
+	rbuf []byte
+}
+
+func newFrameConn(conn net.Conn) *frameConn {
+	return &frameConn{conn: conn, br: bufio.NewReaderSize(conn, 4096)}
+}
+
+func (fc *frameConn) Close() error { return fc.conn.Close() }
+
+// readFrame returns the next frame. The payload slice aliases the
+// connection's reader buffer and is valid only until the next call.
+func (fc *frameConn) readFrame() (typ byte, id uint64, payload []byte, err error) {
+	var hdr [frameHeaderSize]byte
+	if _, err = io.ReadFull(fc.br, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	typ = hdr[0]
+	id = binary.BigEndian.Uint64(hdr[1:9])
+	n := binary.BigEndian.Uint32(hdr[9:13])
+	if n > maxFramePayload {
+		return 0, 0, nil, errFrameTooLarge
+	}
+	if cap(fc.rbuf) < int(n) {
+		fc.rbuf = make([]byte, n)
+	}
+	payload = fc.rbuf[:n]
+	if _, err = io.ReadFull(fc.br, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	return typ, id, payload, nil
+}
+
+// beginFrame starts a frame in a pooled buffer; finishFrame patches
+// the payload length in and writes the whole frame in one call.
+func beginFrame(buf []byte, typ byte, id uint64) []byte {
+	buf = append(buf[:0], typ)
+	buf = binary.BigEndian.AppendUint64(buf, id)
+	return append(buf, 0, 0, 0, 0) // payload length placeholder
+}
+
+func (fc *frameConn) finishFrame(buf []byte) error {
+	if len(buf)-frameHeaderSize > maxFramePayload {
+		// Never put an oversized frame on the wire: the receiver
+		// would kill the shared connection (and every multiplexed
+		// request on it). Nothing was written; the connection stays
+		// consistent and the caller degrades per frame type.
+		return errFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(buf[9:13], uint32(len(buf)-frameHeaderSize))
+	fc.wmu.Lock()
+	_, err := fc.conn.Write(buf)
+	fc.wmu.Unlock()
+	return err
+}
+
+func (fc *frameConn) writeRequest(id uint64, req *request) error {
+	bp := framePool.Get().(*[]byte)
+	buf := beginFrame(*bp, frameRequest, id)
+	buf = appendRequest(buf, req)
+	err := fc.finishFrame(buf)
+	*bp = buf
+	framePool.Put(bp)
+	return err
+}
+
+func (fc *frameConn) writeResponse(id uint64, resp *response) error {
+	bp := framePool.Get().(*[]byte)
+	buf := beginFrame(*bp, frameResponse, id)
+	buf = appendResponse(buf, resp)
+	err := fc.finishFrame(buf)
+	*bp = buf
+	framePool.Put(bp)
+	return err
+}
+
+func (fc *frameConn) writeCancel(id uint64) error {
+	bp := framePool.Get().(*[]byte)
+	buf := beginFrame(*bp, frameCancel, id)
+	err := fc.finishFrame(buf)
+	*bp = buf
+	framePool.Put(bp)
+	return err
+}
+
+// --- payload encoding --------------------------------------------------------
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func getUvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, errors.New("transport: truncated varint")
+	}
+	return v, p[n:], nil
+}
+
+func getString(p []byte) (string, []byte, error) {
+	n, p, err := getUvarint(p)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(p)) < n {
+		return "", nil, errors.New("transport: truncated string")
+	}
+	return string(p[:n]), p[n:], nil
+}
+
+func getBool(p []byte) (bool, []byte, error) {
+	if len(p) < 1 {
+		return false, nil, errors.New("transport: truncated bool")
+	}
+	return p[0] != 0, p[1:], nil
+}
+
+func appendRequest(b []byte, req *request) []byte {
+	b = appendString(b, string(req.Key))
+	b = appendString(b, string(req.At))
+	b = appendBool(b, req.GoingUp)
+	b = binary.AppendUvarint(b, uint64(req.Logical))
+	b = binary.AppendUvarint(b, uint64(req.Physical))
+	return binary.AppendUvarint(b, uint64(req.Redirects))
+}
+
+func decodeRequest(p []byte, req *request) error {
+	var err error
+	var s string
+	var v uint64
+	if s, p, err = getString(p); err != nil {
+		return fmt.Errorf("request key: %w", err)
+	}
+	req.Key = keys.Key(s)
+	if s, p, err = getString(p); err != nil {
+		return fmt.Errorf("request at: %w", err)
+	}
+	req.At = keys.Key(s)
+	if req.GoingUp, p, err = getBool(p); err != nil {
+		return fmt.Errorf("request goingUp: %w", err)
+	}
+	if v, p, err = getUvarint(p); err != nil {
+		return fmt.Errorf("request logical: %w", err)
+	}
+	req.Logical = int(v)
+	if v, p, err = getUvarint(p); err != nil {
+		return fmt.Errorf("request physical: %w", err)
+	}
+	req.Physical = int(v)
+	if v, _, err = getUvarint(p); err != nil {
+		return fmt.Errorf("request redirects: %w", err)
+	}
+	req.Redirects = int(v)
+	return nil
+}
+
+func appendResponse(b []byte, resp *response) []byte {
+	b = appendBool(b, resp.Found)
+	b = binary.AppendUvarint(b, uint64(len(resp.Values)))
+	for _, v := range resp.Values {
+		b = appendString(b, v)
+	}
+	b = binary.AppendUvarint(b, uint64(resp.Logical))
+	b = binary.AppendUvarint(b, uint64(resp.Physical))
+	return appendString(b, resp.Err)
+}
+
+func decodeResponse(p []byte, resp *response) error {
+	var err error
+	var v uint64
+	if resp.Found, p, err = getBool(p); err != nil {
+		return fmt.Errorf("response found: %w", err)
+	}
+	if v, p, err = getUvarint(p); err != nil {
+		return fmt.Errorf("response value count: %w", err)
+	}
+	// Each value costs at least one byte on the wire: a count beyond
+	// the remaining payload is corrupt, and pre-allocating from it
+	// would let a tiny frame demand an arbitrary allocation.
+	if v > uint64(len(p)) {
+		return errors.New("transport: implausible value count")
+	}
+	resp.Values = nil
+	if v > 0 {
+		resp.Values = make([]string, 0, v)
+		for i := uint64(0); i < v; i++ {
+			var s string
+			if s, p, err = getString(p); err != nil {
+				return fmt.Errorf("response value %d: %w", i, err)
+			}
+			resp.Values = append(resp.Values, s)
+		}
+	}
+	if v, p, err = getUvarint(p); err != nil {
+		return fmt.Errorf("response logical: %w", err)
+	}
+	resp.Logical = int(v)
+	if v, p, err = getUvarint(p); err != nil {
+		return fmt.Errorf("response physical: %w", err)
+	}
+	resp.Physical = int(v)
+	if resp.Err, _, err = getString(p); err != nil {
+		return fmt.Errorf("response err: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+// The client half of the wire protocol: a pool of persistent,
+// multiplexed connections, one per remote listener address. Relays
+// borrow the shared connection, tag their request with a fresh id and
+// wait for the matching RESPONSE frame; a per-connection demux loop
+// routes frames back by id. Cancelling a waiting relay sends a CANCEL
+// frame — the stream is freed, the connection survives.
+//
+// The pool is keyed by listener address, not peer id: balancing
+// renames re-key peer ids over the same listeners, so pooled
+// connections stay valid across every Balance round by construction.
+// Removing or crashing a peer closes its listener and evicts its
+// pooled connection, so stale relays fail fast and re-resolve.
+
+package transport
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// dialTimeout bounds a pool dial so a hung connect cannot wedge
+// eviction or Stop (both wait for an in-flight dial to settle).
+const dialTimeout = 5 * time.Second
+
+// connPool owns the client side of every wire conversation.
+type connPool struct {
+	quit <-chan struct{}
+	wg   *sync.WaitGroup // cluster's group; tracks demux loops
+
+	mu     sync.Mutex
+	conns  map[string]*poolConn
+	closed bool
+
+	// dials counts TCP dials over the pool's lifetime: the
+	// amortization the pool exists for, asserted by tests.
+	dials  atomic.Int64
+	nextID atomic.Uint64
+}
+
+// poolConn is one shared connection plus its in-flight request table.
+type poolConn struct {
+	addr string
+
+	// ready is closed once the dial finished (fc or dialErr set);
+	// concurrent getters wait on it instead of dialing again.
+	ready   chan struct{}
+	dialErr error
+	fc      *frameConn
+
+	mu      sync.Mutex
+	pending map[uint64]chan rtResult
+	err     error // terminal transport error; set once, conn unusable
+}
+
+// rtResult is one demuxed round-trip outcome: either the decoded
+// response or the transport-level error that broke the connection
+// (retryable — the request is an idempotent routing step).
+type rtResult struct {
+	resp response
+	err  error
+}
+
+func newConnPool(quit <-chan struct{}, wg *sync.WaitGroup) *connPool {
+	return &connPool{quit: quit, wg: wg, conns: make(map[string]*poolConn)}
+}
+
+// get returns the shared connection to addr, dialing it on first use.
+// Concurrent getters for one address share a single dial.
+func (p *connPool) get(ctx context.Context, addr string) (*poolConn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrStopped
+	}
+	pc, ok := p.conns[addr]
+	if !ok {
+		pc = &poolConn{
+			addr:    addr,
+			ready:   make(chan struct{}),
+			pending: make(map[uint64]chan rtResult),
+		}
+		p.conns[addr] = pc
+		// The dial is shared by every getter of this address, so it
+		// must not be governed by any single getter's context: a
+		// cancelled first getter would poison the entry for callers
+		// whose contexts are live. dialTimeout bounds it instead.
+		p.wg.Add(1)
+		go p.dial(pc)
+	}
+	p.mu.Unlock()
+	select {
+	case <-pc.ready:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-p.quit:
+		return nil, ErrStopped
+	}
+	if pc.dialErr != nil {
+		return nil, pc.dialErr
+	}
+	pc.mu.Lock()
+	err := pc.err
+	pc.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return pc, nil
+}
+
+// dial connects pc and starts its demux loop. On failure the entry is
+// removed so the next get retries a fresh dial.
+func (p *connPool) dial(pc *poolConn) {
+	defer p.wg.Done()
+	defer close(pc.ready)
+	d := net.Dialer{Timeout: dialTimeout}
+	conn, err := d.Dial("tcp", pc.addr)
+	if err != nil {
+		pc.dialErr = err
+		p.drop(pc)
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		delete(p.conns, pc.addr)
+		p.mu.Unlock()
+		_ = conn.Close()
+		pc.dialErr = ErrStopped
+		return
+	}
+	p.dials.Add(1)
+	pc.fc = newFrameConn(conn)
+	p.wg.Add(1)
+	p.mu.Unlock()
+	go p.demux(pc)
+}
+
+// demux is the per-connection reader: it dispatches RESPONSE frames
+// to the waiting round-trips by id. Responses for ids nobody waits
+// for (cancelled upstream) are dropped. A read error breaks the
+// connection: every in-flight round-trip fails fast and the entry
+// leaves the pool.
+func (p *connPool) demux(pc *poolConn) {
+	defer p.wg.Done()
+	for {
+		typ, id, payload, err := pc.fc.readFrame()
+		if err != nil {
+			p.fail(pc, err)
+			return
+		}
+		if typ != frameResponse {
+			continue // unknown frame type: ignore for forward compat
+		}
+		var resp response
+		if err := decodeResponse(payload, &resp); err != nil {
+			p.fail(pc, err)
+			return
+		}
+		pc.mu.Lock()
+		ch := pc.pending[id]
+		delete(pc.pending, id)
+		pc.mu.Unlock()
+		if ch != nil {
+			ch <- rtResult{resp: resp}
+		}
+	}
+}
+
+// roundTrip sends req on the shared connection and waits for its
+// response. Cancellation sends a CANCEL frame and abandons the id;
+// the connection keeps serving the other in-flight round-trips.
+func (p *connPool) roundTrip(ctx context.Context, pc *poolConn, req *request) (response, error) {
+	id := p.nextID.Add(1)
+	ch := make(chan rtResult, 1)
+	pc.mu.Lock()
+	if pc.err != nil {
+		err := pc.err
+		pc.mu.Unlock()
+		return response{}, err
+	}
+	pc.pending[id] = ch
+	pc.mu.Unlock()
+
+	if err := pc.fc.writeRequest(id, req); err != nil {
+		pc.forget(id)
+		if errors.Is(err, errFrameTooLarge) {
+			// Nothing hit the wire: the connection is still good,
+			// only this request is undeliverable.
+			return response{}, err
+		}
+		p.fail(pc, err)
+		return response{}, err
+	}
+	select {
+	case r := <-ch:
+		return r.resp, r.err
+	case <-ctx.Done():
+		pc.forget(id)
+		_ = pc.fc.writeCancel(id) // best effort: free the remote stream
+		return response{}, ctx.Err()
+	case <-p.quit:
+		pc.forget(id)
+		return response{}, ErrStopped
+	}
+}
+
+func (pc *poolConn) forget(id uint64) {
+	pc.mu.Lock()
+	delete(pc.pending, id)
+	pc.mu.Unlock()
+}
+
+// fail marks pc broken, fails every in-flight round-trip, closes the
+// socket and drops the pool entry so the next relay redials fresh.
+func (p *connPool) fail(pc *poolConn, err error) {
+	pc.mu.Lock()
+	if pc.err == nil {
+		pc.err = err
+	}
+	drain := pc.pending
+	pc.pending = make(map[uint64]chan rtResult)
+	pc.mu.Unlock()
+	for _, ch := range drain {
+		ch <- rtResult{err: err}
+	}
+	_ = pc.fc.Close()
+	p.drop(pc)
+}
+
+// drop removes pc's pool entry unless a redial already replaced it.
+func (p *connPool) drop(pc *poolConn) {
+	p.mu.Lock()
+	if cur, ok := p.conns[pc.addr]; ok && cur == pc {
+		delete(p.conns, pc.addr)
+	}
+	p.mu.Unlock()
+}
+
+// evict closes and forgets the connection to addr, if any. Called
+// when the peer behind addr is removed or crashes: in-flight relays
+// fail fast (feeding the redirect/retry bounds) instead of waiting on
+// a dead socket.
+func (p *connPool) evict(addr string) {
+	p.mu.Lock()
+	pc := p.conns[addr]
+	delete(p.conns, addr)
+	p.mu.Unlock()
+	if pc == nil {
+		return
+	}
+	<-pc.ready // a concurrent first dial finishes before we close
+	if pc.fc != nil {
+		_ = pc.fc.Close() // demux loop observes the close and drains
+	}
+}
+
+// closeAll evicts every connection; subsequent gets fail ErrStopped.
+// After the cluster's WaitGroup settles the pool is drained: each
+// demux loop removes its own entry on the way out.
+func (p *connPool) closeAll() {
+	p.mu.Lock()
+	p.closed = true
+	conns := make([]*poolConn, 0, len(p.conns))
+	for _, pc := range p.conns {
+		conns = append(conns, pc)
+	}
+	p.mu.Unlock()
+	for _, pc := range conns {
+		<-pc.ready
+		if pc.fc != nil {
+			_ = pc.fc.Close()
+		}
+	}
+}
+
+// size reports the live pooled-connection count.
+func (p *connPool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns)
+}

@@ -1,0 +1,317 @@
+package transport
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dlpt/internal/keys"
+	"dlpt/internal/workload"
+)
+
+// registerCorpus registers n keys and returns them.
+func registerCorpus(t *testing.T, c *Cluster, n int) []keys.Key {
+	t.Helper()
+	corpus := workload.GridCorpus(n)
+	for _, k := range corpus {
+		if err := c.Register(k, string(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return corpus
+}
+
+// TestPooledConnectionsShared asserts the point of the pool: many
+// concurrent discoveries multiplex over at most one connection per
+// listener address instead of dialing per hop.
+func TestPooledConnectionsShared(t *testing.T) {
+	c := startTCP(t, 8)
+	corpus := registerCorpus(t, c, 100)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := corpus[(w*13+i)%len(corpus)]
+				res, err := c.Discover(k)
+				if err != nil || !res.Found {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	conns, dials := c.PoolStats()
+	if int(dials) > c.NumPeers() {
+		t.Fatalf("400 discoveries cost %d dials; want at most one per peer (%d)",
+			dials, c.NumPeers())
+	}
+	if conns > c.NumPeers() {
+		t.Fatalf("pool holds %d conns for %d peers", conns, c.NumPeers())
+	}
+	if dials == 0 {
+		t.Fatal("no dials recorded; counting is broken")
+	}
+}
+
+// TestCancelMidRelayKeepsConnection cancels a relay while its routing
+// step is blocked server-side and asserts the CANCEL frame frees the
+// stream without killing the shared connection: the pending table
+// drains and the very same pooled connection serves the next relay
+// (no redial).
+func TestCancelMidRelayKeepsConnection(t *testing.T) {
+	c := startTCP(t, 4)
+	corpus := registerCorpus(t, c, 30)
+	// Warm the pool and grab a live routing target.
+	if res, err := c.Discover(corpus[0]); err != nil || !res.Found {
+		t.Fatalf("warm discover: %v", err)
+	}
+	c.mu.RLock()
+	at, ok := c.net.RandomNodeKey(c.rng)
+	host, _ := c.net.HostOf(at)
+	addr := c.addrs[host]
+	c.mu.RUnlock()
+	if !ok {
+		t.Fatal("no node to route to")
+	}
+	_, dialsBefore := c.PoolStats()
+
+	// Block every routing step, then cancel the relay mid-flight.
+	c.mu.Lock()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan response, 1)
+	go func() {
+		done <- c.relay(ctx, addr, request{Key: corpus[0], At: at, GoingUp: true, Physical: 1})
+	}()
+	time.Sleep(20 * time.Millisecond) // let the request frame land server-side
+	cancel()
+	var resp response
+	select {
+	case resp = <-done:
+	case <-time.After(5 * time.Second):
+		c.mu.Unlock()
+		t.Fatal("cancelled relay did not return while server was blocked")
+	}
+	c.mu.Unlock()
+	if !strings.Contains(resp.Err, context.Canceled.Error()) {
+		t.Fatalf("cancelled relay Err = %q", resp.Err)
+	}
+
+	// The shared connection must have survived: the next discovery
+	// succeeds without a single new dial.
+	for _, k := range corpus[:5] {
+		res, err := c.Discover(k)
+		if err != nil || !res.Found {
+			t.Fatalf("discover after cancel: %v", err)
+		}
+	}
+	if _, dialsAfter := c.PoolStats(); dialsAfter != dialsBefore {
+		t.Fatalf("cancellation cost %d redials; the pooled conn should survive",
+			dialsAfter-dialsBefore)
+	}
+	// The abandoned stream must not leak a pending entry.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		pending := 0
+		c.pool.mu.Lock()
+		for _, pc := range c.pool.conns {
+			pc.mu.Lock()
+			pending += len(pc.pending)
+			pc.mu.Unlock()
+		}
+		c.pool.mu.Unlock()
+		if pending == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d pending entries leaked after cancellation", pending)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPoolEvictsDepartedPeers asserts removal and crash both evict
+// the departed peer's pooled connection and traffic keeps flowing.
+func TestPoolEvictsDepartedPeers(t *testing.T) {
+	c := startTCP(t, 6)
+	corpus := registerCorpus(t, c, 60)
+	// Warm a connection to every peer.
+	for _, k := range corpus {
+		if res, err := c.Discover(k); err != nil || !res.Found {
+			t.Fatalf("warm discover: %v", err)
+		}
+	}
+
+	c.mu.RLock()
+	ids := c.net.PeerIDs()
+	removedAddr := c.addrs[ids[0]]
+	crashedAddr := c.addrs[ids[1]]
+	c.mu.RUnlock()
+	// Random routes need not touch every peer: pin both targets.
+	for _, addr := range []string{removedAddr, crashedAddr} {
+		if _, err := c.pool.get(context.Background(), addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := c.RemovePeer(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := poolHas(c, removedAddr); ok {
+		t.Fatal("removed peer's connection still pooled")
+	}
+	for _, k := range corpus {
+		if res, err := c.Discover(k); err != nil || !res.Found {
+			t.Fatalf("discover after removal: %v", err)
+		}
+	}
+
+	if _, err := c.Replicate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailPeer(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := poolHas(c, crashedAddr); ok {
+		t.Fatal("crashed peer's connection still pooled")
+	}
+	if _, lost, err := c.Recover(); err != nil || lost != 0 {
+		t.Fatalf("recover: lost=%d err=%v", lost, err)
+	}
+	for _, k := range corpus {
+		if res, err := c.Discover(k); err != nil || !res.Found {
+			t.Fatalf("discover after crash+recover: %v", err)
+		}
+	}
+}
+
+func poolHas(c *Cluster, addr string) (*poolConn, bool) {
+	c.pool.mu.Lock()
+	defer c.pool.mu.Unlock()
+	pc, ok := c.pool.conns[addr]
+	return pc, ok
+}
+
+// TestRelayRetriesStaleAddress drives the rename/removal race window
+// directly: a relay handed an address whose listener is gone must
+// evict, re-resolve the node's current host and succeed on the
+// retried dial.
+func TestRelayRetriesStaleAddress(t *testing.T) {
+	c := startTCP(t, 5)
+	corpus := registerCorpus(t, c, 40)
+	c.mu.RLock()
+	ids := c.net.PeerIDs()
+	c.mu.RUnlock()
+	staleAddr := func() string {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		return c.addrs[ids[0]]
+	}()
+	if err := c.RemovePeer(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	// The handed-off nodes now live elsewhere; relaying to the dead
+	// address must recover via the one-shot re-resolve.
+	c.mu.RLock()
+	at, ok := c.net.RandomNodeKey(c.rng)
+	c.mu.RUnlock()
+	if !ok {
+		t.Fatal("no node to route to")
+	}
+	resp := c.relay(context.Background(),
+		staleAddr, request{Key: corpus[0], At: at, GoingUp: true, Physical: 1})
+	if resp.Err != "" {
+		t.Fatalf("relay to stale addr did not recover: %s", resp.Err)
+	}
+}
+
+// TestPoolDrainsOnStop asserts Stop leaves no pooled connections
+// behind.
+func TestPoolDrainsOnStop(t *testing.T) {
+	c := startTCP(t, 6)
+	corpus := registerCorpus(t, c, 40)
+	for _, k := range corpus {
+		if res, err := c.Discover(k); err != nil || !res.Found {
+			t.Fatalf("warm discover: %v", err)
+		}
+	}
+	if conns, _ := c.PoolStats(); conns == 0 {
+		t.Fatal("pool empty before Stop; nothing to drain")
+	}
+	c.Stop()
+	if conns, _ := c.PoolStats(); conns != 0 {
+		t.Fatalf("pool holds %d connections after Stop", conns)
+	}
+}
+
+// TestWireValuesSorted pins the deterministic wire contract: a key
+// with several values comes back sorted regardless of map iteration
+// order.
+func TestWireValuesSorted(t *testing.T) {
+	c := startTCP(t, 4)
+	vals := []string{"ep-c", "ep-a", "ep-b", "ep-d"}
+	for _, v := range vals {
+		if err := c.Register("pdgesv", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		res, err := c.Discover("pdgesv")
+		if err != nil || !res.Found {
+			t.Fatalf("discover: %v", err)
+		}
+		want := []string{"ep-a", "ep-b", "ep-c", "ep-d"}
+		if len(res.Values) != len(want) {
+			t.Fatalf("values = %v", res.Values)
+		}
+		for j := range want {
+			if res.Values[j] != want[j] {
+				t.Fatalf("values not sorted on the wire: %v", res.Values)
+			}
+		}
+	}
+}
+
+// TestFrameRoundTrip pins the frame codec: request and response
+// survive an encode/decode round-trip byte for byte.
+func TestFrameRoundTrip(t *testing.T) {
+	req := request{Key: "pdgesv", At: "pd", GoingUp: true,
+		Logical: 7, Physical: 3, Redirects: 2}
+	buf := appendRequest(nil, &req)
+	var got request
+	if err := decodeRequest(buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != req {
+		t.Fatalf("request round-trip: got %+v want %+v", got, req)
+	}
+
+	resp := response{Found: true, Values: []string{"a", "b"},
+		Logical: 9, Physical: 4, Err: "boom"}
+	buf = appendResponse(nil, &resp)
+	var gotR response
+	if err := decodeResponse(buf, &gotR); err != nil {
+		t.Fatal(err)
+	}
+	if gotR.Found != resp.Found || gotR.Logical != resp.Logical ||
+		gotR.Physical != resp.Physical || gotR.Err != resp.Err ||
+		len(gotR.Values) != 2 || gotR.Values[0] != "a" || gotR.Values[1] != "b" {
+		t.Fatalf("response round-trip: got %+v want %+v", gotR, resp)
+	}
+
+	var truncated request
+	if err := decodeRequest(buf[:1], &truncated); err == nil {
+		t.Fatal("truncated payload decoded without error")
+	}
+}

@@ -1,10 +1,12 @@
 // Package transport runs the DLPT discovery path over real TCP
 // connections: every peer owns a loopback listener, and discovery
-// requests hop peer-to-peer as gob-encoded messages, each hop relayed
-// as a nested request/response along the tree route. It demonstrates
-// the overlay as a deployable network service (the Grid'5000
-// prototype the paper leaves as future work) and exercises the
-// protocol under real sockets in the tests.
+// requests hop peer-to-peer as length-prefixed binary frames (see
+// frame.go) multiplexed over persistent connections (see pool.go) —
+// each hop is one request/response round-trip on the shared socket
+// to the next peer along the tree route. It demonstrates the overlay
+// as a deployable network service (the Grid'5000 prototype the paper
+// leaves as future work) and exercises the protocol under real
+// sockets in the tests.
 //
 // Topology and tree state are shared through the embedded protocol
 // core exactly as in internal/live; what travels on the wire is the
@@ -13,14 +15,12 @@ package transport
 
 import (
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"math/rand"
 	"net"
 	"sort"
 	"sync"
-	"time"
 
 	"dlpt/internal/core"
 	"dlpt/internal/keys"
@@ -64,11 +64,51 @@ type Result struct {
 	PhysicalHops int
 }
 
-// peerServer is one peer's TCP endpoint.
+// peerServer is one peer's TCP endpoint. Accepted connections are
+// persistent (one per remote client, many in-flight requests) and
+// tracked so removing or crashing the peer can close them: a pooled
+// client connection to a dead peer must fail fast, not linger.
 type peerServer struct {
 	id   keys.Key
 	addr string
 	ln   net.Listener
+
+	cmu    sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// track registers an accepted connection; it reports false when the
+// server already closed (the caller drops the connection).
+func (ps *peerServer) track(conn net.Conn) bool {
+	ps.cmu.Lock()
+	defer ps.cmu.Unlock()
+	if ps.closed {
+		return false
+	}
+	ps.conns[conn] = struct{}{}
+	return true
+}
+
+func (ps *peerServer) untrack(conn net.Conn) {
+	ps.cmu.Lock()
+	delete(ps.conns, conn)
+	ps.cmu.Unlock()
+}
+
+// close shuts the listener and every accepted connection down.
+func (ps *peerServer) close() {
+	ps.cmu.Lock()
+	ps.closed = true
+	conns := make([]net.Conn, 0, len(ps.conns))
+	for conn := range ps.conns {
+		conns = append(conns, conn)
+	}
+	ps.cmu.Unlock()
+	_ = ps.ln.Close()
+	for _, conn := range conns {
+		_ = conn.Close()
+	}
 }
 
 // Cluster is an overlay whose peers communicate over TCP.
@@ -78,6 +118,7 @@ type Cluster struct {
 	rng   *rand.Rand
 	addrs map[keys.Key]string
 
+	pool    *connPool
 	servers []*peerServer
 	wg      sync.WaitGroup
 	quit    chan struct{}
@@ -99,6 +140,7 @@ func Start(alpha *keys.Alphabet, capacities []int, seed int64) (*Cluster, error)
 		addrs: make(map[keys.Key]string),
 		quit:  make(chan struct{}),
 	}
+	c.pool = newConnPool(c.quit, &c.wg)
 	for _, capacity := range capacities {
 		if _, err := c.AddPeer(capacity); err != nil {
 			c.Stop()
@@ -132,7 +174,8 @@ func (c *Cluster) AddPeer(capacity int) (keys.Key, error) {
 		c.mu.Unlock()
 		return "", err
 	}
-	ps := &peerServer{id: id, addr: ln.Addr().String(), ln: ln}
+	ps := &peerServer{id: id, addr: ln.Addr().String(), ln: ln,
+		conns: make(map[net.Conn]struct{})}
 	c.addrs[id] = ps.addr
 	c.servers = append(c.servers, ps)
 	c.mu.Unlock()
@@ -156,11 +199,9 @@ func (c *Cluster) RemovePeer(id keys.Key) error {
 		c.mu.Unlock()
 		return err
 	}
-	ln := c.dropServerLocked(id)
+	ps := c.dropServerLocked(id)
 	c.mu.Unlock()
-	if ln != nil {
-		_ = ln.Close()
-	}
+	c.dropEndpoint(ps)
 	return nil
 }
 
@@ -177,25 +218,35 @@ func (c *Cluster) FailPeer(id keys.Key) error {
 		c.mu.Unlock()
 		return err
 	}
-	ln := c.dropServerLocked(id)
+	ps := c.dropServerLocked(id)
 	c.mu.Unlock()
-	if ln != nil {
-		_ = ln.Close()
-	}
+	c.dropEndpoint(ps)
 	return nil
 }
 
 // dropServerLocked removes the listener bookkeeping for id and
-// returns its listener for closing. Callers hold c.mu.
-func (c *Cluster) dropServerLocked(id keys.Key) net.Listener {
+// returns its server for closing. Callers hold c.mu.
+func (c *Cluster) dropServerLocked(id keys.Key) *peerServer {
 	delete(c.addrs, id)
 	for i, ps := range c.servers {
 		if ps.id == id {
 			c.servers = append(c.servers[:i], c.servers[i+1:]...)
-			return ps.ln
+			return ps
 		}
 	}
 	return nil
+}
+
+// dropEndpoint tears a departed peer's endpoint down: listener,
+// accepted server connections, and the pooled client connection.
+// Relays holding the stale address fail fast and re-resolve through
+// the redirect/retry bounds instead of waiting on a dead socket.
+func (c *Cluster) dropEndpoint(ps *peerServer) {
+	if ps == nil {
+		return
+	}
+	ps.close()
+	c.pool.evict(ps.addr)
 }
 
 // Recover restores crashed node state from the replica store and
@@ -311,7 +362,9 @@ func (c *Cluster) ReplicationStats() core.ReplicationCounters {
 	return c.net.Replication
 }
 
-// serve accepts and handles connections for one peer.
+// serve accepts and handles connections for one peer. Connections
+// are persistent: each carries many multiplexed requests over its
+// lifetime and closes only when a side goes away.
 func (c *Cluster) serve(ps *peerServer) {
 	defer c.wg.Done()
 	for {
@@ -319,42 +372,119 @@ func (c *Cluster) serve(ps *peerServer) {
 		if err != nil {
 			return // listener closed
 		}
+		if !ps.track(conn) {
+			_ = conn.Close() // peer departed while accepting
+			continue
+		}
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
 			defer conn.Close()
-			c.handle(ps, conn)
+			defer ps.untrack(conn)
+			c.handleConn(ps, conn)
 		}()
 	}
 }
 
-// handle processes one request on conn: perform routing steps local
-// to this peer, then either answer or relay through the next peer.
+// serverConn is the per-connection server state: the framed socket
+// plus the table of in-flight requests a CANCEL frame can abort.
+type serverConn struct {
+	fc     *frameConn
+	amu    sync.Mutex
+	active map[uint64]context.CancelFunc
+}
+
+// serverReq is one decoded REQUEST frame handed to a worker.
+type serverReq struct {
+	id     uint64
+	self   keys.Key
+	req    request
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// handleConn serves one persistent connection: REQUEST frames start a
+// routing step each (concurrently — many relays share the socket),
+// RESPONSE frames carry the results back under the request's id, and
+// a CANCEL frame aborts the matching in-flight step. Closing the
+// connection cancels everything still active, so a crashed client
+// still tears its relay chains down hop by hop.
 //
-// After the request is decoded, the requester sends nothing further
-// until the response; a pending Read therefore only returns when the
-// requester closed the connection (cancellation upstream) — that read
-// drives a per-request context, so cancellation cascades hop by hop
-// down the whole in-flight relay chain.
-func (c *Cluster) handle(ps *peerServer, conn net.Conn) {
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	var req request
-	if err := dec.Decode(&req); err != nil {
-		return
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
+// Requests are handed to a persistent per-connection worker whose
+// warm stack absorbs the routing recursion (a fresh goroutine per
+// request re-pays stack growth on every hop); when the worker is busy
+// with an earlier request, a transient goroutine takes the overflow
+// so multiplexed requests never queue behind each other.
+func (c *Cluster) handleConn(ps *peerServer, conn net.Conn) {
+	sc := &serverConn{fc: newFrameConn(conn), active: make(map[uint64]context.CancelFunc)}
+	work := make(chan serverReq)
+	defer close(work)
+	c.wg.Add(1)
 	go func() {
-		var buf [1]byte
-		_, _ = conn.Read(buf[:]) // unblocks only on close/error
-		cancel()
+		defer c.wg.Done()
+		for item := range work {
+			c.serveReq(sc, item)
+		}
 	}()
-	c.mu.RLock()
-	self := ps.id // balancing renames write ps.id under the write lock
-	c.mu.RUnlock()
-	resp := c.step(ctx, self, req)
-	_ = enc.Encode(resp)
+	defer func() {
+		sc.amu.Lock()
+		for _, cancel := range sc.active {
+			cancel()
+		}
+		sc.amu.Unlock()
+	}()
+	for {
+		typ, id, payload, err := sc.fc.readFrame()
+		if err != nil {
+			return // connection closed (client gone, peer dropped, Stop)
+		}
+		switch typ {
+		case frameRequest:
+			var req request
+			if err := decodeRequest(payload, &req); err != nil {
+				return // protocol violation: drop the connection
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			sc.amu.Lock()
+			sc.active[id] = cancel
+			sc.amu.Unlock()
+			c.mu.RLock()
+			self := ps.id // balancing renames write ps.id under the write lock
+			c.mu.RUnlock()
+			item := serverReq{id: id, self: self, req: req, ctx: ctx, cancel: cancel}
+			select {
+			case work <- item: // idle worker takes it
+			default: // worker busy: overflow goroutine keeps the stream moving
+				c.wg.Add(1)
+				go func() {
+					defer c.wg.Done()
+					c.serveReq(sc, item)
+				}()
+			}
+		case frameCancel:
+			sc.amu.Lock()
+			if cancel, ok := sc.active[id]; ok {
+				cancel()
+			}
+			sc.amu.Unlock()
+		}
+	}
+}
+
+// serveReq runs one routing step and writes its RESPONSE frame. A
+// result too large for one frame degrades to an in-band error so the
+// requester fails cleanly instead of timing out on a silent drop.
+func (c *Cluster) serveReq(sc *serverConn, item serverReq) {
+	resp := c.step(item.ctx, item.self, item.req)
+	sc.amu.Lock()
+	delete(sc.active, item.id)
+	sc.amu.Unlock()
+	item.cancel()
+	if err := sc.fc.writeResponse(item.id, &resp); errors.Is(err, errFrameTooLarge) {
+		resp = response{Err: errFrameTooLarge.Error(),
+			Logical: resp.Logical, Physical: resp.Physical}
+		_ = sc.fc.writeResponse(item.id, &resp)
+	}
 }
 
 // step executes routing at the peer owning the current node, relaying
@@ -396,6 +526,10 @@ func (c *Cluster) step(ctx context.Context, self keys.Key, req request) response
 				for v := range node.Data {
 					values = append(values, v)
 				}
+				// Map iteration order is random: sort so wire
+				// responses are deterministic, matching the
+				// byte-identical cross-engine contract.
+				sort.Strings(values)
 			}
 		} else {
 			if req.GoingUp && keys.IsPrefix(node.Key, req.Key) {
@@ -434,39 +568,53 @@ func (c *Cluster) step(ctx context.Context, self keys.Key, req request) response
 	}
 }
 
-// relay forwards the request to addr and returns the relayed
-// response. Cancelling ctx (or stopping the cluster) closes the
-// connection, unblocking the pending decode and propagating the
-// cancellation to the remote peer's request monitor.
+// relay forwards the request over the pooled connection to addr and
+// returns the relayed response. Cancelling ctx sends a CANCEL frame
+// (freeing the remote stream, keeping the shared connection) and
+// returns the context error.
+//
+// A transport failure — dial refused, write or read on a broken
+// socket — means the address was stale: the peer behind it departed,
+// crashed, or a Balance round renamed the routing identities while
+// the hop was resolving. The pool has already evicted the dead
+// connection by then, so relay re-resolves the node's current host
+// once and retries on a fresh dial (the routing step is an
+// idempotent read, so the retry is safe even if the first attempt
+// was partially processed).
 func (c *Cluster) relay(ctx context.Context, addr string, req request) response {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
+	resp, err := c.relayOnce(ctx, addr, req)
+	if err == nil {
+		return resp
+	}
+	if ctx.Err() != nil || errors.Is(err, ErrStopped) {
+		return response{Err: err.Error()}
+	}
+	select {
+	case <-c.quit:
+		return response{Err: ErrStopped.Error()}
+	default:
+	}
+	c.mu.RLock()
+	host, ok := c.net.HostOf(req.At)
+	retryAddr := c.addrs[host]
+	c.mu.RUnlock()
+	if !ok || retryAddr == "" {
+		return response{Err: err.Error()}
+	}
+	resp, err = c.relayOnce(ctx, retryAddr, req)
 	if err != nil {
 		return response{Err: err.Error()}
 	}
-	defer conn.Close()
-	done := make(chan struct{})
-	defer close(done)
-	go func() {
-		select {
-		case <-ctx.Done():
-		case <-c.quit:
-		case <-done:
-			return
-		}
-		_ = conn.SetDeadline(time.Now())
-		_ = conn.Close()
-	}()
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
-	if err := enc.Encode(req); err != nil {
-		return response{Err: err.Error()}
-	}
-	var resp response
-	if err := dec.Decode(&resp); err != nil {
-		return response{Err: err.Error()}
-	}
 	return resp
+}
+
+// relayOnce performs one round-trip on the shared connection to addr.
+func (c *Cluster) relayOnce(ctx context.Context, addr string, req request) (response, error) {
+	pc, err := c.pool.get(ctx, addr)
+	if err != nil {
+		return response{}, err
+	}
+	return c.pool.roundTrip(ctx, pc, &req)
 }
 
 // Register declares a service (topology mutation, serialized).
@@ -518,8 +666,9 @@ func (c *Cluster) Discover(key keys.Key) (Result, error) {
 }
 
 // DiscoverContext is Discover under a caller context: cancelling ctx
-// closes the in-flight connections hop by hop and returns the context
-// error.
+// sends CANCEL frames down the in-flight relay chain hop by hop —
+// freeing each stream while the pooled connections survive — and
+// returns the context error.
 func (c *Cluster) DiscoverContext(ctx context.Context, key keys.Key) (Result, error) {
 	select {
 	case <-c.quit:
@@ -626,15 +775,27 @@ func (c *Cluster) Validate() error {
 	return c.net.Validate()
 }
 
-// Stop closes every listener and waits for handlers to finish.
+// PoolStats reports the client connection pool's live connection and
+// lifetime dial counts — the amortization the persistent wire
+// protocol exists for (and the leak check: zero connections after
+// Stop).
+func (c *Cluster) PoolStats() (conns int, dials int64) {
+	return c.pool.size(), c.pool.dials.Load()
+}
+
+// Stop closes every listener, server connection and pooled client
+// connection, then waits for handlers and demux loops to finish; the
+// pool drains to zero.
 func (c *Cluster) Stop() {
 	c.once.Do(func() {
 		close(c.quit)
 		c.mu.Lock()
-		for _, ps := range c.servers {
-			_ = ps.ln.Close()
-		}
+		servers := append([]*peerServer(nil), c.servers...)
 		c.mu.Unlock()
+		for _, ps := range servers {
+			ps.close()
+		}
+		c.pool.closeAll()
 	})
 	c.wg.Wait()
 }
