@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"dlpt/engine"
 	"dlpt/engine/local"
 	"dlpt/internal/attrs"
 	"dlpt/internal/core"
@@ -522,6 +523,58 @@ func BenchmarkEngineRange(b *testing.B) {
 				ks, err := reg.Range(ctx, "pd", "pz", 0)
 				if err != nil || len(ks) == 0 {
 					b.Fatalf("empty range on %s", kind)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineFirstResult measures time-to-first-key of an
+// unlimited streaming completion on every engine: the stream is
+// closed after one result, cancelling the traversal behind it.
+func BenchmarkEngineFirstResult(b *testing.B) {
+	ctx := context.Background()
+	for _, kind := range []EngineKind{EngineLocal, EngineLive, EngineTCP} {
+		b.Run(string(kind), func(b *testing.B) {
+			reg, _ := benchEngineRegistry(b, kind, 16, 2000)
+			eng := reg.Engine()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := eng.Query(ctx, engine.Query{Kind: engine.QueryComplete})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, ok := s.Next(); !ok {
+					b.Fatalf("no first result on %s", kind)
+				}
+				s.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkEngineCompleteLimit10 measures a limit-10 streaming
+// completion over a large keyspace on every engine — the pushdown
+// path that stops the traversal after ten matches instead of
+// materializing thousands.
+func BenchmarkEngineCompleteLimit10(b *testing.B) {
+	ctx := context.Background()
+	for _, kind := range []EngineKind{EngineLocal, EngineLive, EngineTCP} {
+		b.Run(string(kind), func(b *testing.B) {
+			reg, _ := benchEngineRegistry(b, kind, 16, 5000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				for _, err := range reg.CompleteSeq(ctx, "", 10) {
+					if err != nil {
+						b.Fatal(err)
+					}
+					n++
+				}
+				if n != 10 {
+					b.Fatalf("limit-10 completion yielded %d keys on %s", n, kind)
 				}
 			}
 		})

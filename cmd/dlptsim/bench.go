@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"dlpt"
+	"dlpt/engine"
 	"dlpt/internal/keys"
 	"dlpt/internal/workload"
 )
@@ -34,19 +35,33 @@ type benchResult struct {
 	RangeBytesPerOp      int64   `json:"range_bytes_per_op"`
 	LogicalHopsPerOp     float64 `json:"logical_hops_per_op"`
 	PhysicalHopsPerOp    float64 `json:"physical_hops_per_op"`
+
+	// Streaming-query metrics, measured on the large keyspace
+	// (LimitKeys declared keys): time to the first key of an
+	// unlimited streaming completion (early exit after one result),
+	// a drained limit-10 completion, and the node visits of the
+	// limited walk versus the full walk — the limit pushdown the
+	// streaming API exists for.
+	FirstResultNsPerOp     int64   `json:"first_result_ns_per_op"`
+	LimitCompleteNsPerOp   int64   `json:"limit_complete_ns_per_op"`
+	LimitNodesVisitedPerOp float64 `json:"limit_nodes_visited_per_op"`
+	FullNodesVisited       int64   `json:"full_nodes_visited"`
 }
 
 // benchReport is the whole run: workload scale, environment, one
 // result per engine. The schema is the perf trajectory consumed by
 // tooling comparing BENCH_engines.json across commits.
 type benchReport struct {
-	Peers       int           `json:"peers"`
-	Keys        int           `json:"keys"`
-	Discoveries int           `json:"discoveries"`
-	Ranges      int           `json:"ranges"`
-	Seed        int64         `json:"seed"`
-	GoVersion   string        `json:"go_version"`
-	Results     []benchResult `json:"results"`
+	Peers       int `json:"peers"`
+	Keys        int `json:"keys"`
+	Discoveries int `json:"discoveries"`
+	Ranges      int `json:"ranges"`
+	// LimitKeys is the keyspace of the streaming limit-pushdown
+	// measurements (first_result / limit_complete).
+	LimitKeys int           `json:"limit_keys"`
+	Seed      int64         `json:"seed"`
+	GoVersion string        `json:"go_version"`
+	Results   []benchResult `json:"results"`
 }
 
 // regressionFactor is the perf gate: a latency metric more than this
@@ -147,7 +162,12 @@ func checkBaseline(rep *benchReport, base *benchReport, path string, w io.Writer
 			{"register_ns_per_key", b.RegisterNsPerKey, cur.RegisterNsPerKey},
 			{"discover_ns_per_op", b.DiscoverNsPerOp, cur.DiscoverNsPerOp},
 			{"range_ns_per_op", b.RangeNsPerOp, cur.RangeNsPerOp},
+			{"first_result_ns_per_op", b.FirstResultNsPerOp, cur.FirstResultNsPerOp},
+			{"limit_complete_ns_per_op", b.LimitCompleteNsPerOp, cur.LimitCompleteNsPerOp},
 		} {
+			if m.base == 0 {
+				continue // metric absent from an older baseline schema
+			}
 			ratio := float64(m.cur) / float64(m.base)
 			verdict := "ok"
 			if float64(m.cur) > regressionFactor*float64(m.base) &&
@@ -173,8 +193,10 @@ func checkBaseline(rep *benchReport, base *benchReport, path string, w io.Writer
 // experiment and returns structured timings.
 func measureEngines(quick bool, seed int64) (*benchReport, error) {
 	peers, nkeys, queries := 32, 400, 2000
+	limitKeys := 10000
 	if quick {
 		peers, nkeys, queries = 8, 120, 300
+		limitKeys = 1500
 	}
 	corpus := workload.GridCorpus(nkeys)
 	batch := make([]dlpt.Registration, len(corpus))
@@ -186,6 +208,7 @@ func measureEngines(quick bool, seed int64) (*benchReport, error) {
 		Keys:        nkeys,
 		Discoveries: queries,
 		Ranges:      queries / 10,
+		LimitKeys:   limitKeys,
 		Seed:        seed,
 		GoVersion:   runtime.Version(),
 	}
@@ -203,9 +226,108 @@ func measureEngines(quick bool, seed int64) (*benchReport, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := measureLimit(ctx, kind, seed, peers, limitKeys, &res); err != nil {
+			return nil, err
+		}
 		rep.Results = append(rep.Results, res)
 	}
 	return rep, nil
+}
+
+// measureLimit runs the large-keyspace limit-pushdown workload on a
+// fresh overlay: time-to-first-result of an unlimited streaming
+// completion (early exit after one key) and a drained limit-10
+// completion, plus the node-visit counts that make the pushdown
+// visible next to the full walk's.
+func measureLimit(ctx context.Context, kind dlpt.EngineKind, seed int64,
+	peers, limitKeys int, res *benchResult) error {
+
+	reg, err := dlpt.New(peers,
+		dlpt.WithSeed(seed),
+		dlpt.WithAlphabet(keys.LowerAlnum),
+		dlpt.WithEngine(kind))
+	if err != nil {
+		return err
+	}
+	defer reg.Close()
+	corpus := workload.GridCorpus(limitKeys)
+	batch := make([]dlpt.Registration, len(corpus))
+	for i, k := range corpus {
+		batch[i] = dlpt.Registration{Name: string(k), Endpoint: "ep"}
+	}
+	if err := reg.RegisterBatch(ctx, batch); err != nil {
+		return err
+	}
+	eng := reg.Engine()
+
+	full, err := engine.CollectQuery(ctx, eng, engine.Query{Kind: engine.QueryComplete})
+	if err != nil {
+		return err
+	}
+	if len(full.Keys) != limitKeys {
+		return fmt.Errorf("%s: full streaming walk yielded %d of %d keys",
+			kind, len(full.Keys), limitKeys)
+	}
+	fullStream, err := eng.Query(ctx, engine.Query{Kind: engine.QueryComplete})
+	if err != nil {
+		return err
+	}
+	for {
+		if _, ok := fullStream.Next(); !ok {
+			break
+		}
+	}
+	res.FullNodesVisited = int64(fullStream.Stats().NodesVisited)
+	fullStream.Close()
+
+	// The registration and full-drain phases above leave the heap near
+	// a collection trigger; collect before each timed loop so a GC
+	// pause does not land inside it (these metrics feed the 2x gate
+	// and the loops are short). reps amortizes the rest.
+	const reps = 200
+	runtime.GC()
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		s, err := eng.Query(ctx, engine.Query{Kind: engine.QueryComplete})
+		if err != nil {
+			return err
+		}
+		if _, ok := s.Next(); !ok {
+			s.Close()
+			return fmt.Errorf("%s: streaming completion yielded no first result", kind)
+		}
+		s.Close() // early exit: the traversal behind the rest is cancelled
+	}
+	res.FirstResultNsPerOp = time.Since(start).Nanoseconds() / reps
+
+	var visited int64
+	runtime.GC()
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		s, err := eng.Query(ctx, engine.Query{Kind: engine.QueryComplete, Limit: 10})
+		if err != nil {
+			return err
+		}
+		n := 0
+		for {
+			if _, ok := s.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if err := s.Err(); err != nil {
+			s.Close()
+			return err
+		}
+		visited += int64(s.Stats().NodesVisited)
+		s.Close()
+		if n != 10 {
+			return fmt.Errorf("%s: limit-10 completion yielded %d keys", kind, n)
+		}
+	}
+	res.LimitCompleteNsPerOp = time.Since(start).Nanoseconds() / reps
+	res.LimitNodesVisitedPerOp = float64(visited) / float64(reps)
+	return nil
 }
 
 // memCounters collects and reads the process-wide cumulative

@@ -2,6 +2,7 @@ package dlpt
 
 import (
 	"context"
+	"iter"
 
 	"dlpt/internal/attrs"
 )
@@ -76,8 +77,26 @@ func (d *Directory) UnregisterResource(ctx context.Context, id string) (bool, er
 }
 
 // Find returns the ids of resources matching every predicate, in
-// order, with the aggregate routing cost.
+// order, with the aggregate routing cost. It is a thin wrapper
+// draining the same incremental evaluation FindSeq streams.
 func (d *Directory) Find(ctx context.Context, preds ...Where) ([]string, QueryStats, error) {
+	ids, cost, err := d.inner.Query(ctx, toPredicates(preds)...)
+	return ids, QueryStats{TreeHops: cost.LogicalHops, CrossPeerOps: cost.PhysicalHops}, err
+}
+
+// FindSeq streams the ids of resources matching every predicate as
+// the conjunctive intersection discovers them: the predicate with the
+// fewest candidate attribute keys drives the evaluation and the other
+// conjuncts are consumed only as far as the membership tests demand,
+// so breaking out of the loop early leaves the remaining per-key
+// discoveries unissued. Ids arrive in driver order (by candidate
+// attribute key, then id) — drain and sort, or use Find, when
+// lexicographic order matters.
+func (d *Directory) FindSeq(ctx context.Context, preds ...Where) iter.Seq2[string, error] {
+	return iter.Seq2[string, error](d.inner.QuerySeq(ctx, toPredicates(preds)...))
+}
+
+func toPredicates(preds []Where) []attrs.Predicate {
 	ps := make([]attrs.Predicate, len(preds))
 	for i, p := range preds {
 		ps[i] = attrs.Predicate{
@@ -85,8 +104,7 @@ func (d *Directory) Find(ctx context.Context, preds ...Where) ([]string, QuerySt
 			Lo: p.Min, Hi: p.Max,
 		}
 	}
-	ids, cost, err := d.inner.Query(ctx, ps...)
-	return ids, QueryStats{TreeHops: cost.LogicalHops, CrossPeerOps: cost.PhysicalHops}, err
+	return ps
 }
 
 // Describe returns the registered attributes of a resource.

@@ -33,6 +33,17 @@
 // in-flight routed traversals on the concurrent backends and returns
 // the context error.
 //
+// # Streaming queries
+//
+// Completion and range queries are result streams with limit
+// pushdown: CompleteSeq, RangeSeq, ServicesSeq and Directory.FindSeq
+// return Go iterators (iter.Seq2[string, error]) that yield matches
+// in lexicographic order as the tree traversal discovers them and
+// stop traversing once the limit is reached or the consumer breaks
+// out of the loop. The slice methods (Complete, Range, Find) are
+// thin wrappers draining the same streams. See engine.Query and
+// engine.Stream for the contract the backends implement.
+//
 // # Membership and churn
 //
 // Peer lifecycle is engine-portable: AddPeerWithCapacity grows the
@@ -40,7 +51,10 @@
 // Recover implement the paper's fault model over a Replicate snapshot
 // tick, and Tick/Balance run the periodic MLT balancing step. The
 // churn package drives all of this as a seeded workload over any
-// engine.
+// engine. WithJoinPlacement runs a load-balancing strategy's join
+// placement (e.g. k-choices) on every engine, and WithCapacityGating
+// enforces per-peer capacity on the discovery path (Section 4's
+// request model): saturated peers drop requests until the next Tick.
 //
 // The Registry type below is the service-discovery API and Directory
 // (directory.go) the multi-attribute resource-discovery API; both run
@@ -53,6 +67,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"iter"
 	"sort"
 
 	"dlpt/engine"
@@ -118,6 +133,8 @@ type options struct {
 	capacities []int
 	factory    engine.Factory
 	kind       EngineKind
+	placement  string
+	gated      bool
 }
 
 // Option configures New and NewDirectory.
@@ -156,9 +173,32 @@ func WithEngineFactory(f engine.Factory) Option {
 	return func(o *options) { o.factory = f }
 }
 
+// WithJoinPlacement names the load-balancing strategy whose join
+// placement picks ring identifiers for joining peers ("KC" runs
+// k-choices, as in the paper's dynamic scenarios) on every engine —
+// the simulator-only placement hook promoted to the deployment
+// backends. The default draws uniformly random identifiers.
+func WithJoinPlacement(strategy string) Option {
+	return func(o *options) { o.placement = strategy }
+}
+
+// WithCapacityGating enforces per-peer capacity on the discovery
+// path: every discovery visit consumes capacity and a saturated peer
+// drops the request — Discover then returns ErrSaturated until Tick
+// starts the next time unit. This is Section 4's request model,
+// available on every engine; the default leaves discoveries ungated.
+func WithCapacityGating() Option {
+	return func(o *options) { o.gated = true }
+}
+
 // ErrClosed is returned by operations on a closed Registry or
 // Directory.
 var ErrClosed = engine.ErrClosed
+
+// ErrSaturated is returned by Discover on a capacity-gated overlay
+// (WithCapacityGating) when a peer on the routing path has exhausted
+// its per-time-unit capacity; compare with errors.Is.
+var ErrSaturated = engine.ErrSaturated
 
 // buildEngine resolves options into a running engine.
 func buildEngine(numPeers int, opts []Option) (engine.Engine, *keys.Alphabet, error) {
@@ -190,9 +230,11 @@ func buildEngine(numPeers int, opts []Option) (engine.Engine, *keys.Alphabet, er
 		}
 	}
 	eng, err := factory(engine.Config{
-		Alphabet:   o.alphabet,
-		Capacities: caps,
-		Seed:       o.seed,
+		Alphabet:      o.alphabet,
+		Capacities:    caps,
+		Seed:          o.seed,
+		JoinPlacement: o.placement,
+		GateCapacity:  o.gated,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -286,27 +328,76 @@ func (r *Registry) Discover(ctx context.Context, name string) (Service, bool, er
 	}, true, nil
 }
 
-// Complete returns up to limit declared service names extending the
-// given prefix, in lexicographic order (the paper's automatic
-// completion of partial search strings), resolved by a routed subtree
-// traversal. limit <= 0 means no limit.
-func (r *Registry) Complete(ctx context.Context, prefix string, limit int) ([]string, error) {
-	res, err := r.eng.Complete(ctx, prefix)
+// seq adapts an engine query to a Go iterator: the stream is opened
+// lazily on first iteration and closed on every exit path, so
+// breaking out of the loop halts the underlying traversal.
+func seq(ctx context.Context, eng engine.Engine, q engine.Query) iter.Seq2[string, error] {
+	return func(yield func(string, error) bool) {
+		s, err := eng.Query(ctx, q)
+		if err != nil {
+			yield("", err)
+			return
+		}
+		defer s.Close()
+		for {
+			k, ok := s.Next()
+			if !ok {
+				if err := s.Err(); err != nil {
+					yield("", err)
+				}
+				return
+			}
+			if !yield(k, nil) {
+				return
+			}
+		}
+	}
+}
+
+// drain collects an engine query into a slice — the slice methods
+// below are thin wrappers over the same streams the Seq methods
+// expose, so both paths cannot diverge.
+func drain(ctx context.Context, eng engine.Engine, q engine.Query) ([]string, error) {
+	res, err := engine.CollectQuery(ctx, eng, q)
 	if err != nil {
 		return nil, err
 	}
-	return clip(res.Keys, limit), nil
+	return res.Keys, nil
+}
+
+// Complete returns up to limit declared service names extending the
+// given prefix, in lexicographic order (the paper's automatic
+// completion of partial search strings), resolved by a routed subtree
+// traversal. limit <= 0 means no limit. It is a thin wrapper draining
+// CompleteSeq's stream.
+func (r *Registry) Complete(ctx context.Context, prefix string, limit int) ([]string, error) {
+	return drain(ctx, r.eng, engine.Query{Kind: engine.QueryComplete, Prefix: prefix, Limit: limit})
+}
+
+// CompleteSeq streams the declared service names extending prefix in
+// lexicographic order as the routed subtree traversal discovers them.
+// The traversal stops as soon as limit results have been yielded
+// (limit <= 0 streams every match) or the consumer breaks out of the
+// loop — it never materializes the full match set first, so a
+// limit-10 completion over millions of keys pays for ten results, not
+// millions.
+func (r *Registry) CompleteSeq(ctx context.Context, prefix string, limit int) iter.Seq2[string, error] {
+	return seq(ctx, r.eng, engine.Query{Kind: engine.QueryComplete, Prefix: prefix, Limit: limit})
 }
 
 // Range returns up to limit declared service names in [lo, hi], in
 // lexicographic order, resolved by a routed subtree traversal.
-// limit <= 0 means no limit.
+// limit <= 0 means no limit. It is a thin wrapper draining RangeSeq's
+// stream.
 func (r *Registry) Range(ctx context.Context, lo, hi string, limit int) ([]string, error) {
-	res, err := r.eng.Range(ctx, lo, hi)
-	if err != nil {
-		return nil, err
-	}
-	return clip(res.Keys, limit), nil
+	return drain(ctx, r.eng, engine.Query{Kind: engine.QueryRange, Lo: lo, Hi: hi, Limit: limit})
+}
+
+// RangeSeq streams the declared service names in [lo, hi] in
+// lexicographic order as the routed subtree traversal discovers them,
+// with the same early-termination contract as CompleteSeq.
+func (r *Registry) RangeSeq(ctx context.Context, lo, hi string, limit int) iter.Seq2[string, error] {
+	return seq(ctx, r.eng, engine.Query{Kind: engine.QueryRange, Lo: lo, Hi: hi, Limit: limit})
 }
 
 // Endpoints returns the endpoints registered under name via a
@@ -328,7 +419,8 @@ func (r *Registry) Endpoints(ctx context.Context, name string) ([]string, error)
 	return out, nil
 }
 
-// Services returns every declared service name in order.
+// Services returns every declared service name in order, via a
+// consistent snapshot (no routing cost).
 func (r *Registry) Services(ctx context.Context) ([]string, error) {
 	snap, err := r.eng.Snapshot(ctx)
 	if err != nil {
@@ -340,6 +432,16 @@ func (r *Registry) Services(ctx context.Context) ([]string, error) {
 		out[i] = string(k)
 	}
 	return out, nil
+}
+
+// ServicesSeq streams every declared service name in lexicographic
+// order through a routed traversal of the whole tree. Unlike
+// Services (a whole-catalogue snapshot read) the stream is
+// incremental: breaking out of the loop halts the traversal, so
+// paging through the first screen of a huge catalogue does not walk
+// all of it.
+func (r *Registry) ServicesSeq(ctx context.Context) iter.Seq2[string, error] {
+	return seq(ctx, r.eng, engine.Query{Kind: engine.QueryComplete})
 }
 
 // AddPeer grows the overlay by one peer of effectively unbounded
@@ -419,10 +521,3 @@ func (r *Registry) NumNodes() int { return r.eng.NumNodes() }
 // rule, PGCP tree structure); it is exposed for operational
 // diagnostics and tests.
 func (r *Registry) Validate(ctx context.Context) error { return r.eng.Validate(ctx) }
-
-func clip(ks []string, limit int) []string {
-	if limit > 0 && len(ks) > limit {
-		ks = ks[:limit]
-	}
-	return ks
-}

@@ -30,6 +30,12 @@ import (
 // ErrClosed is returned by every operation on a closed engine.
 var ErrClosed = errors.New("dlpt: engine closed")
 
+// ErrSaturated is returned by Discover on a capacity-gated engine
+// (Config.GateCapacity) when a peer on the routing path has exhausted
+// its per-time-unit capacity and dropped the request — Section 4's
+// request model. Tick starts a fresh unit and clears the saturation.
+var ErrSaturated = errors.New("dlpt: peer saturated")
+
 // Entry is one (key, value) registration, the unit of RegisterBatch.
 type Entry struct {
 	Key   string
@@ -55,6 +61,126 @@ type QueryResult struct {
 	Keys         []string
 	LogicalHops  int
 	PhysicalHops int
+}
+
+// QueryKind selects the traversal of a streaming query.
+type QueryKind int
+
+const (
+	// QueryComplete resolves automatic completion of a partial search
+	// string: every declared key extending Prefix.
+	QueryComplete QueryKind = iota
+	// QueryRange resolves the lexicographic range query [Lo, Hi].
+	QueryRange
+)
+
+// Query describes one streaming multi-key query. Limit is pushed
+// down into the tree traversal: the walk stops as soon as Limit
+// matches have been yielded instead of collecting everything and
+// truncating at the top. Limit <= 0 means unlimited.
+type Query struct {
+	Kind   QueryKind
+	Prefix string // QueryComplete
+	Lo, Hi string // QueryRange
+	Limit  int
+}
+
+// QueryStats reports the routing cost a stream has accumulated so
+// far; after the stream is exhausted they are the query's totals.
+type QueryStats struct {
+	// LogicalHops counts tree edges traversed; PhysicalHops the
+	// subset crossing peer boundaries.
+	LogicalHops  int
+	PhysicalHops int
+	// NodesVisited counts tree nodes touched by the traversal — the
+	// direct measure of limit pushdown (a limited stream visits a
+	// fraction of the nodes the full walk would).
+	NodesVisited int
+}
+
+// Stream yields the matches of one Query in lexicographic order as
+// the tree traversal discovers them. Streams are not safe for
+// concurrent use. Close releases the stream's resources and halts
+// the underlying traversal; it is idempotent and must be called
+// (the public iterator wrappers do so on every exit path).
+type Stream interface {
+	// Next returns the next matching key. ok == false means the
+	// stream is exhausted — normally, on error, or after Close; Err
+	// disambiguates.
+	Next() (key string, ok bool)
+	// Err reports the error that terminated the stream early, nil
+	// after a normal end of stream.
+	Err() error
+	// Stats reports the traversal cost accumulated so far.
+	Stats() QueryStats
+	// Close halts the traversal and releases the stream.
+	Close() error
+}
+
+// Querier is the streaming-query surface of an engine; CollectQuery
+// only needs this slice of the contract.
+type Querier interface {
+	Query(ctx context.Context, q Query) (Stream, error)
+}
+
+// CollectQuery drains e.Query(ctx, q) into a QueryResult — the slice
+// path every engine's Complete and Range are thin wrappers over, so
+// old and new paths cannot diverge.
+func CollectQuery(ctx context.Context, e Querier, q Query) (QueryResult, error) {
+	s, err := e.Query(ctx, q)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	defer s.Close()
+	var ks []string
+	for {
+		k, ok := s.Next()
+		if !ok {
+			break
+		}
+		ks = append(ks, k)
+	}
+	if err := s.Err(); err != nil {
+		return QueryResult{}, err
+	}
+	st := s.Stats()
+	return QueryResult{Keys: ks, LogicalHops: st.LogicalHops, PhysicalHops: st.PhysicalHops}, nil
+}
+
+// ListStream is a Stream over an already-materialized result — the
+// easy way for a custom backend (WithEngineFactory) to satisfy the
+// streaming contract before it has a genuinely incremental traversal.
+type ListStream struct {
+	keys  []string
+	stats QueryStats
+	pos   int
+}
+
+// NewListStream wraps keys and their traversal stats in a Stream.
+func NewListStream(keys []string, stats QueryStats) *ListStream {
+	return &ListStream{keys: keys, stats: stats}
+}
+
+// Next implements Stream.
+func (s *ListStream) Next() (string, bool) {
+	if s.pos >= len(s.keys) {
+		return "", false
+	}
+	k := s.keys[s.pos]
+	s.pos++
+	return k, true
+}
+
+// Err implements Stream (a materialized stream cannot fail).
+func (s *ListStream) Err() error { return nil }
+
+// Stats implements Stream.
+func (s *ListStream) Stats() QueryStats { return s.stats }
+
+// Close implements Stream.
+func (s *ListStream) Close() error {
+	s.pos = len(s.keys)
+	return nil
 }
 
 // QueryResultFrom converts an internal key slice plus hop counters
@@ -142,6 +268,17 @@ type Config struct {
 	// Seed fixes the engine's internal randomness (peer identifiers,
 	// discovery entry points).
 	Seed int64
+	// JoinPlacement names the internal/lb strategy whose PlaceJoin
+	// picks ring identifiers for joining peers ("KC", "NoLB", ...),
+	// so k-choices placement runs on every backend, not just the
+	// simulator. Empty keeps the engine's uniform random placement.
+	JoinPlacement string
+	// GateCapacity enforces per-peer capacity on the discovery path:
+	// every discovery visit consumes capacity and a saturated peer
+	// drops the request (Discover returns ErrSaturated) until Tick
+	// starts the next time unit — Section 4's request model on the
+	// deployment engines. Off by default.
+	GateCapacity bool
 }
 
 // Factory constructs an engine from a Config. The root dlpt package
@@ -169,11 +306,21 @@ type Engine interface {
 	Unregister(ctx context.Context, key, value string) (bool, error)
 
 	// Discover routes a discovery request for key through the overlay.
+	// On a capacity-gated engine a saturated peer on the path drops
+	// the request and Discover returns ErrSaturated.
 	Discover(ctx context.Context, key string) (Result, error)
+	// Query starts a streaming multi-key query: the returned Stream
+	// yields matches in lexicographic order as the tree traversal
+	// discovers them and stops traversing once q.Limit results have
+	// been yielded or the consumer closes the stream. Cancelling ctx
+	// aborts the in-flight traversal.
+	Query(ctx context.Context, q Query) (Stream, error)
 	// Complete resolves automatic completion of a partial search
-	// string: every declared key extending prefix.
+	// string: every declared key extending prefix. It is a thin
+	// wrapper draining Query.
 	Complete(ctx context.Context, prefix string) (QueryResult, error)
-	// Range resolves the lexicographic range query [lo, hi].
+	// Range resolves the lexicographic range query [lo, hi]. It is a
+	// thin wrapper draining Query.
 	Range(ctx context.Context, lo, hi string) (QueryResult, error)
 
 	// AddPeer grows the overlay by one peer of the given capacity and

@@ -14,6 +14,7 @@ import (
 	"dlpt/engine"
 	"dlpt/internal/core"
 	"dlpt/internal/keys"
+	"dlpt/internal/lb"
 	ilive "dlpt/internal/live"
 	"dlpt/internal/trie"
 )
@@ -36,7 +37,16 @@ func New(cfg engine.Config) (*Engine, error) {
 	if alpha == nil {
 		alpha = keys.PrintableASCII
 	}
-	c, err := ilive.Start(alpha, cfg.Capacities, cfg.Seed)
+	var opts ilive.Options
+	if cfg.JoinPlacement != "" {
+		strat, err := lb.ByName(cfg.JoinPlacement)
+		if err != nil {
+			return nil, err
+		}
+		opts.Placement = strat
+	}
+	opts.Gate = cfg.GateCapacity
+	c, err := ilive.StartOpts(alpha, cfg.Capacities, cfg.Seed, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -96,7 +106,9 @@ func (e *Engine) Unregister(ctx context.Context, key, value string) (bool, error
 	return e.cluster.Unregister(keys.Key(key), value), nil
 }
 
-// Discover routes a discovery through the peer goroutines.
+// Discover routes a discovery through the peer goroutines. On a
+// capacity-gated engine a saturated peer drops the request and
+// Discover returns ErrSaturated.
 func (e *Engine) Discover(ctx context.Context, key string) (engine.Result, error) {
 	res, err := e.cluster.DiscoverContext(ctx, keys.Key(key))
 	if err != nil {
@@ -108,6 +120,9 @@ func (e *Engine) Discover(ctx context.Context, key string) (engine.Result, error
 		LogicalHops:  res.LogicalHops,
 		PhysicalHops: res.PhysicalHops,
 	}
+	if res.Dropped {
+		return out, engine.ErrSaturated
+	}
 	if res.Found {
 		out.Values = append([]string(nil), res.Values...)
 		sort.Strings(out.Values)
@@ -115,28 +130,57 @@ func (e *Engine) Discover(ctx context.Context, key string) (engine.Result, error
 	return out, nil
 }
 
-// Complete resolves automatic completion of a partial search string.
-func (e *Engine) Complete(ctx context.Context, prefix string) (engine.QueryResult, error) {
-	if err := ctx.Err(); err != nil {
-		return engine.QueryResult{}, err
-	}
-	q, err := e.cluster.Complete(keys.Key(prefix))
-	if err != nil {
-		return engine.QueryResult{}, mapErr(err)
-	}
-	return engine.QueryResultFrom(q.Keys, q.LogicalHops, q.PhysicalHops), nil
+// stream adapts the cluster's QueryStream to the engine contract.
+type stream struct {
+	s *ilive.QueryStream
 }
 
-// Range resolves the lexicographic range query [lo, hi].
-func (e *Engine) Range(ctx context.Context, lo, hi string) (engine.QueryResult, error) {
-	if err := ctx.Err(); err != nil {
-		return engine.QueryResult{}, err
+func (s stream) Next() (string, bool) {
+	k, ok := s.s.Next()
+	return string(k), ok
+}
+
+func (s stream) Err() error { return mapErr(s.s.Err()) }
+
+func (s stream) Stats() engine.QueryStats {
+	st := s.s.Stats()
+	return engine.QueryStats{
+		LogicalHops:  st.LogicalHops,
+		PhysicalHops: st.PhysicalHops,
+		NodesVisited: st.NodesVisited,
 	}
-	q, err := e.cluster.RangeQuery(keys.Key(lo), keys.Key(hi))
+}
+
+func (s stream) Close() error { return s.s.Close() }
+
+// Query starts a streaming query: a walker goroutine advances the
+// traversal in bounded read-locked batches and fans the matches into
+// the stream's channel; closing the stream or cancelling ctx halts
+// the traversal at the next batch boundary.
+func (e *Engine) Query(ctx context.Context, q engine.Query) (engine.Stream, error) {
+	s, err := e.cluster.StreamQuery(ctx, core.QuerySpec{
+		Range:  q.Kind == engine.QueryRange,
+		Prefix: keys.Key(q.Prefix),
+		Lo:     keys.Key(q.Lo),
+		Hi:     keys.Key(q.Hi),
+		Limit:  q.Limit,
+	})
 	if err != nil {
-		return engine.QueryResult{}, mapErr(err)
+		return nil, mapErr(err)
 	}
-	return engine.QueryResultFrom(q.Keys, q.LogicalHops, q.PhysicalHops), nil
+	return stream{s}, nil
+}
+
+// Complete resolves automatic completion of a partial search string
+// by draining an unlimited Query stream.
+func (e *Engine) Complete(ctx context.Context, prefix string) (engine.QueryResult, error) {
+	return engine.CollectQuery(ctx, e, engine.Query{Kind: engine.QueryComplete, Prefix: prefix})
+}
+
+// Range resolves the lexicographic range query [lo, hi] by draining
+// an unlimited Query stream.
+func (e *Engine) Range(ctx context.Context, lo, hi string) (engine.QueryResult, error) {
+	return engine.CollectQuery(ctx, e, engine.Query{Kind: engine.QueryRange, Lo: lo, Hi: hi})
 }
 
 // AddPeer grows the overlay by one peer goroutine.

@@ -25,6 +25,8 @@ type Engine struct {
 	mu     sync.Mutex
 	net    *core.Network
 	rng    *rand.Rand
+	place  lb.Strategy // join placement hook; nil = uniform random
+	gated  bool        // enforce peer capacity on discoveries
 	closed bool
 
 	// membership lifecycle counters (guarded by mu).
@@ -41,8 +43,16 @@ func New(cfg engine.Config) (*Engine, error) {
 		return nil, fmt.Errorf("local: no peers")
 	}
 	e := &Engine{
-		net: core.NewNetwork(alpha, core.PlacementLexicographic),
-		rng: rand.New(rand.NewSource(cfg.Seed)),
+		net:   core.NewNetwork(alpha, core.PlacementLexicographic),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		gated: cfg.GateCapacity,
+	}
+	if cfg.JoinPlacement != "" {
+		strat, err := lb.ByName(cfg.JoinPlacement)
+		if err != nil {
+			return nil, err
+		}
+		e.place = strat
 	}
 	for _, capacity := range cfg.Capacities {
 		if _, err := e.addPeer(capacity); err != nil {
@@ -79,10 +89,14 @@ func (e *Engine) guard(ctx context.Context) error {
 
 func (e *Engine) addPeer(capacity int) (keys.Key, error) {
 	var id keys.Key
-	for {
-		id = e.net.Alphabet.RandomKey(e.rng, 12, 12)
-		if _, exists := e.net.Peer(id); !exists {
-			break
+	if e.place != nil {
+		id = e.place.PlaceJoin(e.net, e.rng, capacity)
+	} else {
+		for {
+			id = e.net.Alphabet.RandomKey(e.rng, 12, 12)
+			if _, exists := e.net.Peer(id); !exists {
+				break
+			}
 		}
 	}
 	if err := e.net.JoinPeer(id, capacity, e.rng); err != nil {
@@ -129,19 +143,24 @@ func (e *Engine) Unregister(ctx context.Context, key, value string) (bool, error
 	return e.net.RemoveData(keys.Key(key), value), nil
 }
 
-// Discover routes a discovery request entering at a random node.
+// Discover routes a discovery request entering at a random node. On
+// a capacity-gated engine a saturated peer drops the request and
+// Discover returns ErrSaturated.
 func (e *Engine) Discover(ctx context.Context, key string) (engine.Result, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if err := e.guard(ctx); err != nil {
 		return engine.Result{}, err
 	}
-	res := e.net.DiscoverRandom(keys.Key(key), false, e.rng)
+	res := e.net.DiscoverRandom(keys.Key(key), e.gated, e.rng)
 	out := engine.Result{
 		Key:          key,
 		Found:        res.Satisfied,
 		LogicalHops:  res.LogicalHops,
 		PhysicalHops: res.PhysicalHops,
+	}
+	if res.Dropped {
+		return out, engine.ErrSaturated
 	}
 	if res.Satisfied {
 		vals, _ := e.net.Values(keys.Key(key))
@@ -151,26 +170,119 @@ func (e *Engine) Discover(ctx context.Context, key string) (engine.Result, error
 	return out, nil
 }
 
-// Complete resolves automatic completion of a partial search string.
-func (e *Engine) Complete(ctx context.Context, prefix string) (engine.QueryResult, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.guard(ctx); err != nil {
-		return engine.QueryResult{}, err
-	}
-	q := e.net.Complete(keys.Key(prefix), e.rng)
-	return engine.QueryResultFrom(q.Keys, q.LogicalHops, q.PhysicalHops), nil
+// localChunkKeys bounds the matches materialized per stream chunk,
+// and localChunkVisits the node visits per lock hold of a resumed
+// walk.
+const (
+	localChunkKeys   = 64
+	localChunkVisits = 512
+)
+
+// stream is a generator over the mutex-serialized walk: every chunk
+// resumes the walker under one lock acquisition and the lock is never
+// held between Next calls, so a consumer may interleave other engine
+// operations (or simply stop) mid-stream; the walker then never
+// touches the rest of the tree.
+type stream struct {
+	e   *Engine
+	w   *core.QueryWalker
+	ctx context.Context
+
+	buf  []keys.Key
+	pos  int
+	done bool
+	err  error
 }
 
-// Range resolves the lexicographic range query [lo, hi].
-func (e *Engine) Range(ctx context.Context, lo, hi string) (engine.QueryResult, error) {
+// Next returns the next matching key; ok == false means the stream is
+// exhausted (see Err).
+func (s *stream) Next() (string, bool) {
+	for {
+		if s.pos < len(s.buf) {
+			k := s.buf[s.pos]
+			s.pos++
+			return string(k), true
+		}
+		if s.done {
+			return "", false
+		}
+		if err := s.ctx.Err(); err != nil {
+			s.err, s.done = err, true
+			return "", false
+		}
+		s.e.mu.Lock()
+		if s.e.closed {
+			s.e.mu.Unlock()
+			s.err, s.done = engine.ErrClosed, true
+			return "", false
+		}
+		batch, more := s.w.StepN(s.buf[:0], localChunkKeys, localChunkVisits)
+		s.e.mu.Unlock()
+		s.buf, s.pos = batch, 0
+		if !more {
+			s.done = true
+		}
+	}
+}
+
+// Err reports the error that terminated the stream early, nil after a
+// normal end of stream.
+func (s *stream) Err() error { return s.err }
+
+// Stats returns the traversal counters accumulated so far.
+func (s *stream) Stats() engine.QueryStats {
+	st := s.w.Stats()
+	return engine.QueryStats{
+		LogicalHops:  st.LogicalHops,
+		PhysicalHops: st.PhysicalHops,
+		NodesVisited: st.NodesVisited,
+	}
+}
+
+// Close halts the walk (nothing is in flight between chunks) and
+// discards any buffered keys: Next reports end of stream afterwards.
+func (s *stream) Close() error {
+	s.done = true
+	s.buf, s.pos = nil, 0
+	return nil
+}
+
+// Query starts a streaming query: a generator over the sequential
+// walk. The entry point is drawn eagerly (from the same seeded
+// stream the slice path consumes); traversal happens lazily, chunk
+// by chunk, as the consumer pulls — so a limit or an early exit
+// prunes the walk instead of hiding results.
+func (e *Engine) Query(ctx context.Context, q engine.Query) (engine.Stream, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if err := e.guard(ctx); err != nil {
-		return engine.QueryResult{}, err
+		return nil, err
 	}
-	q := e.net.RangeQuery(keys.Key(lo), keys.Key(hi), e.rng)
-	return engine.QueryResultFrom(q.Keys, q.LogicalHops, q.PhysicalHops), nil
+	w := core.NewQueryWalker(e.net, core.QuerySpec{
+		Range:  q.Kind == engine.QueryRange,
+		Prefix: keys.Key(q.Prefix),
+		Lo:     keys.Key(q.Lo),
+		Hi:     keys.Key(q.Hi),
+		Limit:  q.Limit,
+	})
+	if !w.Empty() {
+		if entry, ok := e.net.RandomNodeKey(e.rng); ok {
+			w.Start(entry)
+		}
+	}
+	return &stream{e: e, w: w, ctx: ctx}, nil
+}
+
+// Complete resolves automatic completion of a partial search string
+// by draining an unlimited Query stream.
+func (e *Engine) Complete(ctx context.Context, prefix string) (engine.QueryResult, error) {
+	return engine.CollectQuery(ctx, e, engine.Query{Kind: engine.QueryComplete, Prefix: prefix})
+}
+
+// Range resolves the lexicographic range query [lo, hi] by draining
+// an unlimited Query stream.
+func (e *Engine) Range(ctx context.Context, lo, hi string) (engine.QueryResult, error) {
+	return engine.CollectQuery(ctx, e, engine.Query{Kind: engine.QueryRange, Lo: lo, Hi: hi})
 }
 
 // AddPeer grows the overlay by one peer.

@@ -14,6 +14,7 @@ import (
 	"dlpt/engine"
 	"dlpt/internal/core"
 	"dlpt/internal/keys"
+	"dlpt/internal/lb"
 	itransport "dlpt/internal/transport"
 	"dlpt/internal/trie"
 )
@@ -36,7 +37,16 @@ func New(cfg engine.Config) (*Engine, error) {
 	if alpha == nil {
 		alpha = keys.PrintableASCII
 	}
-	c, err := itransport.Start(alpha, cfg.Capacities, cfg.Seed)
+	var opts itransport.Options
+	if cfg.JoinPlacement != "" {
+		strat, err := lb.ByName(cfg.JoinPlacement)
+		if err != nil {
+			return nil, err
+		}
+		opts.Placement = strat
+	}
+	opts.Gate = cfg.GateCapacity
+	c, err := itransport.StartOpts(alpha, cfg.Capacities, cfg.Seed, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -96,7 +106,8 @@ func (e *Engine) Unregister(ctx context.Context, key, value string) (bool, error
 	return e.cluster.Unregister(keys.Key(key), value), nil
 }
 
-// Discover routes a discovery over TCP.
+// Discover routes a discovery over TCP. On a capacity-gated engine a
+// saturated peer drops the request and Discover returns ErrSaturated.
 func (e *Engine) Discover(ctx context.Context, key string) (engine.Result, error) {
 	res, err := e.cluster.DiscoverContext(ctx, keys.Key(key))
 	if err != nil {
@@ -108,6 +119,9 @@ func (e *Engine) Discover(ctx context.Context, key string) (engine.Result, error
 		LogicalHops:  res.LogicalHops,
 		PhysicalHops: res.PhysicalHops,
 	}
+	if res.Dropped {
+		return out, engine.ErrSaturated
+	}
 	if res.Found {
 		out.Values = append([]string(nil), res.Values...)
 		sort.Strings(out.Values)
@@ -115,28 +129,58 @@ func (e *Engine) Discover(ctx context.Context, key string) (engine.Result, error
 	return out, nil
 }
 
-// Complete resolves automatic completion of a partial search string.
-func (e *Engine) Complete(ctx context.Context, prefix string) (engine.QueryResult, error) {
-	if err := ctx.Err(); err != nil {
-		return engine.QueryResult{}, err
-	}
-	q, err := e.cluster.Complete(keys.Key(prefix))
-	if err != nil {
-		return engine.QueryResult{}, mapErr(err)
-	}
-	return engine.QueryResultFrom(q.Keys, q.LogicalHops, q.PhysicalHops), nil
+// stream adapts the cluster's WireStream to the engine contract.
+type stream struct {
+	s *itransport.WireStream
 }
 
-// Range resolves the lexicographic range query [lo, hi].
-func (e *Engine) Range(ctx context.Context, lo, hi string) (engine.QueryResult, error) {
-	if err := ctx.Err(); err != nil {
-		return engine.QueryResult{}, err
+func (s stream) Next() (string, bool) {
+	k, ok := s.s.Next()
+	return string(k), ok
+}
+
+func (s stream) Err() error { return mapErr(s.s.Err()) }
+
+func (s stream) Stats() engine.QueryStats {
+	st := s.s.Stats()
+	return engine.QueryStats{
+		LogicalHops:  st.LogicalHops,
+		PhysicalHops: st.PhysicalHops,
+		NodesVisited: st.NodesVisited,
 	}
-	q, err := e.cluster.RangeQuery(keys.Key(lo), keys.Key(hi))
+}
+
+func (s stream) Close() error { return s.s.Close() }
+
+// Query starts a streaming query over the wire: the traversal runs at
+// the entry node's host and partial result batches flow back as
+// STREAM frames multiplexed over the pooled connection; closing the
+// stream early sends a CANCEL frame that halts the server-side walk
+// while the shared connection survives.
+func (e *Engine) Query(ctx context.Context, q engine.Query) (engine.Stream, error) {
+	s, err := e.cluster.StreamQuery(ctx, core.QuerySpec{
+		Range:  q.Kind == engine.QueryRange,
+		Prefix: keys.Key(q.Prefix),
+		Lo:     keys.Key(q.Lo),
+		Hi:     keys.Key(q.Hi),
+		Limit:  q.Limit,
+	})
 	if err != nil {
-		return engine.QueryResult{}, mapErr(err)
+		return nil, mapErr(err)
 	}
-	return engine.QueryResultFrom(q.Keys, q.LogicalHops, q.PhysicalHops), nil
+	return stream{s}, nil
+}
+
+// Complete resolves automatic completion of a partial search string
+// by draining an unlimited Query stream.
+func (e *Engine) Complete(ctx context.Context, prefix string) (engine.QueryResult, error) {
+	return engine.CollectQuery(ctx, e, engine.Query{Kind: engine.QueryComplete, Prefix: prefix})
+}
+
+// Range resolves the lexicographic range query [lo, hi] by draining
+// an unlimited Query stream.
+func (e *Engine) Range(ctx context.Context, lo, hi string) (engine.QueryResult, error) {
+	return engine.CollectQuery(ctx, e, engine.Query{Kind: engine.QueryRange, Lo: lo, Hi: hi})
 }
 
 // AddPeer grows the overlay by one peer and listener.

@@ -1,0 +1,150 @@
+package dlpt
+
+// Capacity gating and join placement on the deployment engines: with
+// WithCapacityGating a saturated peer drops discoveries (typed
+// ErrSaturated) until Tick starts a fresh time unit, and with
+// WithJoinPlacement the named lb strategy chooses join identifiers on
+// every engine — two simulator-only behaviours promoted to the
+// engine contract.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"dlpt/internal/keys"
+)
+
+// TestCapacityGatingSaturates drives discoveries into a single
+// low-capacity peer until it saturates, on every engine, and checks
+// Tick clears the saturation.
+func TestCapacityGatingSaturates(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, kind EngineKind) {
+		ctx := context.Background()
+		reg := newRegistry(t, 1,
+			WithCapacities([]int{10}),
+			WithCapacityGating(),
+			WithSeed(5),
+			WithAlphabet(keys.LowerAlnum),
+			WithEngine(kind))
+		for _, name := range []string{"aa", "ab", "ba"} {
+			if err := reg.Register(ctx, name, "ep"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		saturatedAt := -1
+		for i := 0; i < 100; i++ {
+			_, _, err := reg.Discover(ctx, "aa")
+			if err == nil {
+				continue
+			}
+			if !errors.Is(err, ErrSaturated) {
+				t.Fatalf("discover %d: %v, want ErrSaturated", i, err)
+			}
+			saturatedAt = i
+			break
+		}
+		if saturatedAt < 0 {
+			t.Fatal("capacity 10 never saturated over 100 discoveries")
+		}
+		// Saturation persists within the unit...
+		if _, _, err := reg.Discover(ctx, "aa"); !errors.Is(err, ErrSaturated) {
+			t.Fatalf("saturated peer served a request: %v", err)
+		}
+		// ...and Tick starts a fresh unit.
+		if err := reg.Tick(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := reg.Discover(ctx, "aa"); err != nil || !ok {
+			t.Fatalf("post-Tick discover: ok=%v err=%v", ok, err)
+		}
+	})
+}
+
+// TestUngatedNeverSaturates pins the default: without
+// WithCapacityGating the same workload never drops.
+func TestUngatedNeverSaturates(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, kind EngineKind) {
+		ctx := context.Background()
+		reg := newRegistry(t, 1,
+			WithCapacities([]int{10}),
+			WithSeed(5),
+			WithAlphabet(keys.LowerAlnum),
+			WithEngine(kind))
+		if err := reg.Register(ctx, "aa", "ep"); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			if _, ok, err := reg.Discover(ctx, "aa"); err != nil || !ok {
+				t.Fatalf("ungated discover %d: ok=%v err=%v", i, ok, err)
+			}
+		}
+	})
+}
+
+// TestJoinPlacementThroughEngines exercises the placement hook on
+// every engine: k-choices placement constructs valid overlays, grows
+// them through AddPeer, and an unknown strategy fails construction.
+func TestJoinPlacementThroughEngines(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, kind EngineKind) {
+		ctx := context.Background()
+		if _, err := New(3, WithJoinPlacement("warp"), WithEngine(kind)); err == nil {
+			t.Fatal("unknown placement strategy must fail construction")
+		}
+		reg := newRegistry(t, 4,
+			WithJoinPlacement("KC"),
+			WithSeed(7),
+			WithAlphabet(keys.LowerAlnum),
+			WithEngine(kind))
+		for _, name := range []string{"dgemm", "sgemm", "saxpy"} {
+			if err := reg.Register(ctx, name, "ep"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := reg.AddPeerWithCapacity(ctx, 64); err != nil {
+				t.Fatalf("KC join %d on %s: %v", i, kind, err)
+			}
+		}
+		if reg.NumPeers() != 7 {
+			t.Fatalf("NumPeers = %d, want 7", reg.NumPeers())
+		}
+		if err := reg.Validate(ctx); err != nil {
+			t.Fatalf("validate after KC joins: %v", err)
+		}
+		if _, ok, err := reg.Discover(ctx, "dgemm"); err != nil || !ok {
+			t.Fatalf("discover after KC joins: ok=%v err=%v", ok, err)
+		}
+	})
+}
+
+// TestJoinPlacementChangesIdentifiers pins that the hook is actually
+// wired: with a fixed seed, k-choices placement draws different ring
+// identifiers than the default uniform placement, and is itself
+// deterministic.
+func TestJoinPlacementChangesIdentifiers(t *testing.T) {
+	ctx := context.Background()
+	ids := func(opts ...Option) []string {
+		reg := newRegistry(t, 4, append([]Option{
+			WithSeed(7), WithAlphabet(keys.LowerAlnum), WithEngine(EngineLocal)}, opts...)...)
+		infos, err := reg.Peers(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, len(infos))
+		for i, p := range infos {
+			out[i] = p.ID
+		}
+		return out
+	}
+	uniform := ids()
+	kc := ids(WithJoinPlacement("KC"))
+	kc2 := ids(WithJoinPlacement("KC"))
+	if !reflect.DeepEqual(kc, kc2) {
+		t.Fatalf("KC placement not deterministic: %v vs %v", kc, kc2)
+	}
+	if reflect.DeepEqual(uniform, kc) {
+		t.Fatalf("KC placement identical to uniform placement: %v", kc)
+	}
+}

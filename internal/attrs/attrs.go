@@ -42,6 +42,7 @@ type Backend interface {
 	RegisterBatch(ctx context.Context, entries []engine.Entry) error
 	Unregister(ctx context.Context, key, value string) (bool, error)
 	Discover(ctx context.Context, key string) (engine.Result, error)
+	Query(ctx context.Context, q engine.Query) (engine.Stream, error)
 	Complete(ctx context.Context, prefix string) (engine.QueryResult, error)
 	Range(ctx context.Context, lo, hi string) (engine.QueryResult, error)
 	Validate(ctx context.Context) error
@@ -193,89 +194,90 @@ func (d *Directory) NumServices() int {
 	return len(d.services)
 }
 
-// evalPredicate returns the service-id set matching one predicate.
-func (d *Directory) evalPredicate(ctx context.Context, p Predicate, cost *Cost) (map[string]bool, error) {
+// predEval is the lazily-consumed evaluation state of one predicate:
+// the candidate attribute keys its subtree query matched, and the
+// service ids discovered under the keys consumed so far. Membership
+// tests consume further keys only until the id under test is found,
+// so a conjunct is materialized no further than the intersection
+// needs — consuming nothing at all when the driving stream is empty
+// or the consumer stops early.
+type predEval struct {
+	p    Predicate
+	keys []string        // candidate attr=value keys, lexicographic
+	next int             // first key not yet discovered
+	seen map[string]bool // ids found under keys[:next]
+}
+
+// candidateKeys enumerates the attribute keys matching one predicate
+// by routed subtree query (exact predicates name their key
+// statically).
+func (d *Directory) candidateKeys(ctx context.Context, p Predicate, cost *Cost) ([]string, error) {
 	if !validName(p.Attr) {
 		return nil, fmt.Errorf("attrs: invalid attribute %q", p.Attr)
 	}
-	ids := make(map[string]bool)
+	var q engine.Query
 	switch {
 	case p.Exact != "":
-		res, err := d.b.Discover(ctx, attrKey(p.Attr, p.Exact))
-		if err != nil {
-			return nil, err
-		}
-		cost.LogicalHops += res.LogicalHops
-		cost.PhysicalHops += res.PhysicalHops
-		for _, v := range res.Values {
-			ids[v] = true
-		}
+		return []string{attrKey(p.Attr, p.Exact)}, nil
 	case p.Prefix != "":
-		q, err := d.b.Complete(ctx, attrKey(p.Attr, p.Prefix))
-		if err != nil {
-			return nil, err
-		}
-		cost.LogicalHops += q.LogicalHops
-		cost.PhysicalHops += q.PhysicalHops
-		if err := d.collect(ctx, q.Keys, ids, cost); err != nil {
-			return nil, err
-		}
+		q = engine.Query{Kind: engine.QueryComplete, Prefix: attrKey(p.Attr, p.Prefix)}
 	case p.Hi != "":
 		if p.Hi < p.Lo {
-			return ids, nil
+			return nil, nil
 		}
-		q, err := d.b.Range(ctx, attrKey(p.Attr, p.Lo), attrKey(p.Attr, p.Hi))
-		if err != nil {
-			return nil, err
-		}
-		cost.LogicalHops += q.LogicalHops
-		cost.PhysicalHops += q.PhysicalHops
-		if err := d.collect(ctx, q.Keys, ids, cost); err != nil {
-			return nil, err
-		}
+		q = engine.Query{Kind: engine.QueryRange,
+			Lo: attrKey(p.Attr, p.Lo), Hi: attrKey(p.Attr, p.Hi)}
 	default:
 		// Attribute presence: every value under "attr=".
-		q, err := d.b.Complete(ctx, p.Attr+Sep)
-		if err != nil {
-			return nil, err
-		}
-		cost.LogicalHops += q.LogicalHops
-		cost.PhysicalHops += q.PhysicalHops
-		if err := d.collect(ctx, q.Keys, ids, cost); err != nil {
-			return nil, err
-		}
+		q = engine.Query{Kind: engine.QueryComplete, Prefix: p.Attr + Sep}
 	}
-	return ids, nil
+	res, err := engine.CollectQuery(ctx, d.b, q)
+	if err != nil {
+		return nil, err
+	}
+	cost.LogicalHops += res.LogicalHops
+	cost.PhysicalHops += res.PhysicalHops
+	return res.Keys, nil
 }
 
-// collectConcurrency bounds the parallel per-key discoveries of a
-// subtree predicate (on the TCP engine each one is a chain of real
-// wire round-trips).
-const collectConcurrency = 8
-
-// collect fetches the service ids stored under each key by routed
-// discovery. The discoveries are independent reads, so they run with
-// bounded concurrency; cost sums are commutative, results are merged
-// under a lock.
-func (d *Directory) collect(ctx context.Context, ks []string, into map[string]bool, cost *Cost) error {
-	if len(ks) == 0 {
-		return nil
+// discoverIDs fetches the service ids declared under one attribute
+// key by routed discovery.
+func (d *Directory) discoverIDs(ctx context.Context, key string, cost *Cost) ([]string, error) {
+	res, err := d.b.Discover(ctx, key)
+	if err != nil {
+		return nil, err
 	}
-	ctx, cancel := context.WithCancel(ctx)
+	cost.LogicalHops += res.LogicalHops
+	cost.PhysicalHops += res.PhysicalHops
+	return res.Values, nil
+}
+
+// discoverConcurrency bounds the parallel per-key discoveries of the
+// driving predicate (on the TCP engine each one is a chain of real
+// wire round-trips).
+const discoverConcurrency = 8
+
+// discoverChunk fetches the ids under each key concurrently,
+// preserving key order; cost sums are commutative and merged under a
+// lock. The first error cancels the chunk's remaining lookups.
+func (d *Directory) discoverChunk(ctx context.Context, ks []string, cost *Cost) ([][]string, error) {
+	if len(ks) == 1 {
+		ids, err := d.discoverIDs(ctx, ks[0], cost)
+		return [][]string{ids}, err
+	}
+	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	out := make([][]string, len(ks))
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
 	)
-	sem := make(chan struct{}, collectConcurrency)
-	for _, k := range ks {
+	for i, k := range ks {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(k string) {
+		go func(i int, k string) {
 			defer wg.Done()
-			defer func() { <-sem }()
-			res, err := d.b.Discover(ctx, k)
+			res, err := d.b.Discover(cctx, k)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -287,44 +289,145 @@ func (d *Directory) collect(ctx context.Context, ks []string, into map[string]bo
 			}
 			cost.LogicalHops += res.LogicalHops
 			cost.PhysicalHops += res.PhysicalHops
-			for _, v := range res.Values {
-				into[v] = true
-			}
-		}(k)
+			out[i] = res.Values
+		}(i, k)
 	}
 	wg.Wait()
-	return firstErr
+	return out, firstErr
+}
+
+// contains tests id against the predicate, consuming only as many
+// candidate keys as the test needs; what it discovers stays cached
+// for later tests.
+func (pe *predEval) contains(ctx context.Context, d *Directory, id string, cost *Cost) (bool, error) {
+	if pe.seen[id] {
+		return true, nil
+	}
+	for pe.next < len(pe.keys) {
+		k := pe.keys[pe.next]
+		pe.next++
+		ids, err := d.discoverIDs(ctx, k, cost)
+		if err != nil {
+			return false, err
+		}
+		for _, v := range ids {
+			pe.seen[v] = true
+		}
+		if pe.seen[id] {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// plan builds the evaluation order of a conjunctive query: every
+// predicate's candidate keys are enumerated (one routed subtree query
+// each), and the predicate with the fewest candidates becomes the
+// driver — the smallest stream drives the intersection, the others
+// are only consumed as far as membership tests demand.
+func (d *Directory) plan(ctx context.Context, preds []Predicate, cost *Cost) ([]*predEval, error) {
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("attrs: empty query")
+	}
+	evals := make([]*predEval, len(preds))
+	for i, p := range preds {
+		ks, err := d.candidateKeys(ctx, p, cost)
+		if err != nil {
+			return nil, err
+		}
+		evals[i] = &predEval{p: p, keys: ks, seen: make(map[string]bool)}
+	}
+	sort.SliceStable(evals, func(a, b int) bool {
+		return len(evals[a].keys) < len(evals[b].keys)
+	})
+	return evals, nil
+}
+
+// runQuery streams the conjunction: the driver predicate's ids are
+// discovered in key order — prefetched discoverConcurrency keys at a
+// time, since each is an independent routed read — and each candidate
+// is verified against the remaining predicates lazily. yield
+// returning false stops the evaluation: at most the current prefetch
+// chunk is ever discovered past the last yielded id.
+func (d *Directory) runQuery(ctx context.Context, evals []*predEval, cost *Cost,
+	yield func(id string, err error) bool) {
+
+	drv := evals[0]
+	tried := make(map[string]bool)
+	for start := 0; start < len(drv.keys); start += discoverConcurrency {
+		end := start + discoverConcurrency
+		if end > len(drv.keys) {
+			end = len(drv.keys)
+		}
+		chunk, err := d.discoverChunk(ctx, drv.keys[start:end], cost)
+		if err != nil {
+			yield("", err)
+			return
+		}
+		for _, ids := range chunk {
+			for _, id := range ids {
+				if tried[id] {
+					continue
+				}
+				tried[id] = true
+				matchAll := true
+				for _, pe := range evals[1:] {
+					ok, err := pe.contains(ctx, d, id, cost)
+					if err != nil {
+						yield("", err)
+						return
+					}
+					if !ok {
+						matchAll = false
+						break
+					}
+				}
+				if matchAll && !yield(id, nil) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// QuerySeq streams the service ids matching every predicate as the
+// intersection discovers them (driver-stream order: by candidate
+// attribute key, then by id). The consumer breaking out of the loop
+// stops the evaluation.
+func (d *Directory) QuerySeq(ctx context.Context, preds ...Predicate) func(yield func(string, error) bool) {
+	return func(yield func(string, error) bool) {
+		var cost Cost
+		evals, err := d.plan(ctx, preds, &cost)
+		if err != nil {
+			yield("", err)
+			return
+		}
+		d.runQuery(ctx, evals, &cost, yield)
+	}
 }
 
 // Query resolves the conjunction of the given predicates and returns
 // the matching service ids in order, with the aggregate routing cost.
+// It is a thin wrapper draining the same incremental evaluation
+// QuerySeq streams.
 func (d *Directory) Query(ctx context.Context, preds ...Predicate) ([]string, Cost, error) {
 	var cost Cost
-	if len(preds) == 0 {
-		return nil, cost, fmt.Errorf("attrs: empty query")
+	evals, err := d.plan(ctx, preds, &cost)
+	if err != nil {
+		return nil, cost, err
 	}
-	var acc map[string]bool
-	for _, p := range preds {
-		ids, err := d.evalPredicate(ctx, p, &cost)
+	var out []string
+	var firstErr error
+	d.runQuery(ctx, evals, &cost, func(id string, err error) bool {
 		if err != nil {
-			return nil, cost, err
+			firstErr = err
+			return false
 		}
-		if acc == nil {
-			acc = ids
-			continue
-		}
-		for id := range acc {
-			if !ids[id] {
-				delete(acc, id)
-			}
-		}
-		if len(acc) == 0 {
-			break
-		}
-	}
-	out := make([]string, 0, len(acc))
-	for id := range acc {
 		out = append(out, id)
+		return true
+	})
+	if firstErr != nil {
+		return nil, cost, firstErr
 	}
 	sort.Strings(out)
 	return out, cost, nil

@@ -177,6 +177,7 @@ func (net *Network) RandomPeerID(r *rand.Rand) (keys.Key, bool) {
 func (net *Network) ResetUnit() {
 	for _, p := range net.peers {
 		p.Processed = 0
+		p.procConc.Store(0)
 		for _, n := range p.Nodes {
 			n.LoadPrev = n.LoadCur + int(n.visits.Swap(0))
 			n.LoadCur = 0

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"dlpt/internal/keys"
 )
 
@@ -20,6 +22,12 @@ type Peer struct {
 	// Processed counts discovery visits processed during the current
 	// time unit; reset by ResetUnit.
 	Processed int
+
+	// procConc counts discovery visits processed by the concurrent
+	// engines, whose gated routing runs under a read lock and
+	// therefore cannot touch Processed. ResetUnit clears it with the
+	// rest of the unit accounting.
+	procConc atomic.Int64
 }
 
 // NewPeer returns a peer with the given identifier and capacity,
@@ -67,8 +75,26 @@ func (p *Peer) LoadCur() int {
 }
 
 // Saturated reports whether the peer has exhausted its capacity for
-// the current time unit.
-func (p *Peer) Saturated() bool { return p.Processed >= p.Capacity }
+// the current time unit, counting both the sequential and the
+// concurrently recorded visits.
+func (p *Peer) Saturated() bool {
+	return p.Processed+int(p.procConc.Load()) >= p.Capacity
+}
+
+// TryProcess atomically consumes one unit of discovery capacity,
+// reporting false — and consuming nothing — when the peer is
+// saturated. Safe to call under a read lock: the slot is reserved
+// with the increment itself, so concurrent callers at the capacity
+// boundary cannot all slip through a check-then-act window (a
+// transiently inflated counter only errs towards dropping, and the
+// rollback restores it).
+func (p *Peer) TryProcess() bool {
+	if int(p.procConc.Add(1))+p.Processed > p.Capacity {
+		p.procConc.Add(-1)
+		return false
+	}
+	return true
+}
 
 // absorb installs a transferred node on the peer.
 func (p *Peer) absorb(info NodeInfo) *Node {

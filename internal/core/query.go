@@ -21,121 +21,298 @@ type QueryResult struct {
 	NodesVisited int
 }
 
+// QuerySpec describes one subtree query: automatic completion of a
+// partial search string (Range=false) or a lexicographic range query
+// (Range=true), optionally bounded by Limit.
+type QuerySpec struct {
+	Range  bool
+	Prefix keys.Key // completion: every declared key extending Prefix
+	Lo, Hi keys.Key // range: every declared key in [Lo, Hi]
+	// Limit bounds the number of keys the walk yields; the traversal
+	// stops as soon as Limit matches have been found (limit pushdown).
+	// Limit <= 0 means unlimited.
+	Limit int
+}
+
 // RangeQuery resolves the range query [lo, hi]: the request enters at
 // a random node, climbs to the deepest node whose subtree spans the
 // whole interval, and the subtree is traversed with pruning — the
 // multi-branch resolution the DLPT supports (Section 2). Ungated:
 // like the paper, only unit discovery requests consume capacity.
 func (net *Network) RangeQuery(lo, hi keys.Key, r *rand.Rand) QueryResult {
-	if hi < lo {
-		return QueryResult{}
-	}
-	anchor := keys.GCP(lo, hi)
-	return net.subtreeQuery(r, anchor, func(k keys.Key) bool {
-		return lo <= k && k <= hi
-	}, func(label keys.Key) bool {
-		// Prune subtrees entirely outside [lo,hi] (see trie.Range).
-		if label > hi {
-			return false
-		}
-		if label < lo && !keys.IsProperPrefix(label, lo) {
-			return false
-		}
-		return true
-	})
+	return net.runQuery(QuerySpec{Range: true, Lo: lo, Hi: hi}, r)
 }
 
 // Complete resolves automatic completion of the partial search string
 // prefix: all declared keys extending it, collected from the subtree
 // of the deepest node prefixing it.
 func (net *Network) Complete(prefix keys.Key, r *rand.Rand) QueryResult {
-	return net.subtreeQuery(r, prefix, func(k keys.Key) bool {
-		return keys.IsPrefix(prefix, k)
-	}, func(label keys.Key) bool {
-		return keys.IsPrefix(prefix, label) || keys.IsPrefix(label, prefix)
-	})
+	return net.runQuery(QuerySpec{Prefix: prefix}, r)
 }
 
-// subtreeQuery climbs from a random entry node to the highest node
-// relevant for the query anchor, then walks the relevant subtree.
-// match selects result keys; explore prunes subtrees by their root
-// label.
-func (net *Network) subtreeQuery(r *rand.Rand, anchor keys.Key,
-	match func(keys.Key) bool, explore func(keys.Key) bool) QueryResult {
-
-	var res QueryResult
+// runQuery drives a walker to exhaustion in one go (the slice path;
+// the engines' streaming paths drive the same walker incrementally).
+func (net *Network) runQuery(spec QuerySpec, r *rand.Rand) QueryResult {
+	w := NewQueryWalker(net, spec)
+	if w.Empty() {
+		return QueryResult{}
+	}
 	entry, ok := net.RandomNodeKey(r)
 	if !ok {
-		return res
+		return QueryResult{}
 	}
-	cur, host, ok := net.nodeState(entry)
-	if !ok {
-		return res
-	}
-	res.NodesVisited++
-	// Phase 1: climb until the current node's subtree covers the
-	// anchor (its label is a prefix of the anchor), or the root.
-	for !keys.IsPrefix(cur.Key, anchor) && cur.HasFather {
-		next, nextHost, ok := net.nodeState(cur.Father)
-		if !ok {
-			return res
-		}
-		res.LogicalHops++
-		res.NodesVisited++
-		if nextHost.ID != host.ID {
-			res.PhysicalHops++
-		}
-		cur, host = next, nextHost
-	}
-	// Phase 2: descend towards the anchor while a single child still
-	// covers the whole query (narrowing the traversal root).
+	w.Start(entry)
+	var ks []keys.Key
 	for {
-		q, ok := cur.BestChildFor(anchor)
-		if !ok || !keys.IsPrefix(q, anchor) {
+		var more bool
+		ks, more = w.StepN(ks, 0, 1<<30)
+		if !more {
 			break
 		}
-		next, nextHost, okn := net.nodeState(q)
-		if !okn {
-			break
-		}
-		res.LogicalHops++
-		res.NodesVisited++
-		if nextHost.ID != host.ID {
-			res.PhysicalHops++
-		}
-		cur, host = next, nextHost
 	}
-	// Phase 3: traverse the subtree with pruning, counting one
-	// message per tree edge (the paper parallelizes the branches; the
-	// totals are the aggregate traffic).
-	var walk func(n *Node, p *Peer)
-	walk = func(n *Node, p *Peer) {
-		if n.HasData() && match(n.Key) {
-			res.Keys = append(res.Keys, n.Key)
-		}
-		// Branch visit order is immaterial — the hop counters are
-		// order-independent sums and the keys are sorted below — so
-		// iterate the child set directly instead of allocating a
-		// sorted copy per visited node.
-		for c := range n.Children {
-			if !explore(c) {
-				continue
-			}
-			cn, cp, ok := net.nodeState(c)
-			if !ok {
-				continue
-			}
-			res.LogicalHops++
-			res.NodesVisited++
-			if cp.ID != p.ID {
-				res.PhysicalHops++
-			}
-			walk(cn, cp)
-		}
-	}
-	if explore(cur.Key) || match(cur.Key) {
-		walk(cur, host)
-	}
-	keys.SortKeys(res.Keys)
+	res := w.Stats()
+	res.Keys = ks
 	return res
+}
+
+// walker phases.
+const (
+	phaseClimb = iota
+	phaseDescend
+	phaseWalk
+	phaseDone
+)
+
+// walkFrame is one pending subtree node of the traversal: the node
+// key plus the host of the tree edge it was reached over (the
+// physical-hop accounting input).
+type walkFrame struct {
+	key  keys.Key
+	from keys.Key // host id of the parent node; ε for the subtree root
+	root bool     // subtree root: already counted during climb/descend
+}
+
+// QueryWalker performs the climb / descend / pruned-subtree traversal
+// of a subtree query one bounded batch at a time, yielding matches in
+// lexicographic order as the walk discovers them. Callers drive it
+// with StepN under whatever locking their engine requires and simply
+// stop calling it to terminate early — the walker never touches nodes
+// beyond the last batch, which is what makes limit pushdown and
+// consumer cancellation cut the traversal cost instead of hiding it.
+type QueryWalker struct {
+	net     *Network
+	anchor  keys.Key
+	match   func(keys.Key) bool
+	explore func(keys.Key) bool
+	limit   int
+	empty   bool
+
+	phase   int
+	cur     keys.Key // current node during climb/descend
+	curHost keys.Key // its host id
+	stack   []walkFrame
+	emitted int
+	res     QueryResult // hop/visit counters; Keys unused
+}
+
+// NewQueryWalker builds the walker for spec. An inverted range yields
+// the empty walker (Empty reports true) without consuming an entry
+// point, matching the slice path.
+func NewQueryWalker(net *Network, spec QuerySpec) *QueryWalker {
+	w := &QueryWalker{net: net, limit: spec.Limit, phase: phaseDone}
+	if spec.Range {
+		if spec.Hi < spec.Lo {
+			w.empty = true
+			return w
+		}
+		lo, hi := spec.Lo, spec.Hi
+		w.anchor = keys.GCP(lo, hi)
+		w.match = func(k keys.Key) bool { return lo <= k && k <= hi }
+		w.explore = func(label keys.Key) bool {
+			// Prune subtrees entirely outside [lo,hi] (see trie.Range).
+			if label > hi {
+				return false
+			}
+			if label < lo && !keys.IsProperPrefix(label, lo) {
+				return false
+			}
+			return true
+		}
+		return w
+	}
+	prefix := spec.Prefix
+	w.anchor = prefix
+	w.match = func(k keys.Key) bool { return keys.IsPrefix(prefix, k) }
+	w.explore = func(label keys.Key) bool {
+		return keys.IsPrefix(prefix, label) || keys.IsPrefix(label, prefix)
+	}
+	return w
+}
+
+// Empty reports whether the query is void by construction (inverted
+// range): no entry point is needed and the walk yields nothing.
+func (w *QueryWalker) Empty() bool { return w.empty }
+
+// Start enters the tree at the given node key (normally a
+// RandomNodeKey draw performed under the caller's lock).
+func (w *QueryWalker) Start(entry keys.Key) {
+	if w.empty {
+		return
+	}
+	if _, _, ok := w.net.nodeState(entry); !ok {
+		return
+	}
+	w.res.NodesVisited++
+	w.cur = entry
+	w.phase = phaseClimb
+}
+
+// Stats returns the hop and visit counters accumulated so far.
+func (w *QueryWalker) Stats() QueryResult {
+	return QueryResult{
+		LogicalHops:  w.res.LogicalHops,
+		PhysicalHops: w.res.PhysicalHops,
+		NodesVisited: w.res.NodesVisited,
+	}
+}
+
+// StepN advances the traversal by at most maxVisits node visits,
+// appending matched keys to out (maxEmit > 0 additionally caps the
+// keys appended in this batch). It returns the extended slice and
+// whether the traversal can continue. Callers hold whatever lock
+// guards the network for the duration of one call; node state is
+// re-fetched on every visit, so churn between calls degrades the walk
+// (skipped subtrees) rather than corrupting it — the same behaviour a
+// hop-by-hop discovery has on a degraded tree.
+func (w *QueryWalker) StepN(out []keys.Key, maxEmit, maxVisits int) ([]keys.Key, bool) {
+	if maxVisits <= 0 {
+		maxVisits = 1
+	}
+	visits, batchEmitted := 0, 0
+	for visits < maxVisits {
+		switch w.phase {
+		case phaseDone:
+			return out, false
+
+		case phaseClimb:
+			n, h, ok := w.net.nodeState(w.cur)
+			if !ok {
+				w.phase = phaseDone
+				return out, false
+			}
+			w.curHost = h.ID
+			// Climb until the current node's subtree covers the
+			// anchor (its label is a prefix of the anchor), or the root.
+			if keys.IsPrefix(n.Key, w.anchor) || !n.HasFather {
+				w.phase = phaseDescend
+				continue
+			}
+			next, nextHost, ok := w.net.nodeState(n.Father)
+			if !ok {
+				w.phase = phaseDone
+				return out, false
+			}
+			w.res.LogicalHops++
+			w.res.NodesVisited++
+			visits++
+			if nextHost.ID != h.ID {
+				w.res.PhysicalHops++
+			}
+			w.cur, w.curHost = next.Key, nextHost.ID
+
+		case phaseDescend:
+			// Descend towards the anchor while a single child still
+			// covers the whole query (narrowing the traversal root).
+			n, h, ok := w.net.nodeState(w.cur)
+			if !ok {
+				w.phase = phaseDone
+				return out, false
+			}
+			w.curHost = h.ID
+			q, ok := n.BestChildFor(w.anchor)
+			if !ok || !keys.IsPrefix(q, w.anchor) {
+				w.beginWalk(n)
+				continue
+			}
+			next, nextHost, okn := w.net.nodeState(q)
+			if !okn {
+				w.beginWalk(n)
+				continue
+			}
+			w.res.LogicalHops++
+			w.res.NodesVisited++
+			visits++
+			if nextHost.ID != h.ID {
+				w.res.PhysicalHops++
+			}
+			w.cur, w.curHost = next.Key, nextHost.ID
+
+		case phaseWalk:
+			if len(w.stack) == 0 {
+				w.phase = phaseDone
+				return out, false
+			}
+			fr := w.stack[len(w.stack)-1]
+			w.stack = w.stack[:len(w.stack)-1]
+			n, h, ok := w.net.nodeState(fr.key)
+			if !ok {
+				continue // pruned by churn/crash: skip, as the slice path does
+			}
+			if !fr.root {
+				w.res.LogicalHops++
+				w.res.NodesVisited++
+				visits++
+				if h.ID != fr.from {
+					w.res.PhysicalHops++
+				}
+			}
+			if n.HasData() && w.match(n.Key) {
+				out = append(out, n.Key)
+				w.emitted++
+				batchEmitted++
+				if w.limit > 0 && w.emitted >= w.limit {
+					w.phase = phaseDone
+					return out, false
+				}
+				if maxEmit > 0 && batchEmitted >= maxEmit {
+					w.pushChildren(n, h.ID)
+					return out, true
+				}
+			}
+			w.pushChildren(n, h.ID)
+		}
+	}
+	return out, w.phase != phaseDone
+}
+
+// beginWalk seeds the subtree traversal at the covering node reached
+// by the climb/descend phases (already counted as visited there).
+func (w *QueryWalker) beginWalk(n *Node) {
+	w.phase = phaseWalk
+	w.stack = w.stack[:0]
+	if w.explore(n.Key) || w.match(n.Key) {
+		w.stack = append(w.stack, walkFrame{key: n.Key, root: true})
+	}
+}
+
+// pushChildren stacks n's explorable children so they pop in
+// ascending label order — the invariant behind the stream's
+// lexicographic yield order. The newly pushed segment is sorted in
+// place (descending, LIFO) to avoid the per-node sorted-copy
+// allocation.
+func (w *QueryWalker) pushChildren(n *Node, host keys.Key) {
+	base := len(w.stack)
+	for c := range n.Children {
+		if !w.explore(c) {
+			continue
+		}
+		w.stack = append(w.stack, walkFrame{key: c, from: host})
+	}
+	seg := w.stack[base:]
+	// Insertion sort, descending by key: child fan-out is small.
+	for i := 1; i < len(seg); i++ {
+		for j := i; j > 0 && seg[j].key > seg[j-1].key; j-- {
+			seg[j], seg[j-1] = seg[j-1], seg[j]
+		}
+	}
 }

@@ -33,8 +33,21 @@ type Result struct {
 	Values       []string
 	LogicalHops  int
 	PhysicalHops int
+	// Dropped reports that a saturated peer ignored the request
+	// (capacity gating).
+	Dropped bool
 	// Path records the peer ids traversed (for tracing/demos).
 	Path []keys.Key
+}
+
+// Options are the optional cluster construction parameters.
+type Options struct {
+	// Placement picks ring identifiers for joining peers; nil draws
+	// uniformly random identifiers.
+	Placement lb.Strategy
+	// Gate enforces per-peer capacity on the discovery path: every
+	// visit consumes capacity and saturated peers drop requests.
+	Gate bool
 }
 
 // discoverMsg is one in-flight discovery request. ctx is the
@@ -76,9 +89,11 @@ type peerProc struct {
 
 // Cluster is a running overlay.
 type Cluster struct {
-	mu  sync.RWMutex // guards net topology and tree state
-	net *core.Network
-	rng *rand.Rand // guarded by mu (writers only)
+	mu    sync.RWMutex // guards net topology and tree state
+	net   *core.Network
+	rng   *rand.Rand  // guarded by mu (writers only)
+	place lb.Strategy // join placement hook; nil = uniform random
+	gate  bool        // enforce peer capacity on discoveries
 
 	entryMu  sync.Mutex // guards entryRng (used by Discover readers)
 	entryRng *rand.Rand
@@ -99,6 +114,11 @@ const mailboxDepth = 128
 
 // Start launches a cluster with one peer per capacity entry.
 func Start(alpha *keys.Alphabet, capacities []int, seed int64) (*Cluster, error) {
+	return StartOpts(alpha, capacities, seed, Options{})
+}
+
+// StartOpts is Start with explicit Options.
+func StartOpts(alpha *keys.Alphabet, capacities []int, seed int64, opts Options) (*Cluster, error) {
 	if len(capacities) == 0 {
 		return nil, fmt.Errorf("live: no peers")
 	}
@@ -106,6 +126,8 @@ func Start(alpha *keys.Alphabet, capacities []int, seed int64) (*Cluster, error)
 		net:      core.NewNetwork(alpha, core.PlacementLexicographic),
 		rng:      rand.New(rand.NewSource(seed)),
 		entryRng: rand.New(rand.NewSource(seed + 1)),
+		place:    opts.Placement,
+		gate:     opts.Gate,
 		procs:    make(map[keys.Key]*peerProc),
 		quit:     make(chan struct{}),
 	}
@@ -124,10 +146,14 @@ func (c *Cluster) addPeerLocked(capacity int) (keys.Key, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var id keys.Key
-	for {
-		id = c.net.Alphabet.RandomKey(c.rng, 12, 12)
-		if _, exists := c.net.Peer(id); !exists {
-			break
+	if c.place != nil {
+		id = c.place.PlaceJoin(c.net, c.rng, capacity)
+	} else {
+		for {
+			id = c.net.Alphabet.RandomKey(c.rng, 12, 12)
+			if _, exists := c.net.Peer(id); !exists {
+				break
+			}
 		}
 	}
 	if err := c.net.JoinPeer(id, capacity, c.rng); err != nil {
@@ -426,6 +452,163 @@ func (c *Cluster) Validate() error {
 	return c.net.Validate()
 }
 
+// streamBatchKeys bounds the matches emitted per walker batch (one
+// channel send each), and streamBatchVisits bounds the node visits
+// per read-lock hold so a sparse traversal cannot pin the lock.
+const (
+	streamBatchKeys   = 32
+	streamBatchVisits = 256
+)
+
+// QueryStream is an in-flight streaming subtree query: a walker
+// goroutine advances the traversal in bounded read-locked batches and
+// fans the matches into a channel with backpressure; the consumer
+// pulls them in lexicographic order. Closing the stream (or
+// cancelling the query context) halts the traversal at the next
+// batch boundary instead of letting it run to completion against a
+// departed consumer.
+type QueryStream struct {
+	out  chan []keys.Key
+	quit chan struct{}
+
+	mu    sync.Mutex
+	stats core.QueryResult
+	err   error
+
+	cur       []keys.Key
+	pos       int
+	closed    bool // set by Close; owned by the consumer goroutine
+	closeOnce sync.Once
+}
+
+// StreamQuery starts a streaming subtree query. The entry point is
+// drawn from the same seeded stream the slice queries use, so slice
+// and streaming paths are byte-identical on identical workloads.
+func (c *Cluster) StreamQuery(ctx context.Context, spec core.QuerySpec) (*QueryStream, error) {
+	select {
+	case <-c.quit:
+		return nil, ErrStopped
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	w := core.NewQueryWalker(c.net, spec)
+	s := &QueryStream{
+		out:  make(chan []keys.Key, 4),
+		quit: make(chan struct{}),
+	}
+	if !w.Empty() {
+		c.entryMu.Lock()
+		c.mu.RLock()
+		entry, ok := c.net.RandomNodeKey(c.entryRng)
+		if ok {
+			w.Start(entry)
+		}
+		c.mu.RUnlock()
+		c.entryMu.Unlock()
+	}
+	c.wg.Add(1)
+	go c.runStream(ctx, w, s)
+	return s, nil
+}
+
+// runStream is the walker goroutine behind one QueryStream.
+func (c *Cluster) runStream(ctx context.Context, w *core.QueryWalker, s *QueryStream) {
+	defer c.wg.Done()
+	defer close(s.out)
+	for {
+		select {
+		case <-ctx.Done():
+			s.fail(ctx.Err())
+			return
+		case <-s.quit:
+			return
+		case <-c.quit:
+			s.fail(ErrStopped)
+			return
+		default:
+		}
+		c.mu.RLock()
+		batch, more := w.StepN(nil, streamBatchKeys, streamBatchVisits)
+		c.mu.RUnlock()
+		s.mu.Lock()
+		s.stats = w.Stats()
+		s.mu.Unlock()
+		if len(batch) > 0 {
+			select {
+			case s.out <- batch:
+			case <-ctx.Done():
+				s.fail(ctx.Err())
+				return
+			case <-s.quit:
+				return
+			case <-c.quit:
+				s.fail(ErrStopped)
+				return
+			}
+		}
+		if !more {
+			return
+		}
+	}
+}
+
+// fail records the error that terminated the stream early.
+func (s *QueryStream) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// Next returns the next matching key; ok == false means the stream is
+// exhausted (see Err) or closed.
+func (s *QueryStream) Next() (keys.Key, bool) {
+	for {
+		if s.closed {
+			return keys.Epsilon, false
+		}
+		if s.pos < len(s.cur) {
+			k := s.cur[s.pos]
+			s.pos++
+			return k, true
+		}
+		batch, ok := <-s.out
+		if !ok {
+			return keys.Epsilon, false
+		}
+		s.cur, s.pos = batch, 0
+	}
+}
+
+// Err reports the error that terminated the stream early, nil after a
+// normal end of stream.
+func (s *QueryStream) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Stats returns the traversal counters accumulated so far.
+func (s *QueryStream) Stats() core.QueryResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close halts the traversal — the walker goroutine exits at the next
+// batch boundary — and discards buffered keys: Next reports end of
+// stream afterwards. Idempotent; not safe to race with Next (streams
+// are single-consumer).
+func (s *QueryStream) Close() error {
+	s.closeOnce.Do(func() { close(s.quit) })
+	s.closed = true
+	s.cur, s.pos = nil, 0
+	return nil
+}
+
 // Discover routes a discovery request for key through the peer
 // goroutines, entering the tree at a random node.
 func (c *Cluster) Discover(key keys.Key) (Result, error) {
@@ -629,6 +812,14 @@ func (c *Cluster) process(p *peerProc, msg discoverMsg) {
 		return
 	}
 	node.RecordVisit()
+	if c.gate && !peer.TryProcess() {
+		// Section 4's request model: the visit is received (load
+		// recorded above) but a saturated peer ignores the request.
+		c.mu.RUnlock()
+		msg.res.Dropped = true
+		msg.reply <- msg.res
+		return
+	}
 	msg.res.Path = append(msg.res.Path, self)
 	switch {
 	case node.Key == msg.key:

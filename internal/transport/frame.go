@@ -38,6 +38,19 @@ const (
 	frameRequest  = 1
 	frameResponse = 2
 	frameCancel   = 3
+	// frameQuery starts a streaming subtree query (payload: queryReq);
+	// the server answers with zero or more STREAM frames carrying
+	// partial result batches and exactly one STREAM_END frame carrying
+	// the traversal totals. The consumer acknowledges each batch it
+	// pulls with a STREAM_ACK (no payload); the server pauses the
+	// traversal after queryWindow unacknowledged batches, so a
+	// consumer that stops reading halts the walk instead of letting
+	// it fill socket buffers. A CANCEL frame for the same id aborts
+	// the traversal mid-stream; the connection survives.
+	frameQuery     = 4
+	frameStream    = 5
+	frameStreamEnd = 6
+	frameStreamAck = 7
 )
 
 // frameHeaderSize is type(1) + id(8) + payloadLen(4).
@@ -140,9 +153,57 @@ func (fc *frameConn) writeResponse(id uint64, resp *response) error {
 	return err
 }
 
+func (fc *frameConn) writeQuery(id uint64, q *queryReq) error {
+	bp := framePool.Get().(*[]byte)
+	buf := beginFrame(*bp, frameQuery, id)
+	buf = appendQuery(buf, q)
+	err := fc.finishFrame(buf)
+	*bp = buf
+	framePool.Put(bp)
+	return err
+}
+
+// writeStream carries one partial result batch plus the traversal
+// counters accumulated so far (progress.Err unused), so the client
+// can report live stats mid-stream like the in-process engines do.
+func (fc *frameConn) writeStream(id uint64, batch []keys.Key, progress *streamEnd) error {
+	bp := framePool.Get().(*[]byte)
+	buf := beginFrame(*bp, frameStream, id)
+	buf = binary.AppendUvarint(buf, uint64(progress.Logical))
+	buf = binary.AppendUvarint(buf, uint64(progress.Physical))
+	buf = binary.AppendUvarint(buf, uint64(progress.Visited))
+	buf = binary.AppendUvarint(buf, uint64(len(batch)))
+	for _, k := range batch {
+		buf = appendString(buf, string(k))
+	}
+	err := fc.finishFrame(buf)
+	*bp = buf
+	framePool.Put(bp)
+	return err
+}
+
+func (fc *frameConn) writeStreamEnd(id uint64, end *streamEnd) error {
+	bp := framePool.Get().(*[]byte)
+	buf := beginFrame(*bp, frameStreamEnd, id)
+	buf = appendStreamEnd(buf, end)
+	err := fc.finishFrame(buf)
+	*bp = buf
+	framePool.Put(bp)
+	return err
+}
+
 func (fc *frameConn) writeCancel(id uint64) error {
 	bp := framePool.Get().(*[]byte)
 	buf := beginFrame(*bp, frameCancel, id)
+	err := fc.finishFrame(buf)
+	*bp = buf
+	framePool.Put(bp)
+	return err
+}
+
+func (fc *frameConn) writeStreamAck(id uint64) error {
+	bp := framePool.Get().(*[]byte)
+	buf := beginFrame(*bp, frameStreamAck, id)
 	err := fc.finishFrame(buf)
 	*bp = buf
 	framePool.Put(bp)
@@ -230,6 +291,7 @@ func decodeRequest(p []byte, req *request) error {
 
 func appendResponse(b []byte, resp *response) []byte {
 	b = appendBool(b, resp.Found)
+	b = appendBool(b, resp.Dropped)
 	b = binary.AppendUvarint(b, uint64(len(resp.Values)))
 	for _, v := range resp.Values {
 		b = appendString(b, v)
@@ -244,6 +306,9 @@ func decodeResponse(p []byte, resp *response) error {
 	var v uint64
 	if resp.Found, p, err = getBool(p); err != nil {
 		return fmt.Errorf("response found: %w", err)
+	}
+	if resp.Dropped, p, err = getBool(p); err != nil {
+		return fmt.Errorf("response dropped: %w", err)
 	}
 	if v, p, err = getUvarint(p); err != nil {
 		return fmt.Errorf("response value count: %w", err)
@@ -275,6 +340,112 @@ func decodeResponse(p []byte, resp *response) error {
 	resp.Physical = int(v)
 	if resp.Err, _, err = getString(p); err != nil {
 		return fmt.Errorf("response err: %w", err)
+	}
+	return nil
+}
+
+func appendQuery(b []byte, q *queryReq) []byte {
+	b = appendBool(b, q.Range)
+	b = appendString(b, string(q.Prefix))
+	b = appendString(b, string(q.Lo))
+	b = appendString(b, string(q.Hi))
+	limit := q.Limit
+	if limit < 0 {
+		limit = 0
+	}
+	b = binary.AppendUvarint(b, uint64(limit))
+	return appendString(b, string(q.Entry))
+}
+
+func decodeQuery(p []byte, q *queryReq) error {
+	var err error
+	var s string
+	var v uint64
+	if q.Range, p, err = getBool(p); err != nil {
+		return fmt.Errorf("query range: %w", err)
+	}
+	if s, p, err = getString(p); err != nil {
+		return fmt.Errorf("query prefix: %w", err)
+	}
+	q.Prefix = keys.Key(s)
+	if s, p, err = getString(p); err != nil {
+		return fmt.Errorf("query lo: %w", err)
+	}
+	q.Lo = keys.Key(s)
+	if s, p, err = getString(p); err != nil {
+		return fmt.Errorf("query hi: %w", err)
+	}
+	q.Hi = keys.Key(s)
+	if v, p, err = getUvarint(p); err != nil {
+		return fmt.Errorf("query limit: %w", err)
+	}
+	q.Limit = int(v)
+	if s, _, err = getString(p); err != nil {
+		return fmt.Errorf("query entry: %w", err)
+	}
+	q.Entry = keys.Key(s)
+	return nil
+}
+
+func decodeStreamBatch(p []byte) ([]string, streamEnd, error) {
+	var progress streamEnd
+	var v uint64
+	var err error
+	if v, p, err = getUvarint(p); err != nil {
+		return nil, progress, fmt.Errorf("stream logical: %w", err)
+	}
+	progress.Logical = int(v)
+	if v, p, err = getUvarint(p); err != nil {
+		return nil, progress, fmt.Errorf("stream physical: %w", err)
+	}
+	progress.Physical = int(v)
+	if v, p, err = getUvarint(p); err != nil {
+		return nil, progress, fmt.Errorf("stream visited: %w", err)
+	}
+	progress.Visited = int(v)
+	if v, p, err = getUvarint(p); err != nil {
+		return nil, progress, fmt.Errorf("stream count: %w", err)
+	}
+	// Each key costs at least one byte on the wire (see the value
+	// count guard in decodeResponse).
+	if v > uint64(len(p)) {
+		return nil, progress, errors.New("transport: implausible stream count")
+	}
+	out := make([]string, 0, v)
+	for i := uint64(0); i < v; i++ {
+		var s string
+		if s, p, err = getString(p); err != nil {
+			return nil, progress, fmt.Errorf("stream key %d: %w", i, err)
+		}
+		out = append(out, s)
+	}
+	return out, progress, nil
+}
+
+func appendStreamEnd(b []byte, end *streamEnd) []byte {
+	b = binary.AppendUvarint(b, uint64(end.Logical))
+	b = binary.AppendUvarint(b, uint64(end.Physical))
+	b = binary.AppendUvarint(b, uint64(end.Visited))
+	return appendString(b, end.Err)
+}
+
+func decodeStreamEnd(p []byte, end *streamEnd) error {
+	var err error
+	var v uint64
+	if v, p, err = getUvarint(p); err != nil {
+		return fmt.Errorf("stream-end logical: %w", err)
+	}
+	end.Logical = int(v)
+	if v, p, err = getUvarint(p); err != nil {
+		return fmt.Errorf("stream-end physical: %w", err)
+	}
+	end.Physical = int(v)
+	if v, p, err = getUvarint(p); err != nil {
+		return fmt.Errorf("stream-end visited: %w", err)
+	}
+	end.Visited = int(v)
+	if end.Err, _, err = getString(p); err != nil {
+		return fmt.Errorf("stream-end err: %w", err)
 	}
 	return nil
 }

@@ -53,7 +53,38 @@ type poolConn struct {
 
 	mu      sync.Mutex
 	pending map[uint64]chan rtResult
+	// streams holds the in-flight streaming queries multiplexed on
+	// this connection, keyed by request id like pending.
+	streams map[uint64]*clientStream
 	err     error // terminal transport error; set once, conn unusable
+}
+
+// streamMsg is one demuxed stream event: a batch of keys (info
+// carries the traversal counters so far), the STREAM_END totals, or
+// the transport error that broke the connection.
+type streamMsg struct {
+	batch []string
+	end   bool
+	info  streamEnd
+	err   error
+}
+
+// clientStream is the demux-side handle of one streaming query. The
+// demux loop delivers into ch with backpressure while the consumer is
+// alive; gone (closed by the consumer on early exit) unblocks it so an
+// abandoned stream can never wedge the shared connection.
+type clientStream struct {
+	ch   chan streamMsg
+	gone chan struct{}
+}
+
+// deliver hands one event to the consumer, dropping it if the
+// consumer already left.
+func (cs *clientStream) deliver(msg streamMsg) {
+	select {
+	case cs.ch <- msg:
+	case <-cs.gone:
+	}
 }
 
 // rtResult is one demuxed round-trip outcome: either the decoded
@@ -82,6 +113,7 @@ func (p *connPool) get(ctx context.Context, addr string) (*poolConn, error) {
 			addr:    addr,
 			ready:   make(chan struct{}),
 			pending: make(map[uint64]chan rtResult),
+			streams: make(map[uint64]*clientStream),
 		}
 		p.conns[addr] = pc
 		// The dial is shared by every getter of this address, so it
@@ -151,22 +183,77 @@ func (p *connPool) demux(pc *poolConn) {
 			p.fail(pc, err)
 			return
 		}
-		if typ != frameResponse {
-			continue // unknown frame type: ignore for forward compat
-		}
-		var resp response
-		if err := decodeResponse(payload, &resp); err != nil {
-			p.fail(pc, err)
-			return
-		}
-		pc.mu.Lock()
-		ch := pc.pending[id]
-		delete(pc.pending, id)
-		pc.mu.Unlock()
-		if ch != nil {
-			ch <- rtResult{resp: resp}
+		switch typ {
+		case frameResponse:
+			var resp response
+			if err := decodeResponse(payload, &resp); err != nil {
+				p.fail(pc, err)
+				return
+			}
+			pc.mu.Lock()
+			ch := pc.pending[id]
+			delete(pc.pending, id)
+			pc.mu.Unlock()
+			if ch != nil {
+				ch <- rtResult{resp: resp}
+			}
+		case frameStream:
+			batch, progress, err := decodeStreamBatch(payload)
+			if err != nil {
+				p.fail(pc, err)
+				return
+			}
+			pc.mu.Lock()
+			cs := pc.streams[id]
+			pc.mu.Unlock()
+			if cs != nil {
+				cs.deliver(streamMsg{batch: batch, info: progress})
+			}
+		case frameStreamEnd:
+			var end streamEnd
+			if err := decodeStreamEnd(payload, &end); err != nil {
+				p.fail(pc, err)
+				return
+			}
+			pc.mu.Lock()
+			cs := pc.streams[id]
+			delete(pc.streams, id)
+			pc.mu.Unlock()
+			if cs != nil {
+				cs.deliver(streamMsg{end: true, info: end})
+			}
+		default:
+			// unknown frame type: ignore for forward compat
 		}
 	}
+}
+
+// openStream registers a fresh streaming query on pc and returns its
+// id and demux handle. The caller writes the QUERY frame itself.
+// The delivery channel holds a full server credit window plus the
+// STREAM_END, so the demux loop never blocks on a slow-but-alive
+// consumer — only on one that is queryWindow batches behind, which
+// the server-side credit pause prevents from ever happening.
+func (p *connPool) openStream(pc *poolConn) (uint64, *clientStream, error) {
+	id := p.nextID.Add(1)
+	cs := &clientStream{ch: make(chan streamMsg, queryWindow+1), gone: make(chan struct{})}
+	pc.mu.Lock()
+	if pc.err != nil {
+		err := pc.err
+		pc.mu.Unlock()
+		return 0, nil, err
+	}
+	pc.streams[id] = cs
+	pc.mu.Unlock()
+	return id, cs, nil
+}
+
+// forgetStream removes a streaming query's demux entry (early
+// consumer exit); the caller follows up with a CANCEL frame.
+func (pc *poolConn) forgetStream(id uint64) {
+	pc.mu.Lock()
+	delete(pc.streams, id)
+	pc.mu.Unlock()
 }
 
 // roundTrip sends req on the shared connection and waits for its
@@ -222,9 +309,14 @@ func (p *connPool) fail(pc *poolConn, err error) {
 	}
 	drain := pc.pending
 	pc.pending = make(map[uint64]chan rtResult)
+	drainStreams := pc.streams
+	pc.streams = make(map[uint64]*clientStream)
 	pc.mu.Unlock()
 	for _, ch := range drain {
 		ch <- rtResult{err: err}
+	}
+	for _, cs := range drainStreams {
+		cs.deliver(streamMsg{err: err})
 	}
 	_ = pc.fc.Close()
 	p.drop(pc)

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"context"
+	"encoding/binary"
 	"strings"
 	"sync"
 	"testing"
@@ -313,5 +314,70 @@ func TestFrameRoundTrip(t *testing.T) {
 	var truncated request
 	if err := decodeRequest(buf[:1], &truncated); err == nil {
 		t.Fatal("truncated payload decoded without error")
+	}
+
+	resp = response{Dropped: true}
+	buf = appendResponse(buf[:0], &resp)
+	gotR = response{}
+	if err := decodeResponse(buf, &gotR); err != nil {
+		t.Fatal(err)
+	}
+	if !gotR.Dropped || gotR.Found {
+		t.Fatalf("dropped response round-trip: got %+v", gotR)
+	}
+
+	q := queryReq{Range: true, Lo: "aa", Hi: "zz", Limit: 10, Entry: "m"}
+	buf = appendQuery(nil, &q)
+	var gotQ queryReq
+	if err := decodeQuery(buf, &gotQ); err != nil {
+		t.Fatal(err)
+	}
+	if gotQ != q {
+		t.Fatalf("query round-trip: got %+v want %+v", gotQ, q)
+	}
+	neg := queryReq{Prefix: "pd", Limit: -5}
+	buf = appendQuery(buf[:0], &neg)
+	if err := decodeQuery(buf, &gotQ); err != nil {
+		t.Fatal(err)
+	}
+	if gotQ.Limit != 0 {
+		t.Fatalf("negative limit must normalize to 0 on the wire, got %d", gotQ.Limit)
+	}
+
+	end := streamEnd{Logical: 11, Physical: 5, Visited: 42, Err: "halt"}
+	buf = appendStreamEnd(nil, &end)
+	var gotE streamEnd
+	if err := decodeStreamEnd(buf, &gotE); err != nil {
+		t.Fatal(err)
+	}
+	if gotE != end {
+		t.Fatalf("stream-end round-trip: got %+v want %+v", gotE, end)
+	}
+
+	batch := []keys.Key{"pdgesv", "pdgetrf", "s3l_fft"}
+	progress := streamEnd{Logical: 3, Physical: 1, Visited: 6}
+	bbuf := binary.AppendUvarint(nil, uint64(progress.Logical))
+	bbuf = binary.AppendUvarint(bbuf, uint64(progress.Physical))
+	bbuf = binary.AppendUvarint(bbuf, uint64(progress.Visited))
+	bbuf = binary.AppendUvarint(bbuf, uint64(len(batch)))
+	for _, k := range batch {
+		bbuf = appendString(bbuf, string(k))
+	}
+	gotB, gotP, err := decodeStreamBatch(bbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotB) != 3 || gotB[0] != "pdgesv" || gotB[2] != "s3l_fft" {
+		t.Fatalf("stream batch round-trip: %v", gotB)
+	}
+	if gotP != progress {
+		t.Fatalf("stream progress round-trip: got %+v want %+v", gotP, progress)
+	}
+	corrupt := binary.AppendUvarint(nil, 0)
+	corrupt = binary.AppendUvarint(corrupt, 0)
+	corrupt = binary.AppendUvarint(corrupt, 0)
+	corrupt = binary.AppendUvarint(corrupt, 1<<40)
+	if _, _, err := decodeStreamBatch(corrupt); err == nil {
+		t.Fatal("implausible stream count decoded without error")
 	}
 }

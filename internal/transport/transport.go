@@ -21,6 +21,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dlpt/internal/core"
 	"dlpt/internal/keys"
@@ -48,11 +49,31 @@ const maxRedirects = 8
 
 // response is the on-the-wire result.
 type response struct {
-	Found    bool
+	Found bool
+	// Dropped reports that a saturated peer ignored the request
+	// (capacity gating).
+	Dropped  bool
 	Values   []string
 	Logical  int
 	Physical int
 	Err      string
+}
+
+// queryReq is the on-the-wire form of one streaming subtree query:
+// the traversal spec plus the entry node the client drew from its
+// seeded stream. The server answers with STREAM batches and one
+// STREAM_END carrying the traversal totals.
+type queryReq struct {
+	Range          bool
+	Prefix, Lo, Hi keys.Key
+	Limit          int
+	Entry          keys.Key
+}
+
+// streamEnd closes one streaming query on the wire.
+type streamEnd struct {
+	Logical, Physical, Visited int
+	Err                        string
 }
 
 // Result is the outcome of a TCP-routed discovery.
@@ -62,6 +83,9 @@ type Result struct {
 	Values       []string
 	LogicalHops  int
 	PhysicalHops int
+	// Dropped reports that a saturated peer ignored the request
+	// (capacity gating).
+	Dropped bool
 }
 
 // peerServer is one peer's TCP endpoint. Accepted connections are
@@ -111,12 +135,29 @@ func (ps *peerServer) close() {
 	}
 }
 
+// Options are the optional cluster construction parameters.
+type Options struct {
+	// Placement picks ring identifiers for joining peers; nil draws
+	// uniformly random identifiers.
+	Placement lb.Strategy
+	// Gate enforces per-peer capacity on the discovery path: every
+	// visit consumes capacity and saturated peers drop requests.
+	Gate bool
+}
+
 // Cluster is an overlay whose peers communicate over TCP.
 type Cluster struct {
 	mu    sync.RWMutex // guards net + addrs
 	net   *core.Network
 	rng   *rand.Rand
 	addrs map[keys.Key]string
+	place lb.Strategy // join placement hook; nil = uniform random
+	gate  bool        // enforce peer capacity on discoveries
+
+	// queryVisits counts tree nodes visited by server-side streaming
+	// query traversals — the observable the early-exit tests watch to
+	// prove a cancelled consumer actually halts the walk.
+	queryVisits atomic.Int64
 
 	pool    *connPool
 	servers []*peerServer
@@ -131,6 +172,11 @@ var ErrStopped = errors.New("transport: cluster stopped")
 // Start launches a TCP-backed overlay with one listener per capacity
 // entry, all bound to 127.0.0.1 ephemeral ports.
 func Start(alpha *keys.Alphabet, capacities []int, seed int64) (*Cluster, error) {
+	return StartOpts(alpha, capacities, seed, Options{})
+}
+
+// StartOpts is Start with explicit Options.
+func StartOpts(alpha *keys.Alphabet, capacities []int, seed int64, opts Options) (*Cluster, error) {
 	if len(capacities) == 0 {
 		return nil, fmt.Errorf("transport: no peers")
 	}
@@ -138,6 +184,8 @@ func Start(alpha *keys.Alphabet, capacities []int, seed int64) (*Cluster, error)
 		net:   core.NewNetwork(alpha, core.PlacementLexicographic),
 		rng:   rand.New(rand.NewSource(seed)),
 		addrs: make(map[keys.Key]string),
+		place: opts.Placement,
+		gate:  opts.Gate,
 		quit:  make(chan struct{}),
 	}
 	c.pool = newConnPool(c.quit, &c.wg)
@@ -159,10 +207,14 @@ func (c *Cluster) AddPeer(capacity int) (keys.Key, error) {
 	}
 	c.mu.Lock()
 	var id keys.Key
-	for {
-		id = c.net.Alphabet.RandomKey(c.rng, 12, 12)
-		if _, exists := c.net.Peer(id); !exists {
-			break
+	if c.place != nil {
+		id = c.place.PlaceJoin(c.net, c.rng, capacity)
+	} else {
+		for {
+			id = c.net.Alphabet.RandomKey(c.rng, 12, 12)
+			if _, exists := c.net.Peer(id); !exists {
+				break
+			}
 		}
 	}
 	if err := c.net.JoinPeer(id, capacity, c.rng); err != nil {
@@ -386,12 +438,28 @@ func (c *Cluster) serve(ps *peerServer) {
 	}
 }
 
-// serverConn is the per-connection server state: the framed socket
-// plus the table of in-flight requests a CANCEL frame can abort.
+// serverConn is the per-connection server state: the framed socket,
+// the table of in-flight requests a CANCEL frame can abort, and the
+// per-stream credit channels STREAM_ACK frames feed.
 type serverConn struct {
 	fc     *frameConn
 	amu    sync.Mutex
 	active map[uint64]context.CancelFunc
+	credit map[uint64]chan struct{}
+}
+
+// ackStream feeds one batch credit to the streaming query with the
+// given id, if it is still active.
+func (sc *serverConn) ackStream(id uint64) {
+	sc.amu.Lock()
+	ch := sc.credit[id]
+	sc.amu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- struct{}{}:
+		default: // credit channel full: the walker is far behind anyway
+		}
+	}
 }
 
 // serverReq is one decoded REQUEST frame handed to a worker.
@@ -416,7 +484,9 @@ type serverReq struct {
 // with an earlier request, a transient goroutine takes the overflow
 // so multiplexed requests never queue behind each other.
 func (c *Cluster) handleConn(ps *peerServer, conn net.Conn) {
-	sc := &serverConn{fc: newFrameConn(conn), active: make(map[uint64]context.CancelFunc)}
+	sc := &serverConn{fc: newFrameConn(conn),
+		active: make(map[uint64]context.CancelFunc),
+		credit: make(map[uint64]chan struct{})}
 	work := make(chan serverReq)
 	defer close(work)
 	c.wg.Add(1)
@@ -461,6 +531,26 @@ func (c *Cluster) handleConn(ps *peerServer, conn net.Conn) {
 					c.serveReq(sc, item)
 				}()
 			}
+		case frameQuery:
+			var q queryReq
+			if err := decodeQuery(payload, &q); err != nil {
+				return // protocol violation: drop the connection
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			sc.amu.Lock()
+			sc.active[id] = cancel
+			sc.credit[id] = make(chan struct{}, queryWindow)
+			sc.amu.Unlock()
+			// Streams are long-lived relative to routing steps: each
+			// gets its own goroutine instead of the shared worker, so
+			// a slow stream never queues discovery steps behind it.
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				c.serveQuery(sc, id, q, ctx, cancel)
+			}()
+		case frameStreamAck:
+			sc.ackStream(id)
 		case frameCancel:
 			sc.amu.Lock()
 			if cancel, ok := sc.active[id]; ok {
@@ -470,6 +560,120 @@ func (c *Cluster) handleConn(ps *peerServer, conn net.Conn) {
 		}
 	}
 }
+
+// queryBatchKeys bounds the matches per STREAM frame, and
+// queryBatchVisits the node visits per read-lock hold of the
+// server-side traversal. queryWindow is the credit window: the
+// traversal pauses after that many unacknowledged STREAM frames, so
+// a consumer that stops pulling halts the walk (flow control the
+// kernel's socket buffers cannot provide).
+const (
+	queryBatchKeys   = 32
+	queryBatchVisits = 256
+	queryWindow      = 16
+)
+
+// serveQuery runs one streaming subtree query server-side: the walker
+// advances in bounded read-locked batches, every batch of matches
+// leaves as a STREAM frame, and the traversal totals close the stream
+// as a STREAM_END frame. The registered cancel (CANCEL frame from the
+// consumer, or connection teardown) aborts the traversal at the next
+// batch boundary — the limit pushdown and early-exit contract on the
+// wire.
+func (c *Cluster) serveQuery(sc *serverConn, id uint64, q queryReq,
+	ctx context.Context, cancel context.CancelFunc) {
+
+	sc.amu.Lock()
+	creditCh := sc.credit[id]
+	sc.amu.Unlock()
+	defer func() {
+		sc.amu.Lock()
+		delete(sc.active, id)
+		delete(sc.credit, id)
+		sc.amu.Unlock()
+		cancel()
+	}()
+	w := core.NewQueryWalker(c.net, core.QuerySpec{
+		Range:  q.Range,
+		Prefix: q.Prefix,
+		Lo:     q.Lo,
+		Hi:     q.Hi,
+		Limit:  q.Limit,
+	})
+	if !w.Empty() {
+		c.mu.RLock()
+		w.Start(q.Entry)
+		c.mu.RUnlock()
+	}
+	var errStr string
+	visited, credits := 0, queryWindow
+	for !w.Empty() {
+		if credits == 0 {
+			// Window exhausted: wait for the consumer to pull a batch
+			// (or give up) before touching any more of the tree.
+			select {
+			case <-creditCh:
+				credits++
+			case <-ctx.Done():
+			case <-c.quit:
+			}
+		}
+		// Fold in any further credits that arrived meanwhile.
+		for credits < queryWindow {
+			select {
+			case <-creditCh:
+				credits++
+				continue
+			default:
+			}
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			errStr = err.Error()
+			break
+		}
+		select {
+		case <-c.quit:
+			errStr = ErrStopped.Error()
+		default:
+		}
+		if errStr != "" {
+			break
+		}
+		if credits == 0 {
+			continue
+		}
+		c.mu.RLock()
+		batch, more := w.StepN(nil, queryBatchKeys, queryBatchVisits)
+		c.mu.RUnlock()
+		st := w.Stats()
+		c.queryVisits.Add(int64(st.NodesVisited - visited))
+		visited = st.NodesVisited
+		if len(batch) > 0 {
+			progress := streamEnd{Logical: st.LogicalHops,
+				Physical: st.PhysicalHops, Visited: st.NodesVisited}
+			if err := sc.fc.writeStream(id, batch, &progress); err != nil {
+				return // connection gone: nothing left to tell
+			}
+			credits--
+		}
+		if !more {
+			break
+		}
+	}
+	st := w.Stats()
+	_ = sc.fc.writeStreamEnd(id, &streamEnd{
+		Logical:  st.LogicalHops,
+		Physical: st.PhysicalHops,
+		Visited:  st.NodesVisited,
+		Err:      errStr,
+	})
+}
+
+// QueryVisits reports the cumulative node visits of server-side
+// streaming query traversals (test observable: it stops growing when
+// a cancelled consumer halts the walk).
+func (c *Cluster) QueryVisits() int64 { return c.queryVisits.Load() }
 
 // serveReq runs one routing step and writes its RESPONSE frame. A
 // result too large for one frame degrades to an in-band error so the
@@ -516,6 +720,14 @@ func (c *Cluster) step(ctx context.Context, self keys.Key, req request) response
 			return c.relay(ctx, addr, req)
 		}
 		node.RecordVisit()
+		if c.gate && !peer.TryProcess() {
+			// Section 4's request model: the visit is received (load
+			// recorded above) but a saturated peer ignores the
+			// request.
+			c.mu.RUnlock()
+			return response{Dropped: true,
+				Logical: req.Logical, Physical: req.Physical}
+		}
 		var next keys.Key
 		done, found := false, false
 		var values []string
@@ -707,6 +919,7 @@ func (c *Cluster) DiscoverContext(ctx context.Context, key keys.Key) (Result, er
 		Values:       resp.Values,
 		LogicalHops:  resp.Logical,
 		PhysicalHops: resp.Physical,
+		Dropped:      resp.Dropped,
 	}, nil
 }
 
@@ -734,6 +947,189 @@ func (c *Cluster) RangeQuery(lo, hi keys.Key) (core.QueryResult, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.net.RangeQuery(lo, hi, c.rng), nil
+}
+
+// WireStream is the client half of one streaming query: STREAM
+// batches arrive multiplexed on the pooled connection and are pulled
+// off in lexicographic order; STREAM_END closes the stream with the
+// traversal totals. Closing early (or cancelling the query context)
+// sends a CANCEL frame that frees the server-side traversal while the
+// shared connection survives.
+type WireStream struct {
+	c   *Cluster
+	pc  *poolConn
+	id  uint64
+	cs  *clientStream
+	ctx context.Context
+
+	cur      []string
+	pos      int
+	ended    bool // no more events will be consumed
+	finished bool // STREAM_END received: the server is already done
+	stats    core.QueryResult
+	err      error
+
+	closeOnce sync.Once
+}
+
+// StreamQuery starts a streaming subtree query over the wire: the
+// entry node is drawn from the same seeded stream the slice queries
+// use and the traversal runs at the entry host, streaming batches
+// back over the pooled connection.
+func (c *Cluster) StreamQuery(ctx context.Context, spec core.QuerySpec) (*WireStream, error) {
+	select {
+	case <-c.quit:
+		return nil, ErrStopped
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if spec.Range && spec.Hi < spec.Lo {
+		// Void by construction: no entry draw, no wire traffic,
+		// matching the slice path.
+		return &WireStream{ended: true, finished: true}, nil
+	}
+	c.mu.Lock()
+	entry, ok := c.net.RandomNodeKey(c.rng)
+	var addr string
+	if ok {
+		host, _ := c.net.HostOf(entry)
+		addr = c.addrs[host]
+	}
+	c.mu.Unlock()
+	if !ok {
+		return &WireStream{ended: true, finished: true}, nil
+	}
+	q := &queryReq{
+		Range:  spec.Range,
+		Prefix: spec.Prefix,
+		Lo:     spec.Lo,
+		Hi:     spec.Hi,
+		Limit:  spec.Limit,
+		Entry:  entry,
+	}
+	pc, id, cs, err := c.openWireQuery(ctx, addr, q)
+	if err != nil {
+		// The address was stale (departed peer, Balance rename):
+		// re-resolve the entry's current host once and retry on a
+		// fresh dial, as relay does for discovery hops.
+		if ctx.Err() != nil || errors.Is(err, ErrStopped) {
+			return nil, err
+		}
+		c.mu.RLock()
+		host, okh := c.net.HostOf(entry)
+		retryAddr := c.addrs[host]
+		c.mu.RUnlock()
+		if !okh || retryAddr == "" {
+			return nil, err
+		}
+		if pc, id, cs, err = c.openWireQuery(ctx, retryAddr, q); err != nil {
+			return nil, err
+		}
+	}
+	return &WireStream{c: c, pc: pc, id: id, cs: cs, ctx: ctx}, nil
+}
+
+// openWireQuery registers a stream on the pooled connection to addr
+// and puts its QUERY frame on the wire.
+func (c *Cluster) openWireQuery(ctx context.Context, addr string, q *queryReq) (*poolConn, uint64, *clientStream, error) {
+	pc, err := c.pool.get(ctx, addr)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	id, cs, err := c.pool.openStream(pc)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if err := pc.fc.writeQuery(id, q); err != nil {
+		pc.forgetStream(id)
+		if !errors.Is(err, errFrameTooLarge) {
+			c.pool.fail(pc, err)
+		}
+		return nil, 0, nil, err
+	}
+	return pc, id, cs, nil
+}
+
+// Next returns the next matching key; ok == false means the stream is
+// exhausted (see Err).
+func (s *WireStream) Next() (keys.Key, bool) {
+	for {
+		if s.pos < len(s.cur) {
+			k := s.cur[s.pos]
+			s.pos++
+			return keys.Key(k), true
+		}
+		if s.ended {
+			return keys.Epsilon, false
+		}
+		select {
+		case msg := <-s.cs.ch:
+			switch {
+			case msg.err != nil:
+				s.err, s.ended = msg.err, true
+				return keys.Epsilon, false
+			case msg.end:
+				s.ended, s.finished = true, true
+				s.stats = core.QueryResult{
+					LogicalHops:  msg.info.Logical,
+					PhysicalHops: msg.info.Physical,
+					NodesVisited: msg.info.Visited,
+				}
+				if msg.info.Err != "" {
+					s.err = errors.New(msg.info.Err)
+				}
+				return keys.Epsilon, false
+			default:
+				s.cur, s.pos = msg.batch, 0
+				s.stats = core.QueryResult{
+					LogicalHops:  msg.info.Logical,
+					PhysicalHops: msg.info.Physical,
+					NodesVisited: msg.info.Visited,
+				}
+				// Feed the server's credit window: one ACK per batch
+				// pulled keeps the traversal flowing; a consumer that
+				// stops pulling starves it into pausing.
+				_ = s.pc.fc.writeStreamAck(s.id)
+			}
+		case <-s.ctx.Done():
+			s.err, s.ended = s.ctx.Err(), true
+			return keys.Epsilon, false
+		case <-s.c.quit:
+			s.err, s.ended = ErrStopped, true
+			return keys.Epsilon, false
+		}
+	}
+}
+
+// Err reports the error that terminated the stream early, nil after a
+// normal end of stream.
+func (s *WireStream) Err() error { return s.err }
+
+// Stats returns the traversal counters as of the last batch pulled
+// (every STREAM frame carries the server's running totals);
+// STREAM_END replaces them with the final totals.
+func (s *WireStream) Stats() core.QueryResult { return s.stats }
+
+// Close releases the stream. If the server is still traversing, the
+// demux entry is dropped and a CANCEL frame frees the server-side
+// walk — the pooled connection itself stays open and keeps serving
+// the other multiplexed requests. After Close, Next reports end of
+// stream even if batches were still buffered.
+func (s *WireStream) Close() error {
+	s.closeOnce.Do(func() {
+		if s.cs != nil {
+			if !s.finished {
+				s.pc.forgetStream(s.id)
+				_ = s.pc.fc.writeCancel(s.id)
+			}
+			close(s.cs.gone)
+		}
+		s.ended = true
+		s.cur, s.pos = nil, 0
+	})
+	return nil
 }
 
 // Snapshot returns a consistent copy of the whole tree.

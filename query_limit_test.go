@@ -1,14 +1,25 @@
 package dlpt
 
-// Limit semantics of Complete and Range on the Registry: limit <= 0
-// means no limit, a limit beyond the match count returns every match,
-// and a positive limit clips in lexicographic order — identically on
-// every engine.
+// Limit semantics of Complete/Range and their streaming counterparts
+// on the Registry: limit <= 0 means no limit, a limit beyond the
+// match count returns every match, and a positive limit clips in
+// lexicographic order — identically on every engine, with the slice
+// methods pinned byte-identical to their streams. The streaming
+// tests additionally pin limit pushdown (a limited stream visits a
+// fraction of the nodes the full walk does), mid-stream cancellation,
+// and that early consumer exit halts the TCP-side traversal.
 
 import (
 	"context"
+	"errors"
 	"reflect"
 	"testing"
+	"time"
+
+	"dlpt/engine"
+	enginetcp "dlpt/engine/tcp"
+	"dlpt/internal/keys"
+	"dlpt/internal/workload"
 )
 
 func TestCompleteRangeLimits(t *testing.T) {
@@ -66,6 +77,358 @@ func TestCompleteRangeLimits(t *testing.T) {
 			if !reflect.DeepEqual(got, tc.want) {
 				t.Errorf("range(%q, %q, %d) = %v, want %v", tc.lo, tc.hi, tc.limit, got, tc.want)
 			}
+		}
+	})
+}
+
+// collectSeq drains an iterator into a slice, failing on any yielded
+// error.
+func collectSeq(t *testing.T, it func(func(string, error) bool)) []string {
+	t.Helper()
+	var out []string
+	for k, err := range it {
+		if err != nil {
+			t.Fatalf("seq error after %d keys: %v", len(out), err)
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestSeqMatchesSlice pins the streaming API byte-identical to the
+// slice wrappers for every limit shape (0, negative, over-matches,
+// exact, clipping) on every engine.
+func TestSeqMatchesSlice(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, kind EngineKind) {
+		ctx := context.Background()
+		reg := newRegistry(t, 4, WithSeed(9), WithEngine(kind))
+		for _, name := range []string{"app1", "app2", "app3", "base", "apricot"} {
+			if err := reg.Register(ctx, name, "ep://"+name); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, limit := range []int{0, -1, 1, 2, 3, 99} {
+			for _, prefix := range []string{"app", "ap", "", "zzz"} {
+				want, err := reg.Complete(ctx, prefix, limit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := collectSeq(t, reg.CompleteSeq(ctx, prefix, limit))
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("CompleteSeq(%q, %d) = %v, slice = %v", prefix, limit, got, want)
+				}
+			}
+			for _, r := range [][2]string{{"app1", "app3"}, {"a", "b"}, {"x", "z"}, {"x", "a"}} {
+				want, err := reg.Range(ctx, r[0], r[1], limit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := collectSeq(t, reg.RangeSeq(ctx, r[0], r[1], limit))
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("RangeSeq(%v, %d) = %v, slice = %v", r, limit, got, want)
+				}
+			}
+		}
+		want, err := reg.Services(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := collectSeq(t, reg.ServicesSeq(ctx)); !reflect.DeepEqual(got, want) {
+			t.Errorf("ServicesSeq = %v, Services = %v", got, want)
+		}
+	})
+}
+
+// TestSeqEarlyBreak stops consuming mid-stream on every engine: the
+// iteration must terminate cleanly and the overlay must keep serving.
+func TestSeqEarlyBreak(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, kind EngineKind) {
+		ctx := context.Background()
+		reg := newRegistry(t, 4, WithSeed(21), WithAlphabet(keys.LowerAlnum), WithEngine(kind))
+		corpus := workload.GridCorpus(120)
+		batch := make([]Registration, len(corpus))
+		for i, k := range corpus {
+			batch[i] = Registration{Name: string(k), Endpoint: "ep"}
+		}
+		if err := reg.RegisterBatch(ctx, batch); err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			var got []string
+			for k, err := range reg.CompleteSeq(ctx, "", 0) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, k)
+				if len(got) == 2 {
+					break
+				}
+			}
+			if len(got) != 2 || got[0] >= got[1] {
+				t.Fatalf("early break yielded %v", got)
+			}
+		}
+		// The overlay must be fully functional after abandoned streams.
+		if _, ok, err := reg.Discover(ctx, string(corpus[0])); err != nil || !ok {
+			t.Fatalf("discover after early break: ok=%v err=%v", ok, err)
+		}
+		if err := reg.Validate(ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestSeqContextCancelMidStream cancels the query context while the
+// stream is being consumed and requires the iterator to surface
+// context.Canceled promptly — on every engine (the sequential
+// generator checks the context at chunk boundaries).
+func TestSeqContextCancelMidStream(t *testing.T) {
+	for _, kind := range []EngineKind{EngineLocal, EngineLive, EngineTCP} {
+		t.Run(string(kind), func(t *testing.T) {
+			ctx := context.Background()
+			reg := newRegistry(t, 4, WithSeed(23), WithAlphabet(keys.LowerAlnum), WithEngine(kind))
+			corpus := workload.GridCorpus(3000)
+			batch := make([]Registration, len(corpus))
+			for i, k := range corpus {
+				batch[i] = Registration{Name: string(k), Endpoint: "ep"}
+			}
+			if err := reg.RegisterBatch(ctx, batch); err != nil {
+				t.Fatal(err)
+			}
+			cctx, cancel := context.WithCancel(ctx)
+			defer cancel()
+			var seen int
+			var seqErr error
+			for k, err := range reg.CompleteSeq(cctx, "", 0) {
+				if err != nil {
+					seqErr = err
+					break
+				}
+				_ = k
+				seen++
+				if seen == 3 {
+					cancel()
+				}
+				if seen > len(corpus) {
+					t.Fatal("stream outlived its catalogue")
+				}
+			}
+			if !errors.Is(seqErr, context.Canceled) {
+				t.Fatalf("after cancel: err=%v (saw %d keys)", seqErr, seen)
+			}
+			// A fresh context must work; the engine survived.
+			if _, ok, err := reg.Discover(ctx, string(corpus[0])); err != nil || !ok {
+				t.Fatalf("discover after cancel: ok=%v err=%v", ok, err)
+			}
+		})
+	}
+}
+
+// registerLargeCorpus registers n keys and returns the corpus.
+func registerLargeCorpus(t *testing.T, reg *Registry, n int) []keys.Key {
+	t.Helper()
+	corpus := workload.GridCorpus(n)
+	batch := make([]Registration, len(corpus))
+	for i, k := range corpus {
+		batch[i] = Registration{Name: string(k), Endpoint: "ep"}
+	}
+	if err := reg.RegisterBatch(context.Background(), batch); err != nil {
+		t.Fatal(err)
+	}
+	return corpus
+}
+
+// TestLimitPushdownVisitsFewerNodes is the acceptance check of the
+// streaming redesign: on a 10k-key workload, a limit-10 completion
+// visits asymptotically fewer tree nodes and hops than the full walk
+// — on every engine, asserted through the stream's hop stats.
+func TestLimitPushdownVisitsFewerNodes(t *testing.T) {
+	const nkeys = 10000
+	forEachEngine(t, func(t *testing.T, kind EngineKind) {
+		ctx := context.Background()
+		reg := newRegistry(t, 16, WithSeed(31), WithAlphabet(keys.LowerAlnum), WithEngine(kind))
+		registerLargeCorpus(t, reg, nkeys)
+		eng := reg.Engine()
+
+		drainStats := func(q engine.Query) ([]string, engine.QueryStats) {
+			s, err := eng.Query(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			var ks []string
+			for {
+				k, ok := s.Next()
+				if !ok {
+					break
+				}
+				ks = append(ks, k)
+			}
+			if err := s.Err(); err != nil {
+				t.Fatal(err)
+			}
+			return ks, s.Stats()
+		}
+
+		fullKeys, fullStats := drainStats(engine.Query{Kind: engine.QueryComplete})
+		if len(fullKeys) != nkeys {
+			t.Fatalf("full walk yielded %d keys, want %d", len(fullKeys), nkeys)
+		}
+		if fullStats.NodesVisited < nkeys {
+			t.Fatalf("full walk visited %d nodes over %d keys", fullStats.NodesVisited, nkeys)
+		}
+		limKeys, limStats := drainStats(engine.Query{Kind: engine.QueryComplete, Limit: 10})
+		if !reflect.DeepEqual(limKeys, fullKeys[:10]) {
+			t.Fatalf("limited walk = %v, want %v", limKeys, fullKeys[:10])
+		}
+		if limStats.NodesVisited == 0 {
+			t.Fatal("limited walk reported no visits")
+		}
+		if limStats.NodesVisited*20 > fullStats.NodesVisited {
+			t.Fatalf("limit pushdown missing: limited visited %d of %d nodes",
+				limStats.NodesVisited, fullStats.NodesVisited)
+		}
+		if limStats.LogicalHops*20 > fullStats.LogicalHops {
+			t.Fatalf("limit pushdown missing: limited hops %d of %d",
+				limStats.LogicalHops, fullStats.LogicalHops)
+		}
+	})
+}
+
+// TestTCPEarlyExitHaltsTraversal pins the wire contract of streaming
+// queries: cancelling a consumer mid-stream (a) halts the server-side
+// traversal — the query visit counter stops growing far below the
+// full-walk total — and (b) frees the stream while the pooled
+// connection survives without a single new dial.
+func TestTCPEarlyExitHaltsTraversal(t *testing.T) {
+	const nkeys = 10000
+	ctx := context.Background()
+	reg := newRegistry(t, 8, WithSeed(41), WithAlphabet(keys.LowerAlnum), WithEngine(EngineTCP))
+	corpus := registerLargeCorpus(t, reg, nkeys)
+	eng, ok := reg.Engine().(*enginetcp.Engine)
+	if !ok {
+		t.Fatalf("engine is %T", reg.Engine())
+	}
+	cluster := eng.Cluster()
+
+	// Reference: the visit cost of one full walk.
+	full, err := reg.Complete(ctx, "", 0)
+	if err != nil || len(full) != nkeys {
+		t.Fatalf("full complete: %d keys, err=%v", len(full), err)
+	}
+	fullVisits := cluster.QueryVisits()
+	if fullVisits < int64(nkeys) {
+		t.Fatalf("full walk recorded only %d visits", fullVisits)
+	}
+
+	// Warm the pool: touch every peer so later traffic cannot add
+	// legitimate first dials that would mask a closed connection.
+	for i := 0; i < 100; i++ {
+		if _, ok, err := reg.Discover(ctx, string(corpus[i])); err != nil || !ok {
+			t.Fatalf("warmup discover: ok=%v err=%v", ok, err)
+		}
+	}
+
+	v0 := cluster.QueryVisits()
+	_, dials0 := cluster.PoolStats()
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	seen, gotErr := 0, error(nil)
+	for _, err := range reg.CompleteSeq(cctx, "", 0) {
+		if err != nil {
+			gotErr = err
+			break
+		}
+		seen++
+		if seen == 3 {
+			cancel() // mid-stream: the traversal has barely started
+		}
+	}
+	if !errors.Is(gotErr, context.Canceled) {
+		t.Fatalf("cancelled stream returned %v after %d keys", gotErr, seen)
+	}
+
+	// The server-side walk must stop: the visit counter plateaus...
+	deadline := time.Now().Add(2 * time.Second)
+	var v1, v2 int64
+	for {
+		v1 = cluster.QueryVisits()
+		time.Sleep(50 * time.Millisecond)
+		v2 = cluster.QueryVisits()
+		if v1 == v2 || time.Now().After(deadline) {
+			break
+		}
+	}
+	if v1 != v2 {
+		t.Fatalf("traversal still running after cancel: %d -> %d", v1, v2)
+	}
+	// ...far below the full-walk cost (the flow-control window bounds
+	// the overrun).
+	if halted := v2 - v0; halted*4 > fullVisits {
+		t.Fatalf("cancelled walk visited %d nodes, full walk costs %d", halted, fullVisits)
+	}
+
+	// The pooled connection survived: later traffic reuses it without
+	// one new dial, and the overlay serves normally.
+	for i := 0; i < 20; i++ {
+		if _, ok, err := reg.Discover(ctx, string(corpus[i])); err != nil || !ok {
+			t.Fatalf("discover after cancel: ok=%v err=%v", ok, err)
+		}
+	}
+	if again, err := reg.Complete(ctx, "", 0); err != nil || len(again) != nkeys {
+		t.Fatalf("full complete after cancel: %d keys, err=%v", len(again), err)
+	}
+	if _, dials1 := cluster.PoolStats(); dials1 != dials0 {
+		t.Fatalf("cancel closed the pooled connection: dials %d -> %d", dials0, dials1)
+	}
+}
+
+// TestStreamStatsReported sanity-checks the per-stream hop counters
+// the acceptance benchmarks surface.
+func TestStreamStatsReported(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, kind EngineKind) {
+		ctx := context.Background()
+		reg := newRegistry(t, 4, WithSeed(13), WithAlphabet(keys.LowerAlnum), WithEngine(kind))
+		registerLargeCorpus(t, reg, 200)
+		s, err := reg.Engine().Query(ctx, engine.Query{Kind: engine.QueryRange, Lo: "a", Hi: "zz"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		n := 0
+		for {
+			if _, ok := s.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if err := s.Err(); err != nil {
+			t.Fatal(err)
+		}
+		st := s.Stats()
+		if n == 0 || st.NodesVisited < n || st.LogicalHops == 0 {
+			t.Fatalf("stats %+v for %d keys", st, n)
+		}
+		if st.PhysicalHops > st.LogicalHops {
+			t.Fatalf("physical %d > logical %d", st.PhysicalHops, st.LogicalHops)
+		}
+
+		// Stats are live mid-stream on every engine (the TCP stream
+		// carries running counters in each batch), and Next reports
+		// end of stream after Close even with keys still buffered.
+		s2, err := reg.Engine().Query(ctx, engine.Query{Kind: engine.QueryComplete})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s2.Next(); !ok {
+			t.Fatal("no first key")
+		}
+		if mid := s2.Stats(); mid.NodesVisited == 0 {
+			t.Fatalf("mid-stream stats empty on %s", kind)
+		}
+		s2.Close()
+		if _, ok := s2.Next(); ok {
+			t.Fatalf("Next returned a key after Close on %s", kind)
 		}
 	})
 }
