@@ -368,7 +368,7 @@ func BenchmarkReplicateRecover(b *testing.B) {
 		if err := net.FailPeer(ids[rng.Intn(len(ids))]); err != nil {
 			b.Fatal(err)
 		}
-		if _, lost := net.Recover(); lost != 0 {
+		if _, lost := net.Recover(); len(lost) != 0 {
 			b.Fatal("lost nodes")
 		}
 		if err := net.JoinPeer(keys.LowerAlnum.RandomKey(rng, 12, 12), 1<<30, rng); err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"dlpt"
 	"dlpt/engine"
 	enginelive "dlpt/engine/live"
 	enginelocal "dlpt/engine/local"
@@ -154,5 +155,105 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := Run(ctx, eng, Config{Ops: 10, Keys: corpus(4),
 		JoinRate: 0.6, LeaveRate: 0.6}); err == nil {
 		t.Fatal("rates > 1 accepted")
+	}
+}
+
+// TestRunDirectoryAllEngines drives the attribute-level churn
+// workload over every engine: multi-attribute resources come and go
+// under membership churn, so the attribute sub-trees ("cpu=", "mem=",
+// "site=") see churn too, and conjunctive queries run throughout.
+func TestRunDirectoryAllEngines(t *testing.T) {
+	for name := range factories {
+		t.Run(name, func(t *testing.T) {
+			dir, err := dlpt.NewDirectory(6,
+				dlpt.WithSeed(9),
+				dlpt.WithEngine(dlpt.EngineKind(name)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer dir.Close()
+			st, err := RunDirectory(context.Background(), dir, DirectoryConfig{
+				Seed:      13,
+				Ops:       300,
+				JoinRate:  0.04,
+				LeaveRate: 0.03,
+				CrashRate: 0.02,
+				Resources: 48,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v (stats %+v)", name, err, st)
+			}
+			if st.Registers == 0 || st.Finds == 0 {
+				t.Fatalf("no resource workload ran: %+v", st)
+			}
+			if st.Matches == 0 {
+				t.Fatalf("no query ever matched: %+v", st)
+			}
+			if st.Crashes > 0 && st.Recoveries == 0 {
+				t.Fatalf("crashed without recovering: %+v", st)
+			}
+			if st.FinalResources != dir.NumResources() {
+				t.Fatalf("FinalResources=%d, directory says %d",
+					st.FinalResources, dir.NumResources())
+			}
+		})
+	}
+}
+
+// TestRunDirectoryDeterministic requires identical stats for
+// identical seeds on the sequential engine.
+func TestRunDirectoryDeterministic(t *testing.T) {
+	run := func() DirectoryStats {
+		dir, err := dlpt.NewDirectory(5,
+			dlpt.WithSeed(21), dlpt.WithEngine(dlpt.EngineLocal))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dir.Close()
+		st, err := RunDirectory(context.Background(), dir, DirectoryConfig{
+			Seed: 23, Ops: 200, JoinRate: 0.03, LeaveRate: 0.02, CrashRate: 0.02,
+			Resources: 32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed diverged:\n  %+v\n  %+v", a, b)
+	}
+}
+
+// TestRunColdRestartAllEngines kills every peer of a durable overlay
+// after a churn soak and restarts it from the persistence directory
+// on each engine; the helper itself asserts the restored catalogue
+// equals the one declared at the final replication tick.
+func TestRunColdRestartAllEngines(t *testing.T) {
+	for name := range factories {
+		t.Run(name, func(t *testing.T) {
+			st, err := RunColdRestart(context.Background(), ColdRestartConfig{
+				Dir:    t.TempDir(),
+				Engine: dlpt.EngineKind(name),
+				Peers:  6,
+				Seed:   17,
+				Churn: Config{
+					Ops:       250,
+					JoinRate:  0.04,
+					LeaveRate: 0.03,
+					CrashRate: 0.02,
+					Keys:      corpus(60),
+				},
+			})
+			if err != nil {
+				t.Fatalf("%s: %v (stats %+v)", name, err, st)
+			}
+			if st.Declared == 0 || st.Recovered != st.Declared {
+				t.Fatalf("recovered %d of %d declared keys", st.Recovered, st.Declared)
+			}
+			if st.CrashedBeforeKill == 0 {
+				t.Fatalf("no peer was crashed before the kill: %+v", st)
+			}
+		})
 	}
 }

@@ -1,0 +1,148 @@
+package churn
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"dlpt"
+)
+
+// ColdRestartConfig parameterizes the crash-all + cold-restart
+// scenario: a durable overlay soaks under churn, every peer is then
+// killed — the removable ones by explicit crashes, the rest
+// (including the last peer) by abrupt process death — and the overlay
+// restarts from the persistence directory alone.
+type ColdRestartConfig struct {
+	// Dir is the persistence directory (required).
+	Dir string
+	// Engine selects the execution backend (default EngineLive).
+	Engine dlpt.EngineKind
+	// Peers is the initial overlay size (default 8).
+	Peers int
+	// Capacity is the per-peer capacity of the initial overlay
+	// (default 1<<20, effectively unbounded).
+	Capacity int
+	// Seed fixes the overlay and driver randomness.
+	Seed int64
+	// Churn is the soak run before the kill; Churn.Keys is required.
+	Churn Config
+}
+
+// ColdRestartStats reports what the scenario did.
+type ColdRestartStats struct {
+	// Soak is the churn run that preceded the kill.
+	Soak Stats
+	// Declared is the number of service keys declared at the final
+	// replication tick, and Recovered the number present after the
+	// cold restart; the scenario fails unless they match exactly.
+	Declared, Recovered int
+	// CrashedBeforeKill counts the peers crashed explicitly before
+	// the final abrupt death of the remainder.
+	CrashedBeforeKill int
+}
+
+// RunColdRestart drives the full crash-all scenario: churn soak on a
+// durable overlay, a final Replicate, explicit crashes of every
+// removable peer (no recovery — their state survives only as
+// successor replicas and on disk), abrupt death of the rest by
+// closing the engine, then dlpt.Restart from the directory. It
+// validates the restored overlay's invariants and requires the
+// post-restart catalogue to equal the catalogue declared at the final
+// replication tick, byte for byte.
+func RunColdRestart(ctx context.Context, cfg ColdRestartConfig) (ColdRestartStats, error) {
+	var st ColdRestartStats
+	if cfg.Dir == "" {
+		return st, fmt.Errorf("churn: cold restart needs a persistence directory")
+	}
+	kind := cfg.Engine
+	if kind == "" {
+		kind = dlpt.EngineLive
+	}
+	peers := cfg.Peers
+	if peers <= 0 {
+		peers = 8
+	}
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = 1 << 20
+	}
+	caps := make([]int, peers)
+	for i := range caps {
+		caps[i] = capacity
+	}
+	reg, err := dlpt.New(peers,
+		dlpt.WithSeed(cfg.Seed),
+		dlpt.WithEngine(kind),
+		dlpt.WithCapacities(caps),
+		dlpt.WithPersistence(cfg.Dir))
+	if err != nil {
+		return st, err
+	}
+	defer reg.Close()
+
+	soak := cfg.Churn
+	if soak.Seed == 0 {
+		soak.Seed = cfg.Seed
+	}
+	if st.Soak, err = Run(ctx, reg.Engine(), soak); err != nil {
+		return st, err
+	}
+	// The final replication tick: everything declared up to here must
+	// survive the cold restart.
+	if _, err := reg.Replicate(ctx); err != nil {
+		return st, err
+	}
+	declared, err := reg.Services(ctx)
+	if err != nil {
+		return st, err
+	}
+	st.Declared = len(declared)
+
+	// Kill every peer: crash all the removable ones (the engine
+	// refuses to crash the last), then die abruptly — Close without
+	// any graceful handoff takes the survivors down too.
+	for reg.NumPeers() > 1 {
+		infos, err := reg.Peers(ctx)
+		if err != nil {
+			return st, err
+		}
+		if err := reg.CrashPeer(ctx, infos[0].ID); err != nil {
+			return st, err
+		}
+		st.CrashedBeforeKill++
+	}
+	if err := reg.Close(); err != nil {
+		return st, err
+	}
+
+	// Cold restart: nothing is left but the persistence directory.
+	restarted, err := dlpt.Restart(cfg.Dir,
+		dlpt.WithSeed(cfg.Seed),
+		dlpt.WithEngine(kind))
+	if err != nil {
+		return st, err
+	}
+	defer restarted.Close()
+	if err := restarted.Validate(ctx); err != nil {
+		return st, fmt.Errorf("churn: restored overlay invalid: %w", err)
+	}
+	recovered, err := restarted.Services(ctx)
+	if err != nil {
+		return st, err
+	}
+	st.Recovered = len(recovered)
+	sort.Strings(declared)
+	sort.Strings(recovered)
+	if len(declared) != len(recovered) {
+		return st, fmt.Errorf("churn: cold restart recovered %d of %d keys",
+			len(recovered), len(declared))
+	}
+	for i := range declared {
+		if declared[i] != recovered[i] {
+			return st, fmt.Errorf("churn: cold restart catalogue diverges at %q vs %q",
+				declared[i], recovered[i])
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,309 @@
+package churn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"dlpt"
+)
+
+// DirectoryConfig parameterizes an attribute-level churn run: the
+// workload drives Directory resources (multi-attribute registrations
+// and conjunctive queries over the attribute sub-trees) instead of
+// bare Registry keys, interleaved with the same membership events.
+type DirectoryConfig struct {
+	// Seed fixes the driver's randomness.
+	Seed int64
+	// Ops is the number of workload steps to run.
+	Ops int
+
+	// JoinRate, LeaveRate, CrashRate and RecoverRate are per-step
+	// probabilities of the corresponding membership event; the
+	// remainder of the probability mass is resource operations.
+	JoinRate, LeaveRate, CrashRate, RecoverRate float64
+
+	// JoinCapacity is the capacity of joining peers (default 1<<20).
+	JoinCapacity int
+	// MinPeers floors the overlay size (default 2).
+	MinPeers int
+	// ReplicateEvery triggers a replication tick every that many
+	// steps (default 64; <0 disables).
+	ReplicateEvery int
+
+	// Resources is the size of the resource-id pool the workload
+	// registers and withdraws (default 64).
+	Resources int
+}
+
+// DirectoryStats reports what one attribute-level churn run did.
+type DirectoryStats struct {
+	Ops         int
+	Registers   int
+	Unregisters int
+	Finds       int
+	// Matches counts resource ids returned across all Find calls.
+	Matches int
+
+	Joins      int
+	Leaves     int
+	Crashes    int
+	Recoveries int
+
+	Replications int
+
+	// FinalResources is the registered-resource count after the run
+	// (post final recovery and validation).
+	FinalResources int
+}
+
+// directory attribute corpus: every registration declares one value
+// per attribute, so each attribute sub-tree ("cpu=", "mem=", "site=")
+// sees its own churn as resources come and go.
+var (
+	dirCPUs  = []string{"x86_64", "arm64", "riscv64", "ppc64"}
+	dirMems  = []string{"016", "032", "064", "128", "256"}
+	dirSites = []string{"lyon", "nancy", "rennes", "sophia", "toulouse"}
+)
+
+func dirResource(id int, r *rand.Rand) dlpt.Resource {
+	return dlpt.Resource{
+		ID: fmt.Sprintf("res%04d", id),
+		Attributes: map[string]string{
+			"cpu":  dirCPUs[r.Intn(len(dirCPUs))],
+			"mem":  dirMems[r.Intn(len(dirMems))],
+			"site": dirSites[r.Intn(len(dirSites))],
+		},
+	}
+}
+
+// RunDirectory drives a Directory through cfg.Ops steps of resource
+// churn — register/unregister of multi-attribute resources and
+// conjunctive queries (exact, prefix and range predicates) — mixed
+// with membership churn, under the same repair-before-mutation
+// discipline as Run. The directory is left repaired and validated.
+func RunDirectory(ctx context.Context, dir *dlpt.Directory, cfg DirectoryConfig) (DirectoryStats, error) {
+	var st DirectoryStats
+	if cfg.Ops <= 0 {
+		return st, errors.New("churn: Ops must be positive")
+	}
+	if cfg.JoinCapacity == 0 {
+		cfg.JoinCapacity = 1 << 20
+	}
+	if cfg.MinPeers < 2 {
+		cfg.MinPeers = 2
+	}
+	if cfg.ReplicateEvery == 0 {
+		cfg.ReplicateEvery = 64
+	}
+	if cfg.Resources <= 0 {
+		cfg.Resources = 64
+	}
+	if sum := cfg.JoinRate + cfg.LeaveRate + cfg.CrashRate + cfg.RecoverRate; sum > 1 {
+		return st, fmt.Errorf("churn: membership rates sum to %v > 1", sum)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	infos, err := dir.Peers(ctx)
+	if err != nil {
+		return st, err
+	}
+	ids := make([]string, len(infos))
+	for i, p := range infos {
+		ids[i] = p.ID
+	}
+
+	// live tracks the registered resource ids the driver owns.
+	live := make(map[int]bool)
+	degraded := false
+	recoverNow := func() error {
+		rep, err := dir.Recover(ctx)
+		if err != nil {
+			return err
+		}
+		st.Recoveries++
+		degraded = false
+		// Reconcile the directory bookkeeping against what the crash
+		// actually destroyed. The precise lost-key set names the
+		// "attr=value" nodes that vanished outright; a recovered node
+		// can additionally have dropped the ids declared under it
+		// after the last replication tick (its replica predates them),
+		// so resources touching a lost key are withdrawn immediately
+		// and the rest of the live set is swept for value-level loss.
+		lost := make(map[string]bool, len(rep.LostKeys))
+		for _, k := range rep.LostKeys {
+			lost[k] = true
+		}
+		eng := dir.Engine()
+		for id := range live {
+			name := fmt.Sprintf("res%04d", id)
+			attrs, ok := dir.Describe(name)
+			if !ok {
+				delete(live, id)
+				continue
+			}
+			gone := false
+			for a, v := range attrs {
+				if lost[a+"="+v] {
+					gone = true
+					break
+				}
+				res, err := eng.Discover(ctx, a+"="+v)
+				if err != nil {
+					return err
+				}
+				found := false
+				for _, got := range res.Values {
+					if got == name {
+						found = true
+						break
+					}
+				}
+				if !found {
+					gone = true
+					break
+				}
+			}
+			if gone {
+				if _, err := dir.UnregisterResource(ctx, name); err != nil {
+					return err
+				}
+				delete(live, id)
+			}
+		}
+		return nil
+	}
+	repair := func() error {
+		if !degraded {
+			return nil
+		}
+		return recoverNow()
+	}
+
+	for i := 0; i < cfg.Ops; i++ {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+		st.Ops++
+		if cfg.ReplicateEvery > 0 && i%cfg.ReplicateEvery == cfg.ReplicateEvery-1 {
+			if err := repair(); err != nil {
+				return st, err
+			}
+			if _, err := dir.Replicate(ctx); err != nil {
+				return st, err
+			}
+			st.Replications++
+		}
+
+		roll := r.Float64()
+		switch {
+		case roll < cfg.JoinRate:
+			if err := repair(); err != nil {
+				return st, err
+			}
+			id, err := dir.AddPeerWithCapacity(ctx, cfg.JoinCapacity)
+			if err != nil {
+				return st, err
+			}
+			ids = append(ids, id)
+			st.Joins++
+		case roll < cfg.JoinRate+cfg.LeaveRate:
+			if len(ids) <= cfg.MinPeers {
+				continue
+			}
+			v := r.Intn(len(ids))
+			if err := dir.RemovePeer(ctx, ids[v]); err != nil {
+				return st, err
+			}
+			ids = append(ids[:v], ids[v+1:]...)
+			st.Leaves++
+		case roll < cfg.JoinRate+cfg.LeaveRate+cfg.CrashRate:
+			if len(ids) <= cfg.MinPeers {
+				continue
+			}
+			v := r.Intn(len(ids))
+			if err := dir.CrashPeer(ctx, ids[v]); err != nil {
+				return st, err
+			}
+			ids = append(ids[:v], ids[v+1:]...)
+			st.Crashes++
+			degraded = true
+		case roll < cfg.JoinRate+cfg.LeaveRate+cfg.CrashRate+cfg.RecoverRate:
+			if !degraded {
+				continue
+			}
+			if err := recoverNow(); err != nil {
+				return st, err
+			}
+		default:
+			id := r.Intn(cfg.Resources)
+			switch i % 4 {
+			case 0: // mutate: (re-)register a resource, re-rolling its
+				// attributes — each attribute sub-tree sees churn.
+				if err := repair(); err != nil {
+					return st, err
+				}
+				if live[id] {
+					if _, err := dir.UnregisterResource(ctx, fmt.Sprintf("res%04d", id)); err != nil {
+						return st, err
+					}
+				}
+				if err := dir.RegisterResource(ctx, dirResource(id, r)); err != nil {
+					return st, err
+				}
+				live[id] = true
+				st.Registers++
+			case 2: // mutate: withdraw a resource
+				if !live[id] {
+					continue
+				}
+				if err := repair(); err != nil {
+					return st, err
+				}
+				if _, err := dir.UnregisterResource(ctx, fmt.Sprintf("res%04d", id)); err != nil {
+					return st, err
+				}
+				delete(live, id)
+				st.Unregisters++
+			default: // read: a conjunctive attribute query. Queries
+				// traverse the attribute sub-trees, so they too need a
+				// repaired tree.
+				if err := repair(); err != nil {
+					return st, err
+				}
+				var preds []dlpt.Where
+				switch i % 3 {
+				case 0:
+					preds = []dlpt.Where{
+						{Attr: "cpu", Equals: dirCPUs[r.Intn(len(dirCPUs))]},
+					}
+				case 1:
+					preds = []dlpt.Where{
+						{Attr: "site", HasPrefix: dirSites[r.Intn(len(dirSites))][:2]},
+						{Attr: "cpu", Equals: dirCPUs[r.Intn(len(dirCPUs))]},
+					}
+				default:
+					preds = []dlpt.Where{
+						{Attr: "mem", Min: "032", Max: "128"},
+					}
+				}
+				matches, _, err := dir.Find(ctx, preds...)
+				if err != nil {
+					return st, err
+				}
+				st.Finds++
+				st.Matches += len(matches)
+			}
+		}
+	}
+
+	if err := repair(); err != nil {
+		return st, err
+	}
+	if err := dir.Validate(ctx); err != nil {
+		return st, fmt.Errorf("churn: post-run directory validation: %w", err)
+	}
+	st.FinalResources = dir.NumResources()
+	return st, nil
+}

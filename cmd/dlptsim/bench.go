@@ -46,6 +46,14 @@ type benchResult struct {
 	LimitCompleteNsPerOp   int64   `json:"limit_complete_ns_per_op"`
 	LimitNodesVisitedPerOp float64 `json:"limit_nodes_visited_per_op"`
 	FullNodesVisited       int64   `json:"full_nodes_visited"`
+
+	// Replication metrics: the replica-transfer messages one
+	// topology change costs on average (successor re-homing — the
+	// churn-proportional replication cost), and the latency of one
+	// crash-recovery pass (restore from successor replicas plus the
+	// canonical anti-entropy rebuild).
+	ReplicaTransferMsgsPerTopologyChange float64 `json:"replica_transfer_msgs_per_topology_change"`
+	RecoverNsPerOp                       int64   `json:"recover_ns_per_op"`
 }
 
 // benchReport is the whole run: workload scale, environment, one
@@ -164,6 +172,7 @@ func checkBaseline(rep *benchReport, base *benchReport, path string, w io.Writer
 			{"range_ns_per_op", b.RangeNsPerOp, cur.RangeNsPerOp},
 			{"first_result_ns_per_op", b.FirstResultNsPerOp, cur.FirstResultNsPerOp},
 			{"limit_complete_ns_per_op", b.LimitCompleteNsPerOp, cur.LimitCompleteNsPerOp},
+			{"recover_ns_per_op", b.RecoverNsPerOp, cur.RecoverNsPerOp},
 		} {
 			if m.base == 0 {
 				continue // metric absent from an older baseline schema
@@ -229,9 +238,87 @@ func measureEngines(quick bool, seed int64) (*benchReport, error) {
 		if err := measureLimit(ctx, kind, seed, peers, limitKeys, &res); err != nil {
 			return nil, err
 		}
+		if err := measureReplication(ctx, kind, seed, peers, nkeys, quick, &res); err != nil {
+			return nil, err
+		}
 		rep.Results = append(rep.Results, res)
 	}
 	return rep, nil
+}
+
+// measureReplication runs the fault-tolerance workload on a fresh
+// overlay: a replicated corpus, a join/leave churn loop whose
+// successor re-homing traffic yields the transfer cost per topology
+// change, and timed replicate→crash→recover cycles.
+func measureReplication(ctx context.Context, kind dlpt.EngineKind, seed int64,
+	peers, nkeys int, quick bool, res *benchResult) error {
+
+	reg, err := dlpt.New(peers,
+		dlpt.WithSeed(seed),
+		dlpt.WithAlphabet(keys.LowerAlnum),
+		dlpt.WithEngine(kind))
+	if err != nil {
+		return err
+	}
+	defer reg.Close()
+	corpus := workload.GridCorpus(nkeys)
+	batch := make([]dlpt.Registration, len(corpus))
+	for i, k := range corpus {
+		batch[i] = dlpt.Registration{Name: string(k), Endpoint: "ep"}
+	}
+	if err := reg.RegisterBatch(ctx, batch); err != nil {
+		return err
+	}
+	if _, err := reg.Replicate(ctx); err != nil {
+		return err
+	}
+
+	churnRounds, recReps := 16, 16
+	if quick {
+		churnRounds, recReps = 6, 6
+	}
+	base, err := reg.MembershipStats(ctx)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < churnRounds; i++ {
+		id, err := reg.AddPeerWithCapacity(ctx, 1<<20)
+		if err != nil {
+			return err
+		}
+		if err := reg.RemovePeer(ctx, id); err != nil {
+			return err
+		}
+	}
+	ms, err := reg.MembershipStats(ctx)
+	if err != nil {
+		return err
+	}
+	changes := float64(2 * churnRounds) // one join + one leave per round
+	res.ReplicaTransferMsgsPerTopologyChange =
+		float64(ms.ReplicaTransferMsgs-base.ReplicaTransferMsgs) / changes
+
+	runtime.GC()
+	var total time.Duration
+	for i := 0; i < recReps; i++ {
+		id, err := reg.AddPeerWithCapacity(ctx, 1<<20)
+		if err != nil {
+			return err
+		}
+		if _, err := reg.Replicate(ctx); err != nil {
+			return err
+		}
+		if err := reg.CrashPeer(ctx, id); err != nil {
+			return err
+		}
+		start := time.Now()
+		if _, err := reg.Recover(ctx); err != nil {
+			return err
+		}
+		total += time.Since(start)
+	}
+	res.RecoverNsPerOp = total.Nanoseconds() / int64(recReps)
+	return nil
 }
 
 // measureLimit runs the large-keyspace limit-pushdown workload on a

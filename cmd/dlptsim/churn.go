@@ -34,22 +34,71 @@ func runChurn(args []string, w io.Writer) error {
 	recoverRate := fs.Float64("recover", 0.02, "per-step explicit-recovery probability")
 	replicateEvery := fs.Int("replicate-every", 64, "steps between replication ticks")
 	balanceEvery := fs.Int("balance-every", 32, "steps between balancing rounds")
+	persistDir := fs.String("persist", "", "persistence directory (durable snapshots + journal)")
+	coldRestart := fs.Bool("cold-restart", false,
+		"after the soak: kill every peer and restart from -persist, validating the recovered catalogue")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("churn: unexpected argument %q", fs.Arg(0))
 	}
+	if *coldRestart {
+		if *persistDir == "" {
+			return fmt.Errorf("churn: -cold-restart needs -persist")
+		}
+		keyNames := make([]string, *nkeys)
+		for i, k := range workload.GridCorpus(*nkeys) {
+			keyNames[i] = string(k)
+		}
+		fmt.Fprintf(w, "# cold-restart soak: engine=%s peers=%d ops=%d seed=%d dir=%s\n",
+			*engineName, *peers, *ops, *seed, *persistDir)
+		start := time.Now()
+		st, err := churn.RunColdRestart(context.Background(), churn.ColdRestartConfig{
+			Dir:      *persistDir,
+			Engine:   dlpt.EngineKind(*engineName),
+			Peers:    *peers,
+			Capacity: *capacity,
+			Seed:     *seed,
+			Churn: churn.Config{
+				Seed:           *seed,
+				Ops:            *ops,
+				JoinRate:       *join,
+				LeaveRate:      *leave,
+				CrashRate:      *crash,
+				RecoverRate:    *recoverRate,
+				JoinCapacity:   *capacity,
+				ReplicateEvery: *replicateEvery,
+				BalanceEvery:   *balanceEvery,
+				Strategy:       *strategy,
+				Keys:           keyNames,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "soak:    %+v\n", st.Soak)
+		fmt.Fprintf(w, "kill:    %d peers crashed, remainder died abruptly\n", st.CrashedBeforeKill)
+		fmt.Fprintf(w, "restart: %d/%d keys recovered from %s\n",
+			st.Recovered, st.Declared, *persistDir)
+		fmt.Fprintf(w, "# cold restart validated OK in %v\n", time.Since(start).Round(time.Millisecond))
+		return nil
+	}
 
 	caps := make([]int, *peers)
 	for i := range caps {
 		caps[i] = *capacity
 	}
-	reg, err := dlpt.New(*peers,
+	regOpts := []dlpt.Option{
 		dlpt.WithSeed(*seed),
 		dlpt.WithAlphabet(keys.LowerAlnum),
 		dlpt.WithCapacities(caps),
-		dlpt.WithEngine(dlpt.EngineKind(*engineName)))
+		dlpt.WithEngine(dlpt.EngineKind(*engineName)),
+	}
+	if *persistDir != "" {
+		regOpts = append(regOpts, dlpt.WithPersistence(*persistDir))
+	}
+	reg, err := dlpt.New(*peers, regOpts...)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"iter"
 
 	"dlpt/internal/attrs"
+	"dlpt/internal/persist"
 )
 
 // Resource describes a service registered in a Directory: an
@@ -40,17 +41,18 @@ type QueryStats struct {
 type Directory struct {
 	eng   Engine
 	inner *attrs.Directory
+	store *persist.Store // owned persistence store; nil without WithPersistence
 }
 
 // NewDirectory starts a directory over a fresh overlay of numPeers
 // peers, backed by the selected engine (EngineLive unless WithEngine
 // says otherwise).
 func NewDirectory(numPeers int, opts ...Option) (*Directory, error) {
-	eng, _, err := buildEngine(numPeers, opts)
+	eng, _, store, err := buildEngine(numPeers, opts, false)
 	if err != nil {
 		return nil, err
 	}
-	return &Directory{eng: eng, inner: attrs.NewDirectory(eng)}, nil
+	return &Directory{eng: eng, inner: attrs.NewDirectory(eng), store: store}, nil
 }
 
 // NewDirectoryWithEngine wraps an already-running engine in a
@@ -59,11 +61,41 @@ func NewDirectoryWithEngine(eng Engine) *Directory {
 	return &Directory{eng: eng, inner: attrs.NewDirectory(eng)}
 }
 
+// RestartDirectory rebuilds a durable directory from its persistence
+// directory after every peer died — the Directory counterpart of
+// Restart. The overlay restores exactly as Restart does, and the
+// per-resource attribute descriptions (backing Describe,
+// UnregisterResource and Validate) are rehydrated from the restored
+// attribute tree: every "attr=value" key's ids fold back into their
+// resource maps.
+func RestartDirectory(dir string, opts ...Option) (*Directory, error) {
+	opts = append(append([]Option(nil), opts...), WithPersistence(dir))
+	eng, _, store, err := buildEngine(0, opts, true)
+	if err != nil {
+		return nil, err
+	}
+	d := &Directory{eng: eng, inner: attrs.NewDirectory(eng), store: store}
+	if err := d.inner.Rehydrate(context.Background()); err != nil {
+		d.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
 // Engine exposes the backing execution engine.
 func (d *Directory) Engine() Engine { return d.eng }
 
-// Close shuts the directory's overlay down. It is idempotent.
-func (d *Directory) Close() error { return d.eng.Close() }
+// Close shuts the directory's overlay down (and, on a durable
+// overlay, the persistence store's journal). It is idempotent.
+func (d *Directory) Close() error {
+	err := d.eng.Close()
+	if d.store != nil {
+		if serr := d.store.Close(); err == nil {
+			err = serr
+		}
+	}
+	return err
+}
 
 // RegisterResource declares a resource with its attributes.
 func (d *Directory) RegisterResource(ctx context.Context, res Resource) error {

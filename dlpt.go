@@ -75,6 +75,7 @@ import (
 	enginelocal "dlpt/engine/local"
 	enginetcp "dlpt/engine/tcp"
 	"dlpt/internal/keys"
+	"dlpt/internal/persist"
 )
 
 // Engine is the pluggable execution backend every public operation
@@ -135,6 +136,7 @@ type options struct {
 	kind       EngineKind
 	placement  string
 	gated      bool
+	persistDir string
 }
 
 // Option configures New and NewDirectory.
@@ -191,6 +193,17 @@ func WithCapacityGating() Option {
 	return func(o *options) { o.gated = true }
 }
 
+// WithPersistence makes the overlay durable: every Replicate tick
+// writes an fsynced, versioned snapshot of the replica state into
+// dir, and every registration or unregistration appends to the
+// epoch's journal — so a cold restart after every peer dies
+// (including the last) can rebuild the overlay with Restart. The
+// directory is created if needed; reusing a previous run's directory
+// continues its epoch sequence.
+func WithPersistence(dir string) Option {
+	return func(o *options) { o.persistDir = dir }
+}
+
 // ErrClosed is returned by operations on a closed Registry or
 // Directory.
 var ErrClosed = engine.ErrClosed
@@ -200,21 +213,32 @@ var ErrClosed = engine.ErrClosed
 // its per-time-unit capacity; compare with errors.Is.
 var ErrSaturated = engine.ErrSaturated
 
-// buildEngine resolves options into a running engine.
-func buildEngine(numPeers int, opts []Option) (engine.Engine, *keys.Alphabet, error) {
+// buildEngine resolves options into a running engine (plus the
+// persistence store it owns, when WithPersistence is set). restore
+// rebuilds the overlay from the store instead of starting fresh.
+func buildEngine(numPeers int, opts []Option, restore bool) (engine.Engine, *keys.Alphabet, *persist.Store, error) {
 	o := options{alphabet: keys.PrintableASCII, seed: 1, kind: EngineLive}
 	for _, opt := range opts {
 		opt(&o)
 	}
 	caps := o.capacities
-	if caps == nil {
+	if caps == nil && !restore {
 		if numPeers < 1 {
-			return nil, nil, fmt.Errorf("dlpt: numPeers = %d", numPeers)
+			return nil, nil, nil, fmt.Errorf("dlpt: numPeers = %d", numPeers)
 		}
 		caps = make([]int, numPeers)
 		for i := range caps {
 			caps[i] = 1 << 20
 		}
+	}
+	var store *persist.Store
+	if o.persistDir != "" {
+		var err error
+		if store, err = persist.Open(o.persistDir); err != nil {
+			return nil, nil, nil, err
+		}
+	} else if restore {
+		return nil, nil, nil, errors.New("dlpt: restart without a persistence directory")
 	}
 	factory := o.factory
 	if factory == nil {
@@ -226,7 +250,7 @@ func buildEngine(numPeers int, opts []Option) (engine.Engine, *keys.Alphabet, er
 		case EngineTCP:
 			factory = enginetcp.Factory
 		default:
-			return nil, nil, fmt.Errorf("dlpt: unknown engine %q", o.kind)
+			return nil, nil, nil, fmt.Errorf("dlpt: unknown engine %q", o.kind)
 		}
 	}
 	eng, err := factory(engine.Config{
@@ -235,11 +259,30 @@ func buildEngine(numPeers int, opts []Option) (engine.Engine, *keys.Alphabet, er
 		Seed:          o.seed,
 		JoinPlacement: o.placement,
 		GateCapacity:  o.gated,
+		Persist:       store,
+		Restore:       restore,
 	})
 	if err != nil {
-		return nil, nil, err
+		if store != nil {
+			store.Close()
+		}
+		return nil, nil, nil, err
 	}
-	return eng, o.alphabet, nil
+	if store != nil && !restore {
+		// A fresh overlay must own its persistence epoch from the
+		// start: without this tick, its journal records would land in
+		// a previous run's epoch, and a crash before the first
+		// explicit Replicate would restore a chimera of the old
+		// snapshot plus the new overlay's mutations. The initial tick
+		// snapshots the fresh ring (and nothing else), so Restart is
+		// meaningful from construction onwards.
+		if _, err := eng.Replicate(context.Background()); err != nil {
+			eng.Close()
+			store.Close()
+			return nil, nil, nil, err
+		}
+	}
+	return eng, o.alphabet, store, nil
 }
 
 // Registry is a running service-discovery overlay. All methods are
@@ -247,16 +290,37 @@ func buildEngine(numPeers int, opts []Option) (engine.Engine, *keys.Alphabet, er
 type Registry struct {
 	eng   engine.Engine
 	alpha *keys.Alphabet
+	store *persist.Store // owned persistence store; nil without WithPersistence
 }
 
 // New starts an overlay of numPeers peers over the selected engine
 // (EngineLive unless WithEngine says otherwise).
 func New(numPeers int, opts ...Option) (*Registry, error) {
-	eng, alpha, err := buildEngine(numPeers, opts)
+	eng, alpha, store, err := buildEngine(numPeers, opts, false)
 	if err != nil {
 		return nil, err
 	}
-	return &Registry{eng: eng, alpha: alpha}, nil
+	return &Registry{eng: eng, alpha: alpha, store: store}, nil
+}
+
+// Restart rebuilds an overlay from a persistence directory after
+// every peer died — the cold-restart path of the fault-tolerance
+// subsystem, including the last-peer case. The persisted ring (peer
+// ids and capacities) is recreated, the newest valid snapshot's
+// replica state is reinstalled through the canonical anti-entropy
+// rebuild, and the journal replays the mutations recorded after that
+// snapshot; the restored overlay passes the full invariant set.
+// Engine choice and other options apply as in New; peer counts and
+// capacities come from disk. Durability requires at least one
+// Replicate tick to have run before the crash — Restart fails when no
+// valid snapshot exists.
+func Restart(dir string, opts ...Option) (*Registry, error) {
+	opts = append(append([]Option(nil), opts...), WithPersistence(dir))
+	eng, alpha, store, err := buildEngine(0, opts, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Registry{eng: eng, alpha: alpha, store: store}, nil
 }
 
 // NewWithEngine wraps an already-running engine in a Registry. The
@@ -268,8 +332,18 @@ func NewWithEngine(eng engine.Engine) *Registry {
 // Engine exposes the backing execution engine.
 func (r *Registry) Engine() engine.Engine { return r.eng }
 
-// Close shuts the overlay down. It is idempotent.
-func (r *Registry) Close() error { return r.eng.Close() }
+// Close shuts the overlay down (and, on a durable overlay, the
+// persistence store's journal — the on-disk state stays, ready for
+// Restart). It is idempotent.
+func (r *Registry) Close() error {
+	err := r.eng.Close()
+	if r.store != nil {
+		if serr := r.store.Close(); err == nil {
+			err = serr
+		}
+	}
+	return err
+}
 
 // checkName validates a service name against the overlay alphabet.
 func (r *Registry) checkName(name string) error {

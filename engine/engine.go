@@ -24,6 +24,7 @@ import (
 
 	"dlpt/internal/core"
 	"dlpt/internal/keys"
+	"dlpt/internal/persist"
 	"dlpt/internal/trie"
 )
 
@@ -232,14 +233,28 @@ type MembershipStats struct {
 	LostNodes int
 	// BalanceMoves counts boundary moves applied by Balance.
 	BalanceMoves int
+	// ReplicaTransferMsgs counts the replica-set transfer messages
+	// topology changes paid to re-home replicas onto their hosts' new
+	// ring successors (one per source→target batch per event), and
+	// ReplicaTransferredNodes the snapshots those messages carried —
+	// the churn-proportional replication cost of the paper's model.
+	ReplicaTransferMsgs     int
+	ReplicaTransferredNodes int
 }
 
 // RecoveryReport is the outcome of one Recover pass.
 type RecoveryReport struct {
 	// Restored counts nodes reinstalled from replica snapshots.
 	Restored int
-	// Lost counts crashed nodes that could not be brought back.
+	// Lost counts crashed nodes that could not be brought back; it is
+	// always len(LostKeys).
 	Lost int
+	// LostKeys names the crashed node keys that could not be brought
+	// back, in ascending order — only data declared after the last
+	// Replicate on a crashed peer (plus prefix labels whose whole
+	// subtree vanished with it) can appear here, so callers can
+	// assert loss windows precisely instead of by cardinality.
+	LostKeys []string
 }
 
 // PeerInfosFrom converts protocol-core peer summaries into the public
@@ -279,6 +294,18 @@ type Config struct {
 	// starts the next time unit — Section 4's request model on the
 	// deployment engines. Off by default.
 	GateCapacity bool
+	// Persist, when non-nil, makes the overlay durable: every
+	// Replicate tick writes an fsynced snapshot of the replica state
+	// to the store and every catalogue mutation appends to its
+	// journal, so a cold restart (Restore) can rebuild the overlay
+	// after every peer dies.
+	Persist *persist.Store
+	// Restore rebuilds the overlay from Persist's newest snapshot and
+	// journal instead of starting fresh: the persisted ring (ids and
+	// capacities) is recreated — Capacities is ignored — the
+	// replicated nodes are reinstalled through the canonical
+	// anti-entropy rebuild, and the journal replays on top.
+	Restore bool
 }
 
 // Factory constructs an engine from a Config. The root dlpt package

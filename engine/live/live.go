@@ -46,6 +46,8 @@ func New(cfg engine.Config) (*Engine, error) {
 		opts.Placement = strat
 	}
 	opts.Gate = cfg.GateCapacity
+	opts.Persist = cfg.Persist
+	opts.Restore = cfg.Restore
 	c, err := ilive.StartOpts(alpha, cfg.Capacities, cfg.Seed, opts)
 	if err != nil {
 		return nil, err

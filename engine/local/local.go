@@ -17,6 +17,7 @@ import (
 	"dlpt/internal/core"
 	"dlpt/internal/keys"
 	"dlpt/internal/lb"
+	"dlpt/internal/persist"
 	"dlpt/internal/trie"
 )
 
@@ -25,27 +26,31 @@ type Engine struct {
 	mu     sync.Mutex
 	net    *core.Network
 	rng    *rand.Rand
-	place  lb.Strategy // join placement hook; nil = uniform random
-	gated  bool        // enforce peer capacity on discoveries
+	place  lb.Strategy    // join placement hook; nil = uniform random
+	gated  bool           // enforce peer capacity on discoveries
+	store  *persist.Store // durability layer; nil = in-memory only
 	closed bool
 
 	// membership lifecycle counters (guarded by mu).
 	joins, leaves, crashes, recoveries, balanceMoves int
 }
 
-// New starts a local overlay with one peer per capacity entry.
+// New starts a local overlay with one peer per capacity entry — or,
+// with cfg.Restore, rebuilds one from cfg.Persist's newest snapshot
+// and journal.
 func New(cfg engine.Config) (*Engine, error) {
 	alpha := cfg.Alphabet
 	if alpha == nil {
 		alpha = keys.PrintableASCII
 	}
-	if len(cfg.Capacities) == 0 {
+	if len(cfg.Capacities) == 0 && !cfg.Restore {
 		return nil, fmt.Errorf("local: no peers")
 	}
 	e := &Engine{
 		net:   core.NewNetwork(alpha, core.PlacementLexicographic),
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		gated: cfg.GateCapacity,
+		store: cfg.Persist,
 	}
 	if cfg.JoinPlacement != "" {
 		strat, err := lb.ByName(cfg.JoinPlacement)
@@ -54,11 +59,21 @@ func New(cfg engine.Config) (*Engine, error) {
 		}
 		e.place = strat
 	}
-	for _, capacity := range cfg.Capacities {
-		if _, err := e.addPeer(capacity); err != nil {
+	if cfg.Restore {
+		if e.store == nil {
+			return nil, fmt.Errorf("local: restore without a persistence store")
+		}
+		if err := e.net.RestoreFromStore(e.store, e.rng); err != nil {
 			return nil, err
 		}
+	} else {
+		for _, capacity := range cfg.Capacities {
+			if _, err := e.addPeer(capacity); err != nil {
+				return nil, err
+			}
+		}
 	}
+	e.net.AttachJournal(e.store)
 	return e, nil
 }
 
@@ -327,7 +342,7 @@ func (e *Engine) CrashPeer(ctx context.Context, id string) error {
 	return nil
 }
 
-// Recover restores crashed state from the replica store.
+// Recover restores crashed state from the successor replicas.
 func (e *Engine) Recover(ctx context.Context) (engine.RecoveryReport, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -336,17 +351,25 @@ func (e *Engine) Recover(ctx context.Context) (engine.RecoveryReport, error) {
 	}
 	restored, lost := e.net.Recover()
 	e.recoveries++
-	return engine.RecoveryReport{Restored: restored, Lost: lost}, nil
+	return engine.RecoveryReportFrom(restored, lost), nil
 }
 
-// Replicate snapshots every tree node to the replica store.
+// Replicate snapshots every tree node to its host's ring successor
+// and, on a durable overlay, writes the fsynced on-disk snapshot.
 func (e *Engine) Replicate(ctx context.Context) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if err := e.guard(ctx); err != nil {
 		return 0, err
 	}
-	return e.net.Replicate(), nil
+	n := e.net.Replicate()
+	if e.store != nil {
+		peers, nodes := e.net.PersistState()
+		if _, err := e.store.WriteSnapshot(peers, nodes); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
 }
 
 // Peers lists the live peers in ring order.
@@ -367,15 +390,17 @@ func (e *Engine) MembershipStats(ctx context.Context) (engine.MembershipStats, e
 		return engine.MembershipStats{}, err
 	}
 	return engine.MembershipStats{
-		Peers:           e.net.NumPeers(),
-		Joins:           e.joins,
-		Leaves:          e.leaves,
-		Crashes:         e.crashes,
-		Recoveries:      e.recoveries,
-		ReplicatedNodes: e.net.Replication.SnapshotMsgs,
-		RestoredNodes:   e.net.Replication.RestoredNodes,
-		LostNodes:       e.net.Replication.LostNodes,
-		BalanceMoves:    e.balanceMoves,
+		Peers:                   e.net.NumPeers(),
+		Joins:                   e.joins,
+		Leaves:                  e.leaves,
+		Crashes:                 e.crashes,
+		Recoveries:              e.recoveries,
+		ReplicatedNodes:         e.net.Replication.SnapshotMsgs,
+		RestoredNodes:           e.net.Replication.RestoredNodes,
+		LostNodes:               e.net.Replication.LostNodes,
+		BalanceMoves:            e.balanceMoves,
+		ReplicaTransferMsgs:     e.net.Replication.TransferMsgs,
+		ReplicaTransferredNodes: e.net.Replication.TransferredNodes,
 	}, nil
 }
 

@@ -15,7 +15,7 @@ import (
 type MembershipCluster interface {
 	RemovePeer(id keys.Key) error
 	FailPeer(id keys.Key) error
-	Recover() (restored, lost int, err error)
+	Recover() (restored int, lost []keys.Key, err error)
 	Replicate() (int, error)
 	ResetUnit() error
 	Balance(strategy string) (int, error)
@@ -43,6 +43,20 @@ func NewMembership(cluster MembershipCluster, mapErr func(error) error) *Members
 
 // CountJoin records one successful AddPeer on the owning engine.
 func (m *Membership) CountJoin() { m.joins.Add(1) }
+
+// RecoveryReportFrom builds the public recovery report from the
+// protocol core's restored count and lost key set; shared by the
+// engine implementations.
+func RecoveryReportFrom(restored int, lost []keys.Key) RecoveryReport {
+	rep := RecoveryReport{Restored: restored, Lost: len(lost)}
+	if len(lost) > 0 {
+		rep.LostKeys = make([]string, len(lost))
+		for i, k := range lost {
+			rep.LostKeys[i] = string(k)
+		}
+	}
+	return rep
+}
 
 // RemovePeer removes a peer gracefully; its tree nodes hand off to
 // the peers becoming responsible for them.
@@ -80,7 +94,7 @@ func (m *Membership) Recover(ctx context.Context) (RecoveryReport, error) {
 		return RecoveryReport{}, m.mapErr(err)
 	}
 	m.recoveries.Add(1)
-	return RecoveryReport{Restored: restored, Lost: lost}, nil
+	return RecoveryReportFrom(restored, lost), nil
 }
 
 // Replicate snapshots every tree node to the replica store.
@@ -113,15 +127,17 @@ func (m *Membership) MembershipStats(ctx context.Context) (MembershipStats, erro
 	}
 	rep := m.cluster.ReplicationStats()
 	return MembershipStats{
-		Peers:           m.cluster.NumPeers(),
-		Joins:           int(m.joins.Load()),
-		Leaves:          int(m.leaves.Load()),
-		Crashes:         int(m.crashes.Load()),
-		Recoveries:      int(m.recoveries.Load()),
-		ReplicatedNodes: rep.SnapshotMsgs,
-		RestoredNodes:   rep.RestoredNodes,
-		LostNodes:       rep.LostNodes,
-		BalanceMoves:    int(m.balanceMoves.Load()),
+		Peers:                   m.cluster.NumPeers(),
+		Joins:                   int(m.joins.Load()),
+		Leaves:                  int(m.leaves.Load()),
+		Crashes:                 int(m.crashes.Load()),
+		Recoveries:              int(m.recoveries.Load()),
+		ReplicatedNodes:         rep.SnapshotMsgs,
+		RestoredNodes:           rep.RestoredNodes,
+		LostNodes:               rep.LostNodes,
+		BalanceMoves:            int(m.balanceMoves.Load()),
+		ReplicaTransferMsgs:     rep.TransferMsgs,
+		ReplicaTransferredNodes: rep.TransferredNodes,
 	}, nil
 }
 

@@ -55,7 +55,7 @@ func main() {
 		}
 	}
 	restored, lost := net.Recover()
-	fmt.Printf("\nrecovery: %d nodes restored from snapshots, %d lost\n", restored, lost)
+	fmt.Printf("\nrecovery: %d nodes restored from snapshots, %d lost\n", restored, len(lost))
 	fmt.Printf("services still discoverable: %d/%d\n", available(), len(corpus))
 	if err := net.Validate(); err != nil {
 		log.Fatalf("invariants after recovery: %v", err)
@@ -75,7 +75,7 @@ func main() {
 		log.Fatal(err)
 	}
 	_, lost = net.Recover()
-	fmt.Printf("unreplicated nodes lost: %d — re-declaring them\n", lost)
+	fmt.Printf("unreplicated nodes lost: %v — re-declaring them\n", lost)
 	for _, k := range fresh {
 		if res := net.DiscoverRandom(k, false, rng); !res.Satisfied {
 			if err := net.InsertKey(k, rng); err != nil {

@@ -23,12 +23,24 @@ func (net *Network) InsertData(k keys.Key, value string, r *rand.Rand) error {
 	if !net.hasRoot {
 		info := NodeInfo{Key: k, Data: []string{value}}
 		net.installNode(info, keys.Epsilon)
+		net.journal(false, k, value)
 		return nil
 	}
 	entry, _ := net.RandomNodeKey(r)
 	host, _ := net.HostOf(entry)
 	net.sendToNode(host, entry, message{typ: msgDataInsertion, key: k, value: value})
-	return net.drain()
+	if err := net.drain(); err != nil {
+		return err
+	}
+	net.journal(false, k, value)
+	return nil
+}
+
+// journal feeds the persistence hook, if one is installed.
+func (net *Network) journal(remove bool, k keys.Key, value string) {
+	if net.Journal != nil {
+		net.Journal(remove, k, value)
+	}
 }
 
 // InsertKey inserts k with itself as value (the paper's convention).
@@ -190,6 +202,7 @@ func (net *Network) RemoveData(k keys.Key, value string) bool {
 	delete(n.Data, value)
 	net.Counters.MaintenanceMsgs++
 	net.compactNode(n, p)
+	net.journal(true, k, value)
 	return true
 }
 

@@ -34,7 +34,11 @@ func (net *Network) JoinPeer(id keys.Key, capacity int, r *rand.Rand) error {
 		return nil
 	}
 	if net.Placement == PlacementHashed {
-		return net.joinHashed(id, capacity)
+		if err := net.joinHashed(id, capacity); err != nil {
+			return err
+		}
+		net.RehomeReplicas()
+		return nil
 	}
 	entry, ok := net.RandomNodeKey(r)
 	if !ok {
@@ -46,7 +50,11 @@ func (net *Network) JoinPeer(id keys.Key, capacity int, r *rand.Rand) error {
 			joinID:       id,
 			joinCapacity: capacity,
 		})
-		return net.drain()
+		if err := net.drain(); err != nil {
+			return err
+		}
+		net.RehomeReplicas()
+		return nil
 	}
 	host, _ := net.HostOf(entry)
 	net.sendToNode(host, entry, message{
@@ -55,7 +63,14 @@ func (net *Network) JoinPeer(id keys.Key, capacity int, r *rand.Rand) error {
 		joinState:    0,
 		joinCapacity: capacity,
 	})
-	return net.drain()
+	if err := net.drain(); err != nil {
+		return err
+	}
+	// The join moved node responsibility (and shifted a successor
+	// interval): the affected replica sets follow, paid as transfer
+	// traffic.
+	net.RehomeReplicas()
+	return nil
 }
 
 // handlePeerJoin is Algorithm 1, run on node p. State 0 climbs until
@@ -199,6 +214,9 @@ func (net *Network) LeavePeer(id keys.Key) error {
 			id, len(p.Nodes))
 	}
 	if net.NumPeers() == 1 {
+		for k := range p.Replicas {
+			delete(net.replicaLoc, k)
+		}
 		delete(net.peers, id)
 		net.ring.Remove(id)
 		if net.Placement == PlacementHashed {
@@ -234,5 +252,25 @@ func (net *Network) LeavePeer(id keys.Key) error {
 	net.Counters.NodesTransferred += moved
 	net.Counters.MaintenanceMsgs += moved
 	net.Counters.MaintenancePhysical += moved
+	// The leaver hands its replica set over on the way out (part of
+	// the departure transfer), then the handoff's new hosting drives
+	// the usual re-homing.
+	if len(p.Replicas) > 0 {
+		targets := make(map[keys.Key]bool)
+		for k, info := range p.Replicas {
+			delete(net.replicaLoc, k)
+			tgt, ok := net.replicaTarget(k)
+			if !ok {
+				continue
+			}
+			net.placeReplica(k, info, tgt)
+			targets[tgt] = true
+			net.Replication.TransferredNodes++
+		}
+		net.Replication.TransferMsgs += len(targets)
+		net.Counters.MaintenanceMsgs += len(targets)
+		net.Counters.MaintenancePhysical += len(targets)
+	}
+	net.RehomeReplicas()
 	return nil
 }

@@ -82,11 +82,17 @@ type Network struct {
 	Counters    Counters
 	Replication ReplicationCounters
 
-	// replicaStore holds off-host node snapshots, and pendingLost the
-	// node keys dropped by crashes since the last Recover (see
-	// replication.go).
-	replicaStore map[keys.Key]NodeInfo
-	pendingLost  map[keys.Key]bool
+	// replicaLoc maps each replicated node key to the peer holding
+	// its snapshot (the host's ring successor; the data lives in
+	// Peer.Replicas), and pendingLost records the node keys dropped
+	// by crashes since the last Recover (see replication.go).
+	replicaLoc  map[keys.Key]keys.Key
+	pendingLost map[keys.Key]bool
+
+	// Journal, when set, is invoked after every successful catalogue
+	// mutation (register / unregister) — the persistence layer's
+	// append-only journal hook.
+	Journal func(remove bool, key keys.Key, value string)
 
 	peers map[keys.Key]*Peer
 	ring  *ring.Ring
@@ -355,6 +361,11 @@ func (net *Network) RenamePeer(oldID, newID keys.Key) error {
 		net.hashRemovePeer(oldID)
 		net.hashInsertPeer(newID)
 	}
+	// The peer object (and its replica set) kept its circular
+	// position; only the location index must follow the new name.
+	for k := range p.Replicas {
+		net.replicaLoc[k] = newID
+	}
 	return nil
 }
 
@@ -463,6 +474,32 @@ func (net *Network) Validate() error {
 	}
 	if !net.hasRoot && seen != 0 {
 		return fmt.Errorf("core: %d nodes but no root", seen)
+	}
+	// Replica placement: the location index and the per-peer replica
+	// sets must agree, and every replica of a live node must sit on
+	// its host's ring successor (the successor placement rule; the
+	// replicas of crashed, unrecovered nodes stay wherever they
+	// survived).
+	replicaCount := 0
+	for id, p := range net.peers {
+		for k := range p.Replicas {
+			replicaCount++
+			if loc, ok := net.replicaLoc[k]; !ok || loc != id {
+				return fmt.Errorf("core: replica of %q on %q, index says %q", k, id, loc)
+			}
+		}
+	}
+	if replicaCount != len(net.replicaLoc) {
+		return fmt.Errorf("core: %d held replicas vs %d indexed", replicaCount, len(net.replicaLoc))
+	}
+	for k, loc := range net.replicaLoc {
+		if !net.HasNode(k) {
+			continue
+		}
+		want, ok := net.replicaTarget(k)
+		if !ok || loc != want {
+			return fmt.Errorf("core: replica of %q on %q, successor rule says %q", k, loc, want)
+		}
 	}
 	// PGCP property: rebuild the key set into a reference trie and
 	// require identical node label sets.

@@ -19,6 +19,12 @@ type Peer struct {
 	// Nodes is ν_P, the set of tree nodes this peer runs.
 	Nodes map[keys.Key]*Node
 
+	// Replicas is the replica set this peer holds on behalf of its
+	// ring predecessor: the successor-placed snapshots of the nodes
+	// the predecessor runs (see replication.go). A crash of this peer
+	// loses the set; Replicate rebuilds it.
+	Replicas map[keys.Key]NodeInfo
+
 	// Processed counts discovery visits processed during the current
 	// time unit; reset by ResetUnit.
 	Processed int
@@ -39,11 +45,15 @@ func NewPeer(id keys.Key, capacity int) *Peer {
 		Succ:     id,
 		Capacity: capacity,
 		Nodes:    make(map[keys.Key]*Node),
+		Replicas: make(map[keys.Key]NodeInfo),
 	}
 }
 
 // NumNodes returns |ν_P|.
 func (p *Peer) NumNodes() int { return len(p.Nodes) }
+
+// NumReplicas returns the size of the replica set this peer holds.
+func (p *Peer) NumReplicas() int { return len(p.Replicas) }
 
 // NodeKeys returns the hosted node keys in ascending order.
 func (p *Peer) NodeKeys() []keys.Key {

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dlpt/internal/keys"
+	"dlpt/internal/persist"
+)
+
+// Persistence glue: the overlay's durable state is exactly the
+// replica store — what successor replication has captured — plus the
+// peer ring, so a cold restart recovers precisely what the paper's
+// replication model guarantees: everything declared before the last
+// Replicate (journal replay then carries registrations past it).
+
+// PersistState captures the current ring and catalogue for one
+// durable snapshot: every peer (id, capacity) in ring order, and the
+// union of the replicated data nodes and the live tree's data nodes
+// (live values win — they are at least as fresh). The union matters
+// on the concurrent engines: a registration racing the Replicate tick
+// has journaled into the epoch this snapshot supersedes, so the
+// snapshot itself must contain it; conversely a crashed, unrecovered
+// node exists only in its replica. Structural nodes are omitted — the
+// canonical PGCP structure is derivable and the restore path rebuilds
+// it by anti-entropy.
+func (net *Network) PersistState() ([]persist.PeerState, []persist.NodeState) {
+	ids := net.ring.IDs()
+	peers := make([]persist.PeerState, 0, len(ids))
+	for _, id := range ids {
+		peers = append(peers, persist.PeerState{ID: string(id), Capacity: net.peers[id].Capacity})
+	}
+	data := make(map[keys.Key][]string, len(net.replicaLoc))
+	for k, loc := range net.replicaLoc {
+		if info := net.peers[loc].Replicas[k]; len(info.Data) > 0 {
+			data[k] = info.Data
+		}
+	}
+	for _, p := range net.peers {
+		for k, n := range p.Nodes {
+			if n.HasData() {
+				vals := make([]string, 0, len(n.Data))
+				for v := range n.Data {
+					vals = append(vals, v)
+				}
+				sort.Strings(vals)
+				data[k] = vals
+			}
+		}
+	}
+	ks := make([]keys.Key, 0, len(data))
+	for k := range data {
+		ks = append(ks, k)
+	}
+	keys.SortKeys(ks)
+	nodes := make([]persist.NodeState, 0, len(ks))
+	for _, k := range ks {
+		nodes = append(nodes, persist.NodeState{Key: string(k), Values: data[k]})
+	}
+	return peers, nodes
+}
+
+// RestoreFromStore is RestoreFrom over a store's loaded state — the
+// one-call restore path the engines share.
+func (net *Network) RestoreFromStore(store *persist.Store, r *rand.Rand) error {
+	st, err := store.Load()
+	if err != nil {
+		return err
+	}
+	return net.RestoreFrom(st, r)
+}
+
+// AttachJournal installs the persistence journal hook: every
+// successful catalogue mutation appends to the store. Install it only
+// after any restore, so journal replay does not re-append; a nil
+// store is a no-op.
+func (net *Network) AttachJournal(store *persist.Store) {
+	if store == nil {
+		return
+	}
+	net.Journal = func(remove bool, k keys.Key, v string) {
+		_ = store.Append(remove, string(k), v)
+	}
+}
+
+// RestoreFrom rebuilds an empty overlay from persisted state: the
+// ring is recreated peer by peer with its persisted identifiers and
+// capacities, the persisted nodes are seeded into the replica store,
+// the existing canonical anti-entropy rebuild (Recover) reinstalls
+// them, and finally the journal replays the mutations recorded after
+// the snapshot. The restored overlay passes the full Validate set.
+func (net *Network) RestoreFrom(st *persist.LoadedState, r *rand.Rand) error {
+	if net.NumPeers() != 0 || net.NumNodes() != 0 {
+		return fmt.Errorf("core: restore into a non-empty overlay")
+	}
+	if st == nil || st.Snapshot == nil {
+		return fmt.Errorf("core: nothing to restore (no valid snapshot on disk)")
+	}
+	for _, p := range st.Snapshot.Peers {
+		if err := net.JoinPeer(keys.Key(p.ID), p.Capacity, r); err != nil {
+			return fmt.Errorf("core: restore peer %q: %w", p.ID, err)
+		}
+	}
+	for _, n := range st.Snapshot.Nodes {
+		k := keys.Key(n.Key)
+		tgt, ok := net.replicaTarget(k)
+		if !ok {
+			return fmt.Errorf("core: restore replica %q: no peers", n.Key)
+		}
+		net.placeReplica(k, NodeInfo{Key: k, Data: n.Values}, tgt)
+	}
+	net.Recover()
+	for _, rec := range st.Journal {
+		if rec.Remove {
+			net.RemoveData(keys.Key(rec.Key), rec.Value)
+			continue
+		}
+		if err := net.InsertData(keys.Key(rec.Key), rec.Value, r); err != nil {
+			return fmt.Errorf("core: journal replay of %q: %w", rec.Key, err)
+		}
+	}
+	if err := net.Validate(); err != nil {
+		return fmt.Errorf("core: restored overlay invalid: %w", err)
+	}
+	return nil
+}

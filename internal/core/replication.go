@@ -11,10 +11,15 @@ import (
 // graceful departures only; its companion work ([5], [6] and the
 // PGCP-tree self-stabilization line of the same authors) motivates
 // replicating node state so the tree survives crashes. We implement
-// successor-style replication: a snapshot of every tree node is kept
-// off-host (conceptually on the host's ring successor), refreshed by
-// Replicate — e.g. once per time unit — and used by Recover after a
-// crash.
+// true successor replication: every tree node's snapshot lives on the
+// ring successor of its host peer, refreshed by Replicate — e.g. once
+// per time unit — and used by Recover after a crash. Because replicas
+// have a *place*, topology changes have a replication cost: a join,
+// leave, crash recovery or balancing rename moves the affected
+// replica sets to their new successor targets, and that transfer
+// traffic is counted (TransferMsgs/TransferredNodes) — replication
+// cost tracks churn as in the paper's model instead of being flat per
+// Replicate tick.
 //
 // Recover restores every replicated node and then runs an
 // anti-entropy sweep that rebuilds the tree links canonically: the
@@ -22,15 +27,23 @@ import (
 // (dataless) nodes and all father/child pointers are derivable from
 // the surviving data keys. Snapshots taken before later insertions
 // can therefore never resurrect stale structure; only *data* declared
-// after the last snapshot on a crashed peer can be lost. After
+// after the last snapshot on a crashed peer can be lost — and Recover
+// reports exactly which keys, so loss windows are assertable. After
 // Recover the full Validate invariant set holds again (asserted by
 // the failure-injection tests). Until Recover runs, tree-routed
 // operations may fail: a crash leaves dangling references, exactly as
 // in a real deployment before repair.
+//
+// A crash loses two things at once: the peer's node states (their
+// replicas survive on the peer's successor) and the replica set the
+// peer held on behalf of its predecessor (whose live nodes survive
+// and are re-replicated at the next tick) — the standard successor
+// replication trade-off.
 
 // ReplicationCounters tracks replication traffic.
 type ReplicationCounters struct {
-	// SnapshotMsgs counts node snapshots shipped by Replicate.
+	// SnapshotMsgs counts node snapshots shipped to successors by
+	// Replicate.
 	SnapshotMsgs int
 	// RestoredNodes counts nodes reinstalled from snapshots.
 	RestoredNodes int
@@ -40,38 +53,177 @@ type ReplicationCounters struct {
 	Failures int
 	// RepairMsgs counts anti-entropy link-repair messages.
 	RepairMsgs int
+	// TransferMsgs counts replica-set transfer messages exchanged
+	// when topology changes re-home replicas (one message per
+	// source→target batch per event).
+	TransferMsgs int
+	// TransferredNodes counts replica snapshots moved by re-homing.
+	TransferredNodes int
 }
 
-// Replicate snapshots the state of every tree node to the replica
-// store (one message per node, counted as maintenance). It returns
-// the number of nodes replicated.
-func (net *Network) Replicate() int {
-	if net.replicaStore == nil {
-		net.replicaStore = make(map[keys.Key]NodeInfo)
+// ReplicaBatch is the successor shipment of one host's snapshots: the
+// unit the deployment engines route through their per-peer or wire
+// paths (live mailboxes, tcp REPLICA frames).
+type ReplicaBatch struct {
+	// From is the host peer whose nodes are snapshotted; To its ring
+	// successor, where the snapshots belong.
+	From, To keys.Key
+	Infos    []NodeInfo
+}
+
+// replicaTarget returns the peer that must hold the replica of node
+// k: the ring successor of k's host.
+func (net *Network) replicaTarget(k keys.Key) (keys.Key, bool) {
+	host, ok := net.HostOf(k)
+	if !ok {
+		return keys.Epsilon, false
 	}
-	count := 0
-	for _, p := range net.peers {
-		for _, n := range p.Nodes {
-			net.replicaStore[n.Key] = infoOf(n)
-			count++
+	succ, ok := net.ring.Successor(host)
+	if !ok {
+		return keys.Epsilon, false
+	}
+	return succ, true
+}
+
+// placeReplica installs (or refreshes) the replica of k on peer tgt,
+// evicting any stale copy elsewhere. Counters are the caller's job.
+func (net *Network) placeReplica(k keys.Key, info NodeInfo, tgt keys.Key) {
+	if net.replicaLoc == nil {
+		net.replicaLoc = make(map[keys.Key]keys.Key)
+	}
+	if cur, ok := net.replicaLoc[k]; ok && cur != tgt {
+		if p, ok := net.peers[cur]; ok {
+			delete(p.Replicas, k)
 		}
 	}
-	// Drop snapshots of nodes that no longer exist (compaction) —
-	// except those lost to a crash that has not been recovered yet,
-	// which are exactly the snapshots Recover needs.
-	for k := range net.replicaStore {
-		if !net.HasNode(k) && !net.pendingLost[k] {
-			delete(net.replicaStore, k)
+	net.peers[tgt].Replicas[k] = info
+	net.replicaLoc[k] = tgt
+}
+
+// ReplicaPlan computes one replication tick without applying it: for
+// every peer, the batch of node snapshots bound for its ring
+// successor, in ascending host order. The sequential engine applies
+// the plan inline (Replicate); the concurrent engines route each
+// batch through their real per-peer delivery paths and apply it with
+// AcceptReplicas.
+func (net *Network) ReplicaPlan() []ReplicaBatch {
+	ids := net.ring.IDs()
+	out := make([]ReplicaBatch, 0, len(ids))
+	for _, id := range ids {
+		p := net.peers[id]
+		if len(p.Nodes) == 0 {
+			continue
+		}
+		succ, _ := net.ring.Successor(id)
+		b := ReplicaBatch{From: id, To: succ, Infos: make([]NodeInfo, 0, len(p.Nodes))}
+		for _, k := range p.NodeKeys() {
+			b.Infos = append(b.Infos, infoOf(p.Nodes[k]))
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// AcceptReplicas installs one shipped batch, re-routing entries whose
+// placement changed while the batch was in flight: the shipped target
+// is only a hint — the successor rule at install time wins, so a
+// topology change racing a concurrent engine's Replicate tick cannot
+// pin a replica on a stale successor. It returns the number of
+// snapshots installed and accounts them as replication maintenance
+// traffic.
+func (net *Network) AcceptReplicas(from, to keys.Key, infos []NodeInfo) int {
+	count := 0
+	for _, info := range infos {
+		tgt, ok := net.replicaTarget(info.Key)
+		if !ok {
+			if _, alive := net.peers[to]; !alive {
+				continue
+			}
+			tgt = to
+		}
+		net.placeReplica(info.Key, info, tgt)
+		count++
+		net.Counters.MaintenanceMsgs++
+		if tgt != from {
+			net.Counters.MaintenancePhysical++
 		}
 	}
 	net.Replication.SnapshotMsgs += count
-	net.Counters.MaintenanceMsgs += count
-	net.Counters.MaintenancePhysical += count
 	return count
 }
 
+// CompactReplicas drops the snapshots of nodes that no longer exist —
+// except those lost to a crash that has not been recovered yet, which
+// are exactly the snapshots Recover needs.
+func (net *Network) CompactReplicas() {
+	for k, loc := range net.replicaLoc {
+		if !net.HasNode(k) && !net.pendingLost[k] {
+			if p, ok := net.peers[loc]; ok {
+				delete(p.Replicas, k)
+			}
+			delete(net.replicaLoc, k)
+		}
+	}
+}
+
+// Replicate snapshots the state of every tree node to its host's ring
+// successor (one message per node, counted as maintenance) and
+// compacts stale snapshots. It returns the number of nodes
+// replicated.
+func (net *Network) Replicate() int {
+	count := 0
+	for _, b := range net.ReplicaPlan() {
+		count += net.AcceptReplicas(b.From, b.To, b.Infos)
+	}
+	net.CompactReplicas()
+	return count
+}
+
+// RehomeReplicas moves every replica whose successor target changed —
+// after a join, leave, recovery or balancing round — back to the peer
+// the placement rule names. Replicas of crashed, unrecovered nodes
+// stay where they are (they are the recovery state). Transfers are
+// batched per source→target pair: one transfer message per pair, one
+// transferred node per snapshot.
+func (net *Network) RehomeReplicas() (msgs, moved int) {
+	type pair struct{ from, to keys.Key }
+	batches := make(map[pair]bool)
+	for k, loc := range net.replicaLoc {
+		if !net.HasNode(k) {
+			continue // crashed, unrecovered: leave the snapshot in place
+		}
+		want, ok := net.replicaTarget(k)
+		if !ok || want == loc {
+			continue
+		}
+		info := net.peers[loc].Replicas[k]
+		delete(net.peers[loc].Replicas, k)
+		net.peers[want].Replicas[k] = info
+		net.replicaLoc[k] = want
+		batches[pair{loc, want}] = true
+		moved++
+	}
+	msgs = len(batches)
+	net.Replication.TransferMsgs += msgs
+	net.Replication.TransferredNodes += moved
+	net.Counters.MaintenanceMsgs += msgs
+	net.Counters.MaintenancePhysical += msgs
+	return msgs, moved
+}
+
+// ReplicaHolder reports which peer holds the replica of node k.
+func (net *Network) ReplicaHolder(k keys.Key) (keys.Key, bool) {
+	loc, ok := net.replicaLoc[k]
+	return loc, ok
+}
+
+// NumReplicas returns the total number of replica snapshots held
+// across all peers.
+func (net *Network) NumReplicas() int { return len(net.replicaLoc) }
+
 // FailPeer crashes the peer with the given id: its node states vanish
-// without transfer, and the ring links are mended around it. The tree
+// without transfer, the replica set it held for its predecessor
+// vanishes with it, and the ring links are mended around it. The tree
 // is left with dangling references; call Recover before further
 // tree-routed operations.
 func (net *Network) FailPeer(id keys.Key) error {
@@ -91,6 +243,11 @@ func (net *Network) FailPeer(id keys.Key) error {
 	if net.Placement == PlacementHashed {
 		net.hashRemovePeer(id)
 	}
+	// The crashed peer's replica set is gone with it; its predecessor's
+	// live nodes are re-replicated at the next tick.
+	for k := range p.Replicas {
+		delete(net.replicaLoc, k)
+	}
 	if net.pendingLost == nil {
 		net.pendingLost = make(map[keys.Key]bool)
 	}
@@ -109,14 +266,16 @@ func (net *Network) FailPeer(id keys.Key) error {
 	return nil
 }
 
-// Recover restores crashed node state from the replica store, then
-// rebuilds the tree links canonically from the surviving data keys.
-// It returns the number of nodes restored from snapshots and the
-// number of crashed nodes that could not be brought back.
-func (net *Network) Recover() (restored, lost int) {
+// Recover restores crashed node state from the successor replicas,
+// rebuilds the tree links canonically from the surviving data keys,
+// and re-homes replicas onto the repaired topology. It returns the
+// number of nodes restored from snapshots and the keys of the crashed
+// nodes that could not be brought back (ascending; only data declared
+// after the last Replicate on a crashed peer can appear there).
+func (net *Network) Recover() (restored int, lost []keys.Key) {
 	// Phase 1: reinstall every replicated node that is missing.
-	replicated := make([]keys.Key, 0, len(net.replicaStore))
-	for k := range net.replicaStore {
+	replicated := make([]keys.Key, 0, len(net.replicaLoc))
+	for k := range net.replicaLoc {
 		replicated = append(replicated, k)
 	}
 	keys.SortKeys(replicated)
@@ -124,20 +283,26 @@ func (net *Network) Recover() (restored, lost int) {
 		if net.HasNode(k) {
 			continue
 		}
-		net.installNode(net.replicaStore[k], keys.Epsilon)
+		holder := net.peers[net.replicaLoc[k]]
+		net.installNode(holder.Replicas[k], keys.Epsilon)
 		restored++
 	}
 	// Phase 2: anti-entropy link rebuild.
 	net.rebuildLinks()
-	// Phase 3: account for what stayed lost.
+	// Phase 3: account for what stayed lost — by name, so callers can
+	// assert loss windows precisely instead of by cardinality.
 	for k := range net.pendingLost {
 		if !net.HasNode(k) {
-			lost++
+			lost = append(lost, k)
 		}
 	}
+	keys.SortKeys(lost)
 	net.pendingLost = nil
 	net.Replication.RestoredNodes += restored
-	net.Replication.LostNodes += lost
+	net.Replication.LostNodes += len(lost)
+	// Phase 4: restored nodes live on today's ring — move their
+	// replicas to today's successors.
+	net.RehomeReplicas()
 	return restored, lost
 }
 

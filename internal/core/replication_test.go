@@ -42,17 +42,23 @@ func TestCrashRecoveryFullReplica(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	net.Replicate()
-	// Crash three peers.
+	// Crash three peers with a replication tick before each failure:
+	// successor replication tolerates one failure per replication
+	// window (the crash also destroys the replica set the victim held
+	// for its predecessor, and a host and its successor dying in one
+	// window lose the single replica).
+	restored := 0
 	for i := 0; i < 3; i++ {
+		net.Replicate()
 		ids := net.PeerIDs()
 		if err := net.FailPeer(ids[r.Intn(len(ids))]); err != nil {
 			t.Fatal(err)
 		}
-	}
-	restored, lost := net.Recover()
-	if lost != 0 {
-		t.Fatalf("fully replicated crash lost %d nodes", lost)
+		got, lost := net.Recover()
+		if len(lost) != 0 {
+			t.Fatalf("fully replicated crash %d lost nodes %v", i, lost)
+		}
+		restored += got
 	}
 	if restored == 0 {
 		t.Fatalf("nothing restored")
@@ -90,10 +96,16 @@ func TestCrashRecoveryPartialReplica(t *testing.T) {
 	}
 	_, lost := net.Recover()
 	mustValidate(t, net)
-	// Every replicated key survives.
+	lostSet := make(map[keys.Key]bool, len(lost))
+	for _, k := range lost {
+		lostSet[k] = true
+	}
+	// Every replicated key survives unless both its host and the
+	// successor holding its replica crashed in this window — in which
+	// case the loss report must name it.
 	for _, k := range replicated {
-		if res := net.DiscoverRandom(k, false, r); !res.Satisfied {
-			t.Fatalf("replicated key %q lost", k)
+		if res := net.DiscoverRandom(k, false, r); !res.Satisfied && !lostSet[k] {
+			t.Fatalf("replicated key %q lost without being reported", k)
 		}
 	}
 	// Late keys either survive (their host did not crash) or are
@@ -103,6 +115,10 @@ func TestCrashRecoveryPartialReplica(t *testing.T) {
 		res := net.DiscoverRandom(k, false, r)
 		if !res.Satisfied {
 			missing++
+			// The loss report must name every missing key precisely.
+			if !lostSet[k] {
+				t.Fatalf("missing key %q not in the lost set %v", k, lost)
+			}
 			// A lost key can be re-declared.
 			if err := net.InsertKey(k, r); err != nil {
 				t.Fatalf("re-insert of %q: %v", k, err)
@@ -110,7 +126,7 @@ func TestCrashRecoveryPartialReplica(t *testing.T) {
 		}
 	}
 	t.Logf("late keys missing after crash: %d/%d (store lost %d nodes)",
-		missing, len(late), lost)
+		missing, len(late), len(lost))
 	mustValidate(t, net)
 	for _, k := range late {
 		if res := net.DiscoverRandom(k, false, r); !res.Satisfied {
@@ -162,8 +178,8 @@ func TestRepeatedCrashRecoverCycles(t *testing.T) {
 		if err := net.FailPeer(ids[r.Intn(len(ids))]); err != nil {
 			t.Fatal(err)
 		}
-		if _, lost := net.Recover(); lost != 0 {
-			t.Fatalf("cycle %d lost %d replicated nodes", cycle, lost)
+		if _, lost := net.Recover(); len(lost) != 0 {
+			t.Fatalf("cycle %d lost replicated nodes %v", cycle, lost)
 		}
 		// Replace the capacity by joining a fresh peer (repair must
 		// precede tree-routed operations).
@@ -198,8 +214,8 @@ func TestRecoveryAfterRootHostCrash(t *testing.T) {
 	if err := net.FailPeer(host); err != nil {
 		t.Fatal(err)
 	}
-	if _, lost := net.Recover(); lost != 0 {
-		t.Fatalf("lost %d", lost)
+	if _, lost := net.Recover(); len(lost) != 0 {
+		t.Fatalf("lost %v", lost)
 	}
 	mustValidate(t, net)
 	if _, ok := net.Root(); !ok {
@@ -221,8 +237,8 @@ func TestRecoverNoFailureIsNoop(t *testing.T) {
 	}
 	net.Replicate()
 	restored, lost := net.Recover()
-	if restored != 0 || lost != 0 {
-		t.Fatalf("no-failure recover restored=%d lost=%d", restored, lost)
+	if restored != 0 || len(lost) != 0 {
+		t.Fatalf("no-failure recover restored=%d lost=%v", restored, lost)
 	}
 	mustValidate(t, net)
 }
@@ -270,6 +286,190 @@ func TestPropCrashRecoveryRandomized(t *testing.T) {
 	for k := range replicatedKeys {
 		if res := net.DiscoverRandom(k, false, r); !res.Satisfied {
 			t.Fatalf("replicated key %q lost", k)
+		}
+	}
+}
+
+// TestReplicaSuccessorPlacement pins the placement rule: after a
+// Replicate tick every node's snapshot lives on its host's ring
+// successor, never globally.
+func TestReplicaSuccessorPlacement(t *testing.T) {
+	net, r := buildNetwork(t, 8, 1<<30, 51)
+	for _, k := range workload.GridCorpus(120) {
+		if err := net.InsertKey(k, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := net.Replicate(); n != net.NumNodes() {
+		t.Fatalf("replicated %d of %d nodes", n, net.NumNodes())
+	}
+	if net.NumReplicas() != net.NumNodes() {
+		t.Fatalf("replica store holds %d of %d nodes", net.NumReplicas(), net.NumNodes())
+	}
+	for _, id := range net.PeerIDs() {
+		p, _ := net.Peer(id)
+		succ, _ := net.Ring().Successor(id)
+		for k := range p.Nodes {
+			loc, ok := net.ReplicaHolder(k)
+			if !ok {
+				t.Fatalf("node %q has no replica", k)
+			}
+			if loc != succ {
+				t.Fatalf("replica of %q (host %q) on %q, want successor %q", k, id, loc, succ)
+			}
+		}
+	}
+	mustValidate(t, net)
+}
+
+// TestReplicaRehomingOnChurn requires topology changes to move the
+// affected replica sets and pay for it: joins and leaves after a
+// replication tick must produce nonzero transfer traffic, and the
+// successor rule must hold again afterwards.
+func TestReplicaRehomingOnChurn(t *testing.T) {
+	net, r := buildNetwork(t, 6, 1<<30, 52)
+	for _, k := range workload.GridCorpus(150) {
+		if err := net.InsertKey(k, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Replicate()
+	base := net.Replication
+	for i := 0; i < 4; i++ {
+		if err := net.JoinPeer(keys.LowerAlnum.RandomKey(r, 12, 12), 1<<30, r); err != nil {
+			t.Fatal(err)
+		}
+		mustValidate(t, net)
+	}
+	afterJoins := net.Replication
+	if afterJoins.TransferredNodes <= base.TransferredNodes {
+		t.Fatalf("joins moved no replicas: %+v", afterJoins)
+	}
+	ids := net.PeerIDs()
+	if err := net.LeavePeer(ids[r.Intn(len(ids))]); err != nil {
+		t.Fatal(err)
+	}
+	mustValidate(t, net)
+	if net.Replication.TransferMsgs <= afterJoins.TransferMsgs {
+		t.Fatalf("leave moved no replica batches: %+v", net.Replication)
+	}
+}
+
+// TestCrashLosesHeldReplicaSet pins the successor-replication
+// trade-off: crashing a peer loses the replica set it held for its
+// predecessor, so the predecessor's nodes are unprotected until the
+// next Replicate — but the crashed peer's own nodes recover from
+// their replicas on its successor.
+func TestCrashLosesHeldReplicaSet(t *testing.T) {
+	net, r := buildNetwork(t, 6, 1<<30, 53)
+	for _, k := range workload.GridCorpus(100) {
+		if err := net.InsertKey(k, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Replicate()
+	total := net.NumReplicas()
+	// Find a victim that holds a non-empty replica set.
+	var victim keys.Key
+	held := 0
+	for _, id := range net.PeerIDs() {
+		p, _ := net.Peer(id)
+		if p.NumReplicas() > 0 {
+			victim, held = id, p.NumReplicas()
+			break
+		}
+	}
+	if held == 0 {
+		t.Fatal("no peer holds replicas")
+	}
+	if err := net.FailPeer(victim); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.NumReplicas(); got != total-held {
+		t.Fatalf("replica store %d after crash, want %d-%d", got, total, held)
+	}
+	if _, lost := net.Recover(); len(lost) != 0 {
+		t.Fatalf("replicated crash lost %v", lost)
+	}
+	mustValidate(t, net)
+	// The next tick re-protects everything.
+	net.Replicate()
+	if net.NumReplicas() != net.NumNodes() {
+		t.Fatalf("re-replication incomplete: %d of %d", net.NumReplicas(), net.NumNodes())
+	}
+	mustValidate(t, net)
+}
+
+// TestRecoverReportsLostKeysExactly crashes a peer holding keys
+// declared after the last snapshot and requires the lost-key report
+// to name exactly the keys that vanished.
+func TestRecoverReportsLostKeysExactly(t *testing.T) {
+	net, r := buildNetwork(t, 5, 1<<30, 54)
+	for _, k := range workload.GridCorpus(60) {
+		if err := net.InsertKey(k, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Replicate()
+	late := []keys.Key{"zzlate0", "zzlate1", "zzlate2", "zzlate3", "zzlate4", "zzlate5"}
+	for _, k := range late {
+		if err := net.InsertKey(k, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash the host of the late keys' region.
+	host, _ := net.HostOf("zzlate0")
+	if err := net.FailPeer(host); err != nil {
+		t.Fatal(err)
+	}
+	_, lost := net.Recover()
+	mustValidate(t, net)
+	lostSet := make(map[keys.Key]bool, len(lost))
+	for _, k := range lost {
+		lostSet[k] = true
+	}
+	for _, k := range late {
+		res := net.DiscoverRandom(k, false, r)
+		if res.Satisfied == lostSet[k] {
+			t.Fatalf("key %q: satisfied=%v but lost-set=%v (%v)",
+				k, res.Satisfied, lostSet[k], lost)
+		}
+	}
+}
+
+// TestPersistStateUnion pins the snapshot content rule: the durable
+// state is the union of the replica store and the live tree's data
+// nodes, so a key declared after the last Replicate is persisted (it
+// has no replica yet) and a crashed, unrecovered key is persisted too
+// (it exists only as a replica).
+func TestPersistStateUnion(t *testing.T) {
+	net, r := buildNetwork(t, 5, 1<<30, 55)
+	for _, k := range workload.GridCorpus(40) {
+		if err := net.InsertKey(k, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Replicate()
+	if err := net.InsertKey("zzfreshkey", r); err != nil {
+		t.Fatal(err)
+	}
+	host, _ := net.HostOf("aces4")
+	if err := net.FailPeer(host); err != nil {
+		t.Fatal(err)
+	}
+	_, nodes := net.PersistState()
+	have := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		have[n.Key] = true
+	}
+	if !have["zzfreshkey"] {
+		t.Fatal("unreplicated live key missing from persist state")
+	}
+	// Every replicated key survives in the persist state even while
+	// its host is crashed and unrecovered.
+	for _, k := range workload.GridCorpus(40) {
+		if !have[string(k)] {
+			t.Fatalf("replicated key %q missing from persist state", k)
 		}
 	}
 }

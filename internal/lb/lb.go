@@ -414,6 +414,10 @@ func RunRound(net *core.Network, s Strategy) (int, error) {
 			moves++
 		}
 	}
+	// Boundary moves and renames changed node hosting: the affected
+	// replica sets follow their hosts' new successors, paid as
+	// replication transfer traffic.
+	net.RehomeReplicas()
 	return moves, nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"dlpt/internal/core"
 	"dlpt/internal/keys"
 	"dlpt/internal/lb"
+	"dlpt/internal/persist"
 	"dlpt/internal/trie"
 )
 
@@ -48,6 +49,13 @@ type Options struct {
 	// Gate enforces per-peer capacity on the discovery path: every
 	// visit consumes capacity and saturated peers drop requests.
 	Gate bool
+	// Persist, when non-nil, makes the cluster durable: Replicate
+	// writes fsynced snapshots and catalogue mutations append to the
+	// journal.
+	Persist *persist.Store
+	// Restore rebuilds the overlay from Persist instead of starting
+	// fresh from the capacities (which are then ignored).
+	Restore bool
 }
 
 // discoverMsg is one in-flight discovery request. ctx is the
@@ -72,6 +80,14 @@ type discoverMsg struct {
 // its mapped peer does not host.
 const maxRedirects = 4
 
+// replicaMsg carries one successor replica batch to the peer that
+// must hold it (the per-peer delivery path of the Replicate tick).
+// done receives the number of snapshots installed.
+type replicaMsg struct {
+	batch core.ReplicaBatch
+	done  chan int
+}
+
 // peerProc is the goroutine-owned handle of one peer.
 type peerProc struct {
 	// id is the peer's current ring identifier: written only under
@@ -79,6 +95,9 @@ type peerProc struct {
 	// side of it.
 	id      keys.Key
 	mailbox chan discoverMsg
+	// ctrl delivers successor replica batches to the peer goroutine,
+	// off the discovery fast path.
+	ctrl chan replicaMsg
 	// quit is closed when the peer leaves or crashes; the goroutine
 	// then drains its mailbox and exits.
 	quit chan struct{}
@@ -91,9 +110,10 @@ type peerProc struct {
 type Cluster struct {
 	mu    sync.RWMutex // guards net topology and tree state
 	net   *core.Network
-	rng   *rand.Rand  // guarded by mu (writers only)
-	place lb.Strategy // join placement hook; nil = uniform random
-	gate  bool        // enforce peer capacity on discoveries
+	rng   *rand.Rand     // guarded by mu (writers only)
+	place lb.Strategy    // join placement hook; nil = uniform random
+	gate  bool           // enforce peer capacity on discoveries
+	store *persist.Store // durability layer; nil = in-memory only
 
 	entryMu  sync.Mutex // guards entryRng (used by Discover readers)
 	entryRng *rand.Rand
@@ -119,7 +139,7 @@ func Start(alpha *keys.Alphabet, capacities []int, seed int64) (*Cluster, error)
 
 // StartOpts is Start with explicit Options.
 func StartOpts(alpha *keys.Alphabet, capacities []int, seed int64, opts Options) (*Cluster, error) {
-	if len(capacities) == 0 {
+	if len(capacities) == 0 && !opts.Restore {
 		return nil, fmt.Errorf("live: no peers")
 	}
 	c := &Cluster{
@@ -128,16 +148,48 @@ func StartOpts(alpha *keys.Alphabet, capacities []int, seed int64, opts Options)
 		entryRng: rand.New(rand.NewSource(seed + 1)),
 		place:    opts.Placement,
 		gate:     opts.Gate,
+		store:    opts.Persist,
 		procs:    make(map[keys.Key]*peerProc),
 		quit:     make(chan struct{}),
 	}
-	for _, capacity := range capacities {
-		if _, err := c.addPeerLocked(capacity); err != nil {
+	if opts.Restore {
+		if c.store == nil {
+			c.Stop()
+			return nil, fmt.Errorf("live: restore without a persistence store")
+		}
+		if err := c.net.RestoreFromStore(c.store, c.rng); err != nil {
 			c.Stop()
 			return nil, err
 		}
+		for _, id := range c.net.PeerIDs() {
+			c.spawnProc(id)
+		}
+	} else {
+		for _, capacity := range capacities {
+			if _, err := c.addPeerLocked(capacity); err != nil {
+				c.Stop()
+				return nil, err
+			}
+		}
 	}
+	// Callers of the mutation paths hold c.mu, serializing appends.
+	c.net.AttachJournal(c.store)
 	return c, nil
+}
+
+// spawnProc starts the goroutine serving peer id.
+func (c *Cluster) spawnProc(id keys.Key) {
+	p := &peerProc{
+		id:      id,
+		mailbox: make(chan discoverMsg, mailboxDepth),
+		ctrl:    make(chan replicaMsg),
+		quit:    make(chan struct{}),
+	}
+	c.procMu.Lock()
+	c.procs[id] = p
+	c.procMu.Unlock()
+	c.wg.Add(1)
+	go c.run(p)
 }
 
 // addPeerLocked joins a new peer and spawns its goroutine. Callers
@@ -159,16 +211,7 @@ func (c *Cluster) addPeerLocked(capacity int) (keys.Key, error) {
 	if err := c.net.JoinPeer(id, capacity, c.rng); err != nil {
 		return "", err
 	}
-	p := &peerProc{
-		id:      id,
-		mailbox: make(chan discoverMsg, mailboxDepth),
-		quit:    make(chan struct{}),
-	}
-	c.procMu.Lock()
-	c.procs[id] = p
-	c.procMu.Unlock()
-	c.wg.Add(1)
-	go c.run(p)
+	c.spawnProc(id)
 	return id, nil
 }
 
@@ -234,12 +277,12 @@ func (c *Cluster) retireProc(id keys.Key) {
 	}
 }
 
-// Recover restores crashed node state from the replica store and
+// Recover restores crashed node state from the successor replicas and
 // rebuilds the canonical tree structure.
-func (c *Cluster) Recover() (restored, lost int, err error) {
+func (c *Cluster) Recover() (restored int, lost []keys.Key, err error) {
 	select {
 	case <-c.quit:
-		return 0, 0, ErrStopped
+		return 0, nil, ErrStopped
 	default:
 	}
 	c.mu.Lock()
@@ -248,7 +291,13 @@ func (c *Cluster) Recover() (restored, lost int, err error) {
 	return restored, lost, nil
 }
 
-// Replicate snapshots every tree node to the replica store.
+// Replicate snapshots every tree node to its host's ring successor.
+// The batches travel the cluster's real per-peer path: each successor
+// peer's goroutine installs the replica set shipped to it through its
+// ctrl channel (concurrent discoveries keep flowing on the mailboxes
+// meanwhile); a batch whose target departed mid-tick falls back to a
+// direct install, which re-routes per entry. On a durable cluster the
+// tick finishes by writing the fsynced on-disk snapshot.
 func (c *Cluster) Replicate() (int, error) {
 	select {
 	case <-c.quit:
@@ -256,8 +305,56 @@ func (c *Cluster) Replicate() (int, error) {
 	default:
 	}
 	c.mu.Lock()
+	plan := c.net.ReplicaPlan()
+	c.mu.Unlock()
+	total := 0
+	for _, b := range plan {
+		total += c.shipReplicas(b)
+	}
+	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.net.Replicate(), nil
+	c.net.CompactReplicas()
+	if c.store != nil {
+		// The snapshot write (and its fsync) stays under c.mu on
+		// purpose: the journal rotation inside WriteSnapshot must be
+		// atomic with the captured state, or a racing mutation could
+		// journal into the epoch this snapshot supersedes without
+		// being contained in it — lost on restart. The stall is one
+		// fsync per replication tick (see the ROADMAP item on
+		// incremental snapshots).
+		peers, nodes := c.net.PersistState()
+		if _, err := c.store.WriteSnapshot(peers, nodes); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// shipReplicas delivers one successor batch through the target peer's
+// goroutine, falling back to a direct install when the target is gone
+// or the cluster is stopping.
+func (c *Cluster) shipReplicas(b core.ReplicaBatch) int {
+	applyDirect := func() int {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.net.AcceptReplicas(b.From, b.To, b.Infos)
+	}
+	p, ok := c.lookupProc(b.To)
+	if !ok {
+		return applyDirect()
+	}
+	msg := replicaMsg{batch: b, done: make(chan int, 1)}
+	select {
+	case p.ctrl <- msg:
+		p.senders.Done()
+		return <-msg.done
+	case <-p.quit:
+		p.senders.Done()
+		return applyDirect()
+	case <-c.quit:
+		p.senders.Done()
+		return applyDirect()
+	}
 }
 
 // ResetUnit ends the current load-accounting time unit.
@@ -744,6 +841,13 @@ func (c *Cluster) run(p *peerProc) {
 			return
 		case msg := <-p.mailbox:
 			c.process(p, msg)
+		case rm := <-p.ctrl:
+			// A successor replica batch addressed to this peer: install
+			// it under the topology write lock and acknowledge.
+			c.mu.Lock()
+			n := c.net.AcceptReplicas(rm.batch.From, rm.batch.To, rm.batch.Infos)
+			c.mu.Unlock()
+			rm.done <- n
 		}
 	}
 }

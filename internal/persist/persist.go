@@ -1,0 +1,561 @@
+// Package persist is the durability layer of the fault-tolerance
+// subsystem: it serializes the overlay's replica state to disk so a
+// cold restart — every peer dead, including the last one — can
+// rebuild the tree from the persistence directory.
+//
+// The on-disk layout is a sequence of versioned snapshot files plus
+// one append-only journal per snapshot epoch:
+//
+//	snapshot-<seq>.snap — the full replica state at one Replicate
+//	                      tick: the peer ring (ids and capacities)
+//	                      and every replicated data node (key and
+//	                      values), CRC-protected, written to a temp
+//	                      file, fsynced and renamed into place.
+//	journal-<seq>.log   — every catalogue mutation (register /
+//	                      unregister) since snapshot <seq>, one
+//	                      CRC-framed record per operation, appended
+//	                      in order.
+//
+// WriteSnapshot rotates the journal: records land in the journal of
+// the epoch they follow. Load is corruption-tolerant: it walks the
+// snapshots newest-first until one passes its CRC, then replays every
+// journal of that epoch and later in order, stopping cleanly at the
+// first truncated or corrupt record — a torn write costs at most the
+// tail of a journal, never the snapshot behind it. The two newest
+// snapshots are kept so a torn snapshot write can always fall back
+// one epoch (the journals of the older epoch bridge the gap forward).
+//
+// Only snapshots are fsynced; journal appends ride the OS cache. The
+// durability contract is therefore exactly the paper's replication
+// model: everything declared before the last Replicate survives any
+// crash, and journaled mutations after it survive ordinary process
+// death (but not power loss).
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// PeerState is one persisted ring member.
+type PeerState struct {
+	ID       string
+	Capacity int
+}
+
+// NodeState is one persisted replicated data node: the declared key
+// and its registered values. Structural (dataless) tree nodes are not
+// persisted — the canonical PGCP structure over the data keys is
+// derivable, and the restore path rebuilds it by anti-entropy.
+type NodeState struct {
+	Key    string
+	Values []string
+}
+
+// Record is one journaled catalogue mutation.
+type Record struct {
+	// Remove distinguishes an unregister from a register.
+	Remove bool
+	Key    string
+	Value  string
+}
+
+// Snapshot is the full persisted replica state of one epoch.
+type Snapshot struct {
+	Seq   uint64
+	Peers []PeerState
+	Nodes []NodeState
+}
+
+// LoadedState is what Load recovered from disk: the newest valid
+// snapshot (nil when none exists yet) and the journal records of that
+// epoch and every later one, in append order.
+type LoadedState struct {
+	Snapshot *Snapshot
+	Journal  []Record
+}
+
+const (
+	snapMagic   = "DLPTSNP1"
+	snapVersion = 1
+	snapSuffix  = ".snap"
+	snapPrefix  = "snapshot-"
+	jrnlPrefix  = "journal-"
+	jrnlSuffix  = ".log"
+)
+
+// keepSnapshots is how many snapshot epochs survive pruning: the
+// newest plus one fallback for torn writes.
+const keepSnapshots = 2
+
+// Store is one persistence directory. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	seq     uint64 // epoch of the newest snapshot on disk (0 = none)
+	journal *os.File
+	closed  bool
+	// appendErr records the first journal-append failure of the
+	// current epoch so it cannot pass silently: the next WriteSnapshot
+	// surfaces it (the snapshot itself heals the gap — the lost
+	// records described state the new snapshot now contains).
+	appendErr error
+}
+
+// Open creates or reopens the persistence directory. The journal of
+// the newest epoch is opened for appending, so a reopened store
+// continues the epoch it was closed in.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	s := &Store{dir: dir}
+	seqs, err := s.snapshotSeqs()
+	if err != nil {
+		return nil, err
+	}
+	if len(seqs) > 0 {
+		s.seq = seqs[len(seqs)-1]
+	}
+	if err := s.openJournalLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the persistence directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// Close releases the journal handle. The store's files stay on disk.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.journal != nil {
+		err := s.journal.Close()
+		s.journal = nil
+		return err
+	}
+	return nil
+}
+
+// snapshotSeqs lists the epochs that have a snapshot file, ascending.
+func (s *Store) snapshotSeqs() ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if len(name) <= len(snapPrefix)+len(snapSuffix) ||
+			name[:len(snapPrefix)] != snapPrefix ||
+			name[len(name)-len(snapSuffix):] != snapSuffix {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name, snapPrefix+"%d"+snapSuffix, &seq); err != nil {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+func (s *Store) snapPath(seq uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%d%s", snapPrefix, seq, snapSuffix))
+}
+
+func (s *Store) jrnlPath(seq uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%d%s", jrnlPrefix, seq, jrnlSuffix))
+}
+
+// openJournalLocked (re)opens the current epoch's journal for append,
+// first truncating any torn tail left by a crash mid-append: records
+// appended after corrupt bytes would be unreachable to replay (it
+// stops at the first bad record), so they must never exist.
+func (s *Store) openJournalLocked() error {
+	path := s.jrnlPath(s.seq)
+	if err := truncateTornTail(path); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	s.journal = f
+	return nil
+}
+
+// truncateTornTail cuts a journal file back to its longest valid
+// record prefix. Missing files are fine.
+func truncateTornTail(path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	valid := int64(0)
+	hdr := make([]byte, 4)
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			break
+		}
+		n := binary.BigEndian.Uint32(hdr)
+		if n > 1<<24 {
+			break
+		}
+		body := make([]byte, n+4)
+		if _, err := io.ReadFull(f, body); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(body[:n]) != binary.BigEndian.Uint32(body[n:]) {
+			break
+		}
+		valid += int64(4 + len(body))
+	}
+	info, err := f.Stat()
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if info.Size() > valid {
+		if err := os.Truncate(path, valid); err != nil {
+			return fmt.Errorf("persist: %w", err)
+		}
+	}
+	return nil
+}
+
+// Append journals one catalogue mutation into the current epoch.
+func (s *Store) Append(remove bool, key, value string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.journal == nil {
+		return errors.New("persist: store closed")
+	}
+	payload := make([]byte, 0, 2+len(key)+len(value)+8)
+	op := byte(0)
+	if remove {
+		op = 1
+	}
+	payload = append(payload, op)
+	payload = appendString(payload, key)
+	payload = appendString(payload, value)
+	frame := make([]byte, 0, len(payload)+8)
+	frame = binary.BigEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	frame = binary.BigEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	_, err := s.journal.Write(frame)
+	if err != nil && s.appendErr == nil {
+		s.appendErr = err
+	}
+	return err
+}
+
+// WriteSnapshot persists the full replica state as the next epoch:
+// temp file, fsync, rename, directory fsync, then journal rotation
+// and pruning of epochs older than the fallback. It returns the new
+// epoch number.
+func (s *Store) WriteSnapshot(peers []PeerState, nodes []NodeState) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, errors.New("persist: store closed")
+	}
+	seq := s.seq + 1
+
+	buf := []byte(snapMagic)
+	buf = binary.AppendUvarint(buf, snapVersion)
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, uint64(len(peers)))
+	for _, p := range peers {
+		buf = appendString(buf, p.ID)
+		buf = binary.AppendUvarint(buf, uint64(p.Capacity))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(nodes)))
+	for _, n := range nodes {
+		buf = appendString(buf, n.Key)
+		buf = binary.AppendUvarint(buf, uint64(len(n.Values)))
+		for _, v := range n.Values {
+			buf = appendString(buf, v)
+		}
+	}
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+
+	tmp := s.snapPath(seq) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("persist: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("persist: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("persist: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Rename(tmp, s.snapPath(seq)); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("persist: %w", err)
+	}
+	syncDir(s.dir)
+
+	// Rotate the journal into the new epoch.
+	if s.journal != nil {
+		_ = s.journal.Close()
+	}
+	s.seq = seq
+	if err := s.openJournalLocked(); err != nil {
+		return 0, err
+	}
+	s.pruneLocked()
+	if s.appendErr != nil {
+		// Surface the epoch's journal failures rather than letting
+		// them pass silently; the snapshot just written contains the
+		// state the lost records described, so durability is whole
+		// again from here on.
+		err := s.appendErr
+		s.appendErr = nil
+		return seq, fmt.Errorf(
+			"persist: journal appends failed during the previous epoch (state healed by snapshot %d): %w",
+			seq, err)
+	}
+	return seq, nil
+}
+
+// pruneLocked removes snapshots (and their journals) older than the
+// keepSnapshots newest epochs.
+func (s *Store) pruneLocked() {
+	seqs, err := s.snapshotSeqs()
+	if err != nil || len(seqs) <= keepSnapshots {
+		return
+	}
+	for _, seq := range seqs[:len(seqs)-keepSnapshots] {
+		os.Remove(s.snapPath(seq))
+		os.Remove(s.jrnlPath(seq))
+	}
+}
+
+// Load recovers the persisted state: the newest snapshot whose CRC
+// verifies, plus the journals of its epoch and all later epochs in
+// order, each replayed until its first truncated or corrupt record.
+// A directory with no valid snapshot yields a nil Snapshot and only
+// epoch-0 journal records.
+func (s *Store) Load() (*LoadedState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seqs, err := s.snapshotSeqs()
+	if err != nil {
+		return nil, err
+	}
+	st := &LoadedState{}
+	var base uint64
+	for i := len(seqs) - 1; i >= 0; i-- {
+		snap, err := readSnapshot(s.snapPath(seqs[i]))
+		if err != nil {
+			continue // corrupt or torn: fall back one epoch
+		}
+		st.Snapshot = snap
+		base = snap.Seq
+		break
+	}
+	// Every journal of the base epoch and later, ascending.
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	var jseqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		var seq uint64
+		if _, err := fmt.Sscanf(name, jrnlPrefix+"%d"+jrnlSuffix, &seq); err != nil {
+			continue
+		}
+		if seq >= base {
+			jseqs = append(jseqs, seq)
+		}
+	}
+	sort.Slice(jseqs, func(i, j int) bool { return jseqs[i] < jseqs[j] })
+	for _, seq := range jseqs {
+		recs, err := readJournal(s.jrnlPath(seq))
+		if err != nil {
+			return nil, err
+		}
+		st.Journal = append(st.Journal, recs...)
+	}
+	return st, nil
+}
+
+// readSnapshot parses and CRC-verifies one snapshot file.
+func readSnapshot(path string) (*Snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < len(snapMagic)+4 || string(buf[:len(snapMagic)]) != snapMagic {
+		return nil, errors.New("persist: bad snapshot magic")
+	}
+	body, tail := buf[:len(buf)-4], buf[len(buf)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(tail) {
+		return nil, errors.New("persist: snapshot checksum mismatch")
+	}
+	p := body[len(snapMagic):]
+	var v uint64
+	if v, p, err = getUvarint(p); err != nil {
+		return nil, err
+	}
+	if v != snapVersion {
+		return nil, fmt.Errorf("persist: unsupported snapshot version %d", v)
+	}
+	snap := &Snapshot{}
+	if snap.Seq, p, err = getUvarint(p); err != nil {
+		return nil, err
+	}
+	var n uint64
+	if n, p, err = getUvarint(p); err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		var ps PeerState
+		if ps.ID, p, err = getString(p); err != nil {
+			return nil, err
+		}
+		if v, p, err = getUvarint(p); err != nil {
+			return nil, err
+		}
+		ps.Capacity = int(v)
+		snap.Peers = append(snap.Peers, ps)
+	}
+	if n, p, err = getUvarint(p); err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		var ns NodeState
+		if ns.Key, p, err = getString(p); err != nil {
+			return nil, err
+		}
+		if v, p, err = getUvarint(p); err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < v; j++ {
+			var s string
+			if s, p, err = getString(p); err != nil {
+				return nil, err
+			}
+			ns.Values = append(ns.Values, s)
+		}
+		snap.Nodes = append(snap.Nodes, ns)
+	}
+	return snap, nil
+}
+
+// readJournal replays one journal file until EOF or the first record
+// that is truncated or fails its CRC (the torn tail of a crash).
+func readJournal(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	var out []Record
+	hdr := make([]byte, 4)
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			return out, nil // clean EOF or torn header: stop
+		}
+		n := binary.BigEndian.Uint32(hdr)
+		if n > 1<<24 {
+			return out, nil // implausible length: corrupt tail
+		}
+		body := make([]byte, n+4)
+		if _, err := io.ReadFull(f, body); err != nil {
+			return out, nil // torn record
+		}
+		payload, tail := body[:n], body[n:]
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(tail) {
+			return out, nil // corrupt record: stop replay here
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return out, nil
+		}
+		out = append(out, rec)
+	}
+}
+
+func decodeRecord(p []byte) (Record, error) {
+	var rec Record
+	if len(p) < 1 {
+		return rec, errors.New("persist: empty record")
+	}
+	rec.Remove = p[0] == 1
+	p = p[1:]
+	var err error
+	if rec.Key, p, err = getString(p); err != nil {
+		return rec, err
+	}
+	if rec.Value, _, err = getString(p); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// --- encoding helpers --------------------------------------------------------
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func getUvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, errors.New("persist: truncated varint")
+	}
+	return v, p[n:], nil
+}
+
+func getString(p []byte) (string, []byte, error) {
+	n, p, err := getUvarint(p)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(p)) < n {
+		return "", nil, errors.New("persist: truncated string")
+	}
+	return string(p[:n]), p[n:], nil
+}
+
+// syncDir fsyncs a directory so a rename is durable; best effort on
+// platforms where directories cannot be synced.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}

@@ -1,0 +1,354 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testState() ([]PeerState, []NodeState) {
+	peers := []PeerState{{ID: "aaa", Capacity: 100}, {ID: "mmm", Capacity: 200}}
+	nodes := []NodeState{
+		{Key: "dgemm", Values: []string{"ep://1", "ep://2"}},
+		{Key: "dgemv", Values: []string{"ep://3"}},
+	}
+	return peers, nodes
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers, nodes := testState()
+	seq, err := s.WriteSnapshot(peers, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 {
+		t.Fatalf("first snapshot seq = %d", seq)
+	}
+	if err := s.Append(false, "saxpy", "ep://4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(true, "dgemv", "ep://3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Snapshot == nil || st.Snapshot.Seq != 1 {
+		t.Fatalf("snapshot not loaded: %+v", st.Snapshot)
+	}
+	if len(st.Snapshot.Peers) != 2 || st.Snapshot.Peers[1].Capacity != 200 {
+		t.Fatalf("peers = %+v", st.Snapshot.Peers)
+	}
+	if len(st.Snapshot.Nodes) != 2 || len(st.Snapshot.Nodes[0].Values) != 2 {
+		t.Fatalf("nodes = %+v", st.Snapshot.Nodes)
+	}
+	if len(st.Journal) != 2 {
+		t.Fatalf("journal = %+v", st.Journal)
+	}
+	if st.Journal[0].Remove || st.Journal[0].Key != "saxpy" {
+		t.Fatalf("journal[0] = %+v", st.Journal[0])
+	}
+	if !st.Journal[1].Remove || st.Journal[1].Key != "dgemv" {
+		t.Fatalf("journal[1] = %+v", st.Journal[1])
+	}
+}
+
+func TestSnapshotRotationPrunesOldEpochs(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	peers, nodes := testState()
+	for i := 0; i < 4; i++ {
+		if _, err := s.WriteSnapshot(peers, nodes); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(false, "k", "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqs, err := s.snapshotSeqs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != keepSnapshots || seqs[len(seqs)-1] != 4 {
+		t.Fatalf("kept snapshots %v", seqs)
+	}
+	st, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Snapshot.Seq != 4 {
+		t.Fatalf("loaded seq %d", st.Snapshot.Seq)
+	}
+	// Only the records of the newest epoch replay on top of it.
+	if len(st.Journal) != 1 {
+		t.Fatalf("journal = %+v", st.Journal)
+	}
+}
+
+func TestTruncatedJournalStopsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers, nodes := testState()
+	if _, err := s.WriteSnapshot(peers, nodes); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Append(false, "key", "value"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Tear the last record: drop its trailing bytes.
+	path := filepath.Join(dir, "journal-1.log")
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf[:len(buf)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Journal) != 2 {
+		t.Fatalf("torn journal replayed %d records, want 2", len(st.Journal))
+	}
+}
+
+func TestCorruptJournalRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers, nodes := testState()
+	if _, err := s.WriteSnapshot(peers, nodes); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Append(false, "key", "value"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Flip a payload byte in the middle record.
+	path := filepath.Join(dir, "journal-1.log")
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recLen := len(buf) / 3
+	buf[recLen+6] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Journal) != 1 {
+		t.Fatalf("corrupt journal replayed %d records, want 1", len(st.Journal))
+	}
+}
+
+func TestCorruptSnapshotFallsBackOneEpoch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers, nodes := testState()
+	if _, err := s.WriteSnapshot(peers, nodes[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(false, "bridge", "ep"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteSnapshot(peers, nodes); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(false, "tail", "ep"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Corrupt the newest snapshot.
+	path := filepath.Join(dir, "snapshot-2.snap")
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Snapshot == nil || st.Snapshot.Seq != 1 {
+		t.Fatalf("did not fall back to epoch 1: %+v", st.Snapshot)
+	}
+	// Epoch-1 and epoch-2 journals bridge forward past the torn
+	// snapshot: both records replay.
+	if len(st.Journal) != 2 {
+		t.Fatalf("journal = %+v", st.Journal)
+	}
+	if st.Journal[0].Key != "bridge" || st.Journal[1].Key != "tail" {
+		t.Fatalf("journal order = %+v", st.Journal)
+	}
+}
+
+func TestLoadEmptyDirectory(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	st, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Snapshot != nil {
+		t.Fatalf("snapshot from empty dir: %+v", st.Snapshot)
+	}
+	if len(st.Journal) != 0 {
+		t.Fatalf("journal from empty dir: %+v", st.Journal)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := s.Append(false, "k", "v"); err == nil {
+		t.Fatal("append on closed store succeeded")
+	}
+	if _, err := s.WriteSnapshot(nil, nil); err == nil {
+		t.Fatal("snapshot on closed store succeeded")
+	}
+}
+
+// TestReopenTruncatesTornTail pins the crash-mid-append recovery: a
+// torn record at the journal tail is cut away on reopen, so records
+// appended afterwards stay reachable to replay.
+func TestReopenTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers, nodes := testState()
+	if _, err := s.WriteSnapshot(peers, nodes); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(false, "before", "ep"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Crash mid-append: tear the tail of the last record.
+	path := filepath.Join(dir, "journal-1.log")
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(buf, buf[:7]...) // garbage partial record
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and keep appending: the new records must land after the
+	// valid prefix, not after the garbage.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Append(false, "after", "ep"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	if len(st.Journal) != 2 {
+		t.Fatalf("replayed %d records, want 2 (%+v)", len(st.Journal), st.Journal)
+	}
+	if st.Journal[0].Key != "before" || st.Journal[1].Key != "after" {
+		t.Fatalf("journal = %+v", st.Journal)
+	}
+}
+
+// TestAppendErrorSurfacesAtSnapshot pins the journal-failure
+// contract: a failed append is reported by the next WriteSnapshot
+// (which heals the gap) instead of passing silently.
+func TestAppendErrorSurfacesAtSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Break the journal handle behind the store's back.
+	s.mu.Lock()
+	s.journal.Close()
+	s.mu.Unlock()
+	if err := s.Append(false, "k", "v"); err == nil {
+		t.Fatal("append on a closed handle succeeded")
+	}
+	peers, nodes := testState()
+	if _, err := s.WriteSnapshot(peers, nodes); err == nil {
+		t.Fatal("snapshot after failed appends reported no error")
+	}
+	// The epoch turned over; the failure was surfaced once and the
+	// store is whole again.
+	if _, err := s.WriteSnapshot(peers, nodes); err != nil {
+		t.Fatalf("second snapshot still failing: %v", err)
+	}
+}

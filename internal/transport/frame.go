@@ -31,6 +31,7 @@ import (
 	"net"
 	"sync"
 
+	"dlpt/internal/core"
 	"dlpt/internal/keys"
 )
 
@@ -51,6 +52,12 @@ const (
 	frameStream    = 5
 	frameStreamEnd = 6
 	frameStreamAck = 7
+	// frameReplica ships one successor replica batch of a Replicate
+	// tick (payload: core.ReplicaBatch — source peer, target peer and
+	// the node snapshots). The receiver installs the batch under its
+	// topology write lock and acknowledges with a RESPONSE frame whose
+	// Logical field carries the installed count.
+	frameReplica = 8
 )
 
 // frameHeaderSize is type(1) + id(8) + payloadLen(4).
@@ -195,6 +202,16 @@ func (fc *frameConn) writeStreamEnd(id uint64, end *streamEnd) error {
 func (fc *frameConn) writeCancel(id uint64) error {
 	bp := framePool.Get().(*[]byte)
 	buf := beginFrame(*bp, frameCancel, id)
+	err := fc.finishFrame(buf)
+	*bp = buf
+	framePool.Put(bp)
+	return err
+}
+
+func (fc *frameConn) writeReplica(id uint64, b *core.ReplicaBatch) error {
+	bp := framePool.Get().(*[]byte)
+	buf := beginFrame(*bp, frameReplica, id)
+	buf = appendReplicaBatch(buf, b)
 	err := fc.finishFrame(buf)
 	*bp = buf
 	framePool.Put(bp)
@@ -384,6 +401,100 @@ func decodeQuery(p []byte, q *queryReq) error {
 		return fmt.Errorf("query entry: %w", err)
 	}
 	q.Entry = keys.Key(s)
+	return nil
+}
+
+func appendReplicaBatch(b []byte, batch *core.ReplicaBatch) []byte {
+	b = appendString(b, string(batch.From))
+	b = appendString(b, string(batch.To))
+	b = binary.AppendUvarint(b, uint64(len(batch.Infos)))
+	for _, info := range batch.Infos {
+		b = appendString(b, string(info.Key))
+		b = appendString(b, string(info.Father))
+		b = appendBool(b, info.HasFather)
+		b = binary.AppendUvarint(b, uint64(len(info.Children)))
+		for _, c := range info.Children {
+			b = appendString(b, string(c))
+		}
+		b = binary.AppendUvarint(b, uint64(len(info.Data)))
+		for _, v := range info.Data {
+			b = appendString(b, v)
+		}
+		b = binary.AppendUvarint(b, uint64(info.LoadPrev))
+		b = binary.AppendUvarint(b, uint64(info.LoadCur))
+	}
+	return b
+}
+
+func decodeReplicaBatch(p []byte, batch *core.ReplicaBatch) error {
+	var err error
+	var s string
+	var n uint64
+	if s, p, err = getString(p); err != nil {
+		return fmt.Errorf("replica from: %w", err)
+	}
+	batch.From = keys.Key(s)
+	if s, p, err = getString(p); err != nil {
+		return fmt.Errorf("replica to: %w", err)
+	}
+	batch.To = keys.Key(s)
+	if n, p, err = getUvarint(p); err != nil {
+		return fmt.Errorf("replica count: %w", err)
+	}
+	// Each snapshot costs several bytes on the wire: a count beyond
+	// the remaining payload is corrupt (see decodeResponse).
+	if n > uint64(len(p)) {
+		return errors.New("transport: implausible replica count")
+	}
+	batch.Infos = make([]core.NodeInfo, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var info core.NodeInfo
+		var m uint64
+		if s, p, err = getString(p); err != nil {
+			return fmt.Errorf("replica %d key: %w", i, err)
+		}
+		info.Key = keys.Key(s)
+		if s, p, err = getString(p); err != nil {
+			return fmt.Errorf("replica %d father: %w", i, err)
+		}
+		info.Father = keys.Key(s)
+		if info.HasFather, p, err = getBool(p); err != nil {
+			return fmt.Errorf("replica %d hasFather: %w", i, err)
+		}
+		if m, p, err = getUvarint(p); err != nil {
+			return fmt.Errorf("replica %d child count: %w", i, err)
+		}
+		if m > uint64(len(p)) {
+			return errors.New("transport: implausible child count")
+		}
+		for j := uint64(0); j < m; j++ {
+			if s, p, err = getString(p); err != nil {
+				return fmt.Errorf("replica %d child %d: %w", i, j, err)
+			}
+			info.Children = append(info.Children, keys.Key(s))
+		}
+		if m, p, err = getUvarint(p); err != nil {
+			return fmt.Errorf("replica %d value count: %w", i, err)
+		}
+		if m > uint64(len(p)) {
+			return errors.New("transport: implausible value count")
+		}
+		for j := uint64(0); j < m; j++ {
+			if s, p, err = getString(p); err != nil {
+				return fmt.Errorf("replica %d value %d: %w", i, j, err)
+			}
+			info.Data = append(info.Data, s)
+		}
+		if m, p, err = getUvarint(p); err != nil {
+			return fmt.Errorf("replica %d loadPrev: %w", i, err)
+		}
+		info.LoadPrev = int(m)
+		if m, p, err = getUvarint(p); err != nil {
+			return fmt.Errorf("replica %d loadCur: %w", i, err)
+		}
+		info.LoadCur = int(m)
+		batch.Infos = append(batch.Infos, info)
+	}
 	return nil
 }
 

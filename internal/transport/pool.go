@@ -20,6 +20,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dlpt/internal/core"
 )
 
 // dialTimeout bounds a pool dial so a hung connect cannot wedge
@@ -260,6 +262,19 @@ func (pc *poolConn) forgetStream(id uint64) {
 // response. Cancellation sends a CANCEL frame and abandons the id;
 // the connection keeps serving the other in-flight round-trips.
 func (p *connPool) roundTrip(ctx context.Context, pc *poolConn, req *request) (response, error) {
+	return p.doRoundTrip(ctx, pc, func(id uint64) error {
+		return pc.fc.writeRequest(id, req)
+	})
+}
+
+// doRoundTrip is the shared request/response protocol: register a
+// pending id, put the frame on the wire with write, await the demuxed
+// RESPONSE. An errFrameTooLarge write leaves the connection good
+// (nothing hit the wire — only this request is undeliverable); any
+// other write error breaks it. Cancellation sends a CANCEL frame and
+// abandons the id; the connection keeps serving the other in-flight
+// round-trips.
+func (p *connPool) doRoundTrip(ctx context.Context, pc *poolConn, write func(id uint64) error) (response, error) {
 	id := p.nextID.Add(1)
 	ch := make(chan rtResult, 1)
 	pc.mu.Lock()
@@ -271,14 +286,11 @@ func (p *connPool) roundTrip(ctx context.Context, pc *poolConn, req *request) (r
 	pc.pending[id] = ch
 	pc.mu.Unlock()
 
-	if err := pc.fc.writeRequest(id, req); err != nil {
+	if err := write(id); err != nil {
 		pc.forget(id)
-		if errors.Is(err, errFrameTooLarge) {
-			// Nothing hit the wire: the connection is still good,
-			// only this request is undeliverable.
-			return response{}, err
+		if !errors.Is(err, errFrameTooLarge) {
+			p.fail(pc, err)
 		}
-		p.fail(pc, err)
 		return response{}, err
 	}
 	select {
@@ -292,6 +304,17 @@ func (p *connPool) roundTrip(ctx context.Context, pc *poolConn, req *request) (r
 		pc.forget(id)
 		return response{}, ErrStopped
 	}
+}
+
+// replicaRoundTrip ships one successor replica batch as a REPLICA
+// frame and waits for its acknowledging RESPONSE, with the same
+// cancellation and failure semantics as roundTrip. A batch too large
+// for one frame leaves the connection good; the caller degrades to a
+// direct install.
+func (p *connPool) replicaRoundTrip(ctx context.Context, pc *poolConn, b *core.ReplicaBatch) (response, error) {
+	return p.doRoundTrip(ctx, pc, func(id uint64) error {
+		return pc.fc.writeReplica(id, b)
+	})
 }
 
 func (pc *poolConn) forget(id uint64) {

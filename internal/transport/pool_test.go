@@ -187,8 +187,8 @@ func TestPoolEvictsDepartedPeers(t *testing.T) {
 	if _, ok := poolHas(c, crashedAddr); ok {
 		t.Fatal("crashed peer's connection still pooled")
 	}
-	if _, lost, err := c.Recover(); err != nil || lost != 0 {
-		t.Fatalf("recover: lost=%d err=%v", lost, err)
+	if _, lost, err := c.Recover(); err != nil || len(lost) != 0 {
+		t.Fatalf("recover: lost=%v err=%v", lost, err)
 	}
 	for _, k := range corpus {
 		if res, err := c.Discover(k); err != nil || !res.Found {

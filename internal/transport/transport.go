@@ -26,6 +26,7 @@ import (
 	"dlpt/internal/core"
 	"dlpt/internal/keys"
 	"dlpt/internal/lb"
+	"dlpt/internal/persist"
 	"dlpt/internal/trie"
 )
 
@@ -143,6 +144,13 @@ type Options struct {
 	// Gate enforces per-peer capacity on the discovery path: every
 	// visit consumes capacity and saturated peers drop requests.
 	Gate bool
+	// Persist, when non-nil, makes the cluster durable: Replicate
+	// writes fsynced snapshots and catalogue mutations append to the
+	// journal.
+	Persist *persist.Store
+	// Restore rebuilds the overlay from Persist instead of starting
+	// fresh from the capacities (which are then ignored).
+	Restore bool
 }
 
 // Cluster is an overlay whose peers communicate over TCP.
@@ -151,8 +159,9 @@ type Cluster struct {
 	net   *core.Network
 	rng   *rand.Rand
 	addrs map[keys.Key]string
-	place lb.Strategy // join placement hook; nil = uniform random
-	gate  bool        // enforce peer capacity on discoveries
+	place lb.Strategy    // join placement hook; nil = uniform random
+	gate  bool           // enforce peer capacity on discoveries
+	store *persist.Store // durability layer; nil = in-memory only
 
 	// queryVisits counts tree nodes visited by server-side streaming
 	// query traversals — the observable the early-exit tests watch to
@@ -177,7 +186,7 @@ func Start(alpha *keys.Alphabet, capacities []int, seed int64) (*Cluster, error)
 
 // StartOpts is Start with explicit Options.
 func StartOpts(alpha *keys.Alphabet, capacities []int, seed int64, opts Options) (*Cluster, error) {
-	if len(capacities) == 0 {
+	if len(capacities) == 0 && !opts.Restore {
 		return nil, fmt.Errorf("transport: no peers")
 	}
 	c := &Cluster{
@@ -186,16 +195,58 @@ func StartOpts(alpha *keys.Alphabet, capacities []int, seed int64, opts Options)
 		addrs: make(map[keys.Key]string),
 		place: opts.Placement,
 		gate:  opts.Gate,
+		store: opts.Persist,
 		quit:  make(chan struct{}),
 	}
 	c.pool = newConnPool(c.quit, &c.wg)
-	for _, capacity := range capacities {
-		if _, err := c.AddPeer(capacity); err != nil {
+	if opts.Restore {
+		if c.store == nil {
+			c.Stop()
+			return nil, fmt.Errorf("transport: restore without a persistence store")
+		}
+		if err := c.net.RestoreFromStore(c.store, c.rng); err != nil {
 			c.Stop()
 			return nil, err
 		}
+		c.mu.Lock()
+		for _, id := range c.net.PeerIDs() {
+			if err := c.startListenerLocked(id); err != nil {
+				c.mu.Unlock()
+				c.Stop()
+				return nil, err
+			}
+		}
+		c.mu.Unlock()
+	} else {
+		for _, capacity := range capacities {
+			if _, err := c.AddPeer(capacity); err != nil {
+				c.Stop()
+				return nil, err
+			}
+		}
 	}
+	// Callers of the mutation paths hold c.mu, serializing appends.
+	c.net.AttachJournal(c.store)
 	return c, nil
+}
+
+// startListenerLocked binds a fresh loopback listener for peer id and
+// starts serving it. Callers hold c.mu: the address table entry must
+// become visible atomically with the peer's ring membership, or a
+// concurrent discovery can resolve the peer as host and find no
+// address.
+func (c *Cluster) startListenerLocked(id keys.Key) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ps := &peerServer{id: id, addr: ln.Addr().String(), ln: ln,
+		conns: make(map[net.Conn]struct{})}
+	c.addrs[id] = ps.addr
+	c.servers = append(c.servers, ps)
+	c.wg.Add(1)
+	go c.serve(ps)
+	return nil
 }
 
 // AddPeer joins one peer: a protocol join plus a fresh TCP listener.
@@ -221,19 +272,11 @@ func (c *Cluster) AddPeer(capacity int) (keys.Key, error) {
 		c.mu.Unlock()
 		return "", err
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	err := c.startListenerLocked(id)
+	c.mu.Unlock()
 	if err != nil {
-		c.mu.Unlock()
 		return "", err
 	}
-	ps := &peerServer{id: id, addr: ln.Addr().String(), ln: ln,
-		conns: make(map[net.Conn]struct{})}
-	c.addrs[id] = ps.addr
-	c.servers = append(c.servers, ps)
-	c.mu.Unlock()
-
-	c.wg.Add(1)
-	go c.serve(ps)
 	return id, nil
 }
 
@@ -301,12 +344,12 @@ func (c *Cluster) dropEndpoint(ps *peerServer) {
 	c.pool.evict(ps.addr)
 }
 
-// Recover restores crashed node state from the replica store and
+// Recover restores crashed node state from the successor replicas and
 // rebuilds the canonical tree structure.
-func (c *Cluster) Recover() (restored, lost int, err error) {
+func (c *Cluster) Recover() (restored int, lost []keys.Key, err error) {
 	select {
 	case <-c.quit:
-		return 0, 0, ErrStopped
+		return 0, nil, ErrStopped
 	default:
 	}
 	c.mu.Lock()
@@ -315,7 +358,14 @@ func (c *Cluster) Recover() (restored, lost int, err error) {
 	return restored, lost, nil
 }
 
-// Replicate snapshots every tree node to the replica store.
+// Replicate snapshots every tree node to its host's ring successor.
+// Each successor batch travels the real wire path: a REPLICA frame on
+// the pooled connection to the target peer's listener, installed
+// server-side under the topology write lock and acknowledged with a
+// RESPONSE frame. A batch whose target cannot be reached (departed
+// peer, racing listener close) falls back to a direct install, which
+// re-routes per entry. On a durable cluster the tick finishes by
+// writing the fsynced on-disk snapshot.
 func (c *Cluster) Replicate() (int, error) {
 	select {
 	case <-c.quit:
@@ -323,8 +373,63 @@ func (c *Cluster) Replicate() (int, error) {
 	default:
 	}
 	c.mu.Lock()
+	plan := c.net.ReplicaPlan()
+	addrs := make([]string, len(plan))
+	for i, b := range plan {
+		addrs[i] = c.addrs[b.To]
+	}
+	c.mu.Unlock()
+	ctx := context.Background()
+	total := 0
+	for i, b := range plan {
+		n, err := c.shipReplicas(ctx, addrs[i], b)
+		if err != nil {
+			// Unreachable target: install directly; AcceptReplicas
+			// re-routes entries whose placement changed meanwhile.
+			// Delivery is at-least-once — if the connection died after
+			// the server installed the batch but before its ack, the
+			// retry re-installs idempotently and the snapshot counters
+			// count the batch twice (only on ticks with connection
+			// failures).
+			c.mu.Lock()
+			n = c.net.AcceptReplicas(b.From, b.To, b.Infos)
+			c.mu.Unlock()
+		}
+		total += n
+	}
+	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.net.Replicate(), nil
+	c.net.CompactReplicas()
+	if c.store != nil {
+		// Under c.mu on purpose: the journal rotation must be atomic
+		// with the captured state (see the live cluster's Replicate).
+		peers, nodes := c.net.PersistState()
+		if _, err := c.store.WriteSnapshot(peers, nodes); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// shipReplicas sends one successor batch as a REPLICA frame over the
+// pooled connection to addr and waits for the acknowledging RESPONSE
+// (whose Logical field carries the installed count).
+func (c *Cluster) shipReplicas(ctx context.Context, addr string, b core.ReplicaBatch) (int, error) {
+	if addr == "" {
+		return 0, fmt.Errorf("transport: no address for replica target %q", b.To)
+	}
+	pc, err := c.pool.get(ctx, addr)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.pool.replicaRoundTrip(ctx, pc, &b)
+	if err != nil {
+		return 0, err
+	}
+	if resp.Err != "" {
+		return 0, errors.New(resp.Err)
+	}
+	return resp.Logical, nil
 }
 
 // ResetUnit ends the current load-accounting time unit.
@@ -549,6 +654,22 @@ func (c *Cluster) handleConn(ps *peerServer, conn net.Conn) {
 				defer c.wg.Done()
 				c.serveQuery(sc, id, q, ctx, cancel)
 			}()
+		case frameReplica:
+			var b core.ReplicaBatch
+			if err := decodeReplicaBatch(payload, &b); err != nil {
+				return // protocol violation: drop the connection
+			}
+			// Replica installs take the topology write lock; a
+			// goroutine per batch keeps the read loop (and the
+			// discovery streams multiplexed on this connection) moving.
+			c.wg.Add(1)
+			go func(id uint64, b core.ReplicaBatch) {
+				defer c.wg.Done()
+				c.mu.Lock()
+				n := c.net.AcceptReplicas(b.From, b.To, b.Infos)
+				c.mu.Unlock()
+				_ = sc.fc.writeResponse(id, &response{Logical: n})
+			}(id, b)
 		case frameStreamAck:
 			sc.ackStream(id)
 		case frameCancel:

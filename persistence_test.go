@@ -1,0 +1,399 @@
+package dlpt
+
+// Differential and failure-injection tests of the persistence layer:
+// a scripted durable workload followed by a whole-overlay crash and a
+// cold Restart must yield byte-identical post-recovery catalogues on
+// all three engines, the last-peer case included, and replica
+// re-homing traffic must be visible under churn.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dlpt/internal/keys"
+	"dlpt/internal/workload"
+)
+
+// runColdRestartWorkload drives the scripted durable workload on one
+// engine, kills every peer, restarts from disk and returns the
+// engine-independent transcript.
+func runColdRestartWorkload(t *testing.T, kind EngineKind) string {
+	t.Helper()
+	ctx := context.Background()
+	dir := t.TempDir()
+	reg, err := New(6, WithSeed(29), WithAlphabet(keys.LowerAlnum),
+		WithEngine(kind), WithPersistence(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+
+	// Epoch 1: a replicated corpus.
+	corpus := workload.GridCorpus(40)
+	batch := make([]Registration, len(corpus))
+	for i, k := range corpus {
+		batch[i] = Registration{Name: string(k), Endpoint: "ep://" + string(k)}
+	}
+	if err := reg.RegisterBatch(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Replicate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 2: more data, another snapshot, then topology churn and
+	// journaled mutations past the final snapshot.
+	for i := 0; i < 6; i++ {
+		if err := reg.Register(ctx, fmt.Sprintf("zzdurable%d", i), "ep"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := reg.Replicate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.AddPeerWithCapacity(ctx, 512); err != nil {
+		t.Fatal(err)
+	}
+	for i := 6; i < 9; i++ { // journal-only: declared after the final snapshot
+		if err := reg.Register(ctx, fmt.Sprintf("zzdurable%d", i), "ep"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := reg.Unregister(ctx, string(corpus[0]), "ep://"+string(corpus[0])); err != nil {
+		t.Fatal(err)
+	}
+	pre := catalogue(t, reg)
+
+	// Kill every peer: crash all the removable ones without recovery,
+	// then die abruptly.
+	for reg.NumPeers() > 1 {
+		infos, err := reg.Peers(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.CrashPeer(ctx, infos[0].ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold restart from the persistence directory alone. The journal
+	// holds every mutation since the final snapshot, so the restored
+	// catalogue matches the pre-crash one exactly.
+	restarted, err := Restart(dir, WithSeed(29), WithAlphabet(keys.LowerAlnum), WithEngine(kind))
+	if err != nil {
+		t.Fatalf("%s: restart: %v", kind, err)
+	}
+	defer restarted.Close()
+	if err := restarted.Validate(ctx); err != nil {
+		t.Fatalf("%s: restored overlay invalid: %v", kind, err)
+	}
+	post := catalogue(t, restarted)
+	if post != pre {
+		t.Fatalf("%s: cold restart changed the catalogue:\n%s", kind, firstDiff(pre, post))
+	}
+	fmt.Fprintf(&b, "peers=%d nodes=%d\n%s", restarted.NumPeers(), restarted.NumNodes(), post)
+
+	// The restored overlay is a normal overlay: it keeps working and
+	// keeps persisting.
+	if err := restarted.Register(ctx, "zzafterrestart", "ep"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restarted.Replicate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	svc, ok, err := restarted.Discover(ctx, "zzafterrestart")
+	if err != nil || !ok {
+		t.Fatalf("%s: discover after restart: ok=%v err=%v", kind, ok, err)
+	}
+	fmt.Fprintf(&b, "post-restart %s %v\n", svc.Name, svc.Endpoints)
+	return b.String()
+}
+
+// TestColdRestartDifferential requires the three engines to come back
+// from a whole-overlay crash with byte-identical catalogues.
+func TestColdRestartDifferential(t *testing.T) {
+	transcripts := make(map[EngineKind]string, len(engineKinds))
+	for _, kind := range engineKinds {
+		transcripts[kind] = runColdRestartWorkload(t, kind)
+	}
+	ref := transcripts[EngineLocal]
+	if ref == "" {
+		t.Fatal("empty reference transcript")
+	}
+	for _, kind := range engineKinds[1:] {
+		if transcripts[kind] != ref {
+			t.Errorf("engine %s diverges from local:\n%s", kind,
+				firstDiff(ref, transcripts[kind]))
+		}
+	}
+}
+
+// TestRestartLastPeer pins the last-peer case: a single-peer durable
+// overlay dies abruptly and restarts from disk with its whole
+// catalogue.
+func TestRestartLastPeer(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, kind EngineKind) {
+		ctx := context.Background()
+		dir := t.TempDir()
+		reg, err := New(1, WithSeed(31), WithAlphabet(keys.LowerAlnum),
+			WithEngine(kind), WithPersistence(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []string{"dgemm", "dgemv", "saxpy"} {
+			if err := reg.Register(ctx, k, "ep://"+k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := reg.Replicate(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Register(ctx, "journaled", "ep"); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Close(); err != nil { // the last peer dies
+			t.Fatal(err)
+		}
+
+		restarted, err := Restart(dir, WithSeed(31), WithAlphabet(keys.LowerAlnum), WithEngine(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer restarted.Close()
+		if err := restarted.Validate(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if got := restarted.NumPeers(); got != 1 {
+			t.Fatalf("restored %d peers, want 1", got)
+		}
+		svcs, err := restarted.Services(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := "[dgemm dgemv journaled saxpy]"
+		if fmt.Sprint(svcs) != want {
+			t.Fatalf("restored services %v, want %s", svcs, want)
+		}
+	})
+}
+
+// TestRestartBeforeFirstReplicate pins the construction-time epoch: a
+// durable overlay snapshots its fresh ring at construction, so a
+// crash before the first explicit Replicate still restores the ring
+// plus the journaled mutations — and starting a fresh overlay on a
+// previous run's directory cannot mix the two runs' catalogues.
+func TestRestartBeforeFirstReplicate(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	reg, err := New(2, WithSeed(33), WithEngine(EngineLocal), WithPersistence(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(ctx, "svc", "ep"); err != nil {
+		t.Fatal(err)
+	}
+	reg.Close() // journaled but never explicitly snapshotted
+	restarted, err := Restart(dir, WithEngine(EngineLocal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcs, err := restarted.Services(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(svcs) != "[svc]" {
+		t.Fatalf("restored services %v, want [svc]", svcs)
+	}
+	restarted.Close()
+
+	// A fresh overlay on the same directory starts its own epoch: a
+	// crash before its first Replicate must restore only the fresh
+	// run's state, never a chimera with the old run's keys.
+	reg2, err := New(2, WithSeed(35), WithEngine(EngineLocal), WithPersistence(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg2.Register(ctx, "otherkey", "ep"); err != nil {
+		t.Fatal(err)
+	}
+	reg2.Close()
+	restarted2, err := Restart(dir, WithEngine(EngineLocal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restarted2.Close()
+	svcs, err = restarted2.Services(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(svcs) != "[otherkey]" {
+		t.Fatalf("restored services %v, want [otherkey]", svcs)
+	}
+
+	// An untouched directory has nothing to restore.
+	if _, err := Restart(t.TempDir(), WithEngine(EngineLocal)); err == nil {
+		t.Fatal("restart from an empty directory succeeded")
+	}
+}
+
+// TestRehomingTrafficUnderChurn requires topology changes on every
+// engine to produce nonzero replica-transfer traffic, reported
+// through MembershipStats.
+func TestRehomingTrafficUnderChurn(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, kind EngineKind) {
+		ctx := context.Background()
+		reg := newRegistry(t, 6, WithSeed(37), WithAlphabet(keys.LowerAlnum), WithEngine(kind))
+		corpus := workload.GridCorpus(80)
+		batch := make([]Registration, len(corpus))
+		for i, k := range corpus {
+			batch[i] = Registration{Name: string(k), Endpoint: "ep"}
+		}
+		if err := reg.RegisterBatch(ctx, batch); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reg.Replicate(ctx); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			id, err := reg.AddPeerWithCapacity(ctx, 256)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := reg.RemovePeer(ctx, id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ms, err := reg.MembershipStats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ms.ReplicaTransferMsgs == 0 || ms.ReplicaTransferredNodes == 0 {
+			t.Fatalf("churn produced no replica transfer traffic: %+v", ms)
+		}
+		if err := reg.Validate(ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestRecoverReportsLostKeys requires the engine-level loss report to
+// name exactly the service keys that went missing.
+func TestRecoverReportsLostKeys(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, kind EngineKind) {
+		ctx := context.Background()
+		reg := newRegistry(t, 6, WithSeed(41), WithAlphabet(keys.LowerAlnum), WithEngine(kind))
+		corpus := workload.GridCorpus(50)
+		for _, k := range corpus {
+			if err := reg.Register(ctx, string(k), "ep"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := reg.Replicate(ctx); err != nil {
+			t.Fatal(err)
+		}
+		extra := []string{"zzloss0", "zzloss1", "zzloss2", "zzloss3"}
+		for _, k := range extra {
+			if err := reg.Register(ctx, k, "ep"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := reg.CrashPeer(ctx, busiestPeer(t, reg)); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := reg.Recover(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Lost != len(rep.LostKeys) {
+			t.Fatalf("Lost=%d but %d LostKeys", rep.Lost, len(rep.LostKeys))
+		}
+		lost := make(map[string]bool, len(rep.LostKeys))
+		for _, k := range rep.LostKeys {
+			lost[k] = true
+		}
+		svcs, err := reg.Services(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		have := make(map[string]bool, len(svcs))
+		for _, s := range svcs {
+			have[s] = true
+		}
+		for _, k := range extra {
+			if have[k] == lost[k] {
+				t.Fatalf("%s: key %q present=%v lost=%v (report %v)",
+					kind, k, have[k], lost[k], rep.LostKeys)
+			}
+		}
+		for _, k := range corpus {
+			if !have[string(k)] {
+				t.Fatalf("replicated key %q missing", k)
+			}
+		}
+	})
+}
+
+// TestRestartDirectory pins the durable Directory path: after a
+// whole-overlay crash, RestartDirectory rebuilds the overlay from
+// disk and rehydrates the per-resource attribute descriptions, so
+// Describe, conjunctive queries, withdrawal and validation all work
+// on the restored directory.
+func TestRestartDirectory(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, kind EngineKind) {
+		ctx := context.Background()
+		dir := t.TempDir()
+		d, err := NewDirectory(4, WithSeed(43), WithEngine(kind), WithPersistence(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resources := []Resource{
+			{ID: "lyon-01", Attributes: map[string]string{"cpu": "x86_64", "mem": "256"}},
+			{ID: "lyon-02", Attributes: map[string]string{"cpu": "arm64", "mem": "128"}},
+			{ID: "nancy-01", Attributes: map[string]string{"cpu": "x86_64", "mem": "064"}},
+		}
+		for _, res := range resources {
+			if err := d.RegisterResource(ctx, res); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := d.Replicate(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Close(); err != nil { // every peer dies
+			t.Fatal(err)
+		}
+
+		restored, err := RestartDirectory(dir, WithSeed(43), WithEngine(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer restored.Close()
+		if err := restored.Validate(ctx); err != nil {
+			t.Fatalf("%s: restored directory invalid: %v", kind, err)
+		}
+		if got := restored.NumResources(); got != len(resources) {
+			t.Fatalf("%s: rehydrated %d resources, want %d", kind, got, len(resources))
+		}
+		attrs, ok := restored.Describe("lyon-02")
+		if !ok || attrs["cpu"] != "arm64" || attrs["mem"] != "128" {
+			t.Fatalf("%s: describe lyon-02 = %v ok=%v", kind, attrs, ok)
+		}
+		ids, _, err := restored.Find(ctx, Where{Attr: "cpu", Equals: "x86_64"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(ids) != "[lyon-01 nancy-01]" {
+			t.Fatalf("%s: find cpu=x86_64 = %v", kind, ids)
+		}
+		if ok, err := restored.UnregisterResource(ctx, "nancy-01"); err != nil || !ok {
+			t.Fatalf("%s: unregister on restored directory: ok=%v err=%v", kind, ok, err)
+		}
+		if err := restored.Validate(ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
