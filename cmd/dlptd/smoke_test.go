@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"dlpt/internal/daemon"
+)
+
+// proc is one dlptd process under test.
+type proc struct {
+	cmd    *exec.Cmd
+	addr   string
+	stderr *bytes.Buffer
+}
+
+// startProc launches a dlptd process and reads its advertised address
+// off stdout.
+func startProc(t *testing.T, bin, cfgPath string) *proc {
+	t.Helper()
+	p := &proc{cmd: exec.Command(bin, "run", "-config", cfgPath), stderr: &bytes.Buffer{}}
+	p.cmd.Stderr = p.stderr
+	stdout, err := p.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.cmd.Start(); err != nil {
+		t.Fatalf("start dlptd: %v", err)
+	}
+	t.Cleanup(func() {
+		if p.cmd.Process != nil {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		if sc.Scan() {
+			addrCh <- sc.Text()
+		}
+		close(addrCh)
+	}()
+	select {
+	case addr, ok := <-addrCh:
+		if !ok || addr == "" {
+			t.Fatalf("dlptd printed no address; stderr:\n%s", p.stderr.String())
+		}
+		p.addr = addr
+	case <-time.After(30 * time.Second):
+		t.Fatalf("dlptd never printed its address; stderr:\n%s", p.stderr.String())
+	}
+	return p
+}
+
+func writeConfig(t *testing.T, dir, name string, cfg map[string]any) string {
+	t.Helper()
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func waitUntil(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("timed out: %s", msg)
+}
+
+// TestSmokeThreeProcessOverlay is the end-to-end deployment check:
+// three dlptd processes on localhost form one overlay through the
+// bootstrap handshake, serve registrations, discoveries and streamed
+// completions across process boundaries, and survive the SIGKILL of
+// one member — the steward's maintenance loop declares it crashed,
+// recovers its nodes from replicas, and the survivors validate clean.
+func TestSmokeThreeProcessOverlay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke test")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "dlptd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build dlptd: %v\n%s", err, out)
+	}
+
+	base := map[string]any{
+		"listen":          "127.0.0.1:0",
+		"capacity":        8,
+		"alphabet":        "lower_alnum",
+		"probe_every":     "100ms",
+		"miss_threshold":  3,
+		"replicate_every": "500ms",
+		"join_timeout":    "20s",
+	}
+	cfg := func(seed int64, bootstrap ...string) map[string]any {
+		m := map[string]any{"seed": seed}
+		for k, v := range base {
+			m[k] = v
+		}
+		if len(bootstrap) > 0 {
+			m["bootstrap"] = bootstrap
+		}
+		return m
+	}
+
+	steward := startProc(t, bin, writeConfig(t, dir, "steward.json", cfg(1)))
+	m1 := startProc(t, bin, writeConfig(t, dir, "m1.json", cfg(2, steward.addr)))
+	m2 := startProc(t, bin, writeConfig(t, dir, "m2.json", cfg(3, steward.addr)))
+	procs := []*proc{steward, m1, m2}
+
+	ctx := context.Background()
+	for i, p := range procs {
+		waitUntil(t, 15*time.Second, func() bool {
+			st, err := daemon.GetStatus(ctx, p.addr)
+			return err == nil && st.Peers == 3
+		}, fmt.Sprintf("process %d sees 3 peers; stderr:\n%s", i, p.stderr.String()))
+	}
+
+	// Register through every process; each key lands wherever the ring
+	// places it, so discoveries and completions cross processes.
+	for i := 0; i < 9; i++ {
+		k := fmt.Sprintf("svc%02d", i)
+		p := procs[i%3]
+		if _, err := daemon.Admin(ctx, p.addr, &daemon.AdminRequest{Op: "register", Key: k, Value: "endpoint"}); err != nil {
+			t.Fatalf("register %s via process %d: %v", k, i%3, err)
+		}
+	}
+	for i, p := range procs {
+		for j := 0; j < 9; j++ {
+			k := fmt.Sprintf("svc%02d", j)
+			resp, err := daemon.Admin(ctx, p.addr, &daemon.AdminRequest{Op: "discover", Key: k})
+			if err != nil || !resp.Found {
+				t.Fatalf("discover %s on process %d: found=%v err=%v", k, i, resp != nil && resp.Found, err)
+			}
+		}
+		resp, err := daemon.Admin(ctx, p.addr, &daemon.AdminRequest{Op: "complete", Prefix: "svc"})
+		if err != nil {
+			t.Fatalf("complete on process %d: %v", i, err)
+		}
+		if len(resp.Keys) != 9 {
+			t.Fatalf("complete on process %d = %d keys, want 9", i, len(resp.Keys))
+		}
+		if _, err := daemon.Admin(ctx, p.addr, &daemon.AdminRequest{Op: "validate"}); err != nil {
+			t.Fatalf("validate on process %d: %v", i, err)
+		}
+	}
+
+	// Give the replicate tick a beat so every node has a ring-successor
+	// snapshot, then SIGKILL one member — no graceful leave.
+	time.Sleep(1200 * time.Millisecond)
+	if err := m2.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	m2.cmd.Wait()
+
+	survivors := []*proc{steward, m1}
+	for i, p := range survivors {
+		waitUntil(t, 20*time.Second, func() bool {
+			st, err := daemon.GetStatus(ctx, p.addr)
+			return err == nil && st.Peers == 2
+		}, fmt.Sprintf("survivor %d sees the crash handled; stderr:\n%s", i, p.stderr.String()))
+	}
+	for i, p := range survivors {
+		if _, err := daemon.Admin(ctx, p.addr, &daemon.AdminRequest{Op: "validate"}); err != nil {
+			t.Fatalf("validate on survivor %d after SIGKILL: %v", i, err)
+		}
+		for j := 0; j < 9; j++ {
+			k := fmt.Sprintf("svc%02d", j)
+			resp, err := daemon.Admin(ctx, p.addr, &daemon.AdminRequest{Op: "discover", Key: k})
+			if err != nil || !resp.Found {
+				t.Fatalf("key %s lost after SIGKILL (survivor %d): err=%v", k, i, err)
+			}
+		}
+	}
+
+	// Graceful shutdown of the survivors exercises the LEAVE path.
+	for _, p := range []*proc{m1, steward} {
+		p.cmd.Process.Signal(syscall.SIGTERM)
+	}
+	waitUntil(t, 10*time.Second, func() bool {
+		return m1.cmd.ProcessState != nil || m1.cmd.Wait() == nil
+	}, "member exits on SIGTERM")
+}

@@ -13,6 +13,7 @@ import (
 
 	"dlpt"
 	"dlpt/engine"
+	"dlpt/internal/daemon"
 	"dlpt/internal/keys"
 	"dlpt/internal/workload"
 )
@@ -70,6 +71,15 @@ type benchReport struct {
 	Seed      int64         `json:"seed"`
 	GoVersion string        `json:"go_version"`
 	Results   []benchResult `json:"results"`
+
+	// Daemon deployment metrics (engine-independent, measured on
+	// in-process dlptd daemons over real loopback sockets): the
+	// latency of one JOIN/HELLO bootstrap handshake including the
+	// mirror installation, and the wall-clock from a member's abrupt
+	// death to the steward's maintenance loop having crashed it out
+	// and recovered its nodes (probe-timer dominated by design).
+	JoinHandshakeNsPerOp int64 `json:"join_handshake_ns_per_op"`
+	RedialRecoveryMs     int64 `json:"redial_recovery_ms"`
 }
 
 // regressionFactor is the perf gate: a latency metric more than this
@@ -243,7 +253,94 @@ func measureEngines(quick bool, seed int64) (*benchReport, error) {
 		}
 		rep.Results = append(rep.Results, res)
 	}
+	if err := measureDaemon(quick, seed, rep); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+// measureDaemon times the cross-process deployment layer on
+// in-process daemons: the bootstrap join handshake (dial, JOIN/HELLO
+// negotiation, mirror install) and the redial-driven crash recovery
+// (member dies abruptly; the steward's maintenance loop probes it
+// out, recovers from replicas, and the survivors validate).
+func measureDaemon(quick bool, seed int64, rep *benchReport) error {
+	nop := func(string, ...any) {}
+	cfg := func(s int64, bootstrap ...string) daemon.Config {
+		return daemon.Config{
+			Listen:         "127.0.0.1:0",
+			Bootstrap:      bootstrap,
+			Capacity:       8,
+			Alphabet:       "lower_alnum",
+			Seed:           s,
+			ProbeEvery:     daemon.Duration(50 * time.Millisecond),
+			MissThreshold:  3,
+			ReplicateEvery: daemon.Duration(time.Hour),
+			JoinTimeout:    daemon.Duration(15 * time.Second),
+		}
+	}
+	steward, err := daemon.Start(cfg(seed), nop)
+	if err != nil {
+		return err
+	}
+	defer steward.Close()
+
+	joins := 8
+	if quick {
+		joins = 3
+	}
+	var total time.Duration
+	for i := 0; i < joins; i++ {
+		start := time.Now()
+		m, err := daemon.Start(cfg(seed+int64(i)+1, steward.Addr()), nop)
+		if err != nil {
+			return fmt.Errorf("bench: join handshake: %w", err)
+		}
+		total += time.Since(start)
+		if err := m.Close(); err != nil {
+			return err
+		}
+	}
+	rep.JoinHandshakeNsPerOp = total.Nanoseconds() / int64(joins)
+
+	// Redial recovery: a 3-daemon overlay with replicated state loses
+	// one member to an abrupt stop; measure until the steward's mirror
+	// is whole again (member crashed out, nodes recovered, validation
+	// clean).
+	m1, err := daemon.Start(cfg(seed+100, steward.Addr()), nop)
+	if err != nil {
+		return err
+	}
+	defer m1.Close()
+	m2, err := daemon.Start(cfg(seed+101, steward.Addr()), nop)
+	if err != nil {
+		return err
+	}
+	defer m2.Close()
+	ctx := context.Background()
+	for i := 0; i < 24; i++ {
+		if _, err := daemon.Admin(ctx, steward.Addr(),
+			&daemon.AdminRequest{Op: "register", Key: fmt.Sprintf("bench%02d", i), Value: "ep"}); err != nil {
+			return err
+		}
+	}
+	if err := steward.ReplicateNow(); err != nil {
+		return err
+	}
+	m2.Cluster().Stop() // abrupt death: no graceful leave
+	start := time.Now()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if steward.MemberCount() == 2 && steward.Cluster().Validate() == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bench: redial recovery never completed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rep.RedialRecoveryMs = time.Since(start).Milliseconds()
+	return nil
 }
 
 // measureReplication runs the fault-tolerance workload on a fresh

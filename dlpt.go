@@ -137,6 +137,8 @@ type options struct {
 	placement  string
 	gated      bool
 	persistDir string
+	bind       string
+	advHost    string
 }
 
 // Option configures New and NewDirectory.
@@ -204,6 +206,15 @@ func WithPersistence(dir string) Option {
 	return func(o *options) { o.persistDir = dir }
 }
 
+// WithBindAddress sets where the socket-backed engine (EngineTCP)
+// binds its listeners: "host", "host:port" or "host:0". advertiseHost
+// optionally overrides the host other processes dial (useful when
+// binding 0.0.0.0). The default keeps the historical loopback
+// ephemeral ports; in-process engines ignore both.
+func WithBindAddress(bind, advertiseHost string) Option {
+	return func(o *options) { o.bind, o.advHost = bind, advertiseHost }
+}
+
 // ErrClosed is returned by operations on a closed Registry or
 // Directory.
 var ErrClosed = engine.ErrClosed
@@ -261,6 +272,8 @@ func buildEngine(numPeers int, opts []Option, restore bool) (engine.Engine, *key
 		GateCapacity:  o.gated,
 		Persist:       store,
 		Restore:       restore,
+		Bind:          o.bind,
+		AdvertiseHost: o.advHost,
 	})
 	if err != nil {
 		if store != nil {

@@ -306,6 +306,15 @@ type Config struct {
 	// replicated nodes are reinstalled through the canonical
 	// anti-entropy rebuild, and the journal replays on top.
 	Restore bool
+	// Bind is the address the socket-backed engine's listeners bind:
+	// "host", "host:port" or "host:0". Empty preserves the historical
+	// 127.0.0.1 ephemeral-port binding; a fixed port only suits
+	// single-peer deployments (dlptd). In-process engines ignore it.
+	Bind string
+	// AdvertiseHost overrides the host other processes dial when the
+	// bind host is not reachable as written (e.g. a 0.0.0.0 bind
+	// behind a NAT). In-process engines ignore it.
+	AdvertiseHost string
 }
 
 // Factory constructs an engine from a Config. The root dlpt package

@@ -31,7 +31,7 @@ type Engine struct {
 }
 
 // New starts a TCP-backed overlay with one listener per capacity
-// entry, bound to 127.0.0.1 ephemeral ports.
+// entry, bound to cfg.Bind (127.0.0.1 ephemeral ports by default).
 func New(cfg engine.Config) (*Engine, error) {
 	alpha := cfg.Alphabet
 	if alpha == nil {
@@ -48,6 +48,8 @@ func New(cfg engine.Config) (*Engine, error) {
 	opts.Gate = cfg.GateCapacity
 	opts.Persist = cfg.Persist
 	opts.Restore = cfg.Restore
+	opts.Bind = cfg.Bind
+	opts.AdvertiseHost = cfg.AdvertiseHost
 	c, err := itransport.StartOpts(alpha, cfg.Capacities, cfg.Seed, opts)
 	if err != nil {
 		return nil, err

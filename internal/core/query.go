@@ -285,6 +285,37 @@ func (w *QueryWalker) StepN(out []keys.Key, maxEmit, maxVisits int) ([]keys.Key,
 	return out, w.phase != phaseDone
 }
 
+// ResumeWalk seeds the subtree traversal directly at a covering node
+// that the climb/descend phases resolved elsewhere — the tcp engine
+// relays those phases hop-by-hop between listeners and only then
+// opens the stream at the anchor's host. pre carries the counters the
+// route accumulated, so the stream's totals match a walker that ran
+// all three phases against one tree. An anchor pruned by churn since
+// the route resolved it ends the walk empty, exactly as a vanished
+// entry node does in Start.
+func (w *QueryWalker) ResumeWalk(anchor keys.Key, pre QueryResult) {
+	if w.empty {
+		return
+	}
+	w.res.LogicalHops = pre.LogicalHops
+	w.res.PhysicalHops = pre.PhysicalHops
+	w.res.NodesVisited = pre.NodesVisited
+	n, _, ok := w.net.nodeState(anchor)
+	if !ok {
+		w.phase = phaseDone
+		return
+	}
+	w.beginWalk(n)
+}
+
+// NodeHosted reports whether k is a live, hosted tree node — the
+// visibility test the walker applies before stepping to a node, made
+// available to the hop-by-hop route relays.
+func (net *Network) NodeHosted(k keys.Key) bool {
+	_, _, ok := net.nodeState(k)
+	return ok
+}
+
 // beginWalk seeds the subtree traversal at the covering node reached
 // by the climb/descend phases (already counted as visited there).
 func (w *QueryWalker) beginWalk(n *Node) {

@@ -1,0 +1,113 @@
+// The admin wire contract: STATUS and ADMIN frames carry JSON both
+// ways, so `dlptd status`/`dlptd op` and the smoke tests can drive a
+// running daemon with one raw TCP round-trip and no cluster of their
+// own.
+
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"dlpt/internal/peering"
+	"dlpt/internal/transport"
+)
+
+// Status is a daemon's externally visible state.
+type Status struct {
+	Role        string               `json:"role"`
+	ID          string               `json:"id"`
+	Addr        string               `json:"addr"`
+	StewardAddr string               `json:"steward_addr"`
+	Seq         uint64               `json:"seq"`
+	Members     []MemberInfo         `json:"members,omitempty"`
+	Peers       int                  `json:"peers"`
+	Nodes       int                  `json:"nodes"`
+	Links       []peering.LinkStatus `json:"links,omitempty"`
+}
+
+// MemberInfo is one row of the member table.
+type MemberInfo struct {
+	ID       string `json:"id"`
+	Addr     string `json:"addr"`
+	Capacity int    `json:"capacity"`
+}
+
+// AdminRequest is one admin operation: register, unregister,
+// discover, complete, range or validate.
+type AdminRequest struct {
+	Op     string `json:"op"`
+	Key    string `json:"key,omitempty"`
+	Value  string `json:"value,omitempty"`
+	Prefix string `json:"prefix,omitempty"`
+	Lo     string `json:"lo,omitempty"`
+	Hi     string `json:"hi,omitempty"`
+	Limit  int    `json:"limit,omitempty"`
+}
+
+// AdminResponse carries an admin operation's outcome; Err is the
+// in-band failure.
+type AdminResponse struct {
+	Err      string   `json:"err,omitempty"`
+	Found    bool     `json:"found,omitempty"`
+	Values   []string `json:"values,omitempty"`
+	Keys     []string `json:"keys,omitempty"`
+	Logical  int      `json:"logical_hops"`
+	Physical int      `json:"physical_hops"`
+	Visited  int      `json:"nodes_visited"`
+	Dropped  bool     `json:"dropped,omitempty"`
+}
+
+// GetStatus queries a running daemon's status over one raw TCP
+// round-trip.
+func GetStatus(ctx context.Context, addr string) (*Status, error) {
+	rtyp, p, err := transport.RawCall(ctx, addr, transport.FrameStatus, nil)
+	if err != nil {
+		return nil, err
+	}
+	if rtyp != transport.FrameStatusResp {
+		return nil, replyError(rtyp, p)
+	}
+	var st Status
+	if err := json.Unmarshal(p, &st); err != nil {
+		return nil, fmt.Errorf("daemon: status reply: %w", err)
+	}
+	return &st, nil
+}
+
+// Admin executes one admin operation on a running daemon over one raw
+// TCP round-trip. A non-empty AdminResponse.Err is returned as the
+// error.
+func Admin(ctx context.Context, addr string, req *AdminRequest) (*AdminResponse, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	rtyp, p, err := transport.RawCall(ctx, addr, transport.FrameAdmin, b)
+	if err != nil {
+		return nil, err
+	}
+	if rtyp != transport.FrameAdminResp {
+		return nil, replyError(rtyp, p)
+	}
+	var resp AdminResponse
+	if err := json.Unmarshal(p, &resp); err != nil {
+		return nil, fmt.Errorf("daemon: admin reply: %w", err)
+	}
+	if resp.Err != "" {
+		return &resp, fmt.Errorf("%s", resp.Err)
+	}
+	return &resp, nil
+}
+
+// replyError surfaces the in-band error of an unexpected reply frame
+// (typically a bare ack explaining the refusal).
+func replyError(rtyp byte, p []byte) error {
+	if rtyp == transport.FrameAck {
+		if es, err := transport.DecodeAck(p); err == nil && es != "" {
+			return fmt.Errorf("%s", es)
+		}
+	}
+	return fmt.Errorf("daemon: unexpected reply frame %d", rtyp)
+}

@@ -1,0 +1,990 @@
+// Package daemon turns the in-process TCP cluster into a cross-host
+// deployment: every dlptd process hosts one peer and a full-state
+// mirror of the overlay, and one process — the steward, the daemon
+// started with an empty bootstrap list — serializes every overlay
+// mutation into a numbered APPLY stream that keeps the mirrors
+// convergent.
+//
+// The protocol rests on a determinism property of the core overlay:
+// the prefix tree's structure is canonical given the key set and the
+// ring, and replica placement follows the ring-successor rule, so
+// independent processes that apply the same mutation sequence to the
+// same starting state hold byte-identical topology and catalogue
+// (only load counters drift, and nothing validates those). Routing
+// then needs no coordination at all — every daemon resolves HostOf
+// locally and relays discovery, routing and stream frames straight to
+// the owning process.
+//
+// Joining: a member binds its listener first, then dials a bootstrap
+// address and sends JOIN (version, alphabet, placement, advertised
+// address, capacity). The steward validates compatibility, admits the
+// peer through the ordinary membership path, broadcasts the join to
+// the existing members, and answers HELLO with the assigned ring id,
+// the member table and a state snapshot consistent with the handshake
+// sequence number, which the joiner installs as its mirror. A member
+// that receives JOIN redirects the joiner to the steward.
+//
+// Mutating: members forward Register/Unregister to the steward as an
+// APPLY with sequence 0 (an origination request); the steward applies
+// it, assigns the next sequence number and synchronously broadcasts
+// the record to every member — including the originator — before
+// acknowledging. A member refuses any record that does not extend its
+// sequence exactly by one.
+//
+// Failure: each daemon's peering.Maintainer probes its links with
+// STATUS round-trips. Only the steward acts on a loss: after the miss
+// threshold it declares the member crashed (CrashPeer), recovers the
+// lost nodes from ring-successor replicas, and broadcasts both steps.
+// Known limitations, accepted for this deployment: the steward is a
+// single point of serialization (its crash halts mutations until it
+// is restarted; routing and queries keep working on the surviving
+// mirrors), and a member that misses a broadcast diverges until the
+// probe loop crashes it out of the overlay.
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dlpt/internal/core"
+	"dlpt/internal/keys"
+	"dlpt/internal/lb"
+	"dlpt/internal/peering"
+	"dlpt/internal/persist"
+	"dlpt/internal/transport"
+)
+
+// incompatiblePrefix marks join rejections that no amount of retrying
+// will fix (version, alphabet, placement or address conflicts); the
+// join loop fails fast on them instead of backing off.
+const incompatiblePrefix = "incompatible: "
+
+// Daemon is one dlptd process: a single-peer cluster holding a full
+// overlay mirror, the control-plane protocol around it, and the link
+// maintenance loop.
+type Daemon struct {
+	cfg           Config
+	alpha         *keys.Alphabet
+	alphaDigits   string
+	placementName string
+	logf          func(format string, args ...any)
+
+	cluster *transport.Cluster
+	store   *persist.Store
+	maint   *peering.Maintainer
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu          sync.Mutex
+	steward     bool
+	selfID      keys.Key
+	selfAddr    string
+	stewardAddr string
+	seq         uint64
+	members     map[keys.Key]transport.Member
+	closed      bool
+}
+
+// Start brings a daemon up according to cfg: a steward seeds a fresh
+// overlay (reloading its durable catalogue if DataDir has one), a
+// member joins through the bootstrap list, retrying with backoff
+// until JoinTimeout. logf receives operational log lines (nil means
+// the standard logger).
+func Start(cfg Config, logf func(format string, args ...any)) (*Daemon, error) {
+	cfg = cfg.withDefaults()
+	alpha, err := alphabetFor(cfg.Alphabet)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		cfg:         cfg,
+		alpha:       alpha,
+		alphaDigits: string(alpha.Digits()),
+		logf:        logf,
+		members:     make(map[keys.Key]transport.Member),
+	}
+	if d.logf == nil {
+		d.logf = log.Printf
+	}
+	if cfg.Placement != "" {
+		strat, err := lb.ByName(cfg.Placement)
+		if err != nil {
+			return nil, err
+		}
+		d.placementName = strat.Name()
+	}
+	d.ctx, d.cancel = context.WithCancel(context.Background())
+	if len(cfg.Bootstrap) == 0 {
+		err = d.startSteward()
+	} else {
+		err = d.startMember()
+	}
+	if err != nil {
+		d.cancel()
+		return nil, err
+	}
+	d.maint = peering.New(peering.Config{
+		Probe:         d.probe,
+		Interval:      time.Duration(cfg.ProbeEvery),
+		MissThreshold: cfg.MissThreshold,
+		OnDown:        d.onLinkDown,
+		OnUp:          d.onLinkUp,
+		Seed:          cfg.Seed,
+	})
+	d.mu.Lock()
+	d.syncLinksLocked()
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		d.maint.Run(d.ctx)
+	}()
+	if d.steward {
+		d.wg.Add(1)
+		go d.replicateLoop()
+	}
+	role := "member"
+	if d.steward {
+		role = "steward"
+	}
+	d.logf("dlptd %s up: peer %s at %s", role, d.selfID, d.selfAddr)
+	return d, nil
+}
+
+// startSteward seeds a fresh single-peer overlay. With a data
+// directory, the previous catalogue — snapshot plus journal tail — is
+// folded and re-registered: the catalogue survives a steward restart,
+// the membership does not (members always rejoin through the
+// handshake and receive fresh mirrors).
+func (d *Daemon) startSteward() error {
+	var entries []core.KV
+	if d.cfg.DataDir != "" {
+		store, err := persist.Open(d.cfg.DataDir)
+		if err != nil {
+			return err
+		}
+		st, err := store.Load()
+		if err != nil {
+			store.Close()
+			return err
+		}
+		d.store = store
+		entries = foldCatalogue(st)
+	}
+	opts := transport.Options{
+		Bind:          d.cfg.Listen,
+		AdvertiseHost: d.cfg.Advertise,
+		Persist:       d.store,
+		Control:       d.control,
+	}
+	if d.placementName != "" {
+		strat, err := lb.ByName(d.placementName)
+		if err != nil {
+			return err
+		}
+		opts.Placement = strat
+	}
+	c, err := transport.StartOpts(d.alpha, []int{d.cfg.Capacity}, d.cfg.Seed, opts)
+	if err != nil {
+		if d.store != nil {
+			d.store.Close()
+		}
+		return err
+	}
+	d.cluster = c
+	for id, addr := range c.Addrs() {
+		d.selfID, d.selfAddr = id, addr
+	}
+	d.steward = true
+	d.stewardAddr = d.selfAddr
+	d.members[d.selfID] = transport.Member{ID: d.selfID, Addr: d.selfAddr, Capacity: d.cfg.Capacity}
+	if len(entries) > 0 {
+		if err := c.RegisterBatch(entries); err != nil {
+			c.Stop()
+			return fmt.Errorf("daemon: restore catalogue: %w", err)
+		}
+		// Rotate a fresh snapshot epoch so the restore's journal
+		// appends don't double the next reload.
+		if _, err := c.ReplicateLocal(); err != nil {
+			c.Stop()
+			return err
+		}
+		d.logf("dlptd steward restored %d catalogue entries from %s", len(entries), d.cfg.DataDir)
+	}
+	return nil
+}
+
+// foldCatalogue flattens a loaded persistent state — snapshot plus
+// journal tail — into the registration list for a fresh overlay.
+func foldCatalogue(st *persist.LoadedState) []core.KV {
+	vals := make(map[string]map[string]bool)
+	add := func(k, v string) {
+		if vals[k] == nil {
+			vals[k] = make(map[string]bool)
+		}
+		vals[k][v] = true
+	}
+	if st.Snapshot != nil {
+		for _, ns := range st.Snapshot.Nodes {
+			for _, v := range ns.Values {
+				add(ns.Key, v)
+			}
+		}
+	}
+	for _, r := range st.Journal {
+		if r.Remove {
+			if vs := vals[r.Key]; vs != nil {
+				delete(vs, r.Value)
+			}
+		} else {
+			add(r.Key, r.Value)
+		}
+	}
+	ks := make([]string, 0, len(vals))
+	for k := range vals {
+		if len(vals[k]) > 0 {
+			ks = append(ks, k)
+		}
+	}
+	sort.Strings(ks)
+	var out []core.KV
+	for _, k := range ks {
+		vs := make([]string, 0, len(vals[k]))
+		for v := range vals[k] {
+			vs = append(vs, v)
+		}
+		sort.Strings(vs)
+		for _, v := range vs {
+			out = append(out, core.KV{Key: keys.Key(k), Value: v})
+		}
+	}
+	return out
+}
+
+// startMember binds the listener first (so JOIN can advertise it),
+// starts an empty cluster, joins through the bootstrap list and
+// installs the steward's state snapshot as this process's mirror. The
+// daemon lock is held across join and install: APPLY broadcasts that
+// race the installation queue behind it and then extend the sequence
+// in order.
+func (d *Daemon) startMember() error {
+	ln, err := net.Listen("tcp", transport.NormalizeBind(d.cfg.Listen))
+	if err != nil {
+		return err
+	}
+	d.selfAddr = transport.AdvertiseAddr(ln.Addr().String(), d.cfg.Advertise)
+	c, err := transport.StartOpts(d.alpha, nil, d.cfg.Seed, transport.Options{
+		AllowEmpty:    true,
+		AdvertiseHost: d.cfg.Advertise,
+		Control:       d.control,
+	})
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	d.cluster = c
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	hello, err := d.joinOverlay()
+	if err != nil {
+		ln.Close()
+		c.Stop()
+		return err
+	}
+	memberAddrs := make(map[keys.Key]string, len(hello.Members))
+	for _, m := range hello.Members {
+		d.members[m.ID] = m
+		memberAddrs[m.ID] = m.Addr
+	}
+	if err := c.InstallMirror(hello.Peers, hello.Nodes, memberAddrs, hello.AssignedID, ln); err != nil {
+		ln.Close()
+		c.Stop()
+		return fmt.Errorf("daemon: install mirror: %w", err)
+	}
+	d.selfID = hello.AssignedID
+	d.seq = hello.Seq
+	d.stewardAddr = hello.StewardAddr
+	return nil
+}
+
+// joinOverlay runs the bootstrap handshake loop: every bootstrap
+// address is tried in order, rejections naming the steward add it to
+// the rotation, and transient failures (peer not up yet, connection
+// cut mid-join) back off exponentially with jitter until JoinTimeout.
+// Incompatibility rejections fail immediately.
+func (d *Daemon) joinOverlay() (*transport.HelloInfo, error) {
+	payload := transport.EncodeJoin(&transport.JoinRequest{
+		Version:   transport.HandshakeVersion,
+		Alphabet:  d.alphaDigits,
+		Placement: d.placementName,
+		Addr:      d.selfAddr,
+		Capacity:  d.cfg.Capacity,
+	})
+	targets := append([]string(nil), d.cfg.Bootstrap...)
+	rng := rand.New(rand.NewSource(d.cfg.Seed))
+	backoff := 100 * time.Millisecond
+	deadline := time.Now().Add(time.Duration(d.cfg.JoinTimeout))
+	var lastErr error
+	for {
+		for _, addr := range targets {
+			cctx, cancel := context.WithTimeout(d.ctx, 3*time.Second)
+			rtyp, rp, err := d.cluster.ControlRoundTrip(cctx, addr, transport.FrameJoin, payload)
+			cancel()
+			if err != nil {
+				// The pooled connection may hold a dead dial; evict so
+				// the retry dials fresh.
+				d.cluster.DropEndpointAddr(addr)
+				lastErr = fmt.Errorf("join %s: %w", addr, err)
+				continue
+			}
+			if rtyp != transport.FrameHello {
+				lastErr = fmt.Errorf("join %s: unexpected reply frame %d", addr, rtyp)
+				continue
+			}
+			hello, err := transport.DecodeHello(rp)
+			if err != nil {
+				lastErr = fmt.Errorf("join %s: %w", addr, err)
+				continue
+			}
+			if hello.Err != "" {
+				if strings.HasPrefix(hello.Err, incompatiblePrefix) {
+					return nil, fmt.Errorf("daemon: join %s rejected: %s", addr, hello.Err)
+				}
+				lastErr = fmt.Errorf("join %s: %s", addr, hello.Err)
+				if hello.StewardAddr != "" && !contains(targets, hello.StewardAddr) {
+					targets = append(targets, hello.StewardAddr)
+				}
+				continue
+			}
+			return hello, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("daemon: bootstrap failed after %v: %w",
+				time.Duration(d.cfg.JoinTimeout), lastErr)
+		}
+		select {
+		case <-d.ctx.Done():
+			return nil, d.ctx.Err()
+		case <-time.After(backoff + time.Duration(rng.Int63n(int64(backoff/2)+1))):
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// control dispatches the control-plane frames the transport hands us.
+func (d *Daemon) control(typ byte, payload []byte) (byte, []byte) {
+	switch typ {
+	case transport.FrameJoin:
+		return d.handleJoin(payload)
+	case transport.FrameLeave:
+		return d.handleLeave(payload)
+	case transport.FrameApply:
+		return d.handleApply(payload)
+	case transport.FrameStatus:
+		return d.handleStatus()
+	case transport.FrameAdmin:
+		return d.handleAdmin(payload)
+	}
+	return transport.FrameAck, transport.EncodeAck(fmt.Sprintf("daemon: unknown control frame %d", typ))
+}
+
+// handleJoin admits (or rejects) a joining daemon. Members redirect
+// to the steward; the steward validates compatibility, runs the
+// ordinary membership join with the joiner's advertised address,
+// broadcasts the join to the existing members and replies with the
+// full mirror state.
+func (d *Daemon) handleJoin(payload []byte) (byte, []byte) {
+	reject := func(errStr, steward string) (byte, []byte) {
+		return transport.FrameHello, transport.EncodeHello(&transport.HelloInfo{
+			Version: transport.HandshakeVersion, Err: errStr, StewardAddr: steward,
+		})
+	}
+	jr, err := transport.DecodeJoin(payload)
+	if err != nil {
+		return reject("daemon: malformed join: "+err.Error(), "")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return reject("daemon: shutting down", "")
+	}
+	if !d.steward {
+		return reject("daemon: not steward", d.stewardAddr)
+	}
+	if jr.Version != transport.HandshakeVersion {
+		return reject(fmt.Sprintf("%shandshake version %d, want %d",
+			incompatiblePrefix, jr.Version, transport.HandshakeVersion), "")
+	}
+	if jr.Alphabet != d.alphaDigits {
+		return reject(incompatiblePrefix+"alphabet mismatch", "")
+	}
+	if jr.Placement != d.placementName {
+		return reject(fmt.Sprintf("%splacement %q, want %q",
+			incompatiblePrefix, jr.Placement, d.placementName), "")
+	}
+	if jr.Capacity <= 0 {
+		return reject(incompatiblePrefix+"capacity must be positive", "")
+	}
+	for _, m := range d.members {
+		if m.Addr == jr.Addr {
+			return reject(incompatiblePrefix+"address already joined: "+jr.Addr, "")
+		}
+	}
+	id, err := d.cluster.JoinRemotePeer(jr.Capacity, jr.Addr)
+	if err != nil {
+		return reject("daemon: join failed: "+err.Error(), "")
+	}
+	d.seq++
+	// Broadcast before adding the joiner to the table: the joiner's
+	// mirror snapshot below already contains its own join.
+	d.broadcastLocked(&transport.ApplyRecord{
+		Seq: d.seq, Op: transport.OpJoin, ID: id, Capacity: jr.Capacity, Addr: jr.Addr,
+	})
+	d.members[id] = transport.Member{ID: id, Addr: jr.Addr, Capacity: jr.Capacity}
+	d.syncLinksLocked()
+	peers, nodes := d.cluster.PersistStateView()
+	d.logf("dlptd steward admitted peer %s at %s (overlay now %d daemons)", id, jr.Addr, len(d.members))
+	return transport.FrameHello, transport.EncodeHello(&transport.HelloInfo{
+		Version:     transport.HandshakeVersion,
+		StewardAddr: d.selfAddr,
+		Alphabet:    d.alphaDigits,
+		Placement:   d.placementName,
+		AssignedID:  id,
+		Seq:         d.seq,
+		Members:     d.memberListLocked(),
+		Peers:       peers,
+		Nodes:       nodes,
+	})
+}
+
+// handleLeave runs a member's graceful departure: the peer's nodes
+// hand off deterministically in every mirror via the broadcast.
+func (d *Daemon) handleLeave(payload []byte) (byte, []byte) {
+	notice, err := transport.DecodeLeave(payload)
+	if err != nil {
+		return transport.FrameAck, transport.EncodeAck("daemon: malformed leave: " + err.Error())
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.steward {
+		return transport.FrameAck, transport.EncodeAck("daemon: not steward")
+	}
+	m, ok := d.members[notice.ID]
+	if !ok {
+		return transport.FrameAck, transport.EncodeAck("") // already departed
+	}
+	if err := d.cluster.RemovePeer(notice.ID); err != nil {
+		return transport.FrameAck, transport.EncodeAck("daemon: leave: " + err.Error())
+	}
+	delete(d.members, notice.ID)
+	d.cluster.DropEndpointAddr(m.Addr)
+	d.seq++
+	d.broadcastLocked(&transport.ApplyRecord{Seq: d.seq, Op: transport.OpLeave, ID: notice.ID, Addr: m.Addr})
+	d.syncLinksLocked()
+	d.logf("dlptd steward: peer %s at %s left (overlay now %d daemons)", notice.ID, m.Addr, len(d.members))
+	return transport.FrameAck, transport.EncodeAck("")
+}
+
+// handleApply processes one mutation record: sequence 0 is a member's
+// origination request the steward serializes and broadcasts; a
+// positive sequence is the steward's broadcast a member replays iff
+// it extends the mirror's sequence exactly.
+func (d *Daemon) handleApply(payload []byte) (byte, []byte) {
+	ack := func(errStr string) (byte, []byte) {
+		return transport.FrameAck, transport.EncodeAck(errStr)
+	}
+	rec, err := transport.DecodeApply(payload)
+	if err != nil {
+		return ack("daemon: malformed apply: " + err.Error())
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if rec.Seq == 0 {
+		if !d.steward {
+			return ack("daemon: not steward")
+		}
+		if rec.Op != transport.OpRegister && rec.Op != transport.OpUnregister {
+			return ack("daemon: only catalogue mutations originate remotely")
+		}
+		if err := d.applyLocked(rec); err != nil {
+			return ack(err.Error())
+		}
+		d.seq++
+		rec.Seq = d.seq
+		d.broadcastLocked(rec)
+		return ack("")
+	}
+	if d.steward {
+		return ack("daemon: steward does not accept sequenced applies")
+	}
+	if rec.Seq != d.seq+1 {
+		return ack(fmt.Sprintf("daemon: sequence gap: got %d, want %d", rec.Seq, d.seq+1))
+	}
+	if err := d.applyLocked(rec); err != nil {
+		// The mirror did not advance: the steward will log the refusal
+		// and the probe loop eventually crashes this daemon out rather
+		// than let a divergent mirror serve.
+		return ack(err.Error())
+	}
+	d.seq = rec.Seq
+	return ack("")
+}
+
+// applyLocked replays one mutation against the local mirror.
+func (d *Daemon) applyLocked(rec *transport.ApplyRecord) error {
+	switch rec.Op {
+	case transport.OpRegister:
+		return d.cluster.Register(rec.Key, rec.Value)
+	case transport.OpUnregister:
+		d.cluster.Unregister(rec.Key, rec.Value)
+		return nil
+	case transport.OpJoin:
+		if err := d.cluster.AddRemotePeerWithID(rec.ID, rec.Capacity, rec.Addr); err != nil {
+			return err
+		}
+		d.members[rec.ID] = transport.Member{ID: rec.ID, Addr: rec.Addr, Capacity: rec.Capacity}
+		d.syncLinksLocked()
+		return nil
+	case transport.OpLeave:
+		if err := d.cluster.RemovePeer(rec.ID); err != nil {
+			return err
+		}
+		d.forgetMemberLocked(rec.ID)
+		return nil
+	case transport.OpCrash:
+		if err := d.cluster.FailPeer(rec.ID); err != nil {
+			return err
+		}
+		d.forgetMemberLocked(rec.ID)
+		return nil
+	case transport.OpRecover:
+		_, _, err := d.cluster.Recover()
+		return err
+	case transport.OpReplicate:
+		_, err := d.cluster.ReplicateLocal()
+		return err
+	}
+	return fmt.Errorf("daemon: unknown op %d", rec.Op)
+}
+
+// forgetMemberLocked drops a departed/crashed member from the table,
+// its pooled connection and the link set.
+func (d *Daemon) forgetMemberLocked(id keys.Key) {
+	if m, ok := d.members[id]; ok {
+		d.cluster.DropEndpointAddr(m.Addr)
+		delete(d.members, id)
+	}
+	d.syncLinksLocked()
+}
+
+// broadcastLocked ships one sequenced record to every other member,
+// synchronously and in sorted order — the steward never has two
+// records in flight to the same member, so the per-member sequence
+// check cannot trip on reordering. A member that fails its broadcast
+// is logged and left to the probe loop.
+func (d *Daemon) broadcastLocked(rec *transport.ApplyRecord) {
+	payload := transport.EncodeApply(rec)
+	ids := make([]keys.Key, 0, len(d.members))
+	for id := range d.members {
+		if id != d.selfID {
+			ids = append(ids, id)
+		}
+	}
+	keys.SortKeys(ids)
+	for _, id := range ids {
+		m := d.members[id]
+		ctx, cancel := context.WithTimeout(d.ctx, 5*time.Second)
+		rtyp, rp, err := d.cluster.ControlRoundTrip(ctx, m.Addr, transport.FrameApply, payload)
+		cancel()
+		if err != nil {
+			d.logf("dlptd: apply seq %d to %s (%s) failed: %v", rec.Seq, id, m.Addr, err)
+			continue
+		}
+		if rtyp == transport.FrameAck {
+			if es, derr := transport.DecodeAck(rp); derr == nil && es != "" {
+				d.logf("dlptd: apply seq %d refused by %s: %s", rec.Seq, id, es)
+			}
+		}
+	}
+}
+
+// probe is the link-maintenance health check: one STATUS round-trip
+// on the pooled connection. A failure evicts the pooled connection,
+// so the next probe — and the next relay — dials fresh: the probe
+// loop is the re-dial loop.
+func (d *Daemon) probe(ctx context.Context, addr string) error {
+	rtyp, _, err := d.cluster.ControlRoundTrip(ctx, addr, transport.FrameStatus, nil)
+	if err != nil {
+		d.cluster.DropEndpointAddr(addr)
+		return err
+	}
+	if rtyp != transport.FrameStatusResp {
+		return fmt.Errorf("daemon: probe reply frame %d", rtyp)
+	}
+	return nil
+}
+
+// onLinkDown reacts to a link crossing the miss threshold. Only the
+// steward mutates the overlay: it declares the member crashed,
+// recovers the lost subtree from the ring-successor replicas, and
+// broadcasts both steps so every mirror converges.
+func (d *Daemon) onLinkDown(addr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	if !d.steward {
+		d.logf("dlptd: link to %s lost", addr)
+		return
+	}
+	var id keys.Key
+	found := false
+	for mid, m := range d.members {
+		if m.Addr == addr {
+			id, found = mid, true
+			break
+		}
+	}
+	if !found {
+		return
+	}
+	d.logf("dlptd steward: peer %s at %s declared crashed", id, addr)
+	if err := d.cluster.FailPeer(id); err != nil {
+		d.logf("dlptd steward: crash %s: %v", id, err)
+		return
+	}
+	delete(d.members, id)
+	d.cluster.DropEndpointAddr(addr)
+	d.seq++
+	d.broadcastLocked(&transport.ApplyRecord{Seq: d.seq, Op: transport.OpCrash, ID: id, Addr: addr})
+	restored, lost, err := d.cluster.Recover()
+	if err != nil {
+		d.logf("dlptd steward: recover after %s: %v", id, err)
+	} else {
+		d.logf("dlptd steward: recovered %d nodes (%d lost) after %s", restored, len(lost), id)
+	}
+	d.seq++
+	d.broadcastLocked(&transport.ApplyRecord{Seq: d.seq, Op: transport.OpRecover})
+	d.syncLinksLocked()
+}
+
+// onLinkUp logs a recovered link. A crashed member was already
+// removed from the overlay; a restarted daemon at the same address
+// re-joins through the handshake, so no state transition happens
+// here.
+func (d *Daemon) onLinkUp(addr string) {
+	d.logf("dlptd: link to %s recovered", addr)
+}
+
+// syncLinksLocked points the maintainer at every other member's
+// address (for a member this covers the steward and its ring
+// neighbors; only the steward acts on losses).
+func (d *Daemon) syncLinksLocked() {
+	if d.maint == nil {
+		return
+	}
+	addrs := make([]string, 0, len(d.members))
+	for id, m := range d.members {
+		if id != d.selfID {
+			addrs = append(addrs, m.Addr)
+		}
+	}
+	d.maint.SetLinks(addrs)
+}
+
+// memberListLocked flattens the member table, sorted by ring id.
+func (d *Daemon) memberListLocked() []transport.Member {
+	out := make([]transport.Member, 0, len(d.members))
+	for _, m := range d.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ReplicateNow runs one replication tick immediately (the body of
+// the steward's periodic loop): every mirror snapshots its tree
+// nodes to ring successors — and the steward fsyncs a durable
+// snapshot — in the same sequence slot. Steward only.
+func (d *Daemon) ReplicateNow() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	if !d.steward {
+		return fmt.Errorf("daemon: only the steward replicates")
+	}
+	if _, err := d.cluster.ReplicateLocal(); err != nil {
+		return err
+	}
+	d.seq++
+	d.broadcastLocked(&transport.ApplyRecord{Seq: d.seq, Op: transport.OpReplicate})
+	return nil
+}
+
+// replicateLoop is the steward's periodic replication tick.
+func (d *Daemon) replicateLoop() {
+	defer d.wg.Done()
+	t := time.NewTicker(time.Duration(d.cfg.ReplicateEvery))
+	defer t.Stop()
+	for {
+		select {
+		case <-d.ctx.Done():
+			return
+		case <-t.C:
+			if err := d.ReplicateNow(); err != nil {
+				d.logf("dlptd steward: replicate: %v", err)
+			}
+		}
+	}
+}
+
+// Close shuts the daemon down. A member leaves gracefully first (the
+// steward hands its nodes off and broadcasts the departure), then the
+// cluster, maintenance loop and store stop. Idempotent.
+func (d *Daemon) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	steward := d.steward
+	stewardAddr := d.stewardAddr
+	selfID, selfAddr := d.selfID, d.selfAddr
+	d.mu.Unlock()
+	if !steward {
+		payload := transport.EncodeLeave(&transport.LeaveNotice{ID: selfID, Addr: selfAddr})
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		rtyp, rp, err := d.cluster.ControlRoundTrip(ctx, stewardAddr, transport.FrameLeave, payload)
+		cancel()
+		if err != nil {
+			d.logf("dlptd: graceful leave failed: %v", err)
+		} else if rtyp == transport.FrameAck {
+			if es, derr := transport.DecodeAck(rp); derr == nil && es != "" {
+				d.logf("dlptd: leave refused: %s", es)
+			}
+		}
+	}
+	d.cancel()
+	d.cluster.Stop()
+	if d.store != nil {
+		d.store.Close()
+	}
+	d.wg.Wait()
+	return nil
+}
+
+// Cluster exposes the daemon's transport cluster (tests and tooling).
+func (d *Daemon) Cluster() *transport.Cluster { return d.cluster }
+
+// Addr returns the daemon's advertised listener address.
+func (d *Daemon) Addr() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.selfAddr
+}
+
+// SelfID returns the daemon's assigned ring id.
+func (d *Daemon) SelfID() keys.Key {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.selfID
+}
+
+// IsSteward reports whether this daemon serializes the overlay's
+// mutations.
+func (d *Daemon) IsSteward() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.steward
+}
+
+// MemberCount returns the number of daemons currently in the member
+// table (including this one).
+func (d *Daemon) MemberCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.members)
+}
+
+// Seq returns the last applied mutation sequence number.
+func (d *Daemon) Seq() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.seq
+}
+
+// Status captures the daemon's externally visible state (the
+// handleStatus reply and the local view share this path).
+func (d *Daemon) Status() *Status {
+	d.mu.Lock()
+	role := "member"
+	if d.steward {
+		role = "steward"
+	}
+	st := &Status{
+		Role:        role,
+		ID:          string(d.selfID),
+		Addr:        d.selfAddr,
+		StewardAddr: d.stewardAddr,
+		Seq:         d.seq,
+	}
+	for _, m := range d.memberListLocked() {
+		st.Members = append(st.Members, MemberInfo{ID: string(m.ID), Addr: m.Addr, Capacity: m.Capacity})
+	}
+	d.mu.Unlock()
+	st.Peers = d.cluster.NumPeers()
+	st.Nodes = d.cluster.NumNodes()
+	if d.maint != nil {
+		st.Links = d.maint.Snapshot()
+	}
+	return st
+}
+
+func (d *Daemon) handleStatus() (byte, []byte) {
+	b, err := json.Marshal(d.Status())
+	if err != nil {
+		return transport.FrameAck, transport.EncodeAck("daemon: status: " + err.Error())
+	}
+	return transport.FrameStatusResp, b
+}
+
+func (d *Daemon) handleAdmin(payload []byte) (byte, []byte) {
+	var req AdminRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		b, _ := json.Marshal(&AdminResponse{Err: "daemon: malformed admin request: " + err.Error()})
+		return transport.FrameAdminResp, b
+	}
+	resp := d.admin(&req)
+	b, err := json.Marshal(resp)
+	if err != nil {
+		b, _ = json.Marshal(&AdminResponse{Err: "daemon: admin: " + err.Error()})
+	}
+	return transport.FrameAdminResp, b
+}
+
+// admin executes one admin operation against the overlay. Catalogue
+// mutations route through the serialized apply stream; reads run
+// directly on the local mirror (discoveries and streamed queries
+// still hop to the owning daemons over the wire).
+func (d *Daemon) admin(req *AdminRequest) *AdminResponse {
+	resp := &AdminResponse{}
+	ctx, cancel := context.WithTimeout(d.ctx, 30*time.Second)
+	defer cancel()
+	switch req.Op {
+	case "register":
+		if err := d.mutate(transport.OpRegister, req.Key, req.Value); err != nil {
+			resp.Err = err.Error()
+		}
+	case "unregister":
+		if err := d.mutate(transport.OpUnregister, req.Key, req.Value); err != nil {
+			resp.Err = err.Error()
+		}
+	case "discover":
+		res, err := d.cluster.DiscoverContext(ctx, keys.Key(req.Key))
+		if err != nil {
+			resp.Err = err.Error()
+			break
+		}
+		resp.Found = res.Found
+		resp.Values = res.Values
+		resp.Logical = res.LogicalHops
+		resp.Physical = res.PhysicalHops
+		resp.Dropped = res.Dropped
+	case "complete", "range":
+		spec := core.QuerySpec{Limit: req.Limit}
+		if req.Op == "range" {
+			spec.Range = true
+			spec.Lo, spec.Hi = keys.Key(req.Lo), keys.Key(req.Hi)
+		} else {
+			spec.Prefix = keys.Key(req.Prefix)
+		}
+		s, err := d.cluster.StreamQuery(ctx, spec)
+		if err != nil {
+			resp.Err = err.Error()
+			break
+		}
+		for k, ok := s.Next(); ok; k, ok = s.Next() {
+			resp.Keys = append(resp.Keys, string(k))
+		}
+		if err := s.Err(); err != nil {
+			resp.Err = err.Error()
+		}
+		st := s.Stats()
+		resp.Logical = st.LogicalHops
+		resp.Physical = st.PhysicalHops
+		resp.Visited = st.NodesVisited
+		s.Close()
+	case "validate":
+		if err := d.cluster.Validate(); err != nil {
+			resp.Err = err.Error()
+		}
+	default:
+		resp.Err = fmt.Sprintf("daemon: unknown admin op %q", req.Op)
+	}
+	return resp
+}
+
+// mutate routes one catalogue mutation through the serialized stream:
+// the steward applies and broadcasts directly; a member forwards an
+// origination request to the steward — without holding the daemon
+// lock, because the steward's broadcast comes back through this
+// member's own apply handler before the forward is acknowledged.
+func (d *Daemon) mutate(op byte, key, value string) error {
+	d.mu.Lock()
+	if d.steward {
+		defer d.mu.Unlock()
+		rec := &transport.ApplyRecord{Op: op, Key: keys.Key(key), Value: value}
+		if err := d.applyLocked(rec); err != nil {
+			return err
+		}
+		d.seq++
+		rec.Seq = d.seq
+		d.broadcastLocked(rec)
+		return nil
+	}
+	stewardAddr := d.stewardAddr
+	d.mu.Unlock()
+	payload := transport.EncodeApply(&transport.ApplyRecord{Op: op, Key: keys.Key(key), Value: value})
+	ctx, cancel := context.WithTimeout(d.ctx, 10*time.Second)
+	defer cancel()
+	rtyp, rp, err := d.cluster.ControlRoundTrip(ctx, stewardAddr, transport.FrameApply, payload)
+	if err != nil {
+		return fmt.Errorf("daemon: forward to steward: %w", err)
+	}
+	if rtyp != transport.FrameAck {
+		return fmt.Errorf("daemon: forward reply frame %d", rtyp)
+	}
+	es, err := transport.DecodeAck(rp)
+	if err != nil {
+		return err
+	}
+	if es != "" {
+		return fmt.Errorf("%s", es)
+	}
+	return nil
+}

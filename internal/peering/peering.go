@@ -1,0 +1,264 @@
+// Package peering maintains a daemon's long-lived links: the
+// bootstrap peers it joined through and the ring-neighbor members it
+// routes to. A single maintenance loop probes every link, re-dials
+// lost ones with jittered exponential backoff, and declares a peer
+// crashed after a miss threshold — the signal that drives the
+// overlay's CrashPeer/Recover path.
+//
+// # The maintenance-loop state machine
+//
+// Each link is in exactly one of three states:
+//
+//	          probe ok                    probe ok
+//	        ┌─────────┐              ┌───────────────────┐
+//	        ▼         │              │                   │
+//	      ┌────┐ probe fail  ┌──────────┐ fails ≥ miss ┌──────┐
+//	      │ UP │────────────▶│ BACKOFF  │─────────────▶│ DOWN │
+//	      └────┘             └──────────┘  threshold   └──────┘
+//	        ▲                 │    ▲                    │   ▲
+//	        └── OnUp fires ───┘    └── re-dial, wait ───┘───┘
+//
+//	UP      — the last probe succeeded. The link is probed every
+//	          Interval.
+//	BACKOFF — one or more consecutive probes failed, but fewer than
+//	          MissThreshold. Each failure schedules the next re-dial
+//	          after Base·2^(fails-1), capped at Max and jittered by
+//	          ±Jitter so a cohort of daemons that lost the same peer
+//	          does not re-dial in lockstep (the thundering-herd
+//	          avoidance bootstrap links need).
+//	DOWN    — MissThreshold consecutive probes failed. OnDown fires
+//	          exactly once on the transition; the owner reacts (the
+//	          steward declares the peer crashed and runs Recover).
+//	          The link keeps re-dialing at the capped backoff: a
+//	          restarted daemon at the same address is detected and
+//	          OnUp fires on the first successful probe, re-arming
+//	          OnDown for the next loss.
+//
+// SetLinks reconciles the tracked set against the current membership:
+// new addresses start in UP (optimistically, probed within one
+// Interval), removed addresses are dropped mid-cycle. Probes run
+// sequentially in the loop goroutine — link counts are small (ring
+// neighbors + bootstraps), and serializing them keeps the state
+// machine free of per-link locking.
+package peering
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Link states reported by Snapshot.
+const (
+	StateUp      = "up"
+	StateBackoff = "backoff"
+	StateDown    = "down"
+)
+
+// Config parameterizes a Maintainer.
+type Config struct {
+	// Probe checks one link; a nil error means the peer answered.
+	// The maintainer applies Timeout per call.
+	Probe func(ctx context.Context, addr string) error
+	// Interval is the steady-state probe period for UP links.
+	Interval time.Duration
+	// Base and Max bound the exponential re-dial backoff of failing
+	// links; Jitter is the relative spread (0.2 = ±20%).
+	Base   time.Duration
+	Max    time.Duration
+	Jitter float64
+	// MissThreshold is how many consecutive failed probes flip a link
+	// to DOWN (and fire OnDown).
+	MissThreshold int
+	// Timeout bounds one probe call.
+	Timeout time.Duration
+	// OnDown/OnUp fire on the edge transitions into DOWN and back to
+	// UP, from the loop goroutine. They must not block indefinitely
+	// and must not call back into the Maintainer.
+	OnDown func(addr string)
+	OnUp   func(addr string)
+	// Seed fixes the jitter stream (0 seeds from the address table).
+	Seed int64
+}
+
+// link is the per-address state machine instance.
+type link struct {
+	addr  string
+	state string
+	fails int       // consecutive probe failures
+	next  time.Time // earliest next probe
+}
+
+// LinkStatus is one link's externally visible state.
+type LinkStatus struct {
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+	Fails int    `json:"fails"`
+}
+
+// Maintainer runs the connection-maintenance loop. Create with New,
+// drive with Run (usually in its own goroutine), reshape the tracked
+// set with SetLinks.
+type Maintainer struct {
+	cfg Config
+
+	mu    sync.Mutex
+	links map[string]*link
+	rng   *rand.Rand
+}
+
+// New builds a Maintainer; zero config fields get serviceable
+// defaults (1s interval, 250ms–15s backoff, ±20% jitter, 3 misses,
+// probe timeout of one interval).
+func New(cfg Config) *Maintainer {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Base <= 0 {
+		cfg.Base = 250 * time.Millisecond
+	}
+	if cfg.Max <= 0 {
+		cfg.Max = 15 * time.Second
+	}
+	if cfg.Jitter <= 0 {
+		cfg.Jitter = 0.2
+	}
+	if cfg.MissThreshold <= 0 {
+		cfg.MissThreshold = 3
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = cfg.Interval
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Maintainer{
+		cfg:   cfg,
+		links: make(map[string]*link),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// SetLinks reconciles the tracked link set to addrs: unknown
+// addresses start UP (probed within one interval), addresses no
+// longer listed are dropped.
+func (m *Maintainer) SetLinks(addrs []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	want := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		want[a] = true
+		if _, ok := m.links[a]; !ok {
+			m.links[a] = &link{addr: a, state: StateUp}
+		}
+	}
+	for a := range m.links {
+		if !want[a] {
+			delete(m.links, a)
+		}
+	}
+}
+
+// Snapshot reports every tracked link, sorted by address.
+func (m *Maintainer) Snapshot() []LinkStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]LinkStatus, 0, len(m.links))
+	for _, l := range m.links {
+		out = append(out, LinkStatus{Addr: l.addr, State: l.state, Fails: l.fails})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Run drives the maintenance loop until ctx is cancelled. Probes run
+// sequentially; the loop wakes at a quarter of the interval so
+// short backoffs are honored without busy-waiting.
+func (m *Maintainer) Run(ctx context.Context) {
+	tick := m.cfg.Interval / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			m.probeDue(ctx)
+		}
+	}
+}
+
+// probeDue probes every link whose next-probe time has passed and
+// advances its state machine.
+func (m *Maintainer) probeDue(ctx context.Context) {
+	now := time.Now()
+	m.mu.Lock()
+	var due []*link
+	for _, l := range m.links {
+		if !l.next.After(now) {
+			due = append(due, l)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(due, func(i, j int) bool { return due[i].addr < due[j].addr })
+	for _, l := range due {
+		if ctx.Err() != nil {
+			return
+		}
+		pctx, cancel := context.WithTimeout(ctx, m.cfg.Timeout)
+		err := m.cfg.Probe(pctx, l.addr)
+		cancel()
+		m.advance(l, err)
+	}
+}
+
+// advance applies one probe outcome to l's state machine, firing the
+// edge callbacks outside the lock.
+func (m *Maintainer) advance(l *link, probeErr error) {
+	var fire func(string)
+	m.mu.Lock()
+	if _, ok := m.links[l.addr]; !ok {
+		m.mu.Unlock()
+		return // dropped by SetLinks while probing
+	}
+	if probeErr == nil {
+		if l.state == StateDown {
+			fire = m.cfg.OnUp
+		}
+		l.state, l.fails = StateUp, 0
+		l.next = time.Now().Add(m.jittered(m.cfg.Interval))
+	} else {
+		l.fails++
+		backoff := m.cfg.Base << uint(min(l.fails-1, 20))
+		if backoff > m.cfg.Max || backoff <= 0 {
+			backoff = m.cfg.Max
+		}
+		l.next = time.Now().Add(m.jittered(backoff))
+		if l.state != StateDown {
+			if l.fails >= m.cfg.MissThreshold {
+				l.state = StateDown
+				fire = m.cfg.OnDown
+			} else {
+				l.state = StateBackoff
+			}
+		}
+	}
+	addr := l.addr
+	m.mu.Unlock()
+	if fire != nil {
+		fire(addr)
+	}
+}
+
+// jittered spreads d by ±cfg.Jitter. Callers hold m.mu (the rng is
+// not safe for concurrent use).
+func (m *Maintainer) jittered(d time.Duration) time.Duration {
+	spread := 1 + m.cfg.Jitter*(2*m.rng.Float64()-1)
+	return time.Duration(float64(d) * spread)
+}

@@ -1,0 +1,206 @@
+package peering
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeProbe is a controllable probe target: each address can be
+// flipped between answering and failing.
+type fakeProbe struct {
+	mu   sync.Mutex
+	down map[string]bool
+	hits map[string]int
+}
+
+func newFakeProbe() *fakeProbe {
+	return &fakeProbe{down: make(map[string]bool), hits: make(map[string]int)}
+}
+
+func (f *fakeProbe) probe(_ context.Context, addr string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hits[addr]++
+	if f.down[addr] {
+		return errors.New("refused")
+	}
+	return nil
+}
+
+func (f *fakeProbe) set(addr string, down bool) {
+	f.mu.Lock()
+	f.down[addr] = down
+	f.mu.Unlock()
+}
+
+func (f *fakeProbe) count(addr string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hits[addr]
+}
+
+// eventually polls cond until it holds or the deadline passes.
+func eventually(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("condition never held: %s", msg)
+}
+
+func startMaintainer(t *testing.T, f *fakeProbe, downs, ups chan string) *Maintainer {
+	t.Helper()
+	m := New(Config{
+		Probe:         f.probe,
+		Interval:      20 * time.Millisecond,
+		Base:          5 * time.Millisecond,
+		Max:           40 * time.Millisecond,
+		MissThreshold: 3,
+		Timeout:       50 * time.Millisecond,
+		Seed:          42,
+		OnDown: func(a string) {
+			if downs != nil {
+				downs <- a
+			}
+		},
+		OnUp: func(a string) {
+			if ups != nil {
+				ups <- a
+			}
+		},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); m.Run(ctx) }()
+	t.Cleanup(func() { cancel(); <-done })
+	return m
+}
+
+// A healthy link stays UP and is probed repeatedly at the interval.
+func TestLinkStaysUp(t *testing.T) {
+	f := newFakeProbe()
+	m := startMaintainer(t, f, nil, nil)
+	m.SetLinks([]string{"a:1"})
+	eventually(t, 2*time.Second, func() bool { return f.count("a:1") >= 3 },
+		"link probed repeatedly")
+	for _, l := range m.Snapshot() {
+		if l.State != StateUp {
+			t.Fatalf("healthy link state = %s, want up", l.State)
+		}
+	}
+}
+
+// A failing link walks BACKOFF → DOWN after the miss threshold,
+// firing OnDown exactly once, and keeps re-dialing afterwards.
+func TestMissThresholdDeclaresDown(t *testing.T) {
+	f := newFakeProbe()
+	downs := make(chan string, 8)
+	m := startMaintainer(t, f, downs, nil)
+	f.set("b:1", true)
+	m.SetLinks([]string{"b:1"})
+	select {
+	case a := <-downs:
+		if a != "b:1" {
+			t.Fatalf("OnDown(%q), want b:1", a)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnDown never fired")
+	}
+	snap := m.Snapshot()
+	if len(snap) != 1 || snap[0].State != StateDown || snap[0].Fails < 3 {
+		t.Fatalf("snapshot after down = %+v", snap)
+	}
+	// The re-dial loop keeps probing a DOWN link (so a restarted
+	// daemon at the same address is re-detected) without re-firing
+	// OnDown.
+	before := f.count("b:1")
+	eventually(t, 2*time.Second, func() bool { return f.count("b:1") > before },
+		"down link keeps being re-dialed")
+	select {
+	case <-downs:
+		t.Fatal("OnDown fired twice for one loss")
+	default:
+	}
+}
+
+// A DOWN link whose peer comes back flips to UP, fires OnUp, and
+// re-arms OnDown for the next loss.
+func TestRecoveryFiresOnUpAndRearms(t *testing.T) {
+	f := newFakeProbe()
+	downs := make(chan string, 8)
+	ups := make(chan string, 8)
+	m := startMaintainer(t, f, downs, ups)
+	f.set("c:1", true)
+	m.SetLinks([]string{"c:1"})
+	<-downs
+	f.set("c:1", false)
+	select {
+	case <-ups:
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnUp never fired after recovery")
+	}
+	eventually(t, time.Second, func() bool {
+		snap := m.Snapshot()
+		return len(snap) == 1 && snap[0].State == StateUp && snap[0].Fails == 0
+	}, "recovered link back to up")
+	f.set("c:1", true)
+	select {
+	case <-downs:
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnDown did not re-arm after recovery")
+	}
+}
+
+// SetLinks drops removed addresses and adds new ones mid-cycle.
+func TestSetLinksReconciles(t *testing.T) {
+	f := newFakeProbe()
+	m := startMaintainer(t, f, nil, nil)
+	m.SetLinks([]string{"x:1", "y:1"})
+	eventually(t, time.Second, func() bool { return f.count("x:1") > 0 && f.count("y:1") > 0 },
+		"both links probed")
+	m.SetLinks([]string{"y:1", "z:1"})
+	snap := m.Snapshot()
+	if len(snap) != 2 || snap[0].Addr != "y:1" || snap[1].Addr != "z:1" {
+		t.Fatalf("snapshot after reconcile = %+v", snap)
+	}
+	stable := f.count("x:1")
+	eventually(t, time.Second, func() bool { return f.count("z:1") > 0 },
+		"new link probed")
+	if f.count("x:1") > stable+1 {
+		t.Fatalf("dropped link still probed: %d > %d", f.count("x:1"), stable+1)
+	}
+}
+
+// Backoff grows exponentially: a failing link is probed far fewer
+// times than a healthy one over the same window.
+func TestBackoffSlowsProbing(t *testing.T) {
+	f := newFakeProbe()
+	m := New(Config{
+		Probe:         f.probe,
+		Interval:      10 * time.Millisecond,
+		Base:          10 * time.Millisecond,
+		Max:           500 * time.Millisecond,
+		MissThreshold: 100, // never flips DOWN: isolate the backoff ladder
+		Timeout:       50 * time.Millisecond,
+		Seed:          7,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); m.Run(ctx) }()
+	defer func() { cancel(); <-done }()
+	f.set("up:1", false)
+	f.set("down:1", true)
+	m.SetLinks([]string{"up:1", "down:1"})
+	time.Sleep(400 * time.Millisecond)
+	healthy, failing := f.count("up:1"), f.count("down:1")
+	if failing >= healthy {
+		t.Fatalf("backoff did not slow probing: failing=%d healthy=%d", failing, healthy)
+	}
+}

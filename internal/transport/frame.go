@@ -58,6 +58,31 @@ const (
 	// topology write lock and acknowledges with a RESPONSE frame whose
 	// Logical field carries the installed count.
 	frameReplica = 8
+	// frameQRoute is one climb/descend routing step of a subtree
+	// query (payload: qroute). It relays hop by hop between listeners
+	// exactly like discovery REQUEST frames until the covering node is
+	// resolved, then a QROUTE_RESP frame carries the anchor and the
+	// route's accumulated counters back to the querying client, which
+	// opens the STREAM walk at the anchor's host.
+	frameQRoute     = 9
+	frameQRouteResp = 10
+	// The control plane: JOIN negotiates a daemon into the overlay
+	// (reply: HELLO with the assigned ring id, the member table and a
+	// full state snapshot — or a rejection), LEAVE announces a graceful
+	// departure (reply: RESPONSE ack), APPLY replicates one serialized
+	// overlay mutation to a member's mirror (reply: RESPONSE ack), and
+	// STATUS/ADMIN carry the admin plane's opaque JSON. The transport
+	// does not interpret these payloads beyond framing: they dispatch
+	// to the Options.Control handler, and internal/daemon owns the
+	// protocol (see handshake.go for the payload codecs).
+	frameJoin       = 11
+	frameHello      = 12
+	frameLeave      = 13
+	frameApply      = 14
+	frameStatus     = 15
+	frameStatusResp = 16
+	frameAdmin      = 17
+	frameAdminResp  = 18
 )
 
 // frameHeaderSize is type(1) + id(8) + payloadLen(4).
@@ -218,6 +243,38 @@ func (fc *frameConn) writeReplica(id uint64, b *core.ReplicaBatch) error {
 	return err
 }
 
+// writeRaw frames an already-encoded payload: the control plane and
+// the admin plane build their payloads outside the transport.
+func (fc *frameConn) writeRaw(typ byte, id uint64, payload []byte) error {
+	bp := framePool.Get().(*[]byte)
+	buf := beginFrame(*bp, typ, id)
+	buf = append(buf, payload...)
+	err := fc.finishFrame(buf)
+	*bp = buf
+	framePool.Put(bp)
+	return err
+}
+
+func (fc *frameConn) writeQRoute(id uint64, rq *qroute) error {
+	bp := framePool.Get().(*[]byte)
+	buf := beginFrame(*bp, frameQRoute, id)
+	buf = appendQRoute(buf, rq)
+	err := fc.finishFrame(buf)
+	*bp = buf
+	framePool.Put(bp)
+	return err
+}
+
+func (fc *frameConn) writeQRouteResp(id uint64, resp *qrouteResp) error {
+	bp := framePool.Get().(*[]byte)
+	buf := beginFrame(*bp, frameQRouteResp, id)
+	buf = appendQRouteResp(buf, resp)
+	err := fc.finishFrame(buf)
+	*bp = buf
+	framePool.Put(bp)
+	return err
+}
+
 func (fc *frameConn) writeStreamAck(id uint64) error {
 	bp := framePool.Get().(*[]byte)
 	buf := beginFrame(*bp, frameStreamAck, id)
@@ -371,7 +428,11 @@ func appendQuery(b []byte, q *queryReq) []byte {
 		limit = 0
 	}
 	b = binary.AppendUvarint(b, uint64(limit))
-	return appendString(b, string(q.Entry))
+	b = appendString(b, string(q.Entry))
+	b = appendBool(b, q.Walk)
+	b = binary.AppendUvarint(b, uint64(q.Logical))
+	b = binary.AppendUvarint(b, uint64(q.Physical))
+	return binary.AppendUvarint(b, uint64(q.Visited))
 }
 
 func decodeQuery(p []byte, q *queryReq) error {
@@ -397,10 +458,107 @@ func decodeQuery(p []byte, q *queryReq) error {
 		return fmt.Errorf("query limit: %w", err)
 	}
 	q.Limit = int(v)
-	if s, _, err = getString(p); err != nil {
+	if s, p, err = getString(p); err != nil {
 		return fmt.Errorf("query entry: %w", err)
 	}
 	q.Entry = keys.Key(s)
+	if q.Walk, p, err = getBool(p); err != nil {
+		return fmt.Errorf("query walk: %w", err)
+	}
+	if v, p, err = getUvarint(p); err != nil {
+		return fmt.Errorf("query logical: %w", err)
+	}
+	q.Logical = int(v)
+	if v, p, err = getUvarint(p); err != nil {
+		return fmt.Errorf("query physical: %w", err)
+	}
+	q.Physical = int(v)
+	if v, _, err = getUvarint(p); err != nil {
+		return fmt.Errorf("query visited: %w", err)
+	}
+	q.Visited = int(v)
+	return nil
+}
+
+func appendQRoute(b []byte, rq *qroute) []byte {
+	b = appendString(b, string(rq.Anchor))
+	b = appendString(b, string(rq.At))
+	b = appendBool(b, rq.Descending)
+	b = binary.AppendUvarint(b, uint64(rq.Logical))
+	b = binary.AppendUvarint(b, uint64(rq.Physical))
+	b = binary.AppendUvarint(b, uint64(rq.Visited))
+	return binary.AppendUvarint(b, uint64(rq.Redirects))
+}
+
+func decodeQRoute(p []byte, rq *qroute) error {
+	var err error
+	var s string
+	var v uint64
+	if s, p, err = getString(p); err != nil {
+		return fmt.Errorf("qroute anchor: %w", err)
+	}
+	rq.Anchor = keys.Key(s)
+	if s, p, err = getString(p); err != nil {
+		return fmt.Errorf("qroute at: %w", err)
+	}
+	rq.At = keys.Key(s)
+	if rq.Descending, p, err = getBool(p); err != nil {
+		return fmt.Errorf("qroute descending: %w", err)
+	}
+	if v, p, err = getUvarint(p); err != nil {
+		return fmt.Errorf("qroute logical: %w", err)
+	}
+	rq.Logical = int(v)
+	if v, p, err = getUvarint(p); err != nil {
+		return fmt.Errorf("qroute physical: %w", err)
+	}
+	rq.Physical = int(v)
+	if v, p, err = getUvarint(p); err != nil {
+		return fmt.Errorf("qroute visited: %w", err)
+	}
+	rq.Visited = int(v)
+	if v, _, err = getUvarint(p); err != nil {
+		return fmt.Errorf("qroute redirects: %w", err)
+	}
+	rq.Redirects = int(v)
+	return nil
+}
+
+func appendQRouteResp(b []byte, resp *qrouteResp) []byte {
+	b = appendBool(b, resp.Found)
+	b = appendString(b, string(resp.Anchor))
+	b = binary.AppendUvarint(b, uint64(resp.Logical))
+	b = binary.AppendUvarint(b, uint64(resp.Physical))
+	b = binary.AppendUvarint(b, uint64(resp.Visited))
+	return appendString(b, resp.Err)
+}
+
+func decodeQRouteResp(p []byte, resp *qrouteResp) error {
+	var err error
+	var s string
+	var v uint64
+	if resp.Found, p, err = getBool(p); err != nil {
+		return fmt.Errorf("qroute-resp found: %w", err)
+	}
+	if s, p, err = getString(p); err != nil {
+		return fmt.Errorf("qroute-resp anchor: %w", err)
+	}
+	resp.Anchor = keys.Key(s)
+	if v, p, err = getUvarint(p); err != nil {
+		return fmt.Errorf("qroute-resp logical: %w", err)
+	}
+	resp.Logical = int(v)
+	if v, p, err = getUvarint(p); err != nil {
+		return fmt.Errorf("qroute-resp physical: %w", err)
+	}
+	resp.Physical = int(v)
+	if v, p, err = getUvarint(p); err != nil {
+		return fmt.Errorf("qroute-resp visited: %w", err)
+	}
+	resp.Visited = int(v)
+	if resp.Err, _, err = getString(p); err != nil {
+		return fmt.Errorf("qroute-resp err: %w", err)
+	}
 	return nil
 }
 

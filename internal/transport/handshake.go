@@ -1,0 +1,404 @@
+// The daemon handshake payloads: JOIN/HELLO negotiate a remote
+// process into the overlay, LEAVE announces a graceful departure, and
+// APPLY replicates one serialized overlay mutation to a member's
+// full-state mirror. The transport frames and round-trips these
+// (Options.Control on the server side, ControlRoundTrip and RawCall
+// on the client side) but does not act on them — internal/daemon owns
+// the protocol. Payloads use the same hand-rolled varint codecs as
+// the routing frames; the handshake is explicitly versioned so
+// incompatible daemons reject each other instead of corrupting a
+// shared overlay.
+
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"dlpt/internal/keys"
+	"dlpt/internal/persist"
+)
+
+// HandshakeVersion is the JOIN/HELLO protocol revision. A joiner and
+// its bootstrap peer must agree exactly: the APPLY mutation stream
+// only keeps mirrors convergent when both sides interpret it the
+// same way.
+const HandshakeVersion = 1
+
+// Exported frame-type aliases for control round-trips: the daemon
+// package addresses its frames with these, and a control handler
+// returns one of the *Resp/Ack types.
+const (
+	FrameJoin       = frameJoin
+	FrameHello      = frameHello
+	FrameLeave      = frameLeave
+	FrameApply      = frameApply
+	FrameStatus     = frameStatus
+	FrameStatusResp = frameStatusResp
+	FrameAdmin      = frameAdmin
+	FrameAdminResp  = frameAdminResp
+	// FrameAck acknowledges a LEAVE or APPLY (a plain RESPONSE frame
+	// carrying only an error string; see EncodeAck).
+	FrameAck = frameResponse
+)
+
+// Overlay mutation opcodes carried by ApplyRecord. Every mutation the
+// steward serializes is one of these; members replay them against
+// their mirrors in sequence order.
+const (
+	OpRegister   = byte(1)
+	OpUnregister = byte(2)
+	OpJoin       = byte(3)
+	OpLeave      = byte(4)
+	OpCrash      = byte(5)
+	OpRecover    = byte(6)
+	OpReplicate  = byte(7)
+)
+
+// JoinRequest asks a bootstrap daemon to admit the sender into the
+// overlay. Addr is the advertised address of the listener the joiner
+// has already bound — placement assigns the ring id, the listener
+// address is the joiner's to declare.
+type JoinRequest struct {
+	Version   int
+	Alphabet  string // digit string; must match the overlay's exactly
+	Placement string // join-placement policy name; must match
+	Addr      string
+	Capacity  int
+}
+
+// Member is one daemon-hosted peer in the overlay's member table.
+type Member struct {
+	ID       keys.Key
+	Addr     string
+	Capacity int
+}
+
+// HelloInfo answers a JoinRequest. A rejection carries only Err (and
+// StewardAddr when the refusing daemon is a member redirecting the
+// joiner to the steward). An admission carries the assigned ring id,
+// the member table, the mutation sequence number the snapshot is
+// consistent with, and the full overlay state the joiner installs as
+// its mirror.
+type HelloInfo struct {
+	Version     int
+	Err         string
+	StewardAddr string
+	Alphabet    string
+	Placement   string
+	AssignedID  keys.Key
+	Seq         uint64
+	Members     []Member
+	Peers       []persist.PeerState
+	Nodes       []persist.NodeState
+}
+
+// LeaveNotice announces a graceful departure: the steward hands the
+// peer's tree nodes off (RemovePeer) and broadcasts the departure.
+type LeaveNotice struct {
+	ID   keys.Key
+	Addr string
+}
+
+// ApplyRecord is one serialized overlay mutation. The steward assigns
+// Seq and broadcasts the record to every member; a member receiving a
+// record out of sequence must refuse it (its mirror would diverge).
+// A record sent by a member to the steward with Seq == 0 is an
+// origination request: the steward serializes it, assigns the
+// sequence number and broadcasts it back out.
+type ApplyRecord struct {
+	Seq      uint64
+	Op       byte
+	Key      keys.Key // Register/Unregister: catalogue key
+	Value    string   // Register/Unregister: value
+	ID       keys.Key // Join/Leave/Crash: peer ring id
+	Capacity int      // Join: peer capacity
+	Addr     string   // Join: advertised listener address
+}
+
+// EncodeJoin marshals a JoinRequest payload.
+func EncodeJoin(jr *JoinRequest) []byte {
+	b := binary.AppendUvarint(nil, uint64(jr.Version))
+	b = appendString(b, jr.Alphabet)
+	b = appendString(b, jr.Placement)
+	b = appendString(b, jr.Addr)
+	return binary.AppendUvarint(b, uint64(jr.Capacity))
+}
+
+// DecodeJoin unmarshals a JoinRequest payload.
+func DecodeJoin(p []byte) (*JoinRequest, error) {
+	var jr JoinRequest
+	var err error
+	var v uint64
+	if v, p, err = getUvarint(p); err != nil {
+		return nil, fmt.Errorf("join version: %w", err)
+	}
+	jr.Version = int(v)
+	if jr.Alphabet, p, err = getString(p); err != nil {
+		return nil, fmt.Errorf("join alphabet: %w", err)
+	}
+	if jr.Placement, p, err = getString(p); err != nil {
+		return nil, fmt.Errorf("join placement: %w", err)
+	}
+	if jr.Addr, p, err = getString(p); err != nil {
+		return nil, fmt.Errorf("join addr: %w", err)
+	}
+	if v, _, err = getUvarint(p); err != nil {
+		return nil, fmt.Errorf("join capacity: %w", err)
+	}
+	jr.Capacity = int(v)
+	return &jr, nil
+}
+
+// EncodeHello marshals a HelloInfo payload.
+func EncodeHello(h *HelloInfo) []byte {
+	b := binary.AppendUvarint(nil, uint64(h.Version))
+	b = appendString(b, h.Err)
+	b = appendString(b, h.StewardAddr)
+	b = appendString(b, h.Alphabet)
+	b = appendString(b, h.Placement)
+	b = appendString(b, string(h.AssignedID))
+	b = binary.AppendUvarint(b, h.Seq)
+	b = binary.AppendUvarint(b, uint64(len(h.Members)))
+	for _, m := range h.Members {
+		b = appendString(b, string(m.ID))
+		b = appendString(b, m.Addr)
+		b = binary.AppendUvarint(b, uint64(m.Capacity))
+	}
+	b = binary.AppendUvarint(b, uint64(len(h.Peers)))
+	for _, ps := range h.Peers {
+		b = appendString(b, ps.ID)
+		b = binary.AppendUvarint(b, uint64(ps.Capacity))
+	}
+	b = binary.AppendUvarint(b, uint64(len(h.Nodes)))
+	for _, ns := range h.Nodes {
+		b = appendString(b, ns.Key)
+		b = binary.AppendUvarint(b, uint64(len(ns.Values)))
+		for _, v := range ns.Values {
+			b = appendString(b, v)
+		}
+	}
+	return b
+}
+
+// DecodeHello unmarshals a HelloInfo payload.
+func DecodeHello(p []byte) (*HelloInfo, error) {
+	var h HelloInfo
+	var err error
+	var s string
+	var v uint64
+	if v, p, err = getUvarint(p); err != nil {
+		return nil, fmt.Errorf("hello version: %w", err)
+	}
+	h.Version = int(v)
+	if h.Err, p, err = getString(p); err != nil {
+		return nil, fmt.Errorf("hello err: %w", err)
+	}
+	if h.StewardAddr, p, err = getString(p); err != nil {
+		return nil, fmt.Errorf("hello steward: %w", err)
+	}
+	if h.Alphabet, p, err = getString(p); err != nil {
+		return nil, fmt.Errorf("hello alphabet: %w", err)
+	}
+	if h.Placement, p, err = getString(p); err != nil {
+		return nil, fmt.Errorf("hello placement: %w", err)
+	}
+	if s, p, err = getString(p); err != nil {
+		return nil, fmt.Errorf("hello assigned id: %w", err)
+	}
+	h.AssignedID = keys.Key(s)
+	if h.Seq, p, err = getUvarint(p); err != nil {
+		return nil, fmt.Errorf("hello seq: %w", err)
+	}
+	if v, p, err = getUvarint(p); err != nil {
+		return nil, fmt.Errorf("hello member count: %w", err)
+	}
+	if v > uint64(len(p)) {
+		return nil, errors.New("transport: implausible member count")
+	}
+	h.Members = make([]Member, 0, v)
+	for i := uint64(0); i < v; i++ {
+		var m Member
+		var c uint64
+		if s, p, err = getString(p); err != nil {
+			return nil, fmt.Errorf("hello member %d id: %w", i, err)
+		}
+		m.ID = keys.Key(s)
+		if m.Addr, p, err = getString(p); err != nil {
+			return nil, fmt.Errorf("hello member %d addr: %w", i, err)
+		}
+		if c, p, err = getUvarint(p); err != nil {
+			return nil, fmt.Errorf("hello member %d capacity: %w", i, err)
+		}
+		m.Capacity = int(c)
+		h.Members = append(h.Members, m)
+	}
+	if v, p, err = getUvarint(p); err != nil {
+		return nil, fmt.Errorf("hello peer count: %w", err)
+	}
+	if v > uint64(len(p)) {
+		return nil, errors.New("transport: implausible peer count")
+	}
+	h.Peers = make([]persist.PeerState, 0, v)
+	for i := uint64(0); i < v; i++ {
+		var ps persist.PeerState
+		var c uint64
+		if ps.ID, p, err = getString(p); err != nil {
+			return nil, fmt.Errorf("hello peer %d id: %w", i, err)
+		}
+		if c, p, err = getUvarint(p); err != nil {
+			return nil, fmt.Errorf("hello peer %d capacity: %w", i, err)
+		}
+		ps.Capacity = int(c)
+		h.Peers = append(h.Peers, ps)
+	}
+	if v, p, err = getUvarint(p); err != nil {
+		return nil, fmt.Errorf("hello node count: %w", err)
+	}
+	if v > uint64(len(p)) {
+		return nil, errors.New("transport: implausible node count")
+	}
+	h.Nodes = make([]persist.NodeState, 0, v)
+	for i := uint64(0); i < v; i++ {
+		var ns persist.NodeState
+		var m uint64
+		if ns.Key, p, err = getString(p); err != nil {
+			return nil, fmt.Errorf("hello node %d key: %w", i, err)
+		}
+		if m, p, err = getUvarint(p); err != nil {
+			return nil, fmt.Errorf("hello node %d value count: %w", i, err)
+		}
+		if m > uint64(len(p)) {
+			return nil, errors.New("transport: implausible value count")
+		}
+		for j := uint64(0); j < m; j++ {
+			if s, p, err = getString(p); err != nil {
+				return nil, fmt.Errorf("hello node %d value %d: %w", i, j, err)
+			}
+			ns.Values = append(ns.Values, s)
+		}
+		h.Nodes = append(h.Nodes, ns)
+	}
+	return &h, nil
+}
+
+// EncodeLeave marshals a LeaveNotice payload.
+func EncodeLeave(ln *LeaveNotice) []byte {
+	b := appendString(nil, string(ln.ID))
+	return appendString(b, ln.Addr)
+}
+
+// DecodeLeave unmarshals a LeaveNotice payload.
+func DecodeLeave(p []byte) (*LeaveNotice, error) {
+	var ln LeaveNotice
+	var err error
+	var s string
+	if s, p, err = getString(p); err != nil {
+		return nil, fmt.Errorf("leave id: %w", err)
+	}
+	ln.ID = keys.Key(s)
+	if ln.Addr, _, err = getString(p); err != nil {
+		return nil, fmt.Errorf("leave addr: %w", err)
+	}
+	return &ln, nil
+}
+
+// EncodeApply marshals an ApplyRecord payload.
+func EncodeApply(rec *ApplyRecord) []byte {
+	b := binary.AppendUvarint(nil, rec.Seq)
+	b = append(b, rec.Op)
+	b = appendString(b, string(rec.Key))
+	b = appendString(b, rec.Value)
+	b = appendString(b, string(rec.ID))
+	b = binary.AppendUvarint(b, uint64(rec.Capacity))
+	return appendString(b, rec.Addr)
+}
+
+// DecodeApply unmarshals an ApplyRecord payload.
+func DecodeApply(p []byte) (*ApplyRecord, error) {
+	var rec ApplyRecord
+	var err error
+	var s string
+	var v uint64
+	if rec.Seq, p, err = getUvarint(p); err != nil {
+		return nil, fmt.Errorf("apply seq: %w", err)
+	}
+	if len(p) < 1 {
+		return nil, errors.New("apply op: truncated")
+	}
+	rec.Op, p = p[0], p[1:]
+	if s, p, err = getString(p); err != nil {
+		return nil, fmt.Errorf("apply key: %w", err)
+	}
+	rec.Key = keys.Key(s)
+	if rec.Value, p, err = getString(p); err != nil {
+		return nil, fmt.Errorf("apply value: %w", err)
+	}
+	if s, p, err = getString(p); err != nil {
+		return nil, fmt.Errorf("apply id: %w", err)
+	}
+	rec.ID = keys.Key(s)
+	if v, p, err = getUvarint(p); err != nil {
+		return nil, fmt.Errorf("apply capacity: %w", err)
+	}
+	rec.Capacity = int(v)
+	if rec.Addr, _, err = getString(p); err != nil {
+		return nil, fmt.Errorf("apply addr: %w", err)
+	}
+	return &rec, nil
+}
+
+// RawCall dials addr, sends one control frame and waits for its
+// reply — the connectionless client path for admin tools (dlptd
+// status, dlptd op) that have no cluster of their own. The context
+// deadline bounds the whole call; without one, a 10s default applies
+// so a hung daemon cannot wedge the tool.
+func RawCall(ctx context.Context, addr string, typ byte, payload []byte) (byte, []byte, error) {
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer conn.Close()
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = time.Now().Add(10 * time.Second)
+	}
+	_ = conn.SetDeadline(deadline)
+	fc := newFrameConn(conn)
+	const callID = 1
+	if err := fc.writeRaw(typ, callID, payload); err != nil {
+		return 0, nil, err
+	}
+	for {
+		rtyp, id, p, err := fc.readFrame()
+		if err != nil {
+			return 0, nil, err
+		}
+		if id != callID {
+			continue
+		}
+		return rtyp, append([]byte(nil), p...), nil
+	}
+}
+
+// EncodeAck marshals a LEAVE/APPLY acknowledgement (a RESPONSE frame
+// carrying only an error string; empty means success).
+func EncodeAck(errStr string) []byte {
+	resp := response{Err: errStr}
+	return appendResponse(nil, &resp)
+}
+
+// DecodeAck unmarshals an acknowledgement, returning its in-band
+// error string.
+func DecodeAck(p []byte) (string, error) {
+	var resp response
+	if err := decodeResponse(p, &resp); err != nil {
+		return "", err
+	}
+	return resp.Err, nil
+}

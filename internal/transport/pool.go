@@ -58,7 +58,21 @@ type poolConn struct {
 	// streams holds the in-flight streaming queries multiplexed on
 	// this connection, keyed by request id like pending.
 	streams map[uint64]*clientStream
-	err     error // terminal transport error; set once, conn unusable
+	// raw holds the in-flight control-plane round-trips (QROUTE,
+	// JOIN, LEAVE, APPLY, STATUS, ADMIN): their replies come back as
+	// typed frames the pool does not decode.
+	raw map[uint64]chan rawMsg
+	err error // terminal transport error; set once, conn unusable
+}
+
+// rawMsg is one demuxed control-plane reply: the reply frame's type
+// and a copy of its payload (the demux loop's read buffer is reused,
+// so the payload must not alias it), or the transport error that
+// broke the connection.
+type rawMsg struct {
+	typ     byte
+	payload []byte
+	err     error
 }
 
 // streamMsg is one demuxed stream event: a batch of keys (info
@@ -116,6 +130,7 @@ func (p *connPool) get(ctx context.Context, addr string) (*poolConn, error) {
 			ready:   make(chan struct{}),
 			pending: make(map[uint64]chan rtResult),
 			streams: make(map[uint64]*clientStream),
+			raw:     make(map[uint64]chan rawMsg),
 		}
 		p.conns[addr] = pc
 		// The dial is shared by every getter of this address, so it
@@ -187,17 +202,37 @@ func (p *connPool) demux(pc *poolConn) {
 		}
 		switch typ {
 		case frameResponse:
+			// A RESPONSE answers either a routing/replica round-trip
+			// (pending, decoded here) or a control-plane round-trip
+			// acknowledged with an ack (raw, handed over undecoded).
+			pc.mu.Lock()
+			ch := pc.pending[id]
+			delete(pc.pending, id)
+			var rch chan rawMsg
+			if ch == nil {
+				rch = pc.raw[id]
+				delete(pc.raw, id)
+			}
+			pc.mu.Unlock()
+			if rch != nil {
+				rch <- rawMsg{typ: typ, payload: append([]byte(nil), payload...)}
+				continue
+			}
 			var resp response
 			if err := decodeResponse(payload, &resp); err != nil {
 				p.fail(pc, err)
 				return
 			}
-			pc.mu.Lock()
-			ch := pc.pending[id]
-			delete(pc.pending, id)
-			pc.mu.Unlock()
 			if ch != nil {
 				ch <- rtResult{resp: resp}
+			}
+		case frameQRouteResp, frameHello, frameStatusResp, frameAdminResp:
+			pc.mu.Lock()
+			rch := pc.raw[id]
+			delete(pc.raw, id)
+			pc.mu.Unlock()
+			if rch != nil {
+				rch <- rawMsg{typ: typ, payload: append([]byte(nil), payload...)}
 			}
 		case frameStream:
 			batch, progress, err := decodeStreamBatch(payload)
@@ -323,6 +358,49 @@ func (pc *poolConn) forget(id uint64) {
 	pc.mu.Unlock()
 }
 
+func (pc *poolConn) forgetRaw(id uint64) {
+	pc.mu.Lock()
+	delete(pc.raw, id)
+	pc.mu.Unlock()
+}
+
+// rawRoundTrip is doRoundTrip for the control plane: the reply is a
+// typed frame handed back undecoded. Same cancellation and failure
+// semantics — an errFrameTooLarge write leaves the connection good,
+// any other write error breaks it, and cancellation sends a CANCEL
+// frame and abandons the id.
+func (p *connPool) rawRoundTrip(ctx context.Context, pc *poolConn, write func(id uint64) error) (rawMsg, error) {
+	id := p.nextID.Add(1)
+	ch := make(chan rawMsg, 1)
+	pc.mu.Lock()
+	if pc.err != nil {
+		err := pc.err
+		pc.mu.Unlock()
+		return rawMsg{}, err
+	}
+	pc.raw[id] = ch
+	pc.mu.Unlock()
+
+	if err := write(id); err != nil {
+		pc.forgetRaw(id)
+		if !errors.Is(err, errFrameTooLarge) {
+			p.fail(pc, err)
+		}
+		return rawMsg{}, err
+	}
+	select {
+	case msg := <-ch:
+		return msg, msg.err
+	case <-ctx.Done():
+		pc.forgetRaw(id)
+		_ = pc.fc.writeCancel(id) // best effort: free the remote stream
+		return rawMsg{}, ctx.Err()
+	case <-p.quit:
+		pc.forgetRaw(id)
+		return rawMsg{}, ErrStopped
+	}
+}
+
 // fail marks pc broken, fails every in-flight round-trip, closes the
 // socket and drops the pool entry so the next relay redials fresh.
 func (p *connPool) fail(pc *poolConn, err error) {
@@ -334,12 +412,17 @@ func (p *connPool) fail(pc *poolConn, err error) {
 	pc.pending = make(map[uint64]chan rtResult)
 	drainStreams := pc.streams
 	pc.streams = make(map[uint64]*clientStream)
+	drainRaw := pc.raw
+	pc.raw = make(map[uint64]chan rawMsg)
 	pc.mu.Unlock()
 	for _, ch := range drain {
 		ch <- rtResult{err: err}
 	}
 	for _, cs := range drainStreams {
 		cs.deliver(streamMsg{err: err})
+	}
+	for _, rch := range drainRaw {
+		rch <- rawMsg{err: err}
 	}
 	_ = pc.fc.Close()
 	p.drop(pc)

@@ -61,14 +61,51 @@ type response struct {
 }
 
 // queryReq is the on-the-wire form of one streaming subtree query:
-// the traversal spec plus the entry node the client drew from its
-// seeded stream. The server answers with STREAM batches and one
-// STREAM_END carrying the traversal totals.
+// the traversal spec plus the node to run it from. With Walk set,
+// Entry is the covering node a hop-by-hop QROUTE phase resolved and
+// Logical/Physical/Visited carry the route's counters — the server
+// resumes directly in the subtree walk. Without Walk (not produced
+// by current clients, kept for protocol completeness) the server
+// runs all three phases from Entry. Either way it answers with
+// STREAM batches and one STREAM_END carrying the traversal totals.
 type queryReq struct {
 	Range          bool
 	Prefix, Lo, Hi keys.Key
 	Limit          int
 	Entry          keys.Key
+	Walk           bool
+	Logical        int
+	Physical       int
+	Visited        int
+}
+
+// qroute is one on-the-wire climb/descend step of a subtree query:
+// the anchor the route narrows towards, the current node, and the
+// walker counters accumulated so far. It relays between listeners
+// exactly like discovery requests do, so the query's first phases
+// read only tree state the addressed peer hosts.
+type qroute struct {
+	Anchor     keys.Key
+	At         keys.Key
+	Descending bool
+	Logical    int
+	Physical   int
+	Visited    int
+	Redirects  int
+}
+
+// qrouteResp resolves one routed climb/descend: the covering node to
+// open the walk at (Found), or the end of the query when the route
+// hit a node lost to churn (!Found — the walk yields nothing, with
+// the route's counters as totals, exactly as the walker behaves at a
+// vanished node).
+type qrouteResp struct {
+	Found    bool
+	Anchor   keys.Key
+	Logical  int
+	Physical int
+	Visited  int
+	Err      string
 }
 
 // streamEnd closes one streaming query on the wire.
@@ -151,6 +188,24 @@ type Options struct {
 	// Restore rebuilds the overlay from Persist instead of starting
 	// fresh from the capacities (which are then ignored).
 	Restore bool
+	// Bind is the listener bind address: "host", "host:port" or
+	// "host:0"; empty preserves the historical 127.0.0.1 ephemeral
+	// binding. A fixed port only suits clusters with a single local
+	// listener (the daemon deployment).
+	Bind string
+	// AdvertiseHost overrides the host part of the addresses entered
+	// in the routing table — what other processes dial when the bind
+	// host (0.0.0.0) is not reachable as written.
+	AdvertiseHost string
+	// AllowEmpty permits starting with zero peers and no restore: a
+	// daemon joining an existing overlay starts empty and populates
+	// the cluster through InstallMirror.
+	AllowEmpty bool
+	// Control handles the control-plane frames (JOIN, LEAVE, APPLY,
+	// STATUS, ADMIN): it receives the frame type and a copy of the
+	// payload and returns the reply frame. Nil rejects control frames
+	// with an in-band error.
+	Control func(typ byte, payload []byte) (respTyp byte, resp []byte)
 }
 
 // Cluster is an overlay whose peers communicate over TCP.
@@ -159,9 +214,12 @@ type Cluster struct {
 	net   *core.Network
 	rng   *rand.Rand
 	addrs map[keys.Key]string
-	place lb.Strategy    // join placement hook; nil = uniform random
-	gate  bool           // enforce peer capacity on discoveries
-	store *persist.Store // durability layer; nil = in-memory only
+	place   lb.Strategy    // join placement hook; nil = uniform random
+	gate    bool           // enforce peer capacity on discoveries
+	store   *persist.Store // durability layer; nil = in-memory only
+	bind    string         // listener bind address template
+	advHost string         // advertised host override
+	control func(typ byte, payload []byte) (byte, []byte)
 
 	// queryVisits counts tree nodes visited by server-side streaming
 	// query traversals — the observable the early-exit tests watch to
@@ -186,17 +244,20 @@ func Start(alpha *keys.Alphabet, capacities []int, seed int64) (*Cluster, error)
 
 // StartOpts is Start with explicit Options.
 func StartOpts(alpha *keys.Alphabet, capacities []int, seed int64, opts Options) (*Cluster, error) {
-	if len(capacities) == 0 && !opts.Restore {
+	if len(capacities) == 0 && !opts.Restore && !opts.AllowEmpty {
 		return nil, fmt.Errorf("transport: no peers")
 	}
 	c := &Cluster{
-		net:   core.NewNetwork(alpha, core.PlacementLexicographic),
-		rng:   rand.New(rand.NewSource(seed)),
-		addrs: make(map[keys.Key]string),
-		place: opts.Placement,
-		gate:  opts.Gate,
-		store: opts.Persist,
-		quit:  make(chan struct{}),
+		net:     core.NewNetwork(alpha, core.PlacementLexicographic),
+		rng:     rand.New(rand.NewSource(seed)),
+		addrs:   make(map[keys.Key]string),
+		place:   opts.Placement,
+		gate:    opts.Gate,
+		store:   opts.Persist,
+		bind:    opts.Bind,
+		advHost: opts.AdvertiseHost,
+		control: opts.Control,
+		quit:    make(chan struct{}),
 	}
 	c.pool = newConnPool(c.quit, &c.wg)
 	if opts.Restore {
@@ -230,23 +291,61 @@ func StartOpts(alpha *keys.Alphabet, capacities []int, seed int64, opts Options)
 	return c, nil
 }
 
-// startListenerLocked binds a fresh loopback listener for peer id and
-// starts serving it. Callers hold c.mu: the address table entry must
-// become visible atomically with the peer's ring membership, or a
-// concurrent discovery can resolve the peer as host and find no
-// address.
+// NormalizeBind canonicalizes a bind address: empty preserves the
+// historical loopback-ephemeral binding, and a bare host gets an
+// ephemeral port.
+func NormalizeBind(bind string) string {
+	if bind == "" {
+		return "127.0.0.1:0"
+	}
+	if _, _, err := net.SplitHostPort(bind); err != nil {
+		return net.JoinHostPort(bind, "0")
+	}
+	return bind
+}
+
+// AdvertiseAddr rewrites a listener's bound address into the form
+// other processes should dial: an explicit advertise host wins, an
+// unspecified bind host (empty, 0.0.0.0, ::) falls back to loopback,
+// and the result is JoinHostPort-canonical — the routing table and
+// the connection pool key by this string, so one peer must always
+// advertise byte-identically.
+func AdvertiseAddr(listen, advertiseHost string) string {
+	host, port, err := net.SplitHostPort(listen)
+	if err != nil {
+		return listen
+	}
+	if advertiseHost != "" {
+		host = advertiseHost
+	} else if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}
+
+// startListenerLocked binds a fresh listener for peer id on the
+// cluster's bind address (loopback-ephemeral by default) and starts
+// serving it. Callers hold c.mu: the address table entry must become
+// visible atomically with the peer's ring membership, or a concurrent
+// discovery can resolve the peer as host and find no address.
 func (c *Cluster) startListenerLocked(id keys.Key) error {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	ln, err := net.Listen("tcp", NormalizeBind(c.bind))
 	if err != nil {
 		return err
 	}
-	ps := &peerServer{id: id, addr: ln.Addr().String(), ln: ln,
+	c.adoptListenerLocked(id, ln)
+	return nil
+}
+
+// adoptListenerLocked wires an already-bound listener up as peer id's
+// endpoint. Callers hold c.mu.
+func (c *Cluster) adoptListenerLocked(id keys.Key, ln net.Listener) {
+	ps := &peerServer{id: id, addr: AdvertiseAddr(ln.Addr().String(), c.advHost), ln: ln,
 		conns: make(map[net.Conn]struct{})}
 	c.addrs[id] = ps.addr
 	c.servers = append(c.servers, ps)
 	c.wg.Add(1)
 	go c.serve(ps)
-	return nil
 }
 
 // AddPeer joins one peer: a protocol join plus a fresh TCP listener.
@@ -278,6 +377,155 @@ func (c *Cluster) AddPeer(capacity int) (keys.Key, error) {
 		return "", err
 	}
 	return id, nil
+}
+
+// JoinRemotePeer performs the protocol join for a peer whose listener
+// lives in another process: the ring id is drawn exactly as AddPeer
+// draws it, but addr — the joining daemon's advertised listener —
+// enters the routing table instead of a locally bound one. Every
+// relay, replica frame and stream addressed to the peer then crosses
+// the process boundary transparently.
+func (c *Cluster) JoinRemotePeer(capacity int, addr string) (keys.Key, error) {
+	select {
+	case <-c.quit:
+		return "", ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var id keys.Key
+	if c.place != nil {
+		id = c.place.PlaceJoin(c.net, c.rng, capacity)
+	} else {
+		for {
+			id = c.net.Alphabet.RandomKey(c.rng, 12, 12)
+			if _, exists := c.net.Peer(id); !exists {
+				break
+			}
+		}
+	}
+	if err := c.net.JoinPeer(id, capacity, c.rng); err != nil {
+		return "", err
+	}
+	c.addrs[id] = addr
+	return id, nil
+}
+
+// AddRemotePeerWithID mirrors a join another process already
+// serialized: the assigned id and advertised address are given, only
+// the deterministic tree-side join runs locally. The daemon's APPLY
+// replication uses this to keep member mirrors convergent.
+func (c *Cluster) AddRemotePeerWithID(id keys.Key, capacity int, addr string) error {
+	select {
+	case <-c.quit:
+		return ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.net.JoinPeer(id, capacity, c.rng); err != nil {
+		return err
+	}
+	c.addrs[id] = addr
+	return nil
+}
+
+// InstallMirror populates an empty cluster (Options.AllowEmpty) with
+// a full overlay mirror: the peers and nodes of a state snapshot the
+// steward captured, the advertised address of every remote member,
+// and this process's own peer, which adopts the pre-bound listener ln
+// (bound before the join so the JOIN frame could advertise it). The
+// snapshot was captured under the steward's apply lock, so no journal
+// tail is needed: the mirror is consistent as of the handshake's
+// sequence number.
+func (c *Cluster) InstallMirror(peers []persist.PeerState, nodes []persist.NodeState,
+	members map[keys.Key]string, self keys.Key, ln net.Listener) error {
+	select {
+	case <-c.quit:
+		return ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := &persist.LoadedState{Snapshot: &persist.Snapshot{Peers: peers, Nodes: nodes}}
+	if err := c.net.RestoreFrom(st, c.rng); err != nil {
+		return err
+	}
+	if _, ok := c.net.Peer(self); !ok {
+		return fmt.Errorf("transport: mirror state lacks own peer %q", self)
+	}
+	for id, addr := range members {
+		if id != self {
+			c.addrs[id] = addr
+		}
+	}
+	c.adoptListenerLocked(self, ln)
+	return nil
+}
+
+// ReplicateLocal runs one replication tick wholly in-process: plan,
+// install, compact, and on a durable cluster the fsynced snapshot
+// rotation — the core path engine/local uses. The daemon deployment
+// calls this on every process: each holds a full mirror, so shipping
+// REPLICA frames to peers that already have identical state would be
+// pure overhead.
+func (c *Cluster) ReplicateLocal() (int, error) {
+	select {
+	case <-c.quit:
+		return 0, ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.net.Replicate()
+	if c.store != nil {
+		peers, nodes := c.net.PersistState()
+		if _, err := c.store.WriteSnapshot(peers, nodes); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// PersistStateView captures the persistable overlay state — the ring
+// and the full catalogue — under the read lock. The steward answers
+// JOIN with this as the joiner's initial mirror.
+func (c *Cluster) PersistStateView() ([]persist.PeerState, []persist.NodeState) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.PersistState()
+}
+
+// ControlRoundTrip sends one control frame (JOIN, LEAVE, APPLY,
+// STATUS, ADMIN) on the pooled connection to addr and returns the
+// reply frame. The persistent connection doubles as the peering
+// probe's re-dial path: a broken link evicts from the pool and the
+// next round-trip dials fresh.
+func (c *Cluster) ControlRoundTrip(ctx context.Context, addr string, typ byte, payload []byte) (byte, []byte, error) {
+	select {
+	case <-c.quit:
+		return 0, nil, ErrStopped
+	default:
+	}
+	pc, err := c.pool.get(ctx, addr)
+	if err != nil {
+		return 0, nil, err
+	}
+	msg, err := c.pool.rawRoundTrip(ctx, pc, func(id uint64) error {
+		return pc.fc.writeRaw(typ, id, payload)
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return msg.typ, msg.payload, nil
+}
+
+// DropEndpointAddr evicts the pooled connection to addr (without
+// touching any local listener). The daemon layer uses it when a
+// remote member departs or is declared crashed, so stale relays fail
+// fast and re-resolve.
+func (c *Cluster) DropEndpointAddr(addr string) {
+	c.pool.evict(addr)
 }
 
 // RemovePeer removes a peer gracefully: its tree nodes hand off, its
@@ -654,6 +902,48 @@ func (c *Cluster) handleConn(ps *peerServer, conn net.Conn) {
 				defer c.wg.Done()
 				c.serveQuery(sc, id, q, ctx, cancel)
 			}()
+		case frameQRoute:
+			var rq qroute
+			if err := decodeQRoute(payload, &rq); err != nil {
+				return // protocol violation: drop the connection
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			sc.amu.Lock()
+			sc.active[id] = cancel
+			sc.amu.Unlock()
+			c.mu.RLock()
+			self := ps.id
+			c.mu.RUnlock()
+			// Route steps are one-per-query (not one-per-hop like
+			// discovery steps), so a goroutine each is fine.
+			c.wg.Add(1)
+			go func(id uint64, rq qroute) {
+				defer c.wg.Done()
+				resp := c.routeStep(ctx, self, rq)
+				sc.amu.Lock()
+				delete(sc.active, id)
+				sc.amu.Unlock()
+				cancel()
+				_ = sc.fc.writeQRouteResp(id, &resp)
+			}(id, rq)
+		case frameJoin, frameLeave, frameApply, frameStatus, frameAdmin:
+			// Control plane: hand the frame to the daemon layer. The
+			// payload aliases the read buffer, so the handler gets a
+			// copy; a goroutine per frame keeps the read loop moving
+			// (handlers serialize on the daemon's own mutex and may
+			// take this cluster's write lock).
+			h := c.control
+			cp := append([]byte(nil), payload...)
+			c.wg.Add(1)
+			go func(typ byte, id uint64, cp []byte) {
+				defer c.wg.Done()
+				if h == nil {
+					_ = sc.fc.writeResponse(id, &response{Err: "transport: no control handler"})
+					return
+				}
+				rtyp, rp := h(typ, cp)
+				_ = sc.fc.writeRaw(rtyp, id, rp)
+			}(typ, id, cp)
 		case frameReplica:
 			var b core.ReplicaBatch
 			if err := decodeReplicaBatch(payload, &b); err != nil {
@@ -723,7 +1013,18 @@ func (c *Cluster) serveQuery(sc *serverConn, id uint64, q queryReq,
 	})
 	if !w.Empty() {
 		c.mu.RLock()
-		w.Start(q.Entry)
+		if q.Walk {
+			// The climb/descend phases ran as hop-by-hop QROUTE
+			// relays; resume directly in the subtree walk at the
+			// covering node, folding the route's counters in.
+			w.ResumeWalk(q.Entry, core.QueryResult{
+				LogicalHops:  q.Logical,
+				PhysicalHops: q.Physical,
+				NodesVisited: q.Visited,
+			})
+		} else {
+			w.Start(q.Entry)
+		}
 		c.mu.RUnlock()
 	}
 	var errStr string
@@ -950,6 +1251,145 @@ func (c *Cluster) relayOnce(ctx context.Context, addr string, req request) (resp
 	return c.pool.roundTrip(ctx, pc, &req)
 }
 
+// routeStep resolves climb/descend transitions of a subtree query at
+// the peer hosting the current node, relaying to the next hop's
+// listener when the route leaves this peer — the same hop-by-hop
+// dialogue discovery steps use, instead of walking tree state the
+// addressed peer does not host. The transition logic and counting
+// mirror core.QueryWalker exactly, so on a stable tree the streamed
+// totals match a walker that ran every phase in one process.
+func (c *Cluster) routeStep(ctx context.Context, self keys.Key, rq qroute) qrouteResp {
+	fail := func(err string) qrouteResp {
+		return qrouteResp{Err: err,
+			Logical: rq.Logical, Physical: rq.Physical, Visited: rq.Visited}
+	}
+	ended := func() qrouteResp {
+		return qrouteResp{Logical: rq.Logical, Physical: rq.Physical, Visited: rq.Visited}
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return fail(err.Error())
+		}
+		c.mu.RLock()
+		peer, ok := c.net.Peer(self)
+		if !ok {
+			c.mu.RUnlock()
+			return fail(fmt.Sprintf("peer %q gone", self))
+		}
+		node, ok := peer.Nodes[rq.At]
+		if !ok {
+			// Stale routing: relay to the node's current host, bounded
+			// like discovery redirects. A node lost to an unrecovered
+			// crash ends the walk with what the route has, exactly as
+			// the walker does at a vanished node.
+			host, okh := c.net.HostOf(rq.At)
+			addr := c.addrs[host]
+			c.mu.RUnlock()
+			rq.Redirects++
+			if !okh || rq.Redirects > maxRedirects {
+				return ended()
+			}
+			return c.routeRelay(ctx, addr, rq)
+		}
+		if rq.Visited == 0 {
+			rq.Visited = 1 // the entry node, counted as the walker's Start does
+		}
+		var next keys.Key
+		if !rq.Descending {
+			// Climb until the current node's subtree covers the
+			// anchor (its label is a prefix of the anchor), or the root.
+			if keys.IsPrefix(node.Key, rq.Anchor) || !node.HasFather {
+				rq.Descending = true
+				c.mu.RUnlock()
+				continue
+			}
+			if !c.net.NodeHosted(node.Father) {
+				c.mu.RUnlock()
+				return ended()
+			}
+			next = node.Father
+		} else {
+			// Descend towards the anchor while a single child still
+			// covers the whole query (narrowing the traversal root).
+			q, okc := node.BestChildFor(rq.Anchor)
+			if !okc || !keys.IsPrefix(q, rq.Anchor) || !c.net.NodeHosted(q) {
+				anchored := qrouteResp{Found: true, Anchor: node.Key,
+					Logical: rq.Logical, Physical: rq.Physical, Visited: rq.Visited}
+				c.mu.RUnlock()
+				return anchored
+			}
+			next = q
+		}
+		host, _ := c.net.HostOf(next)
+		addr := c.addrs[host]
+		c.mu.RUnlock()
+		rq.At = next
+		rq.Logical++
+		rq.Visited++
+		if host == self {
+			continue // next node is local: no wire transfer
+		}
+		rq.Physical++
+		return c.routeRelay(ctx, addr, rq)
+	}
+}
+
+// routeRelay forwards the route step over the pooled connection to
+// addr, with the same single stale-address retry as relay.
+func (c *Cluster) routeRelay(ctx context.Context, addr string, rq qroute) qrouteResp {
+	resp, err := c.routeRelayOnce(ctx, addr, rq)
+	if err == nil {
+		return resp
+	}
+	failed := qrouteResp{Err: err.Error(),
+		Logical: rq.Logical, Physical: rq.Physical, Visited: rq.Visited}
+	if ctx.Err() != nil || errors.Is(err, ErrStopped) {
+		return failed
+	}
+	select {
+	case <-c.quit:
+		failed.Err = ErrStopped.Error()
+		return failed
+	default:
+	}
+	c.mu.RLock()
+	host, ok := c.net.HostOf(rq.At)
+	retryAddr := c.addrs[host]
+	c.mu.RUnlock()
+	if !ok || retryAddr == "" {
+		return failed
+	}
+	resp, err = c.routeRelayOnce(ctx, retryAddr, rq)
+	if err != nil {
+		failed.Err = err.Error()
+		return failed
+	}
+	return resp
+}
+
+// routeRelayOnce performs one QROUTE round-trip on the shared
+// connection to addr.
+func (c *Cluster) routeRelayOnce(ctx context.Context, addr string, rq qroute) (qrouteResp, error) {
+	pc, err := c.pool.get(ctx, addr)
+	if err != nil {
+		return qrouteResp{}, err
+	}
+	msg, err := c.pool.rawRoundTrip(ctx, pc, func(id uint64) error {
+		return pc.fc.writeQRoute(id, &rq)
+	})
+	if err != nil {
+		return qrouteResp{}, err
+	}
+	if msg.typ != frameQRouteResp {
+		return qrouteResp{}, fmt.Errorf("transport: unexpected reply frame %d to QROUTE", msg.typ)
+	}
+	var resp qrouteResp
+	if err := decodeQRouteResp(msg.payload, &resp); err != nil {
+		return qrouteResp{}, err
+	}
+	return resp, nil
+}
+
 // Register declares a service (topology mutation, serialized).
 func (c *Cluster) Register(key keys.Key, value string) error {
 	select {
@@ -1093,9 +1533,13 @@ type WireStream struct {
 	closeOnce sync.Once
 }
 
-// StreamQuery starts a streaming subtree query over the wire: the
-// entry node is drawn from the same seeded stream the slice queries
-// use and the traversal runs at the entry host, streaming batches
+// StreamQuery starts a streaming subtree query over the wire in two
+// phases. The entry node is drawn from the same seeded stream the
+// slice queries use; the climb/descend phases then relay hop by hop
+// between listeners as QROUTE frames — each step resolved by the
+// peer hosting the node, like discovery steps — until the covering
+// node is found. The subtree walk opens as a STREAM query at that
+// node's host, seeded with the route's counters, and batches stream
 // back over the pooled connection.
 func (c *Cluster) StreamQuery(ctx context.Context, spec core.QuerySpec) (*WireStream, error) {
 	select {
@@ -1111,6 +1555,10 @@ func (c *Cluster) StreamQuery(ctx context.Context, spec core.QuerySpec) (*WireSt
 		// matching the slice path.
 		return &WireStream{ended: true, finished: true}, nil
 	}
+	anchor := spec.Prefix
+	if spec.Range {
+		anchor = keys.GCP(spec.Lo, spec.Hi)
+	}
 	c.mu.Lock()
 	entry, ok := c.net.RandomNodeKey(c.rng)
 	var addr string
@@ -1122,24 +1570,54 @@ func (c *Cluster) StreamQuery(ctx context.Context, spec core.QuerySpec) (*WireSt
 	if !ok {
 		return &WireStream{ended: true, finished: true}, nil
 	}
+	rr := c.routeRelay(ctx, addr, qroute{Anchor: anchor, At: entry})
+	if rr.Err != "" {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		select {
+		case <-c.quit:
+			return nil, ErrStopped
+		default:
+		}
+		return nil, errors.New(rr.Err)
+	}
+	pre := core.QueryResult{LogicalHops: rr.Logical,
+		PhysicalHops: rr.Physical, NodesVisited: rr.Visited}
+	if !rr.Found {
+		// The route hit a node lost to churn: the walk yields nothing,
+		// with the route's counters as totals (walker behaviour).
+		return &WireStream{ended: true, finished: true, stats: pre}, nil
+	}
+	c.mu.RLock()
+	host, okh := c.net.HostOf(rr.Anchor)
+	addr = c.addrs[host]
+	c.mu.RUnlock()
+	if !okh || addr == "" {
+		return &WireStream{ended: true, finished: true, stats: pre}, nil
+	}
 	q := &queryReq{
-		Range:  spec.Range,
-		Prefix: spec.Prefix,
-		Lo:     spec.Lo,
-		Hi:     spec.Hi,
-		Limit:  spec.Limit,
-		Entry:  entry,
+		Range:    spec.Range,
+		Prefix:   spec.Prefix,
+		Lo:       spec.Lo,
+		Hi:       spec.Hi,
+		Limit:    spec.Limit,
+		Entry:    rr.Anchor,
+		Walk:     true,
+		Logical:  rr.Logical,
+		Physical: rr.Physical,
+		Visited:  rr.Visited,
 	}
 	pc, id, cs, err := c.openWireQuery(ctx, addr, q)
 	if err != nil {
 		// The address was stale (departed peer, Balance rename):
-		// re-resolve the entry's current host once and retry on a
+		// re-resolve the anchor's current host once and retry on a
 		// fresh dial, as relay does for discovery hops.
 		if ctx.Err() != nil || errors.Is(err, ErrStopped) {
 			return nil, err
 		}
 		c.mu.RLock()
-		host, okh := c.net.HostOf(entry)
+		host, okh := c.net.HostOf(rr.Anchor)
 		retryAddr := c.addrs[host]
 		c.mu.RUnlock()
 		if !okh || retryAddr == "" {
@@ -1149,7 +1627,7 @@ func (c *Cluster) StreamQuery(ctx context.Context, spec core.QuerySpec) (*WireSt
 			return nil, err
 		}
 	}
-	return &WireStream{c: c, pc: pc, id: id, cs: cs, ctx: ctx}, nil
+	return &WireStream{c: c, pc: pc, id: id, cs: cs, ctx: ctx, stats: pre}, nil
 }
 
 // openWireQuery registers a stream on the pooled connection to addr
