@@ -6,7 +6,7 @@
 //
 //	dlptd run -config dlptd.json
 //	dlptd run -listen 127.0.0.1:7401 [-bootstrap host:port,...] [flags]
-//	dlptd status [-addr host:port]
+//	dlptd status [-addr host:port] [-obs]
 //	dlptd op [-addr host:port] register KEY VALUE
 //	dlptd op [-addr host:port] unregister KEY VALUE
 //	dlptd op [-addr host:port] discover KEY
@@ -30,11 +30,13 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
 
 	"dlpt/internal/daemon"
+	"dlpt/internal/obs"
 )
 
 func main() {
@@ -65,7 +67,7 @@ func main() {
 
 func usage(w io.Writer) {
 	fmt.Fprint(w, "usage: dlptd run -config FILE | dlptd run [flags]\n"+
-		"       dlptd status [-addr HOST:PORT]\n"+
+		"       dlptd status [-addr HOST:PORT] [-obs]\n"+
 		"       dlptd op [-addr HOST:PORT] register|unregister|discover|complete|range|validate ARGS...\n")
 }
 
@@ -80,6 +82,7 @@ func cmdRun(args []string) error {
 	capacity := fs.Int("capacity", 0, "peer capacity (default 64)")
 	alphabet := fs.String("alphabet", "", "key alphabet: binary, lower_alnum, printable_ascii or digit string")
 	seed := fs.Int64("seed", 0, "rng seed (0 = from clock)")
+	metrics := fs.String("metrics", "", "HTTP address serving /metrics and /debug/trace (empty = disabled)")
 	fs.Parse(args)
 
 	cfg := &daemon.Config{}
@@ -110,6 +113,9 @@ func cmdRun(args []string) error {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	if *metrics != "" {
+		cfg.MetricsAddr = *metrics
+	}
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 	d, err := daemon.Start(*cfg, logger.Printf)
@@ -127,10 +133,13 @@ func cmdRun(args []string) error {
 	return d.Close()
 }
 
-// cmdStatus prints a daemon's status as JSON.
+// cmdStatus prints a daemon's status as JSON; with -obs it appends the
+// daemon's key observability counters (the same series the /metrics
+// endpoint exports), fetched over the admin wire path.
 func cmdStatus(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("dlptd status", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7401", "daemon address")
+	showObs := fs.Bool("obs", false, "also print observability counters (visit load, pool, replication lag)")
 	fs.Parse(args)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -140,7 +149,54 @@ func cmdStatus(args []string, w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(st)
+	if err := enc.Encode(st); err != nil {
+		return err
+	}
+	if !*showObs {
+		return nil
+	}
+	resp, err := daemon.Admin(ctx, *addr, &daemon.AdminRequest{Op: "obs"})
+	if err != nil {
+		return err
+	}
+	printObs(w, resp.Obs)
+	return nil
+}
+
+// printObs renders the counters `dlptd status -obs` surfaces: the ten
+// most loaded peers, the connection pool's depth and dial count, and
+// the replication/apply lag.
+func printObs(w io.Writer, snap obs.Snapshot) {
+	type load struct {
+		peer string
+		val  float64
+	}
+	var loads []load
+	prefix := obs.SeriesVisitLoad + `{peer="`
+	for k, v := range snap {
+		if strings.HasPrefix(k, prefix) && strings.HasSuffix(k, `"}`) {
+			loads = append(loads, load{peer: k[len(prefix) : len(k)-2], val: v})
+		}
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].val != loads[j].val {
+			return loads[i].val > loads[j].val
+		}
+		return loads[i].peer < loads[j].peer
+	})
+	if len(loads) > 10 {
+		loads = loads[:10]
+	}
+	fmt.Fprintf(w, "visit load (top %d):\n", len(loads))
+	for _, l := range loads {
+		fmt.Fprintf(w, "  %-24s %g\n", l.peer, l.val)
+	}
+	fmt.Fprintf(w, "pool: %g conns, %g dials\n",
+		snap.Get(obs.SeriesPoolConns), snap.Get(obs.SeriesPoolDials))
+	fmt.Fprintf(w, "visits: %g total, %g drops\n",
+		snap.Get(obs.SeriesVisits), snap.Get(obs.SeriesSaturationDrops))
+	fmt.Fprintf(w, "replication lag: %gs (apply seq %g, lag %gs)\n",
+		snap.Get(obs.SeriesReplicationLag), snap.Get(obs.SeriesApplySeq), snap.Get(obs.SeriesApplyLag))
 }
 
 // cmdOp runs one admin operation against a daemon.

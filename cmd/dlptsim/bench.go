@@ -15,6 +15,7 @@ import (
 	"dlpt/engine"
 	"dlpt/internal/daemon"
 	"dlpt/internal/keys"
+	"dlpt/internal/obs"
 	"dlpt/internal/workload"
 )
 
@@ -55,6 +56,13 @@ type benchResult struct {
 	// canonical anti-entropy rebuild).
 	ReplicaTransferMsgsPerTopologyChange float64 `json:"replica_transfer_msgs_per_topology_change"`
 	RecoverNsPerOp                       int64   `json:"recover_ns_per_op"`
+
+	// TraceOverheadNsPerOp is the per-discovery latency cost of
+	// enabling WithObservability (span recording plus counters),
+	// measured by re-running the discovery workload instrumented and
+	// diffing against the untraced run. Floored at zero: a negative
+	// delta is scheduler noise, not a speedup.
+	TraceOverheadNsPerOp int64 `json:"trace_overhead_ns_per_op"`
 }
 
 // benchReport is the whole run: workload scale, environment, one
@@ -251,6 +259,9 @@ func measureEngines(quick bool, seed int64) (*benchReport, error) {
 		if err := measureReplication(ctx, kind, seed, peers, nkeys, quick, &res); err != nil {
 			return nil, err
 		}
+		if err := measureTraceOverhead(ctx, kind, seed, peers, batch, corpus, queries, &res); err != nil {
+			return nil, err
+		}
 		rep.Results = append(rep.Results, res)
 	}
 	if err := measureDaemon(quick, seed, rep); err != nil {
@@ -350,10 +361,15 @@ func measureDaemon(quick bool, seed int64, rep *benchReport) error {
 func measureReplication(ctx context.Context, kind dlpt.EngineKind, seed int64,
 	peers, nkeys int, quick bool, res *benchResult) error {
 
+	// The overlay runs instrumented so the transfer-cost metric reads
+	// from single consistent obs snapshots (one collector pass each)
+	// instead of stitching together counters from separate
+	// MembershipStats/PoolStats calls that can interleave with churn.
 	reg, err := dlpt.New(peers,
 		dlpt.WithSeed(seed),
 		dlpt.WithAlphabet(keys.LowerAlnum),
-		dlpt.WithEngine(kind))
+		dlpt.WithEngine(kind),
+		dlpt.WithObservability(dlpt.NewObservability()))
 	if err != nil {
 		return err
 	}
@@ -374,10 +390,7 @@ func measureReplication(ctx context.Context, kind dlpt.EngineKind, seed int64,
 	if quick {
 		churnRounds, recReps = 6, 6
 	}
-	base, err := reg.MembershipStats(ctx)
-	if err != nil {
-		return err
-	}
+	base := reg.ObsSnapshot()
 	for i := 0; i < churnRounds; i++ {
 		id, err := reg.AddPeerWithCapacity(ctx, 1<<20)
 		if err != nil {
@@ -387,13 +400,10 @@ func measureReplication(ctx context.Context, kind dlpt.EngineKind, seed int64,
 			return err
 		}
 	}
-	ms, err := reg.MembershipStats(ctx)
-	if err != nil {
-		return err
-	}
+	snap := reg.ObsSnapshot()
 	changes := float64(2 * churnRounds) // one join + one leave per round
 	res.ReplicaTransferMsgsPerTopologyChange =
-		float64(ms.ReplicaTransferMsgs-base.ReplicaTransferMsgs) / changes
+		(snap.Get(obs.SeriesReplicaTransfers) - base.Get(obs.SeriesReplicaTransfers)) / changes
 
 	runtime.GC()
 	var total time.Duration
@@ -415,6 +425,40 @@ func measureReplication(ctx context.Context, kind dlpt.EngineKind, seed int64,
 		total += time.Since(start)
 	}
 	res.RecoverNsPerOp = total.Nanoseconds() / int64(recReps)
+	return nil
+}
+
+// measureTraceOverhead re-runs the discovery workload on an overlay
+// instrumented with WithObservability and reports the per-op latency
+// delta against the untraced run already in res.DiscoverNsPerOp —
+// the cost of span recording plus metric counters on the hot path.
+func measureTraceOverhead(ctx context.Context, kind dlpt.EngineKind, seed int64,
+	peers int, batch []dlpt.Registration, corpus []keys.Key, queries int, res *benchResult) error {
+
+	reg, err := dlpt.New(peers,
+		dlpt.WithSeed(seed),
+		dlpt.WithAlphabet(keys.LowerAlnum),
+		dlpt.WithEngine(kind),
+		dlpt.WithObservability(dlpt.NewObservability()))
+	if err != nil {
+		return err
+	}
+	defer reg.Close()
+	if err := reg.RegisterBatch(ctx, batch); err != nil {
+		return err
+	}
+	runtime.GC()
+	start := time.Now()
+	for i := 0; i < queries; i++ {
+		if _, ok, err := reg.Discover(ctx, string(corpus[i%len(corpus)])); err != nil || !ok {
+			return fmt.Errorf("%s: traced discover %q: ok=%v err=%v",
+				kind, corpus[i%len(corpus)], ok, err)
+		}
+	}
+	traced := time.Since(start).Nanoseconds() / int64(queries)
+	if d := traced - res.DiscoverNsPerOp; d > 0 {
+		res.TraceOverheadNsPerOp = d
+	}
 	return nil
 }
 

@@ -48,7 +48,7 @@ type Directory struct {
 // peers, backed by the selected engine (EngineLive unless WithEngine
 // says otherwise).
 func NewDirectory(numPeers int, opts ...Option) (*Directory, error) {
-	eng, _, store, err := buildEngine(numPeers, opts, false)
+	eng, _, store, _, err := buildEngine(numPeers, opts, false)
 	if err != nil {
 		return nil, err
 	}
@@ -70,7 +70,7 @@ func NewDirectoryWithEngine(eng Engine) *Directory {
 // resource maps.
 func RestartDirectory(dir string, opts ...Option) (*Directory, error) {
 	opts = append(append([]Option(nil), opts...), WithPersistence(dir))
-	eng, _, store, err := buildEngine(0, opts, true)
+	eng, _, store, _, err := buildEngine(0, opts, true)
 	if err != nil {
 		return nil, err
 	}

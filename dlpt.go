@@ -75,7 +75,9 @@ import (
 	enginelocal "dlpt/engine/local"
 	enginetcp "dlpt/engine/tcp"
 	"dlpt/internal/keys"
+	"dlpt/internal/obs"
 	"dlpt/internal/persist"
+	"dlpt/internal/trace"
 )
 
 // Engine is the pluggable execution backend every public operation
@@ -139,6 +141,7 @@ type options struct {
 	persistDir string
 	bind       string
 	advHost    string
+	ob         *Observability
 }
 
 // Option configures New and NewDirectory.
@@ -215,6 +218,45 @@ func WithBindAddress(bind, advertiseHost string) Option {
 	return func(o *options) { o.bind, o.advHost = bind, advertiseHost }
 }
 
+// Observability bundles the instrumentation surface of one overlay: a
+// metrics registry (Prometheus text format via Registry.WriteText or
+// obs.Handler), the pre-registered series the engines feed, and a
+// bounded in-memory recorder of per-hop trace spans. Construct one
+// with NewObservability, pass it to New or NewDirectory via
+// WithObservability, and read it while the overlay runs; the same
+// bundle can be mounted on an HTTP listener with obs.Handler.
+type Observability struct {
+	// Registry holds every metric series and renders the Prometheus
+	// exposition text.
+	Registry *obs.Registry
+	// Metrics are the overlay series (visits, per-phase hop latency,
+	// replication lag, ...) registered on Registry.
+	Metrics *obs.Metrics
+	// Trace records recent spans in a fixed-size ring; Trace.Trees
+	// reassembles them into per-discovery span trees.
+	Trace *trace.Recorder
+}
+
+// NewObservability builds an instrumentation bundle with the default
+// span-ring capacity.
+func NewObservability() *Observability {
+	reg := obs.NewRegistry()
+	return &Observability{
+		Registry: reg,
+		Metrics:  obs.NewMetrics(reg),
+		Trace:    trace.NewRecorder(trace.DefaultCapacity),
+	}
+}
+
+// WithObservability instruments the overlay: the engines count visits,
+// drops, per-phase hop latencies and replication progress into
+// ob.Metrics and record per-hop spans into ob.Trace. The zero cost of
+// the default (no bundle) is preserved: engines skip all
+// instrumentation when none is configured. Passing nil is a no-op.
+func WithObservability(ob *Observability) Option {
+	return func(o *options) { o.ob = ob }
+}
+
 // ErrClosed is returned by operations on a closed Registry or
 // Directory.
 var ErrClosed = engine.ErrClosed
@@ -227,7 +269,7 @@ var ErrSaturated = engine.ErrSaturated
 // buildEngine resolves options into a running engine (plus the
 // persistence store it owns, when WithPersistence is set). restore
 // rebuilds the overlay from the store instead of starting fresh.
-func buildEngine(numPeers int, opts []Option, restore bool) (engine.Engine, *keys.Alphabet, *persist.Store, error) {
+func buildEngine(numPeers int, opts []Option, restore bool) (engine.Engine, *keys.Alphabet, *persist.Store, *Observability, error) {
 	o := options{alphabet: keys.PrintableASCII, seed: 1, kind: EngineLive}
 	for _, opt := range opts {
 		opt(&o)
@@ -235,7 +277,7 @@ func buildEngine(numPeers int, opts []Option, restore bool) (engine.Engine, *key
 	caps := o.capacities
 	if caps == nil && !restore {
 		if numPeers < 1 {
-			return nil, nil, nil, fmt.Errorf("dlpt: numPeers = %d", numPeers)
+			return nil, nil, nil, nil, fmt.Errorf("dlpt: numPeers = %d", numPeers)
 		}
 		caps = make([]int, numPeers)
 		for i := range caps {
@@ -246,10 +288,10 @@ func buildEngine(numPeers int, opts []Option, restore bool) (engine.Engine, *key
 	if o.persistDir != "" {
 		var err error
 		if store, err = persist.Open(o.persistDir); err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 	} else if restore {
-		return nil, nil, nil, errors.New("dlpt: restart without a persistence directory")
+		return nil, nil, nil, nil, errors.New("dlpt: restart without a persistence directory")
 	}
 	factory := o.factory
 	if factory == nil {
@@ -261,10 +303,10 @@ func buildEngine(numPeers int, opts []Option, restore bool) (engine.Engine, *key
 		case EngineTCP:
 			factory = enginetcp.Factory
 		default:
-			return nil, nil, nil, fmt.Errorf("dlpt: unknown engine %q", o.kind)
+			return nil, nil, nil, nil, fmt.Errorf("dlpt: unknown engine %q", o.kind)
 		}
 	}
-	eng, err := factory(engine.Config{
+	cfg := engine.Config{
 		Alphabet:      o.alphabet,
 		Capacities:    caps,
 		Seed:          o.seed,
@@ -274,12 +316,17 @@ func buildEngine(numPeers int, opts []Option, restore bool) (engine.Engine, *key
 		Restore:       restore,
 		Bind:          o.bind,
 		AdvertiseHost: o.advHost,
-	})
+	}
+	if o.ob != nil {
+		cfg.Obs = o.ob.Metrics
+		cfg.Trace = o.ob.Trace
+	}
+	eng, err := factory(cfg)
 	if err != nil {
 		if store != nil {
 			store.Close()
 		}
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	if store != nil && !restore {
 		// A fresh overlay must own its persistence epoch from the
@@ -292,10 +339,10 @@ func buildEngine(numPeers int, opts []Option, restore bool) (engine.Engine, *key
 		if _, err := eng.Replicate(context.Background()); err != nil {
 			eng.Close()
 			store.Close()
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 	}
-	return eng, o.alphabet, store, nil
+	return eng, o.alphabet, store, o.ob, nil
 }
 
 // Registry is a running service-discovery overlay. All methods are
@@ -304,16 +351,17 @@ type Registry struct {
 	eng   engine.Engine
 	alpha *keys.Alphabet
 	store *persist.Store // owned persistence store; nil without WithPersistence
+	ob    *Observability // nil without WithObservability
 }
 
 // New starts an overlay of numPeers peers over the selected engine
 // (EngineLive unless WithEngine says otherwise).
 func New(numPeers int, opts ...Option) (*Registry, error) {
-	eng, alpha, store, err := buildEngine(numPeers, opts, false)
+	eng, alpha, store, ob, err := buildEngine(numPeers, opts, false)
 	if err != nil {
 		return nil, err
 	}
-	return &Registry{eng: eng, alpha: alpha, store: store}, nil
+	return &Registry{eng: eng, alpha: alpha, store: store, ob: ob}, nil
 }
 
 // Restart rebuilds an overlay from a persistence directory after
@@ -329,11 +377,11 @@ func New(numPeers int, opts ...Option) (*Registry, error) {
 // valid snapshot exists.
 func Restart(dir string, opts ...Option) (*Registry, error) {
 	opts = append(append([]Option(nil), opts...), WithPersistence(dir))
-	eng, alpha, store, err := buildEngine(0, opts, true)
+	eng, alpha, store, ob, err := buildEngine(0, opts, true)
 	if err != nil {
 		return nil, err
 	}
-	return &Registry{eng: eng, alpha: alpha, store: store}, nil
+	return &Registry{eng: eng, alpha: alpha, store: store, ob: ob}, nil
 }
 
 // NewWithEngine wraps an already-running engine in a Registry. The
@@ -344,6 +392,21 @@ func NewWithEngine(eng engine.Engine) *Registry {
 
 // Engine exposes the backing execution engine.
 func (r *Registry) Engine() engine.Engine { return r.eng }
+
+// Observability returns the instrumentation bundle configured with
+// WithObservability, nil when the overlay is uninstrumented.
+func (r *Registry) Observability() *Observability { return r.ob }
+
+// ObsSnapshot returns a point-in-time copy of every metric series as a
+// map keyed `name{labels}`. On an uninstrumented overlay it returns an
+// empty snapshot, so callers can diff metrics without checking for
+// WithObservability first.
+func (r *Registry) ObsSnapshot() obs.Snapshot {
+	if r.ob == nil {
+		return obs.Snapshot{}
+	}
+	return r.ob.Registry.Snapshot()
+}
 
 // Close shuts the overlay down (and, on a durable overlay, the
 // persistence store's journal — the on-disk state stays, ready for

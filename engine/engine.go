@@ -24,7 +24,9 @@ import (
 
 	"dlpt/internal/core"
 	"dlpt/internal/keys"
+	"dlpt/internal/obs"
 	"dlpt/internal/persist"
+	"dlpt/internal/trace"
 	"dlpt/internal/trie"
 )
 
@@ -257,6 +259,36 @@ type RecoveryReport struct {
 	LostKeys []string
 }
 
+// RegisterObsCollectors wires the scrape-time mirrors an in-process
+// engine needs: per-peer visit-load and node-count gauges (replaced
+// wholesale each scrape, so balance renames never leave stale series)
+// and the core's never-reset replication counters (mirrored with Set,
+// so they stay monotonic across crash/recover and Balance). The
+// callbacks run at scrape time under the engine's own locking.
+func RegisterObsCollectors(m *obs.Metrics,
+	peers func() []core.PeerSummary, repl func() core.ReplicationCounters) {
+	if m == nil {
+		return
+	}
+	m.Registry.OnScrape(func() {
+		sums := peers()
+		loads := make(map[string]float64, len(sums))
+		nodes := make(map[string]float64, len(sums))
+		for _, s := range sums {
+			loads[string(s.ID)] = float64(s.LoadPrev)
+			nodes[string(s.ID)] = float64(s.Nodes)
+		}
+		m.Registry.ReplaceGauges(obs.SeriesVisitLoad,
+			"Discovery visits received per peer in the last load unit.", "peer", loads)
+		m.Registry.ReplaceGauges(obs.SeriesPeerNodes,
+			"Tree nodes hosted per peer.", "peer", nodes)
+		rs := repl()
+		m.ReplicaSnapshotMsgs.Set(float64(rs.SnapshotMsgs))
+		m.ReplicaTransferMsgs.Set(float64(rs.TransferMsgs))
+		m.ReplicaTransferNodes.Set(float64(rs.TransferredNodes))
+	})
+}
+
 // PeerInfosFrom converts protocol-core peer summaries into the public
 // view; shared by the engine implementations.
 func PeerInfosFrom(ps []core.PeerSummary) []PeerInfo {
@@ -315,6 +347,13 @@ type Config struct {
 	// bind host is not reachable as written (e.g. a 0.0.0.0 bind
 	// behind a NAT). In-process engines ignore it.
 	AdvertiseHost string
+	// Obs, when non-nil, instruments the engine: traversal counters,
+	// per-phase hop-latency histograms and replication/pool state feed
+	// this bundle's registry (see dlpt.WithObservability).
+	Obs *obs.Metrics
+	// Trace, when non-nil, records per-hop spans for routed traversals
+	// and topology events into the ring-buffer recorder.
+	Trace *trace.Recorder
 }
 
 // Factory constructs an engine from a Config. The root dlpt package

@@ -48,10 +48,13 @@ func New(cfg engine.Config) (*Engine, error) {
 	opts.Gate = cfg.GateCapacity
 	opts.Persist = cfg.Persist
 	opts.Restore = cfg.Restore
+	opts.Obs = cfg.Obs
+	opts.Trace = cfg.Trace
 	c, err := ilive.StartOpts(alpha, cfg.Capacities, cfg.Seed, opts)
 	if err != nil {
 		return nil, err
 	}
+	engine.RegisterObsCollectors(cfg.Obs, c.PeerSummaries, c.ReplicationStats)
 	return &Engine{
 		Membership: engine.NewMembership(c, mapErr),
 		cluster:    c,

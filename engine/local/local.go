@@ -12,11 +12,13 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"dlpt/engine"
 	"dlpt/internal/core"
 	"dlpt/internal/keys"
 	"dlpt/internal/lb"
+	"dlpt/internal/obs"
 	"dlpt/internal/persist"
 	"dlpt/internal/trie"
 )
@@ -52,6 +54,22 @@ func New(cfg engine.Config) (*Engine, error) {
 		gated: cfg.GateCapacity,
 		store: cfg.Persist,
 	}
+	// Every query walker built over the network inherits the
+	// instrumentation; the collectors mirror peer load and replication
+	// counters at scrape time under the engine mutex.
+	e.net.Obs = cfg.Obs
+	e.net.Tracer = cfg.Trace
+	engine.RegisterObsCollectors(cfg.Obs,
+		func() []core.PeerSummary {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return e.net.PeerSummaries()
+		},
+		func() core.ReplicationCounters {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return e.net.Replication
+		})
 	if cfg.JoinPlacement != "" {
 		strat, err := lb.ByName(cfg.JoinPlacement)
 		if err != nil {
@@ -167,7 +185,22 @@ func (e *Engine) Discover(ctx context.Context, key string) (engine.Result, error
 	if err := e.guard(ctx); err != nil {
 		return engine.Result{}, err
 	}
+	var began time.Time
+	if e.net.Obs != nil || e.net.Tracer.Enabled() {
+		began = time.Now()
+	}
+	root := e.net.Tracer.StartRoot(obs.PhaseDiscover, "")
+	root.SetAttr("key", key)
 	res := e.net.DiscoverRandom(keys.Key(key), e.gated, e.rng)
+	root.End()
+	if m := e.net.Obs; m != nil {
+		d := time.Since(began)
+		m.DiscoverLatency.Observe(d.Seconds())
+		m.RecordPhase(obs.PhaseDiscover, res.LogicalHops, d)
+		if res.Dropped {
+			m.Drops.Inc()
+		}
+	}
 	out := engine.Result{
 		Key:          key,
 		Found:        res.Satisfied,
@@ -310,6 +343,7 @@ func (e *Engine) AddPeer(ctx context.Context, capacity int) (string, error) {
 	id, err := e.addPeer(capacity)
 	if err == nil {
 		e.joins++
+		e.net.Obs.TopologyEvent("join")
 	}
 	return string(id), err
 }
@@ -325,6 +359,7 @@ func (e *Engine) RemovePeer(ctx context.Context, id string) error {
 		return err
 	}
 	e.leaves++
+	e.net.Obs.TopologyEvent("leave")
 	return nil
 }
 
@@ -339,6 +374,7 @@ func (e *Engine) CrashPeer(ctx context.Context, id string) error {
 		return err
 	}
 	e.crashes++
+	e.net.Obs.TopologyEvent("crash")
 	return nil
 }
 
@@ -351,6 +387,7 @@ func (e *Engine) Recover(ctx context.Context) (engine.RecoveryReport, error) {
 	}
 	restored, lost := e.net.Recover()
 	e.recoveries++
+	e.net.Obs.TopologyEvent("recover")
 	return engine.RecoveryReportFrom(restored, lost), nil
 }
 
@@ -369,6 +406,7 @@ func (e *Engine) Replicate(ctx context.Context) (int, error) {
 			return n, err
 		}
 	}
+	e.net.Obs.MarkReplicated()
 	return n, nil
 }
 
@@ -428,6 +466,7 @@ func (e *Engine) Balance(ctx context.Context, strategy string) (int, error) {
 	}
 	moves, err := lb.RunRound(e.net, strat)
 	e.balanceMoves += moves
+	e.net.Obs.TopologyEvent("balance")
 	return moves, err
 }
 

@@ -50,6 +50,8 @@ func New(cfg engine.Config) (*Engine, error) {
 	opts.Restore = cfg.Restore
 	opts.Bind = cfg.Bind
 	opts.AdvertiseHost = cfg.AdvertiseHost
+	opts.Obs = cfg.Obs
+	opts.Trace = cfg.Trace
 	c, err := itransport.StartOpts(alpha, cfg.Capacities, cfg.Seed, opts)
 	if err != nil {
 		return nil, err

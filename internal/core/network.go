@@ -7,7 +7,9 @@ import (
 	"sort"
 
 	"dlpt/internal/keys"
+	"dlpt/internal/obs"
 	"dlpt/internal/ring"
+	"dlpt/internal/trace"
 	"dlpt/internal/trie"
 )
 
@@ -81,6 +83,12 @@ type Network struct {
 	Placement   Placement
 	Counters    Counters
 	Replication ReplicationCounters
+
+	// Obs and Tracer, when set by an engine, instrument every query
+	// walker built over this network: per-phase trace spans and
+	// hop/visit counters. Both are nil-safe and default to disabled.
+	Obs    *obs.Metrics
+	Tracer *trace.Recorder
 
 	// replicaLoc maps each replicated node key to the peer holding
 	// its snapshot (the host's ring successor; the data lives in

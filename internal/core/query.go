@@ -2,8 +2,12 @@ package core
 
 import (
 	"math/rand"
+	"strconv"
+	"time"
 
 	"dlpt/internal/keys"
+	"dlpt/internal/obs"
+	"dlpt/internal/trace"
 )
 
 // QueryResult reports the outcome of a multi-key query (range or
@@ -113,13 +117,26 @@ type QueryWalker struct {
 	stack   []walkFrame
 	emitted int
 	res     QueryResult // hop/visit counters; Keys unused
+
+	// Instrumentation (inherited from Network.Obs/Tracer; both
+	// nil-safe). parent is the trace context phase spans hang under —
+	// zero starts a fresh trace, the tcp engine sets the wire context.
+	met       *obs.Metrics
+	rec       *trace.Recorder
+	parent    trace.Context
+	span      trace.Handle
+	phName    string
+	phHops    int
+	phStart   time.Time
+	visitBase int
 }
 
 // NewQueryWalker builds the walker for spec. An inverted range yields
 // the empty walker (Empty reports true) without consuming an entry
 // point, matching the slice path.
 func NewQueryWalker(net *Network, spec QuerySpec) *QueryWalker {
-	w := &QueryWalker{net: net, limit: spec.Limit, phase: phaseDone}
+	w := &QueryWalker{net: net, limit: spec.Limit, phase: phaseDone,
+		met: net.Obs, rec: net.Tracer}
 	if spec.Range {
 		if spec.Hi < spec.Lo {
 			w.empty = true
@@ -159,12 +176,71 @@ func (w *QueryWalker) Start(entry keys.Key) {
 	if w.empty {
 		return
 	}
-	if _, _, ok := w.net.nodeState(entry); !ok {
+	_, h, ok := w.net.nodeState(entry)
+	if !ok {
 		return
 	}
 	w.res.NodesVisited++
 	w.cur = entry
+	w.curHost = h.ID
 	w.phase = phaseClimb
+	w.enterPhase(obs.PhaseClimb, h.ID)
+}
+
+// TraceUnder parents this walker's phase spans beneath an externally
+// propagated trace context (the tcp engine passes the wire context so
+// server-side walk spans join the client's trace). Call before Start
+// or ResumeWalk.
+func (w *QueryWalker) TraceUnder(parent trace.Context) { w.parent = parent }
+
+// enterPhase closes the running phase span (if any) and opens the
+// next one. No-op unless the walker is instrumented.
+func (w *QueryWalker) enterPhase(name string, peer keys.Key) {
+	if w.met == nil && w.rec == nil {
+		return
+	}
+	w.closePhase()
+	w.phName = name
+	w.phHops = w.res.LogicalHops
+	w.phStart = time.Now()
+	w.span = w.rec.Start(w.parent, name, string(peer))
+}
+
+// closePhase ends the running phase span and folds its hop count and
+// duration into the phase metrics.
+func (w *QueryWalker) closePhase() {
+	if w.phName == "" {
+		return
+	}
+	hops := w.res.LogicalHops - w.phHops
+	w.met.RecordPhase(w.phName, hops, time.Since(w.phStart))
+	if w.span.Active() {
+		w.span.SetAttr("hops", strconv.Itoa(hops))
+		w.span.End()
+	}
+	w.phName = ""
+}
+
+// FinishTrace flushes the walker's instrumentation: the open phase
+// span ends and the visit delta folds into the visit counter.
+// Idempotent; the walker calls it itself when the traversal reaches
+// its natural end, engines call it when a consumer abandons the walk
+// early.
+func (w *QueryWalker) FinishTrace() {
+	if w.met == nil && w.rec == nil {
+		return
+	}
+	w.closePhase()
+	if w.met != nil {
+		w.met.Visits.Add(float64(w.res.NodesVisited - w.visitBase))
+		w.visitBase = w.res.NodesVisited
+	}
+}
+
+// done ends the traversal, flushing instrumentation.
+func (w *QueryWalker) done() {
+	w.phase = phaseDone
+	w.FinishTrace()
 }
 
 // Stats returns the hop and visit counters accumulated so far.
@@ -197,7 +273,7 @@ func (w *QueryWalker) StepN(out []keys.Key, maxEmit, maxVisits int) ([]keys.Key,
 		case phaseClimb:
 			n, h, ok := w.net.nodeState(w.cur)
 			if !ok {
-				w.phase = phaseDone
+				w.done()
 				return out, false
 			}
 			w.curHost = h.ID
@@ -205,11 +281,12 @@ func (w *QueryWalker) StepN(out []keys.Key, maxEmit, maxVisits int) ([]keys.Key,
 			// anchor (its label is a prefix of the anchor), or the root.
 			if keys.IsPrefix(n.Key, w.anchor) || !n.HasFather {
 				w.phase = phaseDescend
+				w.enterPhase(obs.PhaseDescend, w.curHost)
 				continue
 			}
 			next, nextHost, ok := w.net.nodeState(n.Father)
 			if !ok {
-				w.phase = phaseDone
+				w.done()
 				return out, false
 			}
 			w.res.LogicalHops++
@@ -225,7 +302,7 @@ func (w *QueryWalker) StepN(out []keys.Key, maxEmit, maxVisits int) ([]keys.Key,
 			// covers the whole query (narrowing the traversal root).
 			n, h, ok := w.net.nodeState(w.cur)
 			if !ok {
-				w.phase = phaseDone
+				w.done()
 				return out, false
 			}
 			w.curHost = h.ID
@@ -249,7 +326,7 @@ func (w *QueryWalker) StepN(out []keys.Key, maxEmit, maxVisits int) ([]keys.Key,
 
 		case phaseWalk:
 			if len(w.stack) == 0 {
-				w.phase = phaseDone
+				w.done()
 				return out, false
 			}
 			fr := w.stack[len(w.stack)-1]
@@ -271,7 +348,7 @@ func (w *QueryWalker) StepN(out []keys.Key, maxEmit, maxVisits int) ([]keys.Key,
 				w.emitted++
 				batchEmitted++
 				if w.limit > 0 && w.emitted >= w.limit {
-					w.phase = phaseDone
+					w.done()
 					return out, false
 				}
 				if maxEmit > 0 && batchEmitted >= maxEmit {
@@ -300,11 +377,16 @@ func (w *QueryWalker) ResumeWalk(anchor keys.Key, pre QueryResult) {
 	w.res.LogicalHops = pre.LogicalHops
 	w.res.PhysicalHops = pre.PhysicalHops
 	w.res.NodesVisited = pre.NodesVisited
-	n, _, ok := w.net.nodeState(anchor)
+	// The route's hops and visits were accounted where they ran (the
+	// QROUTE legs); the visit counter folds only this walker's own.
+	w.visitBase = pre.NodesVisited
+	w.phHops = pre.LogicalHops
+	n, h, ok := w.net.nodeState(anchor)
 	if !ok {
-		w.phase = phaseDone
+		w.done()
 		return
 	}
+	w.curHost = h.ID
 	w.beginWalk(n)
 }
 
@@ -320,6 +402,7 @@ func (net *Network) NodeHosted(k keys.Key) bool {
 // by the climb/descend phases (already counted as visited there).
 func (w *QueryWalker) beginWalk(n *Node) {
 	w.phase = phaseWalk
+	w.enterPhase(obs.PhaseWalk, w.curHost)
 	w.stack = w.stack[:0]
 	if w.explore(n.Key) || w.match(n.Key) {
 		w.stack = append(w.stack, walkFrame{key: n.Key, root: true})

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"dlpt/internal/obs"
 	"dlpt/internal/peering"
 	"dlpt/internal/transport"
 )
@@ -35,7 +36,8 @@ type MemberInfo struct {
 }
 
 // AdminRequest is one admin operation: register, unregister,
-// discover, complete, range or validate.
+// discover, complete, range, validate or obs (a snapshot of the
+// daemon's metric series, the same counters /metrics exports).
 type AdminRequest struct {
 	Op     string `json:"op"`
 	Key    string `json:"key,omitempty"`
@@ -57,6 +59,9 @@ type AdminResponse struct {
 	Physical int      `json:"physical_hops"`
 	Visited  int      `json:"nodes_visited"`
 	Dropped  bool     `json:"dropped,omitempty"`
+	// Obs is the metric snapshot answered to the "obs" op, keyed
+	// `name{labels}` exactly as the Prometheus exposition names series.
+	Obs obs.Snapshot `json:"obs,omitempty"`
 }
 
 // GetStatus queries a running daemon's status over one raw TCP

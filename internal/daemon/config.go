@@ -85,6 +85,12 @@ type Config struct {
 	MissThreshold int `json:"miss_threshold,omitempty"`
 	// JoinTimeout bounds the bootstrap retry loop (default 30s).
 	JoinTimeout Duration `json:"join_timeout,omitempty"`
+	// MetricsAddr, when non-empty, opens an HTTP listener at this
+	// address serving /metrics (Prometheus text format) and
+	// /debug/trace (recent per-hop span trees as JSON). Empty disables
+	// the listener; the daemon still aggregates metrics internally and
+	// serves them over the ADMIN wire path (`dlptd status -obs`).
+	MetricsAddr string `json:"metrics_addr,omitempty"`
 }
 
 // LoadConfig reads a JSON config file.

@@ -49,6 +49,7 @@ import (
 	"log"
 	"math/rand"
 	"net"
+	"net/http"
 	"sort"
 	"strings"
 	"sync"
@@ -57,8 +58,10 @@ import (
 	"dlpt/internal/core"
 	"dlpt/internal/keys"
 	"dlpt/internal/lb"
+	"dlpt/internal/obs"
 	"dlpt/internal/peering"
 	"dlpt/internal/persist"
+	"dlpt/internal/trace"
 	"dlpt/internal/transport"
 )
 
@@ -80,6 +83,15 @@ type Daemon struct {
 	cluster *transport.Cluster
 	store   *persist.Store
 	maint   *peering.Maintainer
+
+	// Observability: every daemon aggregates metrics and records spans
+	// (the wire path serves them via the "obs" admin op); the HTTP
+	// endpoint only binds when Config.MetricsAddr asks for it.
+	obsReg     *obs.Registry
+	met        *obs.Metrics
+	rec        *trace.Recorder
+	metricsLn  net.Listener
+	metricsSrv *http.Server
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -113,6 +125,9 @@ func Start(cfg Config, logf func(format string, args ...any)) (*Daemon, error) {
 		logf:        logf,
 		members:     make(map[keys.Key]transport.Member),
 	}
+	d.obsReg = obs.NewRegistry()
+	d.met = obs.NewMetrics(d.obsReg)
+	d.rec = trace.NewRecorder(trace.DefaultCapacity)
 	if d.logf == nil {
 		d.logf = log.Printf
 	}
@@ -132,6 +147,16 @@ func Start(cfg Config, logf func(format string, args ...any)) (*Daemon, error) {
 	if err != nil {
 		d.cancel()
 		return nil, err
+	}
+	if cfg.MetricsAddr != "" {
+		if err := d.startMetrics(cfg.MetricsAddr); err != nil {
+			d.cancel()
+			d.cluster.Stop()
+			if d.store != nil {
+				d.store.Close()
+			}
+			return nil, err
+		}
 	}
 	d.maint = peering.New(peering.Config{
 		Probe:         d.probe,
@@ -161,6 +186,36 @@ func Start(cfg Config, logf func(format string, args ...any)) (*Daemon, error) {
 	return d, nil
 }
 
+// startMetrics binds the opt-in observability HTTP listener: /metrics
+// serves the Prometheus exposition text and /debug/trace the recent
+// span trees as JSON.
+func (d *Daemon) startMetrics(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("daemon: metrics listener: %w", err)
+	}
+	d.metricsLn = ln
+	d.metricsSrv = &http.Server{Handler: obs.Handler(d.obsReg, d.rec)}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		if err := d.metricsSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			d.logf("dlptd: metrics server: %v", err)
+		}
+	}()
+	d.logf("dlptd: metrics at http://%s/metrics", ln.Addr())
+	return nil
+}
+
+// MetricsAddr returns the bound metrics listener address, "" when the
+// endpoint is disabled.
+func (d *Daemon) MetricsAddr() string {
+	if d.metricsLn == nil {
+		return ""
+	}
+	return d.metricsLn.Addr().String()
+}
+
 // startSteward seeds a fresh single-peer overlay. With a data
 // directory, the previous catalogue — snapshot plus journal tail — is
 // folded and re-registered: the catalogue survives a steward restart,
@@ -186,6 +241,8 @@ func (d *Daemon) startSteward() error {
 		AdvertiseHost: d.cfg.Advertise,
 		Persist:       d.store,
 		Control:       d.control,
+		Obs:           d.met,
+		Trace:         d.rec,
 	}
 	if d.placementName != "" {
 		strat, err := lb.ByName(d.placementName)
@@ -287,6 +344,8 @@ func (d *Daemon) startMember() error {
 		AllowEmpty:    true,
 		AdvertiseHost: d.cfg.Advertise,
 		Control:       d.control,
+		Obs:           d.met,
+		Trace:         d.rec,
 	})
 	if err != nil {
 		ln.Close()
@@ -313,6 +372,7 @@ func (d *Daemon) startMember() error {
 	}
 	d.selfID = hello.AssignedID
 	d.seq = hello.Seq
+	d.met.MarkApplied(d.seq)
 	d.stewardAddr = hello.StewardAddr
 	return nil
 }
@@ -392,6 +452,14 @@ func contains(list []string, s string) bool {
 	return false
 }
 
+// bumpSeqLocked advances the apply-stream sequence and stamps the
+// metrics gauge (dlpt_apply_seq) and the lag clock behind
+// dlpt_apply_lag_seconds.
+func (d *Daemon) bumpSeqLocked() {
+	d.seq++
+	d.met.MarkApplied(d.seq)
+}
+
 // control dispatches the control-plane frames the transport hands us.
 func (d *Daemon) control(typ byte, payload []byte) (byte, []byte) {
 	switch typ {
@@ -455,7 +523,7 @@ func (d *Daemon) handleJoin(payload []byte) (byte, []byte) {
 	if err != nil {
 		return reject("daemon: join failed: "+err.Error(), "")
 	}
-	d.seq++
+	d.bumpSeqLocked()
 	// Broadcast before adding the joiner to the table: the joiner's
 	// mirror snapshot below already contains its own join.
 	d.broadcastLocked(&transport.ApplyRecord{
@@ -499,7 +567,7 @@ func (d *Daemon) handleLeave(payload []byte) (byte, []byte) {
 	}
 	delete(d.members, notice.ID)
 	d.cluster.DropEndpointAddr(m.Addr)
-	d.seq++
+	d.bumpSeqLocked()
 	d.broadcastLocked(&transport.ApplyRecord{Seq: d.seq, Op: transport.OpLeave, ID: notice.ID, Addr: m.Addr})
 	d.syncLinksLocked()
 	d.logf("dlptd steward: peer %s at %s left (overlay now %d daemons)", notice.ID, m.Addr, len(d.members))
@@ -530,7 +598,7 @@ func (d *Daemon) handleApply(payload []byte) (byte, []byte) {
 		if err := d.applyLocked(rec); err != nil {
 			return ack(err.Error())
 		}
-		d.seq++
+		d.bumpSeqLocked()
 		rec.Seq = d.seq
 		d.broadcastLocked(rec)
 		return ack("")
@@ -548,6 +616,7 @@ func (d *Daemon) handleApply(payload []byte) (byte, []byte) {
 		return ack(err.Error())
 	}
 	d.seq = rec.Seq
+	d.met.MarkApplied(d.seq)
 	return ack("")
 }
 
@@ -677,7 +746,7 @@ func (d *Daemon) onLinkDown(addr string) {
 	}
 	delete(d.members, id)
 	d.cluster.DropEndpointAddr(addr)
-	d.seq++
+	d.bumpSeqLocked()
 	d.broadcastLocked(&transport.ApplyRecord{Seq: d.seq, Op: transport.OpCrash, ID: id, Addr: addr})
 	restored, lost, err := d.cluster.Recover()
 	if err != nil {
@@ -685,7 +754,7 @@ func (d *Daemon) onLinkDown(addr string) {
 	} else {
 		d.logf("dlptd steward: recovered %d nodes (%d lost) after %s", restored, len(lost), id)
 	}
-	d.seq++
+	d.bumpSeqLocked()
 	d.broadcastLocked(&transport.ApplyRecord{Seq: d.seq, Op: transport.OpRecover})
 	d.syncLinksLocked()
 }
@@ -740,7 +809,7 @@ func (d *Daemon) ReplicateNow() error {
 	if _, err := d.cluster.ReplicateLocal(); err != nil {
 		return err
 	}
-	d.seq++
+	d.bumpSeqLocked()
 	d.broadcastLocked(&transport.ApplyRecord{Seq: d.seq, Op: transport.OpReplicate})
 	return nil
 }
@@ -790,6 +859,9 @@ func (d *Daemon) Close() error {
 		}
 	}
 	d.cancel()
+	if d.metricsSrv != nil {
+		d.metricsSrv.Close()
+	}
 	d.cluster.Stop()
 	if d.store != nil {
 		d.store.Close()
@@ -943,6 +1015,10 @@ func (d *Daemon) admin(req *AdminRequest) *AdminResponse {
 		if err := d.cluster.Validate(); err != nil {
 			resp.Err = err.Error()
 		}
+	case "obs":
+		// The same counters the /metrics endpoint exports, over the
+		// admin wire path (dlptd status -obs) — no HTTP listener needed.
+		resp.Obs = d.obsReg.Snapshot()
 	default:
 		resp.Err = fmt.Sprintf("daemon: unknown admin op %q", req.Op)
 	}
@@ -962,7 +1038,7 @@ func (d *Daemon) mutate(op byte, key, value string) error {
 		if err := d.applyLocked(rec); err != nil {
 			return err
 		}
-		d.seq++
+		d.bumpSeqLocked()
 		rec.Seq = d.seq
 		d.broadcastLocked(rec)
 		return nil

@@ -19,11 +19,14 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"dlpt/internal/core"
 	"dlpt/internal/keys"
 	"dlpt/internal/lb"
+	"dlpt/internal/obs"
 	"dlpt/internal/persist"
+	"dlpt/internal/trace"
 	"dlpt/internal/trie"
 )
 
@@ -56,6 +59,12 @@ type Options struct {
 	// Restore rebuilds the overlay from Persist instead of starting
 	// fresh from the capacities (which are then ignored).
 	Restore bool
+	// Obs, when non-nil, receives visit/drop counters, per-phase hop
+	// latencies and replication marks from the running overlay.
+	Obs *obs.Metrics
+	// Trace, when non-nil, records per-hop spans for every routed
+	// discovery and replication tick.
+	Trace *trace.Recorder
 }
 
 // discoverMsg is one in-flight discovery request. ctx is the
@@ -67,6 +76,11 @@ type discoverMsg struct {
 	key     keys.Key
 	at      keys.Key // node the request is addressed to
 	goingUp bool
+	// tc is the trace context of the previous hop's span (the
+	// discovery root for the first hop): each processing step parents
+	// its span under it and replaces it with its own, chaining the
+	// hops into one tree.
+	tc trace.Context
 	// redirects counts re-deliveries for a node the addressed peer
 	// does not host. Transient moves (churn, balancing) resolve in a
 	// hop or two; a crashed, unrecovered node would redirect forever,
@@ -114,6 +128,8 @@ type Cluster struct {
 	place lb.Strategy    // join placement hook; nil = uniform random
 	gate  bool           // enforce peer capacity on discoveries
 	store *persist.Store // durability layer; nil = in-memory only
+	met   *obs.Metrics   // nil = no metrics; see Options.Obs
+	rec   *trace.Recorder
 
 	entryMu  sync.Mutex // guards entryRng (used by Discover readers)
 	entryRng *rand.Rand
@@ -149,9 +165,13 @@ func StartOpts(alpha *keys.Alphabet, capacities []int, seed int64, opts Options)
 		place:    opts.Placement,
 		gate:     opts.Gate,
 		store:    opts.Persist,
+		met:      opts.Obs,
+		rec:      opts.Trace,
 		procs:    make(map[keys.Key]*peerProc),
 		quit:     make(chan struct{}),
 	}
+	c.net.Obs = opts.Obs
+	c.net.Tracer = opts.Trace
 	if opts.Restore {
 		if c.store == nil {
 			c.Stop()
@@ -212,6 +232,7 @@ func (c *Cluster) addPeerLocked(capacity int) (keys.Key, error) {
 		return "", err
 	}
 	c.spawnProc(id)
+	c.met.TopologyEvent("join")
 	return id, nil
 }
 
@@ -241,6 +262,7 @@ func (c *Cluster) RemovePeer(id keys.Key) error {
 		return err
 	}
 	c.retireProc(id)
+	c.met.TopologyEvent("leave")
 	return nil
 }
 
@@ -260,6 +282,7 @@ func (c *Cluster) FailPeer(id keys.Key) error {
 		return err
 	}
 	c.retireProc(id)
+	c.met.TopologyEvent("crash")
 	return nil
 }
 
@@ -288,6 +311,7 @@ func (c *Cluster) Recover() (restored int, lost []keys.Key, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	restored, lost = c.net.Recover()
+	c.met.TopologyEvent("recover")
 	return restored, lost, nil
 }
 
@@ -307,10 +331,15 @@ func (c *Cluster) Replicate() (int, error) {
 	c.mu.Lock()
 	plan := c.net.ReplicaPlan()
 	c.mu.Unlock()
+	tick := c.rec.StartRoot("replicate", "")
+	tick.SetAttr("batches", fmt.Sprintf("%d", len(plan)))
 	total := 0
 	for _, b := range plan {
-		total += c.shipReplicas(b)
+		total += c.shipReplicas(tick.Context(), b)
 	}
+	tick.SetAttr("snapshots", fmt.Sprintf("%d", total))
+	tick.End()
+	c.met.MarkReplicated()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.net.CompactReplicas()
@@ -333,7 +362,10 @@ func (c *Cluster) Replicate() (int, error) {
 // shipReplicas delivers one successor batch through the target peer's
 // goroutine, falling back to a direct install when the target is gone
 // or the cluster is stopping.
-func (c *Cluster) shipReplicas(b core.ReplicaBatch) int {
+func (c *Cluster) shipReplicas(tc trace.Context, b core.ReplicaBatch) int {
+	span := c.rec.Start(tc, "replica", string(b.To))
+	span.SetAttr("snapshots", fmt.Sprintf("%d", len(b.Infos)))
+	defer span.End()
 	applyDirect := func() int {
 		c.mu.Lock()
 		defer c.mu.Unlock()
@@ -387,6 +419,7 @@ func (c *Cluster) Balance(strategy string) (int, error) {
 	defer c.mu.Unlock()
 	moves, rerr := lb.RunRound(c.net, strat)
 	c.rewireProcs()
+	c.met.TopologyEvent("balance")
 	return moves, rerr
 }
 
@@ -614,6 +647,15 @@ func (c *Cluster) StreamQuery(ctx context.Context, spec core.QuerySpec) (*QueryS
 func (c *Cluster) runStream(ctx context.Context, w *core.QueryWalker, s *QueryStream) {
 	defer c.wg.Done()
 	defer close(s.out)
+	began := time.Now()
+	defer func() {
+		// Flush the walker's open phase span even when the stream is
+		// closed or cancelled mid-traversal.
+		w.FinishTrace()
+		if c.met != nil {
+			c.met.QueryLatency.Observe(time.Since(began).Seconds())
+		}
+	}()
 	for {
 		select {
 		case <-ctx.Done():
@@ -746,12 +788,17 @@ func (c *Cluster) DiscoverFrom(key, entry keys.Key) (Result, error) {
 }
 
 func (c *Cluster) discoverFrom(ctx context.Context, key, entry keys.Key) (Result, error) {
+	began := time.Now()
+	root := c.rec.StartRoot(obs.PhaseDiscover, string(entry))
+	root.SetAttr("key", string(key))
+	defer root.End()
 	reply := make(chan Result, 1)
 	msg := discoverMsg{
 		ctx:     ctx,
 		key:     key,
 		at:      entry,
 		goingUp: true,
+		tc:      root.Context(),
 		res:     Result{Key: key},
 		reply:   reply,
 	}
@@ -760,6 +807,11 @@ func (c *Cluster) discoverFrom(ctx context.Context, key, entry keys.Key) (Result
 	}
 	select {
 	case res := <-reply:
+		if c.met != nil {
+			d := time.Since(began)
+			c.met.DiscoverLatency.Observe(d.Seconds())
+			c.met.RecordPhase(obs.PhaseDiscover, res.LogicalHops, d)
+		}
 		return res, nil
 	case <-ctx.Done():
 		return Result{}, ctx.Err()
@@ -891,6 +943,11 @@ func (c *Cluster) process(p *peerProc, msg discoverMsg) {
 	}
 	c.mu.RLock()
 	self := p.id // balancing renames write p.id under the write lock
+	// One span per routing hop, parented under the previous hop's so
+	// the whole traversal forms a single tree rooted at the client.
+	span := c.rec.Start(msg.tc, obs.PhaseRelay, string(self))
+	defer span.End()
+	msg.tc = span.Context()
 	peer, ok := c.net.Peer(self)
 	var node *core.Node
 	if ok {
@@ -916,10 +973,16 @@ func (c *Cluster) process(p *peerProc, msg discoverMsg) {
 		return
 	}
 	node.RecordVisit()
+	if c.met != nil {
+		c.met.Visits.Inc()
+	}
 	if c.gate && !peer.TryProcess() {
 		// Section 4's request model: the visit is received (load
 		// recorded above) but a saturated peer ignores the request.
 		c.mu.RUnlock()
+		if c.met != nil {
+			c.met.Drops.Inc()
+		}
 		msg.res.Dropped = true
 		msg.reply <- msg.res
 		return

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"dlpt/internal/trace"
+)
+
+// Handler serves the observability surface over HTTP:
+//
+//	/metrics     — the registry in Prometheus text exposition format
+//	/debug/trace — recent span trees as JSON (empty list untraced)
+func Handler(reg *Registry, rec *trace.Recorder) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		trees := rec.Trees()
+		if trees == nil {
+			trees = []*trace.TreeNode{}
+		}
+		_ = json.NewEncoder(w).Encode(trees)
+	})
+	return mux
+}

@@ -1,0 +1,429 @@
+// Package obs is a dependency-free metrics registry: counters, gauges
+// and histograms with Prometheus text exposition, a consistent
+// point-in-time Snapshot view, and scrape-time collectors that mirror
+// the engines' existing point-in-time counters into continuous
+// series.
+//
+// Everything is nil-safe: a nil *Registry hands out nil instruments,
+// and every instrument method no-ops on a nil receiver — so
+// instrumented hot paths cost one pointer test when observability is
+// disabled.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// value is a float64 stored in atomic bits, shared by counters and
+// gauges.
+type value struct{ bits atomic.Uint64 }
+
+func (v *value) add(d float64) {
+	for {
+		old := v.bits.Load()
+		if v.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+func (v *value) set(f float64) { v.bits.Store(math.Float64bits(f)) }
+func (v *value) get() float64  { return math.Float64frombits(v.bits.Load()) }
+
+// Counter is a monotonically increasing series.
+type Counter struct{ v value }
+
+// Add increments the counter by d (d must be >= 0).
+func (c *Counter) Add(d float64) {
+	if c != nil {
+		c.v.add(d)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Set overwrites the counter's value: only for scrape-time mirrors of
+// an external monotonic counter (the engines' lifetime totals), never
+// for direct instrumentation.
+func (c *Counter) Set(f float64) {
+	if c != nil {
+		c.v.set(f)
+	}
+}
+
+// Value returns the current value (0 on a nil counter).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.get()
+}
+
+// Gauge is a series that can go up and down.
+type Gauge struct{ v value }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(f float64) {
+	if g != nil {
+		g.v.set(f)
+	}
+}
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	if g != nil {
+		g.v.add(d)
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.get()
+}
+
+// Histogram is a cumulative-bucket distribution.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	counts []atomic.Uint64
+	sum    value
+	count  atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.get()
+}
+
+// DefLatencyBuckets are the default latency bucket bounds in seconds
+// (1µs .. ~4s, doubling).
+var DefLatencyBuckets = func() []float64 {
+	out := make([]float64, 0, 23)
+	for b := 1e-6; b < 5; b *= 2 {
+		out = append(out, b)
+	}
+	return out
+}()
+
+// family is one metric name: its metadata and every labelled series.
+type family struct {
+	name, help, kind string
+	bounds           []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]any // label string -> *Counter | *Gauge | *Histogram
+	order  []string
+}
+
+func (f *family) get(labels string, make func() any) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[labels]
+	if !ok {
+		s = make()
+		f.series[labels] = s
+		f.order = append(f.order, labels)
+	}
+	return s
+}
+
+// Registry holds the metric families and the scrape-time collectors.
+type Registry struct {
+	mu         sync.Mutex
+	fams       map[string]*family
+	order      []string
+	collectors []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help, kind string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds,
+			series: make(map[string]any)}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+	}
+	return f
+}
+
+// labelString renders label pairs ("k", "v", ...) canonically:
+// {k1="v1",k2="v2"} with keys sorted, or "" without labels.
+func labelString(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	n := len(pairs) / 2
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return pairs[2*idx[a]] < pairs[2*idx[b]] })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, j := range idx {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[2*j])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(pairs[2*j+1]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// Counter returns (creating on first use) the counter series for name
+// and label pairs ("key", "value", ...).
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, help, "counter", nil)
+	return f.get(labelString(labels), func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns (creating on first use) the gauge series for name and
+// label pairs.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, help, "gauge", nil)
+	return f.get(labelString(labels), func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns (creating on first use) the histogram series for
+// name and label pairs. bounds applies on family creation only; nil
+// uses DefLatencyBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	f := r.family(name, help, "histogram", bounds)
+	return f.get(labelString(labels), func() any {
+		return &Histogram{bounds: f.bounds, counts: make([]atomic.Uint64, len(f.bounds)+1)}
+	}).(*Histogram)
+}
+
+// ReplaceGauges swaps a gauge family's entire series set with one
+// sample per map entry, keyed by a single label. Collectors use it
+// for per-peer series so renamed or departed peers don't linger as
+// stale samples.
+func (r *Registry) ReplaceGauges(name, help, labelKey string, vals map[string]float64) {
+	if r == nil {
+		return
+	}
+	f := r.family(name, help, "gauge", nil)
+	f.mu.Lock()
+	f.series = make(map[string]any, len(vals))
+	f.order = f.order[:0]
+	for k, v := range vals {
+		g := &Gauge{}
+		g.Set(v)
+		ls := labelString([]string{labelKey, k})
+		f.series[ls] = g
+		f.order = append(f.order, ls)
+	}
+	sort.Strings(f.order)
+	f.mu.Unlock()
+}
+
+// OnScrape registers a collector run before every exposition or
+// snapshot: the hook that mirrors point-in-time engine counters into
+// the registry.
+func (r *Registry) OnScrape(fn func()) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+func (r *Registry) collect() {
+	r.mu.Lock()
+	fns := append([]func(){}, r.collectors...)
+	r.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// snapshotFamilies captures a consistent ordered view of every family
+// and series after running the collectors.
+func (r *Registry) snapshotFamilies() []*family {
+	r.collect()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.fams[name])
+	}
+	return out
+}
+
+// WriteText writes the registry in Prometheus text exposition format.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, f := range r.snapshotFamilies() {
+		f.mu.Lock()
+		order := append([]string{}, f.order...)
+		series := make(map[string]any, len(order))
+		for _, ls := range order {
+			series[ls] = f.series[ls]
+		}
+		f.mu.Unlock()
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, ls := range order {
+			if err := writeSeries(w, f, ls, series[ls]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, ls string, s any) error {
+	switch v := s.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, ls, fmtFloat(v.Value()))
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, ls, fmtFloat(v.Value()))
+		return err
+	case *Histogram:
+		cum := uint64(0)
+		for i, bound := range v.bounds {
+			cum += v.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+				withLabel(ls, "le", fmtFloat(bound)), cum); err != nil {
+				return err
+			}
+		}
+		cum += v.counts[len(v.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+			withLabel(ls, "le", "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, ls, fmtFloat(v.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, ls, v.Count())
+		return err
+	}
+	return nil
+}
+
+// withLabel appends one label to an already-rendered label string.
+func withLabel(ls, key, val string) string {
+	extra := key + `="` + escapeLabel(val) + `"`
+	if ls == "" {
+		return "{" + extra + "}"
+	}
+	return ls[:len(ls)-1] + "," + extra + "}"
+}
+
+func fmtFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Snapshot is a consistent point-in-time flat view of the registry:
+// fully rendered series name (labels included) to value. Histograms
+// contribute name_count, name_sum and name_bucket{...} entries.
+type Snapshot map[string]float64
+
+// Get returns the value of a series ("" labels → bare name).
+func (s Snapshot) Get(series string) float64 { return s[series] }
+
+// Snapshot captures every series after running the collectors once,
+// so derived metrics computed from it come from one consistent read.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	out := make(Snapshot)
+	for _, f := range r.snapshotFamilies() {
+		f.mu.Lock()
+		for ls, s := range f.series {
+			switch v := s.(type) {
+			case *Counter:
+				out[f.name+ls] = v.Value()
+			case *Gauge:
+				out[f.name+ls] = v.Value()
+			case *Histogram:
+				cum := uint64(0)
+				for i, bound := range v.bounds {
+					cum += v.counts[i].Load()
+					out[f.name+"_bucket"+withLabel(ls, "le", fmtFloat(bound))] = float64(cum)
+				}
+				cum += v.counts[len(v.bounds)].Load()
+				out[f.name+"_bucket"+withLabel(ls, "le", "+Inf")] = float64(cum)
+				out[f.name+"_sum"+ls] = v.Sum()
+				out[f.name+"_count"+ls] = float64(v.Count())
+			}
+		}
+		f.mu.Unlock()
+	}
+	return out
+}

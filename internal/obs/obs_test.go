@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter holds a value")
+	}
+	g := r.Gauge("x", "")
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge holds a value")
+	}
+	h := r.Histogram("x_seconds", "", nil)
+	h.Observe(0.5)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram holds samples")
+	}
+	r.ReplaceGauges("x", "", "peer", map[string]float64{"a": 1})
+	r.OnScrape(func() { t.Fatal("collector ran on nil registry") })
+	if err := r.WriteText(&strings.Builder{}); err != nil {
+		t.Fatalf("nil WriteText: %v", err)
+	}
+	if snap := r.Snapshot(); len(snap) != 0 {
+		t.Fatalf("nil snapshot has %d series", len(snap))
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("req_total", "requests")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %g, want 3.5", got)
+	}
+	// Same name+labels returns the same series.
+	if r.Counter("req_total", "requests") != c {
+		t.Fatal("repeated Counter call returned a different series")
+	}
+	c.Set(10) // scrape-time mirror overwrite
+	if got := c.Value(); got != 10 {
+		t.Fatalf("counter after Set = %g, want 10", got)
+	}
+	g := r.Gauge("depth", "pool depth")
+	g.Set(4)
+	g.Add(-1)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %g, want 3", got)
+	}
+}
+
+func TestLabelCanonicalization(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hops_total", "", "phase", "climb", "peer", "p1")
+	b := r.Counter("hops_total", "", "peer", "p1", "phase", "climb")
+	if a != b {
+		t.Fatal("label order changed series identity")
+	}
+	a.Inc()
+	snap := r.Snapshot()
+	if got := snap.Get(`hops_total{peer="p1",phase="climb"}`); got != 1 {
+		t.Fatalf("canonical key lookup = %g, want 1 (snapshot: %v)", got, snap)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird_total", "", "k", "a\\b\"c\nd").Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `weird_total{k="a\\b\"c\nd"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("escaped series line missing; got:\n%s", sb.String())
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 106.05; got != want {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	snap := r.Snapshot()
+	checks := map[string]float64{
+		`lat_seconds_bucket{le="0.1"}`:  1,
+		`lat_seconds_bucket{le="1"}`:    3,
+		`lat_seconds_bucket{le="10"}`:   4,
+		`lat_seconds_bucket{le="+Inf"}`: 5,
+		`lat_seconds_count`:             5,
+		`lat_seconds_sum`:               106.05,
+	}
+	for k, want := range checks {
+		if got := snap.Get(k); got != want {
+			t.Fatalf("%s = %g, want %g", k, got, want)
+		}
+	}
+	// A boundary value lands in its own bucket (le is inclusive).
+	h.Observe(0.1)
+	if got := r.Snapshot().Get(`lat_seconds_bucket{le="0.1"}`); got != 2 {
+		t.Fatalf("boundary observe: le=0.1 bucket = %g, want 2", got)
+	}
+}
+
+func TestWriteTextExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("visits_total", "node visits").Add(7)
+	r.Gauge("load", "", "peer", "p1").Set(2)
+	r.Histogram("hop_seconds", "hop latency", []float64{0.5}).Observe(0.25)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# HELP visits_total node visits\n",
+		"# TYPE visits_total counter\n",
+		"visits_total 7\n",
+		"# TYPE load gauge\n",
+		`load{peer="p1"} 2` + "\n",
+		"# TYPE hop_seconds histogram\n",
+		`hop_seconds_bucket{le="0.5"} 1` + "\n",
+		`hop_seconds_bucket{le="+Inf"} 1` + "\n",
+		"hop_seconds_sum 0.25\n",
+		"hop_seconds_count 1\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q; got:\n%s", want, text)
+		}
+	}
+	// The gauge family has no HELP (empty help string) but still a TYPE.
+	if strings.Contains(text, "# HELP load") {
+		t.Fatal("HELP emitted for empty help string")
+	}
+	// Every non-comment line must be "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestReplaceGaugesDropsStaleSeries(t *testing.T) {
+	r := NewRegistry()
+	r.ReplaceGauges("visit_load", "per-peer load", "peer", map[string]float64{
+		"p1": 5, "p2": 3,
+	})
+	snap := r.Snapshot()
+	if snap.Get(`visit_load{peer="p1"}`) != 5 || snap.Get(`visit_load{peer="p2"}`) != 3 {
+		t.Fatalf("initial replace: %v", snap)
+	}
+	// Balance renamed p2 away; its series must vanish, not linger at 3.
+	r.ReplaceGauges("visit_load", "per-peer load", "peer", map[string]float64{
+		"p1": 6, "p9": 1,
+	})
+	snap = r.Snapshot()
+	if _, ok := snap[`visit_load{peer="p2"}`]; ok {
+		t.Fatal("stale series survived ReplaceGauges")
+	}
+	if snap.Get(`visit_load{peer="p1"}`) != 6 || snap.Get(`visit_load{peer="p9"}`) != 1 {
+		t.Fatalf("after replace: %v", snap)
+	}
+}
+
+func TestOnScrapeCollectorRuns(t *testing.T) {
+	r := NewRegistry()
+	mirror := r.Counter("external_total", "mirrored lifetime total")
+	ext := 0.0
+	r.OnScrape(func() { mirror.Set(ext) })
+	ext = 42
+	if got := r.Snapshot().Get("external_total"); got != 42 {
+		t.Fatalf("snapshot after collector = %g, want 42", got)
+	}
+	ext = 43
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "external_total 43\n") {
+		t.Fatalf("WriteText did not run collector; got:\n%s", sb.String())
+	}
+}
+
+func TestDefLatencyBuckets(t *testing.T) {
+	if len(DefLatencyBuckets) == 0 {
+		t.Fatal("no default buckets")
+	}
+	for i := 1; i < len(DefLatencyBuckets); i++ {
+		if DefLatencyBuckets[i] <= DefLatencyBuckets[i-1] {
+			t.Fatalf("buckets not ascending at %d: %v", i, DefLatencyBuckets)
+		}
+	}
+	if DefLatencyBuckets[0] != 1e-6 || DefLatencyBuckets[len(DefLatencyBuckets)-1] >= 5 {
+		t.Fatalf("bucket range unexpected: %v", DefLatencyBuckets)
+	}
+}

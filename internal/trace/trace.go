@@ -1,0 +1,280 @@
+// Package trace is a lightweight, dependency-free span recorder for
+// the routed traversal: every hop of a discovery, every phase of a
+// subtree query, every replica shipment and every topology event can
+// record a span (id, parent, peer, phase, start, duration, attrs)
+// into a fixed-capacity ring buffer.
+//
+// The recorder is nil-safe by design: a nil *Recorder hands out
+// inactive handles whose methods return immediately, so instrumented
+// hot paths cost one pointer test when tracing is disabled — no
+// time.Now call, no allocation.
+//
+// Span identity crosses process boundaries: the transport layer
+// propagates a Context (trace id + span id) in an optional frame
+// header extension, so the fragments recorded by different daemons
+// share one trace id and reassemble into one logical tree.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Context identifies a position in a distributed trace: the trace the
+// operation belongs to and the span that is the parent of whatever
+// work happens next. The zero Context means "untraced".
+type Context struct {
+	Trace uint64
+	Span  uint64
+}
+
+// Valid reports whether the context belongs to a live trace.
+func (c Context) Valid() bool { return c.Trace != 0 }
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one completed unit of traced work.
+type Span struct {
+	Trace    uint64
+	ID       uint64
+	Parent   uint64 // 0 for a trace root
+	Peer     string // peer id (or host role) the work ran on
+	Phase    string // climb, descend, walk, relay, qroute, replica, ...
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []Attr
+}
+
+// MarshalJSON renders ids as hex strings: uint64 ids exceed the exact
+// integer range of JSON numbers.
+func (s Span) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Trace    string  `json:"trace"`
+		ID       string  `json:"id"`
+		Parent   string  `json:"parent,omitempty"`
+		Peer     string  `json:"peer,omitempty"`
+		Phase    string  `json:"phase"`
+		Start    string  `json:"start"`
+		Duration float64 `json:"duration_us"`
+		Attrs    []Attr  `json:"attrs,omitempty"`
+	}{
+		Trace:    fmt.Sprintf("%016x", s.Trace),
+		ID:       fmt.Sprintf("%016x", s.ID),
+		Parent:   hexOrEmpty(s.Parent),
+		Peer:     s.Peer,
+		Phase:    s.Phase,
+		Start:    s.Start.Format(time.RFC3339Nano),
+		Duration: float64(s.Duration) / float64(time.Microsecond),
+		Attrs:    s.Attrs,
+	})
+}
+
+func hexOrEmpty(v uint64) string {
+	if v == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%016x", v)
+}
+
+// Span/trace id generation: a per-process base (wall-clock derived, so
+// two daemons started at different instants draw from different
+// ranges) plus a monotonic counter. Ids are never zero.
+var (
+	idCounter atomic.Uint64
+	idBase    = uint64(time.Now().UnixNano())
+)
+
+func newID() uint64 {
+	id := idBase + idCounter.Add(1)
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// Recorder keeps the most recent completed spans in a ring buffer.
+// A nil *Recorder is a valid, disabled recorder.
+type Recorder struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int // overwrite position once the ring is full
+	total uint64
+}
+
+// DefaultCapacity is the ring size NewRecorder(0) uses.
+const DefaultCapacity = 4096
+
+// NewRecorder returns a recorder keeping the last capacity spans
+// (DefaultCapacity when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{buf: make([]Span, 0, capacity)}
+}
+
+// Enabled reports whether spans are being recorded.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Handle is one in-flight span. The zero Handle (from a nil recorder)
+// is inactive: every method returns immediately.
+type Handle struct {
+	rec  *Recorder
+	span Span
+}
+
+// StartRoot begins a span in a fresh trace.
+func (r *Recorder) StartRoot(phase, peer string) Handle {
+	return r.Start(Context{}, phase, peer)
+}
+
+// Start begins a span under parent; a zero parent starts a new trace.
+func (r *Recorder) Start(parent Context, phase, peer string) Handle {
+	if r == nil {
+		return Handle{}
+	}
+	tr := parent.Trace
+	if tr == 0 {
+		tr = newID()
+	}
+	return Handle{rec: r, span: Span{
+		Trace:  tr,
+		ID:     newID(),
+		Parent: parent.Span,
+		Peer:   peer,
+		Phase:  phase,
+		Start:  time.Now(),
+	}}
+}
+
+// Active reports whether the handle records anything on End.
+func (h *Handle) Active() bool { return h != nil && h.rec != nil }
+
+// Context returns the handle's position for child spans (and for wire
+// propagation). Inactive handles return the zero Context.
+func (h *Handle) Context() Context {
+	if h == nil || h.rec == nil {
+		return Context{}
+	}
+	return Context{Trace: h.span.Trace, Span: h.span.ID}
+}
+
+// SetAttr annotates the span.
+func (h *Handle) SetAttr(key, value string) {
+	if h == nil || h.rec == nil {
+		return
+	}
+	h.span.Attrs = append(h.span.Attrs, Attr{Key: key, Value: value})
+}
+
+// End completes the span and records it. Idempotent: the second End
+// is a no-op.
+func (h *Handle) End() {
+	if h == nil || h.rec == nil {
+		return
+	}
+	h.span.Duration = time.Since(h.span.Start)
+	h.rec.record(h.span)
+	h.rec = nil
+}
+
+func (r *Recorder) record(s Span) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, s)
+	} else {
+		r.buf[r.next] = s
+		r.next++
+		if r.next == len(r.buf) {
+			r.next = 0
+		}
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns the number of spans ever recorded (including those
+// the ring has since overwritten).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Spans returns a copy of the retained spans, oldest first.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// TreeNode is one span plus its recorded children, the JSON shape
+// /debug/trace serves.
+type TreeNode struct {
+	Span
+	// Orphan marks a span whose parent id is set but was not retained
+	// (evicted from the ring, or recorded by another process).
+	Orphan   bool        `json:"-"`
+	Children []*TreeNode `json:"children,omitempty"`
+}
+
+// MarshalJSON flattens the embedded span fields next to children.
+func (t *TreeNode) MarshalJSON() ([]byte, error) {
+	sp, err := t.Span.MarshalJSON()
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]any
+	if err := json.Unmarshal(sp, &m); err != nil {
+		return nil, err
+	}
+	if t.Orphan {
+		m["orphan"] = true
+	}
+	if len(t.Children) > 0 {
+		m["children"] = t.Children
+	}
+	return json.Marshal(m)
+}
+
+// Trees assembles the retained spans into per-trace span trees,
+// ordered by each trace's first retained span. Spans whose parent was
+// not retained are promoted to roots with Orphan set.
+func (r *Recorder) Trees() []*TreeNode {
+	spans := r.Spans()
+	nodes := make(map[uint64]*TreeNode, len(spans))
+	for i := range spans {
+		nodes[spans[i].ID] = &TreeNode{Span: spans[i]}
+	}
+	var roots []*TreeNode
+	for _, s := range spans {
+		n := nodes[s.ID]
+		if s.Parent == 0 {
+			roots = append(roots, n)
+			continue
+		}
+		if p, ok := nodes[s.Parent]; ok {
+			p.Children = append(p.Children, n)
+		} else {
+			n.Orphan = true
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}

@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	h := r.StartRoot("discover", "p1")
+	if h.Active() {
+		t.Fatal("handle from nil recorder is active")
+	}
+	if h.Context().Valid() {
+		t.Fatal("handle from nil recorder has a valid context")
+	}
+	h.SetAttr("k", "v")
+	h.End()
+	h.End() // idempotent on inactive handles too
+	if got := r.Total(); got != 0 {
+		t.Fatalf("nil recorder Total = %d", got)
+	}
+	if r.Spans() != nil {
+		t.Fatal("nil recorder returned spans")
+	}
+	if trees := r.Trees(); len(trees) != 0 {
+		t.Fatalf("nil recorder returned %d trees", len(trees))
+	}
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	r := NewRecorder(16)
+	root := r.StartRoot("discover", "entry")
+	root.SetAttr("key", "abc")
+	if !root.Active() {
+		t.Fatal("root not active before End")
+	}
+	rc := root.Context()
+	if !rc.Valid() {
+		t.Fatal("root context invalid")
+	}
+	child := r.Start(rc, "relay", "p2")
+	cc := child.Context()
+	if cc.Trace != rc.Trace {
+		t.Fatalf("child trace %x != root trace %x", cc.Trace, rc.Trace)
+	}
+	if cc.Span == rc.Span {
+		t.Fatal("child span id equals parent span id")
+	}
+	child.End()
+	root.End()
+	root.End() // second End must not double-record
+	if got := r.Total(); got != 2 {
+		t.Fatalf("Total = %d, want 2", got)
+	}
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("retained %d spans, want 2", len(spans))
+	}
+	// Completion order: the child ended first.
+	if spans[0].Phase != "relay" || spans[1].Phase != "discover" {
+		t.Fatalf("span order = %q, %q", spans[0].Phase, spans[1].Phase)
+	}
+	if spans[0].Parent != rc.Span {
+		t.Fatal("child span does not point at root")
+	}
+	if len(spans[1].Attrs) != 1 || spans[1].Attrs[0].Key != "key" || spans[1].Attrs[0].Value != "abc" {
+		t.Fatalf("root attrs = %v", spans[1].Attrs)
+	}
+}
+
+func TestRingOverflowKeepsNewest(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		h := r.StartRoot("walk", fmt.Sprintf("p%d", i))
+		h.End()
+	}
+	if got := r.Total(); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+	spans := r.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	for i, s := range spans {
+		want := fmt.Sprintf("p%d", 6+i) // oldest-first: p6..p9 survive
+		if s.Peer != want {
+			t.Fatalf("span %d peer = %q, want %q", i, s.Peer, want)
+		}
+	}
+}
+
+func TestTreesAssemblyAndOrphans(t *testing.T) {
+	r := NewRecorder(16)
+	root := r.StartRoot("query", "entry")
+	c1 := r.Start(root.Context(), "climb", "p1")
+	c2 := r.Start(c1.Context(), "walk", "p2")
+	c2.End()
+	c1.End()
+	root.End()
+	// A span whose parent was recorded elsewhere (cross-process wire
+	// context): promoted to a root with Orphan set.
+	stray := r.Start(Context{Trace: 42, Span: 4242}, "relay", "px")
+	stray.End()
+
+	trees := r.Trees()
+	if len(trees) != 2 {
+		t.Fatalf("got %d trees, want 2", len(trees))
+	}
+	var rooted, orphan *TreeNode
+	for _, n := range trees {
+		if n.Orphan {
+			orphan = n
+		} else {
+			rooted = n
+		}
+	}
+	if rooted == nil || orphan == nil {
+		t.Fatalf("missing rooted or orphan tree: %+v", trees)
+	}
+	if rooted.Phase != "query" || len(rooted.Children) != 1 {
+		t.Fatalf("root tree: phase %q, %d children", rooted.Phase, len(rooted.Children))
+	}
+	if rooted.Children[0].Phase != "climb" || len(rooted.Children[0].Children) != 1 {
+		t.Fatal("climb child missing its walk child")
+	}
+	if orphan.Phase != "relay" {
+		t.Fatalf("orphan phase = %q", orphan.Phase)
+	}
+
+	b, err := json.Marshal(trees)
+	if err != nil {
+		t.Fatalf("marshal trees: %v", err)
+	}
+	js := string(b)
+	if !strings.Contains(js, `"orphan":true`) {
+		t.Fatalf("orphan marker missing from JSON: %s", js)
+	}
+	if !strings.Contains(js, `"children"`) {
+		t.Fatalf("children missing from JSON: %s", js)
+	}
+}
+
+func TestFreshRootsGetDistinctTraces(t *testing.T) {
+	r := NewRecorder(8)
+	a := r.StartRoot("discover", "p")
+	b := r.StartRoot("discover", "p")
+	if a.Context().Trace == b.Context().Trace {
+		t.Fatal("two fresh roots share a trace id")
+	}
+	a.End()
+	b.End()
+}

@@ -33,6 +33,8 @@ import (
 
 	"dlpt/internal/core"
 	"dlpt/internal/keys"
+	"dlpt/internal/obs"
+	"dlpt/internal/trace"
 )
 
 const (
@@ -88,6 +90,18 @@ const (
 // frameHeaderSize is type(1) + id(8) + payloadLen(4).
 const frameHeaderSize = 13
 
+// frameTraceFlag, set on the type byte, extends the frame with a
+// 16-byte trace context (trace id + parent span id, big-endian)
+// prefixed to the payload. The extension counts into payloadLen, so a
+// receiver that does not understand the flagged type still skips the
+// frame correctly — and frames without the flag decode exactly as
+// before the extension existed, which keeps untraced peers
+// wire-compatible in both directions.
+const (
+	frameTraceFlag = 0x80
+	frameTraceSize = 16
+)
+
 // maxFramePayload bounds a decoded payload length so a corrupt or
 // hostile length prefix cannot force an arbitrary allocation.
 const maxFramePayload = 1 << 24
@@ -111,6 +125,9 @@ type frameConn struct {
 	br   *bufio.Reader
 	wmu  sync.Mutex
 	rbuf []byte
+	// met, when set, accounts frame bytes in/out (and REPLICA payload
+	// bytes) into the wire counters. Nil-safe.
+	met *obs.Metrics
 }
 
 func newFrameConn(conn net.Conn) *frameConn {
@@ -119,27 +136,42 @@ func newFrameConn(conn net.Conn) *frameConn {
 
 func (fc *frameConn) Close() error { return fc.conn.Close() }
 
-// readFrame returns the next frame. The payload slice aliases the
-// connection's reader buffer and is valid only until the next call.
-func (fc *frameConn) readFrame() (typ byte, id uint64, payload []byte, err error) {
+// readFrame returns the next frame, with the trace context decoded
+// off the payload prefix when the type byte carries frameTraceFlag
+// (zero Context otherwise — an untraced peer's frame). The payload
+// slice aliases the connection's reader buffer and is valid only
+// until the next call.
+func (fc *frameConn) readFrame() (typ byte, id uint64, tc trace.Context, payload []byte, err error) {
 	var hdr [frameHeaderSize]byte
 	if _, err = io.ReadFull(fc.br, hdr[:]); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, tc, nil, err
 	}
 	typ = hdr[0]
 	id = binary.BigEndian.Uint64(hdr[1:9])
 	n := binary.BigEndian.Uint32(hdr[9:13])
 	if n > maxFramePayload {
-		return 0, 0, nil, errFrameTooLarge
+		return 0, 0, tc, nil, errFrameTooLarge
 	}
 	if cap(fc.rbuf) < int(n) {
 		fc.rbuf = make([]byte, n)
 	}
 	payload = fc.rbuf[:n]
 	if _, err = io.ReadFull(fc.br, payload); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, tc, nil, err
 	}
-	return typ, id, payload, nil
+	if fc.met != nil {
+		fc.met.WireBytesIn.Add(float64(frameHeaderSize + len(payload)))
+	}
+	if typ&frameTraceFlag != 0 {
+		typ &^= frameTraceFlag
+		if len(payload) < frameTraceSize {
+			return 0, 0, tc, nil, errors.New("transport: truncated trace context")
+		}
+		tc.Trace = binary.BigEndian.Uint64(payload[0:8])
+		tc.Span = binary.BigEndian.Uint64(payload[8:16])
+		payload = payload[frameTraceSize:]
+	}
+	return typ, id, tc, payload, nil
 }
 
 // beginFrame starts a frame in a pooled buffer; finishFrame patches
@@ -148,6 +180,19 @@ func beginFrame(buf []byte, typ byte, id uint64) []byte {
 	buf = append(buf[:0], typ)
 	buf = binary.BigEndian.AppendUint64(buf, id)
 	return append(buf, 0, 0, 0, 0) // payload length placeholder
+}
+
+// beginTracedFrame is beginFrame plus the trace-context extension: a
+// valid context sets frameTraceFlag on the type byte and prefixes the
+// payload with the 16-byte context; an invalid one degrades to a
+// plain frame, byte-identical to the pre-extension wire format.
+func beginTracedFrame(buf []byte, typ byte, id uint64, tc trace.Context) []byte {
+	if !tc.Valid() {
+		return beginFrame(buf, typ, id)
+	}
+	buf = beginFrame(buf, typ|frameTraceFlag, id)
+	buf = binary.BigEndian.AppendUint64(buf, tc.Trace)
+	return binary.BigEndian.AppendUint64(buf, tc.Span)
 }
 
 func (fc *frameConn) finishFrame(buf []byte) error {
@@ -162,12 +207,15 @@ func (fc *frameConn) finishFrame(buf []byte) error {
 	fc.wmu.Lock()
 	_, err := fc.conn.Write(buf)
 	fc.wmu.Unlock()
+	if err == nil && fc.met != nil {
+		fc.met.WireBytesOut.Add(float64(len(buf)))
+	}
 	return err
 }
 
-func (fc *frameConn) writeRequest(id uint64, req *request) error {
+func (fc *frameConn) writeRequest(id uint64, tc trace.Context, req *request) error {
 	bp := framePool.Get().(*[]byte)
-	buf := beginFrame(*bp, frameRequest, id)
+	buf := beginTracedFrame(*bp, frameRequest, id, tc)
 	buf = appendRequest(buf, req)
 	err := fc.finishFrame(buf)
 	*bp = buf
@@ -185,9 +233,9 @@ func (fc *frameConn) writeResponse(id uint64, resp *response) error {
 	return err
 }
 
-func (fc *frameConn) writeQuery(id uint64, q *queryReq) error {
+func (fc *frameConn) writeQuery(id uint64, tc trace.Context, q *queryReq) error {
 	bp := framePool.Get().(*[]byte)
-	buf := beginFrame(*bp, frameQuery, id)
+	buf := beginTracedFrame(*bp, frameQuery, id, tc)
 	buf = appendQuery(buf, q)
 	err := fc.finishFrame(buf)
 	*bp = buf
@@ -233,10 +281,13 @@ func (fc *frameConn) writeCancel(id uint64) error {
 	return err
 }
 
-func (fc *frameConn) writeReplica(id uint64, b *core.ReplicaBatch) error {
+func (fc *frameConn) writeReplica(id uint64, tc trace.Context, b *core.ReplicaBatch) error {
 	bp := framePool.Get().(*[]byte)
-	buf := beginFrame(*bp, frameReplica, id)
+	buf := beginTracedFrame(*bp, frameReplica, id, tc)
 	buf = appendReplicaBatch(buf, b)
+	if fc.met != nil {
+		fc.met.ReplicaTransferBytes.Add(float64(len(buf) - frameHeaderSize))
+	}
 	err := fc.finishFrame(buf)
 	*bp = buf
 	framePool.Put(bp)
@@ -255,9 +306,9 @@ func (fc *frameConn) writeRaw(typ byte, id uint64, payload []byte) error {
 	return err
 }
 
-func (fc *frameConn) writeQRoute(id uint64, rq *qroute) error {
+func (fc *frameConn) writeQRoute(id uint64, tc trace.Context, rq *qroute) error {
 	bp := framePool.Get().(*[]byte)
-	buf := beginFrame(*bp, frameQRoute, id)
+	buf := beginTracedFrame(*bp, frameQRoute, id, tc)
 	buf = appendQRoute(buf, rq)
 	err := fc.finishFrame(buf)
 	*bp = buf

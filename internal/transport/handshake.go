@@ -375,7 +375,7 @@ func RawCall(ctx context.Context, addr string, typ byte, payload []byte) (byte, 
 		return 0, nil, err
 	}
 	for {
-		rtyp, id, p, err := fc.readFrame()
+		rtyp, id, _, p, err := fc.readFrame()
 		if err != nil {
 			return 0, nil, err
 		}

@@ -22,6 +22,8 @@ import (
 	"time"
 
 	"dlpt/internal/core"
+	"dlpt/internal/obs"
+	"dlpt/internal/trace"
 )
 
 // dialTimeout bounds a pool dial so a hung connect cannot wedge
@@ -32,6 +34,10 @@ const dialTimeout = 5 * time.Second
 type connPool struct {
 	quit <-chan struct{}
 	wg   *sync.WaitGroup // cluster's group; tracks demux loops
+
+	// met, when set, is handed to every dialed frameConn for wire-byte
+	// accounting. Nil-safe.
+	met *obs.Metrics
 
 	mu     sync.Mutex
 	conns  map[string]*poolConn
@@ -182,6 +188,7 @@ func (p *connPool) dial(pc *poolConn) {
 	}
 	p.dials.Add(1)
 	pc.fc = newFrameConn(conn)
+	pc.fc.met = p.met
 	p.wg.Add(1)
 	p.mu.Unlock()
 	go p.demux(pc)
@@ -195,7 +202,7 @@ func (p *connPool) dial(pc *poolConn) {
 func (p *connPool) demux(pc *poolConn) {
 	defer p.wg.Done()
 	for {
-		typ, id, payload, err := pc.fc.readFrame()
+		typ, id, _, payload, err := pc.fc.readFrame()
 		if err != nil {
 			p.fail(pc, err)
 			return
@@ -296,9 +303,9 @@ func (pc *poolConn) forgetStream(id uint64) {
 // roundTrip sends req on the shared connection and waits for its
 // response. Cancellation sends a CANCEL frame and abandons the id;
 // the connection keeps serving the other in-flight round-trips.
-func (p *connPool) roundTrip(ctx context.Context, pc *poolConn, req *request) (response, error) {
+func (p *connPool) roundTrip(ctx context.Context, pc *poolConn, tc trace.Context, req *request) (response, error) {
 	return p.doRoundTrip(ctx, pc, func(id uint64) error {
-		return pc.fc.writeRequest(id, req)
+		return pc.fc.writeRequest(id, tc, req)
 	})
 }
 
@@ -346,9 +353,9 @@ func (p *connPool) doRoundTrip(ctx context.Context, pc *poolConn, write func(id 
 // cancellation and failure semantics as roundTrip. A batch too large
 // for one frame leaves the connection good; the caller degrades to a
 // direct install.
-func (p *connPool) replicaRoundTrip(ctx context.Context, pc *poolConn, b *core.ReplicaBatch) (response, error) {
+func (p *connPool) replicaRoundTrip(ctx context.Context, pc *poolConn, tc trace.Context, b *core.ReplicaBatch) (response, error) {
 	return p.doRoundTrip(ctx, pc, func(id uint64) error {
-		return pc.fc.writeReplica(id, b)
+		return pc.fc.writeReplica(id, tc, b)
 	})
 }
 

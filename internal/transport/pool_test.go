@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dlpt/internal/keys"
+	"dlpt/internal/trace"
 	"dlpt/internal/workload"
 )
 
@@ -93,7 +94,7 @@ func TestCancelMidRelayKeepsConnection(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan response, 1)
 	go func() {
-		done <- c.relay(ctx, addr, request{Key: corpus[0], At: at, GoingUp: true, Physical: 1})
+		done <- c.relay(ctx, trace.Context{}, addr, request{Key: corpus[0], At: at, GoingUp: true, Physical: 1})
 	}()
 	time.Sleep(20 * time.Millisecond) // let the request frame land server-side
 	cancel()
@@ -230,7 +231,7 @@ func TestRelayRetriesStaleAddress(t *testing.T) {
 	if !ok {
 		t.Fatal("no node to route to")
 	}
-	resp := c.relay(context.Background(),
+	resp := c.relay(context.Background(), trace.Context{},
 		staleAddr, request{Key: corpus[0], At: at, GoingUp: true, Physical: 1})
 	if resp.Err != "" {
 		t.Fatalf("relay to stale addr did not recover: %s", resp.Err)

@@ -20,13 +20,17 @@ import (
 	"math/rand"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dlpt/internal/core"
 	"dlpt/internal/keys"
 	"dlpt/internal/lb"
+	"dlpt/internal/obs"
 	"dlpt/internal/persist"
+	"dlpt/internal/trace"
 	"dlpt/internal/trie"
 )
 
@@ -206,6 +210,14 @@ type Options struct {
 	// payload and returns the reply frame. Nil rejects control frames
 	// with an in-band error.
 	Control func(typ byte, payload []byte) (respTyp byte, resp []byte)
+	// Obs, when non-nil, instruments the cluster: traversal and wire
+	// counters feed this bundle and scrape-time collectors mirror the
+	// pool, peer-load and replication state into its registry.
+	Obs *obs.Metrics
+	// Trace, when non-nil, records per-hop spans for every routed
+	// traversal, replica shipment and topology event; trace contexts
+	// propagate across hosts in the frame header extension.
+	Trace *trace.Recorder
 }
 
 // Cluster is an overlay whose peers communicate over TCP.
@@ -220,6 +232,8 @@ type Cluster struct {
 	bind    string         // listener bind address template
 	advHost string         // advertised host override
 	control func(typ byte, payload []byte) (byte, []byte)
+	met     *obs.Metrics   // nil disables metrics
+	rec     *trace.Recorder // nil disables span recording
 
 	// queryVisits counts tree nodes visited by server-side streaming
 	// query traversals — the observable the early-exit tests watch to
@@ -257,9 +271,17 @@ func StartOpts(alpha *keys.Alphabet, capacities []int, seed int64, opts Options)
 		bind:    opts.Bind,
 		advHost: opts.AdvertiseHost,
 		control: opts.Control,
+		met:     opts.Obs,
+		rec:     opts.Trace,
 		quit:    make(chan struct{}),
 	}
+	// The shared core inherits the instrumentation so every query
+	// walker built over this network records phase spans and counters.
+	c.net.Obs = c.met
+	c.net.Tracer = c.rec
 	c.pool = newConnPool(c.quit, &c.wg)
+	c.pool.met = c.met
+	c.registerCollectors()
 	if opts.Restore {
 		if c.store == nil {
 			c.Stop()
@@ -289,6 +311,39 @@ func StartOpts(alpha *keys.Alphabet, capacities []int, seed int64, opts Options)
 	// Callers of the mutation paths hold c.mu, serializing appends.
 	c.net.AttachJournal(c.store)
 	return c, nil
+}
+
+// registerCollectors mirrors state the hot paths do not instrument
+// directly into the registry at scrape time: pool depth and lifetime
+// dials, the per-peer visit load and node gauges (replaced wholesale
+// so balance renames never leave stale series), and the core's
+// never-reset replication counters (mirrored rather than incremented,
+// so a scrape across crash/recover or Balance sees them monotonic).
+func (c *Cluster) registerCollectors() {
+	if c.met == nil {
+		return
+	}
+	m := c.met
+	m.Registry.OnScrape(func() {
+		conns, dials := c.PoolStats()
+		m.PoolConns.Set(float64(conns))
+		m.PoolDials.Set(float64(dials))
+		sums := c.PeerSummaries()
+		loads := make(map[string]float64, len(sums))
+		nodes := make(map[string]float64, len(sums))
+		for _, s := range sums {
+			loads[string(s.ID)] = float64(s.LoadPrev)
+			nodes[string(s.ID)] = float64(s.Nodes)
+		}
+		m.Registry.ReplaceGauges(obs.SeriesVisitLoad,
+			"Discovery visits received per peer in the last load unit.", "peer", loads)
+		m.Registry.ReplaceGauges(obs.SeriesPeerNodes,
+			"Tree nodes hosted per peer.", "peer", nodes)
+		rs := c.ReplicationStats()
+		m.ReplicaSnapshotMsgs.Set(float64(rs.SnapshotMsgs))
+		m.ReplicaTransferMsgs.Set(float64(rs.TransferMsgs))
+		m.ReplicaTransferNodes.Set(float64(rs.TransferredNodes))
+	})
 }
 
 // NormalizeBind canonicalizes a bind address: empty preserves the
@@ -376,6 +431,7 @@ func (c *Cluster) AddPeer(capacity int) (keys.Key, error) {
 	if err != nil {
 		return "", err
 	}
+	c.met.TopologyEvent("join")
 	return id, nil
 }
 
@@ -408,6 +464,7 @@ func (c *Cluster) JoinRemotePeer(capacity int, addr string) (keys.Key, error) {
 		return "", err
 	}
 	c.addrs[id] = addr
+	c.met.TopologyEvent("join")
 	return id, nil
 }
 
@@ -427,6 +484,7 @@ func (c *Cluster) AddRemotePeerWithID(id keys.Key, capacity int, addr string) er
 		return err
 	}
 	c.addrs[id] = addr
+	c.met.TopologyEvent("join")
 	return nil
 }
 
@@ -484,6 +542,7 @@ func (c *Cluster) ReplicateLocal() (int, error) {
 			return n, err
 		}
 	}
+	c.met.MarkReplicated()
 	return n, nil
 }
 
@@ -545,6 +604,7 @@ func (c *Cluster) RemovePeer(id keys.Key) error {
 	ps := c.dropServerLocked(id)
 	c.mu.Unlock()
 	c.dropEndpoint(ps)
+	c.met.TopologyEvent("leave")
 	return nil
 }
 
@@ -564,6 +624,7 @@ func (c *Cluster) FailPeer(id keys.Key) error {
 	ps := c.dropServerLocked(id)
 	c.mu.Unlock()
 	c.dropEndpoint(ps)
+	c.met.TopologyEvent("crash")
 	return nil
 }
 
@@ -603,6 +664,7 @@ func (c *Cluster) Recover() (restored int, lost []keys.Key, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	restored, lost = c.net.Recover()
+	c.met.TopologyEvent("recover")
 	return restored, lost, nil
 }
 
@@ -628,9 +690,10 @@ func (c *Cluster) Replicate() (int, error) {
 	}
 	c.mu.Unlock()
 	ctx := context.Background()
+	tick := c.rec.StartRoot("replicate", "")
 	total := 0
 	for i, b := range plan {
-		n, err := c.shipReplicas(ctx, addrs[i], b)
+		n, err := c.shipReplicas(ctx, tick.Context(), addrs[i], b)
 		if err != nil {
 			// Unreachable target: install directly; AcceptReplicas
 			// re-routes entries whose placement changed meanwhile.
@@ -645,6 +708,10 @@ func (c *Cluster) Replicate() (int, error) {
 		}
 		total += n
 	}
+	tick.SetAttr("batches", strconv.Itoa(len(plan)))
+	tick.SetAttr("snapshots", strconv.Itoa(total))
+	tick.End()
+	c.met.MarkReplicated()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.net.CompactReplicas()
@@ -662,7 +729,7 @@ func (c *Cluster) Replicate() (int, error) {
 // shipReplicas sends one successor batch as a REPLICA frame over the
 // pooled connection to addr and waits for the acknowledging RESPONSE
 // (whose Logical field carries the installed count).
-func (c *Cluster) shipReplicas(ctx context.Context, addr string, b core.ReplicaBatch) (int, error) {
+func (c *Cluster) shipReplicas(ctx context.Context, tc trace.Context, addr string, b core.ReplicaBatch) (int, error) {
 	if addr == "" {
 		return 0, fmt.Errorf("transport: no address for replica target %q", b.To)
 	}
@@ -670,7 +737,10 @@ func (c *Cluster) shipReplicas(ctx context.Context, addr string, b core.ReplicaB
 	if err != nil {
 		return 0, err
 	}
-	resp, err := c.pool.replicaRoundTrip(ctx, pc, &b)
+	span := c.rec.Start(tc, "replica", string(b.To))
+	span.SetAttr("snapshots", strconv.Itoa(len(b.Infos)))
+	resp, err := c.pool.replicaRoundTrip(ctx, pc, span.Context(), &b)
+	span.End()
 	if err != nil {
 		return 0, err
 	}
@@ -710,6 +780,7 @@ func (c *Cluster) Balance(strategy string) (int, error) {
 	defer c.mu.Unlock()
 	moves, rerr := lb.RunRound(c.net, strat)
 	c.rewireServersLocked()
+	c.met.TopologyEvent("balance")
 	return moves, rerr
 }
 
@@ -820,6 +891,7 @@ type serverReq struct {
 	id     uint64
 	self   keys.Key
 	req    request
+	tc     trace.Context // wire parent from the frame header extension
 	ctx    context.Context
 	cancel context.CancelFunc
 }
@@ -840,6 +912,7 @@ func (c *Cluster) handleConn(ps *peerServer, conn net.Conn) {
 	sc := &serverConn{fc: newFrameConn(conn),
 		active: make(map[uint64]context.CancelFunc),
 		credit: make(map[uint64]chan struct{})}
+	sc.fc.met = c.met
 	work := make(chan serverReq)
 	defer close(work)
 	c.wg.Add(1)
@@ -857,7 +930,7 @@ func (c *Cluster) handleConn(ps *peerServer, conn net.Conn) {
 		sc.amu.Unlock()
 	}()
 	for {
-		typ, id, payload, err := sc.fc.readFrame()
+		typ, id, tc, payload, err := sc.fc.readFrame()
 		if err != nil {
 			return // connection closed (client gone, peer dropped, Stop)
 		}
@@ -874,7 +947,7 @@ func (c *Cluster) handleConn(ps *peerServer, conn net.Conn) {
 			c.mu.RLock()
 			self := ps.id // balancing renames write ps.id under the write lock
 			c.mu.RUnlock()
-			item := serverReq{id: id, self: self, req: req, ctx: ctx, cancel: cancel}
+			item := serverReq{id: id, self: self, req: req, tc: tc, ctx: ctx, cancel: cancel}
 			select {
 			case work <- item: // idle worker takes it
 			default: // worker busy: overflow goroutine keeps the stream moving
@@ -900,7 +973,7 @@ func (c *Cluster) handleConn(ps *peerServer, conn net.Conn) {
 			c.wg.Add(1)
 			go func() {
 				defer c.wg.Done()
-				c.serveQuery(sc, id, q, ctx, cancel)
+				c.serveQuery(sc, id, q, tc, ctx, cancel)
 			}()
 		case frameQRoute:
 			var rq qroute
@@ -917,15 +990,18 @@ func (c *Cluster) handleConn(ps *peerServer, conn net.Conn) {
 			// Route steps are one-per-query (not one-per-hop like
 			// discovery steps), so a goroutine each is fine.
 			c.wg.Add(1)
-			go func(id uint64, rq qroute) {
+			go func(id uint64, rq qroute, tc trace.Context) {
 				defer c.wg.Done()
-				resp := c.routeStep(ctx, self, rq)
+				span := c.rec.Start(tc, obs.PhaseQRoute, string(self))
+				span.SetAttr("anchor", string(rq.Anchor))
+				resp := c.routeStep(ctx, span.Context(), self, rq)
+				span.End()
 				sc.amu.Lock()
 				delete(sc.active, id)
 				sc.amu.Unlock()
 				cancel()
 				_ = sc.fc.writeQRouteResp(id, &resp)
-			}(id, rq)
+			}(id, rq, tc)
 		case frameJoin, frameLeave, frameApply, frameStatus, frameAdmin:
 			// Control plane: hand the frame to the daemon layer. The
 			// payload aliases the read buffer, so the handler gets a
@@ -953,13 +1029,16 @@ func (c *Cluster) handleConn(ps *peerServer, conn net.Conn) {
 			// goroutine per batch keeps the read loop (and the
 			// discovery streams multiplexed on this connection) moving.
 			c.wg.Add(1)
-			go func(id uint64, b core.ReplicaBatch) {
+			go func(id uint64, b core.ReplicaBatch, tc trace.Context) {
 				defer c.wg.Done()
+				span := c.rec.Start(tc, "replica-install", string(b.To))
 				c.mu.Lock()
 				n := c.net.AcceptReplicas(b.From, b.To, b.Infos)
 				c.mu.Unlock()
+				span.SetAttr("installed", strconv.Itoa(n))
+				span.End()
 				_ = sc.fc.writeResponse(id, &response{Logical: n})
-			}(id, b)
+			}(id, b, tc)
 		case frameStreamAck:
 			sc.ackStream(id)
 		case frameCancel:
@@ -992,7 +1071,7 @@ const (
 // batch boundary — the limit pushdown and early-exit contract on the
 // wire.
 func (c *Cluster) serveQuery(sc *serverConn, id uint64, q queryReq,
-	ctx context.Context, cancel context.CancelFunc) {
+	tc trace.Context, ctx context.Context, cancel context.CancelFunc) {
 
 	sc.amu.Lock()
 	creditCh := sc.credit[id]
@@ -1011,6 +1090,11 @@ func (c *Cluster) serveQuery(sc *serverConn, id uint64, q queryReq,
 		Hi:     q.Hi,
 		Limit:  q.Limit,
 	})
+	// The walker's phase spans parent under the wire context, so the
+	// server-side walk joins the client's trace; FinishTrace flushes
+	// the final phase even when the stream aborts early.
+	w.TraceUnder(tc)
+	defer w.FinishTrace()
 	if !w.Empty() {
 		c.mu.RLock()
 		if q.Walk {
@@ -1101,7 +1185,10 @@ func (c *Cluster) QueryVisits() int64 { return c.queryVisits.Load() }
 // result too large for one frame degrades to an in-band error so the
 // requester fails cleanly instead of timing out on a silent drop.
 func (c *Cluster) serveReq(sc *serverConn, item serverReq) {
-	resp := c.step(item.ctx, item.self, item.req)
+	span := c.rec.Start(item.tc, obs.PhaseRelay, string(item.self))
+	span.SetAttr("key", string(item.req.Key))
+	resp := c.step(item.ctx, span.Context(), item.self, item.req)
+	span.End()
 	sc.amu.Lock()
 	delete(sc.active, item.id)
 	sc.amu.Unlock()
@@ -1115,7 +1202,7 @@ func (c *Cluster) serveReq(sc *serverConn, item serverReq) {
 
 // step executes routing at the peer owning the current node, relaying
 // over TCP when the walk leaves the peer.
-func (c *Cluster) step(ctx context.Context, self keys.Key, req request) response {
+func (c *Cluster) step(ctx context.Context, tc trace.Context, self keys.Key, req request) response {
 	for {
 		if err := ctx.Err(); err != nil {
 			return response{Err: err.Error()}
@@ -1139,14 +1226,20 @@ func (c *Cluster) step(ctx context.Context, self keys.Key, req request) response
 			if !okh || req.Redirects > maxRedirects {
 				return response{Logical: req.Logical, Physical: req.Physical}
 			}
-			return c.relay(ctx, addr, req)
+			return c.relay(ctx, tc, addr, req)
 		}
 		node.RecordVisit()
+		if c.met != nil {
+			c.met.Visits.Inc()
+		}
 		if c.gate && !peer.TryProcess() {
 			// Section 4's request model: the visit is received (load
 			// recorded above) but a saturated peer ignores the
 			// request.
 			c.mu.RUnlock()
+			if c.met != nil {
+				c.met.Drops.Inc()
+			}
 			return response{Dropped: true,
 				Logical: req.Logical, Physical: req.Physical}
 		}
@@ -1198,7 +1291,7 @@ func (c *Cluster) step(ctx context.Context, self keys.Key, req request) response
 			continue // next node is local: no wire transfer
 		}
 		req.Physical++
-		return c.relay(ctx, addr, req)
+		return c.relay(ctx, tc, addr, req)
 	}
 }
 
@@ -1215,8 +1308,8 @@ func (c *Cluster) step(ctx context.Context, self keys.Key, req request) response
 // once and retries on a fresh dial (the routing step is an
 // idempotent read, so the retry is safe even if the first attempt
 // was partially processed).
-func (c *Cluster) relay(ctx context.Context, addr string, req request) response {
-	resp, err := c.relayOnce(ctx, addr, req)
+func (c *Cluster) relay(ctx context.Context, tc trace.Context, addr string, req request) response {
+	resp, err := c.relayOnce(ctx, tc, addr, req)
 	if err == nil {
 		return resp
 	}
@@ -1235,7 +1328,7 @@ func (c *Cluster) relay(ctx context.Context, addr string, req request) response 
 	if !ok || retryAddr == "" {
 		return response{Err: err.Error()}
 	}
-	resp, err = c.relayOnce(ctx, retryAddr, req)
+	resp, err = c.relayOnce(ctx, tc, retryAddr, req)
 	if err != nil {
 		return response{Err: err.Error()}
 	}
@@ -1243,12 +1336,12 @@ func (c *Cluster) relay(ctx context.Context, addr string, req request) response 
 }
 
 // relayOnce performs one round-trip on the shared connection to addr.
-func (c *Cluster) relayOnce(ctx context.Context, addr string, req request) (response, error) {
+func (c *Cluster) relayOnce(ctx context.Context, tc trace.Context, addr string, req request) (response, error) {
 	pc, err := c.pool.get(ctx, addr)
 	if err != nil {
 		return response{}, err
 	}
-	return c.pool.roundTrip(ctx, pc, &req)
+	return c.pool.roundTrip(ctx, pc, tc, &req)
 }
 
 // routeStep resolves climb/descend transitions of a subtree query at
@@ -1258,7 +1351,7 @@ func (c *Cluster) relayOnce(ctx context.Context, addr string, req request) (resp
 // addressed peer does not host. The transition logic and counting
 // mirror core.QueryWalker exactly, so on a stable tree the streamed
 // totals match a walker that ran every phase in one process.
-func (c *Cluster) routeStep(ctx context.Context, self keys.Key, rq qroute) qrouteResp {
+func (c *Cluster) routeStep(ctx context.Context, tc trace.Context, self keys.Key, rq qroute) qrouteResp {
 	fail := func(err string) qrouteResp {
 		return qrouteResp{Err: err,
 			Logical: rq.Logical, Physical: rq.Physical, Visited: rq.Visited}
@@ -1289,7 +1382,7 @@ func (c *Cluster) routeStep(ctx context.Context, self keys.Key, rq qroute) qrout
 			if !okh || rq.Redirects > maxRedirects {
 				return ended()
 			}
-			return c.routeRelay(ctx, addr, rq)
+			return c.routeRelay(ctx, tc, addr, rq)
 		}
 		if rq.Visited == 0 {
 			rq.Visited = 1 // the entry node, counted as the walker's Start does
@@ -1330,14 +1423,14 @@ func (c *Cluster) routeStep(ctx context.Context, self keys.Key, rq qroute) qrout
 			continue // next node is local: no wire transfer
 		}
 		rq.Physical++
-		return c.routeRelay(ctx, addr, rq)
+		return c.routeRelay(ctx, tc, addr, rq)
 	}
 }
 
 // routeRelay forwards the route step over the pooled connection to
 // addr, with the same single stale-address retry as relay.
-func (c *Cluster) routeRelay(ctx context.Context, addr string, rq qroute) qrouteResp {
-	resp, err := c.routeRelayOnce(ctx, addr, rq)
+func (c *Cluster) routeRelay(ctx context.Context, tc trace.Context, addr string, rq qroute) qrouteResp {
+	resp, err := c.routeRelayOnce(ctx, tc, addr, rq)
 	if err == nil {
 		return resp
 	}
@@ -1359,7 +1452,7 @@ func (c *Cluster) routeRelay(ctx context.Context, addr string, rq qroute) qroute
 	if !ok || retryAddr == "" {
 		return failed
 	}
-	resp, err = c.routeRelayOnce(ctx, retryAddr, rq)
+	resp, err = c.routeRelayOnce(ctx, tc, retryAddr, rq)
 	if err != nil {
 		failed.Err = err.Error()
 		return failed
@@ -1369,13 +1462,13 @@ func (c *Cluster) routeRelay(ctx context.Context, addr string, rq qroute) qroute
 
 // routeRelayOnce performs one QROUTE round-trip on the shared
 // connection to addr.
-func (c *Cluster) routeRelayOnce(ctx context.Context, addr string, rq qroute) (qrouteResp, error) {
+func (c *Cluster) routeRelayOnce(ctx context.Context, tc trace.Context, addr string, rq qroute) (qrouteResp, error) {
 	pc, err := c.pool.get(ctx, addr)
 	if err != nil {
 		return qrouteResp{}, err
 	}
 	msg, err := c.pool.rawRoundTrip(ctx, pc, func(id uint64) error {
-		return pc.fc.writeQRoute(id, &rq)
+		return pc.fc.writeQRoute(id, tc, &rq)
 	})
 	if err != nil {
 		return qrouteResp{}, err
@@ -1454,15 +1547,25 @@ func (c *Cluster) DiscoverContext(ctx context.Context, key keys.Key) (Result, er
 	c.mu.Lock()
 	entry, ok := c.net.RandomNodeKey(c.rng)
 	var addr string
+	var host keys.Key
 	if ok {
-		host, _ := c.net.HostOf(entry)
+		host, _ = c.net.HostOf(entry)
 		addr = c.addrs[host]
 	}
 	c.mu.Unlock()
 	if !ok {
 		return Result{Key: key}, nil
 	}
-	resp := c.relay(ctx, addr, request{Key: key, At: entry, GoingUp: true, Physical: 1})
+	began := time.Now()
+	root := c.rec.StartRoot(obs.PhaseDiscover, string(host))
+	root.SetAttr("key", string(key))
+	resp := c.relay(ctx, root.Context(), addr, request{Key: key, At: entry, GoingUp: true, Physical: 1})
+	root.End()
+	if c.met != nil {
+		d := time.Since(began)
+		c.met.DiscoverLatency.Observe(d.Seconds())
+		c.met.RecordPhase(obs.PhaseRelay, resp.Physical, d)
+	}
 	if resp.Err != "" {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
@@ -1530,7 +1633,21 @@ type WireStream struct {
 	stats    core.QueryResult
 	err      error
 
+	span  trace.Handle // the query's root span (inactive untraced)
+	met   *obs.Metrics // cleared once the end-to-end latency is observed
+	began time.Time
+
 	closeOnce sync.Once
+}
+
+// finish closes the query's root span and observes its end-to-end
+// latency; idempotent across the stream's several end paths.
+func (s *WireStream) finish() {
+	s.span.End()
+	if s.met != nil && !s.began.IsZero() {
+		s.met.QueryLatency.Observe(time.Since(s.began).Seconds())
+		s.met = nil
+	}
 }
 
 // StreamQuery starts a streaming subtree query over the wire in two
@@ -1562,16 +1679,21 @@ func (c *Cluster) StreamQuery(ctx context.Context, spec core.QuerySpec) (*WireSt
 	c.mu.Lock()
 	entry, ok := c.net.RandomNodeKey(c.rng)
 	var addr string
+	var entryHost keys.Key
 	if ok {
-		host, _ := c.net.HostOf(entry)
-		addr = c.addrs[host]
+		entryHost, _ = c.net.HostOf(entry)
+		addr = c.addrs[entryHost]
 	}
 	c.mu.Unlock()
 	if !ok {
 		return &WireStream{ended: true, finished: true}, nil
 	}
-	rr := c.routeRelay(ctx, addr, qroute{Anchor: anchor, At: entry})
+	began := time.Now()
+	root := c.rec.StartRoot("query", string(entryHost))
+	root.SetAttr("anchor", string(anchor))
+	rr := c.routeRelay(ctx, root.Context(), addr, qroute{Anchor: anchor, At: entry})
 	if rr.Err != "" {
+		root.End()
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -1582,19 +1704,32 @@ func (c *Cluster) StreamQuery(ctx context.Context, spec core.QuerySpec) (*WireSt
 		}
 		return nil, errors.New(rr.Err)
 	}
+	if c.met != nil {
+		c.met.RecordPhase(obs.PhaseQRoute, rr.Physical, time.Since(began))
+		// The route's node visits happened hop by hop on the serving
+		// peers; the walk phase counts its own from the resumed
+		// walker's baseline, so nothing is double counted.
+		c.met.Visits.Add(float64(rr.Visited))
+	}
 	pre := core.QueryResult{LogicalHops: rr.Logical,
 		PhysicalHops: rr.Physical, NodesVisited: rr.Visited}
 	if !rr.Found {
 		// The route hit a node lost to churn: the walk yields nothing,
 		// with the route's counters as totals (walker behaviour).
-		return &WireStream{ended: true, finished: true, stats: pre}, nil
+		ws := &WireStream{ended: true, finished: true, stats: pre,
+			span: root, met: c.met, began: began}
+		ws.finish()
+		return ws, nil
 	}
 	c.mu.RLock()
 	host, okh := c.net.HostOf(rr.Anchor)
 	addr = c.addrs[host]
 	c.mu.RUnlock()
 	if !okh || addr == "" {
-		return &WireStream{ended: true, finished: true, stats: pre}, nil
+		ws := &WireStream{ended: true, finished: true, stats: pre,
+			span: root, met: c.met, began: began}
+		ws.finish()
+		return ws, nil
 	}
 	q := &queryReq{
 		Range:    spec.Range,
@@ -1608,12 +1743,13 @@ func (c *Cluster) StreamQuery(ctx context.Context, spec core.QuerySpec) (*WireSt
 		Physical: rr.Physical,
 		Visited:  rr.Visited,
 	}
-	pc, id, cs, err := c.openWireQuery(ctx, addr, q)
+	pc, id, cs, err := c.openWireQuery(ctx, root.Context(), addr, q)
 	if err != nil {
 		// The address was stale (departed peer, Balance rename):
 		// re-resolve the anchor's current host once and retry on a
 		// fresh dial, as relay does for discovery hops.
 		if ctx.Err() != nil || errors.Is(err, ErrStopped) {
+			root.End()
 			return nil, err
 		}
 		c.mu.RLock()
@@ -1621,18 +1757,21 @@ func (c *Cluster) StreamQuery(ctx context.Context, spec core.QuerySpec) (*WireSt
 		retryAddr := c.addrs[host]
 		c.mu.RUnlock()
 		if !okh || retryAddr == "" {
+			root.End()
 			return nil, err
 		}
-		if pc, id, cs, err = c.openWireQuery(ctx, retryAddr, q); err != nil {
+		if pc, id, cs, err = c.openWireQuery(ctx, root.Context(), retryAddr, q); err != nil {
+			root.End()
 			return nil, err
 		}
 	}
-	return &WireStream{c: c, pc: pc, id: id, cs: cs, ctx: ctx, stats: pre}, nil
+	return &WireStream{c: c, pc: pc, id: id, cs: cs, ctx: ctx, stats: pre,
+		span: root, met: c.met, began: began}, nil
 }
 
 // openWireQuery registers a stream on the pooled connection to addr
 // and puts its QUERY frame on the wire.
-func (c *Cluster) openWireQuery(ctx context.Context, addr string, q *queryReq) (*poolConn, uint64, *clientStream, error) {
+func (c *Cluster) openWireQuery(ctx context.Context, tc trace.Context, addr string, q *queryReq) (*poolConn, uint64, *clientStream, error) {
 	pc, err := c.pool.get(ctx, addr)
 	if err != nil {
 		return nil, 0, nil, err
@@ -1641,7 +1780,7 @@ func (c *Cluster) openWireQuery(ctx context.Context, addr string, q *queryReq) (
 	if err != nil {
 		return nil, 0, nil, err
 	}
-	if err := pc.fc.writeQuery(id, q); err != nil {
+	if err := pc.fc.writeQuery(id, tc, q); err != nil {
 		pc.forgetStream(id)
 		if !errors.Is(err, errFrameTooLarge) {
 			c.pool.fail(pc, err)
@@ -1668,6 +1807,7 @@ func (s *WireStream) Next() (keys.Key, bool) {
 			switch {
 			case msg.err != nil:
 				s.err, s.ended = msg.err, true
+				s.finish()
 				return keys.Epsilon, false
 			case msg.end:
 				s.ended, s.finished = true, true
@@ -1679,6 +1819,7 @@ func (s *WireStream) Next() (keys.Key, bool) {
 				if msg.info.Err != "" {
 					s.err = errors.New(msg.info.Err)
 				}
+				s.finish()
 				return keys.Epsilon, false
 			default:
 				s.cur, s.pos = msg.batch, 0
@@ -1694,9 +1835,11 @@ func (s *WireStream) Next() (keys.Key, bool) {
 			}
 		case <-s.ctx.Done():
 			s.err, s.ended = s.ctx.Err(), true
+			s.finish()
 			return keys.Epsilon, false
 		case <-s.c.quit:
 			s.err, s.ended = ErrStopped, true
+			s.finish()
 			return keys.Epsilon, false
 		}
 	}
@@ -1727,6 +1870,7 @@ func (s *WireStream) Close() error {
 		}
 		s.ended = true
 		s.cur, s.pos = nil, 0
+		s.finish()
 	})
 	return nil
 }
