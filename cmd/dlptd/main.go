@@ -83,6 +83,7 @@ func cmdRun(args []string) error {
 	alphabet := fs.String("alphabet", "", "key alphabet: binary, lower_alnum, printable_ascii or digit string")
 	seed := fs.Int64("seed", 0, "rng seed (0 = from clock)")
 	metrics := fs.String("metrics", "", "HTTP address serving /metrics and /debug/trace (empty = disabled)")
+	electionTimeout := fs.Duration("election-timeout", 0, "election vote round-trip bound and retry pace (default 1s)")
 	fs.Parse(args)
 
 	cfg := &daemon.Config{}
@@ -115,6 +116,9 @@ func cmdRun(args []string) error {
 	}
 	if *metrics != "" {
 		cfg.MetricsAddr = *metrics
+	}
+	if *electionTimeout > 0 {
+		cfg.ElectionTimeout = daemon.Duration(*electionTimeout)
 	}
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)

@@ -88,6 +88,11 @@ type benchReport struct {
 	// and recovered its nodes (probe-timer dominated by design).
 	JoinHandshakeNsPerOp int64 `json:"join_handshake_ns_per_op"`
 	RedialRecoveryMs     int64 `json:"redial_recovery_ms"`
+	// StewardFailoverMs is the wall-clock from the steward's abrupt
+	// death to the first write acknowledged by an elected successor
+	// (suspicion, epoch-fenced election, epoch-open barrier, resumed
+	// origination), measured on a 3-daemon overlay.
+	StewardFailoverMs int64 `json:"steward_failover_ms"`
 }
 
 // regressionFactor is the perf gate: a latency metric more than this
@@ -272,22 +277,26 @@ func measureEngines(quick bool, seed int64) (*benchReport, error) {
 
 // measureDaemon times the cross-process deployment layer on
 // in-process daemons: the bootstrap join handshake (dial, JOIN/HELLO
-// negotiation, mirror install) and the redial-driven crash recovery
+// negotiation, mirror install), the redial-driven crash recovery
 // (member dies abruptly; the steward's maintenance loop probes it
-// out, recovers from replicas, and the survivors validate).
+// out, recovers from replicas, and the survivors validate), and the
+// steward failover (steward dies abruptly; the survivors elect and
+// writes resume under the new epoch).
 func measureDaemon(quick bool, seed int64, rep *benchReport) error {
 	nop := func(string, ...any) {}
 	cfg := func(s int64, bootstrap ...string) daemon.Config {
 		return daemon.Config{
-			Listen:         "127.0.0.1:0",
-			Bootstrap:      bootstrap,
-			Capacity:       8,
-			Alphabet:       "lower_alnum",
-			Seed:           s,
-			ProbeEvery:     daemon.Duration(50 * time.Millisecond),
-			MissThreshold:  3,
-			ReplicateEvery: daemon.Duration(time.Hour),
-			JoinTimeout:    daemon.Duration(15 * time.Second),
+			Listen:          "127.0.0.1:0",
+			Bootstrap:       bootstrap,
+			Capacity:        8,
+			Alphabet:        "lower_alnum",
+			Seed:            s,
+			ProbeEvery:      daemon.Duration(50 * time.Millisecond),
+			MissThreshold:   3,
+			ReplicateEvery:  daemon.Duration(time.Hour),
+			JoinTimeout:     daemon.Duration(15 * time.Second),
+			ElectionTimeout: daemon.Duration(300 * time.Millisecond),
+			ForwardRetry:    daemon.Duration(20 * time.Second),
 		}
 	}
 	steward, err := daemon.Start(cfg(seed), nop)
@@ -351,6 +360,45 @@ func measureDaemon(quick bool, seed int64, rep *benchReport) error {
 		time.Sleep(5 * time.Millisecond)
 	}
 	rep.RedialRecoveryMs = time.Since(start).Milliseconds()
+
+	// Steward failover: rebuild a 3-daemon overlay (quorum needs two
+	// surviving voters over three known members), replicate so the
+	// steward's nodes survive its death, kill the steward abruptly,
+	// and measure until a survivor has won the election and
+	// acknowledged a write under the new epoch.
+	m3, err := daemon.Start(cfg(seed+102, steward.Addr()), nop)
+	if err != nil {
+		return err
+	}
+	defer m3.Close()
+	if err := steward.ReplicateNow(); err != nil {
+		return err
+	}
+	steward.Cluster().Stop() // abrupt death: no graceful leave
+	start = time.Now()
+	deadline = time.Now().Add(30 * time.Second)
+	for i := 0; ; i++ {
+		var acked bool
+		for _, d := range []*daemon.Daemon{m1, m3} {
+			if !d.IsSteward() {
+				continue
+			}
+			key := fmt.Sprintf("failover%02d", i%100)
+			if _, err := daemon.Admin(ctx, d.Addr(),
+				&daemon.AdminRequest{Op: "register", Key: key, Value: "ep"}); err == nil {
+				acked = true
+			}
+			break
+		}
+		if acked {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bench: steward failover never completed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	rep.StewardFailoverMs = time.Since(start).Milliseconds()
 	return nil
 }
 

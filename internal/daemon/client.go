@@ -21,6 +21,7 @@ type Status struct {
 	ID          string               `json:"id"`
 	Addr        string               `json:"addr"`
 	StewardAddr string               `json:"steward_addr"`
+	Epoch       uint64               `json:"epoch"`
 	Seq         uint64               `json:"seq"`
 	Members     []MemberInfo         `json:"members,omitempty"`
 	Peers       int                  `json:"peers"`

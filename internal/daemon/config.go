@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dlpt/internal/keys"
+	"dlpt/internal/transport"
 )
 
 // Duration is a time.Duration that unmarshals from JSON either as a
@@ -85,12 +86,29 @@ type Config struct {
 	MissThreshold int `json:"miss_threshold,omitempty"`
 	// JoinTimeout bounds the bootstrap retry loop (default 30s).
 	JoinTimeout Duration `json:"join_timeout,omitempty"`
+	// ElectionTimeout bounds one election vote round-trip and paces
+	// the candidate's retry loop after a failed round (default 1s).
+	ElectionTimeout Duration `json:"election_timeout,omitempty"`
+	// ForwardRetry is the total budget a member spends retrying a
+	// catalogue origination against a lost or changing steward —
+	// covering a failover window — before reporting ErrNoSteward
+	// (default 10s).
+	ForwardRetry Duration `json:"forward_retry,omitempty"`
+	// ResyncLogSize bounds the in-memory tail of applied records every
+	// daemon keeps for post-election gap replay; members further
+	// behind the new steward re-bootstrap with a full snapshot
+	// (default 512).
+	ResyncLogSize int `json:"resync_log_size,omitempty"`
 	// MetricsAddr, when non-empty, opens an HTTP listener at this
 	// address serving /metrics (Prometheus text format) and
 	// /debug/trace (recent per-hop span trees as JSON). Empty disables
 	// the listener; the daemon still aggregates metrics internally and
 	// serves them over the ADMIN wire path (`dlptd status -obs`).
 	MetricsAddr string `json:"metrics_addr,omitempty"`
+	// Faults, when non-nil, injects deterministic transport faults
+	// (drops, delays, duplicates, partitions) into this daemon's
+	// outbound frame path. Test-only; never read from config files.
+	Faults *transport.Faults `json:"-"`
 }
 
 // LoadConfig reads a JSON config file.
@@ -122,6 +140,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JoinTimeout <= 0 {
 		c.JoinTimeout = Duration(30 * time.Second)
+	}
+	if c.ElectionTimeout <= 0 {
+		c.ElectionTimeout = Duration(time.Second)
+	}
+	if c.ForwardRetry <= 0 {
+		c.ForwardRetry = Duration(10 * time.Second)
+	}
+	if c.ResyncLogSize <= 0 {
+		c.ResyncLogSize = 512
 	}
 	if c.Seed == 0 {
 		c.Seed = time.Now().UnixNano()

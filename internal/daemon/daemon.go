@@ -32,19 +32,35 @@
 // sequence exactly by one.
 //
 // Failure: each daemon's peering.Maintainer probes its links with
-// STATUS round-trips. Only the steward acts on a loss: after the miss
-// threshold it declares the member crashed (CrashPeer), recovers the
-// lost nodes from ring-successor replicas, and broadcasts both steps.
-// Known limitations, accepted for this deployment: the steward is a
-// single point of serialization (its crash halts mutations until it
-// is restarted; routing and queries keep working on the surviving
-// mirrors), and a member that misses a broadcast diverges until the
-// probe loop crashes it out of the overlay.
+// STATUS round-trips. The steward acts on a member's loss: after the
+// miss threshold it declares the member crashed (CrashPeer), recovers
+// the lost nodes from ring-successor replicas, and broadcasts both
+// steps.
+//
+// Steward failover: every control frame carries the steward epoch
+// alongside its sequence number. When members lose the steward link,
+// the survivor with the lowest ring id among the unsuspected members
+// proposes itself under a bumped epoch; each voter grants at most one
+// promise per epoch, and a majority of the known members elects. The
+// winner first pulls any records it missed from its most advanced
+// voter, then runs the epoch-open barrier: every member adopts the
+// new epoch and steward address and reports its last applied sequence
+// number — gaps replay from the winner's bounded apply log, members
+// too far behind (or ahead) install a full RESYNC snapshot — and
+// finally the old steward's crash is serialized under the new epoch.
+// Receivers refuse control traffic fenced behind their epoch, so a
+// paused-then-resumed old steward's late broadcasts bounce; the
+// stale-epoch refusals (and the epoch in probed STATUS replies) tell
+// it that it was deposed, and it rejoins as a plain member under a
+// fresh ring id. Elections need a majority, so a two-daemon overlay
+// cannot fail over; members that miss a broadcast mid-epoch still
+// converge through the next barrier or the probe-loop crash path.
 package daemon
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
@@ -105,6 +121,24 @@ type Daemon struct {
 	seq         uint64
 	members     map[keys.Key]transport.Member
 	closed      bool
+
+	// Failover state. epoch is the steward generation this daemon
+	// honors (fencing floor for inbound control frames); promised is
+	// the highest election proposal granted, never re-granted lower,
+	// and promisedTo the address it was granted to (a candidate may
+	// re-propose its own promised epoch across retry rounds, so slow
+	// voters don't inflate the epoch). suspected tracks addresses
+	// whose links crossed the miss threshold; electing serializes this
+	// daemon's candidate loop. applyLog is the bounded contiguous tail
+	// of applied records ending at seq, the replay source for
+	// post-election gap repair.
+	epoch         uint64
+	promised      uint64
+	promisedTo    string
+	suspected     map[string]bool
+	electing      bool
+	stewardDownAt time.Time
+	applyLog      []transport.ApplyRecord
 }
 
 // Start brings a daemon up according to cfg: a steward seeds a fresh
@@ -124,6 +158,7 @@ func Start(cfg Config, logf func(format string, args ...any)) (*Daemon, error) {
 		alphaDigits: string(alpha.Digits()),
 		logf:        logf,
 		members:     make(map[keys.Key]transport.Member),
+		suspected:   make(map[string]bool),
 	}
 	d.obsReg = obs.NewRegistry()
 	d.met = obs.NewMetrics(d.obsReg)
@@ -174,10 +209,12 @@ func Start(cfg Config, logf func(format string, args ...any)) (*Daemon, error) {
 		defer d.wg.Done()
 		d.maint.Run(d.ctx)
 	}()
-	if d.steward {
-		d.wg.Add(1)
-		go d.replicateLoop()
-	}
+	// Every daemon runs the replication loop: the tick no-ops unless
+	// this daemon currently holds stewardship, so an elected member
+	// starts replicating and a deposed steward stops, without loop
+	// lifecycle churn.
+	d.wg.Add(1)
+	go d.replicateLoop()
 	role := "member"
 	if d.steward {
 		role = "steward"
@@ -243,6 +280,7 @@ func (d *Daemon) startSteward() error {
 		Control:       d.control,
 		Obs:           d.met,
 		Trace:         d.rec,
+		Faults:        d.cfg.Faults,
 	}
 	if d.placementName != "" {
 		strat, err := lb.ByName(d.placementName)
@@ -264,6 +302,8 @@ func (d *Daemon) startSteward() error {
 	}
 	d.steward = true
 	d.stewardAddr = d.selfAddr
+	d.epoch, d.promised = 1, 1
+	d.met.MarkEpoch(d.epoch)
 	d.members[d.selfID] = transport.Member{ID: d.selfID, Addr: d.selfAddr, Capacity: d.cfg.Capacity}
 	if len(entries) > 0 {
 		if err := c.RegisterBatch(entries); err != nil {
@@ -346,6 +386,7 @@ func (d *Daemon) startMember() error {
 		Control:       d.control,
 		Obs:           d.met,
 		Trace:         d.rec,
+		Faults:        d.cfg.Faults,
 	})
 	if err != nil {
 		ln.Close()
@@ -373,16 +414,29 @@ func (d *Daemon) startMember() error {
 	d.selfID = hello.AssignedID
 	d.seq = hello.Seq
 	d.met.MarkApplied(d.seq)
+	d.epoch, d.promised = hello.Epoch, hello.Epoch
+	d.met.MarkEpoch(d.epoch)
 	d.stewardAddr = hello.StewardAddr
 	return nil
 }
 
-// joinOverlay runs the bootstrap handshake loop: every bootstrap
-// address is tried in order, rejections naming the steward add it to
-// the rotation, and transient failures (peer not up yet, connection
-// cut mid-join) back off exponentially with jitter until JoinTimeout.
-// Incompatibility rejections fail immediately.
+// joinOverlay runs the bootstrap handshake loop against the
+// configured bootstrap list.
 func (d *Daemon) joinOverlay() (*transport.HelloInfo, error) {
+	return d.joinVia(d.cfg.Bootstrap)
+}
+
+// joinVia runs the bootstrap handshake loop: every base address is
+// tried in order, and transient failures (peer not up yet, connection
+// cut mid-join) back off exponentially with jitter until JoinTimeout.
+// A member's rejection naming the steward makes that address the
+// preferred target for the next round — but only as an evictable
+// hint: if the hinted steward cannot be reached (it died between the
+// redirect and our dial, e.g. mid-failover), the hint is dropped and
+// the live base members are asked again for a fresh one, instead of
+// re-dialing the dead address until the timeout. Incompatibility
+// rejections fail immediately.
+func (d *Daemon) joinVia(base []string) (*transport.HelloInfo, error) {
 	payload := transport.EncodeJoin(&transport.JoinRequest{
 		Version:   transport.HandshakeVersion,
 		Alphabet:  d.alphaDigits,
@@ -390,12 +444,16 @@ func (d *Daemon) joinOverlay() (*transport.HelloInfo, error) {
 		Addr:      d.selfAddr,
 		Capacity:  d.cfg.Capacity,
 	})
-	targets := append([]string(nil), d.cfg.Bootstrap...)
 	rng := rand.New(rand.NewSource(d.cfg.Seed))
 	backoff := 100 * time.Millisecond
 	deadline := time.Now().Add(time.Duration(d.cfg.JoinTimeout))
+	var hint string // learned steward address; evicted on dial failure
 	var lastErr error
 	for {
+		targets := base
+		if hint != "" && !contains(base, hint) {
+			targets = append([]string{hint}, base...)
+		}
 		for _, addr := range targets {
 			cctx, cancel := context.WithTimeout(d.ctx, 3*time.Second)
 			rtyp, rp, err := d.cluster.ControlRoundTrip(cctx, addr, transport.FrameJoin, payload)
@@ -404,6 +462,9 @@ func (d *Daemon) joinOverlay() (*transport.HelloInfo, error) {
 				// The pooled connection may hold a dead dial; evict so
 				// the retry dials fresh.
 				d.cluster.DropEndpointAddr(addr)
+				if addr == hint {
+					hint = "" // stale redirect: fall back to the members
+				}
 				lastErr = fmt.Errorf("join %s: %w", addr, err)
 				continue
 			}
@@ -421,8 +482,8 @@ func (d *Daemon) joinOverlay() (*transport.HelloInfo, error) {
 					return nil, fmt.Errorf("daemon: join %s rejected: %s", addr, hello.Err)
 				}
 				lastErr = fmt.Errorf("join %s: %s", addr, hello.Err)
-				if hello.StewardAddr != "" && !contains(targets, hello.StewardAddr) {
-					targets = append(targets, hello.StewardAddr)
+				if hello.StewardAddr != "" && hello.StewardAddr != addr {
+					hint = hello.StewardAddr
 				}
 				continue
 			}
@@ -473,6 +534,14 @@ func (d *Daemon) control(typ byte, payload []byte) (byte, []byte) {
 		return d.handleStatus()
 	case transport.FrameAdmin:
 		return d.handleAdmin(payload)
+	case transport.FrameElect:
+		return d.handleElect(payload)
+	case transport.FrameEpochOpen:
+		return d.handleEpochOpen(payload)
+	case transport.FrameResync:
+		return d.handleResync(payload)
+	case transport.FrameFetch:
+		return d.handleFetch(payload)
 	}
 	return transport.FrameAck, transport.EncodeAck(fmt.Sprintf("daemon: unknown control frame %d", typ))
 }
@@ -540,6 +609,7 @@ func (d *Daemon) handleJoin(payload []byte) (byte, []byte) {
 		Placement:   d.placementName,
 		AssignedID:  id,
 		Seq:         d.seq,
+		Epoch:       d.epoch,
 		Members:     d.memberListLocked(),
 		Peers:       peers,
 		Nodes:       nodes,
@@ -557,6 +627,9 @@ func (d *Daemon) handleLeave(payload []byte) (byte, []byte) {
 	defer d.mu.Unlock()
 	if !d.steward {
 		return transport.FrameAck, transport.EncodeAck("daemon: not steward")
+	}
+	if notice.Epoch < d.epoch {
+		return transport.FrameAck, transport.EncodeAck(staleEpochAck(d.epoch, d.stewardAddr))
 	}
 	m, ok := d.members[notice.ID]
 	if !ok {
@@ -589,6 +662,9 @@ func (d *Daemon) handleApply(payload []byte) (byte, []byte) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if rec.Seq == 0 {
+		// Origination requests carry no stream position, so epoch
+		// fencing does not apply: the steward serializes them under its
+		// own epoch.
 		if !d.steward {
 			return ack("daemon: not steward")
 		}
@@ -600,8 +676,19 @@ func (d *Daemon) handleApply(payload []byte) (byte, []byte) {
 		}
 		d.bumpSeqLocked()
 		rec.Seq = d.seq
-		d.broadcastLocked(rec)
+		if d.broadcastLocked(rec) {
+			// Fenced mid-broadcast: a newer steward exists, so this
+			// write was never committed under a live epoch. Refuse it —
+			// the originator retries against the new steward, and the
+			// rejoin reset discards this mirror's divergence.
+			return ack("daemon: deposed during broadcast, retry")
+		}
 		return ack("")
+	}
+	if rec.Epoch < d.epoch {
+		// Epoch fence: a deposed steward's late broadcast. The refusal
+		// names the live epoch and steward so the sender learns its fate.
+		return ack(staleEpochAck(d.epoch, d.stewardAddr))
 	}
 	if d.steward {
 		return ack("daemon: steward does not accept sequenced applies")
@@ -615,9 +702,27 @@ func (d *Daemon) handleApply(payload []byte) (byte, []byte) {
 		// than let a divergent mirror serve.
 		return ack(err.Error())
 	}
+	if rec.Epoch > d.epoch {
+		// Post-election replay reached us before (or instead of) the
+		// barrier: adopt the stream's epoch as the new fencing floor.
+		d.epoch = rec.Epoch
+		d.promised = max(d.promised, rec.Epoch)
+		d.met.MarkEpoch(d.epoch)
+	}
 	d.seq = rec.Seq
 	d.met.MarkApplied(d.seq)
+	d.appendLogLocked(rec)
 	return ack("")
+}
+
+// appendLogLocked keeps the bounded contiguous tail of applied
+// records ending at d.seq — the replay source for post-election gap
+// repair on whichever daemon wins an election.
+func (d *Daemon) appendLogLocked(rec *transport.ApplyRecord) {
+	d.applyLog = append(d.applyLog, *rec)
+	if n := d.cfg.ResyncLogSize; len(d.applyLog) > n {
+		d.applyLog = append(d.applyLog[:0:0], d.applyLog[len(d.applyLog)-n:]...)
+	}
 }
 
 // applyLocked replays one mutation against the local mirror.
@@ -667,12 +772,17 @@ func (d *Daemon) forgetMemberLocked(id keys.Key) {
 	d.syncLinksLocked()
 }
 
-// broadcastLocked ships one sequenced record to every other member,
+// broadcastLocked stamps one sequenced record with the current epoch,
+// appends it to the apply log and ships it to every other member,
 // synchronously and in sorted order — the steward never has two
 // records in flight to the same member, so the per-member sequence
 // check cannot trip on reordering. A member that fails its broadcast
-// is logged and left to the probe loop.
-func (d *Daemon) broadcastLocked(rec *transport.ApplyRecord) {
+// is logged and left to the probe loop. The return reports whether a
+// member's stale-epoch refusal revealed that this steward was deposed
+// (the demotion and rejoin are already underway when it returns true).
+func (d *Daemon) broadcastLocked(rec *transport.ApplyRecord) bool {
+	rec.Epoch = d.epoch
+	d.appendLogLocked(rec)
 	payload := transport.EncodeApply(rec)
 	ids := make([]keys.Key, 0, len(d.members))
 	for id := range d.members {
@@ -681,6 +791,8 @@ func (d *Daemon) broadcastLocked(rec *transport.ApplyRecord) {
 		}
 	}
 	keys.SortKeys(ids)
+	var deposedEpoch uint64
+	var deposedSteward string
 	for _, id := range ids {
 		m := d.members[id]
 		ctx, cancel := context.WithTimeout(d.ctx, 5*time.Second)
@@ -692,18 +804,30 @@ func (d *Daemon) broadcastLocked(rec *transport.ApplyRecord) {
 		}
 		if rtyp == transport.FrameAck {
 			if es, derr := transport.DecodeAck(rp); derr == nil && es != "" {
+				if e, saddr, ok := parseStaleEpoch(es); ok && e > d.epoch {
+					deposedEpoch, deposedSteward = e, saddr
+					d.logf("dlptd: apply seq %d fenced by %s: %s", rec.Seq, id, es)
+					continue
+				}
 				d.logf("dlptd: apply seq %d refused by %s: %s", rec.Seq, id, es)
 			}
 		}
 	}
+	if deposedEpoch > d.epoch {
+		d.deposeLocked(deposedEpoch, deposedSteward)
+		return true
+	}
+	return false
 }
 
 // probe is the link-maintenance health check: one STATUS round-trip
 // on the pooled connection. A failure evicts the pooled connection,
 // so the next probe — and the next relay — dials fresh: the probe
-// loop is the re-dial loop.
+// loop is the re-dial loop. The reply's epoch is inspected: a steward
+// that paused through an election learns from any probed peer that a
+// higher epoch exists and that it was deposed.
 func (d *Daemon) probe(ctx context.Context, addr string) error {
-	rtyp, _, err := d.cluster.ControlRoundTrip(ctx, addr, transport.FrameStatus, nil)
+	rtyp, rp, err := d.cluster.ControlRoundTrip(ctx, addr, transport.FrameStatus, nil)
 	if err != nil {
 		d.cluster.DropEndpointAddr(addr)
 		return err
@@ -711,21 +835,50 @@ func (d *Daemon) probe(ctx context.Context, addr string) error {
 	if rtyp != transport.FrameStatusResp {
 		return fmt.Errorf("daemon: probe reply frame %d", rtyp)
 	}
+	var st Status
+	if err := json.Unmarshal(rp, &st); err == nil {
+		d.noteEpoch(st.Epoch, st.StewardAddr)
+	}
 	return nil
 }
 
-// onLinkDown reacts to a link crossing the miss threshold. Only the
-// steward mutates the overlay: it declares the member crashed,
-// recovers the lost subtree from the ring-successor replicas, and
-// broadcasts both steps so every mirror converges.
+// noteEpoch reacts to an epoch observed on a probed peer: a higher
+// one demotes a deposed steward (triggering its rejoin) or advances a
+// lagging member's fencing floor.
+func (d *Daemon) noteEpoch(epoch uint64, stewardAddr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed || epoch <= d.epoch {
+		return
+	}
+	if d.steward {
+		d.deposeLocked(epoch, stewardAddr)
+		return
+	}
+	d.epoch = epoch
+	d.promised = max(d.promised, epoch)
+	if stewardAddr != "" && stewardAddr != d.selfAddr {
+		d.stewardAddr = stewardAddr
+	}
+	d.met.MarkEpoch(d.epoch)
+}
+
+// onLinkDown reacts to a link crossing the miss threshold. The
+// steward declares the member crashed, recovers the lost subtree from
+// the ring-successor replicas, and broadcasts both steps so every
+// mirror converges. A member marks the address suspected and — when
+// the loss is the steward itself and this member is the election
+// candidate — starts an election.
 func (d *Daemon) onLinkDown(addr string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return
 	}
+	d.suspected[addr] = true
 	if !d.steward {
 		d.logf("dlptd: link to %s lost", addr)
+		d.maybeElectLocked()
 		return
 	}
 	var id keys.Key
@@ -739,6 +892,14 @@ func (d *Daemon) onLinkDown(addr string) {
 	if !found {
 		return
 	}
+	d.crashPeerLocked(id, addr)
+}
+
+// crashPeerLocked serializes one member's crash under the current
+// epoch: fail the peer, broadcast the crash, recover the lost nodes
+// from ring-successor replicas, broadcast the recovery. Steward only;
+// callers hold d.mu.
+func (d *Daemon) crashPeerLocked(id keys.Key, addr string) {
 	d.logf("dlptd steward: peer %s at %s declared crashed", id, addr)
 	if err := d.cluster.FailPeer(id); err != nil {
 		d.logf("dlptd steward: crash %s: %v", id, err)
@@ -759,25 +920,35 @@ func (d *Daemon) onLinkDown(addr string) {
 	d.syncLinksLocked()
 }
 
-// onLinkUp logs a recovered link. A crashed member was already
-// removed from the overlay; a restarted daemon at the same address
-// re-joins through the handshake, so no state transition happens
-// here.
+// onLinkUp clears the suspicion on a recovered link. A crashed member
+// was already removed from the overlay; a restarted daemon at the
+// same address re-joins through the handshake, so no other state
+// transition happens here.
 func (d *Daemon) onLinkUp(addr string) {
+	d.mu.Lock()
+	delete(d.suspected, addr)
+	d.mu.Unlock()
 	d.logf("dlptd: link to %s recovered", addr)
 }
 
 // syncLinksLocked points the maintainer at every other member's
 // address (for a member this covers the steward and its ring
-// neighbors; only the steward acts on losses).
+// neighbors) and prunes suspicions of addresses no longer linked.
 func (d *Daemon) syncLinksLocked() {
 	if d.maint == nil {
 		return
 	}
 	addrs := make([]string, 0, len(d.members))
+	live := make(map[string]bool, len(d.members))
 	for id, m := range d.members {
 		if id != d.selfID {
 			addrs = append(addrs, m.Addr)
+			live[m.Addr] = true
+		}
+	}
+	for a := range d.suspected {
+		if !live[a] {
+			delete(d.suspected, a)
 		}
 	}
 	d.maint.SetLinks(addrs)
@@ -814,7 +985,10 @@ func (d *Daemon) ReplicateNow() error {
 	return nil
 }
 
-// replicateLoop is the steward's periodic replication tick.
+// replicateLoop is the periodic replication tick. It runs on every
+// daemon and no-ops per tick unless this daemon currently holds
+// stewardship — so an elected member starts replicating and a deposed
+// steward stops, with no loop lifecycle churn across failovers.
 func (d *Daemon) replicateLoop() {
 	defer d.wg.Done()
 	t := time.NewTicker(time.Duration(d.cfg.ReplicateEvery))
@@ -824,6 +998,9 @@ func (d *Daemon) replicateLoop() {
 		case <-d.ctx.Done():
 			return
 		case <-t.C:
+			if !d.IsSteward() {
+				continue
+			}
 			if err := d.ReplicateNow(); err != nil {
 				d.logf("dlptd steward: replicate: %v", err)
 			}
@@ -844,9 +1021,10 @@ func (d *Daemon) Close() error {
 	steward := d.steward
 	stewardAddr := d.stewardAddr
 	selfID, selfAddr := d.selfID, d.selfAddr
+	epoch := d.epoch
 	d.mu.Unlock()
 	if !steward {
-		payload := transport.EncodeLeave(&transport.LeaveNotice{ID: selfID, Addr: selfAddr})
+		payload := transport.EncodeLeave(&transport.LeaveNotice{ID: selfID, Addr: selfAddr, Epoch: epoch})
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		rtyp, rp, err := d.cluster.ControlRoundTrip(ctx, stewardAddr, transport.FrameLeave, payload)
 		cancel()
@@ -910,6 +1088,13 @@ func (d *Daemon) Seq() uint64 {
 	return d.seq
 }
 
+// Epoch returns the steward generation this daemon honors.
+func (d *Daemon) Epoch() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.epoch
+}
+
 // Status captures the daemon's externally visible state (the
 // handleStatus reply and the local view share this path).
 func (d *Daemon) Status() *Status {
@@ -923,6 +1108,7 @@ func (d *Daemon) Status() *Status {
 		ID:          string(d.selfID),
 		Addr:        d.selfAddr,
 		StewardAddr: d.stewardAddr,
+		Epoch:       d.epoch,
 		Seq:         d.seq,
 	}
 	for _, m := range d.memberListLocked() {
@@ -1025,28 +1211,83 @@ func (d *Daemon) admin(req *AdminRequest) *AdminResponse {
 	return resp
 }
 
+// ErrNoSteward is reported (wrapped) when a member exhausts its
+// ForwardRetry budget without reaching a live steward — i.e. the
+// failover window outlasted the retry budget.
+var ErrNoSteward = errors.New("daemon: no steward reachable")
+
 // mutate routes one catalogue mutation through the serialized stream:
 // the steward applies and broadcasts directly; a member forwards an
 // origination request to the steward — without holding the daemon
 // lock, because the steward's broadcast comes back through this
 // member's own apply handler before the forward is acknowledged.
+//
+// Forwarding retries with jittered exponential backoff across the
+// ForwardRetry budget: a failover window looks like a dead dial, a
+// "not steward" refusal from a redirect target, or a stale-epoch
+// fence, and all of those heal once the election settles. The steward
+// address is re-read (and updated from fence hints) each attempt, and
+// a member elected mid-retry applies locally. Semantic refusals — the
+// mutation itself is invalid — fail immediately.
 func (d *Daemon) mutate(op byte, key, value string) error {
-	d.mu.Lock()
-	if d.steward {
-		defer d.mu.Unlock()
-		rec := &transport.ApplyRecord{Op: op, Key: keys.Key(key), Value: value}
-		if err := d.applyLocked(rec); err != nil {
-			return err
+	bo := peering.NewBackoff(100*time.Millisecond, 2*time.Second, 0.2, d.cfg.Seed+0x5eed)
+	deadline := time.Now().Add(time.Duration(d.cfg.ForwardRetry))
+	var lastErr error
+	for {
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			return errors.New("daemon: shutting down")
 		}
-		d.bumpSeqLocked()
-		rec.Seq = d.seq
-		d.broadcastLocked(rec)
-		return nil
+		if d.steward {
+			rec := &transport.ApplyRecord{Op: op, Key: keys.Key(key), Value: value}
+			if err := d.applyLocked(rec); err != nil {
+				d.mu.Unlock()
+				return err
+			}
+			d.bumpSeqLocked()
+			rec.Seq = d.seq
+			deposed := d.broadcastLocked(rec)
+			d.mu.Unlock()
+			if !deposed {
+				return nil
+			}
+			// Fenced mid-broadcast: the write never committed under a
+			// live epoch (the rejoin reset discards the local apply).
+			// Fall through to the retry loop — the next attempt forwards
+			// to the steward that fenced us.
+			lastErr = errors.New("daemon: deposed during broadcast")
+		} else {
+			stewardAddr := d.stewardAddr
+			d.mu.Unlock()
+			lastErr = d.forwardOnce(stewardAddr, op, key, value)
+			if lastErr == nil {
+				return nil
+			}
+			retry, hintEpoch, hintAddr := retryableForwardErr(lastErr)
+			if !retry {
+				return lastErr
+			}
+			if hintAddr != "" {
+				d.noteEpoch(hintEpoch, hintAddr)
+			}
+			d.cluster.DropEndpointAddr(stewardAddr)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w after %v: %v", ErrNoSteward, time.Duration(d.cfg.ForwardRetry), lastErr)
+		}
+		select {
+		case <-d.ctx.Done():
+			return d.ctx.Err()
+		case <-time.After(bo.Next()):
+		}
 	}
-	stewardAddr := d.stewardAddr
-	d.mu.Unlock()
+}
+
+// forwardOnce sends one origination APPLY to the presumed steward.
+func (d *Daemon) forwardOnce(stewardAddr string, op byte, key, value string) error {
 	payload := transport.EncodeApply(&transport.ApplyRecord{Op: op, Key: keys.Key(key), Value: value})
-	ctx, cancel := context.WithTimeout(d.ctx, 10*time.Second)
+	ctx, cancel := context.WithTimeout(d.ctx, 5*time.Second)
 	defer cancel()
 	rtyp, rp, err := d.cluster.ControlRoundTrip(ctx, stewardAddr, transport.FrameApply, payload)
 	if err != nil {
@@ -1063,4 +1304,24 @@ func (d *Daemon) mutate(op byte, key, value string) error {
 		return fmt.Errorf("%s", es)
 	}
 	return nil
+}
+
+// retryableForwardErr classifies a forwarding failure: transport
+// errors and steward-churn refusals heal after the failover settles,
+// so the origination loop keeps retrying them; anything else is a
+// semantic refusal surfaced immediately. A stale-epoch fence also
+// yields the refuser's (epoch, steward address) hint.
+func retryableForwardErr(err error) (retry bool, hintEpoch uint64, hintAddr string) {
+	msg := err.Error()
+	if e, saddr, ok := parseStaleEpoch(msg); ok {
+		return true, e, saddr
+	}
+	switch {
+	case strings.Contains(msg, "forward to steward"), // transport failure
+		strings.Contains(msg, "daemon: not steward"),
+		strings.Contains(msg, "deposed during broadcast"),
+		strings.Contains(msg, "daemon: shutting down"):
+		return true, 0, ""
+	}
+	return false, 0, ""
 }

@@ -27,6 +27,9 @@ const (
 	SeriesTopologyEvents    = "dlpt_topology_events_total"
 	SeriesApplySeq          = "dlpt_apply_seq"
 	SeriesApplyLag          = "dlpt_apply_lag_seconds"
+	SeriesEpoch             = "dlpt_epoch"
+	SeriesElections         = "dlpt_elections_total"
+	SeriesFailoverDuration  = "dlpt_failover_seconds"
 )
 
 // Traversal phase labels.
@@ -70,7 +73,11 @@ type Metrics struct {
 	ApplySeq *Gauge
 	ApplyLag *Gauge
 
-	topo map[string]*Counter
+	Epoch            *Gauge
+	FailoverDuration *Histogram
+
+	topo      map[string]*Counter
+	elections map[string]*Counter
 
 	// lastReplicate / lastApply are unix-nano stamps the lag gauges
 	// derive from at scrape time.
@@ -111,7 +118,11 @@ func NewMetrics(reg *Registry) *Metrics {
 		ApplySeq: reg.Gauge(SeriesApplySeq, "Last applied mutation sequence number."),
 		ApplyLag: reg.Gauge(SeriesApplyLag,
 			"Seconds since the last APPLY-stream mutation was applied."),
-		topo: make(map[string]*Counter, 6),
+		Epoch: reg.Gauge(SeriesEpoch, "Current steward epoch of the overlay."),
+		FailoverDuration: reg.Histogram(SeriesFailoverDuration,
+			"Steward failover duration: steward declared dead to new steward open.", nil),
+		topo:      make(map[string]*Counter, 6),
+		elections: make(map[string]*Counter, 4),
 	}
 	for _, ph := range phases {
 		m.hops[ph] = reg.Counter(SeriesHops, "Tree edges traversed, by traversal phase.", "phase", ph)
@@ -120,6 +131,9 @@ func NewMetrics(reg *Registry) *Metrics {
 	}
 	for _, ev := range []string{"join", "leave", "crash", "recover", "balance"} {
 		m.topo[ev] = reg.Counter(SeriesTopologyEvents, "Peer lifecycle events.", "event", ev)
+	}
+	for _, ev := range []string{"started", "won", "lost", "deposed"} {
+		m.elections[ev] = reg.Counter(SeriesElections, "Steward election events.", "event", ev)
 	}
 	reg.OnScrape(func() {
 		if t := m.lastReplicate.Load(); t != 0 {
@@ -180,4 +194,33 @@ func (m *Metrics) MarkApplied(seq uint64) {
 	}
 	m.lastApply.Store(time.Now().UnixNano())
 	m.ApplySeq.Set(float64(seq))
+}
+
+// MarkEpoch stamps the steward epoch this daemon currently honors.
+func (m *Metrics) MarkEpoch(epoch uint64) {
+	if m == nil {
+		return
+	}
+	m.Epoch.Set(float64(epoch))
+}
+
+// ElectionEvent counts one steward-election event (started, won,
+// lost, deposed).
+func (m *Metrics) ElectionEvent(event string) {
+	if m == nil {
+		return
+	}
+	c := m.elections[event]
+	if c == nil {
+		c = m.Registry.Counter(SeriesElections, "", "event", event)
+	}
+	c.Inc()
+}
+
+// ObserveFailover records one completed steward failover's duration.
+func (m *Metrics) ObserveFailover(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.FailoverDuration.Observe(d.Seconds())
 }

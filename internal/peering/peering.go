@@ -235,11 +235,7 @@ func (m *Maintainer) advance(l *link, probeErr error) {
 		l.next = time.Now().Add(m.jittered(m.cfg.Interval))
 	} else {
 		l.fails++
-		backoff := m.cfg.Base << uint(min(l.fails-1, 20))
-		if backoff > m.cfg.Max || backoff <= 0 {
-			backoff = m.cfg.Max
-		}
-		l.next = time.Now().Add(m.jittered(backoff))
+		l.next = time.Now().Add(backoffFor(m.rng, m.cfg.Base, m.cfg.Max, m.cfg.Jitter, l.fails))
 		if l.state != StateDown {
 			if l.fails >= m.cfg.MissThreshold {
 				l.state = StateDown
@@ -259,6 +255,63 @@ func (m *Maintainer) advance(l *link, probeErr error) {
 // jittered spreads d by ±cfg.Jitter. Callers hold m.mu (the rng is
 // not safe for concurrent use).
 func (m *Maintainer) jittered(d time.Duration) time.Duration {
-	spread := 1 + m.cfg.Jitter*(2*m.rng.Float64()-1)
+	return jitterSpread(m.rng, d, m.cfg.Jitter)
+}
+
+// jitterSpread spreads d by ±jitter (0.2 = ±20%).
+func jitterSpread(rng *rand.Rand, d time.Duration, jitter float64) time.Duration {
+	spread := 1 + jitter*(2*rng.Float64()-1)
 	return time.Duration(float64(d) * spread)
 }
+
+// backoffFor is the shared delay schedule: the fails-th consecutive
+// failure waits Base·2^(fails-1), capped at Max and spread by ±Jitter.
+func backoffFor(rng *rand.Rand, base, max time.Duration, jitter float64, fails int) time.Duration {
+	d := base << uint(min(fails-1, 20))
+	if d > max || d <= 0 {
+		d = max
+	}
+	return jitterSpread(rng, d, jitter)
+}
+
+// Backoff is the maintenance loop's retry-delay policy as a
+// standalone helper: jittered exponential delays for any loop that
+// retries against a lost peer (the daemon's origination forwarding
+// and election retries reuse it instead of growing their own
+// schedules). Zero fields get the Maintainer defaults. Not safe for
+// concurrent use.
+type Backoff struct {
+	base, max time.Duration
+	jitter    float64
+	fails     int
+	rng       *rand.Rand
+}
+
+// NewBackoff builds a Backoff; base/max/jitter of zero take the
+// Maintainer defaults (250ms, 15s, ±20%) and seed 0 seeds from the
+// clock.
+func NewBackoff(base, max time.Duration, jitter float64, seed int64) *Backoff {
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 15 * time.Second
+	}
+	if jitter <= 0 {
+		jitter = 0.2
+	}
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Backoff{base: base, max: max, jitter: jitter, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next records one more consecutive failure and returns the delay to
+// wait before the next attempt.
+func (b *Backoff) Next() time.Duration {
+	b.fails++
+	return backoffFor(b.rng, b.base, b.max, b.jitter, b.fails)
+}
+
+// Reset clears the consecutive-failure count after a success.
+func (b *Backoff) Reset() { b.fails = 0 }

@@ -1,0 +1,156 @@
+// Fault injection for the frame path. Tests hand a *Faults to
+// Options.Faults and the cluster consults it on every outbound frame:
+// partitions fail every send (and dial) toward an address, and typed
+// rules drop, delay or duplicate control frames — the knobs the
+// steward-failover suite uses to provoke lost APPLY broadcasts,
+// election races and a fenced old steward deterministically, without
+// killing processes. All scheduling is countdown-based and any
+// randomness draws from the seeded rng, so a given seed replays the
+// same fault sequence. A nil *Faults injects nothing and costs one
+// nil check per send.
+
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjectedDrop is the transport error a sender observes when a
+// fault rule drops its frame: from the caller's perspective the frame
+// was lost exactly like a broken connection would lose it.
+var ErrInjectedDrop = fmt.Errorf("transport: frame dropped by fault injection")
+
+// ErrPartitioned is the transport error for sends toward an address
+// the fault plan has partitioned away.
+var ErrPartitioned = fmt.Errorf("transport: address partitioned by fault injection")
+
+// FaultRule matches outbound control frames and describes what to do
+// with them. Zero match fields are wildcards: Type 0 matches every
+// control frame type, empty Addr every destination. Count bounds how
+// many frames the rule affects (<= 0 means unlimited); the rule
+// expires after its count is consumed.
+type FaultRule struct {
+	Type  byte   // control frame type to match; 0 = any
+	Addr  string // destination address to match; "" = any
+	Count int    // matches before the rule expires; <= 0 = unlimited
+
+	Drop   bool          // fail the send with ErrInjectedDrop
+	Dup    bool          // write the frame twice (receiver sees it twice)
+	Delay  time.Duration // sleep before the send
+	Jitter float64       // relative spread on Delay (0.2 = ±20%), seeded
+}
+
+// Faults is a deterministic fault plan shared by a cluster's outbound
+// frame paths. Safe for concurrent use.
+type Faults struct {
+	mu          sync.Mutex
+	rng         *rand.Rand
+	partitioned map[string]bool
+	rules       []*FaultRule
+}
+
+// NewFaults builds an empty fault plan whose delay jitter draws from
+// seed.
+func NewFaults(seed int64) *Faults {
+	return &Faults{
+		rng:         rand.New(rand.NewSource(seed)),
+		partitioned: make(map[string]bool),
+	}
+}
+
+// Inject installs one rule. Rules are matched in insertion order; the
+// first match decides the frame's fate.
+func (f *Faults) Inject(rule FaultRule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r := rule
+	f.rules = append(f.rules, &r)
+}
+
+// Partition cuts every outbound frame and dial toward addrs until
+// Heal. (Each side of a link owns its own Faults, so a symmetric
+// partition is two Partition calls, one per cluster.)
+func (f *Faults) Partition(addrs ...string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, a := range addrs {
+		f.partitioned[a] = true
+	}
+}
+
+// Heal lifts the partition toward addrs.
+func (f *Faults) Heal(addrs ...string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, a := range addrs {
+		delete(f.partitioned, a)
+	}
+}
+
+// Clear removes every rule and partition.
+func (f *Faults) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+	f.partitioned = make(map[string]bool)
+}
+
+// isPartitioned reports whether sends toward addr are cut. Nil-safe.
+func (f *Faults) isPartitioned(addr string) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.partitioned[addr]
+}
+
+// faultAction is one matched rule's decision for a frame.
+type faultAction struct {
+	drop  bool
+	dup   bool
+	delay time.Duration
+}
+
+// onSend decides the fate of one outbound control frame. It consumes
+// rule counts, computes the (jittered) delay, and reports partition
+// or drop as an error. Nil-safe.
+func (f *Faults) onSend(typ byte, addr string) (faultAction, error) {
+	var act faultAction
+	if f == nil {
+		return act, nil
+	}
+	f.mu.Lock()
+	if f.partitioned[addr] {
+		f.mu.Unlock()
+		return act, fmt.Errorf("%w: %s", ErrPartitioned, addr)
+	}
+	var hit *FaultRule
+	for i, r := range f.rules {
+		if (r.Type == 0 || r.Type == typ) && (r.Addr == "" || r.Addr == addr) {
+			hit = r
+			if r.Count > 0 {
+				r.Count--
+				if r.Count == 0 {
+					f.rules = append(f.rules[:i:i], f.rules[i+1:]...)
+				}
+			}
+			break
+		}
+	}
+	if hit != nil {
+		act.drop, act.dup, act.delay = hit.Drop, hit.Dup, hit.Delay
+		if act.delay > 0 && hit.Jitter > 0 {
+			spread := 1 + hit.Jitter*(2*f.rng.Float64()-1)
+			act.delay = time.Duration(float64(act.delay) * spread)
+		}
+	}
+	f.mu.Unlock()
+	if act.drop {
+		return act, fmt.Errorf("%w: frame %d to %s", ErrInjectedDrop, typ, addr)
+	}
+	return act, nil
+}

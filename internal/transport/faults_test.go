@@ -1,0 +1,173 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dlpt/internal/keys"
+)
+
+func TestFaultRuleMatchingAndCounts(t *testing.T) {
+	f := NewFaults(1)
+	f.Inject(FaultRule{Type: frameApply, Addr: "a:1", Count: 2, Drop: true})
+
+	// Non-matching type and address pass through.
+	if _, err := f.onSend(frameStatus, "a:1"); err != nil {
+		t.Fatalf("type mismatch must pass: %v", err)
+	}
+	if _, err := f.onSend(frameApply, "b:2"); err != nil {
+		t.Fatalf("addr mismatch must pass: %v", err)
+	}
+	// Two matches consume the rule, the third passes.
+	for i := 0; i < 2; i++ {
+		if _, err := f.onSend(frameApply, "a:1"); !errors.Is(err, ErrInjectedDrop) {
+			t.Fatalf("match %d: want ErrInjectedDrop, got %v", i, err)
+		}
+	}
+	if _, err := f.onSend(frameApply, "a:1"); err != nil {
+		t.Fatalf("expired rule must pass: %v", err)
+	}
+}
+
+func TestFaultWildcardsAndOrder(t *testing.T) {
+	f := NewFaults(1)
+	f.Inject(FaultRule{Addr: "a:1", Count: 1, Dup: true})
+	f.Inject(FaultRule{Drop: true}) // unlimited wildcard behind it
+
+	act, err := f.onSend(frameApply, "a:1")
+	if err != nil || !act.dup {
+		t.Fatalf("first rule must win: act=%+v err=%v", act, err)
+	}
+	// The dup rule expired; the wildcard drop now matches everything.
+	if _, err := f.onSend(frameJoin, "anything"); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("wildcard drop must match, got %v", err)
+	}
+}
+
+func TestFaultDelayJitterDeterministic(t *testing.T) {
+	delays := func(seed int64) []time.Duration {
+		f := NewFaults(seed)
+		f.Inject(FaultRule{Delay: 50 * time.Millisecond, Jitter: 0.5})
+		var out []time.Duration
+		for i := 0; i < 5; i++ {
+			act, err := f.onSend(frameApply, "a:1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			lo, hi := 25*time.Millisecond, 75*time.Millisecond
+			if act.delay < lo || act.delay > hi {
+				t.Fatalf("delay %v outside [%v, %v]", act.delay, lo, hi)
+			}
+			out = append(out, act.delay)
+		}
+		return out
+	}
+	a, b := delays(7), delays(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestFaultPartitionHealClear(t *testing.T) {
+	f := NewFaults(1)
+	f.Partition("a:1", "b:2")
+	if !f.isPartitioned("a:1") || !f.isPartitioned("b:2") {
+		t.Fatal("partition not recorded")
+	}
+	if _, err := f.onSend(frameStatus, "a:1"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("want ErrPartitioned, got %v", err)
+	}
+	f.Heal("a:1")
+	if f.isPartitioned("a:1") || !f.isPartitioned("b:2") {
+		t.Fatal("heal must be per-address")
+	}
+	f.Inject(FaultRule{Drop: true})
+	f.Clear()
+	if f.isPartitioned("b:2") {
+		t.Fatal("clear must lift partitions")
+	}
+	if _, err := f.onSend(frameApply, "b:2"); err != nil {
+		t.Fatalf("clear must drop rules: %v", err)
+	}
+}
+
+func TestNilFaultsInjectNothing(t *testing.T) {
+	var f *Faults
+	if f.isPartitioned("a:1") {
+		t.Fatal("nil Faults must not partition")
+	}
+	if act, err := f.onSend(frameApply, "a:1"); err != nil || act.drop || act.dup || act.delay != 0 {
+		t.Fatalf("nil Faults must no-op: act=%+v err=%v", act, err)
+	}
+}
+
+// TestFaultsOnWire drives a real two-process-shaped cluster pair (one
+// listener each, like dlptd) and proves drops and duplicates surface
+// at the ControlRoundTrip layer: the drop is a send error, and the
+// duplicated frame reaches the handler twice while the caller still
+// sees exactly one reply.
+func TestFaultsOnWire(t *testing.T) {
+	faults := NewFaults(3)
+	seen := make(chan byte, 8)
+	opts := Options{
+		Faults: faults,
+		Control: func(typ byte, payload []byte) (byte, []byte) {
+			seen <- typ
+			return FrameAck, EncodeAck("")
+		},
+	}
+	srv, err := StartOpts(keys.LowerAlnum, []int{8}, 1, Options{Control: opts.Control})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Stop)
+	var addr string
+	for _, a := range srv.Addrs() {
+		addr = a
+	}
+	cli, err := StartOpts(keys.LowerAlnum, []int{8}, 2, Options{Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cli.Stop)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// A dropped frame is a transport error on the sender.
+	faults.Inject(FaultRule{Type: frameApply, Count: 1, Drop: true})
+	if _, _, err := cli.ControlRoundTrip(ctx, addr, frameApply, EncodeAck("")); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("want ErrInjectedDrop, got %v", err)
+	}
+
+	// A duplicated frame reaches the handler twice; one reply returns.
+	faults.Inject(FaultRule{Type: frameApply, Count: 1, Dup: true})
+	rtyp, _, err := cli.ControlRoundTrip(ctx, addr, frameApply, EncodeAck(""))
+	if err != nil || rtyp != FrameAck {
+		t.Fatalf("dup round-trip: rtyp=%d err=%v", rtyp, err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case typ := <-seen:
+			if typ != frameApply {
+				t.Fatalf("handler saw frame %d", typ)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("handler saw the frame %d times, want 2", i)
+		}
+	}
+
+	// A partition cuts the send before any dial.
+	faults.Partition(addr)
+	if _, _, err := cli.ControlRoundTrip(ctx, addr, frameStatus, nil); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("want ErrPartitioned, got %v", err)
+	}
+	faults.Heal(addr)
+	if _, _, err := cli.ControlRoundTrip(ctx, addr, frameStatus, nil); err != nil {
+		t.Fatalf("healed round-trip: %v", err)
+	}
+}

@@ -85,6 +85,22 @@ const (
 	frameStatusResp = 16
 	frameAdmin      = 17
 	frameAdminResp  = 18
+	// The failover control plane: ELECT asks a surviving member to
+	// vote for the sender's stewardship under a proposed epoch,
+	// EPOCH_OPEN is the winning candidate's barrier (members adopt the
+	// new epoch and report their last applied sequence so gaps can be
+	// replayed), RESYNC ships a full mirror snapshot to a member too
+	// divergent to replay (reply: RESPONSE ack), and FETCH pulls a
+	// tail of the apply log from a member that is ahead of the new
+	// steward. Like the rest of the control plane, the payloads belong
+	// to internal/daemon (see handshake.go).
+	frameElect         = 19
+	frameElectResp     = 20
+	frameEpochOpen     = 21
+	frameEpochOpenResp = 22
+	frameResync        = 23
+	frameFetch         = 24
+	frameFetchResp     = 25
 )
 
 // frameHeaderSize is type(1) + id(8) + payloadLen(4).

@@ -26,8 +26,9 @@ import (
 // HandshakeVersion is the JOIN/HELLO protocol revision. A joiner and
 // its bootstrap peer must agree exactly: the APPLY mutation stream
 // only keeps mirrors convergent when both sides interpret it the
-// same way.
-const HandshakeVersion = 1
+// same way. Revision 2 added the steward epoch to HELLO, LEAVE and
+// APPLY and the ELECT/EPOCH_OPEN/RESYNC/FETCH failover frames.
+const HandshakeVersion = 2
 
 // Exported frame-type aliases for control round-trips: the daemon
 // package addresses its frames with these, and a control handler
@@ -41,8 +42,16 @@ const (
 	FrameStatusResp = frameStatusResp
 	FrameAdmin      = frameAdmin
 	FrameAdminResp  = frameAdminResp
-	// FrameAck acknowledges a LEAVE or APPLY (a plain RESPONSE frame
-	// carrying only an error string; see EncodeAck).
+	// The failover control plane (see frame.go for semantics).
+	FrameElect         = frameElect
+	FrameElectResp     = frameElectResp
+	FrameEpochOpen     = frameEpochOpen
+	FrameEpochOpenResp = frameEpochOpenResp
+	FrameResync        = frameResync
+	FrameFetch         = frameFetch
+	FrameFetchResp     = frameFetchResp
+	// FrameAck acknowledges a LEAVE, APPLY or RESYNC (a plain RESPONSE
+	// frame carrying only an error string; see EncodeAck).
 	FrameAck = frameResponse
 )
 
@@ -92,6 +101,7 @@ type HelloInfo struct {
 	Placement   string
 	AssignedID  keys.Key
 	Seq         uint64
+	Epoch       uint64
 	Members     []Member
 	Peers       []persist.PeerState
 	Nodes       []persist.NodeState
@@ -99,9 +109,12 @@ type HelloInfo struct {
 
 // LeaveNotice announces a graceful departure: the steward hands the
 // peer's tree nodes off (RemovePeer) and broadcasts the departure.
+// Epoch is the epoch the departing member last honored; a steward
+// refuses notices fenced behind its own epoch.
 type LeaveNotice struct {
-	ID   keys.Key
-	Addr string
+	ID    keys.Key
+	Addr  string
+	Epoch uint64
 }
 
 // ApplyRecord is one serialized overlay mutation. The steward assigns
@@ -109,9 +122,13 @@ type LeaveNotice struct {
 // record out of sequence must refuse it (its mirror would diverge).
 // A record sent by a member to the steward with Seq == 0 is an
 // origination request: the steward serializes it, assigns the
-// sequence number and broadcasts it back out.
+// sequence number and broadcasts it back out. Epoch fences the
+// stream: a receiver refuses records stamped with an epoch older
+// than the one it honors, so a deposed steward's late broadcasts
+// bounce instead of splitting the brain.
 type ApplyRecord struct {
 	Seq      uint64
+	Epoch    uint64
 	Op       byte
 	Key      keys.Key // Register/Unregister: catalogue key
 	Value    string   // Register/Unregister: value
@@ -163,19 +180,92 @@ func EncodeHello(h *HelloInfo) []byte {
 	b = appendString(b, h.Placement)
 	b = appendString(b, string(h.AssignedID))
 	b = binary.AppendUvarint(b, h.Seq)
-	b = binary.AppendUvarint(b, uint64(len(h.Members)))
-	for _, m := range h.Members {
+	b = binary.AppendUvarint(b, h.Epoch)
+	b = appendMembers(b, h.Members)
+	b = appendPeerStates(b, h.Peers)
+	return appendNodeStates(b, h.Nodes)
+}
+
+// appendMembers encodes a count-prefixed member table.
+func appendMembers(b []byte, ms []Member) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ms)))
+	for _, m := range ms {
 		b = appendString(b, string(m.ID))
 		b = appendString(b, m.Addr)
 		b = binary.AppendUvarint(b, uint64(m.Capacity))
 	}
-	b = binary.AppendUvarint(b, uint64(len(h.Peers)))
-	for _, ps := range h.Peers {
+	return b
+}
+
+// getMembers decodes a count-prefixed member table.
+func getMembers(p []byte) ([]Member, []byte, error) {
+	v, p, err := getUvarint(p)
+	if err != nil {
+		return nil, nil, fmt.Errorf("member count: %w", err)
+	}
+	if v > uint64(len(p)) {
+		return nil, nil, errors.New("transport: implausible member count")
+	}
+	ms := make([]Member, 0, v)
+	for i := uint64(0); i < v; i++ {
+		var m Member
+		var s string
+		var c uint64
+		if s, p, err = getString(p); err != nil {
+			return nil, nil, fmt.Errorf("member %d id: %w", i, err)
+		}
+		m.ID = keys.Key(s)
+		if m.Addr, p, err = getString(p); err != nil {
+			return nil, nil, fmt.Errorf("member %d addr: %w", i, err)
+		}
+		if c, p, err = getUvarint(p); err != nil {
+			return nil, nil, fmt.Errorf("member %d capacity: %w", i, err)
+		}
+		m.Capacity = int(c)
+		ms = append(ms, m)
+	}
+	return ms, p, nil
+}
+
+// appendPeerStates encodes a count-prefixed overlay peer list.
+func appendPeerStates(b []byte, peers []persist.PeerState) []byte {
+	b = binary.AppendUvarint(b, uint64(len(peers)))
+	for _, ps := range peers {
 		b = appendString(b, ps.ID)
 		b = binary.AppendUvarint(b, uint64(ps.Capacity))
 	}
-	b = binary.AppendUvarint(b, uint64(len(h.Nodes)))
-	for _, ns := range h.Nodes {
+	return b
+}
+
+// getPeerStates decodes a count-prefixed overlay peer list.
+func getPeerStates(p []byte) ([]persist.PeerState, []byte, error) {
+	v, p, err := getUvarint(p)
+	if err != nil {
+		return nil, nil, fmt.Errorf("peer count: %w", err)
+	}
+	if v > uint64(len(p)) {
+		return nil, nil, errors.New("transport: implausible peer count")
+	}
+	peers := make([]persist.PeerState, 0, v)
+	for i := uint64(0); i < v; i++ {
+		var ps persist.PeerState
+		var c uint64
+		if ps.ID, p, err = getString(p); err != nil {
+			return nil, nil, fmt.Errorf("peer %d id: %w", i, err)
+		}
+		if c, p, err = getUvarint(p); err != nil {
+			return nil, nil, fmt.Errorf("peer %d capacity: %w", i, err)
+		}
+		ps.Capacity = int(c)
+		peers = append(peers, ps)
+	}
+	return peers, p, nil
+}
+
+// appendNodeStates encodes a count-prefixed catalogue node list.
+func appendNodeStates(b []byte, nodes []persist.NodeState) []byte {
+	b = binary.AppendUvarint(b, uint64(len(nodes)))
+	for _, ns := range nodes {
 		b = appendString(b, ns.Key)
 		b = binary.AppendUvarint(b, uint64(len(ns.Values)))
 		for _, v := range ns.Values {
@@ -183,6 +273,40 @@ func EncodeHello(h *HelloInfo) []byte {
 		}
 	}
 	return b
+}
+
+// getNodeStates decodes a count-prefixed catalogue node list.
+func getNodeStates(p []byte) ([]persist.NodeState, []byte, error) {
+	v, p, err := getUvarint(p)
+	if err != nil {
+		return nil, nil, fmt.Errorf("node count: %w", err)
+	}
+	if v > uint64(len(p)) {
+		return nil, nil, errors.New("transport: implausible node count")
+	}
+	nodes := make([]persist.NodeState, 0, v)
+	for i := uint64(0); i < v; i++ {
+		var ns persist.NodeState
+		var m uint64
+		var s string
+		if ns.Key, p, err = getString(p); err != nil {
+			return nil, nil, fmt.Errorf("node %d key: %w", i, err)
+		}
+		if m, p, err = getUvarint(p); err != nil {
+			return nil, nil, fmt.Errorf("node %d value count: %w", i, err)
+		}
+		if m > uint64(len(p)) {
+			return nil, nil, errors.New("transport: implausible value count")
+		}
+		for j := uint64(0); j < m; j++ {
+			if s, p, err = getString(p); err != nil {
+				return nil, nil, fmt.Errorf("node %d value %d: %w", i, j, err)
+			}
+			ns.Values = append(ns.Values, s)
+		}
+		nodes = append(nodes, ns)
+	}
+	return nodes, p, nil
 }
 
 // DecodeHello unmarshals a HelloInfo payload.
@@ -214,74 +338,17 @@ func DecodeHello(p []byte) (*HelloInfo, error) {
 	if h.Seq, p, err = getUvarint(p); err != nil {
 		return nil, fmt.Errorf("hello seq: %w", err)
 	}
-	if v, p, err = getUvarint(p); err != nil {
-		return nil, fmt.Errorf("hello member count: %w", err)
+	if h.Epoch, p, err = getUvarint(p); err != nil {
+		return nil, fmt.Errorf("hello epoch: %w", err)
 	}
-	if v > uint64(len(p)) {
-		return nil, errors.New("transport: implausible member count")
+	if h.Members, p, err = getMembers(p); err != nil {
+		return nil, fmt.Errorf("hello: %w", err)
 	}
-	h.Members = make([]Member, 0, v)
-	for i := uint64(0); i < v; i++ {
-		var m Member
-		var c uint64
-		if s, p, err = getString(p); err != nil {
-			return nil, fmt.Errorf("hello member %d id: %w", i, err)
-		}
-		m.ID = keys.Key(s)
-		if m.Addr, p, err = getString(p); err != nil {
-			return nil, fmt.Errorf("hello member %d addr: %w", i, err)
-		}
-		if c, p, err = getUvarint(p); err != nil {
-			return nil, fmt.Errorf("hello member %d capacity: %w", i, err)
-		}
-		m.Capacity = int(c)
-		h.Members = append(h.Members, m)
+	if h.Peers, p, err = getPeerStates(p); err != nil {
+		return nil, fmt.Errorf("hello: %w", err)
 	}
-	if v, p, err = getUvarint(p); err != nil {
-		return nil, fmt.Errorf("hello peer count: %w", err)
-	}
-	if v > uint64(len(p)) {
-		return nil, errors.New("transport: implausible peer count")
-	}
-	h.Peers = make([]persist.PeerState, 0, v)
-	for i := uint64(0); i < v; i++ {
-		var ps persist.PeerState
-		var c uint64
-		if ps.ID, p, err = getString(p); err != nil {
-			return nil, fmt.Errorf("hello peer %d id: %w", i, err)
-		}
-		if c, p, err = getUvarint(p); err != nil {
-			return nil, fmt.Errorf("hello peer %d capacity: %w", i, err)
-		}
-		ps.Capacity = int(c)
-		h.Peers = append(h.Peers, ps)
-	}
-	if v, p, err = getUvarint(p); err != nil {
-		return nil, fmt.Errorf("hello node count: %w", err)
-	}
-	if v > uint64(len(p)) {
-		return nil, errors.New("transport: implausible node count")
-	}
-	h.Nodes = make([]persist.NodeState, 0, v)
-	for i := uint64(0); i < v; i++ {
-		var ns persist.NodeState
-		var m uint64
-		if ns.Key, p, err = getString(p); err != nil {
-			return nil, fmt.Errorf("hello node %d key: %w", i, err)
-		}
-		if m, p, err = getUvarint(p); err != nil {
-			return nil, fmt.Errorf("hello node %d value count: %w", i, err)
-		}
-		if m > uint64(len(p)) {
-			return nil, errors.New("transport: implausible value count")
-		}
-		for j := uint64(0); j < m; j++ {
-			if s, p, err = getString(p); err != nil {
-				return nil, fmt.Errorf("hello node %d value %d: %w", i, j, err)
-			}
-			ns.Values = append(ns.Values, s)
-		}
-		h.Nodes = append(h.Nodes, ns)
+	if h.Nodes, _, err = getNodeStates(p); err != nil {
+		return nil, fmt.Errorf("hello: %w", err)
 	}
 	return &h, nil
 }
@@ -289,7 +356,8 @@ func DecodeHello(p []byte) (*HelloInfo, error) {
 // EncodeLeave marshals a LeaveNotice payload.
 func EncodeLeave(ln *LeaveNotice) []byte {
 	b := appendString(nil, string(ln.ID))
-	return appendString(b, ln.Addr)
+	b = appendString(b, ln.Addr)
+	return binary.AppendUvarint(b, ln.Epoch)
 }
 
 // DecodeLeave unmarshals a LeaveNotice payload.
@@ -301,8 +369,11 @@ func DecodeLeave(p []byte) (*LeaveNotice, error) {
 		return nil, fmt.Errorf("leave id: %w", err)
 	}
 	ln.ID = keys.Key(s)
-	if ln.Addr, _, err = getString(p); err != nil {
+	if ln.Addr, p, err = getString(p); err != nil {
 		return nil, fmt.Errorf("leave addr: %w", err)
+	}
+	if ln.Epoch, _, err = getUvarint(p); err != nil {
+		return nil, fmt.Errorf("leave epoch: %w", err)
 	}
 	return &ln, nil
 }
@@ -310,6 +381,7 @@ func DecodeLeave(p []byte) (*LeaveNotice, error) {
 // EncodeApply marshals an ApplyRecord payload.
 func EncodeApply(rec *ApplyRecord) []byte {
 	b := binary.AppendUvarint(nil, rec.Seq)
+	b = binary.AppendUvarint(b, rec.Epoch)
 	b = append(b, rec.Op)
 	b = appendString(b, string(rec.Key))
 	b = appendString(b, rec.Value)
@@ -326,6 +398,9 @@ func DecodeApply(p []byte) (*ApplyRecord, error) {
 	var v uint64
 	if rec.Seq, p, err = getUvarint(p); err != nil {
 		return nil, fmt.Errorf("apply seq: %w", err)
+	}
+	if rec.Epoch, p, err = getUvarint(p); err != nil {
+		return nil, fmt.Errorf("apply epoch: %w", err)
 	}
 	if len(p) < 1 {
 		return nil, errors.New("apply op: truncated")
@@ -350,6 +425,283 @@ func DecodeApply(p []byte) (*ApplyRecord, error) {
 		return nil, fmt.Errorf("apply addr: %w", err)
 	}
 	return &rec, nil
+}
+
+// ElectRequest asks a surviving member to vote for the sender as the
+// next steward under the proposed epoch. Seq is the candidate's last
+// applied sequence number; voters use it only for observability — the
+// winner instead pulls any records it missed from the most advanced
+// voter before opening the epoch.
+type ElectRequest struct {
+	Epoch uint64   // proposed epoch; must exceed the voter's epoch and promise
+	ID    keys.Key // candidate's ring id
+	Addr  string   // candidate's advertised listener address
+	Seq   uint64   // candidate's last applied sequence number
+}
+
+// ElectReply is a voter's answer. A grant promises the voter will
+// refuse any epoch at or below the proposed one from other candidates.
+// Epoch echoes the voter's fencing floor (its max of honored and
+// promised epoch) so a refused candidate can re-propose above it;
+// Seq is the voter's last applied sequence number so the winner can
+// fetch records it never saw; StewardAddr is set when the voter
+// refuses because its steward link is still up.
+type ElectReply struct {
+	Granted     bool
+	Epoch       uint64
+	Seq         uint64
+	StewardAddr string
+	Err         string
+}
+
+// EpochOpen is the new steward's barrier message: every member adopts
+// the epoch and steward address, reports its last applied sequence
+// number, and refuses traffic from older epochs from then on. Seq is
+// the new steward's sequence number after catch-up — the stream
+// position the epoch opens at.
+type EpochOpen struct {
+	Epoch       uint64
+	StewardID   keys.Key
+	StewardAddr string
+	Seq         uint64
+}
+
+// EpochOpenReply reports the member's last applied sequence number so
+// the steward can replay the gap (or fall back to a full RESYNC).
+type EpochOpenReply struct {
+	Seq uint64
+	Err string
+}
+
+// ResyncState is a full mirror replacement for a member too far
+// behind (or ahead of) the new steward to reconcile by replay: the
+// member installs the snapshot wholesale, exactly like a fresh HELLO.
+type ResyncState struct {
+	Epoch       uint64
+	Seq         uint64
+	StewardAddr string
+	Members     []Member
+	Peers       []persist.PeerState
+	Nodes       []persist.NodeState
+}
+
+// FetchRequest asks a member for its applied records from sequence
+// number From onward — the election winner's catch-up pull from the
+// most advanced voter.
+type FetchRequest struct {
+	From uint64
+}
+
+// FetchReply carries the fetched records in sequence order. An empty
+// Err with fewer records than asked means the sender's log no longer
+// covers the range.
+type FetchReply struct {
+	Records []*ApplyRecord
+	Err     string
+}
+
+// EncodeElect marshals an ElectRequest payload.
+func EncodeElect(er *ElectRequest) []byte {
+	b := binary.AppendUvarint(nil, er.Epoch)
+	b = appendString(b, string(er.ID))
+	b = appendString(b, er.Addr)
+	return binary.AppendUvarint(b, er.Seq)
+}
+
+// DecodeElect unmarshals an ElectRequest payload.
+func DecodeElect(p []byte) (*ElectRequest, error) {
+	var er ElectRequest
+	var err error
+	var s string
+	if er.Epoch, p, err = getUvarint(p); err != nil {
+		return nil, fmt.Errorf("elect epoch: %w", err)
+	}
+	if s, p, err = getString(p); err != nil {
+		return nil, fmt.Errorf("elect id: %w", err)
+	}
+	er.ID = keys.Key(s)
+	if er.Addr, p, err = getString(p); err != nil {
+		return nil, fmt.Errorf("elect addr: %w", err)
+	}
+	if er.Seq, _, err = getUvarint(p); err != nil {
+		return nil, fmt.Errorf("elect seq: %w", err)
+	}
+	return &er, nil
+}
+
+// EncodeElectReply marshals an ElectReply payload.
+func EncodeElectReply(er *ElectReply) []byte {
+	b := appendBool(nil, er.Granted)
+	b = binary.AppendUvarint(b, er.Epoch)
+	b = binary.AppendUvarint(b, er.Seq)
+	b = appendString(b, er.StewardAddr)
+	return appendString(b, er.Err)
+}
+
+// DecodeElectReply unmarshals an ElectReply payload.
+func DecodeElectReply(p []byte) (*ElectReply, error) {
+	var er ElectReply
+	var err error
+	if er.Granted, p, err = getBool(p); err != nil {
+		return nil, fmt.Errorf("elect reply granted: %w", err)
+	}
+	if er.Epoch, p, err = getUvarint(p); err != nil {
+		return nil, fmt.Errorf("elect reply epoch: %w", err)
+	}
+	if er.Seq, p, err = getUvarint(p); err != nil {
+		return nil, fmt.Errorf("elect reply seq: %w", err)
+	}
+	if er.StewardAddr, p, err = getString(p); err != nil {
+		return nil, fmt.Errorf("elect reply steward: %w", err)
+	}
+	if er.Err, _, err = getString(p); err != nil {
+		return nil, fmt.Errorf("elect reply err: %w", err)
+	}
+	return &er, nil
+}
+
+// EncodeEpochOpen marshals an EpochOpen payload.
+func EncodeEpochOpen(eo *EpochOpen) []byte {
+	b := binary.AppendUvarint(nil, eo.Epoch)
+	b = appendString(b, string(eo.StewardID))
+	b = appendString(b, eo.StewardAddr)
+	return binary.AppendUvarint(b, eo.Seq)
+}
+
+// DecodeEpochOpen unmarshals an EpochOpen payload.
+func DecodeEpochOpen(p []byte) (*EpochOpen, error) {
+	var eo EpochOpen
+	var err error
+	var s string
+	if eo.Epoch, p, err = getUvarint(p); err != nil {
+		return nil, fmt.Errorf("epoch open epoch: %w", err)
+	}
+	if s, p, err = getString(p); err != nil {
+		return nil, fmt.Errorf("epoch open steward id: %w", err)
+	}
+	eo.StewardID = keys.Key(s)
+	if eo.StewardAddr, p, err = getString(p); err != nil {
+		return nil, fmt.Errorf("epoch open steward addr: %w", err)
+	}
+	if eo.Seq, _, err = getUvarint(p); err != nil {
+		return nil, fmt.Errorf("epoch open seq: %w", err)
+	}
+	return &eo, nil
+}
+
+// EncodeEpochOpenReply marshals an EpochOpenReply payload.
+func EncodeEpochOpenReply(eo *EpochOpenReply) []byte {
+	b := binary.AppendUvarint(nil, eo.Seq)
+	return appendString(b, eo.Err)
+}
+
+// DecodeEpochOpenReply unmarshals an EpochOpenReply payload.
+func DecodeEpochOpenReply(p []byte) (*EpochOpenReply, error) {
+	var eo EpochOpenReply
+	var err error
+	if eo.Seq, p, err = getUvarint(p); err != nil {
+		return nil, fmt.Errorf("epoch open reply seq: %w", err)
+	}
+	if eo.Err, _, err = getString(p); err != nil {
+		return nil, fmt.Errorf("epoch open reply err: %w", err)
+	}
+	return &eo, nil
+}
+
+// EncodeResync marshals a ResyncState payload.
+func EncodeResync(rs *ResyncState) []byte {
+	b := binary.AppendUvarint(nil, rs.Epoch)
+	b = binary.AppendUvarint(b, rs.Seq)
+	b = appendString(b, rs.StewardAddr)
+	b = appendMembers(b, rs.Members)
+	b = appendPeerStates(b, rs.Peers)
+	return appendNodeStates(b, rs.Nodes)
+}
+
+// DecodeResync unmarshals a ResyncState payload.
+func DecodeResync(p []byte) (*ResyncState, error) {
+	var rs ResyncState
+	var err error
+	if rs.Epoch, p, err = getUvarint(p); err != nil {
+		return nil, fmt.Errorf("resync epoch: %w", err)
+	}
+	if rs.Seq, p, err = getUvarint(p); err != nil {
+		return nil, fmt.Errorf("resync seq: %w", err)
+	}
+	if rs.StewardAddr, p, err = getString(p); err != nil {
+		return nil, fmt.Errorf("resync steward: %w", err)
+	}
+	if rs.Members, p, err = getMembers(p); err != nil {
+		return nil, fmt.Errorf("resync: %w", err)
+	}
+	if rs.Peers, p, err = getPeerStates(p); err != nil {
+		return nil, fmt.Errorf("resync: %w", err)
+	}
+	if rs.Nodes, _, err = getNodeStates(p); err != nil {
+		return nil, fmt.Errorf("resync: %w", err)
+	}
+	return &rs, nil
+}
+
+// EncodeFetch marshals a FetchRequest payload.
+func EncodeFetch(fr *FetchRequest) []byte {
+	return binary.AppendUvarint(nil, fr.From)
+}
+
+// DecodeFetch unmarshals a FetchRequest payload.
+func DecodeFetch(p []byte) (*FetchRequest, error) {
+	var fr FetchRequest
+	var err error
+	if fr.From, _, err = getUvarint(p); err != nil {
+		return nil, fmt.Errorf("fetch from: %w", err)
+	}
+	return &fr, nil
+}
+
+// EncodeFetchReply marshals a FetchReply payload. Records nest as
+// length-prefixed EncodeApply payloads.
+func EncodeFetchReply(fr *FetchReply) []byte {
+	b := appendString(nil, fr.Err)
+	b = binary.AppendUvarint(b, uint64(len(fr.Records)))
+	for _, rec := range fr.Records {
+		rb := EncodeApply(rec)
+		b = binary.AppendUvarint(b, uint64(len(rb)))
+		b = append(b, rb...)
+	}
+	return b
+}
+
+// DecodeFetchReply unmarshals a FetchReply payload.
+func DecodeFetchReply(p []byte) (*FetchReply, error) {
+	var fr FetchReply
+	var err error
+	var v uint64
+	if fr.Err, p, err = getString(p); err != nil {
+		return nil, fmt.Errorf("fetch reply err: %w", err)
+	}
+	if v, p, err = getUvarint(p); err != nil {
+		return nil, fmt.Errorf("fetch reply record count: %w", err)
+	}
+	if v > uint64(len(p)) {
+		return nil, errors.New("transport: implausible record count")
+	}
+	fr.Records = make([]*ApplyRecord, 0, v)
+	for i := uint64(0); i < v; i++ {
+		var n uint64
+		if n, p, err = getUvarint(p); err != nil {
+			return nil, fmt.Errorf("fetch reply record %d len: %w", i, err)
+		}
+		if n > uint64(len(p)) {
+			return nil, errors.New("transport: truncated fetch record")
+		}
+		rec, err := DecodeApply(p[:n])
+		if err != nil {
+			return nil, fmt.Errorf("fetch reply record %d: %w", i, err)
+		}
+		p = p[n:]
+		fr.Records = append(fr.Records, rec)
+	}
+	return &fr, nil
 }
 
 // RawCall dials addr, sends one control frame and waits for its

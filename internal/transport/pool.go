@@ -16,6 +16,7 @@ package transport
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -38,6 +39,11 @@ type connPool struct {
 	// met, when set, is handed to every dialed frameConn for wire-byte
 	// accounting. Nil-safe.
 	met *obs.Metrics
+
+	// faults, when set, cuts gets toward partitioned addresses so
+	// injected partitions cover every client path (relays, probes,
+	// control round-trips) at the single choke point. Nil-safe.
+	faults *Faults
 
 	mu     sync.Mutex
 	conns  map[string]*poolConn
@@ -124,6 +130,9 @@ func newConnPool(quit <-chan struct{}, wg *sync.WaitGroup) *connPool {
 // get returns the shared connection to addr, dialing it on first use.
 // Concurrent getters for one address share a single dial.
 func (p *connPool) get(ctx context.Context, addr string) (*poolConn, error) {
+	if p.faults.isPartitioned(addr) {
+		return nil, fmt.Errorf("%w: %s", ErrPartitioned, addr)
+	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -233,7 +242,8 @@ func (p *connPool) demux(pc *poolConn) {
 			if ch != nil {
 				ch <- rtResult{resp: resp}
 			}
-		case frameQRouteResp, frameHello, frameStatusResp, frameAdminResp:
+		case frameQRouteResp, frameHello, frameStatusResp, frameAdminResp,
+			frameElectResp, frameEpochOpenResp, frameFetchResp:
 			pc.mu.Lock()
 			rch := pc.raw[id]
 			delete(pc.raw, id)

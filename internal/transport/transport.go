@@ -218,6 +218,11 @@ type Options struct {
 	// traversal, replica shipment and topology event; trace contexts
 	// propagate across hosts in the frame header extension.
 	Trace *trace.Recorder
+	// Faults, when non-nil, injects deterministic faults into the
+	// outbound frame path: partitions cut dials, typed rules drop,
+	// delay or duplicate control frames. Test-only; nil costs one nil
+	// check per send.
+	Faults *Faults
 }
 
 // Cluster is an overlay whose peers communicate over TCP.
@@ -232,8 +237,9 @@ type Cluster struct {
 	bind    string         // listener bind address template
 	advHost string         // advertised host override
 	control func(typ byte, payload []byte) (byte, []byte)
-	met     *obs.Metrics   // nil disables metrics
+	met     *obs.Metrics    // nil disables metrics
 	rec     *trace.Recorder // nil disables span recording
+	faults  *Faults         // nil injects nothing
 
 	// queryVisits counts tree nodes visited by server-side streaming
 	// query traversals — the observable the early-exit tests watch to
@@ -273,6 +279,7 @@ func StartOpts(alpha *keys.Alphabet, capacities []int, seed int64, opts Options)
 		control: opts.Control,
 		met:     opts.Obs,
 		rec:     opts.Trace,
+		faults:  opts.Faults,
 		quit:    make(chan struct{}),
 	}
 	// The shared core inherits the instrumentation so every query
@@ -281,6 +288,7 @@ func StartOpts(alpha *keys.Alphabet, capacities []int, seed int64, opts Options)
 	c.net.Tracer = c.rec
 	c.pool = newConnPool(c.quit, &c.wg)
 	c.pool.met = c.met
+	c.pool.faults = c.faults
 	c.registerCollectors()
 	if opts.Restore {
 		if c.store == nil {
@@ -521,6 +529,49 @@ func (c *Cluster) InstallMirror(peers []persist.PeerState, nodes []persist.NodeS
 	return nil
 }
 
+// ResetToMirror replaces a running daemon cluster's overlay state
+// wholesale with a fresh mirror: a member too far behind the new
+// steward to reconcile by replay, or a deposed steward rejoining
+// under a fresh ring id, installs the snapshot exactly like a fresh
+// HELLO — but keeps its already-bound listener, which is re-keyed to
+// self. Requires the single-local-listener shape of the daemon
+// deployment.
+func (c *Cluster) ResetToMirror(peers []persist.PeerState, nodes []persist.NodeState,
+	members map[keys.Key]string, self keys.Key) error {
+	select {
+	case <-c.quit:
+		return ErrStopped
+	default:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.servers) != 1 {
+		return fmt.Errorf("transport: reset needs exactly one local listener, have %d", len(c.servers))
+	}
+	fresh := core.NewNetwork(c.net.Alphabet, c.net.Placement)
+	fresh.Obs = c.met
+	fresh.Tracer = c.rec
+	st := &persist.LoadedState{Snapshot: &persist.Snapshot{Peers: peers, Nodes: nodes}}
+	if err := fresh.RestoreFrom(st, c.rng); err != nil {
+		return err
+	}
+	if _, ok := fresh.Peer(self); !ok {
+		return fmt.Errorf("transport: mirror state lacks own peer %q", self)
+	}
+	c.net = fresh
+	c.net.AttachJournal(c.store)
+	ps := c.servers[0]
+	c.addrs = make(map[keys.Key]string, len(members)+1)
+	for id, addr := range members {
+		if id != self {
+			c.addrs[id] = addr
+		}
+	}
+	ps.id = self
+	c.addrs[self] = ps.addr
+	return nil
+}
+
 // ReplicateLocal runs one replication tick wholly in-process: plan,
 // install, compact, and on a durable cluster the fsynced snapshot
 // rotation — the core path engine/local uses. The daemon deployment
@@ -566,12 +617,34 @@ func (c *Cluster) ControlRoundTrip(ctx context.Context, addr string, typ byte, p
 		return 0, nil, ErrStopped
 	default:
 	}
+	act, err := c.faults.onSend(typ, addr)
+	if err != nil {
+		return 0, nil, err // injected partition or drop
+	}
+	if act.delay > 0 {
+		select {
+		case <-time.After(act.delay):
+		case <-ctx.Done():
+			return 0, nil, ctx.Err()
+		case <-c.quit:
+			return 0, nil, ErrStopped
+		}
+	}
 	pc, err := c.pool.get(ctx, addr)
 	if err != nil {
 		return 0, nil, err
 	}
 	msg, err := c.pool.rawRoundTrip(ctx, pc, func(id uint64) error {
-		return pc.fc.writeRaw(typ, id, payload)
+		if err := pc.fc.writeRaw(typ, id, payload); err != nil {
+			return err
+		}
+		if act.dup {
+			// Duplicate delivery: the receiver handles the frame twice;
+			// the demux keeps the first reply for this id and drops the
+			// second.
+			return pc.fc.writeRaw(typ, id, payload)
+		}
+		return nil
 	})
 	if err != nil {
 		return 0, nil, err
@@ -1002,7 +1075,8 @@ func (c *Cluster) handleConn(ps *peerServer, conn net.Conn) {
 				cancel()
 				_ = sc.fc.writeQRouteResp(id, &resp)
 			}(id, rq, tc)
-		case frameJoin, frameLeave, frameApply, frameStatus, frameAdmin:
+		case frameJoin, frameLeave, frameApply, frameStatus, frameAdmin,
+			frameElect, frameEpochOpen, frameResync, frameFetch:
 			// Control plane: hand the frame to the daemon layer. The
 			// payload aliases the read buffer, so the handler gets a
 			// copy; a goroutine per frame keeps the read loop moving
