@@ -22,7 +22,7 @@ import (
 // goroutine is still writing the live process's stderr into it.
 type syncBuffer struct {
 	mu  sync.Mutex
-	buf bytes.Buffer
+	buf bytes.Buffer // guarded by mu (written by the exec pipe copier goroutine)
 }
 
 func (b *syncBuffer) Write(p []byte) (int, error) {

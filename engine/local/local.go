@@ -26,15 +26,15 @@ import (
 // Engine is a mutex-serialized sequential overlay.
 type Engine struct {
 	mu     sync.Mutex
-	net    *core.Network
-	rng    *rand.Rand
+	net    *core.Network  // guarded by mu
+	rng    *rand.Rand     // guarded by mu
 	place  lb.Strategy    // join placement hook; nil = uniform random
 	gated  bool           // enforce peer capacity on discoveries
 	store  *persist.Store // durability layer; nil = in-memory only
-	closed bool
+	closed bool           // guarded by mu
 
-	// membership lifecycle counters (guarded by mu).
-	joins, leaves, crashes, recoveries, balanceMoves int
+	// membership lifecycle counters, guarded by mu.
+	joins, leaves, crashes, recoveries, balanceMoves int // guarded by mu
 }
 
 // New starts a local overlay with one peer per capacity entry — or,
@@ -86,7 +86,7 @@ func New(cfg engine.Config) (*Engine, error) {
 		}
 	} else {
 		for _, capacity := range cfg.Capacities {
-			if _, err := e.addPeer(capacity); err != nil {
+			if _, err := e.addPeerLocked(capacity); err != nil {
 				return nil, err
 			}
 		}
@@ -109,10 +109,13 @@ func Factory(cfg engine.Config) (engine.Engine, error) { return New(cfg) }
 func (e *Engine) Name() string { return "local" }
 
 // Alphabet returns the overlay's key alphabet.
-func (e *Engine) Alphabet() *keys.Alphabet { return e.net.Alphabet }
+func (e *Engine) Alphabet() *keys.Alphabet {
+	//dlptlint:ignore lockcheck the net pointer and its Alphabet are set once at construction and never reassigned
+	return e.net.Alphabet
+}
 
 // guard rejects operations on a closed engine or cancelled context.
-// Callers must hold e.mu.
+// Callers must hold e.mu (dlptlint:held mu).
 func (e *Engine) guard(ctx context.Context) error {
 	if e.closed {
 		return engine.ErrClosed
@@ -120,7 +123,7 @@ func (e *Engine) guard(ctx context.Context) error {
 	return ctx.Err()
 }
 
-func (e *Engine) addPeer(capacity int) (keys.Key, error) {
+func (e *Engine) addPeerLocked(capacity int) (keys.Key, error) {
 	var id keys.Key
 	if e.place != nil {
 		id = e.place.PlaceJoin(e.net, e.rng, capacity)
@@ -340,7 +343,7 @@ func (e *Engine) AddPeer(ctx context.Context, capacity int) (string, error) {
 	if err := e.guard(ctx); err != nil {
 		return "", err
 	}
-	id, err := e.addPeer(capacity)
+	id, err := e.addPeerLocked(capacity)
 	if err == nil {
 		e.joins++
 		e.net.Obs.TopologyEvent("join")

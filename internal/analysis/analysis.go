@@ -1,0 +1,238 @@
+// Package analysis is the project's static-analysis framework: a
+// deliberately small, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API built on the standard library's
+// go/ast and go/types. The repo's invariants — lock discipline,
+// byte-determinism of everything that reaches the wire, context
+// threading, epoch fencing — live as conventions in code review
+// otherwise; the analyzers under this package turn them into
+// compiler-grade contracts that cmd/dlptlint enforces over the whole
+// module in CI.
+//
+// The framework intentionally keeps the x/tools shape (Analyzer with
+// a Run func over a Pass) so that, should the dependency become
+// available, migrating the analyzers onto the real multichecker is a
+// mechanical import swap.
+//
+// # Suppression
+//
+// A finding can be silenced at the exact line it occurs (or the line
+// directly above it) with
+//
+//	//dlptlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The reason is mandatory by convention: an unexplained suppression
+// is a review smell. Function-level escape hatches specific to
+// individual analyzers (lockcheck's "held"/"exclusive" directives)
+// are documented in those packages.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding reported by an analyzer.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's syntax trees, parsed with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package and Info its fact tables
+	// (Defs/Uses/Selections/Types all populated).
+	Pkg  *types.Package
+	Info *types.Info
+	// PkgPath is the package's import path ("dlpt/internal/daemon" in
+	// a module load, the fixture directory's base name under
+	// analysistest).
+	PkgPath string
+
+	diags []Diagnostic
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name is the identifier used by -run, want comments and
+	// suppression directives.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Run inspects one package and reports findings on the pass.
+	Run func(*Pass) error
+}
+
+// RunPackage applies one analyzer to one package, returning the
+// findings that survive //dlptlint:ignore suppression, sorted by
+// position.
+func RunPackage(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, path string) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     fset,
+		Files:    files,
+		Pkg:      pkg,
+		Info:     info,
+		PkgPath:  path,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	sup := collectSuppressions(fset, files)
+	out := pass.diags[:0]
+	for _, d := range pass.diags {
+		if !sup.covers(fset.Position(d.Pos), a.Name) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// ignoreRE matches the suppression directive. The directive must name
+// the analyzers it silences; a bare ignore silences nothing.
+var ignoreRE = regexp.MustCompile(`dlptlint:ignore\s+([\w,-]+)`)
+
+// suppressions maps file name -> line -> set of silenced analyzers.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) covers(pos token.Position, analyzer string) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	// The directive suppresses its own line and the line below it
+	// (comment-above style), so check the diagnostic's line and the
+	// one preceding it.
+	for _, ln := range []int{pos.Line, pos.Line - 1} {
+		if lines[ln][analyzer] || lines[ln]["all"] {
+			return true
+		}
+	}
+	return false
+}
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := make(suppressions)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := sup[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					sup[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					lines[pos.Line] = set
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					set[strings.TrimSpace(name)] = true
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// PkgBase returns the last path element of an import path — the unit
+// analyzers use to scope themselves ("dlpt/internal/daemon" and an
+// analysistest fixture loaded as "daemon" match the same rule).
+func PkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// ExprString renders a (small) expression for base matching and
+// messages; it mirrors types.ExprString but is tolerant of nil.
+func ExprString(e ast.Expr) string {
+	if e == nil {
+		return ""
+	}
+	return types.ExprString(e)
+}
+
+// EnclosingFuncs walks the files and calls fn for every function body
+// with the enclosing function declaration (nil for file-scope code):
+// the common walking shape the analyzers share. For function literals
+// fn receives the literal's body with the nearest enclosing FuncDecl,
+// so flow-insensitive checks can fall back to the declaration's
+// context.
+func EnclosingFuncs(files []*ast.File, fn func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn(fd, fd.Body)
+		}
+	}
+}
+
+// HasIdent reports whether the expression subtree contains an
+// identifier with one of the given names.
+func HasIdent(e ast.Node, names ...string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			for _, name := range names {
+				if id.Name == name {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// IsPkgCall reports whether call invokes pkgPath.sel (for example
+// "time".Now) and returns the selector name when it does. The
+// receiver must be a plain package qualifier, so seeded *rand.Rand
+// method calls do not match "math/rand" functions.
+func IsPkgCall(info *types.Info, call *ast.CallExpr, pkgPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

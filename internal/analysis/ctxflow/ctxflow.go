@@ -1,0 +1,133 @@
+// Package ctxflow enforces context threading on the engine path. The
+// public dlpt.* API is context-first (every blocking call accepts a
+// ctx and honors cancellation); that promise only holds if the layers
+// underneath actually thread the caller's context instead of minting
+// fresh roots. Inside any function that takes a context.Context, the
+// analyzer flags:
+//
+//   - context.Background() / context.TODO(): a fresh root below an
+//     entry point detaches the subtree from the caller's deadline and
+//     cancellation. Detaching deliberately (rollback paths that must
+//     run even when the caller gave up) is spelled
+//     context.WithoutCancel(ctx), which keeps values and is visibly
+//     intentional.
+//   - a ctx parameter that the body never mentions: the function
+//     promises cancellation it cannot deliver. (Interface-conformance
+//     stubs with trivial bodies pass.)
+//   - nil passed where the callee's parameter is a context: the
+//     lazy detach that panics the moment the callee derives from it.
+//
+// Functions without a ctx parameter are exempt: daemon mainloops and
+// process-lifetime servers legitimately own fresh roots.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dlpt/internal/analysis"
+)
+
+// Analyzer is the context-threading checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "functions taking a context.Context must thread it: no fresh context roots, unused ctx params, or nil contexts below entry points",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.EnclosingFuncs(pass.Files, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		ctxNames := contextParams(pass, decl)
+		if len(ctxNames) == 0 {
+			return
+		}
+		checkUnused(pass, decl, body, ctxNames)
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := analysis.IsPkgCall(pass.Info, call, "context"); ok {
+				switch name {
+				case "Background", "TODO":
+					pass.Reportf(call.Pos(),
+						"context.%s below a ctx-taking function: thread the caller's ctx (or context.WithoutCancel(ctx) to detach deliberately)", name)
+				}
+			}
+			checkNilCtxArg(pass, call)
+			return true
+		})
+	})
+	return nil
+}
+
+// contextParams returns the names of decl's context.Context parameters
+// (usually just "ctx"; "_" is deliberate discard and not returned).
+func contextParams(pass *analysis.Pass, decl *ast.FuncDecl) []string {
+	var names []string
+	if decl.Type.Params == nil {
+		return nil
+	}
+	for _, fld := range decl.Type.Params.List {
+		tv, ok := pass.Info.Types[fld.Type]
+		if !ok || !isContext(tv.Type) {
+			continue
+		}
+		for _, name := range fld.Names {
+			if name.Name != "_" {
+				names = append(names, name.Name)
+			}
+		}
+	}
+	return names
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// checkUnused flags a named ctx parameter the body never references.
+// One-statement bodies (interface stubs, pure delegations that
+// genuinely need no ctx) are tolerated; anything larger that ignores
+// its ctx is promising cancellation it cannot deliver.
+func checkUnused(pass *analysis.Pass, decl *ast.FuncDecl, body *ast.BlockStmt, ctxNames []string) {
+	if len(body.List) <= 1 {
+		return
+	}
+	for _, name := range ctxNames {
+		if !analysis.HasIdent(body, name) {
+			pass.Reportf(decl.Name.Pos(),
+				"%s takes context parameter %q but never uses it: thread it into blocking calls or rename it _", decl.Name.Name, name)
+		}
+	}
+}
+
+// checkNilCtxArg flags passing a nil literal where the callee expects
+// a context.Context.
+func checkNilCtxArg(pass *analysis.Pass, call *ast.CallExpr) {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		id, ok := arg.(*ast.Ident)
+		if !ok || id.Name != "nil" {
+			continue
+		}
+		if i >= sig.Params().Len() {
+			break // variadic tail; contexts never live there in this repo
+		}
+		if isContext(sig.Params().At(i).Type()) {
+			pass.Reportf(arg.Pos(), "nil passed as context.Context: pass the caller's ctx")
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"dlpt/internal/analysis/analysistest"
+	"dlpt/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, ".", "ctxfix", ctxflow.Analyzer)
+}

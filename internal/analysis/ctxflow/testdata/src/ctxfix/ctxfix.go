@@ -1,0 +1,68 @@
+// Package ctxfix exercises the ctxflow contract: fresh context roots
+// below ctx-taking functions, unused ctx parameters and nil contexts
+// are findings; threading, deliberate detach and ctx-free mainloops
+// are not.
+package ctxfix
+
+import "context"
+
+type store struct{}
+
+func (s *store) get(ctx context.Context, k string) (string, error) { return k, ctx.Err() }
+
+// threaded passes its ctx down: fine.
+func threaded(ctx context.Context, s *store) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	return s.get(ctx, "k")
+}
+
+// freshRoot mints a new root below an entry point.
+func freshRoot(ctx context.Context, s *store) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	return s.get(context.Background(), "k") // want `context.Background below a ctx-taking function`
+}
+
+// todoRoot is the same bug spelled TODO.
+func todoRoot(ctx context.Context, s *store) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	return s.get(context.TODO(), "k") // want `context.TODO below a ctx-taking function`
+}
+
+// detached uses the sanctioned detach: rollback must run even after
+// the caller gave up.
+func detached(ctx context.Context, s *store) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	return s.get(context.WithoutCancel(ctx), "k")
+}
+
+// dropped never touches its ctx.
+func dropped(ctx context.Context, s *store) (string, error) { // want `dropped takes context parameter "ctx" but never uses it`
+	v, err := s.get(context.TODO(), "k") // want `context.TODO below a ctx-taking function`
+	if err != nil {
+		return "", err
+	}
+	return v, nil
+}
+
+// stub is a one-statement delegation: tolerated.
+func stub(ctx context.Context) error { return nil }
+
+// nilCtx passes the lazy nil.
+func nilCtx(ctx context.Context, s *store) {
+	_, _ = s.get(nil, "k") // want `nil passed as context.Context`
+	_ = ctx
+}
+
+// mainloop owns a fresh root legitimately: it has no ctx parameter.
+func mainloop(s *store) {
+	ctx := context.Background()
+	_, _ = s.get(ctx, "k")
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"dlpt/internal/analysis/analysistest"
+	"dlpt/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, ".", "core", determinism.Analyzer)
+}

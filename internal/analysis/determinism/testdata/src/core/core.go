@@ -1,0 +1,72 @@
+// Package core (fixture) exercises the determinism contract in a
+// wire-value package: wall-clock reads, the global math/rand source,
+// map-order-dependent output and goroutine spawns are findings;
+// seeded rand, sorted collection and order-insensitive aggregation
+// are not.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now() // want `time.Now in deterministic package`
+	return t.Unix()
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want `time.Since in deterministic package`
+}
+
+func suppressedClock() time.Time {
+	//dlptlint:ignore determinism metrics-only timestamp for the fixture
+	return time.Now()
+}
+
+func globalRand() int {
+	return rand.Int() // want `global math/rand.Int in deterministic package`
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Int() // methods on a seeded *rand.Rand are fine
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append inside map iteration builds out in nondeterministic order`
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // order-insensitive: fine
+	}
+	return total
+}
+
+func channelFanout(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `map iteration feeds a channel send`
+	}
+}
+
+func spawn(done chan struct{}) {
+	go func() { // want `go statement in deterministic package`
+		close(done)
+	}()
+}

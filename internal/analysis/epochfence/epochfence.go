@@ -1,0 +1,274 @@
+// Package epochfence enforces the two failure-handling contracts the
+// steward-failover work (PR 8) depends on:
+//
+// Epoch fencing: every internal/daemon control-frame handler
+// (handle*) that decodes a payload carrying an Epoch and then mutates
+// member state must compare that epoch against the daemon's current
+// epoch (or the promised epoch during an election) before the
+// mutation. A handler that skips the fence will happily apply a
+// deposed steward's stale frames — the exact split-brain the fencing
+// protocol exists to prevent. The check is structural: a handle*
+// method that (a) declares a local of a struct type with an exported
+// Epoch field and (b) assigns receiver state, deletes from a receiver
+// map, or calls a receiver *Locked mutator, must also contain a
+// comparison whose one side selects .Epoch and whose other side
+// mentions the daemon's epoch or promised state.
+//
+// Sentinel comparisons: the repo's typed sentinels (engine.ErrClosed,
+// dlpt.ErrSaturated, daemon.ErrNoSteward, live.ErrStopped, ...) cross
+// wrap boundaries — the transport wraps engine errors, the daemon
+// wraps transport errors — so comparing them with == silently stops
+// matching the moment anyone adds a %w. Any ==/!= whose operand is a
+// package-level error variable named Err* is flagged; use errors.Is.
+// This applies in every package, not just internal/daemon.
+package epochfence
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dlpt/internal/analysis"
+)
+
+// Analyzer is the epoch-fence and sentinel-comparison checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "epochfence",
+	Doc:  "daemon control handlers must fence on frame epoch before mutating member state; sentinel errors must be compared with errors.Is",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkSentinels(pass)
+	if analysis.PkgBase(pass.PkgPath) == "daemon" {
+		checkHandlers(pass)
+	}
+	return nil
+}
+
+// checkSentinels flags ==/!= against package-level Err* variables of
+// type error.
+func checkSentinels(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			for _, op := range []ast.Expr{be.X, be.Y} {
+				if name := sentinelName(pass, op); name != "" {
+					pass.Reportf(be.OpPos,
+						"sentinel error %s compared with %s: use errors.Is so wrapped errors still match", name, be.Op)
+					break
+				}
+			}
+			return true
+		})
+	}
+}
+
+// sentinelName reports the name of op when it resolves to a
+// package-level variable named Err*/err* with error type.
+func sentinelName(pass *analysis.Pass, op ast.Expr) string {
+	var id *ast.Ident
+	switch e := op.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return ""
+	}
+	// Package-level: parent scope is the package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	lower := strings.ToLower(v.Name())
+	if !strings.HasPrefix(lower, "err") {
+		return ""
+	}
+	named, ok := v.Type().(*types.Named)
+	if !ok || named.Obj().Name() != "error" || named.Obj().Pkg() != nil {
+		return ""
+	}
+	return analysis.ExprString(op)
+}
+
+// checkHandlers applies the structural epoch-fence rule to handle*
+// methods.
+func checkHandlers(pass *analysis.Pass) {
+	analysis.EnclosingFuncs(pass.Files, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		if !strings.HasPrefix(decl.Name.Name, "handle") || decl.Recv == nil {
+			return
+		}
+		recv := receiverName(decl)
+		if recv == "" {
+			return
+		}
+		if !declaresEpochPayload(pass, body) {
+			return // no epoch reaches this handler; nothing to fence on
+		}
+		if !mutatesReceiverState(pass, body, recv) {
+			return // read-only handler; stale frames can't corrupt state
+		}
+		if !containsEpochFence(body) {
+			pass.Reportf(decl.Name.Pos(),
+				"%s decodes an epoch-bearing payload and mutates daemon state without comparing the frame epoch against the current/promised epoch", decl.Name.Name)
+		}
+	})
+}
+
+func receiverName(decl *ast.FuncDecl) string {
+	if len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return decl.Recv.List[0].Names[0].Name
+}
+
+// declaresEpochPayload reports whether the body declares a local whose
+// struct type carries an exported Epoch field — the decoded control
+// payload.
+func declaresEpochPayload(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if def := pass.Info.Defs[id]; def != nil && hasEpochField(def.Type()) {
+						found = true
+						return false
+					}
+				}
+			}
+			return true
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				if def := pass.Info.Defs[name]; def != nil && hasEpochField(def.Type()) {
+					found = true
+					return false
+				}
+			}
+			return true
+		}
+		return true
+	})
+	return found
+}
+
+func hasEpochField(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "Epoch" {
+			return true
+		}
+	}
+	return false
+}
+
+// mutatesReceiverState reports whether the body assigns to a receiver
+// field (including indexed map/slice elements), deletes from a
+// receiver map, or calls a receiver *Locked mutator.
+func mutatesReceiverState(pass *analysis.Pass, body *ast.BlockStmt, recv string) bool {
+	found := false
+	onRecv := func(e ast.Expr) bool {
+		for {
+			switch x := e.(type) {
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.Ident:
+				return x.Name == recv
+			default:
+				return false
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if _, isIdent := lhs.(*ast.Ident); isIdent {
+					continue // plain local
+				}
+				if onRecv(lhs) {
+					found = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) > 0 && onRecv(n.Args[0]) {
+				found = true
+				return false
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && strings.HasSuffix(sel.Sel.Name, "Locked") && onRecv(sel.X) {
+				found = true
+				return false
+			}
+		case *ast.IncDecStmt:
+			if onRecv(n.X) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// containsEpochFence reports whether the body compares a .Epoch
+// selector against an expression mentioning the daemon's epoch or
+// promised-epoch state.
+func containsEpochFence(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		default:
+			return true
+		}
+		for _, pair := range [][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+			sel, ok := pair[0].(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Epoch" {
+				continue
+			}
+			if analysis.HasIdent(pair[1], "epoch", "promised", "promisedTo") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

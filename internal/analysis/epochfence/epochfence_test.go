@@ -1,0 +1,12 @@
+package epochfence_test
+
+import (
+	"testing"
+
+	"dlpt/internal/analysis/analysistest"
+	"dlpt/internal/analysis/epochfence"
+)
+
+func TestEpochfence(t *testing.T) {
+	analysistest.Run(t, ".", "daemon", epochfence.Analyzer)
+}

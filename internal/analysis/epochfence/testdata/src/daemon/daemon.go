@@ -1,0 +1,89 @@
+// Package daemon (fixture) exercises the epochfence contract: a
+// handle* method that decodes an epoch-bearing payload and mutates
+// daemon state must fence on the frame epoch first, and sentinel
+// errors must be compared with errors.Is.
+package daemon
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrNoSteward mirrors the repo's sentinel shape.
+var ErrNoSteward = errors.New("daemon: no steward")
+
+type applyRecord struct {
+	Epoch uint64
+	Seq   uint64
+	Op    string
+}
+
+type statusReq struct {
+	Addr string
+}
+
+type daemon struct {
+	mu      sync.Mutex
+	epoch   uint64
+	seq     uint64
+	members map[string]bool
+	log     []applyRecord
+}
+
+// handleApplyFenced validates the frame epoch before mutating: fine.
+func (d *daemon) handleApplyFenced(payload []byte) error {
+	rec := decodeApply(payload)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if rec.Epoch < d.epoch {
+		return ErrNoSteward
+	}
+	d.seq = rec.Seq
+	d.log = append(d.log, rec)
+	return nil
+}
+
+// handleApplyUnfenced applies the record blind: a deposed steward's
+// stale frames corrupt the mirror.
+func (d *daemon) handleApplyUnfenced(payload []byte) error { // want `handleApplyUnfenced decodes an epoch-bearing payload and mutates daemon state`
+	rec := decodeApply(payload)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.seq = rec.Seq
+	d.log = append(d.log, rec)
+	return nil
+}
+
+// handleStatus decodes no epoch: exempt.
+func (d *daemon) handleStatus(payload []byte) error {
+	req := decodeStatus(payload)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.members[req.Addr] = true
+	return nil
+}
+
+// handleProbe decodes an epoch but only reads: exempt.
+func (d *daemon) handleProbe(payload []byte) (uint64, error) {
+	rec := decodeApply(payload)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if rec.Epoch < d.epoch {
+		return d.epoch, ErrNoSteward
+	}
+	return d.seq, nil
+}
+
+// compare demonstrates the sentinel rule.
+func compare(err error) (bool, bool) {
+	bad := err == ErrNoSteward // want `sentinel error ErrNoSteward compared with ==`
+	good := errors.Is(err, ErrNoSteward)
+	return bad, good
+}
+
+func notEqual(err error) bool {
+	return err != ErrNoSteward // want `sentinel error ErrNoSteward compared with !=`
+}
+
+func decodeApply(payload []byte) applyRecord { return applyRecord{} }
+func decodeStatus(payload []byte) statusReq  { return statusReq{} }

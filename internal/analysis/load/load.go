@@ -1,0 +1,245 @@
+// Package load type-checks the module's packages for the dlptlint
+// analyzers without depending on golang.org/x/tools/go/packages: it
+// drives `go list` for package discovery and export data, parses the
+// module's own sources with comments (annotations like "guarded by"
+// live in comments, so export data is not enough for the packages
+// under analysis), and resolves out-of-module imports — the standard
+// library — through the compiler's export files via go/importer.
+//
+// Module packages are loaded twice when they have in-package test
+// files: once without them (the unit other packages import, so the
+// type graph matches what the compiler builds) and once with them
+// (the unit handed to the analyzers, so test-only code such as the
+// PR 8 stderr-capture harness is checked too). External test packages
+// (package foo_test) are skipped: they hold no exported invariants
+// and would drag test-only import cycles into the loader.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked module package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath  string
+	Dir         string
+	Standard    bool
+	Export      string
+	GoFiles     []string
+	TestGoFiles []string
+	Imports     []string
+	TestImports []string
+	Error       *struct{ Err string }
+}
+
+// Program is a loaded module: every matched package plus the shared
+// FileSet their positions resolve against.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// Dir loads the packages matched by patterns (default "./...")
+// rooted at root.
+func Dir(root string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	mod, err := goList(root, append([]string{"-json"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	// One -deps -test -export sweep compiles every dependency
+	// (standard library included) into the build cache and reports the
+	// export file per import path; -e tolerates the test variants that
+	// cannot build in isolation.
+	deps, err := goList(root, append([]string{"-e", "-json", "-export", "-deps", "-test"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, p := range deps {
+		// Test variants list as "path [other.test]"; fold them onto the
+		// plain path so a test-only stdlib dependency still resolves.
+		path := p.ImportPath
+		if i := strings.IndexByte(path, ' '); i >= 0 {
+			path = path[:i]
+		}
+		if p.Export != "" && exports[path] == "" {
+			exports[path] = p.Export
+		}
+	}
+
+	ld := &loader{
+		fset:    token.NewFileSet(),
+		mod:     make(map[string]*listPkg),
+		exports: exports,
+		cache:   make(map[string]*types.Package),
+	}
+	ld.gc = importer.ForCompiler(ld.fset, "gc", ld.lookup)
+	order := make([]string, 0, len(mod))
+	for _, p := range mod {
+		if p.Error != nil {
+			return nil, fmt.Errorf("load %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pp := p
+		ld.mod[p.ImportPath] = &pp
+		order = append(order, p.ImportPath)
+	}
+	sort.Strings(order)
+
+	prog := &Program{Fset: ld.fset}
+	for _, path := range order {
+		if _, err := ld.load(path); err != nil {
+			return nil, err
+		}
+	}
+	// The analysis unit includes in-package test files; build it after
+	// every import-graph unit exists.
+	for _, path := range order {
+		p := ld.mod[path]
+		unit, err := ld.check(p, true)
+		if err != nil {
+			// Test files can import packages that (indirectly) import
+			// this one; the compiler builds those against the no-test
+			// unit, but a single-universe loader cannot. Fall back to
+			// analyzing the no-test unit rather than failing the load.
+			unit, err = ld.check(p, false)
+			if err != nil {
+				return nil, err
+			}
+		}
+		prog.Packages = append(prog.Packages, unit)
+	}
+	return prog, nil
+}
+
+type loader struct {
+	fset    *token.FileSet
+	mod     map[string]*listPkg
+	exports map[string]string
+	cache   map[string]*types.Package
+	gc      types.Importer
+	loading []string
+}
+
+// lookup feeds export data files discovered by `go list -export` to
+// the gc importer.
+func (ld *loader) lookup(path string) (io.ReadCloser, error) {
+	f := ld.exports[path]
+	if f == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// Import implements types.Importer over the hybrid universe: module
+// packages come from source, everything else from export data.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := ld.mod[path]; ok {
+		return ld.load(path)
+	}
+	return ld.gc.Import(path)
+}
+
+// load type-checks one module package (without test files) on first
+// use, memoized for the whole program.
+func (ld *loader) load(path string) (*types.Package, error) {
+	if pkg, ok := ld.cache[path]; ok {
+		return pkg, nil
+	}
+	for _, in := range ld.loading {
+		if in == path {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+	}
+	ld.loading = append(ld.loading, path)
+	defer func() { ld.loading = ld.loading[:len(ld.loading)-1] }()
+	unit, err := ld.check(ld.mod[path], false)
+	if err != nil {
+		return nil, err
+	}
+	ld.cache[path] = unit.Types
+	return unit.Types, nil
+}
+
+// check parses and type-checks one module package, optionally with
+// its in-package test files.
+func (ld *loader) check(p *listPkg, withTests bool) (*Package, error) {
+	names := append([]string(nil), p.GoFiles...)
+	if withTests {
+		names = append(names, p.TestGoFiles...)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := &types.Config{Importer: ld}
+	pkg, err := cfg.Check(p.ImportPath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", p.ImportPath, err)
+	}
+	return &Package{Path: p.ImportPath, Dir: p.Dir, Files: files, Types: pkg, Info: info}, nil
+}
+
+// goList runs `go list` with args under dir and decodes its JSON
+// object stream.
+func goList(dir string, args []string) ([]listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []listPkg
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

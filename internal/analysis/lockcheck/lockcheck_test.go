@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"dlpt/internal/analysis/analysistest"
+	"dlpt/internal/analysis/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, ".", "lockfix", lockcheck.Analyzer)
+}

@@ -1,0 +1,25 @@
+package analysis
+
+// Suite is the registered analyzer list, populated by the analyzer
+// packages' init via Register (the framework package cannot import
+// them without a cycle). cmd/dlptlint and the whole-repo test both
+// run exactly this list, so a newly registered analyzer is
+// automatically enforced everywhere.
+var Suite []*Analyzer
+
+// Register appends an analyzer to the suite. Called from analyzer
+// package init functions via the dlpt/internal/analysis/suite
+// aggregator.
+func Register(a *Analyzer) {
+	Suite = append(Suite, a)
+}
+
+// Lookup returns the registered analyzer with the given name, or nil.
+func Lookup(name string) *Analyzer {
+	for _, a := range Suite {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+// Package suite aggregates the project's analyzers into the list that
+// cmd/dlptlint and the whole-repo conformance test share. Importing
+// this package is the single point where an analyzer joins the
+// enforced set.
+package suite
+
+import (
+	"dlpt/internal/analysis"
+	"dlpt/internal/analysis/ctxflow"
+	"dlpt/internal/analysis/determinism"
+	"dlpt/internal/analysis/epochfence"
+	"dlpt/internal/analysis/lockcheck"
+)
+
+func init() {
+	analysis.Register(lockcheck.Analyzer)
+	analysis.Register(determinism.Analyzer)
+	analysis.Register(ctxflow.Analyzer)
+	analysis.Register(epochfence.Analyzer)
+}
+
+// All returns the registered analyzers.
+func All() []*analysis.Analyzer {
+	return analysis.Suite
+}

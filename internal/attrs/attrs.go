@@ -87,8 +87,8 @@ type Directory struct {
 	// in-flight Register, invisible to readers until the engine
 	// writes land).
 	mu       sync.RWMutex
-	services map[string]map[string]string
-	pending  map[string]bool
+	services map[string]map[string]string // guarded by mu
+	pending  map[string]bool              // guarded by mu
 }
 
 // NewDirectory wraps a running backend. The backend's alphabet must
@@ -148,10 +148,11 @@ func (d *Directory) Register(ctx context.Context, svc Service) error {
 
 	if err := d.b.RegisterBatch(ctx, entries); err != nil {
 		// A failed batch may have applied a prefix of the entries;
-		// withdraw them best-effort under a fresh context (the
-		// caller's may already be cancelled).
+		// withdraw them best-effort detached from the caller's
+		// cancellation (it may already have fired) but keeping its
+		// values.
 		for _, ent := range entries {
-			_, _ = d.b.Unregister(context.Background(), ent.Key, svc.ID)
+			_, _ = d.b.Unregister(context.WithoutCancel(ctx), ent.Key, svc.ID)
 		}
 		d.mu.Lock()
 		delete(d.pending, svc.ID)
@@ -317,6 +318,7 @@ func (d *Directory) discoverChunk(ctx context.Context, ks []string, cost *Cost) 
 	)
 	for i, k := range ks {
 		wg.Add(1)
+		//dlptlint:ignore determinism out[i] keeps key order regardless of completion order; cost merge is commutative
 		go func(i int, k string) {
 			defer wg.Done()
 			res, err := d.b.Discover(cctx, k)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"dlpt/internal/keys"
 )
@@ -104,12 +105,15 @@ func (net *Network) Lookup(k keys.Key, r *rand.Rand) ([]string, bool) {
 	for v := range n.Data {
 		out = append(out, v)
 	}
+	sort.Strings(out)
 	return out, true
 }
 
 // Values returns the values stored under k by direct state access on
 // the owner peer (no routing, no cost accounting). Engines use it to
-// read a node's data after a discovery already routed to it.
+// read a node's data after a discovery already routed to it. The
+// values come back sorted: they cross the wire in responses, so the
+// set's presentation must not leak map order.
 func (net *Network) Values(k keys.Key) ([]string, bool) {
 	n, _, ok := net.nodeState(k)
 	if !ok || !n.HasData() {
@@ -119,6 +123,7 @@ func (net *Network) Values(k keys.Key) ([]string, bool) {
 	for v := range n.Data {
 		out = append(out, v)
 	}
+	sort.Strings(out)
 	return out, true
 }
 

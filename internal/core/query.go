@@ -202,7 +202,7 @@ func (w *QueryWalker) enterPhase(name string, peer keys.Key) {
 	w.closePhase()
 	w.phName = name
 	w.phHops = w.res.LogicalHops
-	w.phStart = time.Now()
+	w.phStart = time.Now() //dlptlint:ignore determinism span timing feeds metrics only, never wire values
 	w.span = w.rec.Start(w.parent, name, string(peer))
 }
 
@@ -213,6 +213,7 @@ func (w *QueryWalker) closePhase() {
 		return
 	}
 	hops := w.res.LogicalHops - w.phHops
+	//dlptlint:ignore determinism phase duration feeds metrics only, never wire values
 	w.met.RecordPhase(w.phName, hops, time.Since(w.phStart))
 	if w.span.Active() {
 		w.span.SetAttr("hops", strconv.Itoa(hops))
@@ -420,6 +421,7 @@ func (w *QueryWalker) pushChildren(n *Node, host keys.Key) {
 		if !w.explore(c) {
 			continue
 		}
+		//dlptlint:ignore determinism the segment is canonicalized by the insertion sort below
 		w.stack = append(w.stack, walkFrame{key: c, from: host})
 	}
 	seg := w.stack[base:]

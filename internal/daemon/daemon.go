@@ -114,13 +114,13 @@ type Daemon struct {
 	wg     sync.WaitGroup
 
 	mu          sync.Mutex
-	steward     bool
-	selfID      keys.Key
-	selfAddr    string
-	stewardAddr string
-	seq         uint64
-	members     map[keys.Key]transport.Member
-	closed      bool
+	steward     bool                          // guarded by mu
+	selfID      keys.Key                      // guarded by mu
+	selfAddr    string                        // guarded by mu
+	stewardAddr string                        // guarded by mu
+	seq         uint64                        // guarded by mu
+	members     map[keys.Key]transport.Member // guarded by mu
+	closed      bool                          // guarded by mu
 
 	// Failover state. epoch is the steward generation this daemon
 	// honors (fencing floor for inbound control frames); promised is
@@ -132,13 +132,13 @@ type Daemon struct {
 	// daemon's candidate loop. applyLog is the bounded contiguous tail
 	// of applied records ending at seq, the replay source for
 	// post-election gap repair.
-	epoch         uint64
-	promised      uint64
-	promisedTo    string
-	suspected     map[string]bool
-	electing      bool
-	stewardDownAt time.Time
-	applyLog      []transport.ApplyRecord
+	epoch         uint64                  // guarded by mu
+	promised      uint64                  // guarded by mu
+	promisedTo    string                  // guarded by mu
+	suspected     map[string]bool         // guarded by mu
+	electing      bool                    // guarded by mu
+	stewardDownAt time.Time               // guarded by mu
+	applyLog      []transport.ApplyRecord // guarded by mu
 }
 
 // Start brings a daemon up according to cfg: a steward seeds a fresh
@@ -236,7 +236,7 @@ func (d *Daemon) startMetrics(addr string) error {
 	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()
-		if err := d.metricsSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		if err := d.metricsSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			d.logf("dlptd: metrics server: %v", err)
 		}
 	}()
@@ -258,6 +258,9 @@ func (d *Daemon) MetricsAddr() string {
 // folded and re-registered: the catalogue survives a steward restart,
 // the membership does not (members always rejoin through the
 // handshake and receive fresh mirrors).
+//
+// dlptlint:exclusive — runs during Start before the listener serves
+// control frames; the daemon has not escaped to other goroutines.
 func (d *Daemon) startSteward() error {
 	var entries []core.KV
 	if d.cfg.DataDir != "" {
@@ -436,6 +439,9 @@ func (d *Daemon) joinOverlay() (*transport.HelloInfo, error) {
 // the live base members are asked again for a fresh one, instead of
 // re-dialing the dead address until the timeout. Incompatibility
 // rejections fail immediately.
+//
+// dlptlint:held mu — rejoinAsMember calls this with the lock held;
+// the startup path (startMember) runs before the daemon escapes.
 func (d *Daemon) joinVia(base []string) (*transport.HelloInfo, error) {
 	payload := transport.EncodeJoin(&transport.JoinRequest{
 		Version:   transport.HandshakeVersion,

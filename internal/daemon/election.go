@@ -583,6 +583,8 @@ func (d *Daemon) handleResync(payload []byte) (byte, []byte) {
 
 // handleFetch serves a candidate's catch-up: the contiguous apply-log
 // tail from the requested sequence onward.
+//
+//dlptlint:ignore epochfence read-only handler: logCoversLocked and the record copies only read; stale fetchers get stale tails, which the election term check rejects
 func (d *Daemon) handleFetch(payload []byte) (byte, []byte) {
 	fr, err := transport.DecodeFetch(payload)
 	if err != nil {

@@ -1,0 +1,14 @@
+package daemon
+
+import (
+	"testing"
+
+	"dlpt/internal/leakcheck"
+)
+
+// TestMain fails the binary if daemon goroutines (control loops, link
+// maintainers, metrics servers, election candidates) outlive the
+// tests: Daemon.Close must join everything it started.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

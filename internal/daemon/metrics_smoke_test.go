@@ -25,7 +25,7 @@ func TestMetricsEndpointThreeDaemonOverlay(t *testing.T) {
 	var ds []*Daemon
 	ds = append(ds, steward)
 	for i := 1; i < 3; i++ {
-		mc := testConfig(int64(i + 1), steward.Addr())
+		mc := testConfig(int64(i+1), steward.Addr())
 		mc.MetricsAddr = "127.0.0.1:0"
 		ds = append(ds, startDaemon(t, mc))
 	}

@@ -1,0 +1,106 @@
+// Package leakcheck is a small in-repo stand-in for
+// go.uber.org/goleak: it fails a test binary whose goroutines outlive
+// its tests. The concurrent packages — engines spawning peer
+// goroutines, the transport's accept/demux loops, the daemon's
+// control plane — all promise that Stop/Close joins every goroutine
+// they started; a leak means a Stop path lost one, which later
+// surfaces as flaky ports, fd exhaustion, or a race against a
+// half-dead cluster.
+//
+// Usage, in one file per test package:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// After the package's tests pass, Main snapshots the goroutine stacks
+// and retries for a grace period while shutdown stragglers drain.
+// Anything still alive then — other than the runtime's own
+// bookkeeping goroutines — is printed and fails the binary.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Main runs m's tests and then fails the binary if goroutines leaked.
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := Check(5 * time.Second); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "leakcheck: %d goroutine(s) outlived the tests:\n\n%s\n",
+				len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Check polls until only expected goroutines remain or the grace
+// period ends, returning the stacks of the leaked goroutines (nil
+// when clean). Exported for tests that want a mid-run assertion after
+// stopping a cluster.
+func Check(grace time.Duration) []string {
+	deadline := time.Now().Add(grace)
+	for {
+		leaked := offenders()
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// offenders returns the stacks of goroutines that are neither the
+// current one nor expected runtime/testing infrastructure.
+func offenders() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var leaked []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g == "" || !expected(g) {
+			leaked = append(leaked, g)
+		}
+	}
+	return leaked
+}
+
+// expectedPrefixes are top-frame functions of goroutines that
+// legitimately survive the tests: the runtime's helpers, the testing
+// framework itself, and signal handling.
+var expectedPrefixes = []string{
+	"testing.",
+	"runtime.",
+	"os/signal.",
+}
+
+func expected(stack string) bool {
+	lines := strings.Split(stack, "\n")
+	if len(lines) == 0 {
+		return true
+	}
+	// The checker's own goroutine (TestMain → Main → Check).
+	if strings.Contains(stack, "leakcheck.") {
+		return true
+	}
+	if len(lines) < 2 {
+		return true
+	}
+	top := strings.TrimSpace(lines[1])
+	for _, p := range expectedPrefixes {
+		if strings.HasPrefix(top, p) {
+			return true
+		}
+	}
+	return false
+}

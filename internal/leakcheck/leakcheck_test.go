@@ -1,0 +1,31 @@
+package leakcheck_test
+
+import (
+	"testing"
+	"time"
+
+	"dlpt/internal/leakcheck"
+)
+
+// TestCheckDetectsLeak proves the checker sees a parked goroutine and
+// stops seeing it once it exits — otherwise the TestMain hooks in the
+// concurrent packages would be asserting nothing.
+func TestCheckDetectsLeak(t *testing.T) {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-stop
+	}()
+
+	leaked := leakcheck.Check(50 * time.Millisecond)
+	if len(leaked) == 0 {
+		t.Fatal("Check missed a parked goroutine")
+	}
+
+	close(stop)
+	<-done
+	if leaked := leakcheck.Check(5 * time.Second); len(leaked) != 0 {
+		t.Errorf("Check still reports %d goroutine(s) after the leak exited:\n%s", len(leaked), leaked[0])
+	}
+}

@@ -122,8 +122,8 @@ type peerProc struct {
 
 // Cluster is a running overlay.
 type Cluster struct {
-	mu    sync.RWMutex // guards net topology and tree state
-	net   *core.Network
+	mu    sync.RWMutex   // guards net topology and tree state
+	net   *core.Network  // guarded by mu
 	rng   *rand.Rand     // guarded by mu (writers only)
 	place lb.Strategy    // join placement hook; nil = uniform random
 	gate  bool           // enforce peer capacity on discoveries
@@ -131,11 +131,11 @@ type Cluster struct {
 	met   *obs.Metrics   // nil = no metrics; see Options.Obs
 	rec   *trace.Recorder
 
-	entryMu  sync.Mutex // guards entryRng (used by Discover readers)
-	entryRng *rand.Rand
+	entryMu  sync.Mutex
+	entryRng *rand.Rand // guarded by entryMu (used by Discover readers)
 
-	procMu sync.RWMutex // guards procs
-	procs  map[keys.Key]*peerProc
+	procMu sync.RWMutex
+	procs  map[keys.Key]*peerProc // guarded by procMu
 
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -154,6 +154,10 @@ func Start(alpha *keys.Alphabet, capacities []int, seed int64) (*Cluster, error)
 }
 
 // StartOpts is Start with explicit Options.
+//
+// dlptlint:exclusive — the cluster is under construction and has not
+// escaped; peer goroutines spawned here synchronize through their own
+// mailboxes before touching shared state.
 func StartOpts(alpha *keys.Alphabet, capacities []int, seed int64, opts Options) (*Cluster, error) {
 	if len(capacities) == 0 && !opts.Restore {
 		return nil, fmt.Errorf("live: no peers")
@@ -427,7 +431,7 @@ func (c *Cluster) Balance(strategy string) (int, error) {
 // balancing renames. Which goroutine serves which id is immaterial —
 // all state lives in the shared network — so orphaned procs are
 // paired with unclaimed ids in sorted order. Callers hold c.mu's
-// write lock (which also licenses the p.id writes).
+// write lock (dlptlint:held mu), which also licenses the p.id writes.
 func (c *Cluster) rewireProcs() {
 	current := make(map[keys.Key]bool, c.net.NumPeers())
 	for _, id := range c.net.PeerIDs() {

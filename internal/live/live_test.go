@@ -1,6 +1,7 @@
 package live
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -257,10 +258,10 @@ func TestRoutedRangeAndComplete(t *testing.T) {
 		t.Fatalf("RangeQuery = %v", rr.Keys)
 	}
 	c.Stop()
-	if _, err := c.Complete("s"); err != ErrStopped {
+	if _, err := c.Complete("s"); !errors.Is(err, ErrStopped) {
 		t.Fatalf("Complete after stop = %v", err)
 	}
-	if _, err := c.RangeQuery("a", "z"); err != ErrStopped {
+	if _, err := c.RangeQuery("a", "z"); !errors.Is(err, ErrStopped) {
 		t.Fatalf("RangeQuery after stop = %v", err)
 	}
 }
@@ -291,16 +292,16 @@ func TestStopIsIdempotentAndRejectsOps(t *testing.T) {
 	}
 	c.Stop()
 	c.Stop()
-	if err := c.Register("k2", "v"); err != ErrStopped {
+	if err := c.Register("k2", "v"); !errors.Is(err, ErrStopped) {
 		t.Fatalf("Register after stop = %v", err)
 	}
-	if _, err := c.Discover("k1"); err != ErrStopped {
+	if _, err := c.Discover("k1"); !errors.Is(err, ErrStopped) {
 		t.Fatalf("Discover after stop = %v", err)
 	}
-	if _, err := c.AddPeer(10); err != ErrStopped {
+	if _, err := c.AddPeer(10); !errors.Is(err, ErrStopped) {
 		t.Fatalf("AddPeer after stop = %v", err)
 	}
-	if err := c.RemovePeer("x"); err != ErrStopped {
+	if err := c.RemovePeer("x"); !errors.Is(err, ErrStopped) {
 		t.Fatalf("RemovePeer after stop = %v", err)
 	}
 }

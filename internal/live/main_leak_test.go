@@ -1,0 +1,13 @@
+package live
+
+import (
+	"testing"
+
+	"dlpt/internal/leakcheck"
+)
+
+// TestMain fails the binary if peer goroutines outlive the tests:
+// Cluster.Stop must drain every mailbox and join every proc.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -105,8 +105,8 @@ type Maintainer struct {
 	cfg Config
 
 	mu    sync.Mutex
-	links map[string]*link
-	rng   *rand.Rand
+	links map[string]*link // guarded by mu
+	rng   *rand.Rand       // guarded by mu
 }
 
 // New builds a Maintainer; zero config fields get serviceable
@@ -252,8 +252,8 @@ func (m *Maintainer) advance(l *link, probeErr error) {
 	}
 }
 
-// jittered spreads d by ±cfg.Jitter. Callers hold m.mu (the rng is
-// not safe for concurrent use).
+// jittered spreads d by ±cfg.Jitter. Callers hold m.mu
+// (dlptlint:held mu — the rng is not safe for concurrent use).
 func (m *Maintainer) jittered(d time.Duration) time.Duration {
 	return jitterSpread(m.rng, d, m.cfg.Jitter)
 }

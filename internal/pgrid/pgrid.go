@@ -140,8 +140,17 @@ func Build(cfg Config, peerNames []string, ks []keys.Key, rng *rand.Rand) (*Grid
 			g.peers[name].Keys[k] = true
 		}
 	}
-	// Draw routing references.
-	for _, p := range g.peers {
+	// Draw routing references. The peers share one seeded rng, so the
+	// draw order must be canonical: iterating the peer map directly
+	// would consume rng state in map order and change every peer's
+	// references from run to run.
+	names := make([]string, 0, len(g.peers))
+	for name := range g.peers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := g.peers[name]
 		for i := 0; i < len(p.Path); i++ {
 			want := p.Path[:i] + flip(p.Path[i])
 			var candidates []string

@@ -1,0 +1,267 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"dlpt/internal/core"
+	"dlpt/internal/keys"
+	"dlpt/internal/trace"
+)
+
+// fuzzConn adapts an in-memory reader/writer pair to net.Conn for the
+// frame layer (which only uses Read, Write and Close).
+type fuzzConn struct {
+	r io.Reader
+	w io.Writer
+}
+
+func (c *fuzzConn) Read(p []byte) (int, error) {
+	if c.r == nil {
+		return 0, io.EOF
+	}
+	return c.r.Read(p)
+}
+
+func (c *fuzzConn) Write(p []byte) (int, error) {
+	if c.w == nil {
+		return len(p), nil
+	}
+	return c.w.Write(p)
+}
+
+func (c *fuzzConn) Close() error                       { return nil }
+func (c *fuzzConn) LocalAddr() net.Addr                { return nil }
+func (c *fuzzConn) RemoteAddr() net.Addr               { return nil }
+func (c *fuzzConn) SetDeadline(t time.Time) error      { return nil }
+func (c *fuzzConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *fuzzConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// FuzzFrameDecode drives arbitrary bytes through every payload
+// decoder and through the frame reader itself (header parsing, the
+// payload length guard, the 0x80 trace-header extension). The
+// decoders own the trust boundary with remote peers: whatever the
+// bytes, they must return an error rather than panic or over-allocate.
+func FuzzFrameDecode(f *testing.F) {
+	// Valid payloads of each shape seed the corpus.
+	var req request
+	f.Add(appendRequest(nil, &request{Key: "abc", At: "ab", GoingUp: true, Logical: 3, Physical: 2, Redirects: 1}))
+	f.Add(appendResponse(nil, &response{Found: true, Values: []string{"v1", "v2"}, Logical: 7, Err: "boom"}))
+	f.Add(appendQuery(nil, &queryReq{Range: true, Lo: "a", Hi: "z", Limit: 5, Entry: "m", Walk: true}))
+	f.Add(appendQRoute(nil, &qroute{Anchor: "anc", At: "at", Descending: true, Visited: 9}))
+	f.Add(appendQRouteResp(nil, &qrouteResp{Found: true, Anchor: "anc", Err: "gone"}))
+	f.Add(appendStreamEnd(nil, &streamEnd{Logical: 1, Physical: 2, Visited: 3, Err: "end"}))
+	f.Add(appendReplicaBatch(nil, &core.ReplicaBatch{
+		From: "p1", To: "p2",
+		Infos: []core.NodeInfo{{Key: "k", Father: "f", HasFather: true, Children: []keys.Key{"c1"}, Data: []string{"d"}, LoadCur: 2}},
+	}))
+	// Frame-level seeds: a whole valid frame, a traced frame, a
+	// truncated trace extension, and a hostile length prefix.
+	fc := &frameConn{conn: &fuzzConn{}}
+	var stream bytes.Buffer
+	fc.conn = &fuzzConn{w: &stream}
+	if err := fc.writeRaw(frameRequest, 1, appendRequest(nil, &req)); err != nil {
+		f.Fatal(err)
+	}
+	buf := beginTracedFrame(nil, frameRequest, 2, trace.Context{Trace: 7, Span: 9})
+	buf = appendRequest(buf, &req)
+	if err := fc.finishFrame(buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(stream.Bytes())
+	truncated := beginTracedFrame(nil, frameRequest, 3, trace.Context{Trace: 7, Span: 9})
+	binary.BigEndian.PutUint32(truncated[9:13], 8) // claims 8 < frameTraceSize
+	f.Add(append(truncated[:frameHeaderSize], 1, 2, 3, 4, 5, 6, 7, 8))
+	hostile := beginFrame(nil, frameResponse, 4)
+	binary.BigEndian.PutUint32(hostile[9:13], maxFramePayload+1)
+	f.Add(hostile)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req request
+		_ = decodeRequest(data, &req)
+		var resp response
+		_ = decodeResponse(data, &resp)
+		var q queryReq
+		_ = decodeQuery(data, &q)
+		var rq qroute
+		_ = decodeQRoute(data, &rq)
+		var rr qrouteResp
+		_ = decodeQRouteResp(data, &rr)
+		var batch core.ReplicaBatch
+		_ = decodeReplicaBatch(data, &batch)
+		_, _, _ = decodeStreamBatch(data)
+		var end streamEnd
+		_ = decodeStreamEnd(data, &end)
+
+		// The frame reader over the same bytes as a connection stream:
+		// it must terminate with an error or EOF, never panic, and
+		// never allocate beyond the payload bound.
+		fc := newFrameConn(&fuzzConn{r: bytes.NewReader(data)})
+		for i := 0; i < 64; i++ {
+			_, _, _, payload, err := fc.readFrame()
+			if err != nil {
+				break
+			}
+			if len(payload) > maxFramePayload {
+				t.Fatalf("readFrame returned %d-byte payload past the %d bound", len(payload), maxFramePayload)
+			}
+		}
+	})
+}
+
+// FuzzFrameRoundTrip encodes wire values built from fuzzed fields,
+// decodes them back, and demands equality — the byte-determinism
+// contract the cross-engine differential tests rest on — then pushes
+// a whole frame (traced and untraced) through write/read.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add("key", "at", true, 3, 2, 1, "v1\x00v2", "err", uint64(7), uint64(9), []byte("payload"))
+	f.Add("", "", false, 0, 0, 0, "", "", uint64(0), uint64(0), []byte{})
+	f.Add("k\xffe\x00y", "a\nt", true, 1<<20, 42, 4, "x", "boom", uint64(1), uint64(0), []byte{0x80, 0xff})
+
+	f.Fuzz(func(t *testing.T, key, at string, flag bool, n1, n2, n3 int, blob, errStr string, traceID, spanID uint64, payload []byte) {
+		if n1 < 0 {
+			n1 = -n1
+		}
+		if n2 < 0 {
+			n2 = -n2
+		}
+		if n3 < 0 {
+			n3 = -n3
+		}
+		values := splitNonEmpty(blob)
+
+		req := request{Key: keys.Key(key), At: keys.Key(at), GoingUp: flag, Logical: n1, Physical: n2, Redirects: n3}
+		var gotReq request
+		if err := decodeRequest(appendRequest(nil, &req), &gotReq); err != nil {
+			t.Fatalf("decodeRequest: %v", err)
+		}
+		if !reflect.DeepEqual(req, gotReq) {
+			t.Fatalf("request round-trip: %+v != %+v", req, gotReq)
+		}
+
+		resp := response{Found: flag, Dropped: !flag, Values: values, Logical: n1, Physical: n2, Err: errStr}
+		var gotResp response
+		if err := decodeResponse(appendResponse(nil, &resp), &gotResp); err != nil {
+			t.Fatalf("decodeResponse: %v", err)
+		}
+		if len(gotResp.Values) == 0 {
+			gotResp.Values = nil
+		}
+		if len(resp.Values) == 0 {
+			resp.Values = nil
+		}
+		if !reflect.DeepEqual(resp, gotResp) {
+			t.Fatalf("response round-trip: %+v != %+v", resp, gotResp)
+		}
+
+		q := queryReq{Range: flag, Prefix: keys.Key(key), Lo: keys.Key(at), Hi: keys.Key(errStr), Limit: n1, Entry: keys.Key(blob), Walk: !flag, Logical: n2, Physical: n3, Visited: n1}
+		var gotQ queryReq
+		if err := decodeQuery(appendQuery(nil, &q), &gotQ); err != nil {
+			t.Fatalf("decodeQuery: %v", err)
+		}
+		if !reflect.DeepEqual(q, gotQ) {
+			t.Fatalf("query round-trip: %+v != %+v", q, gotQ)
+		}
+
+		rq := qroute{Anchor: keys.Key(key), At: keys.Key(at), Descending: flag, Logical: n1, Physical: n2, Visited: n3, Redirects: n1}
+		var gotRq qroute
+		if err := decodeQRoute(appendQRoute(nil, &rq), &gotRq); err != nil {
+			t.Fatalf("decodeQRoute: %v", err)
+		}
+		if !reflect.DeepEqual(rq, gotRq) {
+			t.Fatalf("qroute round-trip: %+v != %+v", rq, gotRq)
+		}
+
+		end := streamEnd{Logical: n1, Physical: n2, Visited: n3, Err: errStr}
+		var gotEnd streamEnd
+		if err := decodeStreamEnd(appendStreamEnd(nil, &end), &gotEnd); err != nil {
+			t.Fatalf("decodeStreamEnd: %v", err)
+		}
+		if !reflect.DeepEqual(end, gotEnd) {
+			t.Fatalf("streamEnd round-trip: %+v != %+v", end, gotEnd)
+		}
+
+		batch := core.ReplicaBatch{From: keys.Key(key), To: keys.Key(at)}
+		for i, v := range values {
+			batch.Infos = append(batch.Infos, core.NodeInfo{
+				Key: keys.Key(v), Father: keys.Key(key), HasFather: i%2 == 0,
+				Children: []keys.Key{keys.Key(at)}, Data: []string{v},
+				LoadPrev: n1, LoadCur: n2,
+			})
+		}
+		var gotBatch core.ReplicaBatch
+		if err := decodeReplicaBatch(appendReplicaBatch(nil, &batch), &gotBatch); err != nil {
+			t.Fatalf("decodeReplicaBatch: %v", err)
+		}
+		if len(batch.Infos) == 0 {
+			batch.Infos = nil
+		} else {
+			// The decoder leaves empty child/data slices nil.
+			for i := range batch.Infos {
+				if len(batch.Infos[i].Children) == 0 {
+					batch.Infos[i].Children = nil
+				}
+				if len(batch.Infos[i].Data) == 0 {
+					batch.Infos[i].Data = nil
+				}
+			}
+		}
+		if len(gotBatch.Infos) == 0 {
+			gotBatch.Infos = nil
+		}
+		if !reflect.DeepEqual(batch, gotBatch) {
+			t.Fatalf("replica round-trip: %+v != %+v", batch, gotBatch)
+		}
+
+		// Whole-frame round-trip, traced when traceID != 0 (0x80
+		// extension) and plain otherwise.
+		typ := byte(frameRequest)
+		var stream bytes.Buffer
+		w := &frameConn{conn: &fuzzConn{w: &stream}}
+		tc := trace.Context{Trace: traceID, Span: spanID}
+		buf := beginTracedFrame(nil, typ, 11, tc)
+		buf = append(buf, payload...)
+		if err := w.finishFrame(buf); err != nil {
+			if errors.Is(err, errFrameTooLarge) {
+				t.Skip("oversized fuzz payload")
+			}
+			t.Fatalf("finishFrame: %v", err)
+		}
+		r := newFrameConn(&fuzzConn{r: bytes.NewReader(stream.Bytes())})
+		gotTyp, gotID, gotTC, gotPayload, err := r.readFrame()
+		if err != nil {
+			t.Fatalf("readFrame: %v", err)
+		}
+		if gotTyp != typ || gotID != 11 {
+			t.Fatalf("frame round-trip: typ=%d id=%d", gotTyp, gotID)
+		}
+		if tc.Valid() {
+			if gotTC != tc {
+				t.Fatalf("trace context round-trip: %+v != %+v", gotTC, tc)
+			}
+		} else if gotTC.Valid() {
+			t.Fatalf("untraced frame decoded a trace context: %+v", gotTC)
+		}
+		if !bytes.Equal(gotPayload, payload) {
+			t.Fatalf("payload round-trip: %x != %x", gotPayload, payload)
+		}
+	})
+}
+
+// splitNonEmpty splits blob at NUL bytes, dropping empty segments
+// (the codec encodes value counts, not separators).
+func splitNonEmpty(blob string) []string {
+	var out []string
+	for _, s := range bytes.Split([]byte(blob), []byte{0}) {
+		if len(s) > 0 {
+			out = append(out, string(s))
+		}
+	}
+	return out
+}

@@ -718,7 +718,7 @@ func RawCall(ctx context.Context, addr string, typ byte, payload []byte) (byte, 
 	defer conn.Close()
 	deadline, ok := ctx.Deadline()
 	if !ok {
-		deadline = time.Now().Add(10 * time.Second)
+		deadline = time.Now().Add(10 * time.Second) //dlptlint:ignore determinism I/O deadline, not a wire value
 	}
 	_ = conn.SetDeadline(deadline)
 	fc := newFrameConn(conn)

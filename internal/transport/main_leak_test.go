@@ -1,0 +1,14 @@
+package transport
+
+import (
+	"testing"
+
+	"dlpt/internal/leakcheck"
+)
+
+// TestMain fails the binary if transport goroutines (peer servers,
+// connection demuxers, pooled dials) outlive the tests: Cluster.Stop
+// must join everything it started.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

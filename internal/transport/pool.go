@@ -46,8 +46,8 @@ type connPool struct {
 	faults *Faults
 
 	mu     sync.Mutex
-	conns  map[string]*poolConn
-	closed bool
+	conns  map[string]*poolConn // guarded by mu
+	closed bool                 // guarded by mu
 
 	// dials counts TCP dials over the pool's lifetime: the
 	// amortization the pool exists for, asserted by tests.
@@ -66,15 +66,15 @@ type poolConn struct {
 	fc      *frameConn
 
 	mu      sync.Mutex
-	pending map[uint64]chan rtResult
+	pending map[uint64]chan rtResult // guarded by mu
 	// streams holds the in-flight streaming queries multiplexed on
 	// this connection, keyed by request id like pending.
-	streams map[uint64]*clientStream
+	streams map[uint64]*clientStream // guarded by mu
 	// raw holds the in-flight control-plane round-trips (QROUTE,
 	// JOIN, LEAVE, APPLY, STATUS, ADMIN): their replies come back as
 	// typed frames the pool does not decode.
-	raw map[uint64]chan rawMsg
-	err error // terminal transport error; set once, conn unusable
+	raw map[uint64]chan rawMsg // guarded by mu
+	err error                  // terminal transport error; set once under mu; guarded by mu
 }
 
 // rawMsg is one demuxed control-plane reply: the reply frame's type

@@ -140,8 +140,8 @@ type peerServer struct {
 	ln   net.Listener
 
 	cmu    sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
+	conns  map[net.Conn]struct{} // guarded by cmu
+	closed bool                  // guarded by cmu
 }
 
 // track registers an accepted connection; it reports false when the
@@ -227,15 +227,15 @@ type Options struct {
 
 // Cluster is an overlay whose peers communicate over TCP.
 type Cluster struct {
-	mu    sync.RWMutex // guards net + addrs
-	net   *core.Network
-	rng   *rand.Rand
-	addrs map[keys.Key]string
-	place   lb.Strategy    // join placement hook; nil = uniform random
-	gate    bool           // enforce peer capacity on discoveries
-	store   *persist.Store // durability layer; nil = in-memory only
-	bind    string         // listener bind address template
-	advHost string         // advertised host override
+	mu      sync.RWMutex
+	net     *core.Network       // guarded by mu
+	rng     *rand.Rand          // guarded by mu (writers only)
+	addrs   map[keys.Key]string // guarded by mu
+	place   lb.Strategy         // join placement hook; nil = uniform random
+	gate    bool                // enforce peer capacity on discoveries
+	store   *persist.Store      // durability layer; nil = in-memory only
+	bind    string              // listener bind address template
+	advHost string              // advertised host override
 	control func(typ byte, payload []byte) (byte, []byte)
 	met     *obs.Metrics    // nil disables metrics
 	rec     *trace.Recorder // nil disables span recording

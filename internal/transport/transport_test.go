@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -156,13 +157,13 @@ func TestStopRejectsOps(t *testing.T) {
 	}
 	c.Stop()
 	c.Stop()
-	if err := c.Register("k2", "v"); err != ErrStopped {
+	if err := c.Register("k2", "v"); !errors.Is(err, ErrStopped) {
 		t.Fatalf("Register after stop = %v", err)
 	}
-	if _, err := c.Discover("k"); err != ErrStopped {
+	if _, err := c.Discover("k"); !errors.Is(err, ErrStopped) {
 		t.Fatalf("Discover after stop = %v", err)
 	}
-	if _, err := c.AddPeer(5); err != ErrStopped {
+	if _, err := c.AddPeer(5); !errors.Is(err, ErrStopped) {
 		t.Fatalf("AddPeer after stop = %v", err)
 	}
 }

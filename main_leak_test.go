@@ -1,0 +1,14 @@
+package dlpt
+
+import (
+	"testing"
+
+	"dlpt/internal/leakcheck"
+)
+
+// TestMain fails the binary if engine goroutines (live peer procs,
+// tcp servers, pool demuxers) outlive the tests: every engine's Close
+// must join everything it started.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}
