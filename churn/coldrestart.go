@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"dlpt"
 )
@@ -25,6 +26,11 @@ type ColdRestartConfig struct {
 	Capacity int
 	// Seed fixes the overlay and driver randomness.
 	Seed int64
+	// Preload registers the whole key corpus before the soak — the
+	// scale scenario, where the catalogue that must survive the kill
+	// is the full corpus rather than whatever the churn steps happened
+	// to register.
+	Preload bool
 	// Churn is the soak run before the kill; Churn.Keys is required.
 	Churn Config
 }
@@ -40,6 +46,12 @@ type ColdRestartStats struct {
 	// CrashedBeforeKill counts the peers crashed explicitly before
 	// the final abrupt death of the remainder.
 	CrashedBeforeKill int
+	// SoakWall, KillWall and RestartWall break the scenario's wall
+	// time into its phases: preload + churn + final replication tick,
+	// the crash-everyone loop, and dlpt.Restart + validation. At the
+	// 1M-key scale the split says which side of the durability path
+	// regressed.
+	SoakWall, KillWall, RestartWall time.Duration
 }
 
 // RunColdRestart drives the full crash-all scenario: churn soak on a
@@ -85,6 +97,16 @@ func RunColdRestart(ctx context.Context, cfg ColdRestartConfig) (ColdRestartStat
 	if soak.Seed == 0 {
 		soak.Seed = cfg.Seed
 	}
+	phase := time.Now()
+	if cfg.Preload {
+		batch := make([]dlpt.Registration, len(soak.Keys))
+		for i, k := range soak.Keys {
+			batch[i] = dlpt.Registration{Name: k, Endpoint: "ep://" + k}
+		}
+		if err := reg.RegisterBatch(ctx, batch); err != nil {
+			return st, err
+		}
+	}
 	if st.Soak, err = Run(ctx, reg.Engine(), soak); err != nil {
 		return st, err
 	}
@@ -98,6 +120,8 @@ func RunColdRestart(ctx context.Context, cfg ColdRestartConfig) (ColdRestartStat
 		return st, err
 	}
 	st.Declared = len(declared)
+	st.SoakWall = time.Since(phase)
+	phase = time.Now()
 
 	// Kill every peer: crash all the removable ones (the engine
 	// refuses to crash the last), then die abruptly — Close without
@@ -115,6 +139,8 @@ func RunColdRestart(ctx context.Context, cfg ColdRestartConfig) (ColdRestartStat
 	if err := reg.Close(); err != nil {
 		return st, err
 	}
+	st.KillWall = time.Since(phase)
+	phase = time.Now()
 
 	// Cold restart: nothing is left but the persistence directory.
 	restarted, err := dlpt.Restart(cfg.Dir,
@@ -132,6 +158,7 @@ func RunColdRestart(ctx context.Context, cfg ColdRestartConfig) (ColdRestartStat
 		return st, err
 	}
 	st.Recovered = len(recovered)
+	st.RestartWall = time.Since(phase)
 	sort.Strings(declared)
 	sort.Strings(recovered)
 	if len(declared) != len(recovered) {

@@ -13,6 +13,7 @@ import (
 
 	"dlpt"
 	"dlpt/engine"
+	"dlpt/internal/catalog"
 	"dlpt/internal/daemon"
 	"dlpt/internal/keys"
 	"dlpt/internal/obs"
@@ -93,6 +94,27 @@ type benchReport struct {
 	// (suspicion, epoch-fenced election, epoch-open barrier, resumed
 	// origination), measured on a 3-daemon overlay.
 	StewardFailoverMs int64 `json:"steward_failover_ms"`
+
+	// Durability metrics, measured on a persistent live-engine overlay
+	// (the snapshot path is engine-independent: every engine captures
+	// under its cluster lock and encodes+fsyncs outside it).
+	// SnapshotBytesPerKey is the on-disk snapshot cost of the 10k-key
+	// catalogue under the default (LOUDS) codec;
+	// SnapshotLegacyBytesPerKey is the same catalogue under the legacy
+	// codec — the succinct-codec win is their ratio and is asserted
+	// >= 5x at measurement time. SnapshotWriteStallNs is the time the
+	// cluster write lock is held per snapshot (capture + journal
+	// rotation, NOT encode or fsync) on the 100k-key catalogue;
+	// SnapshotWriteStallNs10k is the 10k-key reading the flatness
+	// assertion compares it against — O(1) capture means the two stay
+	// within noise of each other while catalogue size grows 10x.
+	// ColdRestartMs is a full dlpt.Restart (snapshot mmap + decode +
+	// journal replay + overlay rebuild) of the 100k-key directory.
+	SnapshotBytesPerKey       int64 `json:"snapshot_bytes_per_key"`
+	SnapshotLegacyBytesPerKey int64 `json:"snapshot_legacy_bytes_per_key"`
+	SnapshotWriteStallNs      int64 `json:"snapshot_write_stall_ns"`
+	SnapshotWriteStallNs10k   int64 `json:"snapshot_write_stall_ns_10k"`
+	ColdRestartMs             int64 `json:"cold_restart_ms"`
 }
 
 // regressionFactor is the perf gate: a latency metric more than this
@@ -213,6 +235,33 @@ func checkBaseline(rep *benchReport, base *benchReport, path string, w io.Writer
 				b.Engine, m.name, m.base, m.cur, ratio, verdict)
 		}
 	}
+	// Report-level durability metrics gate the same way (bytes and
+	// milliseconds use the same factor; the absolute floor absorbs
+	// jitter on the small readings).
+	for _, m := range []struct {
+		name      string
+		base, cur int64
+		floor     int64 // absolute slack in the metric's own unit
+	}{
+		{"snapshot_bytes_per_key", base.SnapshotBytesPerKey, rep.SnapshotBytesPerKey, 2},
+		{"snapshot_write_stall_ns", base.SnapshotWriteStallNs, rep.SnapshotWriteStallNs, regressionFloorNs},
+		{"cold_restart_ms", base.ColdRestartMs, rep.ColdRestartMs, 250},
+	} {
+		if m.base == 0 {
+			continue // metric absent from an older baseline schema
+		}
+		ratio := float64(m.cur) / float64(m.base)
+		verdict := "ok"
+		if float64(m.cur) > regressionFactor*float64(m.base) &&
+			m.cur-m.base > m.floor {
+			verdict = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d -> %d (%.2fx > %.1fx limit)",
+					m.name, m.base, m.cur, ratio, regressionFactor))
+		}
+		fmt.Fprintf(w, "# perf-gate %-5s %-20s %8d -> %8d     %.2fx  %s\n",
+			"all", m.name, m.base, m.cur, ratio, verdict)
+	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("bench: perf gate failed against %s:\n  %s",
 			path, strings.Join(regressions, "\n  "))
@@ -272,7 +321,148 @@ func measureEngines(quick bool, seed int64) (*benchReport, error) {
 	if err := measureDaemon(quick, seed, rep); err != nil {
 		return nil, err
 	}
+	if err := measureSnapshot(ctx, quick, seed, rep); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+// snapshotCodecFloor is the minimum legacy/LOUDS size ratio the
+// succinct codec must hold on the 10k-key snapshot corpus. It is
+// asserted at measurement time (codec sizes are deterministic — no
+// noise allowance needed), so a codec regression fails the bench even
+// before the baseline diff runs.
+const snapshotCodecFloor = 5.0
+
+// measureSnapshot runs the durability workload on a persistent
+// live-engine overlay: per-key snapshot cost under both codecs at 10k
+// keys, the lock-held snapshot stall at 10k and again at 100k keys
+// (asserted flat: capture is O(peers), not O(catalogue)), and a timed
+// cold restart of the 100k-key directory.
+func measureSnapshot(ctx context.Context, quick bool, seed int64, rep *benchReport) error {
+	smallKeys, bigKeys := 10_000, 100_000
+	if quick {
+		smallKeys, bigKeys = 1_500, 15_000
+	}
+	dir, err := os.MkdirTemp("", "dlpt-bench-snap")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	reg, err := dlpt.New(16,
+		dlpt.WithSeed(seed),
+		dlpt.WithAlphabet(keys.LowerAlnum),
+		dlpt.WithEngine(dlpt.EngineLive),
+		dlpt.WithPersistence(dir),
+		dlpt.WithObservability(dlpt.NewObservability()))
+	if err != nil {
+		return err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			reg.Close()
+		}
+	}()
+
+	// Endpoints are shared, as in the replication workload: the codec
+	// deduplicates the value table, so the per-key cost measures the
+	// key structure the LOUDS trie compresses (unique per-key values
+	// would dominate both codecs identically and wash the ratio out).
+	corpus := workload.GridCorpus(bigKeys)
+	register := func(lo, hi int) error {
+		batch := make([]dlpt.Registration, 0, hi-lo)
+		for _, k := range corpus[lo:hi] {
+			batch = append(batch, dlpt.Registration{Name: string(k), Endpoint: "ep"})
+		}
+		return reg.RegisterBatch(ctx, batch)
+	}
+	// minStall replicates a few times and keeps the smallest lock-held
+	// stall the gauge saw: scheduler noise only ever adds to the
+	// reading, so the minimum is the right statistic for a flatness
+	// comparison.
+	minStall := func(reps int) (int64, error) {
+		best := int64(-1)
+		for i := 0; i < reps; i++ {
+			if _, err := reg.Replicate(ctx); err != nil {
+				return 0, err
+			}
+			ns := int64(reg.ObsSnapshot().Get(obs.SeriesSnapshotStall) * 1e9)
+			if best < 0 || ns < best {
+				best = ns
+			}
+		}
+		return best, nil
+	}
+
+	if err := register(0, smallKeys); err != nil {
+		return err
+	}
+	if rep.SnapshotWriteStallNs10k, err = minStall(5); err != nil {
+		return err
+	}
+	snap := reg.ObsSnapshot()
+	bytes := int64(snap.Get(obs.SeriesSnapshotBytes))
+	nkeys := int64(snap.Get(obs.SeriesSnapshotKeys))
+	if nkeys != int64(smallKeys) {
+		return fmt.Errorf("bench: snapshot declared %d keys, registered %d", nkeys, smallKeys)
+	}
+	rep.SnapshotBytesPerKey = bytes / nkeys
+
+	// The codec win, measured codec-to-codec on the identical entry
+	// set so the ratio is free of envelope and peer-table overhead.
+	entries := make([]catalog.Entry, smallKeys)
+	for i, k := range corpus[:smallKeys] {
+		entries[i] = catalog.Entry{Key: string(k), Values: []string{"ep"}}
+	}
+	loudsBytes := len(catalog.Append(nil, catalog.LOUDS, entries, catalog.SecValues))
+	legacyBytes := len(catalog.Append(nil, catalog.Legacy, entries, catalog.SecValues))
+	rep.SnapshotLegacyBytesPerKey = int64(legacyBytes) / nkeys
+	// The floor is a 10k-key property (quick mode's short corpus has
+	// less prefix structure to compress — report, don't assert).
+	if ratio := float64(legacyBytes) / float64(loudsBytes); !quick && ratio < snapshotCodecFloor {
+		return fmt.Errorf("bench: LOUDS snapshot only %.2fx smaller than legacy on %d keys (floor %.1fx)",
+			ratio, smallKeys, snapshotCodecFloor)
+	}
+
+	if err := register(smallKeys, bigKeys); err != nil {
+		return err
+	}
+	if rep.SnapshotWriteStallNs, err = minStall(5); err != nil {
+		return err
+	}
+	// Flatness: the lock-held window must not scale with the
+	// catalogue. A 10x-bigger catalogue gets a generous 4x noise
+	// allowance plus an absolute floor — an O(keys) capture would blow
+	// through both.
+	if rep.SnapshotWriteStallNs > 4*rep.SnapshotWriteStallNs10k &&
+		rep.SnapshotWriteStallNs-rep.SnapshotWriteStallNs10k > 2_000_000 {
+		return fmt.Errorf("bench: snapshot write stall grew with the catalogue: %d ns at %d keys vs %d ns at %d keys",
+			rep.SnapshotWriteStallNs, bigKeys, rep.SnapshotWriteStallNs10k, smallKeys)
+	}
+
+	if err := reg.Close(); err != nil {
+		return err
+	}
+	closed = true
+	start := time.Now()
+	restarted, err := dlpt.Restart(dir,
+		dlpt.WithSeed(seed),
+		dlpt.WithEngine(dlpt.EngineLive))
+	if err != nil {
+		return err
+	}
+	rep.ColdRestartMs = time.Since(start).Milliseconds()
+	defer restarted.Close()
+	recovered, err := restarted.Services(ctx)
+	if err != nil {
+		return err
+	}
+	if len(recovered) != bigKeys {
+		return fmt.Errorf("bench: cold restart recovered %d of %d keys", len(recovered), bigKeys)
+	}
+	return nil
 }
 
 // measureDaemon times the cross-process deployment layer on

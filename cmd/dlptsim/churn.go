@@ -37,6 +37,8 @@ func runChurn(args []string, w io.Writer) error {
 	persistDir := fs.String("persist", "", "persistence directory (durable snapshots + journal)")
 	coldRestart := fs.Bool("cold-restart", false,
 		"after the soak: kill every peer and restart from -persist, validating the recovered catalogue")
+	maxWall := fs.Duration("max-wall", 0,
+		"fail if the whole soak (including any cold restart) takes longer than this; 0 disables the gate")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +62,7 @@ func runChurn(args []string, w io.Writer) error {
 			Peers:    *peers,
 			Capacity: *capacity,
 			Seed:     *seed,
+			Preload:  true,
 			Churn: churn.Config{
 				Seed:           *seed,
 				Ops:            *ops,
@@ -81,8 +84,12 @@ func runChurn(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "kill:    %d peers crashed, remainder died abruptly\n", st.CrashedBeforeKill)
 		fmt.Fprintf(w, "restart: %d/%d keys recovered from %s\n",
 			st.Recovered, st.Declared, *persistDir)
-		fmt.Fprintf(w, "# cold restart validated OK in %v\n", time.Since(start).Round(time.Millisecond))
-		return nil
+		fmt.Fprintf(w, "phases:  soak=%v kill=%v restart=%v\n",
+			st.SoakWall.Round(time.Millisecond), st.KillWall.Round(time.Millisecond),
+			st.RestartWall.Round(time.Millisecond))
+		elapsed := time.Since(start)
+		fmt.Fprintf(w, "# cold restart validated OK in %v\n", elapsed.Round(time.Millisecond))
+		return gateWall(elapsed, *maxWall)
 	}
 
 	caps := make([]int, *peers)
@@ -152,5 +159,17 @@ func runChurn(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "final:      %d peers, %d keys, engine counters %+v\n",
 		st.FinalPeers, st.FinalKeys, ms)
 	fmt.Fprintf(w, "# validated OK in %v\n", elapsed.Round(time.Millisecond))
+	return gateWall(elapsed, *maxWall)
+}
+
+// gateWall turns a blown wall-time budget into a non-zero exit — the
+// CI gate for soaks whose cost must stay bounded (the 1M-key cold
+// restart in particular: snapshot encode, mmap load and journal
+// replay all sit on this path).
+func gateWall(elapsed, max time.Duration) error {
+	if max > 0 && elapsed > max {
+		return fmt.Errorf("churn: wall time %v exceeded the -max-wall budget %v",
+			elapsed.Round(time.Millisecond), max)
+	}
 	return nil
 }

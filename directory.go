@@ -116,14 +116,13 @@ func (d *Directory) Find(ctx context.Context, preds ...Where) ([]string, QuerySt
 	return ids, QueryStats{TreeHops: cost.LogicalHops, CrossPeerOps: cost.PhysicalHops}, err
 }
 
-// FindSeq streams the ids of resources matching every predicate as
-// the conjunctive intersection discovers them: the predicate with the
-// fewest candidate attribute keys drives the evaluation and the other
-// conjuncts are consumed only as far as the membership tests demand,
-// so breaking out of the loop early leaves the remaining per-key
-// discoveries unissued. Ids arrive in driver order (by candidate
-// attribute key, then id) — drain and sort, or use Find, when
-// lexicographic order matters.
+// FindSeq streams the ids of resources matching every predicate in
+// ascending order. The conjunction evaluates as a sorted merge across
+// per-predicate id streams: predicates materialize fewest-candidates
+// first (each one's attribute keys discovered concurrently, every key
+// exactly once), and a running intersection that empties
+// short-circuits the remaining predicates before they issue any
+// discovery.
 func (d *Directory) FindSeq(ctx context.Context, preds ...Where) iter.Seq2[string, error] {
 	return iter.Seq2[string, error](d.inner.QuerySeq(ctx, toPredicates(preds)...))
 }

@@ -395,21 +395,40 @@ func (e *Engine) Recover(ctx context.Context) (engine.RecoveryReport, error) {
 }
 
 // Replicate snapshots every tree node to its host's ring successor
-// and, on a durable overlay, writes the fsynced on-disk snapshot.
+// and, on a durable overlay, writes the fsynced on-disk snapshot. The
+// write lock covers only the replication tick, the O(1) catalogue
+// capture and the journal rotation; encoding and fsync run after the
+// lock is released, so registrations never stall behind the disk.
 func (e *Engine) Replicate(ctx context.Context) (int, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if err := e.guard(ctx); err != nil {
+		e.mu.Unlock()
 		return 0, err
 	}
 	n := e.net.Replicate()
+	var pending *persist.PendingSnapshot
+	var peers []persist.PeerState
+	var cat *core.CatalogueCapture
+	var stall time.Duration
 	if e.store != nil {
-		peers, nodes := e.net.PersistState()
-		if _, err := e.store.WriteSnapshot(peers, nodes); err != nil {
+		start := time.Now()
+		peers, cat = e.net.CaptureSnapshot()
+		var err error
+		if pending, err = e.store.BeginSnapshot(); err != nil {
+			e.mu.Unlock()
 			return n, err
 		}
+		stall = time.Since(start)
 	}
-	e.net.Obs.MarkReplicated()
+	obs := e.net.Obs
+	e.mu.Unlock()
+	if pending != nil {
+		if _, err := pending.Commit(peers, cat); err != nil {
+			return n, err
+		}
+		obs.MarkSnapshot(stall, pending.Bytes(), cat.Len())
+	}
+	obs.MarkReplicated()
 	return n, nil
 }
 

@@ -3,7 +3,8 @@
 // logical state. The packages that compute wire values — the prefix
 // trie and placement logic (internal/core, internal/pht,
 // internal/pgrid, internal/trie, internal/keys), the attribute
-// directory (internal/attrs), and the transport frame codec — must
+// directory (internal/attrs), the catalogue codec
+// (internal/catalog), and the transport frame codec — must
 // not let any of Go's deliberate nondeterminism reach their output:
 //
 //   - map iteration order: ranging over a map is flagged unless the
@@ -43,12 +44,13 @@ var Analyzer = &analysis.Analyzer{
 // deterministicPkgs are the package base names whose outputs feed the
 // wire or the cross-engine differential tests.
 var deterministicPkgs = map[string]bool{
-	"core":  true,
-	"attrs": true,
-	"pht":   true,
-	"pgrid": true,
-	"trie":  true,
-	"keys":  true,
+	"core":    true,
+	"attrs":   true,
+	"catalog": true,
+	"pht":     true,
+	"pgrid":   true,
+	"trie":    true,
+	"keys":    true,
 }
 
 // transportFiles are the codec files checked inside internal/transport

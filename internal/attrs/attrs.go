@@ -237,18 +237,17 @@ func (d *Directory) NumServices() int {
 	return len(d.services)
 }
 
-// predEval is the lazily-consumed evaluation state of one predicate:
-// the candidate attribute keys its subtree query matched, and the
-// service ids discovered under the keys consumed so far. Membership
-// tests consume further keys only until the id under test is found,
-// so a conjunct is materialized no further than the intersection
-// needs — consuming nothing at all when the driving stream is empty
-// or the consumer stops early.
+// predEval is the evaluation state of one predicate: the candidate
+// attribute keys its subtree query matched and, once materialized,
+// the sorted set of service ids declared under them. The sorted sets
+// are what the conjunction merges — a predicate whose turn never
+// comes (because the running intersection already emptied) is never
+// materialized and issues no discoveries at all.
 type predEval struct {
 	p    Predicate
-	keys []string        // candidate attr=value keys, lexicographic
-	next int             // first key not yet discovered
-	seen map[string]bool // ids found under keys[:next]
+	keys []string // candidate attr=value keys, lexicographic
+	ids  []string // sorted unique service ids; valid once done
+	done bool
 }
 
 // candidateKeys enumerates the attribute keys matching one predicate
@@ -340,35 +339,68 @@ func (d *Directory) discoverChunk(ctx context.Context, ks []string, cost *Cost) 
 	return out, firstErr
 }
 
-// contains tests id against the predicate, consuming only as many
-// candidate keys as the test needs; what it discovers stays cached
-// for later tests.
-func (pe *predEval) contains(ctx context.Context, d *Directory, id string, cost *Cost) (bool, error) {
-	if pe.seen[id] {
-		return true, nil
+// materialize discovers every candidate key's ids — prefetched
+// discoverConcurrency keys at a time, since each is an independent
+// routed read — and folds them into one sorted, deduplicated set.
+// Each key is looked up exactly once; the old lazy membership probes
+// issued the same lookups one at a time, sequentially, as
+// intersection tests demanded them.
+func (pe *predEval) materialize(ctx context.Context, d *Directory, cost *Cost) error {
+	if pe.done {
+		return nil
 	}
-	for pe.next < len(pe.keys) {
-		k := pe.keys[pe.next]
-		pe.next++
-		ids, err := d.discoverIDs(ctx, k, cost)
+	var all []string
+	for start := 0; start < len(pe.keys); start += discoverConcurrency {
+		end := start + discoverConcurrency
+		if end > len(pe.keys) {
+			end = len(pe.keys)
+		}
+		chunk, err := d.discoverChunk(ctx, pe.keys[start:end], cost)
 		if err != nil {
-			return false, err
+			return err
 		}
-		for _, v := range ids {
-			pe.seen[v] = true
-		}
-		if pe.seen[id] {
-			return true, nil
+		for _, ids := range chunk {
+			all = append(all, ids...)
 		}
 	}
-	return false, nil
+	sort.Strings(all)
+	ids := all[:0]
+	for i, id := range all {
+		if i > 0 && all[i-1] == id {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	pe.ids = ids
+	pe.done = true
+	return nil
+}
+
+// intersectSorted narrows a (ascending, unique) to the ids also
+// present in b (ascending, unique), in place.
+func intersectSorted(a, b []string) []string {
+	out := a[:0]
+	j := 0
+	for _, id := range a {
+		for j < len(b) && b[j] < id {
+			j++
+		}
+		if j == len(b) {
+			break
+		}
+		if b[j] == id {
+			out = append(out, id)
+			j++
+		}
+	}
+	return out
 }
 
 // plan builds the evaluation order of a conjunctive query: every
 // predicate's candidate keys are enumerated (one routed subtree query
-// each), and the predicate with the fewest candidates becomes the
-// driver — the smallest stream drives the intersection, the others
-// are only consumed as far as membership tests demand.
+// each, keys arriving in sorted order), and the predicates are
+// arranged fewest-candidates-first so the cheapest stream seeds the
+// merge and the running intersection narrows as early as possible.
 func (d *Directory) plan(ctx context.Context, preds []Predicate, cost *Cost) ([]*predEval, error) {
 	if len(preds) == 0 {
 		return nil, fmt.Errorf("attrs: empty query")
@@ -379,7 +411,7 @@ func (d *Directory) plan(ctx context.Context, preds []Predicate, cost *Cost) ([]
 		if err != nil {
 			return nil, err
 		}
-		evals[i] = &predEval{p: p, keys: ks, seen: make(map[string]bool)}
+		evals[i] = &predEval{p: p, keys: ks}
 	}
 	sort.SliceStable(evals, func(a, b int) bool {
 		return len(evals[a].keys) < len(evals[b].keys)
@@ -387,57 +419,42 @@ func (d *Directory) plan(ctx context.Context, preds []Predicate, cost *Cost) ([]
 	return evals, nil
 }
 
-// runQuery streams the conjunction: the driver predicate's ids are
-// discovered in key order — prefetched discoverConcurrency keys at a
-// time, since each is an independent routed read — and each candidate
-// is verified against the remaining predicates lazily. yield
-// returning false stops the evaluation: at most the current prefetch
-// chunk is ever discovered past the last yielded id.
+// runQuery streams the conjunction as a sorted merge across the
+// per-predicate id streams: each predicate materializes (in
+// fewest-candidates-first order) into one ascending id set and the
+// running intersection merges pairwise through them. An intersection
+// that empties short-circuits the remaining predicates before they
+// issue a single discovery. Matches yield in ascending id order;
+// yield returning false stops the stream.
 func (d *Directory) runQuery(ctx context.Context, evals []*predEval, cost *Cost,
 	yield func(id string, err error) bool) {
 
-	drv := evals[0]
-	tried := make(map[string]bool)
-	for start := 0; start < len(drv.keys); start += discoverConcurrency {
-		end := start + discoverConcurrency
-		if end > len(drv.keys) {
-			end = len(drv.keys)
+	var cur []string
+	for i, pe := range evals {
+		if i > 0 && len(cur) == 0 {
+			return
 		}
-		chunk, err := d.discoverChunk(ctx, drv.keys[start:end], cost)
-		if err != nil {
+		if err := pe.materialize(ctx, d, cost); err != nil {
 			yield("", err)
 			return
 		}
-		for _, ids := range chunk {
-			for _, id := range ids {
-				if tried[id] {
-					continue
-				}
-				tried[id] = true
-				matchAll := true
-				for _, pe := range evals[1:] {
-					ok, err := pe.contains(ctx, d, id, cost)
-					if err != nil {
-						yield("", err)
-						return
-					}
-					if !ok {
-						matchAll = false
-						break
-					}
-				}
-				if matchAll && !yield(id, nil) {
-					return
-				}
-			}
+		if i == 0 {
+			cur = pe.ids
+		} else {
+			cur = intersectSorted(cur, pe.ids)
+		}
+	}
+	for _, id := range cur {
+		if !yield(id, nil) {
+			return
 		}
 	}
 }
 
-// QuerySeq streams the service ids matching every predicate as the
-// intersection discovers them (driver-stream order: by candidate
-// attribute key, then by id). The consumer breaking out of the loop
-// stops the evaluation.
+// QuerySeq streams the service ids matching every predicate in
+// ascending order, as the sorted merge across the per-predicate id
+// streams produces them. The consumer breaking out of the loop stops
+// the evaluation.
 func (d *Directory) QuerySeq(ctx context.Context, preds ...Predicate) func(yield func(string, error) bool) {
 	return func(yield func(string, error) bool) {
 		var cost Cost
@@ -473,7 +490,6 @@ func (d *Directory) Query(ctx context.Context, preds ...Predicate) ([]string, Co
 	if firstErr != nil {
 		return nil, cost, firstErr
 	}
-	sort.Strings(out)
 	return out, cost, nil
 }
 

@@ -1,0 +1,234 @@
+package catalog
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// corpus builds a service-name-like key set with heavy prefix
+// sharing, the shape the succinct codec is designed for.
+func corpus(n int) []string {
+	bases := []string{
+		"dgemm", "dgemv", "dgetrf", "dgetrs", "dpotrf", "dpotrs",
+		"sgemm", "sgemv", "sgetrf", "zgemm", "zheev", "dsyev",
+		"pdgemm", "pdgetrf", "pdpotrf", "s3l_mat_mult", "s3l_fft",
+	}
+	out := make([]string, 0, n)
+	for i := 0; len(out) < n; i++ {
+		b := bases[i%len(bases)]
+		if v := i / len(bases); v > 0 {
+			b = fmt.Sprintf("%s_v%d", b, v+1)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func entriesFor(ks []string, full bool) []Entry {
+	entries := make([]Entry, len(ks))
+	for i, k := range ks {
+		entries[i] = Entry{Key: k, Values: []string{"ep://grid-" + fmt.Sprint(i%16)}}
+		if full {
+			if len(k) > 1 {
+				entries[i].Father = k[:len(k)-1]
+				entries[i].HasFather = true
+			}
+			entries[i].LoadPrev = i % 7
+			entries[i].LoadCur = i % 5
+		}
+	}
+	return entries
+}
+
+func TestRoundTripBothCodecs(t *testing.T) {
+	ks := corpus(500)
+	for _, full := range []bool{false, true} {
+		secs := SecValues
+		if full {
+			secs = SecAll
+		}
+		want := canonicalize(entriesFor(ks, full))
+		for _, c := range []Codec{Legacy, LOUDS} {
+			enc := Append(nil, c, entriesFor(ks, full), secs)
+			got, gotSecs, err := Decode(enc)
+			if err != nil {
+				t.Fatalf("codec v%d: decode: %v", c.Version(), err)
+			}
+			if gotSecs != secs {
+				t.Fatalf("codec v%d: sections = %v, want %v", c.Version(), gotSecs, secs)
+			}
+			if !entriesEqual(got, want) {
+				t.Fatalf("codec v%d: round trip mismatch", c.Version())
+			}
+		}
+	}
+}
+
+func TestRoundTripWithChildren(t *testing.T) {
+	entries := []Entry{
+		{Key: "", Values: []string{"root"}, Children: []string{"dge", "sge"}},
+		{Key: "dgemm", Values: []string{"a", "b"}, Father: "dge", HasFather: true},
+		{Key: "dgemv", Father: "dge", HasFather: true},
+		{Key: "sgemm", Father: "sge", HasFather: true, Children: []string{"sgemm_v2"}},
+		{Key: "sgemm_v2", Values: []string{"a"}, Father: "sgemm", HasFather: true},
+	}
+	for _, c := range []Codec{Legacy, LOUDS} {
+		enc := Append(nil, c, entries, SecAll)
+		got, _, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("codec v%d: decode: %v", c.Version(), err)
+		}
+		if !entriesEqual(got, entries) {
+			t.Fatalf("codec v%d: mismatch\ngot  %+v\nwant %+v", c.Version(), got, entries)
+		}
+	}
+}
+
+func TestUnsortedInputCanonicalizes(t *testing.T) {
+	in := []Entry{{Key: "b"}, {Key: "a", Values: []string{"old"}}, {Key: "a", Values: []string{"new"}}}
+	enc := Append(nil, LOUDS, in, SecValues)
+	got, _, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Entry{{Key: "a", Values: []string{"new"}}, {Key: "b"}}
+	if !entriesEqual(got, want) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestEmptyCatalogue(t *testing.T) {
+	for _, c := range []Codec{Legacy, LOUDS} {
+		enc := Append(nil, c, nil, SecValues)
+		got, _, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("codec v%d: %v", c.Version(), err)
+		}
+		if len(got) != 0 {
+			t.Fatalf("codec v%d: got %d entries", c.Version(), len(got))
+		}
+	}
+}
+
+func TestKeysRoundTrip(t *testing.T) {
+	sorted := corpus(200)
+	canon := canonicalize(entriesFor(sorted, false))
+	sortedKeys := make([]string, len(canon))
+	for i, e := range canon {
+		sortedKeys[i] = e.Key
+	}
+	// Sorted-unique keys travel through the succinct codec.
+	enc := AppendKeys(nil, LOUDS, sortedKeys)
+	if enc[0] != versionLOUDS {
+		t.Fatalf("sorted keys: codec v%d, want LOUDS", enc[0])
+	}
+	got, err := DecodeKeys(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sortedKeys) {
+		t.Fatal("sorted keys round trip mismatch")
+	}
+	// An unsorted batch must keep its order: the legacy fallback.
+	unsorted := []string{"zz", "aa", "mm"}
+	enc = AppendKeys(nil, LOUDS, unsorted)
+	if enc[0] != versionLegacy {
+		t.Fatalf("unsorted keys: codec v%d, want legacy fallback", enc[0])
+	}
+	got, err = DecodeKeys(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, unsorted) {
+		t.Fatal("unsorted keys lost their order")
+	}
+}
+
+// TestSuccinctSizeWin pins the reason this codec exists: on a
+// prefix-sharing corpus with shared endpoint values, the succinct
+// form must be at least 5x smaller than the legacy form.
+func TestSuccinctSizeWin(t *testing.T) {
+	entries := entriesFor(corpus(10000), false)
+	legacy := len(Append(nil, Legacy, entries, SecValues))
+	louds := len(Append(nil, LOUDS, entries, SecValues))
+	t.Logf("legacy=%d bytes (%.1f/key), louds=%d bytes (%.1f/key), ratio=%.1fx",
+		legacy, float64(legacy)/10000, louds, float64(louds)/10000,
+		float64(legacy)/float64(louds))
+	if louds*5 > legacy {
+		t.Fatalf("succinct codec too large: legacy=%d louds=%d (<5x)", legacy, louds)
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	entries := entriesFor(corpus(300), true)
+	a := Append(nil, LOUDS, entries, SecAll)
+	b := Append(nil, LOUDS, entries, SecAll)
+	if string(a) != string(b) {
+		t.Fatal("encoding is not deterministic")
+	}
+}
+
+func TestHostileInputsDoNotPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	seed := Append(nil, LOUDS, entriesFor(corpus(64), true), SecAll)
+	for i := 0; i < 5000; i++ {
+		p := append([]byte(nil), seed...)
+		// Flip a handful of bytes and truncate somewhere.
+		for j := 0; j < 4; j++ {
+			p[rng.Intn(len(p))] ^= byte(1 << rng.Intn(8))
+		}
+		p = p[:rng.Intn(len(p)+1)]
+		entries, _, err := Decode(p) // must not panic or hang
+		_ = entries
+		_ = err
+	}
+}
+
+func TestViewStreamsLazily(t *testing.T) {
+	entries := entriesFor(corpus(100), false)
+	enc := Append(nil, LOUDS, entries, SecValues)
+	v, err := NewView(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != len(canonicalize(entries)) {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	seen := 0
+	err = v.Ascend(func(e Entry) bool {
+		seen++
+		return seen < 10 // early stop must be clean
+	})
+	if err != nil || seen != 10 {
+		t.Fatalf("early stop: seen=%d err=%v", seen, err)
+	}
+}
+
+func entriesEqual(a, b []Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Key != y.Key || x.Father != y.Father || x.HasFather != y.HasFather ||
+			x.LoadPrev != y.LoadPrev || x.LoadCur != y.LoadCur {
+			return false
+		}
+		if len(x.Values) != len(y.Values) || len(x.Children) != len(y.Children) {
+			return false
+		}
+		for j := range x.Values {
+			if x.Values[j] != y.Values[j] {
+				return false
+			}
+		}
+		for j := range x.Children {
+			if x.Children[j] != y.Children[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

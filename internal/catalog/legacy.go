@@ -1,0 +1,157 @@
+package catalog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// legacyCodec is the version-0 codec: the verbose length-prefixed
+// entry encoding the transport REPLICA frames and snapshots used
+// before the succinct codec existed. One entry costs its full key
+// plus every section inline — no sharing, no deduplication. It stays
+// both readable and writable so old snapshots load and mixed-version
+// clusters interoperate during migration.
+//
+// The raw form preserves entry order, which AppendKeys relies on for
+// traversal-ordered key batches; AppendPayload canonicalizes first
+// like every codec.
+type legacyCodec struct{}
+
+func (legacyCodec) Version() byte { return versionLegacy }
+
+func (legacyCodec) AppendPayload(dst []byte, entries []Entry, secs Sections) []byte {
+	return appendLegacyPayload(dst, canonicalize(entries), secs)
+}
+
+func appendLegacyPayload(dst []byte, entries []Entry, secs Sections) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(entries)))
+	for _, e := range entries {
+		dst = appendString(dst, e.Key)
+		if secs&SecStruct != 0 {
+			// The father of a fatherless entry encodes empty — the
+			// canonical form every codec agrees on.
+			if e.HasFather {
+				dst = appendString(dst, e.Father)
+				dst = append(dst, 1)
+			} else {
+				dst = appendString(dst, "")
+				dst = append(dst, 0)
+			}
+			dst = binary.AppendUvarint(dst, uint64(len(e.Children)))
+			for _, c := range e.Children {
+				dst = appendString(dst, c)
+			}
+		}
+		if secs&SecValues != 0 {
+			dst = binary.AppendUvarint(dst, uint64(len(e.Values)))
+			for _, v := range e.Values {
+				dst = appendString(dst, v)
+			}
+		}
+		if secs&SecLoads != 0 {
+			dst = binary.AppendUvarint(dst, uint64(e.LoadPrev))
+			dst = binary.AppendUvarint(dst, uint64(e.LoadCur))
+		}
+	}
+	return dst
+}
+
+func (legacyCodec) DecodePayload(p []byte, secs Sections) ([]Entry, error) {
+	n, p, err := getUvarint(p)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: entry count: %w", err)
+	}
+	// Each entry costs at least one byte on the wire: a count beyond
+	// the remaining payload is corrupt, and pre-allocating from it
+	// would let a tiny input demand an arbitrary allocation.
+	if n > uint64(len(p))+1 {
+		return nil, errors.New("catalog: implausible entry count")
+	}
+	out := make([]Entry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var e Entry
+		if e.Key, p, err = getString(p); err != nil {
+			return nil, fmt.Errorf("catalog: entry %d key: %w", i, err)
+		}
+		if secs&SecStruct != 0 {
+			if e.Father, p, err = getString(p); err != nil {
+				return nil, fmt.Errorf("catalog: entry %d father: %w", i, err)
+			}
+			if len(p) < 1 {
+				return nil, errors.New("catalog: truncated hasFather")
+			}
+			e.HasFather = p[0] != 0
+			p = p[1:]
+			var m uint64
+			if m, p, err = getUvarint(p); err != nil {
+				return nil, fmt.Errorf("catalog: entry %d child count: %w", i, err)
+			}
+			if m > uint64(len(p)) {
+				return nil, errors.New("catalog: implausible child count")
+			}
+			for j := uint64(0); j < m; j++ {
+				var c string
+				if c, p, err = getString(p); err != nil {
+					return nil, fmt.Errorf("catalog: entry %d child %d: %w", i, j, err)
+				}
+				e.Children = append(e.Children, c)
+			}
+		}
+		if secs&SecValues != 0 {
+			var m uint64
+			if m, p, err = getUvarint(p); err != nil {
+				return nil, fmt.Errorf("catalog: entry %d value count: %w", i, err)
+			}
+			if m > uint64(len(p)) {
+				return nil, errors.New("catalog: implausible value count")
+			}
+			for j := uint64(0); j < m; j++ {
+				var v string
+				if v, p, err = getString(p); err != nil {
+					return nil, fmt.Errorf("catalog: entry %d value %d: %w", i, j, err)
+				}
+				e.Values = append(e.Values, v)
+			}
+		}
+		if secs&SecLoads != 0 {
+			var v uint64
+			if v, p, err = getUvarint(p); err != nil {
+				return nil, fmt.Errorf("catalog: entry %d loadPrev: %w", i, err)
+			}
+			e.LoadPrev = int(v)
+			if v, p, err = getUvarint(p); err != nil {
+				return nil, fmt.Errorf("catalog: entry %d loadCur: %w", i, err)
+			}
+			e.LoadCur = int(v)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// --- shared wire helpers -----------------------------------------------------
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func getUvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, errors.New("catalog: truncated varint")
+	}
+	return v, p[n:], nil
+}
+
+func getString(p []byte) (string, []byte, error) {
+	n, p, err := getUvarint(p)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(p)) < n {
+		return "", nil, errors.New("catalog: truncated string")
+	}
+	return string(p[:n]), p[n:], nil
+}

@@ -1,0 +1,348 @@
+package catalog
+
+import (
+	"encoding/binary"
+	"math/bits"
+	"sort"
+)
+
+// loudsCodec is the version-1 succinct codec, after the LOUDS
+// (Level-Order Unary Degree Sequence) trie encodings of Jacobson and
+// the SuRF fast-succinct-trie line: the sorted key set becomes a
+// byte trie marshalled breadth-first as
+//
+//	bitmap  — for each trie node in BFS order, degree ones then a
+//	          zero (2n-1 bits for n nodes; the i-th one, counting
+//	          from zero, IS node i+1, so parent/child navigation is
+//	          rank/select arithmetic over the bitmap)
+//	labels  — one byte per non-root node, BFS order
+//	entries — one bit per node marking the nodes that carry an entry
+//
+// followed by the optional sections, each length-prefixed:
+//
+//	values  — a sorted distinct-value table plus run-length-grouped
+//	          per-entry varint references into it (a run of entries
+//	          sharing one value list costs a few bytes total instead
+//	          of a full copy — or even a count — per entry)
+//	struct  — per entry, the father and children links as trie-node
+//	          indexes (a full key collapses to a varint because the
+//	          trie already spells it)
+//	loads   — per entry, LoadPrev and LoadCur varints
+//
+// Per-entry section records are in lexicographic key order — the
+// depth-first order of the trie — so decoding streams them in step
+// with the walk. Keys sharing prefixes share trie paths, which on
+// service-name corpora shrinks the key bytes by roughly an order of
+// magnitude; the rank directory is rebuilt at decode time from the
+// bitmap itself, so the wire form carries no redundancy.
+type loudsCodec struct{}
+
+func (loudsCodec) Version() byte { return versionLOUDS }
+
+// maxCatalogNodes bounds the node count a decoder will accept
+// relative to the payload it came from: every non-root node costs at
+// least one label byte, so anything larger is corrupt and must not
+// drive allocation.
+func maxCatalogNodes(p []byte) uint64 { return uint64(len(p)) + 1 }
+
+// --- bit vector with rank/select ---------------------------------------------
+
+// bitvec is a plain bit vector with a word-granular rank directory:
+// rank is two array reads and a popcount, select is a binary search
+// over words then an in-word scan. Bits are addressed LSB-first
+// within each 64-bit word, matching the serialized byte order.
+type bitvec struct {
+	words []uint64
+	n     int      // number of valid bits
+	ranks []uint32 // ranks[i] = ones in words[:i]
+}
+
+func newBitvec(words []uint64, n int) *bitvec {
+	b := &bitvec{words: words, n: n, ranks: make([]uint32, len(words)+1)}
+	for i, w := range words {
+		b.ranks[i+1] = b.ranks[i] + uint32(bits.OnesCount64(w))
+	}
+	return b
+}
+
+func (b *bitvec) ones() int { return int(b.ranks[len(b.words)]) }
+
+// rank1 counts ones in [0, i).
+func (b *bitvec) rank1(i int) int {
+	w := i >> 6
+	r := int(b.ranks[w])
+	if off := uint(i & 63); off != 0 {
+		r += bits.OnesCount64(b.words[w] & (1<<off - 1))
+	}
+	return r
+}
+
+// rank0 counts zeros in [0, i).
+func (b *bitvec) rank0(i int) int { return i - b.rank1(i) }
+
+// select1 returns the position of the i-th one (0-based), or -1.
+func (b *bitvec) select1(i int) int {
+	if i < 0 || i >= b.ones() {
+		return -1
+	}
+	// Last word whose cumulative rank is still <= i.
+	lo, hi := 0, len(b.words)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if int(b.ranks[mid]) <= i {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo<<6 + selectInWord(b.words[lo], i-int(b.ranks[lo]))
+}
+
+// select0 returns the position of the i-th zero (0-based), or -1.
+func (b *bitvec) select0(i int) int {
+	if i < 0 || i >= b.n-b.ones() {
+		return -1
+	}
+	lo, hi := 0, len(b.words)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if mid<<6-int(b.ranks[mid]) <= i {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	pos := lo<<6 + selectInWord(^b.words[lo], i-(lo<<6-int(b.ranks[lo])))
+	if pos >= b.n {
+		return -1
+	}
+	return pos
+}
+
+// selectInWord returns the position of the r-th set bit of w.
+func selectInWord(w uint64, r int) int {
+	for i := 0; i < 64; i++ {
+		if w&(1<<uint(i)) != 0 {
+			if r == 0 {
+				return i
+			}
+			r--
+		}
+	}
+	return -1
+}
+
+// wordsFromBytes loads a little-endian byte serialization into words,
+// masking any tail bits beyond n so popcount validation is exact.
+func wordsFromBytes(p []byte, n int) []uint64 {
+	words := make([]uint64, (n+63)/64)
+	for i, c := range p {
+		words[i>>3] |= uint64(c) << uint((i&7)*8)
+	}
+	if off := uint(n & 63); off != 0 && len(words) > 0 {
+		words[len(words)-1] &= 1<<off - 1
+	}
+	return words
+}
+
+// --- encoding ----------------------------------------------------------------
+
+// bnode is one trie node during encoding.
+type bnode struct {
+	lab  byte
+	kids []*bnode
+	id   int
+}
+
+// buildTrie inserts the sorted distinct strings into a byte trie and
+// returns the root plus each string's terminal node. Sorted insertion
+// keeps every node's children in ascending label order, which is what
+// makes the decoder's depth-first walk emit keys lexicographically.
+func buildTrie(strs []string) (*bnode, map[string]*bnode) {
+	root := &bnode{}
+	at := make(map[string]*bnode, len(strs))
+	for _, s := range strs {
+		n := root
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if k := len(n.kids); k > 0 && n.kids[k-1].lab == c {
+				n = n.kids[k-1]
+				continue
+			}
+			kid := &bnode{lab: c}
+			n.kids = append(n.kids, kid)
+			n = kid
+		}
+		at[s] = n
+	}
+	return root, at
+}
+
+func setBit(p []byte, i int) { p[i>>3] |= 1 << uint(i&7) }
+
+func (loudsCodec) AppendPayload(dst []byte, entries []Entry, secs Sections) []byte {
+	entries = canonicalize(entries)
+	if len(entries) == 0 {
+		return binary.AppendUvarint(dst, 0)
+	}
+
+	// Every string the catalogue must spell lives in one trie: the
+	// entry keys plus, when the struct section rides along, the father
+	// and children links (they are keys of the same tree, so they
+	// share the same prefixes).
+	strs := make([]string, 0, len(entries))
+	for _, e := range entries {
+		strs = append(strs, e.Key)
+		if secs&SecStruct != 0 {
+			if e.HasFather {
+				strs = append(strs, e.Father)
+			}
+			strs = append(strs, e.Children...)
+		}
+	}
+	sort.Strings(strs)
+	strs = dedupSorted(strs)
+	root, at := buildTrie(strs)
+
+	// BFS numbering; bitmap and labels fall out of the same pass.
+	n := 0
+	for queue := []*bnode{root}; len(queue) > 0; {
+		nd := queue[0]
+		queue = queue[1:]
+		nd.id = n
+		n++
+		queue = append(queue, nd.kids...)
+	}
+	bitmap := make([]byte, (2*n-1+7)/8)
+	labels := make([]byte, 0, n-1)
+	bit := 0
+	for queue := []*bnode{root}; len(queue) > 0; {
+		nd := queue[0]
+		queue = queue[1:]
+		for _, kid := range nd.kids {
+			setBit(bitmap, bit)
+			bit++
+			labels = append(labels, kid.lab)
+		}
+		bit++ // the run-terminating zero
+		queue = append(queue, nd.kids...)
+	}
+	entBits := make([]byte, (n+7)/8)
+	for _, e := range entries {
+		setBit(entBits, at[e.Key].id)
+	}
+
+	dst = binary.AppendUvarint(dst, uint64(n))
+	dst = binary.AppendUvarint(dst, uint64(len(entries)))
+	dst = append(dst, bitmap...)
+	dst = append(dst, labels...)
+	dst = append(dst, entBits...)
+
+	if secs&SecValues != 0 {
+		dst = appendSection(dst, encodeValueSection(entries))
+	}
+	if secs&SecStruct != 0 {
+		var sec []byte
+		for _, e := range entries {
+			if e.HasFather {
+				sec = binary.AppendUvarint(sec, uint64(at[e.Father].id)+1)
+			} else {
+				sec = binary.AppendUvarint(sec, 0)
+			}
+			sec = binary.AppendUvarint(sec, uint64(len(e.Children)))
+			for _, c := range e.Children {
+				sec = binary.AppendUvarint(sec, uint64(at[c].id))
+			}
+		}
+		dst = appendSection(dst, sec)
+	}
+	if secs&SecLoads != 0 {
+		var sec []byte
+		for _, e := range entries {
+			sec = binary.AppendUvarint(sec, uint64(e.LoadPrev))
+			sec = binary.AppendUvarint(sec, uint64(e.LoadCur))
+		}
+		dst = appendSection(dst, sec)
+	}
+	return dst
+}
+
+// encodeValueSection writes the distinct-value table (sorted) and the
+// per-entry references into it, run-length grouped: each group is
+// `repeat | count | refs...` and covers repeat+1 consecutive entries
+// sharing the same value list. Catalogues where many services declare
+// the same endpoint — the common shape — collapse to a handful of
+// groups instead of two bytes per entry.
+func encodeValueSection(entries []Entry) []byte {
+	var all []string
+	for _, e := range entries {
+		all = append(all, e.Values...)
+	}
+	sort.Strings(all)
+	all = dedupSorted(all)
+	idx := make(map[string]int, len(all))
+	for i, v := range all {
+		idx[v] = i
+	}
+	sec := binary.AppendUvarint(nil, uint64(len(all)))
+	for _, v := range all {
+		sec = appendString(sec, v)
+	}
+	for i := 0; i < len(entries); {
+		j := i + 1
+		for j < len(entries) && equalStrings(entries[j].Values, entries[i].Values) {
+			j++
+		}
+		sec = binary.AppendUvarint(sec, uint64(j-i-1))
+		sec = binary.AppendUvarint(sec, uint64(len(entries[i].Values)))
+		for _, v := range entries[i].Values {
+			sec = binary.AppendUvarint(sec, uint64(idx[v]))
+		}
+		i = j
+	}
+	return sec
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func appendSection(dst, sec []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(sec)))
+	return append(dst, sec...)
+}
+
+func dedupSorted(ss []string) []string {
+	out := ss[:0]
+	for _, s := range ss {
+		if n := len(out); n > 0 && out[n-1] == s {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func (c loudsCodec) DecodePayload(p []byte, secs Sections) ([]Entry, error) {
+	v, err := viewFromPayload(p, secs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Entry, 0, v.m)
+	err = v.Ascend(func(e Entry) bool {
+		out = append(out, e)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

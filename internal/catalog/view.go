@@ -1,0 +1,415 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+)
+
+// View is a decoded-but-not-materialized catalogue: it holds the
+// envelope bytes (possibly a memory-mapped snapshot region) plus the
+// small rank/select directory rebuilt from the LOUDS bitmap, and
+// materializes entries only as Ascend walks them — the lazy
+// cold-restart path. Keys, values and links are copied out of the
+// underlying bytes as they are produced, so the mapping may be
+// released once the walk (or the last walk) returns.
+//
+// A View is not safe for concurrent use.
+type View struct {
+	secs Sections
+
+	// Legacy envelopes have no succinct structure to navigate; they
+	// decode eagerly into entries and Ascend just replays them.
+	eager []Entry
+
+	n      int // trie node count
+	m      int // entry count
+	louds  *bitvec
+	labels []byte  // label of node j is labels[j-1]
+	isEnt  *bitvec // entry marks, one bit per node
+	valTab []span  // distinct-value table: spans into valRaw
+	valRaw []byte
+	valStr []string // memoized materialized values
+	refs   []byte   // per-entry value references
+	strct  []byte   // per-entry father/children records
+	loads  []byte   // per-entry load records
+}
+
+// span is one string's location inside a section's raw bytes.
+type span struct{ off, end int }
+
+// NewView opens a full envelope for lazy iteration, dispatching on
+// the version byte like Decode.
+func NewView(p []byte) (*View, error) {
+	if len(p) < 2 {
+		return nil, errors.New("catalog: truncated envelope")
+	}
+	c, ok := ByVersion(p[0])
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown codec version %d", p[0])
+	}
+	secs := Sections(p[1])
+	if secs&^SecAll != 0 {
+		return nil, fmt.Errorf("catalog: unknown sections 0x%02x", p[1])
+	}
+	if _, lazy := c.(loudsCodec); lazy {
+		return viewFromPayload(p[2:], secs)
+	}
+	entries, err := c.DecodePayload(p[2:], secs)
+	if err != nil {
+		return nil, err
+	}
+	return &View{secs: secs, eager: entries, m: len(entries)}, nil
+}
+
+// viewFromPayload validates a LOUDS payload's structure (counts,
+// section bounds, bitmap population) without materializing any
+// entry.
+func viewFromPayload(p []byte, secs Sections) (*View, error) {
+	nu, p, err := getUvarint(p)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: node count: %w", err)
+	}
+	if nu == 0 {
+		return &View{secs: secs}, nil
+	}
+	if nu > maxCatalogNodes(p) {
+		return nil, errors.New("catalog: implausible node count")
+	}
+	n := int(nu)
+	mu, p, err := getUvarint(p)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: entry count: %w", err)
+	}
+	if mu > nu {
+		return nil, errors.New("catalog: more entries than trie nodes")
+	}
+	v := &View{secs: secs, n: n, m: int(mu)}
+
+	bmLen := (2*n - 1 + 7) / 8
+	if len(p) < bmLen {
+		return nil, errors.New("catalog: truncated LOUDS bitmap")
+	}
+	v.louds = newBitvec(wordsFromBytes(p[:bmLen], 2*n-1), 2*n-1)
+	p = p[bmLen:]
+	if v.louds.ones() != n-1 {
+		return nil, errors.New("catalog: LOUDS bitmap population mismatch")
+	}
+	if len(p) < n-1 {
+		return nil, errors.New("catalog: truncated label section")
+	}
+	v.labels = p[:n-1]
+	p = p[n-1:]
+	entLen := (n + 7) / 8
+	if len(p) < entLen {
+		return nil, errors.New("catalog: truncated entry bitmap")
+	}
+	v.isEnt = newBitvec(wordsFromBytes(p[:entLen], n), n)
+	p = p[entLen:]
+	if v.isEnt.ones() != v.m {
+		return nil, errors.New("catalog: entry bitmap population mismatch")
+	}
+
+	if secs&SecValues != 0 {
+		var sec []byte
+		if sec, p, err = getSection(p); err != nil {
+			return nil, fmt.Errorf("catalog: value section: %w", err)
+		}
+		if err := v.indexValueTable(sec); err != nil {
+			return nil, err
+		}
+	}
+	if secs&SecStruct != 0 {
+		if v.strct, p, err = getSection(p); err != nil {
+			return nil, fmt.Errorf("catalog: struct section: %w", err)
+		}
+	}
+	if secs&SecLoads != 0 {
+		if v.loads, _, err = getSection(p); err != nil {
+			return nil, fmt.Errorf("catalog: load section: %w", err)
+		}
+	}
+	return v, nil
+}
+
+func getSection(p []byte) ([]byte, []byte, error) {
+	n, p, err := getUvarint(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(p)) {
+		return nil, nil, errors.New("catalog: truncated section")
+	}
+	return p[:n], p[n:], nil
+}
+
+// indexValueTable records the table strings' spans; the strings
+// themselves materialize on first reference.
+func (v *View) indexValueTable(sec []byte) error {
+	cu, rest, err := getUvarint(sec)
+	if err != nil {
+		return fmt.Errorf("catalog: value table count: %w", err)
+	}
+	if cu > uint64(len(rest)) {
+		return errors.New("catalog: implausible value table count")
+	}
+	v.valRaw = sec
+	v.valTab = make([]span, 0, cu)
+	off := len(sec) - len(rest)
+	for i := uint64(0); i < cu; i++ {
+		lu, after, err := getUvarint(sec[off:])
+		if err != nil {
+			return fmt.Errorf("catalog: value table string %d: %w", i, err)
+		}
+		start := len(sec) - len(after)
+		if lu > uint64(len(after)) {
+			return errors.New("catalog: truncated value table string")
+		}
+		v.valTab = append(v.valTab, span{start, start + int(lu)})
+		off = start + int(lu)
+	}
+	v.refs = sec[off:]
+	return nil
+}
+
+// value materializes (and memoizes) table entry i.
+func (v *View) value(i int) string {
+	if v.valStr == nil {
+		v.valStr = make([]string, len(v.valTab))
+	}
+	if s := v.valStr[i]; s != "" {
+		return s
+	}
+	sp := v.valTab[i]
+	s := string(v.valRaw[sp.off:sp.end])
+	v.valStr[i] = s
+	return s
+}
+
+// Sections reports which per-entry sections the catalogue carries.
+func (v *View) Sections() Sections { return v.secs }
+
+// Len returns the number of entries.
+func (v *View) Len() int { return v.m }
+
+// run returns node j's child run [start, end) in the bitmap.
+func (v *View) run(j int) (int, int) {
+	start := 0
+	if j > 0 {
+		start = v.louds.select0(j-1) + 1
+	}
+	return start, v.louds.select0(j)
+}
+
+// nodeString spells node id's key by walking its ancestor chain. The
+// bool is false when the chain is corrupt (a cycle or an id outside
+// the trie).
+func (v *View) nodeString(id int) (string, bool) {
+	if id == 0 {
+		return "", true
+	}
+	if id < 0 || id >= v.n {
+		return "", false
+	}
+	buf := make([]byte, 0, 16)
+	for steps := 0; id != 0; steps++ {
+		if steps >= v.n {
+			return "", false // cycle in a hostile bitmap
+		}
+		buf = append(buf, v.labels[id-1])
+		pos := v.louds.select1(id - 1)
+		if pos < 0 {
+			return "", false
+		}
+		id = v.louds.rank0(pos)
+	}
+	for i, j := 0, len(buf)-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	return string(buf), true
+}
+
+// Ascend walks the catalogue in ascending key order, materializing
+// one entry at a time. The walk stops early when yield returns
+// false; the per-entry section cursors make a stopped walk
+// non-resumable (open a fresh View to walk again — Views over
+// snapshots are cheap).
+func (v *View) Ascend(yield func(Entry) bool) error {
+	if v.louds == nil {
+		for _, e := range v.eager {
+			if !yield(e) {
+				return nil
+			}
+		}
+		return nil
+	}
+	type frame struct{ kid, end int }
+	stack := make([]frame, 0, 16)
+	key := make([]byte, 0, 32)
+	vc := valCursor{refs: v.refs}
+	strct, loads := v.strct, v.loads
+	emitted, visited := 0, 0
+
+	node := 0
+	for {
+		if visited++; visited > v.n {
+			return errors.New("catalog: cyclic LOUDS bitmap")
+		}
+		if v.isEnt.get(node) {
+			e := Entry{Key: string(key)}
+			var err error
+			if v.secs&SecValues != 0 {
+				if e.Values, err = v.nextValues(&vc); err != nil {
+					return err
+				}
+			}
+			if v.secs&SecStruct != 0 {
+				if strct, err = v.decodeStruct(strct, &e); err != nil {
+					return err
+				}
+			}
+			if v.secs&SecLoads != 0 {
+				if loads, err = v.decodeLoads(loads, &e); err != nil {
+					return err
+				}
+			}
+			emitted++
+			if !yield(e) {
+				return nil
+			}
+		}
+		start, end := v.run(node)
+		if start < end { // descend to the first child
+			kid := v.louds.rank1(start) + 1
+			if kid >= v.n {
+				return errors.New("catalog: LOUDS child out of range")
+			}
+			stack = append(stack, frame{kid, kid + (end - start)})
+			key = append(key, v.labels[kid-1])
+			node = kid
+			continue
+		}
+		// Ascend until a sibling exists.
+		for {
+			if len(stack) == 0 {
+				if emitted != v.m {
+					return errors.New("catalog: unreachable entry nodes")
+				}
+				return nil
+			}
+			top := &stack[len(stack)-1]
+			key = key[:len(key)-1]
+			top.kid++
+			if top.kid < top.end {
+				if top.kid >= v.n {
+					return errors.New("catalog: LOUDS child out of range")
+				}
+				key = append(key, v.labels[top.kid-1])
+				node = top.kid
+				break
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+}
+
+// valCursor walks the run-length-grouped value-reference stream: a
+// group `repeat | count | refs...` covers repeat+1 consecutive
+// entries sharing one value list.
+type valCursor struct {
+	refs   []byte
+	repeat uint64   // entries left that reuse vals
+	vals   []string // current group's value list
+}
+
+func (v *View) nextValues(c *valCursor) ([]string, error) {
+	if c.repeat > 0 {
+		c.repeat--
+		if c.vals == nil {
+			return nil, nil
+		}
+		// Each entry gets its own slice: decoded entries are handed to
+		// callers that own and may mutate them.
+		return append([]string(nil), c.vals...), nil
+	}
+	rep, refs, err := getUvarint(c.refs)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: value run length: %w", err)
+	}
+	if rep > uint64(v.m) {
+		return nil, errors.New("catalog: implausible value run length")
+	}
+	cu, refs, err := getUvarint(refs)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: value ref count: %w", err)
+	}
+	if cu > uint64(len(refs))+1 {
+		return nil, errors.New("catalog: implausible value ref count")
+	}
+	var vals []string
+	for i := uint64(0); i < cu; i++ {
+		var idx uint64
+		if idx, refs, err = getUvarint(refs); err != nil {
+			return nil, fmt.Errorf("catalog: value ref: %w", err)
+		}
+		if idx >= uint64(len(v.valTab)) {
+			return nil, errors.New("catalog: value ref out of table")
+		}
+		vals = append(vals, v.value(int(idx)))
+	}
+	c.refs, c.repeat, c.vals = refs, rep, vals
+	if vals == nil {
+		return nil, nil
+	}
+	return append([]string(nil), vals...), nil
+}
+
+func (v *View) decodeStruct(p []byte, e *Entry) ([]byte, error) {
+	fu, p, err := getUvarint(p)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: father ref: %w", err)
+	}
+	if fu > 0 {
+		s, ok := v.nodeString(int(fu - 1))
+		if !ok {
+			return nil, errors.New("catalog: father ref out of trie")
+		}
+		e.Father, e.HasFather = s, true
+	}
+	cu, p, err := getUvarint(p)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: child ref count: %w", err)
+	}
+	if cu > uint64(len(p))+1 {
+		return nil, errors.New("catalog: implausible child ref count")
+	}
+	for i := uint64(0); i < cu; i++ {
+		var idx uint64
+		if idx, p, err = getUvarint(p); err != nil {
+			return nil, fmt.Errorf("catalog: child ref: %w", err)
+		}
+		s, ok := v.nodeString(int(idx))
+		if !ok {
+			return nil, errors.New("catalog: child ref out of trie")
+		}
+		e.Children = append(e.Children, s)
+	}
+	return p, nil
+}
+
+func (v *View) decodeLoads(p []byte, e *Entry) ([]byte, error) {
+	lu, p, err := getUvarint(p)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: loadPrev: %w", err)
+	}
+	e.LoadPrev = int(lu)
+	if lu, p, err = getUvarint(p); err != nil {
+		return nil, fmt.Errorf("catalog: loadCur: %w", err)
+	}
+	e.LoadCur = int(lu)
+	return p, nil
+}
+
+// get reports bit i of the entry bitmap.
+func (b *bitvec) get(i int) bool {
+	return b.words[i>>6]&(1<<uint(i&63)) != 0
+}

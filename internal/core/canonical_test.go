@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dlpt/internal/keys"
+	"dlpt/internal/trie"
+	"dlpt/internal/workload"
+)
+
+// TestBuildCanonicalMatchesReferenceTrie differentially pins the
+// sorted-batch canonical construction against the reference PGCP
+// trie: same label set, same father/child pointers, same root.
+func TestBuildCanonicalMatchesReferenceTrie(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	cases := [][]keys.Key{
+		nil,
+		{keys.Key("a")},
+		{keys.Key("a"), keys.Key("b")},
+		{keys.Key("ab"), keys.Key("abcd"), keys.Key("abcx")},
+		{keys.Key("ab"), keys.Key("abc"), keys.Key("abcd")},
+		workload.GridCorpus(200),
+	}
+	for i := 0; i < 40; i++ {
+		n := 1 + r.Intn(60)
+		set := make(map[keys.Key]bool, n)
+		for len(set) < n {
+			set[keys.LowerAlnum.RandomKey(r, 1, 8)] = true
+		}
+		ks := make([]keys.Key, 0, n)
+		for k := range set {
+			ks = append(ks, k)
+		}
+		cases = append(cases, ks)
+	}
+	for ci, ks := range cases {
+		keys.SortKeys(ks)
+		want, root, ok := buildCanonical(ks)
+		ref := trie.New()
+		for _, k := range ks {
+			ref.InsertKey(k)
+		}
+		if len(ks) == 0 {
+			if ok {
+				t.Fatalf("case %d: empty set produced a root", ci)
+			}
+			continue
+		}
+		if !ok || root != ref.Root().Label {
+			t.Fatalf("case %d: root = %q ok=%v, want %q", ci, root, ok, ref.Root().Label)
+		}
+		refNodes := 0
+		ref.Walk(func(tn *trie.Node) {
+			refNodes++
+			cn, ok := want[tn.Label]
+			if !ok {
+				t.Fatalf("case %d: canonical set missing %q", ci, tn.Label)
+			}
+			if cn.hasFather != (tn.Parent != nil) {
+				t.Fatalf("case %d: node %q hasFather=%v", ci, tn.Label, cn.hasFather)
+			}
+			if tn.Parent != nil && cn.father != tn.Parent.Label {
+				t.Fatalf("case %d: node %q father=%q want %q", ci, tn.Label, cn.father, tn.Parent.Label)
+			}
+			if len(cn.kids) != tn.NumChildren() {
+				t.Fatalf("case %d: node %q kids=%v want %d children", ci, tn.Label, cn.kids, tn.NumChildren())
+			}
+			for _, c := range tn.Children() {
+				found := false
+				for _, k := range cn.kids {
+					if k == c.Label {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("case %d: node %q missing child %q", ci, tn.Label, c.Label)
+				}
+			}
+		})
+		if refNodes != len(want) {
+			t.Fatalf("case %d: %d canonical labels, reference has %d", ci, len(want), refNodes)
+		}
+	}
+}

@@ -102,6 +102,11 @@ type Network struct {
 	// append-only journal hook.
 	Journal func(remove bool, key keys.Key, value string)
 
+	// cat is the copy-on-write catalogue image behind CaptureSnapshot
+	// (see catview.go); nil until the first capture and after a lossy
+	// recovery invalidates it.
+	cat *catImage
+
 	peers map[keys.Key]*Peer
 	ring  *ring.Ring
 

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"dlpt/internal/keys"
 	"dlpt/internal/persist"
@@ -31,29 +30,7 @@ func (net *Network) PersistState() ([]persist.PeerState, []persist.NodeState) {
 	for _, id := range ids {
 		peers = append(peers, persist.PeerState{ID: string(id), Capacity: net.peers[id].Capacity})
 	}
-	data := make(map[keys.Key][]string, len(net.replicaLoc))
-	for k, loc := range net.replicaLoc {
-		if info := net.peers[loc].Replicas[k]; len(info.Data) > 0 {
-			data[k] = info.Data
-		}
-	}
-	for _, p := range net.peers {
-		for k, n := range p.Nodes {
-			if n.HasData() {
-				vals := make([]string, 0, len(n.Data))
-				for v := range n.Data {
-					vals = append(vals, v)
-				}
-				sort.Strings(vals)
-				data[k] = vals
-			}
-		}
-	}
-	ks := make([]keys.Key, 0, len(data))
-	for k := range data {
-		ks = append(ks, k)
-	}
-	keys.SortKeys(ks)
+	ks, data := net.catalogueData()
 	nodes := make([]persist.NodeState, 0, len(ks))
 	for _, k := range ks {
 		nodes = append(nodes, persist.NodeState{Key: string(k), Values: data[k]})
@@ -62,12 +39,14 @@ func (net *Network) PersistState() ([]persist.PeerState, []persist.NodeState) {
 }
 
 // RestoreFromStore is RestoreFrom over a store's loaded state — the
-// one-call restore path the engines share.
+// one-call restore path the engines share. The snapshot mapping is
+// released once the restore walk has materialized the overlay.
 func (net *Network) RestoreFromStore(store *persist.Store, r *rand.Rand) error {
 	st, err := store.Load()
 	if err != nil {
 		return err
 	}
+	defer st.Release()
 	return net.RestoreFrom(st, r)
 }
 
@@ -102,13 +81,24 @@ func (net *Network) RestoreFrom(st *persist.LoadedState, r *rand.Rand) error {
 			return fmt.Errorf("core: restore peer %q: %w", p.ID, err)
 		}
 	}
-	for _, n := range st.Snapshot.Nodes {
+	// Stream the snapshot's catalogue: for a mapped version-2 snapshot
+	// each subtree materializes as the walk first touches it.
+	var restoreErr error
+	err := st.Snapshot.AscendNodes(func(n persist.NodeState) bool {
 		k := keys.Key(n.Key)
 		tgt, ok := net.replicaTarget(k)
 		if !ok {
-			return fmt.Errorf("core: restore replica %q: no peers", n.Key)
+			restoreErr = fmt.Errorf("core: restore replica %q: no peers", n.Key)
+			return false
 		}
 		net.placeReplica(k, NodeInfo{Key: k, Data: n.Values}, tgt)
+		return true
+	})
+	if err == nil {
+		err = restoreErr
+	}
+	if err != nil {
+		return err
 	}
 	net.Recover()
 	for _, rec := range st.Journal {

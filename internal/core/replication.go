@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"dlpt/internal/keys"
-	"dlpt/internal/trie"
 )
 
 // Replication and crash recovery. The paper's protocol handles
@@ -287,8 +286,12 @@ func (net *Network) Recover() (restored int, lost []keys.Key) {
 		net.installNode(holder.Replicas[k], keys.Epsilon)
 		restored++
 	}
-	// Phase 2: anti-entropy link rebuild.
-	net.rebuildLinks()
+	// Phase 2: anti-entropy link rebuild — skipped when nothing was
+	// reinstalled and no crash is pending, i.e. the canonical
+	// structure cannot have been damaged since the last repair.
+	if restored > 0 || len(net.pendingLost) > 0 {
+		net.rebuildLinks()
+	}
 	// Phase 3: account for what stayed lost — by name, so callers can
 	// assert loss windows precisely instead of by cardinality.
 	for k := range net.pendingLost {
@@ -298,6 +301,13 @@ func (net *Network) Recover() (restored int, lost []keys.Key) {
 	}
 	keys.SortKeys(lost)
 	net.pendingLost = nil
+	if restored > 0 || len(lost) > 0 {
+		// The catalogue changed without passing through the journal
+		// funnel: lost keys vanished, and restored nodes may have
+		// rolled back to the values of an older replica. The image is
+		// stale; rebuild it on the next capture.
+		net.invalidateCatalogue()
+	}
 	net.Replication.RestoredNodes += restored
 	net.Replication.LostNodes += len(lost)
 	// Phase 4: restored nodes live on today's ring — move their
@@ -308,25 +318,28 @@ func (net *Network) Recover() (restored int, lost []keys.Key) {
 
 // rebuildLinks recomputes the canonical PGCP structure over the
 // current data keys: stale structural nodes are dropped, missing
-// structural nodes recreated, and every father/child pointer and the
-// root reset. One repair message per touched node is accounted.
+// structural nodes recreated, and deviating father/child pointers and
+// the root reset. One repair message per actually-repaired node is
+// accounted — nodes whose links already match the canonical structure
+// cost nothing, so repeated recoveries of a mostly-intact tree are
+// cheap.
 func (net *Network) rebuildLinks() {
-	ref := trie.New()
 	type hosted struct {
 		n *Node
 		p *Peer
 	}
 	existing := make(map[keys.Key]hosted)
+	data := make([]keys.Key, 0, len(net.nodeList))
 	for _, p := range net.peers {
 		for k, n := range p.Nodes {
 			existing[k] = hosted{n, p}
 			if n.HasData() {
-				ref.InsertKey(k)
+				data = append(data, k)
 			}
 		}
 	}
-	want := make(map[keys.Key]*trie.Node)
-	ref.Walk(func(tn *trie.Node) { want[tn.Label] = tn })
+	keys.SortKeys(data)
+	want, root, hasRoot := buildCanonical(data)
 
 	// Drop nodes that are not canonical labels (stale structural
 	// leftovers; data nodes are always canonical).
@@ -350,28 +363,102 @@ func (net *Network) rebuildLinks() {
 		n, p, _ := net.nodeState(label)
 		existing[label] = hosted{n, p}
 	}
-	// Reset every pointer from the canonical structure.
-	for label, tn := range want {
+	// Reset the pointers that deviate from the canonical structure.
+	for label, cn := range want {
 		h := existing[label]
-		h.n.Children = make(map[keys.Key]struct{}, tn.NumChildren())
-		for _, c := range tn.Children() {
-			h.n.Children[c.Label] = struct{}{}
+		if linksCanonical(h.n, cn) {
+			continue
 		}
-		if tn.Parent == nil {
-			h.n.HasFather = false
-			h.n.Father = keys.Epsilon
-		} else {
-			h.n.HasFather = true
-			h.n.Father = tn.Parent.Label
+		h.n.Children = make(map[keys.Key]struct{}, len(cn.kids))
+		for _, c := range cn.kids {
+			h.n.Children[c] = struct{}{}
 		}
+		h.n.Father, h.n.HasFather = cn.father, cn.hasFather
 		net.Replication.RepairMsgs++
 		net.Counters.MaintenanceMsgs++
 	}
-	if root := ref.Root(); root != nil {
-		net.root = root.Label
-		net.hasRoot = true
-	} else {
-		net.root = keys.Epsilon
-		net.hasRoot = false
+	net.root, net.hasRoot = root, hasRoot
+}
+
+// canonNode is one vertex of the structure computed by
+// buildCanonical: the father and children every live node must carry.
+type canonNode struct {
+	father    keys.Key
+	hasFather bool
+	kids      []keys.Key
+}
+
+// linksCanonical reports whether n's links already match the
+// canonical structure.
+func linksCanonical(n *Node, cn *canonNode) bool {
+	if n.HasFather != cn.hasFather || (cn.hasFather && n.Father != cn.father) {
+		return false
 	}
+	if len(n.Children) != len(cn.kids) {
+		return false
+	}
+	for _, c := range cn.kids {
+		if _, ok := n.Children[c]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// buildCanonical computes the canonical PGCP tree over sorted,
+// distinct data keys in one linear stack pass — the sorted-batch
+// construction the snapshot codec uses — instead of re-routing every
+// key through a fresh reference trie. The canonical label set is the
+// keys plus the pairwise GCPs of sorted neighbours; the stack holds
+// the rightmost path, and a node's final father is known the moment
+// it leaves that path: either the label beneath it (still at least as
+// long as the branch point) or the branch point itself, interposed.
+func buildCanonical(sorted []keys.Key) (want map[keys.Key]*canonNode, root keys.Key, ok bool) {
+	if len(sorted) == 0 {
+		return nil, keys.Epsilon, false
+	}
+	want = make(map[keys.Key]*canonNode, 2*len(sorted))
+	node := func(l keys.Key) *canonNode {
+		n, ok := want[l]
+		if !ok {
+			n = &canonNode{father: keys.Epsilon}
+			want[l] = n
+		}
+		return n
+	}
+	attach := func(father, child keys.Key) {
+		node(father).kids = append(node(father).kids, child)
+		c := node(child)
+		c.father, c.hasFather = father, true
+	}
+	stack := make([]keys.Key, 1, 16)
+	stack[0] = sorted[0]
+	node(sorted[0])
+	for i := 1; i < len(sorted); i++ {
+		g := keys.GCP(sorted[i-1], sorted[i])
+		// Unwind the rightmost path down to the branch point; after
+		// this loop the top of the stack is exactly g. A node is
+		// attached only as it leaves the path — while it remains on
+		// it, a later key could still interpose a branch beneath the
+		// tentative father.
+		for len(stack[len(stack)-1]) > len(g) {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 && len(stack[len(stack)-1]) >= len(g) {
+				attach(stack[len(stack)-1], top)
+				continue
+			}
+			// g sits strictly between top and the rest of the path
+			// (or the path is exhausted): interpose it.
+			attach(g, top)
+			stack = append(stack, g)
+		}
+		stack = append(stack, sorted[i])
+	}
+	for len(stack) > 1 {
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		attach(stack[len(stack)-1], top)
+	}
+	return want, stack[0], true
 }

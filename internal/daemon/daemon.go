@@ -275,6 +275,7 @@ func (d *Daemon) startSteward() error {
 		}
 		d.store = store
 		entries = foldCatalogue(st)
+		st.Release()
 	}
 	opts := transport.Options{
 		Bind:          d.cfg.Listen,
@@ -335,11 +336,12 @@ func foldCatalogue(st *persist.LoadedState) []core.KV {
 		vals[k][v] = true
 	}
 	if st.Snapshot != nil {
-		for _, ns := range st.Snapshot.Nodes {
+		_ = st.Snapshot.AscendNodes(func(ns persist.NodeState) bool {
 			for _, v := range ns.Values {
 				add(ns.Key, v)
 			}
-		}
+			return true
+		})
 	}
 	for _, r := range st.Journal {
 		if r.Remove {

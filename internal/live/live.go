@@ -345,20 +345,34 @@ func (c *Cluster) Replicate() (int, error) {
 	tick.End()
 	c.met.MarkReplicated()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.net.CompactReplicas()
+	var pending *persist.PendingSnapshot
+	var peers []persist.PeerState
+	var cat *core.CatalogueCapture
+	var stall time.Duration
 	if c.store != nil {
-		// The snapshot write (and its fsync) stays under c.mu on
-		// purpose: the journal rotation inside WriteSnapshot must be
-		// atomic with the captured state, or a racing mutation could
-		// journal into the epoch this snapshot supersedes without
-		// being contained in it — lost on restart. The stall is one
-		// fsync per replication tick (see the ROADMAP item on
-		// incremental snapshots).
-		peers, nodes := c.net.PersistState()
-		if _, err := c.store.WriteSnapshot(peers, nodes); err != nil {
+		// Capture and journal rotation under c.mu, atomically: a
+		// racing mutation journals either into the epoch this
+		// snapshot supersedes AND is contained in the capture, or
+		// into the new epoch and replays on top of it. The capture is
+		// O(1) (copy-on-write catalogue image) and the encode + fsync
+		// run after the lock is released, so the write stall is
+		// independent of the catalogue size.
+		start := time.Now()
+		peers, cat = c.net.CaptureSnapshot()
+		var err error
+		if pending, err = c.store.BeginSnapshot(); err != nil {
+			c.mu.Unlock()
 			return total, err
 		}
+		stall = time.Since(start)
+	}
+	c.mu.Unlock()
+	if pending != nil {
+		if _, err := pending.Commit(peers, cat); err != nil {
+			return total, err
+		}
+		c.met.MarkSnapshot(stall, pending.Bytes(), cat.Len())
 	}
 	return total, nil
 }

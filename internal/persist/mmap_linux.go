@@ -1,0 +1,34 @@
+//go:build linux
+
+package persist
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps a file read-only. The mapping outlives the descriptor
+// (closed before returning); the release function unmaps it. Pages
+// fault in on first touch, which is what makes the version-2
+// snapshot's catalogue walk lazy at the VM level too.
+func mapFile(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: %w", err)
+	}
+	size := int(info.Size())
+	if size == 0 {
+		return nil, func() {}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: mmap: %w", err)
+	}
+	return data, func() { _ = syscall.Munmap(data) }, nil
+}

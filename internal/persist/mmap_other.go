@@ -1,0 +1,16 @@
+//go:build !linux
+
+package persist
+
+import "os"
+
+// mapFile on platforms without the mmap fast path reads the file
+// into memory; release is a no-op. The lazy catalogue walk still
+// avoids materializing the node list eagerly.
+func mapFile(path string) ([]byte, func(), error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return buf, func() {}, nil
+}

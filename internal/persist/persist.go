@@ -16,14 +16,32 @@
 //	                      CRC-framed record per operation, appended
 //	                      in order.
 //
-// WriteSnapshot rotates the journal: records land in the journal of
-// the epoch they follow. Load is corruption-tolerant: it walks the
-// snapshots newest-first until one passes its CRC, then replays every
-// journal of that epoch and later in order, stopping cleanly at the
-// first truncated or corrupt record — a torn write costs at most the
-// tail of a journal, never the snapshot behind it. The two newest
-// snapshots are kept so a torn snapshot write can always fall back
-// one epoch (the journals of the older epoch bridge the gap forward).
+// Snapshot writing is split in two so the expensive half runs off
+// the cluster write lock: BeginSnapshot allocates the next epoch and
+// rotates the journal — the only steps that must be atomic with the
+// caller's state capture — and the returned PendingSnapshot's Commit
+// encodes, writes and fsyncs the snapshot file with no store-wide
+// lock held, so concurrent journal appends (and therefore the
+// cluster's registration path) never stall behind an fsync. A crash
+// between Begin and Commit is safe by construction: Load falls back
+// to the previous epoch's snapshot and replays both epochs' journals
+// forward. WriteSnapshot composes the two for callers that have no
+// lock to get off of.
+//
+// Journal records land in the journal of the epoch they follow. Load
+// is corruption-tolerant: it walks the snapshots newest-first until
+// one passes its CRC, then replays every journal of that epoch and
+// later in order, stopping cleanly at the first truncated or corrupt
+// record — a torn write costs at most the tail of a journal, never
+// the snapshot behind it. The two newest snapshots are kept so a
+// torn snapshot write can always fall back one epoch (the journals
+// of the older epoch bridge the gap forward).
+//
+// Snapshot catalogues are encoded with the catalog codec (version-2
+// snapshot files; the succinct LOUDS codec by default, see
+// internal/catalog) and memory-mapped at load so a cold restart
+// materializes entries lazily while streaming them into the overlay;
+// version-1 snapshot files (inline node list) stay loadable forever.
 //
 // Only snapshots are fsynced; journal appends ride the OS cache. The
 // durability contract is therefore exactly the paper's replication
@@ -42,6 +60,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"dlpt/internal/catalog"
 )
 
 // PeerState is one persisted ring member.
@@ -67,28 +87,97 @@ type Record struct {
 	Value  string
 }
 
-// Snapshot is the full persisted replica state of one epoch.
+// Snapshot is the full persisted replica state of one epoch. For a
+// version-2 snapshot loaded from disk the catalogue stays in its
+// memory-mapped succinct form (view) and Nodes is nil; constructed
+// in-memory snapshots (mirrors, tests) fill Nodes directly. Iterate
+// with AscendNodes, which handles both.
 type Snapshot struct {
 	Seq   uint64
 	Peers []PeerState
 	Nodes []NodeState
+
+	view *catalog.View
+}
+
+// AscendNodes streams the snapshot's catalogue in ascending key
+// order, materializing one node at a time — for a mapped snapshot
+// this is the lazy cold-restart path: entries (and the pages that
+// spell them) are touched only as the walk reaches them.
+func (sn *Snapshot) AscendNodes(yield func(NodeState) bool) error {
+	if sn.view == nil {
+		for _, ns := range sn.Nodes {
+			if !yield(ns) {
+				return nil
+			}
+		}
+		return nil
+	}
+	return sn.view.Ascend(func(e catalog.Entry) bool {
+		return yield(NodeState{Key: e.Key, Values: e.Values})
+	})
+}
+
+// NodeList materializes the full catalogue as a slice — convenience
+// for mirrors and tests; large restores should stream with
+// AscendNodes instead.
+func (sn *Snapshot) NodeList() []NodeState {
+	if sn.view == nil {
+		return sn.Nodes
+	}
+	out := make([]NodeState, 0, sn.view.Len())
+	_ = sn.AscendNodes(func(ns NodeState) bool {
+		out = append(out, ns)
+		return true
+	})
+	return out
+}
+
+// NumNodes returns the catalogue entry count.
+func (sn *Snapshot) NumNodes() int {
+	if sn.view != nil {
+		return sn.view.Len()
+	}
+	return len(sn.Nodes)
 }
 
 // LoadedState is what Load recovered from disk: the newest valid
 // snapshot (nil when none exists yet) and the journal records of that
-// epoch and every later one, in append order.
+// epoch and every later one, in append order. Call Release when done
+// restoring — a version-2 snapshot aliases a memory-mapped file until
+// then.
 type LoadedState struct {
 	Snapshot *Snapshot
 	Journal  []Record
+
+	release func()
+}
+
+// Release unmaps the snapshot file backing a lazily loaded
+// catalogue. The Snapshot must not be iterated afterwards; all
+// strings already materialized are copies and stay valid. Safe to
+// call on any LoadedState, more than once.
+func (st *LoadedState) Release() {
+	if st.release != nil {
+		st.release()
+		st.release = nil
+	}
+	if st.Snapshot != nil {
+		st.Snapshot.view = nil
+	}
 }
 
 const (
-	snapMagic   = "DLPTSNP1"
-	snapVersion = 1
-	snapSuffix  = ".snap"
-	snapPrefix  = "snapshot-"
-	jrnlPrefix  = "journal-"
-	jrnlSuffix  = ".log"
+	snapMagic = "DLPTSNP1"
+	// snapVersionNodes is the original inline node-list snapshot
+	// format; snapVersionCatalog carries the catalogue as one
+	// self-describing catalog envelope instead. Both load.
+	snapVersionNodes   = 1
+	snapVersionCatalog = 2
+	snapSuffix         = ".snap"
+	snapPrefix         = "snapshot-"
+	jrnlPrefix         = "journal-"
+	jrnlSuffix         = ".log"
 )
 
 // keepSnapshots is how many snapshot epochs survive pruning: the
@@ -98,14 +187,15 @@ const keepSnapshots = 2
 // Store is one persistence directory. All methods are safe for
 // concurrent use.
 type Store struct {
-	dir string
+	dir   string
+	codec catalog.Codec
 
 	mu      sync.Mutex
-	seq     uint64 // epoch of the newest snapshot on disk (0 = none)
+	seq     uint64 // current epoch: newest snapshot or rotated journal
 	journal *os.File
 	closed  bool
 	// appendErr records the first journal-append failure of the
-	// current epoch so it cannot pass silently: the next WriteSnapshot
+	// current epoch so it cannot pass silently: the next snapshot
 	// surfaces it (the snapshot itself heals the gap — the lost
 	// records described state the new snapshot now contains).
 	appendErr error
@@ -113,18 +203,30 @@ type Store struct {
 
 // Open creates or reopens the persistence directory. The journal of
 // the newest epoch is opened for appending, so a reopened store
-// continues the epoch it was closed in.
+// continues the epoch it was closed in. The newest epoch is the
+// maximum over snapshots AND journals: a crash between BeginSnapshot
+// (which rotates the journal) and Commit (which writes the snapshot
+// file) leaves a journal one epoch ahead of the snapshots, and new
+// records must keep appending there — appending to an older epoch
+// would scramble replay order.
 func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
-	s := &Store{dir: dir}
+	s := &Store{dir: dir, codec: catalog.Default}
 	seqs, err := s.snapshotSeqs()
 	if err != nil {
 		return nil, err
 	}
 	if len(seqs) > 0 {
 		s.seq = seqs[len(seqs)-1]
+	}
+	jseqs, err := s.journalSeqs()
+	if err != nil {
+		return nil, err
+	}
+	if len(jseqs) > 0 && jseqs[len(jseqs)-1] > s.seq {
+		s.seq = jseqs[len(jseqs)-1]
 	}
 	if err := s.openJournalLocked(); err != nil {
 		return nil, err
@@ -134,6 +236,15 @@ func Open(dir string) (*Store, error) {
 
 // Dir returns the persistence directory path.
 func (s *Store) Dir() string { return s.dir }
+
+// SetCodec forces the catalogue codec future snapshots are written
+// with — the migration escape hatch (decoding always accepts every
+// registered codec, whatever is configured here).
+func (s *Store) SetCodec(c catalog.Codec) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.codec = c
+}
 
 // Close releases the journal handle. The store's files stay on disk.
 func (s *Store) Close() error {
@@ -164,6 +275,25 @@ func (s *Store) snapshotSeqs() ([]uint64, error) {
 		}
 		var seq uint64
 		if _, err := fmt.Sscanf(name, snapPrefix+"%d"+snapSuffix, &seq); err != nil {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// journalSeqs lists the epochs that have a journal file, ascending.
+func (s *Store) journalSeqs() ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		var seq uint64
+		if _, err := fmt.Sscanf(name, jrnlPrefix+"%d"+jrnlSuffix, &seq); err != nil {
 			continue
 		}
 		seqs = append(seqs, seq)
@@ -265,37 +395,104 @@ func (s *Store) Append(remove bool, key, value string) error {
 	return err
 }
 
-// WriteSnapshot persists the full replica state as the next epoch:
-// temp file, fsync, rename, directory fsync, then journal rotation
-// and pruning of epochs older than the fallback. It returns the new
-// epoch number.
-func (s *Store) WriteSnapshot(peers []PeerState, nodes []NodeState) (uint64, error) {
+// EntrySource is a sorted stream of catalogue entries — what a
+// snapshot commit encodes. The core's copy-on-write capture and the
+// eager node lists both satisfy it.
+type EntrySource interface {
+	Len() int
+	Ascend(yield func(catalog.Entry) bool)
+}
+
+// nodesSource adapts an eager []NodeState to EntrySource.
+type nodesSource []NodeState
+
+func (ns nodesSource) Len() int { return len(ns) }
+
+func (ns nodesSource) Ascend(yield func(catalog.Entry) bool) {
+	for _, n := range ns {
+		if !yield(catalog.Entry{Key: n.Key, Values: n.Values}) {
+			return
+		}
+	}
+}
+
+// PendingSnapshot is an epoch allocated by BeginSnapshot whose
+// snapshot file has not been written yet. Exactly one Commit (or
+// none, if the process dies — recovery handles that) must follow.
+type PendingSnapshot struct {
+	s   *Store
+	seq uint64
+	// healErr is the superseded epoch's first journal-append failure,
+	// surfaced by Commit.
+	healErr error
+	bytes   int
+}
+
+// Seq returns the epoch this snapshot will commit as.
+func (p *PendingSnapshot) Seq() uint64 { return p.seq }
+
+// Bytes returns the encoded snapshot size after Commit.
+func (p *PendingSnapshot) Bytes() int { return p.bytes }
+
+// BeginSnapshot allocates the next epoch and rotates the journal —
+// the only part of a snapshot that must be atomic with the caller's
+// state capture, so this is the only part the caller runs under its
+// cluster write lock. Everything that scales with catalogue size
+// (encode, write, fsync) happens in Commit, off the lock. Mutations
+// journaled between Begin and Commit land in the new epoch's journal
+// and replay on top of the committed snapshot; if the process dies
+// before Commit, Load falls back one epoch and replays both
+// journals.
+func (s *Store) BeginSnapshot() (*PendingSnapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return 0, errors.New("persist: store closed")
+		return nil, errors.New("persist: store closed")
 	}
 	seq := s.seq + 1
+	if s.journal != nil {
+		_ = s.journal.Close()
+	}
+	s.seq = seq
+	if err := s.openJournalLocked(); err != nil {
+		return nil, err
+	}
+	p := &PendingSnapshot{s: s, seq: seq, healErr: s.appendErr}
+	s.appendErr = nil
+	return p, nil
+}
+
+// Commit encodes and durably writes the snapshot allocated by
+// BeginSnapshot: temp file, fsync, rename, directory fsync, then
+// pruning of epochs older than the fallback. No store-wide lock is
+// held while encoding or syncing, so concurrent journal appends
+// proceed. It returns the committed epoch number.
+func (p *PendingSnapshot) Commit(peers []PeerState, cat EntrySource) (uint64, error) {
+	s := p.s
+	s.mu.Lock()
+	codec := s.codec
+	s.mu.Unlock()
 
 	buf := []byte(snapMagic)
-	buf = binary.AppendUvarint(buf, snapVersion)
-	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, snapVersionCatalog)
+	buf = binary.AppendUvarint(buf, p.seq)
 	buf = binary.AppendUvarint(buf, uint64(len(peers)))
-	for _, p := range peers {
-		buf = appendString(buf, p.ID)
-		buf = binary.AppendUvarint(buf, uint64(p.Capacity))
+	for _, ps := range peers {
+		buf = appendString(buf, ps.ID)
+		buf = binary.AppendUvarint(buf, uint64(ps.Capacity))
 	}
-	buf = binary.AppendUvarint(buf, uint64(len(nodes)))
-	for _, n := range nodes {
-		buf = appendString(buf, n.Key)
-		buf = binary.AppendUvarint(buf, uint64(len(n.Values)))
-		for _, v := range n.Values {
-			buf = appendString(buf, v)
-		}
-	}
+	entries := make([]catalog.Entry, 0, cat.Len())
+	cat.Ascend(func(e catalog.Entry) bool {
+		entries = append(entries, e)
+		return true
+	})
+	blob := catalog.Append(nil, codec, entries, catalog.SecValues)
+	buf = binary.AppendUvarint(buf, uint64(len(blob)))
+	buf = append(buf, blob...)
 	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	p.bytes = len(buf)
 
-	tmp := s.snapPath(seq) + ".tmp"
+	tmp := s.snapPath(p.seq) + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return 0, fmt.Errorf("persist: %w", err)
@@ -314,33 +511,36 @@ func (s *Store) WriteSnapshot(peers []PeerState, nodes []NodeState) (uint64, err
 		os.Remove(tmp)
 		return 0, fmt.Errorf("persist: %w", err)
 	}
-	if err := os.Rename(tmp, s.snapPath(seq)); err != nil {
+	if err := os.Rename(tmp, s.snapPath(p.seq)); err != nil {
 		os.Remove(tmp)
 		return 0, fmt.Errorf("persist: %w", err)
 	}
 	syncDir(s.dir)
 
-	// Rotate the journal into the new epoch.
-	if s.journal != nil {
-		_ = s.journal.Close()
+	s.mu.Lock()
+	s.pruneLocked()
+	s.mu.Unlock()
+	if p.healErr != nil {
+		// Surface the superseded epoch's journal failures rather than
+		// letting them pass silently; the snapshot just written
+		// contains the state the lost records described, so durability
+		// is whole again from here on.
+		return p.seq, fmt.Errorf(
+			"persist: journal appends failed during the previous epoch (state healed by snapshot %d): %w",
+			p.seq, p.healErr)
 	}
-	s.seq = seq
-	if err := s.openJournalLocked(); err != nil {
+	return p.seq, nil
+}
+
+// WriteSnapshot persists the full replica state as the next epoch in
+// one call — BeginSnapshot plus Commit for callers with no cluster
+// lock to get off of. It returns the new epoch number.
+func (s *Store) WriteSnapshot(peers []PeerState, nodes []NodeState) (uint64, error) {
+	p, err := s.BeginSnapshot()
+	if err != nil {
 		return 0, err
 	}
-	s.pruneLocked()
-	if s.appendErr != nil {
-		// Surface the epoch's journal failures rather than letting
-		// them pass silently; the snapshot just written contains the
-		// state the lost records described, so durability is whole
-		// again from here on.
-		err := s.appendErr
-		s.appendErr = nil
-		return seq, fmt.Errorf(
-			"persist: journal appends failed during the previous epoch (state healed by snapshot %d): %w",
-			seq, err)
-	}
-	return seq, nil
+	return p.Commit(peers, nodesSource(nodes))
 }
 
 // pruneLocked removes snapshots (and their journals) older than the
@@ -371,11 +571,12 @@ func (s *Store) Load() (*LoadedState, error) {
 	st := &LoadedState{}
 	var base uint64
 	for i := len(seqs) - 1; i >= 0; i-- {
-		snap, err := readSnapshot(s.snapPath(seqs[i]))
+		snap, release, err := loadSnapshot(s.snapPath(seqs[i]))
 		if err != nil {
 			continue // corrupt or torn: fall back one epoch
 		}
 		st.Snapshot = snap
+		st.release = release
 		base = snap.Seq
 		break
 	}
@@ -406,67 +607,102 @@ func (s *Store) Load() (*LoadedState, error) {
 	return st, nil
 }
 
-// readSnapshot parses and CRC-verifies one snapshot file.
-func readSnapshot(path string) (*Snapshot, error) {
-	buf, err := os.ReadFile(path)
+// loadSnapshot memory-maps and CRC-verifies one snapshot file. A
+// version-2 snapshot keeps its catalogue in the mapping behind a
+// lazy catalog view; the returned release function unmaps it. A
+// version-1 snapshot decodes eagerly (its strings are copies) and
+// releases the mapping before returning.
+func loadSnapshot(path string) (*Snapshot, func(), error) {
+	buf, release, err := mapFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	snap, lazy, err := parseSnapshot(buf)
+	if err != nil || !lazy {
+		release()
+		release = func() {}
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return snap, release, nil
+}
+
+// parseSnapshot decodes a snapshot image. The bool reports whether
+// the returned Snapshot still aliases buf (a lazy catalogue view).
+func parseSnapshot(buf []byte) (*Snapshot, bool, error) {
 	if len(buf) < len(snapMagic)+4 || string(buf[:len(snapMagic)]) != snapMagic {
-		return nil, errors.New("persist: bad snapshot magic")
+		return nil, false, errors.New("persist: bad snapshot magic")
 	}
 	body, tail := buf[:len(buf)-4], buf[len(buf)-4:]
 	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(tail) {
-		return nil, errors.New("persist: snapshot checksum mismatch")
+		return nil, false, errors.New("persist: snapshot checksum mismatch")
 	}
 	p := body[len(snapMagic):]
 	var v uint64
+	var err error
 	if v, p, err = getUvarint(p); err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	if v != snapVersion {
-		return nil, fmt.Errorf("persist: unsupported snapshot version %d", v)
+	if v != snapVersionNodes && v != snapVersionCatalog {
+		return nil, false, fmt.Errorf("persist: unsupported snapshot version %d", v)
 	}
+	version := v
 	snap := &Snapshot{}
 	if snap.Seq, p, err = getUvarint(p); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	var n uint64
 	if n, p, err = getUvarint(p); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	for i := uint64(0); i < n; i++ {
 		var ps PeerState
 		if ps.ID, p, err = getString(p); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if v, p, err = getUvarint(p); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		ps.Capacity = int(v)
 		snap.Peers = append(snap.Peers, ps)
 	}
+	if version == snapVersionCatalog {
+		var blobLen uint64
+		if blobLen, p, err = getUvarint(p); err != nil {
+			return nil, false, err
+		}
+		if blobLen > uint64(len(p)) {
+			return nil, false, errors.New("persist: truncated catalogue blob")
+		}
+		view, err := catalog.NewView(p[:blobLen])
+		if err != nil {
+			return nil, false, fmt.Errorf("persist: %w", err)
+		}
+		snap.view = view
+		return snap, true, nil
+	}
 	if n, p, err = getUvarint(p); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	for i := uint64(0); i < n; i++ {
 		var ns NodeState
 		if ns.Key, p, err = getString(p); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if v, p, err = getUvarint(p); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		for j := uint64(0); j < v; j++ {
 			var s string
 			if s, p, err = getString(p); err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			ns.Values = append(ns.Values, s)
 		}
 		snap.Nodes = append(snap.Nodes, ns)
 	}
-	return snap, nil
+	return snap, false, nil
 }
 
 // readJournal replays one journal file until EOF or the first record

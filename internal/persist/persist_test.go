@@ -1,9 +1,14 @@
 package persist
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
+
+	"dlpt/internal/catalog"
 )
 
 func testState() ([]PeerState, []NodeState) {
@@ -54,8 +59,8 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if len(st.Snapshot.Peers) != 2 || st.Snapshot.Peers[1].Capacity != 200 {
 		t.Fatalf("peers = %+v", st.Snapshot.Peers)
 	}
-	if len(st.Snapshot.Nodes) != 2 || len(st.Snapshot.Nodes[0].Values) != 2 {
-		t.Fatalf("nodes = %+v", st.Snapshot.Nodes)
+	if got := st.Snapshot.NodeList(); len(got) != 2 || len(got[0].Values) != 2 {
+		t.Fatalf("nodes = %+v", got)
 	}
 	if len(st.Journal) != 2 {
 		t.Fatalf("journal = %+v", st.Journal)
@@ -322,6 +327,149 @@ func TestReopenTruncatesTornTail(t *testing.T) {
 	}
 	if st.Journal[0].Key != "before" || st.Journal[1].Key != "after" {
 		t.Fatalf("journal = %+v", st.Journal)
+	}
+}
+
+// TestBeginCommitCrashWindow pins the off-lock snapshot protocol's
+// crash safety: a process that dies between BeginSnapshot (journal
+// rotated into the new epoch) and Commit (snapshot file written)
+// loses nothing — Load falls back one epoch and replays both
+// journals — and a reopened store continues from the rotated journal
+// epoch instead of double-booking it.
+func TestBeginCommitCrashWindow(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers, nodes := testState()
+	if _, err := s.WriteSnapshot(peers, nodes); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(false, "preCapture", "ep"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seq() != 2 {
+		t.Fatalf("pending seq = %d", p.Seq())
+	}
+	// Mutations racing the off-lock encode land in the new epoch.
+	if err := s.Append(false, "postCapture", "ep"); err != nil {
+		t.Fatal(err)
+	}
+	// Crash before Commit.
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Snapshot == nil || st.Snapshot.Seq != 1 {
+		t.Fatalf("fallback snapshot = %+v", st.Snapshot)
+	}
+	if len(st.Journal) != 2 || st.Journal[0].Key != "preCapture" || st.Journal[1].Key != "postCapture" {
+		t.Fatalf("journal = %+v", st.Journal)
+	}
+	// The reopened store must continue in epoch 2 (the rotated
+	// journal), so the next snapshot is epoch 3 — appending new
+	// records to an already-rotated-past journal would scramble
+	// replay order.
+	if err := s2.Append(false, "postCrash", "ep"); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := s2.WriteSnapshot(peers, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 3 {
+		t.Fatalf("post-crash snapshot seq = %d, want 3", seq)
+	}
+}
+
+// TestV1SnapshotStillLoads pins the migration contract: snapshot
+// files written by the original inline-node-list format load
+// unchanged.
+func TestV1SnapshotStillLoads(t *testing.T) {
+	dir := t.TempDir()
+	peers, nodes := testState()
+	// Hand-roll a version-1 snapshot image, byte-compatible with the
+	// original writer.
+	buf := []byte(snapMagic)
+	buf = binary.AppendUvarint(buf, snapVersionNodes)
+	buf = binary.AppendUvarint(buf, 1) // seq
+	buf = binary.AppendUvarint(buf, uint64(len(peers)))
+	for _, p := range peers {
+		buf = appendString(buf, p.ID)
+		buf = binary.AppendUvarint(buf, uint64(p.Capacity))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(nodes)))
+	for _, n := range nodes {
+		buf = appendString(buf, n.Key)
+		buf = binary.AppendUvarint(buf, uint64(len(n.Values)))
+		for _, v := range n.Values {
+			buf = appendString(buf, v)
+		}
+	}
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	if err := os.WriteFile(filepath.Join(dir, "snapshot-1.snap"), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	st, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Release()
+	if st.Snapshot == nil || st.Snapshot.Seq != 1 {
+		t.Fatalf("v1 snapshot not loaded: %+v", st.Snapshot)
+	}
+	if !reflect.DeepEqual(st.Snapshot.NodeList(), nodes) {
+		t.Fatalf("v1 nodes = %+v", st.Snapshot.NodeList())
+	}
+}
+
+// TestCodecChoiceRoundTrips pins that a store writing with the
+// legacy codec produces snapshots any store can read, identical to
+// the succinct ones.
+func TestCodecChoiceRoundTrips(t *testing.T) {
+	peers, nodes := testState()
+	var got [][]NodeState
+	for _, c := range []catalog.Codec{catalog.Legacy, catalog.LOUDS} {
+		dir := t.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetCodec(c)
+		if _, err := s.WriteSnapshot(peers, nodes); err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, st.Snapshot.NodeList())
+		st.Release()
+		s.Close()
+	}
+	if !reflect.DeepEqual(got[0], got[1]) {
+		t.Fatalf("codec divergence: %+v vs %+v", got[0], got[1])
+	}
+	if !reflect.DeepEqual(got[0], nodes) {
+		t.Fatalf("restored nodes = %+v", got[0])
 	}
 }
 

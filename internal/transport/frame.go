@@ -31,6 +31,7 @@ import (
 	"net"
 	"sync"
 
+	"dlpt/internal/catalog"
 	"dlpt/internal/core"
 	"dlpt/internal/keys"
 	"dlpt/internal/obs"
@@ -262,16 +263,21 @@ func (fc *frameConn) writeQuery(id uint64, tc trace.Context, q *queryReq) error 
 // writeStream carries one partial result batch plus the traversal
 // counters accumulated so far (progress.Err unused), so the client
 // can report live stats mid-stream like the in-process engines do.
+// The batch keys ride in a catalogue envelope: walk chunks arrive in
+// ascending order, so the succinct codec compresses their shared
+// prefixes (an unsorted batch falls back to the order-preserving
+// legacy encoding).
 func (fc *frameConn) writeStream(id uint64, batch []keys.Key, progress *streamEnd) error {
 	bp := framePool.Get().(*[]byte)
 	buf := beginFrame(*bp, frameStream, id)
 	buf = binary.AppendUvarint(buf, uint64(progress.Logical))
 	buf = binary.AppendUvarint(buf, uint64(progress.Physical))
 	buf = binary.AppendUvarint(buf, uint64(progress.Visited))
-	buf = binary.AppendUvarint(buf, uint64(len(batch)))
-	for _, k := range batch {
-		buf = appendString(buf, string(k))
+	ks := make([]string, len(batch))
+	for i, k := range batch {
+		ks[i] = string(k)
 	}
+	buf = catalog.AppendKeys(buf, catalog.Default, ks)
 	err := fc.finishFrame(buf)
 	*bp = buf
 	framePool.Put(bp)
@@ -629,32 +635,36 @@ func decodeQRouteResp(p []byte, resp *qrouteResp) error {
 	return nil
 }
 
+// appendReplicaBatch frames one successor batch: From and To, then
+// the node snapshots as a versioned catalogue envelope (all sections
+// — structure, values and loads travel with each snapshot). The
+// succinct default codec shares the batch's common key prefixes in
+// one LOUDS trie instead of repeating every string, and the version
+// byte lets mixed-version peers interoperate during a rollout.
 func appendReplicaBatch(b []byte, batch *core.ReplicaBatch) []byte {
 	b = appendString(b, string(batch.From))
 	b = appendString(b, string(batch.To))
-	b = binary.AppendUvarint(b, uint64(len(batch.Infos)))
-	for _, info := range batch.Infos {
-		b = appendString(b, string(info.Key))
-		b = appendString(b, string(info.Father))
-		b = appendBool(b, info.HasFather)
-		b = binary.AppendUvarint(b, uint64(len(info.Children)))
-		for _, c := range info.Children {
-			b = appendString(b, string(c))
+	entries := make([]catalog.Entry, len(batch.Infos))
+	for i, info := range batch.Infos {
+		entries[i] = catalog.Entry{
+			Key:       string(info.Key),
+			Values:    info.Data,
+			Father:    string(info.Father),
+			HasFather: info.HasFather,
+			Children:  make([]string, len(info.Children)),
+			LoadPrev:  info.LoadPrev,
+			LoadCur:   info.LoadCur,
 		}
-		b = binary.AppendUvarint(b, uint64(len(info.Data)))
-		for _, v := range info.Data {
-			b = appendString(b, v)
+		for j, c := range info.Children {
+			entries[i].Children[j] = string(c)
 		}
-		b = binary.AppendUvarint(b, uint64(info.LoadPrev))
-		b = binary.AppendUvarint(b, uint64(info.LoadCur))
 	}
-	return b
+	return catalog.Append(b, catalog.Default, entries, catalog.SecAll)
 }
 
 func decodeReplicaBatch(p []byte, batch *core.ReplicaBatch) error {
 	var err error
 	var s string
-	var n uint64
 	if s, p, err = getString(p); err != nil {
 		return fmt.Errorf("replica from: %w", err)
 	}
@@ -663,62 +673,27 @@ func decodeReplicaBatch(p []byte, batch *core.ReplicaBatch) error {
 		return fmt.Errorf("replica to: %w", err)
 	}
 	batch.To = keys.Key(s)
-	if n, p, err = getUvarint(p); err != nil {
-		return fmt.Errorf("replica count: %w", err)
+	entries, _, err := catalog.Decode(p)
+	if err != nil {
+		return fmt.Errorf("replica batch: %w", err)
 	}
-	// Each snapshot costs several bytes on the wire: a count beyond
-	// the remaining payload is corrupt (see decodeResponse).
-	if n > uint64(len(p)) {
-		return errors.New("transport: implausible replica count")
-	}
-	batch.Infos = make([]core.NodeInfo, 0, n)
-	for i := uint64(0); i < n; i++ {
-		var info core.NodeInfo
-		var m uint64
-		if s, p, err = getString(p); err != nil {
-			return fmt.Errorf("replica %d key: %w", i, err)
+	batch.Infos = make([]core.NodeInfo, len(entries))
+	for i, e := range entries {
+		info := core.NodeInfo{
+			Key:       keys.Key(e.Key),
+			Father:    keys.Key(e.Father),
+			HasFather: e.HasFather,
+			Data:      e.Values,
+			LoadPrev:  e.LoadPrev,
+			LoadCur:   e.LoadCur,
 		}
-		info.Key = keys.Key(s)
-		if s, p, err = getString(p); err != nil {
-			return fmt.Errorf("replica %d father: %w", i, err)
-		}
-		info.Father = keys.Key(s)
-		if info.HasFather, p, err = getBool(p); err != nil {
-			return fmt.Errorf("replica %d hasFather: %w", i, err)
-		}
-		if m, p, err = getUvarint(p); err != nil {
-			return fmt.Errorf("replica %d child count: %w", i, err)
-		}
-		if m > uint64(len(p)) {
-			return errors.New("transport: implausible child count")
-		}
-		for j := uint64(0); j < m; j++ {
-			if s, p, err = getString(p); err != nil {
-				return fmt.Errorf("replica %d child %d: %w", i, j, err)
+		if len(e.Children) > 0 {
+			info.Children = make([]keys.Key, len(e.Children))
+			for j, c := range e.Children {
+				info.Children[j] = keys.Key(c)
 			}
-			info.Children = append(info.Children, keys.Key(s))
 		}
-		if m, p, err = getUvarint(p); err != nil {
-			return fmt.Errorf("replica %d value count: %w", i, err)
-		}
-		if m > uint64(len(p)) {
-			return errors.New("transport: implausible value count")
-		}
-		for j := uint64(0); j < m; j++ {
-			if s, p, err = getString(p); err != nil {
-				return fmt.Errorf("replica %d value %d: %w", i, j, err)
-			}
-			info.Data = append(info.Data, s)
-		}
-		if m, p, err = getUvarint(p); err != nil {
-			return fmt.Errorf("replica %d loadPrev: %w", i, err)
-		}
-		info.LoadPrev = int(m)
-		if m, p, err = getUvarint(p); err != nil {
-			return fmt.Errorf("replica %d loadCur: %w", i, err)
-		}
-		info.LoadCur = int(m)
-		batch.Infos = append(batch.Infos, info)
+		batch.Infos[i] = info
 	}
 	return nil
 }
@@ -739,21 +714,9 @@ func decodeStreamBatch(p []byte) ([]string, streamEnd, error) {
 		return nil, progress, fmt.Errorf("stream visited: %w", err)
 	}
 	progress.Visited = int(v)
-	if v, p, err = getUvarint(p); err != nil {
-		return nil, progress, fmt.Errorf("stream count: %w", err)
-	}
-	// Each key costs at least one byte on the wire (see the value
-	// count guard in decodeResponse).
-	if v > uint64(len(p)) {
-		return nil, progress, errors.New("transport: implausible stream count")
-	}
-	out := make([]string, 0, v)
-	for i := uint64(0); i < v; i++ {
-		var s string
-		if s, p, err = getString(p); err != nil {
-			return nil, progress, fmt.Errorf("stream key %d: %w", i, err)
-		}
-		out = append(out, s)
+	out, err := catalog.DecodeKeys(p)
+	if err != nil {
+		return nil, progress, fmt.Errorf("stream batch: %w", err)
 	}
 	return out, progress, nil
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"reflect"
+	"sort"
 	"testing"
 	"time"
 
@@ -199,18 +200,32 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		if err := decodeReplicaBatch(appendReplicaBatch(nil, &batch), &gotBatch); err != nil {
 			t.Fatalf("decodeReplicaBatch: %v", err)
 		}
+		// The catalogue envelope canonicalizes the batch: snapshots
+		// arrive sorted by key with duplicates collapsed (later
+		// wins), the father of a fatherless node is dropped, and
+		// empty child/data slices come back nil.
+		sort.SliceStable(batch.Infos, func(i, j int) bool {
+			return batch.Infos[i].Key < batch.Infos[j].Key
+		})
+		dedup := batch.Infos[:0]
+		for i, info := range batch.Infos {
+			if !info.HasFather {
+				info.Father = ""
+			}
+			if len(info.Children) == 0 {
+				info.Children = nil
+			}
+			if len(info.Data) == 0 {
+				info.Data = nil
+			}
+			if i+1 < len(batch.Infos) && batch.Infos[i+1].Key == info.Key {
+				continue
+			}
+			dedup = append(dedup, info)
+		}
+		batch.Infos = dedup
 		if len(batch.Infos) == 0 {
 			batch.Infos = nil
-		} else {
-			// The decoder leaves empty child/data slices nil.
-			for i := range batch.Infos {
-				if len(batch.Infos[i].Children) == 0 {
-					batch.Infos[i].Children = nil
-				}
-				if len(batch.Infos[i].Data) == 0 {
-					batch.Infos[i].Data = nil
-				}
-			}
 		}
 		if len(gotBatch.Infos) == 0 {
 			gotBatch.Infos = nil

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"dlpt/internal/catalog"
 	"dlpt/internal/keys"
 	"dlpt/internal/trace"
 	"dlpt/internal/workload"
@@ -360,10 +361,11 @@ func TestFrameRoundTrip(t *testing.T) {
 	bbuf := binary.AppendUvarint(nil, uint64(progress.Logical))
 	bbuf = binary.AppendUvarint(bbuf, uint64(progress.Physical))
 	bbuf = binary.AppendUvarint(bbuf, uint64(progress.Visited))
-	bbuf = binary.AppendUvarint(bbuf, uint64(len(batch)))
-	for _, k := range batch {
-		bbuf = appendString(bbuf, string(k))
+	ks := make([]string, len(batch))
+	for i, k := range batch {
+		ks[i] = string(k)
 	}
+	bbuf = catalog.AppendKeys(bbuf, catalog.Default, ks)
 	gotB, gotP, err := decodeStreamBatch(bbuf)
 	if err != nil {
 		t.Fatal(err)

@@ -585,13 +585,27 @@ func (c *Cluster) ReplicateLocal() (int, error) {
 	default:
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	n := c.net.Replicate()
+	var pending *persist.PendingSnapshot
+	var peers []persist.PeerState
+	var cat *core.CatalogueCapture
+	var stall time.Duration
 	if c.store != nil {
-		peers, nodes := c.net.PersistState()
-		if _, err := c.store.WriteSnapshot(peers, nodes); err != nil {
+		start := time.Now()
+		peers, cat = c.net.CaptureSnapshot()
+		var err error
+		if pending, err = c.store.BeginSnapshot(); err != nil {
+			c.mu.Unlock()
 			return n, err
 		}
+		stall = time.Since(start)
+	}
+	c.mu.Unlock()
+	if pending != nil {
+		if _, err := pending.Commit(peers, cat); err != nil {
+			return n, err
+		}
+		c.met.MarkSnapshot(stall, pending.Bytes(), cat.Len())
 	}
 	c.met.MarkReplicated()
 	return n, nil
@@ -786,15 +800,29 @@ func (c *Cluster) Replicate() (int, error) {
 	tick.End()
 	c.met.MarkReplicated()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.net.CompactReplicas()
+	var pending *persist.PendingSnapshot
+	var peers []persist.PeerState
+	var cat *core.CatalogueCapture
+	var stall time.Duration
 	if c.store != nil {
-		// Under c.mu on purpose: the journal rotation must be atomic
-		// with the captured state (see the live cluster's Replicate).
-		peers, nodes := c.net.PersistState()
-		if _, err := c.store.WriteSnapshot(peers, nodes); err != nil {
+		// Capture and journal rotation under c.mu, atomically (see
+		// the live cluster's Replicate); encode + fsync off-lock.
+		start := time.Now()
+		peers, cat = c.net.CaptureSnapshot()
+		var err error
+		if pending, err = c.store.BeginSnapshot(); err != nil {
+			c.mu.Unlock()
 			return total, err
 		}
+		stall = time.Since(start)
+	}
+	c.mu.Unlock()
+	if pending != nil {
+		if _, err := pending.Commit(peers, cat); err != nil {
+			return total, err
+		}
+		c.met.MarkSnapshot(stall, pending.Bytes(), cat.Len())
 	}
 	return total, nil
 }

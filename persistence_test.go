@@ -17,14 +17,21 @@ import (
 )
 
 // runColdRestartWorkload drives the scripted durable workload on one
-// engine, kills every peer, restarts from disk and returns the
-// engine-independent transcript.
-func runColdRestartWorkload(t *testing.T, kind EngineKind) string {
+// engine, writing snapshots with the named catalogue codec ("" means
+// the default), kills every peer, restarts from disk and returns the
+// engine-independent transcript. The restart never names a codec:
+// recovery must dispatch on the version byte alone, so the transcript
+// is also codec-independent.
+func runColdRestartWorkload(t *testing.T, kind EngineKind, codec string) string {
 	t.Helper()
 	ctx := context.Background()
 	dir := t.TempDir()
-	reg, err := New(6, WithSeed(29), WithAlphabet(keys.LowerAlnum),
-		WithEngine(kind), WithPersistence(dir))
+	opts := []Option{WithSeed(29), WithAlphabet(keys.LowerAlnum),
+		WithEngine(kind), WithPersistence(dir)}
+	if codec != "" {
+		opts = append(opts, WithSnapshotCodec(codec))
+	}
+	reg, err := New(6, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,21 +120,28 @@ func runColdRestartWorkload(t *testing.T, kind EngineKind) string {
 	return b.String()
 }
 
-// TestColdRestartDifferential requires the three engines to come back
-// from a whole-overlay crash with byte-identical catalogues.
+// TestColdRestartDifferential requires every engine × snapshot-codec
+// combination to come back from a whole-overlay crash with
+// byte-identical catalogues: the three engines must agree with each
+// other, and snapshots written with the legacy verbose codec must
+// restore exactly what the succinct default restores — the wire
+// format is an encoding choice, never a semantic one.
 func TestColdRestartDifferential(t *testing.T) {
-	transcripts := make(map[EngineKind]string, len(engineKinds))
-	for _, kind := range engineKinds {
-		transcripts[kind] = runColdRestartWorkload(t, kind)
-	}
-	ref := transcripts[EngineLocal]
+	codecs := []string{"louds", "legacy"}
+	ref := runColdRestartWorkload(t, EngineLocal, codecs[0])
 	if ref == "" {
 		t.Fatal("empty reference transcript")
 	}
-	for _, kind := range engineKinds[1:] {
-		if transcripts[kind] != ref {
-			t.Errorf("engine %s diverges from local:\n%s", kind,
-				firstDiff(ref, transcripts[kind]))
+	for _, kind := range engineKinds {
+		for _, codec := range codecs {
+			if kind == EngineLocal && codec == codecs[0] {
+				continue
+			}
+			got := runColdRestartWorkload(t, kind, codec)
+			if got != ref {
+				t.Errorf("engine %s codec %s diverges from local/%s:\n%s",
+					kind, codec, codecs[0], firstDiff(ref, got))
+			}
 		}
 	}
 }
